@@ -1,0 +1,118 @@
+// E12 — §5 outlook ablation: "a rather compacted attribute block
+// representation could be used for loading IDs and values as blocks within
+// one step speeding everything up at least by factor 2."
+//
+// Our compact mode pairs the fetches (32-bit ports) and pipelines the
+// datapath; the bench sweeps catalogue shapes and reports the measured
+// speed-up next to the paper's >= 2x estimate.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+struct Images {
+    mem::CaseBaseImage cb;
+    mem::RequestImage req;
+};
+
+Images build(std::uint16_t impls, std::uint16_t attrs, double dropout) {
+    util::Rng rng(9'000u + impls * 13u + attrs);
+    wl::CatalogConfig config;
+    config.function_types = 3;
+    config.impls_per_type = impls;
+    config.attrs_per_impl = attrs;
+    config.attr_dropout = dropout;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    wl::RequestGenConfig rconfig;
+    rconfig.keep_prob = 1.0;
+    const auto generated =
+        wl::generate_request(cat.case_base, cat.bounds, cbr::TypeId{2}, rng, rconfig);
+    return Images{mem::encode_case_base(cat.case_base, cat.bounds),
+                  mem::encode_request(generated.request)};
+}
+
+void print_ablation() {
+    std::cout << "=== E12 (§5): compact attribute-block fetch ablation ===\n"
+              << "(paper estimate: 'at least by factor 2'; measured below)\n\n";
+    util::Table table({"impls", "attrs", "dropout", "normal cycles", "compact cycles",
+                       "speed-up", "results equal"});
+    util::Csv csv({"impls", "attrs", "normal", "compact", "speedup"});
+    for (const auto& [impls, attrs, dropout] :
+         {std::tuple<std::uint16_t, std::uint16_t, double>{2, 2, 0.0},
+          {4, 4, 0.0},
+          {6, 6, 0.0},
+          {10, 8, 0.0},
+          {10, 10, 0.0},
+          {10, 10, 0.3},
+          {16, 10, 0.0}}) {
+        const Images images = build(impls, attrs, dropout);
+        rtl::RetrievalUnit normal;
+        rtl::RtlConfig compact_cfg;
+        compact_cfg.compact_blocks = true;
+        rtl::RetrievalUnit compact(compact_cfg);
+        const auto a = normal.run(images.req, images.cb);
+        const auto b = compact.run(images.req, images.cb);
+        const double speedup =
+            static_cast<double>(a.cycles) / static_cast<double>(b.cycles);
+        const bool equal = a.found == b.found &&
+                           (!a.found || (a.best().impl == b.best().impl &&
+                                         a.best().similarity_q30 ==
+                                             b.best().similarity_q30));
+        table.add_row({std::to_string(impls), std::to_string(attrs),
+                       util::to_fixed(dropout, 1), std::to_string(a.cycles),
+                       std::to_string(b.cycles), util::to_fixed(speedup, 2) + "x",
+                       equal ? "yes" : "NO"});
+        csv.add_numeric_row({static_cast<double>(impls), static_cast<double>(attrs),
+                             static_cast<double>(a.cycles),
+                             static_cast<double>(b.cycles), speedup},
+                            2);
+    }
+    std::cout << table.render() << "\n";
+    (void)csv.write_file("bench_ablation_compact.csv");
+    std::cout << "Shape check: the speed-up approaches ~1.8-2x as attribute work\n"
+                 "dominates (the supplemental reciprocal word sits fourth in its\n"
+                 "block and cannot pair-fetch, which is why the asymptote sits just\n"
+                 "under the paper's back-of-envelope 2x).\n\n";
+}
+
+void bm_normal_mode(benchmark::State& state) {
+    const Images images = build(10, 10, 0.0);
+    rtl::RetrievalUnit unit;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.run(images.req, images.cb));
+    }
+}
+BENCHMARK(bm_normal_mode);
+
+void bm_compact_mode(benchmark::State& state) {
+    const Images images = build(10, 10, 0.0);
+    rtl::RtlConfig config;
+    config.compact_blocks = true;
+    rtl::RetrievalUnit unit(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.run(images.req, images.cb));
+    }
+}
+BENCHMARK(bm_compact_mode);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,148 @@
+// E13 — §2.2 design choice: Manhattan metrics instead of Mahalanobis.
+//
+// "This method [Mahalanobis] is very effective concerning the results but
+// the computational efforts would be too large so we decided to apply
+// Manhattan distance metrics."  The bench quantifies both halves: ranking
+// agreement between the metrics (quality) and time per retrieval (cost).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/amalgamation.hpp"
+#include "core/mahalanobis.hpp"
+#include "core/retrieval.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+wl::GeneratedCatalog bench_catalog() {
+    util::Rng rng(99);
+    wl::CatalogConfig config;
+    config.function_types = 8;
+    config.impls_per_type = 10;
+    config.attrs_per_impl = 10;
+    return wl::generate_catalog_with_bounds(config, rng);
+}
+
+void print_quality() {
+    const wl::GeneratedCatalog cat = bench_catalog();
+    const cbr::Retriever manhattan(cat.case_base, cat.bounds);
+    const cbr::WeightedEuclidean euclidean_amalg;
+    const cbr::Retriever euclidean(cat.case_base, cat.bounds, &euclidean_amalg);
+    const cbr::MahalanobisScorer mahalanobis(cat.case_base);
+
+    util::Rng rng(101);
+    std::uint64_t total = 0;
+    std::uint64_t agree_euclidean = 0;
+    std::uint64_t agree_mahalanobis = 0;
+    std::uint64_t intended_manhattan = 0;
+    std::uint64_t intended_mahalanobis = 0;
+    for (int round = 0; round < 400; ++round) {
+        wl::RequestGenConfig rconfig;
+        rconfig.tightness = 0.08;
+        const auto generated = wl::generate_request(
+            cat.case_base, cat.bounds, wl::random_type(cat.case_base, rng), rng, rconfig);
+        const auto ref = manhattan.retrieve(generated.request);
+        const auto euc = euclidean.retrieve(generated.request);
+        if (!ref.ok() || !euc.ok()) {
+            continue;
+        }
+        // Mahalanobis best over the same type.
+        const cbr::FunctionType* type = cat.case_base.find_type(generated.type);
+        double best_score = -1.0;
+        cbr::ImplId best_impl;
+        for (const auto& impl : type->impls) {
+            const double s = mahalanobis.score(generated.request, impl);
+            if (s > best_score) {
+                best_score = s;
+                best_impl = impl.id;
+            }
+        }
+        ++total;
+        agree_euclidean += ref.best().impl == euc.best().impl ? 1u : 0u;
+        agree_mahalanobis += ref.best().impl == best_impl ? 1u : 0u;
+        intended_manhattan += ref.best().impl == generated.intended ? 1u : 0u;
+        intended_mahalanobis += best_impl == generated.intended ? 1u : 0u;
+    }
+
+    std::cout << "=== E13 (§2.2): similarity metric ablation ===\n\n";
+    util::Table table({"Metric pair / quality measure", "value"});
+    auto pct = [total](std::uint64_t n) {
+        return util::to_fixed(100.0 * static_cast<double>(n) /
+                                  static_cast<double>(total), 1) + " %";
+    };
+    table.add_row({"best-ID agreement Manhattan vs weighted-Euclidean",
+                   pct(agree_euclidean)});
+    table.add_row({"best-ID agreement Manhattan vs Mahalanobis",
+                   pct(agree_mahalanobis)});
+    table.add_row({"intended-variant hit rate, Manhattan", pct(intended_manhattan)});
+    table.add_row({"intended-variant hit rate, Mahalanobis", pct(intended_mahalanobis)});
+    table.add_row({"requests evaluated", std::to_string(total)});
+    std::cout << table.render_with_title(
+        "Quality: metrics mostly agree; cost decides (timings below)") << "\n";
+}
+
+void bm_manhattan_retrieval(benchmark::State& state) {
+    const wl::GeneratedCatalog cat = bench_catalog();
+    const cbr::Retriever retriever(cat.case_base, cat.bounds);
+    util::Rng rng(1);
+    const auto generated = wl::generate_request(cat.case_base, cat.bounds,
+                                                cbr::TypeId{1}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve(generated.request));
+    }
+}
+BENCHMARK(bm_manhattan_retrieval);
+
+void bm_euclidean_retrieval(benchmark::State& state) {
+    const wl::GeneratedCatalog cat = bench_catalog();
+    const cbr::WeightedEuclidean amalg;
+    const cbr::Retriever retriever(cat.case_base, cat.bounds, &amalg);
+    util::Rng rng(1);
+    const auto generated = wl::generate_request(cat.case_base, cat.bounds,
+                                                cbr::TypeId{1}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve(generated.request));
+    }
+}
+BENCHMARK(bm_euclidean_retrieval);
+
+void bm_mahalanobis_fit(benchmark::State& state) {
+    const wl::GeneratedCatalog cat = bench_catalog();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cbr::MahalanobisScorer(cat.case_base));
+    }
+}
+BENCHMARK(bm_mahalanobis_fit);
+
+void bm_mahalanobis_retrieval(benchmark::State& state) {
+    const wl::GeneratedCatalog cat = bench_catalog();
+    const cbr::MahalanobisScorer scorer(cat.case_base);
+    util::Rng rng(1);
+    const auto generated = wl::generate_request(cat.case_base, cat.bounds,
+                                                cbr::TypeId{1}, rng);
+    const cbr::FunctionType* type = cat.case_base.find_type(cbr::TypeId{1});
+    for (auto _ : state) {
+        double best = -1.0;
+        for (const auto& impl : type->impls) {
+            best = std::max(best, scorer.score(generated.request, impl));
+        }
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(bm_mahalanobis_retrieval);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_quality();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,152 @@
+// E11 — §3 bypass tokens: "it is not necessary to repeat the retrieval
+// procedure at repeated function calls."  Sweeps the repeated-call
+// probability and reports the bypass hit rate plus the retrieval work
+// avoided (measured in hardware retrieval cycles the tokens saved).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "alloc/manager.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace qfa;
+
+struct BypassResult {
+    std::uint64_t requests = 0;
+    std::uint64_t retrievals = 0;
+    std::uint64_t bypass_grants = 0;
+    double hit_rate = 0.0;
+};
+
+BypassResult run_with_repeat_prob(double repeat_prob) {
+    util::Rng rng(31);
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds({}, rng);
+    sys::Platform platform;
+    platform.repository().import_case_base(catalog.case_base);
+    alloc::AllocationManager manager(platform, catalog.case_base, catalog.bounds);
+
+    util::Rng profile_rng(67);
+    std::vector<wl::AppProfile> apps = {
+        wl::make_profile(wl::AppKind::mp3_player, 1, catalog.case_base, profile_rng),
+        wl::make_profile(wl::AppKind::video, 2, catalog.case_base, profile_rng),
+    };
+    for (wl::AppProfile& app : apps) {
+        app.repeat_prob = repeat_prob;
+    }
+    wl::ScenarioConfig config;
+    config.duration_us = 1'000'000;
+    config.seed = 131;
+    wl::ScenarioDriver driver(platform, manager, catalog.case_base, catalog.bounds,
+                              std::move(apps), config);
+    (void)driver.run();
+
+    BypassResult result;
+    result.requests = manager.stats().requests;
+    result.retrievals = manager.stats().retrievals;
+    result.bypass_grants = manager.stats().bypass_grants;
+    result.hit_rate = manager.bypass_stats().hit_rate();
+    return result;
+}
+
+void print_sweep() {
+    std::cout << "=== E11 (§3): bypass tokens for repeated function calls ===\n\n";
+
+    // Hardware cycles one full retrieval costs on this catalogue shape —
+    // that is what each bypass hit saves.
+    util::Rng rng(31);
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds({}, rng);
+    const auto cb_image = mem::encode_case_base(catalog.case_base, catalog.bounds);
+    wl::RequestGenConfig rconfig;
+    rconfig.keep_prob = 1.0;
+    util::Rng req_rng(3);
+    const auto generated = wl::generate_request(catalog.case_base, catalog.bounds,
+                                                cbr::TypeId{1}, req_rng, rconfig);
+    rtl::RetrievalUnit unit;
+    const std::uint64_t cycles_per_retrieval =
+        unit.run(mem::encode_request(generated.request), cb_image).cycles;
+    std::cout << "One full retrieval on this catalogue: " << cycles_per_retrieval
+              << " hardware cycles ("
+              << util::to_fixed(static_cast<double>(cycles_per_retrieval) / 66.0, 1)
+              << " us @66 MHz)\n\n";
+
+    util::Table table({"repeat prob", "requests", "retrievals", "bypass grants",
+                       "hit rate", "cycles saved"});
+    util::Csv csv({"repeat_prob", "requests", "retrievals", "bypass_grants",
+                   "hit_rate"});
+    for (double p : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+        const BypassResult r = run_with_repeat_prob(p);
+        table.add_row({util::to_fixed(p, 2), std::to_string(r.requests),
+                       std::to_string(r.retrievals), std::to_string(r.bypass_grants),
+                       util::to_fixed(r.hit_rate, 3),
+                       std::to_string(r.bypass_grants * cycles_per_retrieval)});
+        csv.add_numeric_row({p, static_cast<double>(r.requests),
+                             static_cast<double>(r.retrievals),
+                             static_cast<double>(r.bypass_grants), r.hit_rate},
+                            3);
+    }
+    std::cout << table.render_with_title(
+        "Bypass effectiveness vs repeated-call probability (Zipf-popular types)")
+              << "\n";
+    (void)csv.write_file("bench_bypass_tokens.csv");
+    std::cout << "series written to bench_bypass_tokens.csv\n\n";
+}
+
+void bm_allocate_with_bypass(benchmark::State& state) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    sys::Platform platform;
+    platform.repository().import_case_base(cb);
+    alloc::AllocationManager manager(platform, cb, bounds);
+    const alloc::AllocRequest request{1, cbr::paper_example_request(), 10, 0.0, 4, true};
+    for (auto _ : state) {
+        const auto outcome = manager.allocate(request);
+        if (outcome.granted()) {
+            (void)manager.release(outcome.grant->task);
+        }
+        benchmark::DoNotOptimize(outcome);
+    }
+    state.counters["bypass_rate"] =
+        manager.stats().requests == 0
+            ? 0.0
+            : static_cast<double>(manager.stats().bypass_grants) /
+                  static_cast<double>(manager.stats().requests);
+}
+BENCHMARK(bm_allocate_with_bypass);
+
+void bm_allocate_cold(benchmark::State& state) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    sys::Platform platform;
+    platform.repository().import_case_base(cb);
+    alloc::AllocationManager manager(platform, cb, bounds);
+    std::uint64_t epoch = 0;
+    for (auto _ : state) {
+        manager.rebind(cb, bounds, ++epoch);  // kill tokens: always retrieve
+        const auto outcome =
+            manager.allocate({1, cbr::paper_example_request(), 10, 0.0, 4, true});
+        if (outcome.granted()) {
+            (void)manager.release(outcome.grant->task);
+        }
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(bm_allocate_cold);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,119 @@
+// E8 — figs. 4/5 design choice: pre-sorted attribute blocks + resumable
+// scans make the per-implementation search effort linear (§4.1).  The
+// ablation switch restarts every search from the top of its list instead;
+// the bench shows the linear-vs-quadratic separation and the layout stats.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+struct Images {
+    mem::CaseBaseImage cb;
+    mem::RequestImage req;
+};
+
+Images build(std::uint16_t attrs) {
+    util::Rng rng(11'000u + attrs);
+    wl::CatalogConfig config;
+    config.function_types = 2;
+    config.impls_per_type = 6;
+    config.attrs_per_impl = attrs;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    wl::RequestGenConfig rconfig;
+    rconfig.keep_prob = 1.0;
+    const auto generated =
+        wl::generate_request(cat.case_base, cat.bounds, cbr::TypeId{1}, rng, rconfig);
+    return Images{mem::encode_case_base(cat.case_base, cat.bounds),
+                  mem::encode_request(generated.request)};
+}
+
+void print_ablation() {
+    std::cout << "=== E8 (figs. 4/5, §4.1): sorted-list resumable scan ===\n\n";
+    util::Table table({"attrs/impl", "resume cycles", "restart cycles", "penalty",
+                       "penalty ratio"});
+    util::Csv csv({"attrs", "resume", "restart"});
+    for (int attrs_i : {2, 4, 6, 8, 10}) {
+        const auto attrs = static_cast<std::uint16_t>(attrs_i);
+        const Images images = build(attrs);
+        rtl::RetrievalUnit resume;
+        rtl::RtlConfig restart_cfg;
+        restart_cfg.resume_sorted_scan = false;
+        rtl::RetrievalUnit restart(restart_cfg);
+        const auto a = resume.run(images.req, images.cb);
+        const auto b = restart.run(images.req, images.cb);
+        table.add_row({std::to_string(attrs), std::to_string(a.cycles),
+                       std::to_string(b.cycles), std::to_string(b.cycles - a.cycles),
+                       util::to_fixed(static_cast<double>(b.cycles) /
+                                          static_cast<double>(a.cycles), 2) + "x"});
+        csv.add_numeric_row({static_cast<double>(attrs), static_cast<double>(a.cycles),
+                             static_cast<double>(b.cycles)}, 0);
+    }
+    std::cout << table.render_with_title(
+        "Retrieval cycles with resumable scans (paper) vs top-restart scans") << "\n";
+    (void)csv.write_file("bench_fig45_scan.csv");
+
+    // Layout accounting of the paper example.
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    const mem::CaseBaseImage image = mem::encode_case_base(cb, bounds);
+    util::Table layout({"Section", "words", "bytes"});
+    layout.add_row({"level 0: function-type list",
+                    std::to_string(image.stats.level0_words),
+                    util::human_bytes(image.stats.level0_words * 2)});
+    layout.add_row({"level 1: implementation lists",
+                    std::to_string(image.stats.level1_words),
+                    util::human_bytes(image.stats.level1_words * 2)});
+    layout.add_row({"level 2: attribute lists",
+                    std::to_string(image.stats.level2_words),
+                    util::human_bytes(image.stats.level2_words * 2)});
+    layout.add_row({"supplemental list (fig. 4 right)",
+                    std::to_string(image.stats.supplemental_words),
+                    util::human_bytes(image.stats.supplemental_words * 2)});
+    layout.add_row({"total CB-MEM image", std::to_string(image.words.size()),
+                    util::human_bytes(image.size_bytes())});
+    std::cout << layout.render_with_title(
+        "Fig. 5 'one big block of linear concatenated lists' (fig. 3 case base)")
+              << "\n";
+}
+
+void bm_resume_scan(benchmark::State& state) {
+    const Images images = build(10);
+    rtl::RetrievalUnit unit;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.run(images.req, images.cb));
+    }
+}
+BENCHMARK(bm_resume_scan);
+
+void bm_restart_scan(benchmark::State& state) {
+    const Images images = build(10);
+    rtl::RtlConfig config;
+    config.resume_sorted_scan = false;
+    rtl::RetrievalUnit unit(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.run(images.req, images.cb));
+    }
+}
+BENCHMARK(bm_restart_scan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

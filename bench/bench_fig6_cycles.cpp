@@ -1,0 +1,112 @@
+// E5 — fig. 6 behaviour: retrieval cycles scale linearly in the number of
+// implementations and (thanks to the §4.1 sorted-scan resume) in the number
+// of attributes.  Prints both series with first differences and writes CSV.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+struct Images {
+    mem::CaseBaseImage cb;
+    mem::RequestImage req;
+};
+
+Images build(std::uint16_t impls, std::uint16_t attrs) {
+    util::Rng rng(7'000u + impls * 37u + attrs);
+    wl::CatalogConfig config;
+    config.function_types = 3;
+    config.impls_per_type = impls;
+    config.attrs_per_impl = attrs;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    wl::RequestGenConfig rconfig;
+    rconfig.keep_prob = 1.0;  // request constrains every attribute kind
+    const auto generated =
+        wl::generate_request(cat.case_base, cat.bounds, cbr::TypeId{2}, rng, rconfig);
+    return Images{mem::encode_case_base(cat.case_base, cat.bounds),
+                  mem::encode_request(generated.request)};
+}
+
+std::uint64_t cycles_of(const Images& images) {
+    rtl::RetrievalUnit unit;
+    return unit.run(images.req, images.cb).cycles;
+}
+
+void print_series() {
+    std::cout << "=== E5 (fig. 6): retrieval FSM cycle scaling ===\n\n";
+
+    util::Table by_impls({"impls/type", "cycles", "delta"});
+    util::Csv csv_impls({"impls", "cycles"});
+    std::uint64_t prev = 0;
+    for (int impls_i : {1, 2, 4, 6, 8, 10, 14, 20}) {
+        const auto impls = static_cast<std::uint16_t>(impls_i);
+        const std::uint64_t c = cycles_of(build(impls, 8));
+        by_impls.add_row({std::to_string(impls), std::to_string(c),
+                          prev == 0 ? "-" : std::to_string(c - prev)});
+        csv_impls.add_numeric_row({static_cast<double>(impls), static_cast<double>(c)}, 0);
+        prev = c;
+    }
+    std::cout << by_impls.render_with_title(
+        "Cycles vs implementations per type (8 attributes; linear deltas)") << "\n";
+
+    util::Table by_attrs({"attrs/impl", "cycles", "delta"});
+    util::Csv csv_attrs({"attrs", "cycles"});
+    prev = 0;
+    for (int attrs_i : {1, 2, 4, 6, 8, 10}) {
+        const auto attrs = static_cast<std::uint16_t>(attrs_i);
+        const std::uint64_t c = cycles_of(build(6, attrs));
+        by_attrs.add_row({std::to_string(attrs), std::to_string(c),
+                          prev == 0 ? "-" : std::to_string(c - prev)});
+        csv_attrs.add_numeric_row({static_cast<double>(attrs), static_cast<double>(c)}, 0);
+        prev = c;
+    }
+    std::cout << by_attrs.render_with_title(
+        "Cycles vs attributes per implementation (6 impls; sorted-scan resume on)")
+              << "\n";
+
+    (void)csv_impls.write_file("bench_fig6_cycles_impls.csv");
+    (void)csv_attrs.write_file("bench_fig6_cycles_attrs.csv");
+    std::cout << "series written to bench_fig6_cycles_{impls,attrs}.csv\n\n";
+
+    // Time at the two published clocks.
+    const std::uint64_t paper_shape = cycles_of(build(10, 10));
+    std::cout << "10 impls x 10 attrs retrieval: " << paper_shape << " cycles = "
+              << static_cast<double>(paper_shape) / 75.0 << " us @75 MHz (Table 2 clock), "
+              << static_cast<double>(paper_shape) / 66.0 << " us @66 MHz (E4 clock)\n\n";
+}
+
+void bm_fsm_cycles(benchmark::State& state) {
+    const Images images =
+        build(static_cast<std::uint16_t>(state.range(0)), 8);
+    rtl::RetrievalUnit unit;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = unit.run(images.req, images.cb);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["fsm_cycles"] =
+        static_cast<double>(cycles) / static_cast<double>(state.iterations());
+}
+BENCHMARK(bm_fsm_cycles)->Arg(2)->Arg(6)->Arg(10)->Arg(20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_series();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,138 @@
+// E6 — fig. 7 datapath validation: the divider-free reciprocal-multiply
+// arithmetic.  Measures the fixed-point error of eq. (1) against the double
+// reference over a dmax sweep, checks it against the analytic bound, and
+// reports best-ID agreement between the Q15 and double retrievers —
+// the paper's "same retrieval results in floating point and VHDL" claim.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/retrieval.hpp"
+#include "fixed/reciprocal.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+void print_error_sweep() {
+    std::cout << "=== E6 (fig. 7): reciprocal-multiply datapath accuracy ===\n\n";
+    util::Table table({"dmax", "recip Q15", "max |err| measured", "analytic bound",
+                       "within bound"});
+    util::Csv csv({"dmax", "max_error", "bound"});
+    util::Rng rng(555);
+    for (std::uint32_t dmax : {1u, 2u, 8u, 36u, 100u, 255u, 1024u, 4095u, 65535u}) {
+        const fx::Q15 recip = fx::reciprocal_q15(dmax);
+        double max_err = 0.0;
+        for (int trial = 0; trial < 20000; ++trial) {
+            const auto a = static_cast<std::uint16_t>(
+                rng.uniform_int(0, std::min<std::int64_t>(dmax * 2 + 10, 65535)));
+            const auto b = static_cast<std::uint16_t>(
+                rng.uniform_int(0, std::min<std::int64_t>(dmax, 65535)));
+            const double d = fx::attr_distance(a, b);
+            const double ratio = d / (1.0 + dmax);
+            const double exact = ratio >= 1.0 ? 0.0 : 1.0 - ratio;
+            const double fixed_point =
+                fx::local_similarity_q15(a, b, recip).to_double();
+            max_err = std::max(max_err, std::abs(fixed_point - exact));
+        }
+        const double bound = fx::local_similarity_error_bound(dmax);
+        table.add_row({std::to_string(dmax), std::to_string(recip.raw()),
+                       util::to_fixed(max_err, 6), util::to_fixed(bound, 6),
+                       max_err <= bound ? "yes" : "NO"});
+        csv.add_numeric_row({static_cast<double>(dmax), max_err, bound});
+    }
+    std::cout << table.render_with_title(
+        "Local similarity: Q15 (d x (1+dmax)^-1, truncated) vs exact eq. (1)") << "\n";
+    (void)csv.write_file("bench_fig7_error.csv");
+
+    // Best-ID agreement on random catalogues (the Matlab-vs-ModelSim check).
+    std::uint64_t total = 0;
+    std::uint64_t agree = 0;
+    std::uint64_t score_ties = 0;
+    util::Rng sweep_rng(777);
+    for (int round = 0; round < 300; ++round) {
+        wl::CatalogConfig config;
+        config.function_types = 3;
+        config.impls_per_type = 8;
+        config.attrs_per_impl = 6;
+        const wl::GeneratedCatalog cat =
+            wl::generate_catalog_with_bounds(config, sweep_rng);
+        const cbr::Retriever retriever(cat.case_base, cat.bounds);
+        const auto generated = wl::generate_request(
+            cat.case_base, cat.bounds, wl::random_type(cat.case_base, sweep_rng),
+            sweep_rng);
+        const auto ref = retriever.retrieve(generated.request);
+        const auto fixed_point = retriever.retrieve_q15(generated.request);
+        if (!ref.ok() || !fixed_point) {
+            continue;
+        }
+        ++total;
+        if (ref.best().impl == fixed_point->impl) {
+            ++agree;
+        } else {
+            // Disagreements must be quantization-level ties.
+            cbr::RetrievalOptions all;
+            all.n_best = 8;
+            const auto ranked = retriever.retrieve(generated.request, all);
+            for (const auto& m : ranked.matches) {
+                if (m.impl == fixed_point->impl &&
+                    std::abs(m.similarity - ref.best().similarity) < 5e-3) {
+                    ++score_ties;
+                }
+            }
+        }
+    }
+    std::cout << "Best-ID agreement double vs Q15: " << agree << "/" << total
+              << " identical, " << score_ties
+              << " quantization-level ties (score gap < 5e-3), "
+              << (total - agree - score_ties) << " true divergences\n\n";
+}
+
+void bm_local_similarity_double(benchmark::State& state) {
+    double acc = 0.0;
+    std::uint16_t a = 0;
+    for (auto _ : state) {
+        acc += cbr::local_similarity(a, 44, 36);
+        a = static_cast<std::uint16_t>((a + 7) & 0xFF);
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(bm_local_similarity_double);
+
+void bm_local_similarity_q15(benchmark::State& state) {
+    const fx::Q15 recip = fx::reciprocal_q15(36);
+    std::uint32_t acc = 0;
+    std::uint16_t a = 0;
+    for (auto _ : state) {
+        acc += fx::local_similarity_q15(a, 44, recip).raw();
+        a = static_cast<std::uint16_t>((a + 7) & 0xFF);
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(bm_local_similarity_q15);
+
+void bm_reciprocal_precompute(benchmark::State& state) {
+    std::uint32_t dmax = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fx::reciprocal_q15(dmax));
+        dmax = (dmax * 7 + 1) & 0xFFFF;
+    }
+}
+BENCHMARK(bm_reciprocal_precompute);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_error_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,124 @@
+// E14 — §5 outlook: "an extension for getting n most similar solutions from
+// retrieval which offers the possibility for checking out the feasibility
+// of different matching variants."  Measures the hardware cost of n-best
+// (cycles unchanged — the insertion network works in the existing
+// compare_best cycle; slices/fmax from the resource model) and the
+// reference retriever's n-best scaling.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/retrieval.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/resource_model.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+void print_nbest() {
+    util::Rng rng(1234);
+    wl::CatalogConfig config;
+    config.function_types = 3;
+    config.impls_per_type = 12;
+    config.attrs_per_impl = 8;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    const auto cb_image = mem::encode_case_base(cat.case_base, cat.bounds);
+    wl::RequestGenConfig rconfig;
+    rconfig.keep_prob = 1.0;
+    const auto generated =
+        wl::generate_request(cat.case_base, cat.bounds, cbr::TypeId{2}, rng, rconfig);
+    const auto req_image = mem::encode_request(generated.request);
+
+    std::cout << "=== E14 (§5): n-best retrieval extension ===\n\n";
+    util::Table table({"n", "HW cycles", "HW slices", "HW fmax", "candidates returned"});
+    for (std::size_t n : {1u, 2u, 3u, 4u, 8u}) {
+        rtl::RtlConfig rtl_config;
+        rtl_config.n_best = n;
+        rtl::RetrievalUnit unit(rtl_config);
+        const auto result = unit.run(req_image, cb_image);
+
+        rtl::ResourceModelConfig res_config;
+        res_config.n_best = n;
+        const auto est = rtl::estimate_resources(res_config);
+
+        table.add_row({std::to_string(n), std::to_string(result.cycles),
+                       std::to_string(est.clb_slices),
+                       util::human_hz(est.fmax_mhz * 1e6),
+                       std::to_string(result.ranked.size())});
+    }
+    std::cout << table.render_with_title(
+        "Hardware n-best: cycle count is n-invariant (parallel insertion in the\n"
+        "compare_best state); the cost is slices and a slightly longer critical path")
+              << "\n";
+
+    // The ranked list feeds the §3 feasibility loop: show it once.
+    rtl::RtlConfig rtl_config;
+    rtl_config.n_best = 4;
+    rtl::RetrievalUnit unit(rtl_config);
+    const auto result = unit.run(req_image, cb_image);
+    util::Table ranked({"rank", "impl", "similarity"});
+    for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+        ranked.add_row({std::to_string(i + 1),
+                        std::to_string(result.ranked[i].impl.value()),
+                        util::to_fixed(result.ranked[i].similarity(), 4)});
+    }
+    std::cout << ranked.render_with_title("Example 4-best candidate list") << "\n";
+}
+
+void bm_reference_nbest(benchmark::State& state) {
+    util::Rng rng(1234);
+    wl::CatalogConfig config;
+    config.function_types = 3;
+    config.impls_per_type = 12;
+    config.attrs_per_impl = 8;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    const cbr::Retriever retriever(cat.case_base, cat.bounds);
+    const auto generated =
+        wl::generate_request(cat.case_base, cat.bounds, cbr::TypeId{2}, rng);
+    cbr::RetrievalOptions options;
+    options.n_best = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve(generated.request, options));
+    }
+}
+BENCHMARK(bm_reference_nbest)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void bm_hw_nbest(benchmark::State& state) {
+    util::Rng rng(1234);
+    wl::CatalogConfig config;
+    config.function_types = 3;
+    config.impls_per_type = 12;
+    config.attrs_per_impl = 8;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    const auto cb_image = mem::encode_case_base(cat.case_base, cat.bounds);
+    wl::RequestGenConfig rconfig;
+    rconfig.keep_prob = 1.0;
+    const auto generated =
+        wl::generate_request(cat.case_base, cat.bounds, cbr::TypeId{2}, rng, rconfig);
+    const auto req_image = mem::encode_request(generated.request);
+    rtl::RtlConfig rtl_config;
+    rtl_config.n_best = static_cast<std::size_t>(state.range(0));
+    rtl::RetrievalUnit unit(rtl_config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.run(req_image, cb_image));
+    }
+}
+BENCHMARK(bm_hw_nbest)->Arg(1)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_nbest();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

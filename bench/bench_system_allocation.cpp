@@ -1,0 +1,102 @@
+// E10 — fig. 1 system level: allocation behaviour under synthetic load.
+//
+// Sweeps offered load (request inter-arrival time) over the four-archetype
+// application mix and reports grant rate, mean similarity, activation
+// latency, preemptions and energy — for each allocation policy.  The shape
+// to check: grant rate falls and preemptions rise with load; energy-aware
+// allocation trades a little similarity for lower power.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "alloc/manager.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace qfa;
+
+wl::ScenarioReport run_scenario(double interarrival_scale, alloc::PolicyKind policy) {
+    util::Rng rng(31);
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds({}, rng);
+    sys::Platform platform;
+    platform.repository().import_case_base(catalog.case_base);
+    alloc::AllocationManager manager(platform, catalog.case_base, catalog.bounds,
+                                     alloc::make_policy(policy));
+
+    util::Rng profile_rng(67);
+    std::vector<wl::AppProfile> apps = {
+        wl::make_profile(wl::AppKind::mp3_player, 1, catalog.case_base, profile_rng),
+        wl::make_profile(wl::AppKind::video, 2, catalog.case_base, profile_rng),
+        wl::make_profile(wl::AppKind::automotive_ecu, 3, catalog.case_base, profile_rng),
+        wl::make_profile(wl::AppKind::cruise_control, 4, catalog.case_base, profile_rng),
+    };
+    for (wl::AppProfile& app : apps) {
+        app.mean_interarrival_us *= interarrival_scale;
+    }
+    wl::ScenarioConfig config;
+    config.duration_us = 1'000'000;
+    config.seed = 97;
+    wl::ScenarioDriver driver(platform, manager, catalog.case_base, catalog.bounds,
+                              std::move(apps), config);
+    return driver.run();
+}
+
+void print_sweep() {
+    std::cout << "=== E10 (fig. 1): QoS allocation under load ===\n\n";
+    util::Csv csv({"policy", "load_scale", "requests", "grant_rate", "mean_S",
+                   "mean_activation_us", "preemptions", "energy_mJ"});
+    for (const auto policy : {alloc::PolicyKind::similarity_first,
+                              alloc::PolicyKind::energy_aware,
+                              alloc::PolicyKind::load_balancing}) {
+        const char* policy_name =
+            policy == alloc::PolicyKind::similarity_first ? "similarity-first"
+            : policy == alloc::PolicyKind::energy_aware   ? "energy-aware"
+                                                          : "load-balancing";
+        util::Table table({"load (1/scale)", "requests", "grant rate", "mean S",
+                           "act. latency us", "preempts", "energy mJ"});
+        for (double scale : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+            const wl::ScenarioReport report = run_scenario(scale, policy);
+            table.add_row({util::to_fixed(1.0 / scale, 2),
+                           std::to_string(report.requests),
+                           util::to_fixed(report.grant_rate, 3),
+                           util::to_fixed(report.mean_similarity, 3),
+                           util::to_fixed(report.mean_activation_us, 0),
+                           std::to_string(report.preemptions),
+                           util::to_fixed(report.energy_mj, 1)});
+            csv.add_row({policy_name, util::to_fixed(scale, 2),
+                         std::to_string(report.requests),
+                         util::to_fixed(report.grant_rate, 4),
+                         util::to_fixed(report.mean_similarity, 4),
+                         util::to_fixed(report.mean_activation_us, 1),
+                         std::to_string(report.preemptions),
+                         util::to_fixed(report.energy_mj, 2)});
+        }
+        std::cout << table.render_with_title(std::string("Policy: ") + policy_name)
+                  << "\n";
+    }
+    (void)csv.write_file("bench_system_allocation.csv");
+    std::cout << "series written to bench_system_allocation.csv\n\n";
+}
+
+void bm_scenario_second(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            run_scenario(1.0, alloc::PolicyKind::similarity_first));
+    }
+}
+BENCHMARK(bm_scenario_second)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

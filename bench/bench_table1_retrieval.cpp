@@ -1,0 +1,116 @@
+// E1 / E9 — regenerates the paper's Table 1 (retrieval similarity example)
+// from the fig. 3 case base and request, in double precision and in the
+// Q15 datapath arithmetic, then micro-benchmarks the retrieval paths.
+//
+// Published values: FPGA S=0.85, DSP S=0.96 (best), GP-Proc S=0.43.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/request.hpp"
+#include "core/retrieval.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qfa;
+
+void print_table1() {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    const cbr::Request request = cbr::paper_example_request();
+    const cbr::Retriever retriever(cb, bounds);
+    const cbr::SchemaRegistry schemas = cbr::paper_example_schemas();
+
+    cbr::RetrievalOptions options;
+    options.n_best = 3;
+    options.collect_details = true;
+    const cbr::RetrievalResult result = retriever.retrieve(request, options);
+    const auto q15 = retriever.score_q15(request);
+
+    std::cout << "=== Table 1: retrieval similarity example (paper vs measured) ===\n\n";
+    // Per-implementation detail tables, in the paper's layout.
+    for (const cbr::Match& match : result.matches) {
+        util::Table table({"i (attribute)", "AReq_i", "ACB_i", "d", "dmax", "s_i"});
+        for (const cbr::LocalDetail& d : match.details) {
+            table.add_row({std::to_string(d.id.value()) + " (" +
+                               schemas.display_name(d.id) + ")",
+                           std::to_string(d.request_value),
+                           d.case_value ? std::to_string(*d.case_value) : "-",
+                           std::to_string(d.distance), std::to_string(d.dmax),
+                           util::to_fixed(d.similarity, 4)});
+        }
+        std::cout << table.render_with_title(
+            "Impl ID=" + std::to_string(match.impl.value()) + " : " +
+            cbr::target_name(match.target) + "  ->  S_global = " +
+            util::to_fixed(match.similarity, 2) + " (w_i = 1/3)");
+        std::cout << "\n";
+    }
+
+    util::Table summary(
+        {"Impl", "Target", "S paper", "S measured", "S measured (Q15)", "rank"});
+    const char* paper_s[] = {"0.96", "0.85", "0.43"};
+    for (std::size_t i = 0; i < result.matches.size(); ++i) {
+        const cbr::Match& m = result.matches[i];
+        double q15_s = 0.0;
+        for (const auto& q : q15) {
+            if (q.impl == m.impl) {
+                q15_s = q.similarity();
+            }
+        }
+        summary.add_row({std::to_string(m.impl.value()), cbr::target_name(m.target),
+                         paper_s[i], util::to_fixed(m.similarity, 4),
+                         util::to_fixed(q15_s, 4),
+                         i == 0 ? "best" : std::to_string(i + 1)});
+    }
+    std::cout << summary.render_with_title("Global similarities (descending)");
+    std::cout << "\nPaper ranking DSP > FPGA > GP-Proc reproduced: "
+              << (result.matches[0].target == cbr::Target::dsp ? "YES" : "NO") << "\n\n";
+}
+
+void bm_retrieve_double(benchmark::State& state) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    const cbr::Request request = cbr::paper_example_request();
+    const cbr::Retriever retriever(cb, bounds);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve(request));
+    }
+}
+BENCHMARK(bm_retrieve_double);
+
+void bm_retrieve_q15(benchmark::State& state) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    const cbr::Request request = cbr::paper_example_request();
+    const cbr::Retriever retriever(cb, bounds);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve_q15(request));
+    }
+}
+BENCHMARK(bm_retrieve_q15);
+
+void bm_retrieve_nbest3(benchmark::State& state) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    const cbr::Request request = cbr::paper_example_request();
+    const cbr::Retriever retriever(cb, bounds);
+    cbr::RetrievalOptions options;
+    options.n_best = 3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve(request, options));
+    }
+}
+BENCHMARK(bm_retrieve_nbest3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,105 @@
+// E2 — regenerates the paper's Table 2 (synthesis results on XC2V3000)
+// through the calibrated structural resource/timing model, with the
+// per-component breakdown and the n-best / compact extension deltas the
+// paper does not report, then benchmarks the cycle-accurate simulator.
+//
+// Published: 441 of 14336 CLB slices (3 %), 2 of 96 MULT18X18 (2 %),
+// 2 of 96 BRAMs (2 %), max clock 75 MHz.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/resource_model.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qfa;
+
+void print_table2() {
+    const rtl::Table2Reference paper;
+    const rtl::ResourceEstimate est = rtl::estimate_resources(rtl::ResourceModelConfig{});
+
+    std::cout << "=== Table 2: synthesis results (paper: ISE 6.2 on XC2V3000; "
+                 "measured: calibrated structural model) ===\n\n";
+    util::Table table({"Resource", "paper", "measured", "available", "util %"});
+    table.add_row({"CLB slices", std::to_string(paper.clb_slices),
+                   std::to_string(est.clb_slices),
+                   std::to_string(paper.clb_slices_available),
+                   util::to_fixed(rtl::utilisation_pct(est.clb_slices,
+                                                       paper.clb_slices_available),
+                                  1)});
+    table.add_row({"MULT18X18", std::to_string(paper.mult18x18),
+                   std::to_string(est.mult18x18), std::to_string(paper.mult_available),
+                   util::to_fixed(rtl::utilisation_pct(est.mult18x18,
+                                                       paper.mult_available), 1)});
+    table.add_row({"BRAM (18 Kbit)", std::to_string(paper.bram_blocks),
+                   std::to_string(est.bram_blocks), std::to_string(paper.bram_available),
+                   util::to_fixed(rtl::utilisation_pct(est.bram_blocks,
+                                                       paper.bram_available), 1)});
+    table.add_row({"max clock", util::human_hz(paper.fmax_mhz * 1e6),
+                   util::human_hz(est.fmax_mhz * 1e6), "-", "-"});
+    std::cout << table.render() << "\n";
+
+    util::Table breakdown({"Component", "slices"});
+    for (const rtl::ResourceItem& item : est.breakdown) {
+        breakdown.add_row({item.component, std::to_string(item.slices)});
+    }
+    std::cout << breakdown.render_with_title("Slice breakdown (model)") << "\n";
+
+    util::Table ext({"Configuration", "slices", "MULT", "fmax"});
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+        rtl::ResourceModelConfig config;
+        config.n_best = n;
+        const auto e = rtl::estimate_resources(config);
+        ext.add_row({"n-best = " + std::to_string(n), std::to_string(e.clb_slices),
+                     std::to_string(e.mult18x18), util::human_hz(e.fmax_mhz * 1e6)});
+    }
+    {
+        rtl::ResourceModelConfig config;
+        config.compact_blocks = true;
+        const auto e = rtl::estimate_resources(config);
+        ext.add_row({"compact blocks", std::to_string(e.clb_slices),
+                     std::to_string(e.mult18x18), util::human_hz(e.fmax_mhz * 1e6)});
+    }
+    std::cout << ext.render_with_title(
+        "Extension cost predictions (no published reference)") << "\n";
+}
+
+void bm_rtl_simulation(benchmark::State& state) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    const auto cb_image = mem::encode_case_base(cb, bounds);
+    const auto req_image = mem::encode_request(cbr::paper_example_request());
+    rtl::RetrievalUnit unit;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = unit.run(req_image, cb_image);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["sim_cycles_per_run"] =
+        static_cast<double>(cycles) / static_cast<double>(state.iterations());
+}
+BENCHMARK(bm_rtl_simulation);
+
+void bm_resource_estimate(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rtl::estimate_resources(rtl::ResourceModelConfig{}));
+    }
+}
+BENCHMARK(bm_resource_estimate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,88 @@
+// Automotive scenario — priorities and preemption on a shared platform.
+//
+// An infotainment app (low priority) fills the DSP; then the cruise-control
+// app (high priority) needs the same resource class.  The allocation
+// manager preempts the infotainment task for the safety function — and the
+// infotainment app renegotiates onto a weaker but free variant.
+//
+//   ./automotive
+#include <iostream>
+
+#include "alloc/api.hpp"
+#include "core/bounds.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace qfa;
+
+void show(const char* who, const alloc::CallResult& result) {
+    std::cout << who << ":\n";
+    for (const std::string& line : result.trace) {
+        std::cout << "    " << line << "\n";
+    }
+    if (result.ok) {
+        std::cout << "    -> impl " << result.grant->impl.impl.value() << " on "
+                  << cbr::target_name(result.grant->target) << " (S="
+                  << util::to_fixed(result.grant->similarity, 2)
+                  << ", preemptions=" << result.grant->preemptions << ")\n";
+    } else {
+        std::cout << "    -> not granted\n";
+    }
+}
+
+}  // namespace
+
+int main() {
+    const cbr::CaseBase catalogue = cbr::paper_example_case_base();
+    const cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    sys::Platform platform;
+    platform.repository().import_case_base(catalogue);
+    alloc::AllocationManager manager(platform, catalogue, bounds);
+
+    alloc::ApplicationApi infotainment(manager, 1);
+    alloc::ApplicationApi cruise_control(manager, 2);
+
+    // Infotainment grabs the DSP twice (audio processing), priority 8.
+    alloc::CallOptions media;
+    media.priority = 8;
+    std::cout << "=== Phase 1: infotainment fills the DSP ===\n";
+    const auto media1 = infotainment.call_function(
+        cbr::TypeId{1},
+        {{cbr::AttrId{1}, 16, 1.0}, {cbr::AttrId{3}, 1, 1.0}, {cbr::AttrId{4}, 44, 1.0}},
+        media);
+    show("infotainment call 1", media1);
+    const auto media2 = infotainment.call_function(
+        cbr::TypeId{1},
+        {{cbr::AttrId{1}, 16, 1.0}, {cbr::AttrId{3}, 1, 1.0}, {cbr::AttrId{4}, 44, 1.0}},
+        media);
+    show("infotainment call 2", media2);
+    std::cout << "DSP headroom now: " << platform.snapshot().dsp_headroom_pct << " %\n\n";
+
+    // Cruise control (priority 25) needs a DSP-grade filter *now*.
+    std::cout << "=== Phase 2: cruise control preempts ===\n";
+    alloc::CallOptions safety;
+    safety.priority = 25;
+    const auto safety_call = cruise_control.call_function(
+        cbr::TypeId{1},
+        {{cbr::AttrId{1}, 16, 1.0}, {cbr::AttrId{3}, 1, 1.0}, {cbr::AttrId{4}, 44, 1.0}},
+        safety);
+    show("cruise-control call", safety_call);
+    std::cout << "platform preemptions so far: " << platform.stats().preemptions << "\n\n";
+
+    // The preempted infotainment stream renegotiates; the DSP is partly
+    // taken, so it lands on the FPGA or the software variant.
+    std::cout << "=== Phase 3: infotainment renegotiates ===\n";
+    const auto recovered = infotainment.call_function(
+        cbr::TypeId{1},
+        {{cbr::AttrId{1}, 16, 1.0}, {cbr::AttrId{3}, 1, 1.0}, {cbr::AttrId{4}, 44, 1.0}},
+        media);
+    show("infotainment retry", recovered);
+
+    const sys::LoadSnapshot snap = platform.snapshot();
+    std::cout << "\nfinal load: DSP headroom " << snap.dsp_headroom_pct
+              << " %, CPU headroom " << snap.cpu_headroom_pct << " %, FPGA slots free "
+              << snap.fpgas[0].free_slots << "/" << snap.fpgas[0].total_slots
+              << ", power " << snap.power_mw << " mW\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Multimedia dashboard — the fig. 1 application mix under a timed scenario,
+// comparing allocation policies on the same workload.
+//
+// Four applications (MP3 player, video, automotive ECU, cruise control)
+// issue Zipf-popular, partly repeated function calls for one simulated
+// second; the scenario driver reports grant rate, mean similarity,
+// activation latency, preemptions and energy per allocation policy.
+//
+//   ./multimedia_dashboard
+#include <iostream>
+
+#include "alloc/manager.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+    using namespace qfa;
+
+    std::cout << "Generating a synthetic catalogue (15 types x 10 variants x 10 "
+                 "attributes, the Table 3 shape)...\n\n";
+
+    util::Table table({"policy", "requests", "grant rate", "bypass", "mean S",
+                       "act. latency", "preempts", "energy"});
+    for (const auto policy : {alloc::PolicyKind::similarity_first,
+                              alloc::PolicyKind::energy_aware,
+                              alloc::PolicyKind::load_balancing}) {
+        // Fresh, identically seeded world per policy: fair comparison.
+        util::Rng rng(31);
+        const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds({}, rng);
+        sys::Platform platform;
+        platform.repository().import_case_base(catalog.case_base);
+        alloc::AllocationManager manager(platform, catalog.case_base, catalog.bounds,
+                                         alloc::make_policy(policy));
+
+        util::Rng profile_rng(67);
+        std::vector<wl::AppProfile> apps = {
+            wl::make_profile(wl::AppKind::mp3_player, 1, catalog.case_base, profile_rng),
+            wl::make_profile(wl::AppKind::video, 2, catalog.case_base, profile_rng),
+            wl::make_profile(wl::AppKind::automotive_ecu, 3, catalog.case_base,
+                             profile_rng),
+            wl::make_profile(wl::AppKind::cruise_control, 4, catalog.case_base,
+                             profile_rng),
+        };
+        wl::ScenarioConfig config;
+        config.duration_us = 1'000'000;  // one simulated second
+        config.seed = 97;
+        wl::ScenarioDriver driver(platform, manager, catalog.case_base, catalog.bounds,
+                                  std::move(apps), config);
+        const wl::ScenarioReport report = driver.run();
+
+        const auto policy_name = alloc::make_policy(policy)->name();
+        table.add_row({policy_name, std::to_string(report.requests),
+                       util::to_fixed(report.grant_rate, 3),
+                       std::to_string(report.bypass_grants),
+                       util::to_fixed(report.mean_similarity, 3),
+                       util::to_fixed(report.mean_activation_us / 1000.0, 2) + " ms",
+                       std::to_string(report.preemptions),
+                       util::to_fixed(report.energy_mj, 1) + " mJ"});
+        std::cout << policy_name << ": " << report.summary() << "\n";
+    }
+    std::cout << "\n" << table.render_with_title(
+        "One simulated second, four applications, same seed per policy");
+    std::cout << "\nReading: energy-aware trades a little similarity for lower draw;\n"
+                 "load-balancing spreads onto idle devices and reduces preemptions.\n";
+    return 0;
+}

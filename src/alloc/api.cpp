@@ -1,0 +1,21 @@
+#include "alloc/api.hpp"
+
+namespace qfa::alloc {
+
+CallResult ApplicationApi::call_function(cbr::TypeId type,
+                                         std::vector<cbr::RequestAttribute> constraints,
+                                         const CallOptions& options) {
+    CallResult result;
+    AllocRequest request{app_, cbr::Request(type, std::move(constraints)),
+                         options.priority, options.threshold,
+                         /*n_best=*/4, options.allow_preemption};
+    const NegotiationResult negotiated =
+        negotiate(*manager_, request, options.negotiation);
+    result.ok = negotiated.granted();
+    result.grant = negotiated.grant;
+    result.negotiation_rounds = negotiated.rounds;
+    result.trace = negotiated.trace;
+    return result;
+}
+
+}  // namespace qfa::alloc

@@ -1,0 +1,55 @@
+// Application-API facade (the top interface of fig. 1).
+//
+// "The application level is separated from the lower system levels by an
+// Application-API which offers services for communication, sub-function
+// calls and quality of service (QoS) negotiation."  This facade gives each
+// application a handle-oriented call/end surface over the allocation
+// manager plus the negotiation loop.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "alloc/manager.hpp"
+#include "alloc/negotiation.hpp"
+
+namespace qfa::alloc {
+
+/// Per-call options.
+struct CallOptions {
+    sys::Priority priority = 10;
+    double threshold = 0.0;
+    bool allow_preemption = true;
+    NegotiationConfig negotiation{};
+};
+
+/// Result of a function call through the API.
+struct CallResult {
+    bool ok = false;
+    std::optional<Grant> grant;
+    std::size_t negotiation_rounds = 0;
+    std::vector<std::string> trace;
+};
+
+/// One application's view onto the allocation system.
+class ApplicationApi {
+public:
+    ApplicationApi(AllocationManager& manager, AppId app)
+        : manager_(&manager), app_(app) {}
+
+    /// Calls a function with QoS constraints; negotiates on contention.
+    [[nodiscard]] CallResult call_function(cbr::TypeId type,
+                                           std::vector<cbr::RequestAttribute> constraints,
+                                           const CallOptions& options = {});
+
+    /// Ends a previously granted function use.
+    bool end_function(sys::TaskId task) { return manager_->release(task); }
+
+    [[nodiscard]] AppId app() const noexcept { return app_; }
+
+private:
+    AllocationManager* manager_;
+    AppId app_;
+};
+
+}  // namespace qfa::alloc

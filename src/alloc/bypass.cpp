@@ -1,0 +1,68 @@
+#include "alloc/bypass.hpp"
+
+#include "util/contracts.hpp"
+
+namespace qfa::alloc {
+
+BypassCache::BypassCache(std::size_t capacity) : capacity_(capacity) {
+    QFA_EXPECTS(capacity >= 1, "bypass cache needs capacity");
+}
+
+void BypassCache::touch(std::uint64_t fingerprint) {
+    const auto it = map_.find(fingerprint);
+    QFA_ASSERT(it != map_.end(), "touch on absent entry");
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(fingerprint);
+    it->second.lru_pos = lru_.begin();
+}
+
+std::optional<BypassToken> BypassCache::lookup(std::uint64_t fingerprint,
+                                               std::uint64_t current_epoch) {
+    const auto it = map_.find(fingerprint);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    if (it->second.token.case_base_epoch != current_epoch) {
+        ++stats_.stale;
+        lru_.erase(it->second.lru_pos);
+        map_.erase(it);
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    touch(fingerprint);
+    return it->second.token;
+}
+
+void BypassCache::store(const BypassToken& token) {
+    const auto it = map_.find(token.fingerprint);
+    if (it != map_.end()) {
+        it->second.token = token;
+        touch(token.fingerprint);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        const std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        ++stats_.evictions;
+    }
+    lru_.push_front(token.fingerprint);
+    map_.emplace(token.fingerprint, Entry{token, lru_.begin()});
+}
+
+void BypassCache::invalidate(std::uint64_t fingerprint) {
+    const auto it = map_.find(fingerprint);
+    if (it == map_.end()) {
+        return;
+    }
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+}
+
+void BypassCache::clear() {
+    lru_.clear();
+    map_.clear();
+}
+
+}  // namespace qfa::alloc

@@ -1,0 +1,83 @@
+// Bypass tokens for repeated function calls (§3).
+//
+// "If a function was allocated and instantiated on hardware it is not
+// necessary to repeat the retrieval procedure at repeated function calls.
+// The allocation manager could create a kind of bypass-token containing
+// data on the previous selection which can be reused at repeated function
+// calls so that only an availability check on the function and its
+// allocated resources has to be done."
+//
+// Tokens are keyed by the request fingerprint (type + constraints +
+// weights) and invalidated by case-base epoch changes — a retained or
+// revised variant could alter the retrieval outcome, so stale-epoch tokens
+// force a fresh retrieval.  The cache is bounded with LRU eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "sysmodel/task.hpp"
+
+namespace qfa::alloc {
+
+/// A remembered retrieval outcome.
+struct BypassToken {
+    std::uint64_t fingerprint = 0;   ///< Request::fingerprint()
+    sys::ImplRef impl;               ///< the previously selected variant
+    double similarity = 0.0;         ///< its global similarity at selection
+    std::uint64_t case_base_epoch = 0;
+};
+
+/// Cache statistics.
+struct BypassStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale = 0;      ///< epoch mismatch: token dropped
+    std::uint64_t evictions = 0;  ///< LRU capacity evictions
+
+    [[nodiscard]] double hit_rate() const noexcept {
+        const std::uint64_t total = hits + misses + stale;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/// Bounded LRU cache of bypass tokens.
+class BypassCache {
+public:
+    explicit BypassCache(std::size_t capacity = 64);
+
+    /// Returns the token when present and minted at `current_epoch`;
+    /// epoch-mismatched tokens are dropped and counted as stale.
+    [[nodiscard]] std::optional<BypassToken> lookup(std::uint64_t fingerprint,
+                                                    std::uint64_t current_epoch);
+
+    /// Stores (or refreshes) a token, evicting the least recently used
+    /// entry when full.
+    void store(const BypassToken& token);
+
+    /// Drops one token (e.g. the variant was revised out).
+    void invalidate(std::uint64_t fingerprint);
+
+    /// Drops everything.
+    void clear();
+
+    [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] const BypassStats& stats() const noexcept { return stats_; }
+
+private:
+    void touch(std::uint64_t fingerprint);
+
+    std::size_t capacity_;
+    std::list<std::uint64_t> lru_;  ///< most recent at front
+    struct Entry {
+        BypassToken token;
+        std::list<std::uint64_t>::iterator lru_pos;
+    };
+    std::unordered_map<std::uint64_t, Entry> map_;
+    BypassStats stats_;
+};
+
+}  // namespace qfa::alloc

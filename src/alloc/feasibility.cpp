@@ -1,0 +1,40 @@
+#include "alloc/feasibility.hpp"
+
+namespace qfa::alloc {
+
+FeasibilityVerdict check_feasibility(const sys::Platform& platform, sys::ImplRef ref,
+                                     const cbr::Implementation& impl,
+                                     sys::Priority priority) {
+    FeasibilityVerdict verdict;
+
+    // Latency estimate: FLASH fetch plus configuration-port programming.
+    // (Queueing on the port is folded in by launch(); this is the floor.)
+    // A repository miss leaves the estimate at 0 — the launch will fail
+    // anyway and the manager reports it.
+    // Note: find() is const on the repository content but updates hit/miss
+    // counters, hence the const_cast-free access through the platform is
+    // not available here; we recompute from the implementation metadata.
+    const sys::ConfigBlob blob{impl.target, impl.meta.config_bytes};
+    verdict.estimated_ready_us =
+        static_cast<sys::SimTime>(impl.meta.config_bytes / 20.0) +
+        platform.reconfig().programming_time(blob);
+
+    if (auto plan = platform.find_placement(impl)) {
+        verdict.kind = FeasibilityKind::fits;
+        verdict.plan = *plan;
+        return verdict;
+    }
+
+    std::vector<sys::TaskId> victims = platform.preemption_candidates(impl, priority);
+    if (!victims.empty()) {
+        verdict.kind = FeasibilityKind::needs_preemption;
+        verdict.victims = std::move(victims);
+        return verdict;
+    }
+
+    verdict.kind = FeasibilityKind::infeasible;
+    (void)ref;
+    return verdict;
+}
+
+}  // namespace qfa::alloc

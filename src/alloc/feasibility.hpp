@@ -1,0 +1,48 @@
+// Feasibility checking of retrieval candidates against system load.
+//
+// §3: "The found set of implementation variants can be used for checking
+// the current system load and resource consumption state concerning the
+// feasibility of a best matching implementation out of it [...] It is
+// possible that the best matching implementation is not currently feasible
+// without preempting other active (hardware) tasks."
+//
+// The verdict distinguishes exactly those cases: fits now, fits only after
+// preempting named victims, or infeasible outright.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/case_base.hpp"
+#include "sysmodel/system.hpp"
+
+namespace qfa::alloc {
+
+/// How a candidate relates to the current load.
+enum class FeasibilityKind {
+    fits,              ///< free capacity available right now
+    needs_preemption,  ///< placeable only by evicting the listed victims
+    infeasible,        ///< no placement even with preemption
+};
+
+/// Result of one feasibility check.
+struct FeasibilityVerdict {
+    FeasibilityKind kind = FeasibilityKind::infeasible;
+    std::optional<sys::PlacementPlan> plan;   ///< set when kind == fits
+    std::vector<sys::TaskId> victims;         ///< set when needs_preemption
+    sys::SimTime estimated_ready_us = 0;      ///< FLASH fetch + programming + queue
+
+    [[nodiscard]] bool feasible() const noexcept {
+        return kind != FeasibilityKind::infeasible;
+    }
+};
+
+/// Checks one implementation variant against the platform state.
+/// `priority` is the priority the new task would run at (victims must be
+/// strictly lower-priority).
+[[nodiscard]] FeasibilityVerdict check_feasibility(const sys::Platform& platform,
+                                                   sys::ImplRef ref,
+                                                   const cbr::Implementation& impl,
+                                                   sys::Priority priority);
+
+}  // namespace qfa::alloc

@@ -1,0 +1,250 @@
+#include "alloc/manager.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace qfa::alloc {
+
+namespace {
+
+const SimilarityFirstPolicy kDefaultPolicy{};
+
+/// Bypass keys mix the application id into the request fingerprint so two
+/// applications with identical requests keep independent tokens.
+std::uint64_t bypass_key(AppId app, const cbr::Request& request) {
+    return request.fingerprint() ^ (0x9e3779b97f4a7c15ULL * (app + 1));
+}
+
+}  // namespace
+
+const char* reject_reason_name(RejectReason reason) noexcept {
+    switch (reason) {
+        case RejectReason::type_not_found: return "type-not-found";
+        case RejectReason::below_threshold: return "below-threshold";
+        case RejectReason::nothing_feasible: return "nothing-feasible";
+        case RejectReason::repository_miss: return "repository-miss";
+    }
+    return "?";
+}
+
+AllocationManager::AllocationManager(sys::Platform& platform, const cbr::CaseBase& cb,
+                                     const cbr::BoundsTable& bounds,
+                                     std::unique_ptr<AllocationPolicy> policy,
+                                     std::size_t bypass_capacity)
+    : platform_(&platform),
+      cb_(&cb),
+      bounds_(&bounds),
+      owned_policy_(std::move(policy)),
+      bypass_(bypass_capacity) {}
+
+void AllocationManager::rebind(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                               std::uint64_t epoch) {
+    cb_ = &cb;
+    bounds_ = &bounds;
+    case_base_epoch_ = epoch;
+}
+
+AllocationOutcome AllocationManager::launch_candidate(const AllocRequest& request,
+                                                      sys::ImplRef ref,
+                                                      const cbr::Implementation& impl,
+                                                      double similarity,
+                                                      const FeasibilityVerdict& feasibility,
+                                                      bool via_bypass) {
+    AllocationOutcome outcome;
+    std::uint64_t evicted = 0;
+
+    std::optional<sys::PlacementPlan> plan = feasibility.plan;
+    if (feasibility.kind == FeasibilityKind::needs_preemption) {
+        QFA_ASSERT(request.allow_preemption, "caller must gate preemption");
+        for (sys::TaskId victim : feasibility.victims) {
+            if (platform_->preempt(victim)) {
+                ++evicted;
+            }
+            if ((plan = platform_->find_placement(impl))) {
+                break;  // freed enough
+            }
+        }
+        stats_.preemptions += evicted;
+        if (!plan) {
+            outcome.kind = AllocationOutcome::Kind::rejected;
+            outcome.reject = RejectReason::nothing_feasible;
+            ++stats_.rejections;
+            return outcome;
+        }
+    }
+    QFA_ASSERT(plan.has_value(), "fits verdict must carry a plan");
+
+    const sys::LaunchOutcome launched =
+        platform_->launch(ref, impl, request.priority, *plan);
+    if (!launched.ok()) {
+        outcome.kind = AllocationOutcome::Kind::rejected;
+        outcome.reject = launched.error == sys::LaunchError::repository_miss
+                             ? RejectReason::repository_miss
+                             : RejectReason::nothing_feasible;
+        ++stats_.rejections;
+        return outcome;
+    }
+
+    // Mint/refresh the bypass token for repeated calls (§3).
+    bypass_.store(BypassToken{bypass_key(request.app, request.request), ref, similarity,
+                              case_base_epoch_});
+
+    outcome.kind = AllocationOutcome::Kind::granted;
+    outcome.grant = Grant{*launched.task, ref,           impl.target, similarity,
+                          launched.active_at, via_bypass, evicted};
+    ++stats_.grants;
+    if (via_bypass) {
+        ++stats_.bypass_grants;
+    }
+    return outcome;
+}
+
+AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
+    ++stats_.requests;
+    AllocationOutcome outcome;
+
+    // ---- 1. bypass path (§3) -------------------------------------------
+    const std::uint64_t key = bypass_key(request.app, request.request);
+    if (auto token = bypass_.lookup(key, case_base_epoch_)) {
+        const cbr::FunctionType* type = cb_->find_type(token->impl.type);
+        const cbr::Implementation* impl =
+            type != nullptr ? type->find_impl(token->impl.impl) : nullptr;
+        if (impl != nullptr) {
+            const FeasibilityVerdict feasibility =
+                check_feasibility(*platform_, token->impl, *impl, request.priority);
+            if (feasibility.kind == FeasibilityKind::fits) {
+                return launch_candidate(request, token->impl, *impl, token->similarity,
+                                        feasibility, /*via_bypass=*/true);
+            }
+        }
+        // Availability check failed: fall through to a fresh retrieval.
+        bypass_.invalidate(key);
+    }
+
+    // ---- 2. retrieval ---------------------------------------------------
+    ++stats_.retrievals;
+    const cbr::Retriever retriever(*cb_, *bounds_);
+    cbr::RetrievalOptions options;
+    options.n_best = request.n_best;
+    options.threshold = request.threshold;
+    const cbr::RetrievalResult retrieved = retriever.retrieve(request.request, options);
+    if (retrieved.status == cbr::RetrievalStatus::type_not_found) {
+        outcome.reject = RejectReason::type_not_found;
+        outcome.kind = AllocationOutcome::Kind::rejected;
+        ++stats_.rejections;
+        return outcome;
+    }
+    if (!retrieved.ok()) {
+        outcome.reject = RejectReason::below_threshold;
+        outcome.kind = AllocationOutcome::Kind::rejected;
+        ++stats_.rejections;
+        return outcome;
+    }
+
+    // ---- 3. feasibility of every candidate ------------------------------
+    const cbr::FunctionType* type = cb_->find_type(request.request.type());
+    QFA_ASSERT(type != nullptr, "retrieval succeeded, type must exist");
+    std::vector<Candidate> candidates;
+    candidates.reserve(retrieved.matches.size());
+    for (const cbr::Match& match : retrieved.matches) {
+        const cbr::Implementation* impl = type->find_impl(match.impl);
+        QFA_ASSERT(impl != nullptr, "retrieved candidate must exist in the tree");
+        Candidate candidate;
+        candidate.match = match;
+        candidate.impl = impl;
+        candidate.feasibility = check_feasibility(
+            *platform_, sys::ImplRef{type->id, match.impl}, *impl, request.priority);
+        if (!request.allow_preemption &&
+            candidate.feasibility.kind == FeasibilityKind::needs_preemption) {
+            candidate.feasibility.kind = FeasibilityKind::infeasible;
+            candidate.feasibility.victims.clear();
+        }
+        candidates.push_back(std::move(candidate));
+    }
+
+    // ---- 4. policy choice ------------------------------------------------
+    const AllocationPolicy& policy = owned_policy_ != nullptr
+                                         ? static_cast<const AllocationPolicy&>(*owned_policy_)
+                                         : static_cast<const AllocationPolicy&>(kDefaultPolicy);
+    const auto chosen = policy.pick(candidates, platform_->snapshot());
+    if (!chosen) {
+        outcome.reject = RejectReason::nothing_feasible;
+        outcome.kind = AllocationOutcome::Kind::rejected;
+        ++stats_.rejections;
+        return outcome;
+    }
+    const Candidate& choice = candidates[*chosen];
+
+    // ---- 5. grant or counter-offer ---------------------------------------
+    // §3: when the *best-matching* variant is infeasible but an alternative
+    // is, the application has to decide — counter-offer instead of silently
+    // degrading the QoS.
+    const bool best_degraded =
+        *chosen != 0 && !candidates[0].feasibility.feasible();
+    if (best_degraded) {
+        const std::uint64_t offer_id = next_offer_++;
+        pending_offers_.emplace(
+            offer_id,
+            PendingOffer{request, sys::ImplRef{type->id, choice.match.impl},
+                         choice.match.similarity});
+        outcome.kind = AllocationOutcome::Kind::counter_offer;
+        outcome.offer = CounterOffer{sys::ImplRef{type->id, candidates[0].match.impl},
+                                     candidates[0].match.similarity,
+                                     sys::ImplRef{type->id, choice.match.impl},
+                                     choice.match.similarity, offer_id};
+        ++stats_.counter_offers;
+        return outcome;
+    }
+
+    return launch_candidate(request, sys::ImplRef{type->id, choice.match.impl},
+                            *choice.impl, choice.match.similarity, choice.feasibility,
+                            /*via_bypass=*/false);
+}
+
+AllocationOutcome AllocationManager::accept_offer(std::uint64_t offer_id) {
+    AllocationOutcome outcome;
+    const auto it = pending_offers_.find(offer_id);
+    if (it == pending_offers_.end()) {
+        outcome.kind = AllocationOutcome::Kind::rejected;
+        outcome.reject = RejectReason::nothing_feasible;
+        return outcome;
+    }
+    const PendingOffer pending = it->second;
+    pending_offers_.erase(it);
+    ++stats_.offers_accepted;
+
+    const cbr::FunctionType* type = cb_->find_type(pending.alternative.type);
+    const cbr::Implementation* impl =
+        type != nullptr ? type->find_impl(pending.alternative.impl) : nullptr;
+    if (impl == nullptr) {
+        outcome.kind = AllocationOutcome::Kind::rejected;
+        outcome.reject = RejectReason::nothing_feasible;
+        ++stats_.rejections;
+        return outcome;
+    }
+    const FeasibilityVerdict feasibility = check_feasibility(
+        *platform_, pending.alternative, *impl, pending.request.priority);
+    if (!feasibility.feasible() ||
+        (!pending.request.allow_preemption &&
+         feasibility.kind == FeasibilityKind::needs_preemption)) {
+        outcome.kind = AllocationOutcome::Kind::rejected;
+        outcome.reject = RejectReason::nothing_feasible;
+        ++stats_.rejections;
+        return outcome;
+    }
+    return launch_candidate(pending.request, pending.alternative, *impl,
+                            pending.similarity, feasibility, /*via_bypass=*/false);
+}
+
+void AllocationManager::reject_offer(std::uint64_t offer_id) {
+    if (pending_offers_.erase(offer_id) > 0) {
+        ++stats_.offers_rejected;
+    }
+}
+
+bool AllocationManager::release(sys::TaskId task) {
+    return platform_->release(task);
+}
+
+}  // namespace qfa::alloc

@@ -1,0 +1,154 @@
+// The function-allocation manager — fig. 1's middle layer.
+//
+// On a function call with QoS constraints the manager:
+//   1. consults the bypass cache (§3) — a valid token skips retrieval and
+//      goes straight to the availability check;
+//   2. otherwise runs n-best CBR retrieval with the configured threshold;
+//   3. checks candidate feasibility against the platform load;
+//   4. lets the allocation policy choose among feasible candidates;
+//   5. launches the chosen variant (preempting lower-priority victims when
+//      allowed), or — when the *best-matching* variant is infeasible but an
+//      alternative is — returns a counter-offer the application must decide
+//      on (§2/§3's QoS negotiation);
+//   6. on rejection the application can relax the request and retry (§3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "alloc/bypass.hpp"
+#include "alloc/feasibility.hpp"
+#include "alloc/policies.hpp"
+#include "core/bounds.hpp"
+#include "core/request.hpp"
+#include "core/retrieval.hpp"
+#include "sysmodel/system.hpp"
+
+namespace qfa::alloc {
+
+/// Application identifier (for per-app accounting and bypass keying).
+using AppId = std::uint16_t;
+
+/// One allocation request from an application.
+struct AllocRequest {
+    AppId app = 0;
+    cbr::Request request;
+    sys::Priority priority = 10;
+    double threshold = 0.0;        ///< reject candidates below (§3)
+    std::size_t n_best = 4;        ///< retrieval width for alternatives
+    bool allow_preemption = true;  ///< may evict lower-priority tasks
+};
+
+/// Granted allocation.
+struct Grant {
+    sys::TaskId task;
+    sys::ImplRef impl;
+    cbr::Target target = cbr::Target::gpp;
+    double similarity = 0.0;
+    sys::SimTime active_at = 0;
+    bool via_bypass = false;
+    std::uint64_t preemptions = 0;  ///< victims evicted for this grant
+};
+
+/// Alternative offered when the best match is not feasible (§3).
+struct CounterOffer {
+    sys::ImplRef best_infeasible;      ///< what the application asked for
+    double best_similarity = 0.0;
+    sys::ImplRef alternative;          ///< what the system can deliver now
+    double alternative_similarity = 0.0;
+    std::uint64_t offer_id = 0;        ///< pass to accept_offer / reject_offer
+};
+
+/// Why an allocation failed outright.
+enum class RejectReason {
+    type_not_found,       ///< unknown function type (design error, §3)
+    below_threshold,      ///< no candidate passed the similarity threshold
+    nothing_feasible,     ///< candidates exist but none fits, even preempting
+    repository_miss,      ///< configuration data missing for the choice
+};
+
+[[nodiscard]] const char* reject_reason_name(RejectReason reason) noexcept;
+
+/// Tri-state allocation outcome.
+struct AllocationOutcome {
+    enum class Kind { granted, counter_offer, rejected };
+    Kind kind = Kind::rejected;
+    std::optional<Grant> grant;
+    std::optional<CounterOffer> offer;
+    std::optional<RejectReason> reject;
+
+    [[nodiscard]] bool granted() const noexcept { return kind == Kind::granted; }
+};
+
+/// Manager counters (E10/E11 benches).
+struct ManagerStats {
+    std::uint64_t requests = 0;
+    std::uint64_t retrievals = 0;
+    std::uint64_t bypass_grants = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t counter_offers = 0;
+    std::uint64_t offers_accepted = 0;
+    std::uint64_t offers_rejected = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t preemptions = 0;
+};
+
+/// The allocation manager.
+class AllocationManager {
+public:
+    /// Binds platform and catalogue.  The case base, bounds and policy must
+    /// outlive the manager (policy defaults to similarity-first).
+    AllocationManager(sys::Platform& platform, const cbr::CaseBase& cb,
+                      const cbr::BoundsTable& bounds,
+                      std::unique_ptr<AllocationPolicy> policy = nullptr,
+                      std::size_t bypass_capacity = 64);
+
+    /// Handles one function call.
+    AllocationOutcome allocate(const AllocRequest& request);
+
+    /// Accepts a pending counter-offer: launches the alternative.
+    AllocationOutcome accept_offer(std::uint64_t offer_id);
+
+    /// Declines a pending counter-offer.
+    void reject_offer(std::uint64_t offer_id);
+
+    /// Ends a function use; frees the task's resources.
+    bool release(sys::TaskId task);
+
+    /// Swaps in an updated catalogue (dynamic case base).  `epoch` must
+    /// change whenever content changed — it invalidates bypass tokens.
+    void rebind(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                std::uint64_t epoch);
+
+    [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const BypassStats& bypass_stats() const noexcept {
+        return bypass_.stats();
+    }
+
+private:
+    struct PendingOffer {
+        AllocRequest request;
+        sys::ImplRef alternative;
+        double similarity = 0.0;
+    };
+
+    /// Launches one candidate (preempting when required & allowed).
+    AllocationOutcome launch_candidate(const AllocRequest& request, sys::ImplRef ref,
+                                       const cbr::Implementation& impl, double similarity,
+                                       const FeasibilityVerdict& feasibility,
+                                       bool via_bypass);
+
+    sys::Platform* platform_;
+    const cbr::CaseBase* cb_;
+    const cbr::BoundsTable* bounds_;
+    std::unique_ptr<AllocationPolicy> owned_policy_;
+    BypassCache bypass_;
+    std::uint64_t case_base_epoch_ = 0;
+    std::unordered_map<std::uint64_t, PendingOffer> pending_offers_;
+    std::uint64_t next_offer_ = 1;
+    ManagerStats stats_;
+};
+
+}  // namespace qfa::alloc

@@ -1,0 +1,86 @@
+#include "alloc/negotiation.hpp"
+
+#include "util/strings.hpp"
+
+namespace qfa::alloc {
+
+NegotiationResult negotiate(AllocationManager& manager, const AllocRequest& initial,
+                            const NegotiationConfig& config) {
+    NegotiationResult result;
+    AllocRequest current = initial;
+
+    for (std::size_t round = 0; round < config.max_rounds; ++round) {
+        ++result.rounds;
+        const AllocationOutcome outcome = manager.allocate(current);
+
+        if (outcome.granted()) {
+            result.end = NegotiationEnd::granted;
+            result.grant = outcome.grant;
+            result.trace.push_back(
+                "round " + std::to_string(round + 1) + ": granted " +
+                cbr::to_string(outcome.grant->impl.impl) + " (S=" +
+                util::to_fixed(outcome.grant->similarity, 2) +
+                (outcome.grant->via_bypass ? ", bypass)" : ")"));
+            return result;
+        }
+
+        if (outcome.kind == AllocationOutcome::Kind::counter_offer) {
+            const CounterOffer& offer = *outcome.offer;
+            if (config.accept_counter_offers) {
+                const AllocationOutcome accepted = manager.accept_offer(offer.offer_id);
+                if (accepted.granted()) {
+                    result.end = NegotiationEnd::granted;
+                    result.grant = accepted.grant;
+                    result.trace.push_back(
+                        "round " + std::to_string(round + 1) + ": accepted alternative " +
+                        cbr::to_string(offer.alternative.impl) + " (S=" +
+                        util::to_fixed(offer.alternative_similarity, 2) + " instead of " +
+                        util::to_fixed(offer.best_similarity, 2) + ")");
+                    return result;
+                }
+                result.trace.push_back("round " + std::to_string(round + 1) +
+                                       ": alternative vanished, relaxing");
+            } else {
+                manager.reject_offer(offer.offer_id);
+                result.trace.push_back("round " + std::to_string(round + 1) +
+                                       ": declined counter-offer, relaxing");
+            }
+        } else {
+            result.trace.push_back(
+                "round " + std::to_string(round + 1) + ": rejected (" +
+                reject_reason_name(*outcome.reject) + "), relaxing");
+            if (*outcome.reject == RejectReason::type_not_found) {
+                // Relaxing cannot conjure an unknown type (§3: the type set
+                // is fixed at design time).
+                result.end = NegotiationEnd::exhausted;
+                return result;
+            }
+        }
+
+        // ---- relax for the next round (§3) -------------------------------
+        bool relaxed = false;
+        if (current.threshold > 1e-6) {
+            current.threshold *= config.threshold_decay;
+            if (current.threshold < 1e-3) {
+                current.threshold = 0.0;
+            }
+            relaxed = true;
+        }
+        if (config.drop_weakest) {
+            if (auto weaker = current.request.without_weakest_constraint()) {
+                current.request = std::move(*weaker);
+                relaxed = true;
+            }
+        }
+        if (!relaxed && round + 1 < config.max_rounds) {
+            // Nothing left to relax: one final as-is retry is pointless.
+            result.end = config.accept_counter_offers ? NegotiationEnd::exhausted
+                                                      : NegotiationEnd::offer_declined;
+            return result;
+        }
+    }
+    result.end = NegotiationEnd::exhausted;
+    return result;
+}
+
+}  // namespace qfa::alloc

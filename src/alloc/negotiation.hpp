@@ -1,0 +1,54 @@
+// QoS negotiation: the application-side relax-and-retry protocol.
+//
+// §3: "It is still possible that no matching feasible variant was found so
+// that the application has to repeat its request with rather relaxed
+// constraints giving a chance to the third low performance implementation.
+// Otherwise the application can not call the function."
+//
+// A NegotiationSession drives that loop against the allocation manager:
+// each round either succeeds, accepts/declines a counter-offer per the
+// configured policy, or relaxes the request (lower threshold, then drop the
+// weakest-weighted constraint) and retries — up to a round budget.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/manager.hpp"
+
+namespace qfa::alloc {
+
+/// Session knobs.
+struct NegotiationConfig {
+    std::size_t max_rounds = 4;
+    double threshold_decay = 0.5;     ///< threshold *= decay on each relax
+    bool drop_weakest = true;         ///< drop lowest-weight constraint too
+    bool accept_counter_offers = true;
+};
+
+/// Why a session ended.
+enum class NegotiationEnd {
+    granted,          ///< a variant was allocated
+    offer_declined,   ///< counter-offer refused by configuration and no retry left
+    exhausted,        ///< round budget used up / nothing left to relax
+};
+
+/// Session outcome with a human-readable round trace.
+struct NegotiationResult {
+    NegotiationEnd end = NegotiationEnd::exhausted;
+    std::optional<Grant> grant;
+    std::size_t rounds = 0;
+    std::vector<std::string> trace;  ///< one line per round, for logs/examples
+
+    [[nodiscard]] bool granted() const noexcept {
+        return end == NegotiationEnd::granted;
+    }
+};
+
+/// Runs one complete negotiation for `initial` against `manager`.
+[[nodiscard]] NegotiationResult negotiate(AllocationManager& manager,
+                                          const AllocRequest& initial,
+                                          const NegotiationConfig& config = {});
+
+}  // namespace qfa::alloc

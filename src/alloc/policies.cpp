@@ -1,0 +1,120 @@
+#include "alloc/policies.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace qfa::alloc {
+
+namespace {
+
+/// Highest feasible similarity, or nullopt when nothing is feasible.
+std::optional<double> best_feasible_similarity(std::span<const Candidate> candidates) {
+    std::optional<double> best;
+    for (const Candidate& c : candidates) {
+        if (c.feasibility.feasible()) {
+            if (!best || c.match.similarity > *best) {
+                best = c.match.similarity;
+            }
+        }
+    }
+    return best;
+}
+
+/// Device utilisation of a candidate's target under the given snapshot.
+double target_utilisation(const Candidate& c, const sys::LoadSnapshot& load) {
+    switch (c.impl->target) {
+        case cbr::Target::fpga: {
+            // Use the least-loaded FPGA (where the variant would land).
+            double lowest = 1.0;
+            for (const auto& view : load.fpgas) {
+                lowest = std::min(lowest, view.occupancy);
+            }
+            return lowest;
+        }
+        case cbr::Target::dsp:
+            return load.has_dsp
+                       ? 1.0 - static_cast<double>(load.dsp_headroom_pct) / 100.0
+                       : 1.0;
+        case cbr::Target::gpp:
+            return 1.0 - static_cast<double>(load.cpu_headroom_pct) / 100.0;
+    }
+    return 1.0;
+}
+
+}  // namespace
+
+std::optional<std::size_t> SimilarityFirstPolicy::pick(
+    std::span<const Candidate> candidates, const sys::LoadSnapshot& load) const {
+    (void)load;
+    // Candidates arrive sorted by similarity: take the first feasible one.
+    // A best match that needs preemption wins over a clean-fitting weaker
+    // alternative — §3 reserves silent QoS degradation for the counter-
+    // offer path, where the application decides.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].feasibility.feasible()) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t> EnergyAwarePolicy::pick(std::span<const Candidate> candidates,
+                                                   const sys::LoadSnapshot& load) const {
+    (void)load;
+    const auto best = best_feasible_similarity(candidates);
+    if (!best) {
+        return std::nullopt;
+    }
+    std::optional<std::size_t> chosen;
+    std::uint32_t lowest_power = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Candidate& c = candidates[i];
+        if (!c.feasibility.feasible() || c.match.similarity < *best - slack_) {
+            continue;
+        }
+        const std::uint32_t power =
+            c.impl->meta.static_power_mw + c.impl->meta.dynamic_power_mw;
+        if (!chosen || power < lowest_power) {
+            chosen = i;
+            lowest_power = power;
+        }
+    }
+    return chosen;
+}
+
+std::optional<std::size_t> LoadBalancingPolicy::pick(std::span<const Candidate> candidates,
+                                                     const sys::LoadSnapshot& load) const {
+    const auto best = best_feasible_similarity(candidates);
+    if (!best) {
+        return std::nullopt;
+    }
+    std::optional<std::size_t> chosen;
+    double lowest_util = 2.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Candidate& c = candidates[i];
+        if (!c.feasibility.feasible() || c.match.similarity < *best - slack_) {
+            continue;
+        }
+        const double util = target_utilisation(c, load);
+        if (!chosen || util < lowest_util) {
+            chosen = i;
+            lowest_util = util;
+        }
+    }
+    return chosen;
+}
+
+std::unique_ptr<AllocationPolicy> make_policy(PolicyKind kind, double slack) {
+    switch (kind) {
+        case PolicyKind::similarity_first:
+            return std::make_unique<SimilarityFirstPolicy>();
+        case PolicyKind::energy_aware:
+            return std::make_unique<EnergyAwarePolicy>(slack);
+        case PolicyKind::load_balancing:
+            return std::make_unique<LoadBalancingPolicy>(slack);
+    }
+    QFA_ASSERT(false, "unknown policy kind");
+}
+
+}  // namespace qfa::alloc

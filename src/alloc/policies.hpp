@@ -1,0 +1,86 @@
+// Allocation policies: which feasible candidate gets the grant.
+//
+// Retrieval ranks candidates by QoS similarity; the policy decides among
+// the *feasible* ones.  The paper's implied policy is similarity-first;
+// the energy-aware and load-balancing alternatives realise the intro's
+// "increases of system-performance and energy/power-efficiency" claim and
+// are compared in the E10 bench.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "alloc/feasibility.hpp"
+#include "core/retrieval.hpp"
+#include "sysmodel/system.hpp"
+
+namespace qfa::alloc {
+
+/// One retrieval candidate with its feasibility verdict.
+struct Candidate {
+    cbr::Match match;                  ///< similarity + ids (from retrieval)
+    const cbr::Implementation* impl = nullptr;
+    FeasibilityVerdict feasibility;
+};
+
+/// Strategy interface.
+class AllocationPolicy {
+public:
+    virtual ~AllocationPolicy() = default;
+
+    /// Index of the candidate to allocate, or nullopt when none is
+    /// acceptable.  Candidates arrive in descending similarity order;
+    /// implementations must only return feasible candidates.
+    [[nodiscard]] virtual std::optional<std::size_t> pick(
+        std::span<const Candidate> candidates, const sys::LoadSnapshot& load) const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Highest similarity wins: the first feasible candidate in rank order is
+/// taken, preempting lower-priority tasks when that is what it takes — §3
+/// reserves QoS degradation for the application-visible counter-offer.
+class SimilarityFirstPolicy final : public AllocationPolicy {
+public:
+    [[nodiscard]] std::optional<std::size_t> pick(
+        std::span<const Candidate> candidates,
+        const sys::LoadSnapshot& load) const override;
+    [[nodiscard]] std::string name() const override { return "similarity-first"; }
+};
+
+/// Among candidates within `slack` of the best feasible similarity, pick
+/// the lowest-power variant (static + dynamic draw).
+class EnergyAwarePolicy final : public AllocationPolicy {
+public:
+    explicit EnergyAwarePolicy(double slack = 0.1) : slack_(slack) {}
+    [[nodiscard]] std::optional<std::size_t> pick(
+        std::span<const Candidate> candidates,
+        const sys::LoadSnapshot& load) const override;
+    [[nodiscard]] std::string name() const override { return "energy-aware"; }
+
+private:
+    double slack_;
+};
+
+/// Among candidates within `slack` of the best feasible similarity, pick
+/// the one whose target device is least utilised.
+class LoadBalancingPolicy final : public AllocationPolicy {
+public:
+    explicit LoadBalancingPolicy(double slack = 0.1) : slack_(slack) {}
+    [[nodiscard]] std::optional<std::size_t> pick(
+        std::span<const Candidate> candidates,
+        const sys::LoadSnapshot& load) const override;
+    [[nodiscard]] std::string name() const override { return "load-balancing"; }
+
+private:
+    double slack_;
+};
+
+/// Named policy kinds for configuration surfaces.
+enum class PolicyKind { similarity_first, energy_aware, load_balancing };
+
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_policy(PolicyKind kind,
+                                                            double slack = 0.1);
+
+}  // namespace qfa::alloc

@@ -1,0 +1,82 @@
+#include "core/amalgamation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace qfa::cbr {
+
+namespace {
+
+void check_inputs(std::span<const double> locals, std::span<const double> weights) {
+    QFA_EXPECTS(locals.size() == weights.size(),
+                "amalgamation needs one weight per local similarity");
+    QFA_EXPECTS(!locals.empty(), "amalgamation needs at least one local similarity");
+}
+
+}  // namespace
+
+double WeightedSum::combine(std::span<const double> locals,
+                            std::span<const double> weights) const {
+    check_inputs(locals, weights);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+        sum += weights[i] * locals[i];
+    }
+    return std::clamp(sum, 0.0, 1.0);
+}
+
+double MinAmalgamation::combine(std::span<const double> locals,
+                                std::span<const double> weights) const {
+    check_inputs(locals, weights);
+    return *std::min_element(locals.begin(), locals.end());
+}
+
+double MaxAmalgamation::combine(std::span<const double> locals,
+                                std::span<const double> weights) const {
+    check_inputs(locals, weights);
+    return *std::max_element(locals.begin(), locals.end());
+}
+
+double OrderedWeightedAverage::combine(std::span<const double> locals,
+                                       std::span<const double> weights) const {
+    check_inputs(locals, weights);
+    std::vector<double> sorted(locals.begin(), locals.end());
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        sum += weights[i] * sorted[i];
+    }
+    return std::clamp(sum, 0.0, 1.0);
+}
+
+double WeightedEuclidean::combine(std::span<const double> locals,
+                                  std::span<const double> weights) const {
+    check_inputs(locals, weights);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+        const double miss = 1.0 - locals[i];
+        sum += weights[i] * miss * miss;
+    }
+    return std::clamp(1.0 - std::sqrt(sum), 0.0, 1.0);
+}
+
+std::unique_ptr<Amalgamation> make_amalgamation(AmalgamationKind kind) {
+    switch (kind) {
+        case AmalgamationKind::weighted_sum:
+            return std::make_unique<WeightedSum>();
+        case AmalgamationKind::minimum:
+            return std::make_unique<MinAmalgamation>();
+        case AmalgamationKind::maximum:
+            return std::make_unique<MaxAmalgamation>();
+        case AmalgamationKind::owa:
+            return std::make_unique<OrderedWeightedAverage>();
+        case AmalgamationKind::weighted_euclidean:
+            return std::make_unique<WeightedEuclidean>();
+    }
+    QFA_ASSERT(false, "unknown amalgamation kind");
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,85 @@
+// Amalgamation functions — eq. (2) of the paper.
+//
+// An amalgamation function S_global maps the vector of local similarities
+// (a point in the cube [0,1]^n) back to a scalar in [0,1].  §2.2 requires it
+// to be monotone in every argument with S(0,...,0)=0 and S(1,...,1)=1, and
+// the paper uses the weighted sum.  Alternatives (minimum = fully
+// conjunctive, maximum = fully disjunctive, ordered weighted average) are
+// provided for the design-choice ablation; all satisfy the same axioms,
+// which the property tests check.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace qfa::cbr {
+
+/// Interface of a global similarity amalgamation.
+///
+/// combine() expects locals and weights of equal size; weights are
+/// normalized (Σ w_i = 1).  Implementations must be monotone in every local
+/// similarity and map the all-zero / all-one vectors to 0 / 1.
+class Amalgamation {
+public:
+    virtual ~Amalgamation() = default;
+
+    /// Combines local similarities into the global similarity in [0, 1].
+    [[nodiscard]] virtual double combine(std::span<const double> locals,
+                                         std::span<const double> weights) const = 0;
+
+    /// Display name for benches and logs.
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Eq. (2): S = Σ w_i · s_i — the paper's choice.
+class WeightedSum final : public Amalgamation {
+public:
+    [[nodiscard]] double combine(std::span<const double> locals,
+                                 std::span<const double> weights) const override;
+    [[nodiscard]] std::string name() const override { return "weighted-sum"; }
+};
+
+/// S = min_i s_i: every constraint must match (weights ignored).
+class MinAmalgamation final : public Amalgamation {
+public:
+    [[nodiscard]] double combine(std::span<const double> locals,
+                                 std::span<const double> weights) const override;
+    [[nodiscard]] std::string name() const override { return "minimum"; }
+};
+
+/// S = max_i s_i: any constraint may carry the match (weights ignored).
+class MaxAmalgamation final : public Amalgamation {
+public:
+    [[nodiscard]] double combine(std::span<const double> locals,
+                                 std::span<const double> weights) const override;
+    [[nodiscard]] std::string name() const override { return "maximum"; }
+};
+
+/// Ordered weighted average: weights are applied to the locals sorted in
+/// descending order, so weight i expresses "importance of the i-th best
+/// match" rather than of a particular attribute.
+class OrderedWeightedAverage final : public Amalgamation {
+public:
+    [[nodiscard]] double combine(std::span<const double> locals,
+                                 std::span<const double> weights) const override;
+    [[nodiscard]] std::string name() const override { return "ordered-weighted-average"; }
+};
+
+/// Weighted Euclidean amalgamation: S = 1 - sqrt(Σ w_i (1-s_i)^2).
+/// Together with LocalMetric::manhattan this gives the Euclidean global
+/// measure mentioned in §2.2 as an alternative.
+class WeightedEuclidean final : public Amalgamation {
+public:
+    [[nodiscard]] double combine(std::span<const double> locals,
+                                 std::span<const double> weights) const override;
+    [[nodiscard]] std::string name() const override { return "weighted-euclidean"; }
+};
+
+/// Named amalgamation kinds for configuration surfaces.
+enum class AmalgamationKind { weighted_sum, minimum, maximum, owa, weighted_euclidean };
+
+/// Factory for the named kinds.
+[[nodiscard]] std::unique_ptr<Amalgamation> make_amalgamation(AmalgamationKind kind);
+
+}  // namespace qfa::cbr

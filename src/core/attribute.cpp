@@ -1,0 +1,49 @@
+#include "core/attribute.hpp"
+
+#include <algorithm>
+
+namespace qfa::cbr {
+
+bool attributes_strictly_sorted(std::span<const Attribute> attrs) noexcept {
+    for (std::size_t i = 1; i < attrs.size(); ++i) {
+        if (!(attrs[i - 1].id < attrs[i].id)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::optional<AttrValue> find_attribute(std::span<const Attribute> attrs, AttrId id) noexcept {
+    const auto it = std::lower_bound(
+        attrs.begin(), attrs.end(), id,
+        [](const Attribute& a, AttrId target) { return a.id < target; });
+    if (it != attrs.end() && it->id == id) {
+        return it->value;
+    }
+    return std::nullopt;
+}
+
+void SchemaRegistry::add(AttrSchema schema) {
+    schemas_[schema.id] = std::move(schema);
+}
+
+const AttrSchema* SchemaRegistry::find(AttrId id) const noexcept {
+    const auto it = schemas_.find(id);
+    return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::string SchemaRegistry::display_name(AttrId id) const {
+    const AttrSchema* schema = find(id);
+    return schema != nullptr ? schema->name : to_string(id);
+}
+
+SchemaRegistry paper_example_schemas() {
+    SchemaRegistry registry;
+    registry.add({AttrId{1}, "bitwidth", "bit", false});
+    registry.add({AttrId{2}, "processing-mode", "", true});   // 0=integer, 1=float
+    registry.add({AttrId{3}, "output-mode", "", true});       // 0=mono,1=stereo,2=surround
+    registry.add({AttrId{4}, "sampling-rate", "kS/s", false});
+    return registry;
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,78 @@
+// Attribute model: (id, value) pairs plus optional designer schemas.
+//
+// §2.2: cases are "sets of simple pairs of attributes and their values";
+// values are integers (or symbols mapped onto integers) in 16-bit words.
+// Typical attribute types named by the paper: data rates, discrete
+// processing modes, power consumption, code/bitstream sizes, response
+// times, frame sizes, bit-error rates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace qfa::cbr {
+
+/// 16-bit attribute value, as fixed by the paper's hardware (§4.2).
+using AttrValue = std::uint16_t;
+
+/// One (attribute-id, value) pair of an implementation description.
+struct Attribute {
+    AttrId id;
+    AttrValue value = 0;
+
+    friend constexpr bool operator==(const Attribute&, const Attribute&) noexcept = default;
+};
+
+/// Orders attributes by id — the pre-sorting required by figs. 4/5.
+[[nodiscard]] constexpr bool attr_id_less(const Attribute& a, const Attribute& b) noexcept {
+    return a.id < b.id;
+}
+
+/// True if the span is strictly ascending by attribute id (sorted, no
+/// duplicates) — the structural invariant of every list in the paper.
+[[nodiscard]] bool attributes_strictly_sorted(std::span<const Attribute> attrs) noexcept;
+
+/// Binary search for an attribute id in a sorted attribute list.
+[[nodiscard]] std::optional<AttrValue> find_attribute(std::span<const Attribute> attrs,
+                                                      AttrId id) noexcept;
+
+/// Designer-supplied description of one attribute type: used for
+/// pretty-printing, unit bookkeeping and workload generation.  Purely
+/// informational — retrieval itself only needs ids and values.
+struct AttrSchema {
+    AttrId id;
+    std::string name;         ///< e.g. "bitwidth", "sampling-rate"
+    std::string unit;         ///< e.g. "bit", "kS/s", "mW"
+    bool symbolic = false;    ///< true for enumerations mapped onto integers
+};
+
+/// Registry of attribute schemas keyed by id.
+class SchemaRegistry {
+public:
+    /// Registers (or replaces) a schema.
+    void add(AttrSchema schema);
+
+    /// Looks up a schema; nullptr when the id is unknown.
+    [[nodiscard]] const AttrSchema* find(AttrId id) const noexcept;
+
+    /// Name for display: schema name or "attr#N" fallback.
+    [[nodiscard]] std::string display_name(AttrId id) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return schemas_.size(); }
+
+private:
+    std::unordered_map<AttrId, AttrSchema> schemas_;
+};
+
+/// The schema set used by the paper's running example (fig. 3): bitwidth,
+/// processing mode (integer/float), output mode (mono/stereo/surround) and
+/// sampling rate.
+[[nodiscard]] SchemaRegistry paper_example_schemas();
+
+}  // namespace qfa::cbr

@@ -1,0 +1,71 @@
+#include "core/bounds.hpp"
+
+#include <stdexcept>
+
+#include "fixed/reciprocal.hpp"
+
+namespace qfa::cbr {
+
+BoundsTable::BoundsTable(std::map<AttrId, AttrBounds> bounds) : bounds_(std::move(bounds)) {
+    for (const auto& [id, b] : bounds_) {
+        if (b.lower > b.upper) {
+            throw std::invalid_argument("bounds of " + to_string(id) +
+                                        " have lower > upper");
+        }
+    }
+}
+
+BoundsTable BoundsTable::from_case_base(const CaseBase& cb) {
+    BoundsTable table;
+    for (const FunctionType& type : cb.types()) {
+        for (const Implementation& impl : type.impls) {
+            for (const Attribute& attr : impl.attributes) {
+                table.cover(attr.id, attr.value);
+            }
+        }
+    }
+    return table;
+}
+
+void BoundsTable::cover(AttrId id, AttrValue value) {
+    const auto it = bounds_.find(id);
+    if (it == bounds_.end()) {
+        bounds_.emplace(id, AttrBounds{value, value});
+        return;
+    }
+    AttrBounds& b = it->second;
+    if (value < b.lower) {
+        b.lower = value;
+    }
+    if (value > b.upper) {
+        b.upper = value;
+    }
+}
+
+std::optional<AttrBounds> BoundsTable::find(AttrId id) const noexcept {
+    const auto it = bounds_.find(id);
+    if (it == bounds_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::uint32_t BoundsTable::dmax(AttrId id) const noexcept {
+    const auto b = find(id);
+    return b ? b->dmax() : 0;
+}
+
+fx::Q15 BoundsTable::reciprocal(AttrId id) const noexcept {
+    return fx::reciprocal_q15(dmax(id));
+}
+
+BoundsTable paper_example_bounds() {
+    return BoundsTable({
+        {AttrId{1}, AttrBounds{8, 16}},   // bitwidth: dmax 8
+        {AttrId{2}, AttrBounds{0, 1}},    // processing mode: dmax 1
+        {AttrId{3}, AttrBounds{0, 2}},    // output mode: dmax 2
+        {AttrId{4}, AttrBounds{8, 44}},   // sampling rate: dmax 36
+    });
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,84 @@
+// Attribute supplemental data: design-global bounds and dmax (fig. 4 right).
+//
+// §3: "The dmax values [...] were taken from an extra table [...] generated
+// at design time containing supplemental data on the attributes'
+// design-global upper/lower value bounds."  The table also stores the
+// pre-calculated reciprocal (1+dmax)^-1 used by the divider-free datapath.
+//
+// Bounds are *design-global*: they cover every occurrence of an attribute id
+// across the whole implementation library, not just the implementations of
+// one function type.  (That is why the paper's Table 1 uses dmax = 44-8 = 36
+// for the sampling rate although the FIR variants alone span only 22..44.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/case_base.hpp"
+#include "core/ids.hpp"
+#include "fixed/q15.hpp"
+
+namespace qfa::cbr {
+
+/// Bounds of one attribute id over the whole design.
+struct AttrBounds {
+    AttrValue lower = 0;
+    AttrValue upper = 0;
+
+    /// Maximum possible distance d_max = upper - lower.
+    [[nodiscard]] constexpr std::uint32_t dmax() const noexcept {
+        return static_cast<std::uint32_t>(upper) - static_cast<std::uint32_t>(lower);
+    }
+
+    friend constexpr bool operator==(const AttrBounds&, const AttrBounds&) noexcept = default;
+};
+
+/// The supplemental table: attribute id -> bounds (+ derived reciprocal).
+class BoundsTable {
+public:
+    BoundsTable() = default;
+
+    /// Designer-specified bounds.  Throws std::invalid_argument if any
+    /// lower bound exceeds its upper bound.
+    explicit BoundsTable(std::map<AttrId, AttrBounds> bounds);
+
+    /// Derives bounds from every attribute occurrence in the case base —
+    /// the automated design-time generation path.
+    [[nodiscard]] static BoundsTable from_case_base(const CaseBase& cb);
+
+    /// Widens (or creates) the entry so that it covers `value`.  Used by the
+    /// dynamic case-base update path (retain): bounds only ever grow, so
+    /// previously computed similarities stay valid as *lower* bounds.
+    void cover(AttrId id, AttrValue value);
+
+    /// Bounds for an id; nullopt when the id never occurs in the design.
+    [[nodiscard]] std::optional<AttrBounds> find(AttrId id) const noexcept;
+
+    /// dmax for an id; 0 when unknown (conservative: only exact matches
+    /// score, mirroring the hardware's saturated reciprocal).
+    [[nodiscard]] std::uint32_t dmax(AttrId id) const noexcept;
+
+    /// Q15 reciprocal (1+dmax)^-1 for an id (fig. 4's "maxrange-1" entry).
+    [[nodiscard]] fx::Q15 reciprocal(AttrId id) const noexcept;
+
+    /// All entries ascending by id — the order of the packed list.
+    [[nodiscard]] const std::map<AttrId, AttrBounds>& entries() const noexcept {
+        return bounds_;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return bounds_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return bounds_.empty(); }
+
+private:
+    std::map<AttrId, AttrBounds> bounds_;
+};
+
+/// The design-global bounds used by the paper's Table 1 example:
+/// bitwidth in [8,16], processing mode in [0,1], output mode in [0,2],
+/// sampling rate in [8,44] (hence dmax = 8, 1, 2, 36).
+[[nodiscard]] BoundsTable paper_example_bounds();
+
+}  // namespace qfa::cbr

@@ -1,0 +1,175 @@
+#include "core/case_base.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace qfa::cbr {
+
+namespace {
+
+void validate_tree(const std::vector<FunctionType>& types) {
+    for (std::size_t t = 0; t < types.size(); ++t) {
+        if (t > 0 && !(types[t - 1].id < types[t].id)) {
+            throw std::invalid_argument(
+                "case base: function types must be strictly ascending by TypeId (violated at " +
+                to_string(types[t].id) + ")");
+        }
+        const FunctionType& type = types[t];
+        for (std::size_t i = 0; i < type.impls.size(); ++i) {
+            if (i > 0 && !(type.impls[i - 1].id < type.impls[i].id)) {
+                throw std::invalid_argument(
+                    "case base: implementations of " + to_string(type.id) +
+                    " must be strictly ascending by ImplId (violated at " +
+                    to_string(type.impls[i].id) + ")");
+            }
+            if (!attributes_strictly_sorted(type.impls[i].attributes)) {
+                throw std::invalid_argument(
+                    "case base: attribute list of " + to_string(type.id) + "/" +
+                    to_string(type.impls[i].id) +
+                    " must be strictly ascending by AttrId (figs. 4/5 pre-sorting)");
+            }
+        }
+    }
+}
+
+}  // namespace
+
+const Implementation* FunctionType::find_impl(ImplId impl) const noexcept {
+    const auto it = std::lower_bound(
+        impls.begin(), impls.end(), impl,
+        [](const Implementation& a, ImplId target) { return a.id < target; });
+    if (it != impls.end() && it->id == impl) {
+        return &*it;
+    }
+    return nullptr;
+}
+
+CaseBase::CaseBase(std::vector<FunctionType> types) : types_(std::move(types)) {
+    validate_tree(types_);
+}
+
+const FunctionType* CaseBase::find_type(TypeId id) const noexcept {
+    const auto it = std::lower_bound(
+        types_.begin(), types_.end(), id,
+        [](const FunctionType& a, TypeId target) { return a.id < target; });
+    if (it != types_.end() && it->id == id) {
+        return &*it;
+    }
+    return nullptr;
+}
+
+CaseBaseStats CaseBase::stats() const noexcept {
+    CaseBaseStats s;
+    s.type_count = types_.size();
+    std::set<std::uint16_t> attr_ids;
+    for (const FunctionType& type : types_) {
+        s.impl_count += type.impls.size();
+        s.max_impls_per_type = std::max(s.max_impls_per_type, type.impls.size());
+        for (const Implementation& impl : type.impls) {
+            s.attribute_count += impl.attributes.size();
+            s.max_attrs_per_impl = std::max(s.max_attrs_per_impl, impl.attributes.size());
+            for (const Attribute& attr : impl.attributes) {
+                attr_ids.insert(attr.id.value());
+            }
+        }
+    }
+    s.distinct_attr_ids = attr_ids.size();
+    return s;
+}
+
+std::vector<AttrId> CaseBase::distinct_attribute_ids() const {
+    std::set<std::uint16_t> raw_ids;
+    for (const FunctionType& type : types_) {
+        for (const Implementation& impl : type.impls) {
+            for (const Attribute& attr : impl.attributes) {
+                raw_ids.insert(attr.id.value());
+            }
+        }
+    }
+    std::vector<AttrId> out;
+    out.reserve(raw_ids.size());
+    for (std::uint16_t raw : raw_ids) {
+        out.push_back(AttrId{raw});
+    }
+    return out;
+}
+
+CaseBaseBuilder& CaseBaseBuilder::begin_type(TypeId id, std::string name) {
+    types_.push_back(FunctionType{id, std::move(name), {}});
+    return *this;
+}
+
+CaseBaseBuilder& CaseBaseBuilder::add_impl(ImplId id, Target target,
+                                           std::vector<Attribute> attributes, ImplMeta meta) {
+    if (types_.empty()) {
+        throw std::invalid_argument("add_impl called before begin_type");
+    }
+    std::sort(attributes.begin(), attributes.end(), attr_id_less);
+    const auto dup = std::adjacent_find(
+        attributes.begin(), attributes.end(),
+        [](const Attribute& a, const Attribute& b) { return a.id == b.id; });
+    if (dup != attributes.end()) {
+        throw std::invalid_argument("duplicate attribute " + to_string(dup->id) + " in " +
+                                    to_string(id));
+    }
+    types_.back().impls.push_back(
+        Implementation{id, target, std::move(attributes), meta});
+    return *this;
+}
+
+CaseBase CaseBaseBuilder::build() {
+    std::sort(types_.begin(), types_.end(),
+              [](const FunctionType& a, const FunctionType& b) { return a.id < b.id; });
+    for (FunctionType& type : types_) {
+        std::sort(type.impls.begin(), type.impls.end(),
+                  [](const Implementation& a, const Implementation& b) { return a.id < b.id; });
+    }
+    return CaseBase(std::move(types_));  // CaseBase ctor re-validates (duplicates etc.)
+}
+
+CaseBase paper_example_case_base() {
+    // Fig. 3: type 1 = FIR Equalizer with three variants; type 2 = 1D-FFT
+    // (shown in the figure without expanded implementations — we give it a
+    // representative pair so the tree has more than one non-trivial type).
+    CaseBaseBuilder builder;
+    builder.begin_type(TypeId{1}, "FIR Equalizer");
+    builder.add_impl(ImplId{1}, Target::fpga,
+                     {{AttrId{1}, 16},   // bitwidth
+                      {AttrId{2}, 0},    // integer mode
+                      {AttrId{3}, 2},    // output surround
+                      {AttrId{4}, 44}},  // kSamples/s
+                     ImplMeta{/*config_bytes=*/93'000,
+                              ResourceDemand{.clb_slices = 420, .brams = 2, .multipliers = 4},
+                              /*static_power_mw=*/120, /*dynamic_power_mw=*/210});
+    builder.add_impl(ImplId{2}, Target::dsp,
+                     {{AttrId{1}, 16},
+                      {AttrId{2}, 0},
+                      {AttrId{3}, 1},    // output stereo
+                      {AttrId{4}, 44}},
+                     ImplMeta{/*config_bytes=*/18'000,
+                              ResourceDemand{.dsp_load_pct = 35},
+                              /*static_power_mw=*/90, /*dynamic_power_mw=*/160});
+    builder.add_impl(ImplId{3}, Target::gpp,
+                     {{AttrId{1}, 8},
+                      {AttrId{2}, 0},
+                      {AttrId{3}, 0},    // output mono
+                      {AttrId{4}, 22}},
+                     ImplMeta{/*config_bytes=*/6'000,
+                              ResourceDemand{.cpu_load_pct = 55},
+                              /*static_power_mw=*/40, /*dynamic_power_mw=*/310});
+    builder.begin_type(TypeId{2}, "1D-FFT");
+    builder.add_impl(ImplId{1}, Target::fpga,
+                     {{AttrId{1}, 16}, {AttrId{2}, 0}, {AttrId{4}, 44}},
+                     ImplMeta{/*config_bytes=*/110'000,
+                              ResourceDemand{.clb_slices = 600, .brams = 4, .multipliers = 8},
+                              /*static_power_mw=*/140, /*dynamic_power_mw=*/260});
+    builder.add_impl(ImplId{2}, Target::gpp,
+                     {{AttrId{1}, 16}, {AttrId{2}, 1}, {AttrId{4}, 8}},
+                     ImplMeta{/*config_bytes=*/9'000,
+                              ResourceDemand{.cpu_load_pct = 70},
+                              /*static_power_mw=*/40, /*dynamic_power_mw=*/330});
+    return builder.build();
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,117 @@
+// The case base: the paper's function-implementation tree (figs. 3 and 5).
+//
+// A three-level hierarchy: function types (level 0) own implementation
+// variants (level 1), each of which owns a sorted attribute list (level 2).
+// The in-memory form here is the *reference* representation used by the
+// double-precision retriever and by all design-time tooling; qfa::mem packs
+// it into the 16-bit word lists the hardware walks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/deploy.hpp"
+#include "core/ids.hpp"
+
+namespace qfa::cbr {
+
+/// One implementation variant of a function type (level 1 + level 2).
+struct Implementation {
+    ImplId id;
+    Target target = Target::gpp;
+    std::vector<Attribute> attributes;  ///< strictly ascending by AttrId
+    ImplMeta meta;
+
+    /// Looks up one attribute value (binary search on the sorted list).
+    [[nodiscard]] std::optional<AttrValue> attribute(AttrId attr) const noexcept {
+        return find_attribute(attributes, attr);
+    }
+};
+
+/// One basic function type and all its implementation variants (level 0).
+struct FunctionType {
+    TypeId id;
+    std::string name;
+    std::vector<Implementation> impls;  ///< ascending by ImplId
+
+    [[nodiscard]] const Implementation* find_impl(ImplId impl) const noexcept;
+};
+
+/// Aggregate shape numbers of a case base (drives Table 3 style accounting).
+struct CaseBaseStats {
+    std::size_t type_count = 0;
+    std::size_t impl_count = 0;
+    std::size_t attribute_count = 0;
+    std::size_t max_impls_per_type = 0;
+    std::size_t max_attrs_per_impl = 0;
+    std::size_t distinct_attr_ids = 0;
+};
+
+/// Immutable, validated function-implementation tree.
+///
+/// Construction goes through CaseBaseBuilder (or directly from a vector of
+/// FunctionType, which is validated); every structural invariant of the
+/// paper's lists is enforced:
+///  * function types strictly ascending by TypeId,
+///  * implementations strictly ascending by ImplId within a type,
+///  * attribute lists strictly ascending by AttrId (figs. 4/5 pre-sorting).
+class CaseBase {
+public:
+    CaseBase() = default;
+
+    /// Validates and adopts the given tree; throws std::invalid_argument
+    /// with a precise message when an invariant is violated.
+    explicit CaseBase(std::vector<FunctionType> types);
+
+    /// Level-0 lookup by function type id; nullptr when absent.
+    [[nodiscard]] const FunctionType* find_type(TypeId id) const noexcept;
+
+    [[nodiscard]] std::span<const FunctionType> types() const noexcept { return types_; }
+    [[nodiscard]] bool empty() const noexcept { return types_.empty(); }
+
+    [[nodiscard]] CaseBaseStats stats() const noexcept;
+
+    /// Every distinct attribute id appearing anywhere in the tree, ascending.
+    [[nodiscard]] std::vector<AttrId> distinct_attribute_ids() const;
+
+private:
+    std::vector<FunctionType> types_;  ///< ascending by TypeId
+};
+
+/// Fluent builder for case bases.
+///
+///   CaseBase cb = CaseBaseBuilder()
+///       .begin_type(TypeId{1}, "FIR Equalizer")
+///           .add_impl(ImplId{1}, Target::fpga,
+///                     {{AttrId{1}, 16}, {AttrId{2}, 0}, ...})
+///       .build();
+///
+/// Attribute lists may be given in any order; the builder sorts them and
+/// rejects duplicates (throws std::invalid_argument).
+class CaseBaseBuilder {
+public:
+    /// Opens a new function type; types may be added in any order.
+    CaseBaseBuilder& begin_type(TypeId id, std::string name);
+
+    /// Adds an implementation to the most recently opened type.
+    CaseBaseBuilder& add_impl(ImplId id, Target target, std::vector<Attribute> attributes,
+                              ImplMeta meta = {});
+
+    /// Finalises; throws std::invalid_argument on duplicate ids.
+    [[nodiscard]] CaseBase build();
+
+private:
+    std::vector<FunctionType> types_;
+};
+
+/// Builds the exact case base of the paper's fig. 3 (FIR equalizer with
+/// FPGA / DSP / GP-Proc variants, plus the empty 1D-FFT type entry).
+/// Deployment metadata is filled with plausible values for the system-level
+/// examples; retrieval results depend only on the published attributes.
+[[nodiscard]] CaseBase paper_example_case_base();
+
+}  // namespace qfa::cbr

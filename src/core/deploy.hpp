@@ -1,0 +1,51 @@
+// Deployment metadata of an implementation variant.
+//
+// Beyond its QoS attribute list, each catalogue entry carries the data the
+// allocation layers (fig. 1) need: how much configuration data must be
+// fetched from the FLASH repository, what device resources the variant
+// occupies while active, and its power figures.  The CBR retrieval itself
+// never looks at this block — it is what the *feasibility check* (§3)
+// consumes after retrieval has ranked the candidates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ids.hpp"
+
+namespace qfa::cbr {
+
+/// Device resources an implementation occupies while instantiated.
+///
+/// FPGA variants consume slices/BRAMs/multipliers inside one reconfigurable
+/// slot; DSP and CPU variants consume a utilization share (percent) of their
+/// processor.  Unused fields stay zero.
+struct ResourceDemand {
+    std::uint32_t clb_slices = 0;
+    std::uint32_t brams = 0;
+    std::uint32_t multipliers = 0;
+    std::uint32_t cpu_load_pct = 0;  ///< share of a GPP, 0..100
+    std::uint32_t dsp_load_pct = 0;  ///< share of a DSP, 0..100
+
+    friend constexpr bool operator==(const ResourceDemand&,
+                                     const ResourceDemand&) noexcept = default;
+};
+
+/// Per-variant deployment data consumed by the allocation manager.
+struct ImplMeta {
+    /// Size of the configuration data in the repository: FPGA partial
+    /// bitstream, DSP kernel image, or CPU opcode (bytes).
+    std::uint32_t config_bytes = 0;
+
+    /// Device resources held while the function is instantiated.
+    ResourceDemand demand;
+
+    /// Static power drawn while instantiated (mW).
+    std::uint32_t static_power_mw = 0;
+
+    /// Additional dynamic power while actively processing (mW).
+    std::uint32_t dynamic_power_mw = 0;
+
+    friend constexpr bool operator==(const ImplMeta&, const ImplMeta&) noexcept = default;
+};
+
+}  // namespace qfa::cbr

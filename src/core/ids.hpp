@@ -1,0 +1,98 @@
+// Strong identifier types for the case-base domain model.
+//
+// The paper keys everything by small integer IDs stored in 16-bit words:
+// function types (IDType), implementation variants (IDImpl) and attribute
+// types (ACB_i / AReq_i).  Distinct C++ types prevent mixing them up
+// (Core Guidelines P.1/I.4: express ideas directly, strong interfaces).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace qfa::cbr {
+
+namespace detail {
+
+/// CRTP base for a 16-bit id with equality/ordering and hashing.
+template <typename Tag>
+class Id16 {
+public:
+    using raw_type = std::uint16_t;
+
+    constexpr Id16() noexcept = default;
+    constexpr explicit Id16(raw_type value) noexcept : value_(value) {}
+
+    [[nodiscard]] constexpr raw_type value() const noexcept { return value_; }
+
+    constexpr auto operator<=>(const Id16&) const noexcept = default;
+
+private:
+    raw_type value_ = 0;
+};
+
+}  // namespace detail
+
+/// Global function-type identifier (IDType in the paper, fig. 3).
+struct TypeId : detail::Id16<TypeId> {
+    using Id16::Id16;
+};
+
+/// Implementation-variant identifier (IDImpl), unique within its type.
+struct ImplId : detail::Id16<ImplId> {
+    using Id16::Id16;
+};
+
+/// Attribute-type identifier (the `i` of AReq_i / ACB_i).
+struct AttrId : detail::Id16<AttrId> {
+    using Id16::Id16;
+};
+
+/// Execution target of an implementation variant (fig. 1 / fig. 3).
+enum class Target : std::uint8_t {
+    fpga,  ///< partially reconfigurable FPGA module
+    dsp,   ///< DSP kernel
+    gpp,   ///< general-purpose processor software task
+};
+
+/// Human-readable target name ("FPGA", "DSP", "GP-Proc" as in table 1).
+[[nodiscard]] constexpr const char* target_name(Target t) noexcept {
+    switch (t) {
+        case Target::fpga: return "FPGA";
+        case Target::dsp: return "DSP";
+        case Target::gpp: return "GP-Proc";
+    }
+    return "?";
+}
+
+[[nodiscard]] inline std::string to_string(TypeId id) {
+    return "type#" + std::to_string(id.value());
+}
+[[nodiscard]] inline std::string to_string(ImplId id) {
+    return "impl#" + std::to_string(id.value());
+}
+[[nodiscard]] inline std::string to_string(AttrId id) {
+    return "attr#" + std::to_string(id.value());
+}
+
+}  // namespace qfa::cbr
+
+template <>
+struct std::hash<qfa::cbr::TypeId> {
+    std::size_t operator()(qfa::cbr::TypeId id) const noexcept {
+        return std::hash<std::uint16_t>{}(id.value());
+    }
+};
+template <>
+struct std::hash<qfa::cbr::ImplId> {
+    std::size_t operator()(qfa::cbr::ImplId id) const noexcept {
+        return std::hash<std::uint16_t>{}(id.value());
+    }
+};
+template <>
+struct std::hash<qfa::cbr::AttrId> {
+    std::size_t operator()(qfa::cbr::AttrId id) const noexcept {
+        return std::hash<std::uint16_t>{}(id.value());
+    }
+};

@@ -1,0 +1,164 @@
+#include "core/linalg.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace qfa::cbr {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+    QFA_EXPECTS(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+    QFA_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+    QFA_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m.at(i, i) = 1.0;
+    }
+    return m;
+}
+
+Matrix Matrix::add(const Matrix& other) const {
+    QFA_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in add");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] + other.data_[i];
+    }
+    return out;
+}
+
+Matrix Matrix::scaled(double factor) const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] * factor;
+    }
+    return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> vec) const {
+    QFA_EXPECTS(vec.size() == cols_, "vector size must match matrix columns");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            sum += at(r, c) * vec[c];
+        }
+        out[r] = sum;
+    }
+    return out;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+    QFA_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_,
+                "shape mismatch in frobenius_distance");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const double diff = data_[i] - other.data_[i];
+        sum += diff * diff;
+    }
+    return std::sqrt(sum);
+}
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+    QFA_EXPECTS(a.rows() == a.cols(), "cholesky needs a square matrix");
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a.at(j, j);
+        for (std::size_t k = 0; k < j; ++k) {
+            diag -= l.at(j, k) * l.at(j, k);
+        }
+        if (diag <= 0.0 || !std::isfinite(diag)) {
+            return std::nullopt;  // not positive definite
+        }
+        l.at(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double sum = a.at(i, j);
+            for (std::size_t k = 0; k < j; ++k) {
+                sum -= l.at(i, k) * l.at(j, k);
+            }
+            l.at(i, j) = sum / l.at(j, j);
+        }
+    }
+    return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b) {
+    QFA_EXPECTS(l.rows() == l.cols(), "cholesky factor must be square");
+    QFA_EXPECTS(b.size() == l.rows(), "rhs size must match factor");
+    const std::size_t n = l.rows();
+
+    // Forward substitution: L y = b.
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k) {
+            sum -= l.at(i, k) * y[k];
+        }
+        y[i] = sum / l.at(i, i);
+    }
+
+    // Back substitution: Lᵀ x = y.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double sum = y[i];
+        for (std::size_t k = i + 1; k < n; ++k) {
+            sum -= l.at(k, i) * x[k];
+        }
+        x[i] = sum / l.at(i, i);
+    }
+    return x;
+}
+
+std::vector<double> column_means(const std::vector<std::vector<double>>& samples) {
+    QFA_EXPECTS(!samples.empty(), "column_means needs at least one sample");
+    const std::size_t dim = samples.front().size();
+    std::vector<double> mean(dim, 0.0);
+    for (const auto& row : samples) {
+        QFA_EXPECTS(row.size() == dim, "ragged sample matrix");
+        for (std::size_t c = 0; c < dim; ++c) {
+            mean[c] += row[c];
+        }
+    }
+    for (double& m : mean) {
+        m /= static_cast<double>(samples.size());
+    }
+    return mean;
+}
+
+Matrix covariance(const std::vector<std::vector<double>>& samples, double ridge) {
+    QFA_EXPECTS(!samples.empty(), "covariance needs at least one sample");
+    QFA_EXPECTS(ridge >= 0.0, "ridge must be non-negative");
+    const std::size_t dim = samples.front().size();
+    const std::vector<double> mean = column_means(samples);
+    Matrix cov(dim, dim);
+    for (const auto& row : samples) {
+        for (std::size_t i = 0; i < dim; ++i) {
+            for (std::size_t j = 0; j < dim; ++j) {
+                cov.at(i, j) += (row[i] - mean[i]) * (row[j] - mean[j]);
+            }
+        }
+    }
+    const double denom = samples.size() > 1 ? static_cast<double>(samples.size() - 1) : 1.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t j = 0; j < dim; ++j) {
+            cov.at(i, j) /= denom;
+        }
+        cov.at(i, i) += ridge;
+    }
+    return cov;
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,70 @@
+// Minimal dense linear algebra for the Mahalanobis similarity alternative.
+//
+// §2.2 names the Mahalanobis distance ("calculating the co-variance matrix
+// of the whole set of function attributes") as more effective but too
+// expensive for the hardware.  Reproducing that cost comparison (E13) needs
+// a small self-contained dense solver: symmetric covariance accumulation,
+// ridge regularization and Cholesky factorization/solve.  Dimensions are
+// tiny (one per distinct attribute id), so an O(n^3) dense kernel is right.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace qfa::cbr {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+public:
+    Matrix() = default;
+
+    /// rows x cols matrix, zero-initialised.
+    Matrix(std::size_t rows, std::size_t cols);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    [[nodiscard]] double& at(std::size_t r, std::size_t c);
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+    /// Identity matrix of size n.
+    [[nodiscard]] static Matrix identity(std::size_t n);
+
+    /// this + other (same shape required).
+    [[nodiscard]] Matrix add(const Matrix& other) const;
+
+    /// this * scalar.
+    [[nodiscard]] Matrix scaled(double factor) const;
+
+    /// Matrix-vector product (vector size must equal cols).
+    [[nodiscard]] std::vector<double> multiply(std::span<const double> vec) const;
+
+    /// Frobenius-norm distance to another matrix of the same shape.
+    [[nodiscard]] double frobenius_distance(const Matrix& other) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor L with A = L·Lᵀ.
+///
+/// Returns nullopt when A is not (numerically) symmetric positive definite.
+[[nodiscard]] std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves A·x = b given the Cholesky factor L of A (forward + back
+/// substitution).  b.size() must equal L.rows().
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
+
+/// Sample covariance of the row vectors in `samples` (n_samples x dim),
+/// with ridge term `ridge`·I added for invertibility on degenerate data.
+/// Requires at least one sample.
+[[nodiscard]] Matrix covariance(const std::vector<std::vector<double>>& samples, double ridge);
+
+/// Column means of the row vectors in `samples`.
+[[nodiscard]] std::vector<double> column_means(const std::vector<std::vector<double>>& samples);
+
+}  // namespace qfa::cbr

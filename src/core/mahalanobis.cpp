@@ -1,0 +1,99 @@
+#include "core/mahalanobis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace qfa::cbr {
+
+MahalanobisScorer::MahalanobisScorer(const CaseBase& cb, double ridge) {
+    attr_ids_ = cb.distinct_attribute_ids();
+    if (attr_ids_.empty()) {
+        throw std::invalid_argument("MahalanobisScorer needs a non-empty case base");
+    }
+
+    // First pass: raw samples with NaN for missing attributes.
+    std::vector<std::vector<double>> samples;
+    for (const FunctionType& type : cb.types()) {
+        for (const Implementation& impl : type.impls) {
+            std::vector<double> row(attr_ids_.size(),
+                                    std::numeric_limits<double>::quiet_NaN());
+            for (std::size_t d = 0; d < attr_ids_.size(); ++d) {
+                if (auto v = impl.attribute(attr_ids_[d])) {
+                    row[d] = static_cast<double>(*v);
+                }
+            }
+            samples.push_back(std::move(row));
+        }
+    }
+    QFA_ASSERT(!samples.empty(), "non-empty attribute set implies samples");
+
+    // Column means over present values only.
+    means_.assign(attr_ids_.size(), 0.0);
+    for (std::size_t d = 0; d < attr_ids_.size(); ++d) {
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (const auto& row : samples) {
+            if (!std::isnan(row[d])) {
+                sum += row[d];
+                ++count;
+            }
+        }
+        means_[d] = count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+
+    // Second pass: mean imputation.
+    for (auto& row : samples) {
+        for (std::size_t d = 0; d < row.size(); ++d) {
+            if (std::isnan(row[d])) {
+                row[d] = means_[d];
+            }
+        }
+    }
+
+    covariance_ = covariance(samples, ridge);
+    auto factor = cholesky(covariance_);
+    QFA_ASSERT(factor.has_value(), "ridge-regularised covariance must be SPD");
+    cholesky_factor_ = std::move(*factor);
+}
+
+std::vector<double> MahalanobisScorer::embed(const Implementation& impl) const {
+    std::vector<double> row(attr_ids_.size());
+    for (std::size_t d = 0; d < attr_ids_.size(); ++d) {
+        const auto v = impl.attribute(attr_ids_[d]);
+        row[d] = v ? static_cast<double>(*v) : means_[d];
+    }
+    return row;
+}
+
+double MahalanobisScorer::distance(const Request& request, const Implementation& impl) const {
+    // Difference vector over the fitted dimensions: requested ids contribute
+    // (request - impl); unconstrained ids contribute 0 (no preference).
+    std::vector<double> diff(attr_ids_.size(), 0.0);
+    const std::vector<double> impl_row = embed(impl);
+    bool any = false;
+    for (std::size_t d = 0; d < attr_ids_.size(); ++d) {
+        if (auto c = request.find(attr_ids_[d])) {
+            diff[d] = static_cast<double>(c->value) - impl_row[d];
+            any = true;
+        }
+    }
+    if (!any) {
+        return 0.0;  // no shared dimensions: indistinguishable
+    }
+    // d_M² = diffᵀ Σ⁻¹ diff via the Cholesky solve.
+    const std::vector<double> solved = cholesky_solve(cholesky_factor_, diff);
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < diff.size(); ++d) {
+        d2 += diff[d] * solved[d];
+    }
+    return std::sqrt(std::max(d2, 0.0));
+}
+
+double MahalanobisScorer::score(const Request& request, const Implementation& impl) const {
+    return 1.0 / (1.0 + distance(request, impl));
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,60 @@
+// Mahalanobis-distance global similarity — the alternative §2.2 rejects.
+//
+// "A well known method comes from statistical decision theory and determines
+// the Mahalanobis distance by calculating the co-variance matrix of the
+// whole set of function attributes.  This method is very effective
+// concerning the results but the computational efforts would be too large so
+// we decided to apply Manhattan distance metrics."
+//
+// We implement it anyway so the cost/quality trade-off can be measured
+// (experiment E13): the scorer is fitted once per case base (covariance over
+// all implementation attribute vectors, ridge-regularised, Cholesky
+// factorised) and then scores a request against an implementation in
+// O(n²) per candidate — versus O(n) for eq. (1)/(2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/case_base.hpp"
+#include "core/linalg.hpp"
+#include "core/request.hpp"
+
+namespace qfa::cbr {
+
+/// Fitted Mahalanobis similarity scorer.
+class MahalanobisScorer {
+public:
+    /// Fits the scorer on every implementation attribute vector in the case
+    /// base.  Attribute ids are the union over the whole tree; missing
+    /// attributes are imputed with the column mean.  `ridge` keeps the
+    /// covariance invertible on degenerate catalogues.
+    ///
+    /// Throws std::invalid_argument when the case base is empty.
+    explicit MahalanobisScorer(const CaseBase& cb, double ridge = 1e-3);
+
+    /// Similarity in (0, 1]: 1 / (1 + d_M(request, impl)), where d_M is the
+    /// Mahalanobis distance over the shared attribute dimensions (request
+    /// constraints absent from the fitted dimension set are ignored;
+    /// implementation attributes missing a requested id count as maximally
+    /// distant through mean imputation).
+    [[nodiscard]] double score(const Request& request, const Implementation& impl) const;
+
+    /// Raw Mahalanobis distance (for tests and benches).
+    [[nodiscard]] double distance(const Request& request, const Implementation& impl) const;
+
+    [[nodiscard]] std::size_t dimension() const noexcept { return attr_ids_.size(); }
+    [[nodiscard]] const Matrix& covariance_matrix() const noexcept { return covariance_; }
+
+private:
+    /// Dense vector over the fitted dimensions for one implementation,
+    /// mean-imputed where an attribute id is absent.
+    [[nodiscard]] std::vector<double> embed(const Implementation& impl) const;
+
+    std::vector<AttrId> attr_ids_;   ///< fitted dimensions, ascending
+    std::vector<double> means_;      ///< per-dimension mean (imputation)
+    Matrix covariance_;              ///< ridge-regularised covariance
+    Matrix cholesky_factor_;         ///< L with cov = L·Lᵀ
+};
+
+}  // namespace qfa::cbr

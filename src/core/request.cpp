@@ -1,0 +1,148 @@
+#include "core/request.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace qfa::cbr {
+
+Request::Request(TypeId type, std::vector<RequestAttribute> constraints)
+    : type_(type), constraints_(std::move(constraints)) {
+    if (constraints_.empty()) {
+        throw std::invalid_argument("request needs at least one constraint");
+    }
+    std::sort(constraints_.begin(), constraints_.end(),
+              [](const RequestAttribute& a, const RequestAttribute& b) { return a.id < b.id; });
+    const auto dup = std::adjacent_find(
+        constraints_.begin(), constraints_.end(),
+        [](const RequestAttribute& a, const RequestAttribute& b) { return a.id == b.id; });
+    if (dup != constraints_.end()) {
+        throw std::invalid_argument("duplicate request constraint " + to_string(dup->id));
+    }
+    double sum = 0.0;
+    for (const RequestAttribute& c : constraints_) {
+        if (c.weight < 0.0 || !std::isfinite(c.weight)) {
+            throw std::invalid_argument("request weight of " + to_string(c.id) +
+                                        " must be finite and non-negative");
+        }
+        sum += c.weight;
+    }
+    if (sum <= 0.0) {
+        throw std::invalid_argument("request weights must not all be zero");
+    }
+}
+
+std::optional<RequestAttribute> Request::find(AttrId id) const noexcept {
+    const auto it = std::lower_bound(
+        constraints_.begin(), constraints_.end(), id,
+        [](const RequestAttribute& a, AttrId target) { return a.id < target; });
+    if (it != constraints_.end() && it->id == id) {
+        return *it;
+    }
+    return std::nullopt;
+}
+
+double Request::weight_sum() const noexcept {
+    return std::accumulate(constraints_.begin(), constraints_.end(), 0.0,
+                           [](double acc, const RequestAttribute& c) { return acc + c.weight; });
+}
+
+Request Request::normalized() const {
+    const double sum = weight_sum();
+    QFA_ASSERT(sum > 0.0, "validated request must have positive weight sum");
+    std::vector<RequestAttribute> scaled = constraints_;
+    for (RequestAttribute& c : scaled) {
+        c.weight /= sum;
+    }
+    return Request(type_, std::move(scaled));
+}
+
+std::optional<Request> Request::without_weakest_constraint() const {
+    if (constraints_.size() <= 1) {
+        return std::nullopt;
+    }
+    const auto weakest = std::min_element(
+        constraints_.begin(), constraints_.end(),
+        [](const RequestAttribute& a, const RequestAttribute& b) { return a.weight < b.weight; });
+    std::vector<RequestAttribute> remaining;
+    remaining.reserve(constraints_.size() - 1);
+    for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
+        if (it != weakest) {
+            remaining.push_back(*it);
+        }
+    }
+    return Request(type_, std::move(remaining));
+}
+
+std::uint64_t Request::fingerprint() const noexcept {
+    // FNV-1a over the canonical (sorted) byte representation.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (byte * 8)) & 0xffU;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    mix(type_.value());
+    for (const RequestAttribute& c : constraints_) {
+        mix(c.id.value());
+        mix(c.value);
+        mix(std::bit_cast<std::uint64_t>(c.weight));
+    }
+    return hash;
+}
+
+std::vector<fx::Q15> quantize_weights(const Request& request) {
+    const double sum = request.weight_sum();
+    QFA_EXPECTS(std::abs(sum - 1.0) < 1e-9,
+                "quantize_weights requires a normalized request (call normalized())");
+
+    // Largest-remainder quantization: floor everything, then hand out the
+    // remaining raw units to the constraints with the biggest remainders so
+    // the raw total is exactly 2^15.
+    const auto constraints = request.constraints();
+    const std::size_t n = constraints.size();
+    std::vector<std::uint32_t> raw(n);
+    std::vector<double> remainder(n);
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double exact = constraints[i].weight * static_cast<double>(fx::Q15::kScale);
+        raw[i] = static_cast<std::uint32_t>(std::floor(exact));
+        remainder[i] = exact - std::floor(exact);
+        total += raw[i];
+    }
+    std::int64_t missing = static_cast<std::int64_t>(fx::Q15::kScale) - total;
+    QFA_ASSERT(missing >= 0 && missing <= static_cast<std::int64_t>(n),
+               "largest-remainder bookkeeping out of range");
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&remainder](std::size_t a, std::size_t b) {
+        return remainder[a] > remainder[b];
+    });
+    for (std::size_t k = 0; k < static_cast<std::size_t>(missing); ++k) {
+        ++raw[order[k]];
+    }
+
+    std::vector<fx::Q15> weights;
+    weights.reserve(n);
+    for (std::uint32_t r : raw) {
+        // A single constraint with weight 1.0 quantizes to the saturated one.
+        weights.push_back(r >= fx::Q15::kScale ? fx::Q15::one()
+                                               : fx::Q15::from_raw(static_cast<std::uint16_t>(r)));
+    }
+    return weights;
+}
+
+Request paper_example_request() {
+    return Request(TypeId{1}, {
+                                  {AttrId{1}, 16, 1.0 / 3.0},  // bitwidth 16
+                                  {AttrId{3}, 1, 1.0 / 3.0},   // stereo mode
+                                  {AttrId{4}, 40, 1.0 / 3.0},  // 40 kSamples/s
+                              });
+}
+
+}  // namespace qfa::cbr

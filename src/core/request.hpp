@@ -1,0 +1,86 @@
+// Function requests: desired type plus weighted QoS constraints (fig. 4 left).
+//
+// A request names the desired basic-function type and any subset of
+// constraining attributes — §3: "the request's attribute-set does not have
+// to be completely specified; incomplete subsets are possible as well which
+// is a nice property of case-based retrieval."  Each constraint carries a
+// weight w_i; eq. (2) requires Σ w_i = 1, which normalized() establishes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/ids.hpp"
+#include "fixed/q15.hpp"
+
+namespace qfa::cbr {
+
+/// One weighted QoS constraint of a request.
+struct RequestAttribute {
+    AttrId id;
+    AttrValue value = 0;
+    double weight = 1.0;  ///< relative importance; normalized() rescales
+
+    friend constexpr bool operator==(const RequestAttribute&,
+                                     const RequestAttribute&) noexcept = default;
+};
+
+/// A validated function request.
+///
+/// Invariants: constraints strictly ascending by AttrId, all weights
+/// non-negative with a positive sum, at least one constraint.
+class Request {
+public:
+    /// Validates and adopts; constraint order is normalized internally.
+    /// Throws std::invalid_argument on duplicate ids, negative weights or an
+    /// all-zero weight vector.
+    Request(TypeId type, std::vector<RequestAttribute> constraints);
+
+    [[nodiscard]] TypeId type() const noexcept { return type_; }
+    [[nodiscard]] std::span<const RequestAttribute> constraints() const noexcept {
+        return constraints_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return constraints_.size(); }
+
+    /// Constraint lookup by attribute id (binary search).
+    [[nodiscard]] std::optional<RequestAttribute> find(AttrId id) const noexcept;
+
+    /// Copy with weights rescaled so that Σ w_i = 1 (eq. 2 requirement).
+    [[nodiscard]] Request normalized() const;
+
+    /// Sum of the raw weights.
+    [[nodiscard]] double weight_sum() const noexcept;
+
+    /// Copy without the constraint with the smallest weight — one step of
+    /// the "repeat the request with rather relaxed constraints" loop (§3).
+    /// Returns nullopt when only one constraint remains.
+    [[nodiscard]] std::optional<Request> without_weakest_constraint() const;
+
+    /// Stable 64-bit fingerprint of (type, constraints, weights) used as the
+    /// bypass-token cache key (§3).  Weights participate via their exact
+    /// bit patterns, so any change invalidates the token.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+    friend bool operator==(const Request&, const Request&) noexcept = default;
+
+private:
+    TypeId type_;
+    std::vector<RequestAttribute> constraints_;
+};
+
+/// Quantizes normalized request weights to Q15 with largest-remainder
+/// correction so the raw weights sum to exactly 2^15 — the invariant the
+/// hardware accumulator relies on (Σ w = 1.0 in Q15).
+///
+/// Requires a normalized request (Σ w_i = 1 within 1e-9).
+[[nodiscard]] std::vector<fx::Q15> quantize_weights(const Request& request);
+
+/// The paper's fig. 3 request: FIR equalizer, bitwidth 16, stereo output,
+/// 40 kSamples/s, equal weights (Table 1 uses w_i = 1/3).
+[[nodiscard]] Request paper_example_request();
+
+}  // namespace qfa::cbr

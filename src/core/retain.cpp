@@ -1,0 +1,155 @@
+#include "core/retain.hpp"
+
+#include <algorithm>
+
+#include "core/similarity.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::cbr {
+
+DynamicCaseBase::DynamicCaseBase(CaseBase initial)
+    : types_(initial.types().begin(), initial.types().end()),
+      bounds_(BoundsTable::from_case_base(initial)) {}
+
+CaseBase DynamicCaseBase::snapshot() const {
+    return CaseBase(types_);
+}
+
+FunctionType* DynamicCaseBase::find_type(TypeId id) {
+    const auto it = std::lower_bound(
+        types_.begin(), types_.end(), id,
+        [](const FunctionType& a, TypeId target) { return a.id < target; });
+    if (it != types_.end() && it->id == id) {
+        return &*it;
+    }
+    return nullptr;
+}
+
+const FunctionType* DynamicCaseBase::find_type(TypeId id) const {
+    return const_cast<DynamicCaseBase*>(this)->find_type(id);
+}
+
+bool DynamicCaseBase::add_type(TypeId id, std::string name) {
+    if (find_type(id) != nullptr) {
+        return false;
+    }
+    const auto it = std::lower_bound(
+        types_.begin(), types_.end(), id,
+        [](const FunctionType& a, TypeId target) { return a.id < target; });
+    types_.insert(it, FunctionType{id, std::move(name), {}});
+    ++stats_.types_added;
+    ++epoch_;
+    return true;
+}
+
+double DynamicCaseBase::nearest_neighbour_similarity(TypeId type,
+                                                     const Implementation& impl) const {
+    const FunctionType* ft = find_type(type);
+    if (ft == nullptr || ft->impls.empty() || impl.attributes.empty()) {
+        return 0.0;
+    }
+    // Equal-weight eq. (1)/(2) similarity of the candidate's attribute list
+    // against each existing variant, taking the nearest one.
+    double best = 0.0;
+    for (const Implementation& existing : ft->impls) {
+        double sum = 0.0;
+        for (const Attribute& attr : impl.attributes) {
+            const auto other = existing.attribute(attr.id);
+            if (!other) {
+                continue;  // missing on the old case: contributes 0
+            }
+            // Bounds may not cover a brand-new attribute id yet; cover()
+            // semantics make dmax at least the observed distance.
+            const std::uint32_t dist = manhattan_distance(attr.value, *other);
+            const std::uint32_t dmax = std::max(bounds_.dmax(attr.id), dist);
+            sum += local_similarity(attr.value, *other, dmax);
+        }
+        best = std::max(best, sum / static_cast<double>(impl.attributes.size()));
+    }
+    return best;
+}
+
+RetainVerdict DynamicCaseBase::retain(TypeId type, Implementation impl,
+                                      double novelty_threshold) {
+    QFA_EXPECTS(novelty_threshold >= 0.0 && novelty_threshold <= 1.0,
+                "novelty threshold must lie in [0, 1]");
+    FunctionType* ft = find_type(type);
+    if (ft == nullptr) {
+        return RetainVerdict::unknown_type;
+    }
+    if (ft->find_impl(impl.id) != nullptr) {
+        return RetainVerdict::duplicate_id;
+    }
+    std::sort(impl.attributes.begin(), impl.attributes.end(), attr_id_less);
+    if (!attributes_strictly_sorted(impl.attributes)) {
+        throw std::invalid_argument("retained implementation has duplicate attribute ids");
+    }
+    if (nearest_neighbour_similarity(type, impl) >= novelty_threshold) {
+        ++stats_.rejected_duplicates;
+        return RetainVerdict::duplicate;
+    }
+    for (const Attribute& attr : impl.attributes) {
+        bounds_.cover(attr.id, attr.value);
+    }
+    const auto it = std::lower_bound(
+        ft->impls.begin(), ft->impls.end(), impl.id,
+        [](const Implementation& a, ImplId target) { return a.id < target; });
+    ft->impls.insert(it, std::move(impl));
+    ++stats_.retained;
+    ++epoch_;
+    return RetainVerdict::retained;
+}
+
+bool DynamicCaseBase::remove_implementation(TypeId type, ImplId impl) {
+    FunctionType* ft = find_type(type);
+    if (ft == nullptr) {
+        return false;
+    }
+    const auto it = std::find_if(ft->impls.begin(), ft->impls.end(),
+                                 [impl](const Implementation& i) { return i.id == impl; });
+    if (it == ft->impls.end()) {
+        return false;
+    }
+    ft->impls.erase(it);
+    outcomes_.erase(outcome_key(type, impl));
+    ++epoch_;
+    return true;
+    // Note: bounds are *not* shrunk — design-global bounds only widen, so
+    // packed supplemental tables stay valid (conservative) after removal.
+}
+
+void DynamicCaseBase::record_outcome(TypeId type, ImplId impl, bool success) {
+    OutcomeStats& stats = outcomes_[outcome_key(type, impl)];
+    if (success) {
+        ++stats.successes;
+    } else {
+        ++stats.failures;
+    }
+}
+
+OutcomeStats DynamicCaseBase::outcome(TypeId type, ImplId impl) const {
+    const auto it = outcomes_.find(outcome_key(type, impl));
+    return it == outcomes_.end() ? OutcomeStats{} : it->second;
+}
+
+std::vector<std::pair<TypeId, ImplId>> DynamicCaseBase::revise(double max_failure_rate,
+                                                               std::uint32_t min_trials) {
+    QFA_EXPECTS(max_failure_rate >= 0.0 && max_failure_rate <= 1.0,
+                "failure rate bound must lie in [0, 1]");
+    std::vector<std::pair<TypeId, ImplId>> victims;
+    for (const FunctionType& type : types_) {
+        for (const Implementation& impl : type.impls) {
+            const OutcomeStats stats = outcome(type.id, impl.id);
+            if (stats.trials() >= min_trials && stats.failure_rate() > max_failure_rate) {
+                victims.emplace_back(type.id, impl.id);
+            }
+        }
+    }
+    for (const auto& [type, impl] : victims) {
+        remove_implementation(type, impl);
+        ++stats_.revised_out;
+    }
+    return victims;
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,121 @@
+// Dynamic case-base maintenance — the retain/revise steps of the CBR cycle.
+//
+// Fig. 2 shows the full retrieve→reuse→revise→retain cycle; the paper's
+// shipped system restricts itself to retrieval over a static tree but names
+// "dynamic update mechanisms of Case-Base-data structures [...] enabling
+// for a self-learning system" as future work (§5).  This module implements
+// that extension:
+//
+//  * retain: insert new implementation variants at run time, but only when
+//    they add knowledge (novelty check against the existing variants);
+//  * revise: track per-variant allocation outcomes and retire variants whose
+//    observed failure rate disqualifies them;
+//  * bounds maintenance: design-global attribute bounds only ever widen, so
+//    previously packed supplemental tables remain conservative.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/ids.hpp"
+
+namespace qfa::cbr {
+
+/// Outcome of a retain attempt.
+enum class RetainVerdict {
+    retained,        ///< variant added to the tree
+    duplicate,       ///< rejected: an existing variant is too similar
+    unknown_type,    ///< rejected: the function type does not exist
+    duplicate_id,    ///< rejected: the ImplId is already taken in this type
+};
+
+/// Per-variant allocation outcome statistics (revise bookkeeping).
+struct OutcomeStats {
+    std::uint32_t successes = 0;
+    std::uint32_t failures = 0;
+
+    [[nodiscard]] std::uint32_t trials() const noexcept { return successes + failures; }
+    [[nodiscard]] double failure_rate() const noexcept {
+        return trials() == 0 ? 0.0 : static_cast<double>(failures) / trials();
+    }
+};
+
+/// Counters describing the life of a dynamic case base.
+struct MaintenanceStats {
+    std::uint64_t retained = 0;
+    std::uint64_t rejected_duplicates = 0;
+    std::uint64_t revised_out = 0;
+    std::uint64_t types_added = 0;
+};
+
+/// A case base that can learn: mutable implementation tree plus
+/// automatically maintained design-global bounds.
+class DynamicCaseBase {
+public:
+    /// Starts from an existing (possibly empty) tree; bounds are derived
+    /// from it.
+    explicit DynamicCaseBase(CaseBase initial = CaseBase{});
+
+    /// Immutable snapshot for retrieval / packing.  O(tree) copy; callers
+    /// that retrieve often should snapshot once per mutation epoch (the
+    /// epoch counter below identifies stale snapshots).
+    [[nodiscard]] CaseBase snapshot() const;
+
+    /// Monotone counter bumped by every successful mutation.
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+    /// Current bounds table (kept in sync with the tree; only widens).
+    [[nodiscard]] const BoundsTable& bounds() const noexcept { return bounds_; }
+
+    /// Adds a new function type; false if the id already exists.
+    bool add_type(TypeId id, std::string name);
+
+    /// Retains `impl` under `type` if no existing variant of that type is
+    /// more similar than `novelty_threshold` (attribute-wise weighted-sum
+    /// similarity with equal weights).  threshold 1.0 admits everything
+    /// except exact duplicates; 0.0 admits nothing once a variant exists.
+    RetainVerdict retain(TypeId type, Implementation impl, double novelty_threshold = 0.98);
+
+    /// Removes one variant; false when absent.
+    bool remove_implementation(TypeId type, ImplId impl);
+
+    /// Records an allocation outcome for the revise step.
+    void record_outcome(TypeId type, ImplId impl, bool success);
+
+    /// Outcome statistics of one variant (zeros when never recorded).
+    [[nodiscard]] OutcomeStats outcome(TypeId type, ImplId impl) const;
+
+    /// Revise: removes every variant with at least `min_trials` recorded
+    /// outcomes and a failure rate strictly above `max_failure_rate`.
+    /// Returns the removed (type, impl) pairs.
+    std::vector<std::pair<TypeId, ImplId>> revise(double max_failure_rate,
+                                                  std::uint32_t min_trials = 5);
+
+    [[nodiscard]] const MaintenanceStats& stats() const noexcept { return stats_; }
+
+    /// Similarity of a candidate implementation to the nearest existing
+    /// variant of the type (the novelty measure); 0 when the type is empty.
+    [[nodiscard]] double nearest_neighbour_similarity(TypeId type,
+                                                      const Implementation& impl) const;
+
+private:
+    [[nodiscard]] FunctionType* find_type(TypeId id);
+    [[nodiscard]] const FunctionType* find_type(TypeId id) const;
+
+    static std::uint32_t outcome_key(TypeId type, ImplId impl) noexcept {
+        return (static_cast<std::uint32_t>(type.value()) << 16) | impl.value();
+    }
+
+    std::vector<FunctionType> types_;  ///< ascending by TypeId
+    BoundsTable bounds_;
+    std::unordered_map<std::uint32_t, OutcomeStats> outcomes_;
+    MaintenanceStats stats_;
+    std::uint64_t epoch_ = 0;
+};
+
+}  // namespace qfa::cbr

@@ -1,0 +1,142 @@
+#include "core/retrieval.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace qfa::cbr {
+
+namespace {
+
+const WeightedSum kDefaultAmalgamation{};
+
+}  // namespace
+
+const Match& RetrievalResult::best() const {
+    QFA_EXPECTS(!matches.empty(), "best() on an empty retrieval result");
+    return matches.front();
+}
+
+Retriever::Retriever(const CaseBase& cb, const BoundsTable& bounds,
+                     const Amalgamation* amalgamation)
+    : cb_(&cb), bounds_(&bounds), amalgamation_(amalgamation) {}
+
+RetrievalResult Retriever::retrieve(const Request& request,
+                                    const RetrievalOptions& options) const {
+    QFA_EXPECTS(options.n_best >= 1, "n_best must be at least 1");
+
+    RetrievalResult result;
+    const FunctionType* type = cb_->find_type(request.type());
+    if (type == nullptr) {
+        result.status = RetrievalStatus::type_not_found;
+        return result;
+    }
+
+    const Request normalized = request.normalized();
+    const Amalgamation& amalg =
+        amalgamation_ != nullptr ? *amalgamation_ : kDefaultAmalgamation;
+
+    std::vector<Match> scored;
+    scored.reserve(type->impls.size());
+    std::vector<double> locals;
+    std::vector<double> weights;
+    for (const Implementation& impl : type->impls) {
+        ++result.impls_considered;
+        locals.clear();
+        weights.clear();
+        Match match{type->id, impl.id, impl.target, 0.0, {}};
+        for (const RequestAttribute& constraint : normalized.constraints()) {
+            ++result.attrs_compared;
+            const std::uint32_t dmax = bounds_->dmax(constraint.id);
+            const std::optional<AttrValue> case_value = impl.attribute(constraint.id);
+            // Missing attribute: unsatisfiable requirement, s_i = 0 (§3).
+            const double s = case_value
+                                 ? local_similarity(options.metric, constraint.value,
+                                                    *case_value, dmax)
+                                 : 0.0;
+            locals.push_back(s);
+            weights.push_back(constraint.weight);
+            if (options.collect_details) {
+                match.details.push_back(LocalDetail{
+                    constraint.id, constraint.value, case_value,
+                    case_value ? manhattan_distance(constraint.value, *case_value) : 0,
+                    dmax, constraint.weight, s});
+            }
+        }
+        match.similarity = amalg.combine(locals, weights);
+        scored.push_back(std::move(match));
+    }
+
+    // Rank descending by similarity; ties resolve to the smaller ImplId so
+    // results are deterministic.
+    std::stable_sort(scored.begin(), scored.end(), [](const Match& a, const Match& b) {
+        if (a.similarity != b.similarity) {
+            return a.similarity > b.similarity;
+        }
+        return a.impl < b.impl;
+    });
+
+    for (Match& match : scored) {
+        if (match.similarity < options.threshold) {
+            continue;  // §3: reject all results below a given threshold
+        }
+        result.matches.push_back(std::move(match));
+        if (result.matches.size() == options.n_best) {
+            break;
+        }
+    }
+
+    result.status = result.matches.empty() ? RetrievalStatus::all_below_threshold
+                                           : RetrievalStatus::ok;
+    if (scored.empty()) {
+        // A type with no implementations behaves like an unknown type for
+        // callers: nothing can be allocated.
+        result.status = RetrievalStatus::all_below_threshold;
+    }
+    return result;
+}
+
+std::vector<MatchQ15> Retriever::score_q15(const Request& request) const {
+    std::vector<MatchQ15> out;
+    const FunctionType* type = cb_->find_type(request.type());
+    if (type == nullptr) {
+        return out;
+    }
+
+    const Request normalized = request.normalized();
+    const std::vector<fx::Q15> weights = quantize_weights(normalized);
+    const auto constraints = normalized.constraints();
+
+    out.reserve(type->impls.size());
+    for (const Implementation& impl : type->impls) {
+        fx::SimAccumulator acc;
+        for (std::size_t i = 0; i < constraints.size(); ++i) {
+            const std::optional<AttrValue> case_value = impl.attribute(constraints[i].id);
+            const fx::Q15 s =
+                case_value ? cbr::local_similarity_q15(constraints[i].value, *case_value,
+                                                       bounds_->reciprocal(constraints[i].id))
+                           : fx::Q15::zero();
+            acc.add_product(s, weights[i]);
+        }
+        out.push_back(MatchQ15{type->id, impl.id, acc.raw_q30()});
+    }
+    return out;
+}
+
+std::optional<MatchQ15> Retriever::retrieve_q15(const Request& request) const {
+    const std::vector<MatchQ15> scored = score_q15(request);
+    if (scored.empty()) {
+        return std::nullopt;
+    }
+    // Hardware keeps the first maximum: strict `>` comparison against the
+    // running best (fig. 6: "S > S_Best ?").
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < scored.size(); ++i) {
+        if (scored[i].similarity_q30 > scored[best].similarity_q30) {
+            best = i;
+        }
+    }
+    return scored[best];
+}
+
+}  // namespace qfa::cbr

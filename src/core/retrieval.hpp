@@ -1,0 +1,126 @@
+// Case-base retrieval — the "most similar retrieval" algorithm of fig. 6.
+//
+// Given a request, the retriever locates the requested function type in the
+// case base, scores every implementation variant with eq. (1)/(2) and
+// returns the ranked candidates.  Two scoring paths are provided:
+//
+//  * double precision — the reference the paper validated in Matlab;
+//  * Q15 fixed point  — arithmetic identical to the hardware datapath
+//    (reciprocal multiply, truncation, Q30 accumulation), used as the
+//    golden model for the RTL and instruction-set simulators.
+//
+// Retrieval rules from the paper:
+//  * a request attribute missing from an implementation scores s_i = 0
+//    ("a missing attribute can be seen as unsatisfiable requirement", §3);
+//  * candidates below a similarity threshold can be rejected (§3);
+//  * n-best retrieval (§5 outlook) returns the n top candidates so the
+//    allocation manager can check feasibility of alternatives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/amalgamation.hpp"
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/request.hpp"
+#include "core/similarity.hpp"
+#include "fixed/q15.hpp"
+
+namespace qfa::cbr {
+
+/// Per-attribute scoring detail — one row of the paper's Table 1.
+struct LocalDetail {
+    AttrId id;
+    AttrValue request_value = 0;
+    std::optional<AttrValue> case_value;  ///< nullopt: attribute missing
+    std::uint32_t distance = 0;           ///< |A_req - A_cb| (0 when missing)
+    std::uint32_t dmax = 0;
+    double weight = 0.0;
+    double similarity = 0.0;              ///< s_i, 0 when missing
+};
+
+/// One scored candidate implementation.
+struct Match {
+    TypeId type;
+    ImplId impl;
+    Target target = Target::gpp;
+    double similarity = 0.0;              ///< S_global in [0, 1]
+    std::vector<LocalDetail> details;     ///< filled when collect_details
+};
+
+/// One scored candidate in exact datapath arithmetic.
+struct MatchQ15 {
+    TypeId type;
+    ImplId impl;
+    std::uint64_t similarity_q30 = 0;     ///< the hardware accumulator value
+
+    [[nodiscard]] double similarity() const noexcept {
+        return static_cast<double>(similarity_q30) /
+               (static_cast<double>(fx::Q15::kScale) * static_cast<double>(fx::Q15::kScale));
+    }
+};
+
+/// Why a retrieval produced no candidates.
+enum class RetrievalStatus {
+    ok,                 ///< at least one candidate survived
+    type_not_found,     ///< requested function type absent from the case base
+    all_below_threshold ///< candidates existed but none passed the threshold
+};
+
+/// Retrieval knobs.
+struct RetrievalOptions {
+    std::size_t n_best = 1;          ///< how many ranked candidates to return
+    double threshold = 0.0;          ///< reject candidates with S < threshold
+    bool collect_details = false;    ///< fill Match::details (Table 1 rows)
+    LocalMetric metric = LocalMetric::manhattan;
+};
+
+/// Result of a retrieval: ranked candidates plus effort counters.
+struct RetrievalResult {
+    RetrievalStatus status = RetrievalStatus::type_not_found;
+    std::vector<Match> matches;      ///< descending by similarity, then ImplId
+    std::size_t impls_considered = 0;
+    std::size_t attrs_compared = 0;  ///< request-attribute lookups performed
+
+    [[nodiscard]] bool ok() const noexcept { return status == RetrievalStatus::ok; }
+    [[nodiscard]] const Match& best() const;
+};
+
+/// Reference retriever over the in-memory case base.
+class Retriever {
+public:
+    /// Binds case base and design-time bounds.  The amalgamation defaults to
+    /// the paper's weighted sum; a different one may be injected for the
+    /// ablation benches.  All referenced objects must outlive the retriever.
+    Retriever(const CaseBase& cb, const BoundsTable& bounds,
+              const Amalgamation* amalgamation = nullptr);
+
+    /// Scores every implementation of the requested type.  The request is
+    /// normalized internally (weights rescaled to Σ w = 1).
+    [[nodiscard]] RetrievalResult retrieve(const Request& request,
+                                           const RetrievalOptions& options = {}) const;
+
+    /// Exact datapath scoring: Q15 local similarities, Q15 quantized
+    /// weights, Q30 accumulation, ties broken towards the *first* candidate
+    /// in list order — precisely what the fig. 6/7 hardware does.  Returns
+    /// candidates in case-base order (not ranked); the best candidate is the
+    /// max by (similarity_q30, earlier-in-list).
+    [[nodiscard]] std::vector<MatchQ15> score_q15(const Request& request) const;
+
+    /// Best candidate under Q15 arithmetic (hardware tie-breaking), or
+    /// nullopt when the type is unknown/empty.
+    [[nodiscard]] std::optional<MatchQ15> retrieve_q15(const Request& request) const;
+
+    [[nodiscard]] const CaseBase& case_base() const noexcept { return *cb_; }
+    [[nodiscard]] const BoundsTable& bounds() const noexcept { return *bounds_; }
+
+private:
+    const CaseBase* cb_;
+    const BoundsTable* bounds_;
+    const Amalgamation* amalgamation_;  ///< nullptr = weighted sum
+};
+
+}  // namespace qfa::cbr

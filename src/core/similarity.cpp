@@ -1,0 +1,41 @@
+#include "core/similarity.hpp"
+
+namespace qfa::cbr {
+
+double local_similarity(AttrValue request_value, AttrValue case_value,
+                        std::uint32_t dmax) noexcept {
+    const auto d = static_cast<double>(manhattan_distance(request_value, case_value));
+    const double ratio = d / (1.0 + static_cast<double>(dmax));
+    if (ratio >= 1.0) {
+        return 0.0;
+    }
+    return 1.0 - ratio;
+}
+
+fx::Q15 local_similarity_q15(AttrValue request_value, AttrValue case_value,
+                             fx::Q15 reciprocal) noexcept {
+    return fx::local_similarity_q15(request_value, case_value, reciprocal);
+}
+
+double local_similarity_squared(AttrValue request_value, AttrValue case_value,
+                                std::uint32_t dmax) noexcept {
+    const auto d = static_cast<double>(manhattan_distance(request_value, case_value));
+    const double ratio = d / (1.0 + static_cast<double>(dmax));
+    if (ratio >= 1.0) {
+        return 0.0;
+    }
+    return 1.0 - ratio * ratio;
+}
+
+double local_similarity(LocalMetric metric, AttrValue request_value, AttrValue case_value,
+                        std::uint32_t dmax) noexcept {
+    switch (metric) {
+        case LocalMetric::manhattan:
+            return local_similarity(request_value, case_value, dmax);
+        case LocalMetric::squared:
+            return local_similarity_squared(request_value, case_value, dmax);
+    }
+    return 0.0;
+}
+
+}  // namespace qfa::cbr

@@ -1,0 +1,54 @@
+// Local similarity measures — eq. (1) of the paper.
+//
+// A local measure maps the distance between a request attribute x_A and a
+// case attribute x_B into [0, 1]: 1 for identical values, 0 at (or beyond)
+// the design-global maximum distance.  The paper chooses the
+// Manhattan/absolute-difference transformation
+//
+//     s_i(x_A, x_B) = 1 - d(x_A, x_B) / (1 + max d)            (eq. 1)
+//
+// because it is cheap in hardware; this module provides it in double
+// precision (the reference) and in Q15 (the datapath arithmetic), plus a
+// squared-distance variant used to build a Euclidean-flavoured global
+// measure for the metric ablation (E13).
+#pragma once
+
+#include <cstdint>
+
+#include "core/attribute.hpp"
+#include "fixed/q15.hpp"
+#include "fixed/reciprocal.hpp"
+
+namespace qfa::cbr {
+
+/// Manhattan distance of two attribute values: |a - b|.
+[[nodiscard]] constexpr std::uint32_t manhattan_distance(AttrValue a, AttrValue b) noexcept {
+    return fx::attr_distance(a, b);
+}
+
+/// Eq. (1) in double precision.  Distances beyond dmax clamp to 0 — a
+/// request value outside the design-global bounds has "no similarity".
+[[nodiscard]] double local_similarity(AttrValue request_value, AttrValue case_value,
+                                      std::uint32_t dmax) noexcept;
+
+/// Eq. (1) in Q15, exactly as the fig. 7 datapath computes it (reciprocal
+/// multiply, truncation, saturating subtract).
+[[nodiscard]] fx::Q15 local_similarity_q15(AttrValue request_value, AttrValue case_value,
+                                           fx::Q15 reciprocal) noexcept;
+
+/// Squared-distance variant: 1 - (d/(1+dmax))^2.  Combined with a weighted
+/// sum this yields the Euclidean-style global measure of the E13 ablation.
+[[nodiscard]] double local_similarity_squared(AttrValue request_value, AttrValue case_value,
+                                              std::uint32_t dmax) noexcept;
+
+/// Local metric selector for the reference retriever.
+enum class LocalMetric {
+    manhattan,  ///< eq. (1), the paper's choice
+    squared,    ///< squared-normalized distance (Euclidean flavour)
+};
+
+/// Dispatches on the metric enum.
+[[nodiscard]] double local_similarity(LocalMetric metric, AttrValue request_value,
+                                      AttrValue case_value, std::uint32_t dmax) noexcept;
+
+}  // namespace qfa::cbr

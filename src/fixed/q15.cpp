@@ -1,0 +1,22 @@
+#include "fixed/q15.hpp"
+
+#include <cmath>
+
+namespace qfa::fx {
+
+Q15 Q15::from_double(double value) noexcept {
+    if (value <= 0.0) {
+        return zero();
+    }
+    if (value >= 1.0) {
+        return one();
+    }
+    const double scaled = value * static_cast<double>(kScale);
+    auto raw = static_cast<std::uint32_t>(std::lround(scaled));
+    if (raw > kRawOne) {
+        raw = kRawOne;
+    }
+    return Q15(static_cast<std::uint16_t>(raw));
+}
+
+}  // namespace qfa::fx

@@ -1,0 +1,127 @@
+// 16-bit fixed-point arithmetic for the hardware retrieval datapath.
+//
+// The paper (§4.2) fixes the processing bitwidth of all attribute values at
+// 16 bit and reports that fixed-point retrieval produces the same results as
+// double-precision Matlab simulation.  Similarities live in [0, 1] and are
+// represented here in Q0.15 ("Q15"): raw = round(value * 32768), stored in a
+// 16-bit word, so 1.0 maps to the saturated maximum 32767 (= 0.99997).
+//
+// Arithmetic follows the datapath of fig. 7:
+//  * products are computed exactly in a wide register (the MULT18X18 output)
+//    and truncated, not rounded, when narrowed back to Q15 — matching what
+//    a shift-based hardware implementation does;
+//  * the weighted global similarity is accumulated in Q30 (sum of Q15*Q15
+//    products) and *compared* in Q30, so the best-implementation decision
+//    never loses precision to a final narrowing step.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+#include "util/contracts.hpp"
+
+namespace qfa::fx {
+
+/// Unsigned Q0.15 fixed-point fraction in [0, 1).  Raw range [0, 32767].
+class Q15 {
+public:
+    static constexpr std::uint16_t kRawOne = 32767;   ///< saturated 1.0
+    static constexpr std::int32_t kScale = 32768;     ///< 2^15
+
+    constexpr Q15() noexcept = default;
+
+    /// Wraps a raw Q15 word.  Requires raw <= kRawOne.
+    static constexpr Q15 from_raw(std::uint16_t raw) {
+        QFA_EXPECTS(raw <= kRawOne, "Q15 raw value exceeds 0.99997 maximum");
+        return Q15(raw);
+    }
+
+    /// Quantizes a double in [0, 1] (values outside are clamped) using
+    /// round-to-nearest — the design-time conversion path.
+    static Q15 from_double(double value) noexcept;
+
+    /// Exact value as a double: raw / 32768.
+    [[nodiscard]] constexpr double to_double() const noexcept {
+        return static_cast<double>(raw_) / static_cast<double>(kScale);
+    }
+
+    [[nodiscard]] constexpr std::uint16_t raw() const noexcept { return raw_; }
+
+    static constexpr Q15 zero() noexcept { return Q15(0); }
+    static constexpr Q15 one() noexcept { return Q15(kRawOne); }
+
+    /// Truncating Q15 multiply: (a * b) >> 15, the hardware shift.
+    [[nodiscard]] constexpr Q15 mul(Q15 other) const noexcept {
+        const std::uint32_t product =
+            static_cast<std::uint32_t>(raw_) * static_cast<std::uint32_t>(other.raw_);
+        return Q15(static_cast<std::uint16_t>(product >> 15));
+    }
+
+    /// Saturating add (clamps at 1.0).
+    [[nodiscard]] constexpr Q15 sat_add(Q15 other) const noexcept {
+        const std::uint32_t sum =
+            static_cast<std::uint32_t>(raw_) + static_cast<std::uint32_t>(other.raw_);
+        return Q15(sum > kRawOne ? kRawOne : static_cast<std::uint16_t>(sum));
+    }
+
+    /// Saturating subtract (clamps at 0).
+    [[nodiscard]] constexpr Q15 sat_sub(Q15 other) const noexcept {
+        return Q15(raw_ >= other.raw_ ? static_cast<std::uint16_t>(raw_ - other.raw_)
+                                      : std::uint16_t{0});
+    }
+
+    constexpr auto operator<=>(const Q15&) const noexcept = default;
+
+private:
+    constexpr explicit Q15(std::uint16_t raw) noexcept : raw_(raw) {}
+
+    std::uint16_t raw_ = 0;
+};
+
+/// Maximum absolute quantization error of one Q15 value (half an LSB for
+/// round-to-nearest conversion).
+inline constexpr double kQ15Epsilon = 1.0 / 65536.0;
+
+/// Q30 accumulator for the weighted sum of eq. (2).
+///
+/// Mirrors the accumulator register of fig. 7: each local similarity s_i
+/// (Q15) is multiplied by its weight w_i (Q15) on the MULT18X18 and the
+/// full-precision Q30 product is summed.  With Σw_i = 1 the sum stays below
+/// 2^30, far inside the 64-bit model register (a real design would use a
+/// 32-bit accumulator).
+class SimAccumulator {
+public:
+    constexpr SimAccumulator() noexcept = default;
+
+    /// Adds s_i * w_i at full Q30 precision.
+    constexpr void add_product(Q15 similarity, Q15 weight) noexcept {
+        raw_q30_ += static_cast<std::uint64_t>(similarity.raw()) *
+                    static_cast<std::uint64_t>(weight.raw());
+    }
+
+    constexpr void reset() noexcept { raw_q30_ = 0; }
+
+    /// Raw Q30 value — what the hardware comparator sees.
+    [[nodiscard]] constexpr std::uint64_t raw_q30() const noexcept { return raw_q30_; }
+
+    /// Narrowed (truncating) Q15 view of the accumulated similarity.
+    [[nodiscard]] constexpr Q15 to_q15() const noexcept {
+        const std::uint64_t narrowed = raw_q30_ >> 15;
+        return Q15::from_raw(narrowed > Q15::kRawOne
+                                 ? Q15::kRawOne
+                                 : static_cast<std::uint16_t>(narrowed));
+    }
+
+    /// Exact value as a double: raw / 2^30.
+    [[nodiscard]] constexpr double to_double() const noexcept {
+        return static_cast<double>(raw_q30_) / (static_cast<double>(Q15::kScale) *
+                                                static_cast<double>(Q15::kScale));
+    }
+
+    constexpr auto operator<=>(const SimAccumulator&) const noexcept = default;
+
+private:
+    std::uint64_t raw_q30_ = 0;
+};
+
+}  // namespace qfa::fx

@@ -1,0 +1,37 @@
+#include "fixed/reciprocal.hpp"
+
+namespace qfa::fx {
+
+Q15 reciprocal_q15(std::uint32_t dmax) noexcept {
+    // round(32768 / (1 + dmax)), clamped into the Q15 word.
+    const std::uint64_t denominator = static_cast<std::uint64_t>(dmax) + 1;
+    const std::uint64_t raw =
+        (static_cast<std::uint64_t>(Q15::kScale) + denominator / 2) / denominator;
+    return raw > Q15::kRawOne ? Q15::one()
+                              : Q15::from_raw(static_cast<std::uint16_t>(raw));
+}
+
+Q15 local_similarity_q15(std::uint16_t request_value, std::uint16_t case_value,
+                         Q15 reciprocal) noexcept {
+    const std::uint32_t d = attr_distance(request_value, case_value);
+    if (d == 0) {
+        return Q15::one();
+    }
+    // MULT18X18: integer distance (<= 65535, fits 17 unsigned bits) times the
+    // Q15 reciprocal.  The product *is* the Q15 raw encoding of d/(1+dmax).
+    const std::uint64_t ratio_raw =
+        static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(reciprocal.raw());
+    if (ratio_raw >= Q15::kRawOne) {
+        return Q15::zero();  // saturated: no similarity at or beyond dmax+1
+    }
+    return Q15::one().sat_sub(Q15::from_raw(static_cast<std::uint16_t>(ratio_raw)));
+}
+
+double local_similarity_error_bound(std::uint32_t dmax) noexcept {
+    // The reciprocal is off by at most half an LSB (2^-16); multiplying by a
+    // distance up to dmax amplifies that to dmax * 2^-16.  The final
+    // subtraction contributes one more LSB (2^-15).
+    return static_cast<double>(dmax) / 65536.0 + 1.0 / 32768.0;
+}
+
+}  // namespace qfa::fx

@@ -1,0 +1,48 @@
+// Design-time reciprocal precomputation — the paper's divider-avoidance trick.
+//
+// §4.1: "The fourth entry of each attribute block (maxrange-1) contains a
+// pre-calculated reciprocal value of dmax+1.  Since it is a constant we do
+// not need to implement an expensive hardware divider [...] we can do a
+// rather fast multiplication with the attributes' absolute difference."
+//
+// The reciprocal 1/(1+dmax) is quantized to Q15 at design time (this file),
+// and eq. (1) becomes, in the datapath of fig. 7:
+//
+//     s_i = ONE -sat d * recip        (d = |A_req - A_cb|, integer)
+//
+// where `d * recip` is the MULT18X18 product interpreted as Q15 and the
+// subtraction saturates at zero for out-of-design-range distances d > dmax.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/q15.hpp"
+
+namespace qfa::fx {
+
+/// Absolute difference of two 16-bit attribute values (the ABS(X) unit).
+[[nodiscard]] constexpr std::uint32_t attr_distance(std::uint16_t a, std::uint16_t b) noexcept {
+    return a >= b ? static_cast<std::uint32_t>(a - b) : static_cast<std::uint32_t>(b - a);
+}
+
+/// Q15 quantization of 1/(1+dmax), round-to-nearest.
+///
+/// dmax = 0 (all catalogue values of this attribute identical) yields the
+/// saturated Q15 one; any non-zero distance then clamps similarity to 0,
+/// which matches the "maximum distance -> no similarity" semantics.
+[[nodiscard]] Q15 reciprocal_q15(std::uint32_t dmax) noexcept;
+
+/// Fixed-point local similarity per eq. (1): ONE -sat (d * recip).
+///
+/// The product is truncated to Q15 exactly as the hardware shift does;
+/// distances whose scaled ratio reaches or exceeds 1.0 give similarity 0.
+[[nodiscard]] Q15 local_similarity_q15(std::uint16_t request_value,
+                                       std::uint16_t case_value,
+                                       Q15 reciprocal) noexcept;
+
+/// Upper bound on |s_q15 - s_exact| for a given dmax: the reciprocal
+/// rounding error amplified by the worst-case distance plus one output LSB.
+/// Used by the fig. 7 bench (E6) to check measured error against theory.
+[[nodiscard]] double local_similarity_error_bound(std::uint32_t dmax) noexcept;
+
+}  // namespace qfa::fx

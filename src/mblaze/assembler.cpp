@@ -1,0 +1,248 @@
+#include "mblaze/assembler.hpp"
+
+#include <charconv>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace qfa::mb {
+
+namespace {
+
+struct Line {
+    std::size_t number;         ///< 1-based source line
+    std::string label;          ///< label defined on this line (may be empty)
+    std::string mnemonic;       ///< lower-case mnemonic (may be empty)
+    std::vector<std::string> operands;
+};
+
+std::string strip_comment(std::string_view text) {
+    const std::size_t semi = text.find(';');
+    const std::size_t hash = text.find('#');
+    const std::size_t cut = std::min(semi, hash);
+    return std::string(cut == std::string_view::npos ? text : text.substr(0, cut));
+}
+
+std::optional<Line> parse_line(std::size_t number, std::string_view raw) {
+    std::string text = strip_comment(raw);
+    std::string_view view = qfa::util::trim(text);
+    if (view.empty()) {
+        return std::nullopt;
+    }
+    Line line;
+    line.number = number;
+
+    const std::size_t colon = view.find(':');
+    if (colon != std::string_view::npos) {
+        line.label = std::string(qfa::util::trim(view.substr(0, colon)));
+        if (line.label.empty()) {
+            throw AsmError(number, "empty label");
+        }
+        view = qfa::util::trim(view.substr(colon + 1));
+        if (view.empty()) {
+            return line;  // label-only line
+        }
+    }
+
+    const std::size_t space = view.find_first_of(" \t");
+    line.mnemonic = qfa::util::to_lower(view.substr(0, space));
+    if (space != std::string_view::npos) {
+        for (const std::string& piece :
+             qfa::util::split(std::string(view.substr(space + 1)), ',')) {
+            const std::string operand(qfa::util::trim(piece));
+            if (operand.empty()) {
+                throw AsmError(number, "empty operand");
+            }
+            line.operands.push_back(operand);
+        }
+    }
+    return line;
+}
+
+std::uint8_t parse_register(const Line& line, const std::string& operand) {
+    if (operand.size() < 2 || (operand[0] != 'r' && operand[0] != 'R')) {
+        throw AsmError(line.number, "expected register, got '" + operand + "'");
+    }
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(operand.data() + 1, operand.data() + operand.size(), value);
+    if (ec != std::errc{} || ptr != operand.data() + operand.size() || value < 0 ||
+        value > 31) {
+        throw AsmError(line.number, "bad register '" + operand + "'");
+    }
+    return static_cast<std::uint8_t>(value);
+}
+
+std::int32_t parse_immediate(const Line& line, const std::string& operand) {
+    std::int64_t value = 0;
+    std::string_view body = operand;
+    bool negative = false;
+    if (!body.empty() && (body[0] == '-' || body[0] == '+')) {
+        negative = body[0] == '-';
+        body = body.substr(1);
+    }
+    int base = 10;
+    if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+        base = 16;
+        body = body.substr(2);
+    }
+    const auto [ptr, ec] =
+        std::from_chars(body.data(), body.data() + body.size(), value, base);
+    if (ec != std::errc{} || ptr != body.data() + body.size()) {
+        throw AsmError(line.number, "bad immediate '" + operand + "'");
+    }
+    if (negative) {
+        value = -value;
+    }
+    if (value < INT32_MIN || value > INT32_MAX) {
+        throw AsmError(line.number, "immediate out of range '" + operand + "'");
+    }
+    return static_cast<std::int32_t>(value);
+}
+
+const std::map<std::string, Op>& mnemonic_table() {
+    static const std::map<std::string, Op> table = {
+        {"add", Op::add},   {"addi", Op::addi},   {"rsub", Op::rsub},
+        {"rsubi", Op::rsubi}, {"mul", Op::mul},   {"muli", Op::muli},
+        {"and", Op::and_},  {"andi", Op::andi},   {"or", Op::or_},
+        {"ori", Op::ori},   {"xor", Op::xor_},    {"xori", Op::xori},
+        {"slli", Op::slli}, {"srli", Op::srli},   {"srai", Op::srai},
+        {"lhu", Op::lhu},   {"lw", Op::lw},       {"sh", Op::sh},
+        {"sw", Op::sw},     {"beq", Op::beq},     {"bne", Op::bne},
+        {"blt", Op::blt},   {"ble", Op::ble},     {"bgt", Op::bgt},
+        {"bge", Op::bge},   {"br", Op::br},       {"nop", Op::nop},
+        {"halt", Op::halt},
+    };
+    return table;
+}
+
+void expect_operands(const Line& line, std::size_t count) {
+    if (line.operands.size() != count) {
+        throw AsmError(line.number, "'" + line.mnemonic + "' expects " +
+                                        std::to_string(count) + " operands, got " +
+                                        std::to_string(line.operands.size()));
+    }
+}
+
+}  // namespace
+
+Program assemble(std::string_view source) {
+    // Pass 0: split and parse lines.
+    std::vector<Line> lines;
+    {
+        std::size_t number = 1;
+        for (const std::string& raw : qfa::util::split(source, '\n')) {
+            if (auto line = parse_line(number, raw)) {
+                lines.push_back(std::move(*line));
+            }
+            ++number;
+        }
+    }
+
+    // Pass 1: label -> instruction index.
+    std::map<std::string, std::size_t> labels;
+    {
+        std::size_t index = 0;
+        for (const Line& line : lines) {
+            if (!line.label.empty()) {
+                if (labels.contains(line.label)) {
+                    throw AsmError(line.number, "duplicate label '" + line.label + "'");
+                }
+                labels[line.label] = index;
+            }
+            if (!line.mnemonic.empty()) {
+                ++index;
+            }
+        }
+    }
+
+    auto resolve_label = [&labels](const Line& line, const std::string& name) {
+        const auto it = labels.find(name);
+        if (it == labels.end()) {
+            throw AsmError(line.number, "undefined label '" + name + "'");
+        }
+        return static_cast<std::int32_t>(it->second);
+    };
+
+    // Pass 2: encode.
+    Program program;
+    for (const Line& line : lines) {
+        if (line.mnemonic.empty()) {
+            continue;
+        }
+        Instr instr;
+
+        // Pseudo-instructions first.
+        if (line.mnemonic == "li") {
+            expect_operands(line, 2);
+            instr.op = Op::addi;
+            instr.rd = parse_register(line, line.operands[0]);
+            instr.ra = 0;
+            instr.imm = parse_immediate(line, line.operands[1]);
+            program.code.push_back(instr);
+            continue;
+        }
+        if (line.mnemonic == "mov") {
+            expect_operands(line, 2);
+            instr.op = Op::add;
+            instr.rd = parse_register(line, line.operands[0]);
+            instr.ra = parse_register(line, line.operands[1]);
+            instr.rb = 0;
+            program.code.push_back(instr);
+            continue;
+        }
+
+        const auto it = mnemonic_table().find(line.mnemonic);
+        if (it == mnemonic_table().end()) {
+            throw AsmError(line.number, "unknown mnemonic '" + line.mnemonic + "'");
+        }
+        instr.op = it->second;
+
+        switch (instr.op) {
+            case Op::nop:
+            case Op::halt:
+                expect_operands(line, 0);
+                break;
+            case Op::br:
+                expect_operands(line, 1);
+                instr.imm = resolve_label(line, line.operands[0]);
+                break;
+            case Op::beq:
+            case Op::bne:
+            case Op::blt:
+            case Op::ble:
+            case Op::bgt:
+            case Op::bge:
+                expect_operands(line, 3);
+                instr.ra = parse_register(line, line.operands[0]);
+                instr.rb = parse_register(line, line.operands[1]);
+                instr.imm = resolve_label(line, line.operands[2]);
+                break;
+            case Op::lhu:
+            case Op::lw:
+            case Op::sh:
+            case Op::sw:
+                expect_operands(line, 3);
+                instr.rd = parse_register(line, line.operands[0]);
+                instr.ra = parse_register(line, line.operands[1]);
+                instr.imm = parse_immediate(line, line.operands[2]);
+                break;
+            default:
+                expect_operands(line, 3);
+                instr.rd = parse_register(line, line.operands[0]);
+                instr.ra = parse_register(line, line.operands[1]);
+                if (op_has_immediate(instr.op)) {
+                    instr.imm = parse_immediate(line, line.operands[2]);
+                } else {
+                    instr.rb = parse_register(line, line.operands[2]);
+                }
+                break;
+        }
+        program.code.push_back(instr);
+    }
+    return program;
+}
+
+}  // namespace qfa::mb

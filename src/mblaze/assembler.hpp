@@ -1,0 +1,44 @@
+// Two-pass assembler for the MicroBlaze-subset ISA.
+//
+// Syntax, one instruction or label per line:
+//
+//     ; comment            # comment
+//     start:               ; label definition
+//         li    r4, 0xFFFF ; pseudo: addi r4, r0, imm
+//         mov   r5, r2     ; pseudo: add r5, r2, r0
+//         lhu   r6, r5, 0  ; rd, base, byte offset
+//         beq   r6, r4, done
+//         addi  r5, r5, 4
+//         br    start
+//     done:
+//         halt
+//
+// Pass 1 collects label positions; pass 2 encodes instructions and resolves
+// branch targets.  Errors throw AsmError carrying the 1-based line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "mblaze/isa.hpp"
+
+namespace qfa::mb {
+
+/// Assembly error with source location.
+class AsmError : public std::runtime_error {
+public:
+    AsmError(std::size_t line, const std::string& message)
+        : std::runtime_error("asm line " + std::to_string(line) + ": " + message),
+          line_(line) {}
+
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Assembles a full source listing into a program.
+[[nodiscard]] Program assemble(std::string_view source);
+
+}  // namespace qfa::mb

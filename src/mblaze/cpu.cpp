@@ -1,0 +1,168 @@
+#include "mblaze/cpu.hpp"
+
+namespace qfa::mb {
+
+std::uint32_t instr_base_cycles(Op op) noexcept {
+    switch (op) {
+        case Op::lhu:
+        case Op::lw:
+        case Op::sh:
+        case Op::sw:
+            return 2;
+        case Op::mul:
+        case Op::muli:
+            return 3;
+        default:
+            return 1;  // includes branches (not-taken cost) and halt/nop
+    }
+}
+
+Cpu::Cpu(std::size_t memory_bytes) : memory_(memory_bytes, 0) {
+    QFA_EXPECTS(memory_bytes >= 16, "CPU needs some memory");
+}
+
+std::uint32_t Cpu::reg(std::uint8_t index) const {
+    QFA_EXPECTS(index < 32, "register index out of range");
+    return index == 0 ? 0 : regs_[index];
+}
+
+void Cpu::set_reg(std::uint8_t index, std::uint32_t value) {
+    QFA_EXPECTS(index < 32, "register index out of range");
+    if (index != 0) {
+        regs_[index] = value;
+    }
+}
+
+void Cpu::load_words(std::size_t addr, std::span<const mem::Word> words) {
+    QFA_EXPECTS(addr + words.size() * 2 <= memory_.size(), "image does not fit in memory");
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        write_half(addr + 2 * i, words[i]);
+    }
+}
+
+std::uint16_t Cpu::read_half(std::size_t addr) const {
+    QFA_EXPECTS(addr + 1 < memory_.size(), "halfword read out of memory");
+    return static_cast<std::uint16_t>(memory_[addr] |
+                                      (static_cast<std::uint16_t>(memory_[addr + 1]) << 8));
+}
+
+void Cpu::write_half(std::size_t addr, std::uint16_t value) {
+    QFA_EXPECTS(addr + 1 < memory_.size(), "halfword write out of memory");
+    memory_[addr] = static_cast<std::uint8_t>(value & 0xFF);
+    memory_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+std::uint32_t Cpu::read_word(std::size_t addr) const {
+    QFA_EXPECTS(addr + 3 < memory_.size(), "word read out of memory");
+    return static_cast<std::uint32_t>(memory_[addr]) |
+           (static_cast<std::uint32_t>(memory_[addr + 1]) << 8) |
+           (static_cast<std::uint32_t>(memory_[addr + 2]) << 16) |
+           (static_cast<std::uint32_t>(memory_[addr + 3]) << 24);
+}
+
+void Cpu::write_word(std::size_t addr, std::uint32_t value) {
+    QFA_EXPECTS(addr + 3 < memory_.size(), "word write out of memory");
+    memory_[addr] = static_cast<std::uint8_t>(value & 0xFF);
+    memory_[addr + 1] = static_cast<std::uint8_t>((value >> 8) & 0xFF);
+    memory_[addr + 2] = static_cast<std::uint8_t>((value >> 16) & 0xFF);
+    memory_[addr + 3] = static_cast<std::uint8_t>((value >> 24) & 0xFF);
+}
+
+CpuStats Cpu::run(const Program& program, std::uint64_t max_instructions) {
+    QFA_EXPECTS(!program.code.empty(), "cannot run an empty program");
+    CpuStats stats;
+    std::size_t pc = 0;
+
+    while (stats.instructions < max_instructions) {
+        QFA_EXPECTS(pc < program.code.size(), "PC ran past the end of the program");
+        const Instr& instr = program.code[pc];
+        ++stats.instructions;
+        stats.cycles += instr_base_cycles(instr.op);
+
+        const std::uint32_t a = reg(instr.ra);
+        const std::uint32_t b = reg(instr.rb);
+        const auto sa = static_cast<std::int32_t>(a);
+        const auto sb = static_cast<std::int32_t>(b);
+        const auto uimm = static_cast<std::uint32_t>(instr.imm);
+        bool branch_taken = false;
+        std::size_t branch_target = 0;
+
+        switch (instr.op) {
+            case Op::add: set_reg(instr.rd, a + b); break;
+            case Op::addi: set_reg(instr.rd, a + uimm); break;
+            case Op::rsub: set_reg(instr.rd, b - a); break;
+            case Op::rsubi: set_reg(instr.rd, uimm - a); break;
+            case Op::mul:
+                set_reg(instr.rd, a * b);
+                ++stats.multiplies;
+                break;
+            case Op::muli:
+                set_reg(instr.rd, a * uimm);
+                ++stats.multiplies;
+                break;
+            case Op::and_: set_reg(instr.rd, a & b); break;
+            case Op::andi: set_reg(instr.rd, a & uimm); break;
+            case Op::or_: set_reg(instr.rd, a | b); break;
+            case Op::ori: set_reg(instr.rd, a | uimm); break;
+            case Op::xor_: set_reg(instr.rd, a ^ b); break;
+            case Op::xori: set_reg(instr.rd, a ^ uimm); break;
+            case Op::slli:
+                QFA_EXPECTS(instr.imm >= 0 && instr.imm < 32, "shift amount out of range");
+                set_reg(instr.rd, a << instr.imm);
+                break;
+            case Op::srli:
+                QFA_EXPECTS(instr.imm >= 0 && instr.imm < 32, "shift amount out of range");
+                set_reg(instr.rd, a >> instr.imm);
+                break;
+            case Op::srai:
+                QFA_EXPECTS(instr.imm >= 0 && instr.imm < 32, "shift amount out of range");
+                set_reg(instr.rd, static_cast<std::uint32_t>(sa >> instr.imm));
+                break;
+            case Op::lhu:
+                set_reg(instr.rd, read_half(a + uimm));
+                ++stats.loads;
+                break;
+            case Op::lw:
+                set_reg(instr.rd, read_word(a + uimm));
+                ++stats.loads;
+                break;
+            case Op::sh:
+                write_half(a + uimm, static_cast<std::uint16_t>(reg(instr.rd) & 0xFFFF));
+                ++stats.stores;
+                break;
+            case Op::sw:
+                write_word(a + uimm, reg(instr.rd));
+                ++stats.stores;
+                break;
+            case Op::beq: branch_taken = a == b; branch_target = static_cast<std::size_t>(instr.imm); break;
+            case Op::bne: branch_taken = a != b; branch_target = static_cast<std::size_t>(instr.imm); break;
+            case Op::blt: branch_taken = sa < sb; branch_target = static_cast<std::size_t>(instr.imm); break;
+            case Op::ble: branch_taken = sa <= sb; branch_target = static_cast<std::size_t>(instr.imm); break;
+            case Op::bgt: branch_taken = sa > sb; branch_target = static_cast<std::size_t>(instr.imm); break;
+            case Op::bge: branch_taken = sa >= sb; branch_target = static_cast<std::size_t>(instr.imm); break;
+            case Op::br:
+                branch_taken = true;
+                branch_target = static_cast<std::size_t>(instr.imm);
+                break;
+            case Op::nop: break;
+            case Op::halt:
+                stats.halted = true;
+                return stats;
+        }
+
+        if (op_is_branch(instr.op)) {
+            if (branch_taken) {
+                stats.cycles += kTakenBranchPenalty;
+                ++stats.branches_taken;
+                pc = branch_target;
+                continue;
+            }
+            ++stats.branches_not_taken;
+        }
+        ++pc;
+    }
+    stats.fuel_exhausted = true;
+    return stats;
+}
+
+}  // namespace qfa::mb

@@ -1,0 +1,78 @@
+// Cycle-cost interpreter for the MicroBlaze-subset ISA.
+//
+// Cost model (MicroBlaze v4, 3-stage pipeline, no branch delay slots):
+//   arithmetic / logic / shift ......... 1 cycle
+//   load (lhu/lw) ...................... 2 cycles
+//   store (sh/sw) ...................... 2 cycles
+//   multiply ........................... 3 cycles
+//   branch taken ....................... 3 cycles (pipeline refill)
+//   branch not taken ................... 1 cycle
+//   nop / halt ......................... 1 cycle
+//
+// Register r0 reads as zero and ignores writes.  Memory is a flat
+// byte-addressable array; halfwords are little-endian (a model choice —
+// cycle counts do not depend on byte order).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mblaze/isa.hpp"
+#include "memimg/words.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::mb {
+
+/// Execution statistics of one run.
+struct CpuStats {
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t multiplies = 0;
+    std::uint64_t branches_taken = 0;
+    std::uint64_t branches_not_taken = 0;
+    bool halted = false;          ///< reached a halt instruction
+    bool fuel_exhausted = false;  ///< stopped by the instruction budget
+};
+
+/// The processor model.
+class Cpu {
+public:
+    /// Creates a CPU with `memory_bytes` of zeroed RAM.
+    explicit Cpu(std::size_t memory_bytes = 256 * 1024);
+
+    /// Register access (r0 is hardwired to zero).
+    [[nodiscard]] std::uint32_t reg(std::uint8_t index) const;
+    void set_reg(std::uint8_t index, std::uint32_t value);
+
+    /// Copies 16-bit words into memory starting at byte address `addr`.
+    void load_words(std::size_t addr, std::span<const mem::Word> words);
+
+    /// Memory peek/poke helpers for tests.
+    [[nodiscard]] std::uint16_t read_half(std::size_t addr) const;
+    void write_half(std::size_t addr, std::uint16_t value);
+    [[nodiscard]] std::uint32_t read_word(std::size_t addr) const;
+    void write_word(std::size_t addr, std::uint32_t value);
+
+    /// Runs `program` from instruction 0 until halt or `max_instructions`.
+    /// Registers persist across calls (set parameters before running).
+    CpuStats run(const Program& program, std::uint64_t max_instructions = 50'000'000);
+
+    [[nodiscard]] std::size_t memory_size() const noexcept { return memory_.size(); }
+
+private:
+    std::array<std::uint32_t, 32> regs_{};
+    std::vector<std::uint8_t> memory_;
+};
+
+/// Per-instruction cycle cost excluding branch direction (branches return
+/// the not-taken cost; the interpreter adds the taken penalty).
+[[nodiscard]] std::uint32_t instr_base_cycles(Op op) noexcept;
+
+/// Additional cycles for a taken branch (pipeline refill).
+inline constexpr std::uint32_t kTakenBranchPenalty = 2;
+
+}  // namespace qfa::mb

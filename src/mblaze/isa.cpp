@@ -1,0 +1,126 @@
+#include "mblaze/isa.hpp"
+
+#include <sstream>
+
+namespace qfa::mb {
+
+bool op_has_immediate(Op op) noexcept {
+    switch (op) {
+        case Op::addi:
+        case Op::rsubi:
+        case Op::muli:
+        case Op::andi:
+        case Op::ori:
+        case Op::xori:
+        case Op::slli:
+        case Op::srli:
+        case Op::srai:
+        case Op::lhu:
+        case Op::lw:
+        case Op::sh:
+        case Op::sw:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool op_is_branch(Op op) noexcept {
+    switch (op) {
+        case Op::beq:
+        case Op::bne:
+        case Op::blt:
+        case Op::ble:
+        case Op::bgt:
+        case Op::bge:
+        case Op::br:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool op_is_memory(Op op) noexcept {
+    switch (op) {
+        case Op::lhu:
+        case Op::lw:
+        case Op::sh:
+        case Op::sw:
+            return true;
+        default:
+            return false;
+    }
+}
+
+const char* op_mnemonic(Op op) noexcept {
+    switch (op) {
+        case Op::add: return "add";
+        case Op::addi: return "addi";
+        case Op::rsub: return "rsub";
+        case Op::rsubi: return "rsubi";
+        case Op::mul: return "mul";
+        case Op::muli: return "muli";
+        case Op::and_: return "and";
+        case Op::andi: return "andi";
+        case Op::or_: return "or";
+        case Op::ori: return "ori";
+        case Op::xor_: return "xor";
+        case Op::xori: return "xori";
+        case Op::slli: return "slli";
+        case Op::srli: return "srli";
+        case Op::srai: return "srai";
+        case Op::lhu: return "lhu";
+        case Op::lw: return "lw";
+        case Op::sh: return "sh";
+        case Op::sw: return "sw";
+        case Op::beq: return "beq";
+        case Op::bne: return "bne";
+        case Op::blt: return "blt";
+        case Op::ble: return "ble";
+        case Op::bgt: return "bgt";
+        case Op::bge: return "bge";
+        case Op::br: return "br";
+        case Op::nop: return "nop";
+        case Op::halt: return "halt";
+    }
+    return "?";
+}
+
+std::string disassemble(const Instr& instr) {
+    std::ostringstream os;
+    os << op_mnemonic(instr.op);
+    auto reg = [](std::uint8_t r) { return "r" + std::to_string(r); };
+    switch (instr.op) {
+        case Op::nop:
+        case Op::halt:
+            break;
+        case Op::br:
+            os << " @" << instr.imm;
+            break;
+        case Op::beq:
+        case Op::bne:
+        case Op::blt:
+        case Op::ble:
+        case Op::bgt:
+        case Op::bge:
+            os << " " << reg(instr.ra) << ", " << reg(instr.rb) << ", @" << instr.imm;
+            break;
+        case Op::lhu:
+        case Op::lw:
+        case Op::sh:
+        case Op::sw:
+            os << " " << reg(instr.rd) << ", " << reg(instr.ra) << ", " << instr.imm;
+            break;
+        default:
+            os << " " << reg(instr.rd) << ", " << reg(instr.ra) << ", ";
+            if (op_has_immediate(instr.op)) {
+                os << instr.imm;
+            } else {
+                os << reg(instr.rb);
+            }
+            break;
+    }
+    return os.str();
+}
+
+}  // namespace qfa::mb

@@ -1,0 +1,265 @@
+#include "mblaze/retrieval_program.hpp"
+
+#include "mblaze/assembler.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::mb {
+
+namespace {
+
+// Register conventions shared by both listings:
+//   inputs:  r1 = request base, r2 = case-base base, r3 = supplemental base
+//            r29 = stack frame (compiled_style only)
+//   outputs: r10 = best implementation id, r11 = best S (Q30), r12 = found
+// Constants: r24 = 0xFFFF end-of-list, r26 = 32767 (Q15 one).
+
+const std::string kOptimizedSource = R"asm(
+; Most-similar retrieval, hand-optimised register allocation.
+start:
+    lhu   r4, r1, 0            ; requested function type
+    li    r24, 0xFFFF          ; end-of-list word
+    li    r26, 32767           ; Q15 one
+    li    r10, 0xFFFF          ; best id = none
+    li    r11, -1              ; best S = -1 so a zero score still wins
+    li    r12, 0               ; found = 0
+    mov   r5, r2               ; type cursor
+type_loop:
+    lhu   r6, r5, 0
+    beq   r6, r24, done        ; type not in case base
+    beq   r6, r4, type_found
+    addi  r5, r5, 4            ; next [id, ptr] block
+    br    type_loop
+type_found:
+    lhu   r7, r5, 2            ; implementation list pointer (words)
+    add   r7, r7, r7           ; words -> bytes
+    add   r7, r7, r2
+impl_loop:
+    lhu   r8, r7, 0            ; implementation id
+    beq   r8, r24, done
+    lhu   r9, r7, 2            ; attribute list pointer (words)
+    add   r9, r9, r9
+    add   r9, r9, r2
+    li    r25, 0               ; acc = 0
+    addi  r13, r1, 2           ; request cursor after the type word
+    mov   r17, r3              ; supplemental cursor (resumable scan)
+    mov   r22, r9              ; attribute cursor (resumable scan)
+req_loop:
+    lhu   r14, r13, 0          ; request attribute id
+    beq   r14, r24, impl_done
+    lhu   r15, r13, 2          ; request value
+    lhu   r16, r13, 4          ; request weight (Q15)
+    addi  r13, r13, 6
+supp_loop:
+    lhu   r6, r17, 0
+    beq   r6, r24, supp_miss
+    beq   r6, r14, supp_found
+    bgt   r6, r14, supp_miss   ; passed the id: no supplemental block
+    addi  r17, r17, 8          ; skip [id, lower, upper, recip]
+    br    supp_loop
+supp_found:
+    lhu   r18, r17, 6          ; reciprocal = fourth block entry
+    br    attr_loop
+supp_miss:
+    li    r18, 32767           ; saturated reciprocal (dmax = 0)
+attr_loop:
+    lhu   r6, r22, 0
+    beq   r6, r24, attr_miss
+    beq   r6, r14, attr_found
+    bgt   r6, r14, attr_miss   ; passed the id: attribute missing
+    addi  r22, r22, 4          ; skip [id, value]
+    br    attr_loop
+attr_found:
+    lhu   r19, r22, 2          ; case attribute value
+    addi  r22, r22, 4
+    rsub  r20, r19, r15        ; d = request - case
+    bge   r20, r0, abs_ok
+    rsub  r20, r20, r0         ; d = -d
+abs_ok:
+    mul   r23, r20, r18        ; ratio (Q15 raw) = d * reciprocal
+    blt   r23, r26, s_ok
+    li    r21, 0               ; saturated: no similarity
+    br    mac
+s_ok:
+    rsub  r21, r23, r26        ; s = 32767 - ratio
+    br    mac
+attr_miss:
+    li    r21, 0               ; unsatisfiable requirement
+mac:
+    mul   r23, r21, r16        ; s * w (Q30)
+    add   r25, r25, r23
+    br    req_loop
+impl_done:
+    ble   r25, r11, next_impl  ; acc <= best: keep earlier candidate
+    mov   r11, r25
+    mov   r10, r8
+    li    r12, 1
+next_impl:
+    addi  r7, r7, 4
+    br    impl_loop
+done:
+    halt
+)asm";
+
+const std::string kCompiledStyleSource = R"asm(
+; Most-similar retrieval, compiled-C shape: every local lives in the stack
+; frame at r29 and is reloaded around each use, as a non-optimising compiler
+; schedules it.  Frame slots: 0 acc, 4 req_cur, 8 supp_cur, 12 attr_cur,
+; 16 best_S, 20 best_id, 24 impl_cur, 28 found.
+start:
+    lhu   r4, r1, 0
+    li    r24, 0xFFFF
+    li    r26, 32767
+    li    r6, 0xFFFF
+    sw    r6, r29, 20          ; best_id = none
+    li    r6, -1
+    sw    r6, r29, 16          ; best_S = -1
+    li    r6, 0
+    sw    r6, r29, 28          ; found = 0
+    mov   r5, r2
+type_loop:
+    lhu   r6, r5, 0
+    beq   r6, r24, done
+    beq   r6, r4, type_found
+    addi  r5, r5, 4
+    br    type_loop
+type_found:
+    lhu   r7, r5, 2
+    add   r7, r7, r7
+    add   r7, r7, r2
+    sw    r7, r29, 24          ; impl_cur
+impl_loop:
+    lw    r7, r29, 24
+    lhu   r8, r7, 0
+    beq   r8, r24, done
+    lhu   r9, r7, 2
+    add   r9, r9, r9
+    add   r9, r9, r2
+    li    r6, 0
+    sw    r6, r29, 0           ; acc = 0
+    addi  r6, r1, 2
+    sw    r6, r29, 4           ; req_cur
+    sw    r3, r29, 8           ; supp_cur
+    sw    r9, r29, 12          ; attr_cur
+req_loop:
+    lw    r13, r29, 4
+    lhu   r14, r13, 0
+    beq   r14, r24, impl_done
+    lhu   r15, r13, 2
+    lhu   r16, r13, 4
+    addi  r13, r13, 6
+    sw    r13, r29, 4
+supp_loop:
+    lw    r17, r29, 8
+    lhu   r6, r17, 0
+    beq   r6, r24, supp_miss
+    beq   r6, r14, supp_found
+    bgt   r6, r14, supp_miss
+    addi  r17, r17, 8
+    sw    r17, r29, 8
+    br    supp_loop
+supp_found:
+    lw    r17, r29, 8
+    lhu   r18, r17, 6
+    br    attr_loop
+supp_miss:
+    li    r18, 32767
+attr_loop:
+    lw    r22, r29, 12
+    lhu   r6, r22, 0
+    beq   r6, r24, attr_miss
+    beq   r6, r14, attr_found
+    bgt   r6, r14, attr_miss
+    addi  r22, r22, 4
+    sw    r22, r29, 12
+    br    attr_loop
+attr_found:
+    lw    r22, r29, 12
+    lhu   r19, r22, 2
+    addi  r22, r22, 4
+    sw    r22, r29, 12
+    rsub  r20, r19, r15
+    bge   r20, r0, abs_ok
+    rsub  r20, r20, r0
+abs_ok:
+    mul   r23, r20, r18
+    blt   r23, r26, s_ok
+    li    r21, 0
+    br    mac
+s_ok:
+    rsub  r21, r23, r26
+    br    mac
+attr_miss:
+    li    r21, 0
+mac:
+    mul   r23, r21, r16
+    lw    r6, r29, 0
+    add   r6, r6, r23
+    sw    r6, r29, 0
+    br    req_loop
+impl_done:
+    lw    r25, r29, 0
+    lw    r6, r29, 16
+    ble   r25, r6, next_impl
+    sw    r25, r29, 16
+    sw    r8, r29, 20
+    li    r6, 1
+    sw    r6, r29, 28
+next_impl:
+    lw    r7, r29, 24
+    addi  r7, r7, 4
+    sw    r7, r29, 24
+    br    impl_loop
+done:
+    lw    r10, r29, 20
+    lw    r11, r29, 16
+    lw    r12, r29, 28
+    halt
+)asm";
+
+}  // namespace
+
+const std::string& retrieval_source(SwProgramKind kind) {
+    return kind == SwProgramKind::optimized ? kOptimizedSource : kCompiledStyleSource;
+}
+
+const Program& retrieval_program(SwProgramKind kind) {
+    static const Program optimized = assemble(kOptimizedSource);
+    static const Program compiled = assemble(kCompiledStyleSource);
+    return kind == SwProgramKind::optimized ? optimized : compiled;
+}
+
+SwRetrievalResult run_sw_retrieval(SwProgramKind kind, const mem::RequestImage& request,
+                                   const mem::CaseBaseImage& case_base,
+                                   const SwLayout& layout) {
+    QFA_EXPECTS(layout.req_base > layout.stack_base + 32,
+                "request region overlaps the stack frame");
+    QFA_EXPECTS(layout.cb_base >= layout.req_base + request.size_bytes(),
+                "case-base region overlaps the request");
+
+    const std::size_t memory_bytes = layout.cb_base + case_base.size_bytes() + 64;
+    Cpu cpu(std::max<std::size_t>(memory_bytes, 64 * 1024));
+    cpu.load_words(layout.req_base, request.words);
+    cpu.load_words(layout.cb_base, case_base.words);
+
+    cpu.set_reg(1, static_cast<std::uint32_t>(layout.req_base));
+    cpu.set_reg(2, static_cast<std::uint32_t>(layout.cb_base));
+    cpu.set_reg(3, static_cast<std::uint32_t>(
+                       layout.cb_base + 2 * case_base.supplemental_offset));
+    cpu.set_reg(29, static_cast<std::uint32_t>(layout.stack_base));
+
+    const Program& program = retrieval_program(kind);
+    SwRetrievalResult result;
+    result.stats = cpu.run(program);
+    QFA_ENSURES(result.stats.halted, "retrieval program must halt");
+
+    result.found = cpu.reg(12) == 1;
+    if (result.found) {
+        result.impl = cbr::ImplId{static_cast<std::uint16_t>(cpu.reg(10) & 0xFFFF)};
+        result.similarity_q30 = cpu.reg(11);
+    }
+    result.code_bytes = program.code_bytes();
+    result.data_bytes = request.size_bytes() + case_base.size_bytes() + 32;
+    return result;
+}
+
+}  // namespace qfa::mb

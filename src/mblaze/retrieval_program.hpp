@@ -1,0 +1,67 @@
+// The retrieval algorithm as software for the MicroBlaze-class core.
+//
+// §4.2: "Apart from the hardware implementation we also mapped the retrieval
+// algorithm into a C program running on a Xilinx MicroBlaze soft-processor
+// at 66 MHz [...] As result we have found that our hardware version is at
+// 66 MHz about 8.5 times faster than the software solution."
+//
+// Two listings walk the *same packed memory images* as the hardware unit:
+//
+//  * compiled_style — registerless locals spilled to a stack frame and
+//    reloaded around every use, the code shape a non-optimising early-2000s
+//    C compiler emits.  This is the faithful stand-in for the paper's
+//    MicroBlaze C build and the baseline of the E4 speed-up experiment.
+//  * optimized — everything register-allocated, the software lower bound a
+//    hand tuner reaches; reported alongside as the conservative ratio.
+//
+// Both deliver results bit-identical to the hardware model (checked by the
+// equivalence tests): same Q30 accumulator, same strict-greater best
+// selection, same missing-attribute and saturation semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ids.hpp"
+#include "mblaze/cpu.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+
+namespace qfa::mb {
+
+/// Which software listing to run.
+enum class SwProgramKind {
+    compiled_style,  ///< stack-spilled locals (the paper's C build stand-in)
+    optimized,       ///< fully register-allocated hand assembly
+};
+
+/// Assembly source of the listing (for inspection / tests).
+[[nodiscard]] const std::string& retrieval_source(SwProgramKind kind);
+
+/// Assembled program (cached; assembly is deterministic).
+[[nodiscard]] const Program& retrieval_program(SwProgramKind kind);
+
+/// Memory layout used by the software harness (byte addresses).
+struct SwLayout {
+    std::size_t stack_base = 0x0800;  ///< frame for the compiled-style locals
+    std::size_t req_base = 0x1000;    ///< packed request list
+    std::size_t cb_base = 0x4000;     ///< packed case-base image
+};
+
+/// Result of one software retrieval run.
+struct SwRetrievalResult {
+    bool found = false;
+    cbr::ImplId impl;                ///< valid when found
+    std::uint64_t similarity_q30 = 0;
+    CpuStats stats;                  ///< instruction/cycle accounting
+    std::size_t code_bytes = 0;      ///< program footprint (4 B/instruction)
+    std::size_t data_bytes = 0;      ///< images + stack frame footprint
+};
+
+/// Loads the images, runs the listing and decodes the result registers.
+[[nodiscard]] SwRetrievalResult run_sw_retrieval(SwProgramKind kind,
+                                                 const mem::RequestImage& request,
+                                                 const mem::CaseBaseImage& case_base,
+                                                 const SwLayout& layout = {});
+
+}  // namespace qfa::mb

@@ -1,0 +1,75 @@
+#include "memimg/request_image.hpp"
+
+#include <stdexcept>
+
+namespace qfa::mem {
+
+RequestImage encode_request(const cbr::Request& request) {
+    const cbr::Request normalized = request.normalized();
+    const std::vector<fx::Q15> weights = cbr::quantize_weights(normalized);
+    const auto constraints = normalized.constraints();
+
+    if (!is_valid_id_word(request.type().value())) {
+        throw std::invalid_argument("request type id collides with the list terminator");
+    }
+
+    RequestImage image;
+    image.words.reserve(request_image_words(constraints.size()));
+    image.words.push_back(request.type().value());
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        if (!is_valid_id_word(constraints[i].id.value())) {
+            throw std::invalid_argument("attribute id collides with the list terminator");
+        }
+        image.words.push_back(constraints[i].id.value());
+        image.words.push_back(constraints[i].value);
+        image.words.push_back(weights[i].raw());
+    }
+    image.words.push_back(kEndOfList);
+    return image;
+}
+
+DecodedRequest decode_request(std::span<const Word> words) {
+    if (words.empty()) {
+        throw ImageFormatError("request image is empty");
+    }
+    if (!is_valid_id_word(words[0])) {
+        throw ImageFormatError("request image starts with the terminator word");
+    }
+    DecodedRequest decoded;
+    decoded.type = cbr::TypeId{words[0]};
+
+    std::size_t pos = 1;
+    Word prev_id = 0;
+    bool first = true;
+    while (true) {
+        if (pos >= words.size()) {
+            throw ImageFormatError("request image lacks the end-of-list terminator");
+        }
+        const Word id = words[pos];
+        if (id == kEndOfList) {
+            break;
+        }
+        if (pos + 2 >= words.size()) {
+            throw ImageFormatError("truncated attribute block in request image");
+        }
+        if (!first && id <= prev_id) {
+            throw ImageFormatError("request attribute blocks are not strictly ascending");
+        }
+        const Word value = words[pos + 1];
+        const Word weight_raw = words[pos + 2];
+        if (weight_raw > fx::Q15::kRawOne) {
+            throw ImageFormatError("request weight exceeds the Q15 range");
+        }
+        decoded.constraints.push_back(DecodedRequest::Constraint{
+            cbr::AttrId{id}, value, fx::Q15::from_raw(weight_raw)});
+        prev_id = id;
+        first = false;
+        pos += 3;
+    }
+    if (decoded.constraints.empty()) {
+        throw ImageFormatError("request image has no attribute blocks");
+    }
+    return decoded;
+}
+
+}  // namespace qfa::mem

@@ -1,0 +1,63 @@
+// Request-list packing (fig. 4, left).
+//
+// Layout, one 16-bit word per line:
+//
+//     +0  function type ID
+//     +1  attribute ID      |
+//     +2  attribute value   |  one block per constraint,
+//     +3  attribute weight  |  pre-sorted ascending by attribute ID
+//     ...
+//     +n  end-of-list (0xFFFF)
+//
+// "The internal order of entries is predefined so that an attribute's ID is
+// always followed by its value and weight.  Additionally the attribute-
+// blocks have to be pre-sorted by their ID in ascending order."
+//
+// Weights are stored as Q15 raw words, quantized with the largest-remainder
+// scheme so they sum to exactly 2^15 (see cbr::quantize_weights).  A request
+// with the paper's worst case of 10 attributes packs into
+// (1 + 3*10 + 1) * 2 = 64 bytes — Table 3's "memory consumption of request".
+#pragma once
+
+#include <vector>
+
+#include "core/request.hpp"
+#include "memimg/words.hpp"
+
+namespace qfa::mem {
+
+/// A packed request list.
+struct RequestImage {
+    std::vector<Word> words;
+
+    [[nodiscard]] std::size_t size_bytes() const noexcept {
+        return words.size() * kWordBytes;
+    }
+};
+
+/// Packs a request.  The request is normalized and its weights quantized to
+/// Q15.  Throws std::invalid_argument when an ID collides with the
+/// terminator word.
+[[nodiscard]] RequestImage encode_request(const cbr::Request& request);
+
+/// Number of words a request with `attribute_count` constraints occupies.
+[[nodiscard]] constexpr std::size_t request_image_words(std::size_t attribute_count) noexcept {
+    return 1 + 3 * attribute_count + 1;
+}
+
+/// Decoded view of a packed request (weights come back as Q15 fractions).
+struct DecodedRequest {
+    cbr::TypeId type;
+    struct Constraint {
+        cbr::AttrId id;
+        cbr::AttrValue value;
+        fx::Q15 weight;
+    };
+    std::vector<Constraint> constraints;
+};
+
+/// Unpacks and validates a request image; throws ImageFormatError on
+/// truncation, missing terminator or unsorted attribute blocks.
+[[nodiscard]] DecodedRequest decode_request(std::span<const Word> words);
+
+}  // namespace qfa::mem

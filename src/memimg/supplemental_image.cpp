@@ -1,0 +1,81 @@
+#include "memimg/supplemental_image.hpp"
+
+#include <stdexcept>
+
+#include "fixed/reciprocal.hpp"
+
+namespace qfa::mem {
+
+SupplementalImage encode_bounds(const cbr::BoundsTable& bounds) {
+    SupplementalImage image;
+    image.words.reserve(supplemental_image_words(bounds.size()));
+    for (const auto& [id, b] : bounds.entries()) {
+        if (!is_valid_id_word(id.value())) {
+            throw std::invalid_argument("attribute id collides with the list terminator");
+        }
+        image.words.push_back(id.value());
+        image.words.push_back(b.lower);
+        image.words.push_back(b.upper);
+        image.words.push_back(fx::reciprocal_q15(b.dmax()).raw());
+    }
+    image.words.push_back(kEndOfList);
+    return image;
+}
+
+cbr::BoundsTable decode_bounds(std::span<const Word> words) {
+    std::map<cbr::AttrId, cbr::AttrBounds> entries;
+    std::size_t pos = 0;
+    Word prev_id = 0;
+    bool first = true;
+    while (true) {
+        if (pos >= words.size()) {
+            throw ImageFormatError("supplemental list lacks the end-of-list terminator");
+        }
+        const Word id = words[pos];
+        if (id == kEndOfList) {
+            break;
+        }
+        if (pos + 3 >= words.size()) {
+            throw ImageFormatError("truncated supplemental block");
+        }
+        if (!first && id <= prev_id) {
+            throw ImageFormatError("supplemental blocks are not strictly ascending");
+        }
+        const Word lower = words[pos + 1];
+        const Word upper = words[pos + 2];
+        const Word recip = words[pos + 3];
+        if (lower > upper) {
+            throw ImageFormatError("supplemental block has lower > upper bound");
+        }
+        const Word expected =
+            fx::reciprocal_q15(static_cast<std::uint32_t>(upper) - lower).raw();
+        if (recip != expected) {
+            throw ImageFormatError("supplemental reciprocal word is inconsistent with bounds");
+        }
+        entries.emplace(cbr::AttrId{id}, cbr::AttrBounds{lower, upper});
+        prev_id = id;
+        first = false;
+        pos += 4;
+    }
+    return cbr::BoundsTable(std::move(entries));
+}
+
+std::optional<fx::Q15> lookup_reciprocal(std::span<const Word> words, cbr::AttrId id) {
+    std::size_t pos = 0;
+    while (pos < words.size() && words[pos] != kEndOfList) {
+        if (pos + 3 >= words.size()) {
+            throw ImageFormatError("truncated supplemental block");
+        }
+        if (words[pos] == id.value()) {
+            const Word recip = words[pos + 3];
+            if (recip > fx::Q15::kRawOne) {
+                throw ImageFormatError("reciprocal word exceeds the Q15 range");
+            }
+            return fx::Q15::from_raw(recip);
+        }
+        pos += 4;
+    }
+    return std::nullopt;
+}
+
+}  // namespace qfa::mem

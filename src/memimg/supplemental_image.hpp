@@ -1,0 +1,54 @@
+// Attribute supplemental-data list packing (fig. 4, right).
+//
+// Layout, one 16-bit word per line:
+//
+//     +0  attribute ID            |
+//     +1  lower bound             |  one block per attribute type,
+//     +2  upper bound             |  pre-sorted ascending by ID
+//     +3  maxrange-1 (Q15 recip)  |
+//     ...
+//     +n  end-of-list (0xFFFF)
+//
+// "The fourth entry of each attribute block (maxrange-1) contains a
+// pre-calculated reciprocal value of dmax+1.  Since it is a constant we do
+// not need to implement an expensive hardware divider saving resources."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "memimg/words.hpp"
+
+namespace qfa::mem {
+
+/// A packed supplemental list.
+struct SupplementalImage {
+    std::vector<Word> words;
+
+    [[nodiscard]] std::size_t size_bytes() const noexcept {
+        return words.size() * kWordBytes;
+    }
+};
+
+/// Number of words for `attribute_count` supplemental blocks.
+[[nodiscard]] constexpr std::size_t supplemental_image_words(
+    std::size_t attribute_count) noexcept {
+    return 4 * attribute_count + 1;
+}
+
+/// Packs a bounds table (blocks ascending by attribute ID).
+[[nodiscard]] SupplementalImage encode_bounds(const cbr::BoundsTable& bounds);
+
+/// Unpacks into a bounds table; throws ImageFormatError on malformed input.
+/// The reciprocal words are validated against the bounds they accompany
+/// (they must equal reciprocal_q15(upper - lower)).
+[[nodiscard]] cbr::BoundsTable decode_bounds(std::span<const Word> words);
+
+/// Reads the reciprocal of one attribute id straight from a packed list
+/// (linear scan, as the hardware does on its first pass).  nullopt when the
+/// id has no block.
+[[nodiscard]] std::optional<fx::Q15> lookup_reciprocal(std::span<const Word> words,
+                                                       cbr::AttrId id);
+
+}  // namespace qfa::mem

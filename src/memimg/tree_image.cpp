@@ -1,0 +1,192 @@
+#include "memimg/tree_image.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace qfa::mem {
+
+namespace {
+
+void check_id(Word value, const char* what) {
+    if (!is_valid_id_word(value)) {
+        throw std::invalid_argument(std::string(what) +
+                                    " collides with the list terminator word");
+    }
+}
+
+}  // namespace
+
+TreeImage encode_tree(const cbr::CaseBase& cb) {
+    // Pass 1: compute section offsets.  Layout order: level 0, then every
+    // level-1 list (in type order), then every level-2 list (in type, then
+    // implementation order) — "one big block of linear concatenated lists".
+    const auto types = cb.types();
+    std::size_t level0_words = 2 * types.size() + 1;
+    std::size_t level1_words = 0;
+    std::size_t level2_words = 0;
+    for (const cbr::FunctionType& type : types) {
+        level1_words += 2 * type.impls.size() + 1;
+        for (const cbr::Implementation& impl : type.impls) {
+            level2_words += 2 * impl.attributes.size() + 1;
+        }
+    }
+    const std::size_t total = level0_words + level1_words + level2_words;
+    if (total > kMaxIdWord) {
+        throw std::length_error("implementation tree exceeds the 16-bit pointer range (" +
+                                std::to_string(total) + " words)");
+    }
+
+    TreeImage image;
+    image.words.reserve(total);
+    image.stats.level0_words = level0_words;
+    image.stats.level1_words = level1_words;
+    image.stats.level2_words = level2_words;
+
+    // Pass 2: emit with pointers computed from running section cursors.
+    std::size_t level1_cursor = level0_words;
+    std::size_t level2_cursor = level0_words + level1_words;
+
+    // Level 0.
+    for (const cbr::FunctionType& type : types) {
+        check_id(type.id.value(), "function type id");
+        image.words.push_back(type.id.value());
+        image.words.push_back(static_cast<Word>(level1_cursor));
+        level1_cursor += 2 * type.impls.size() + 1;
+    }
+    image.words.push_back(kEndOfList);
+
+    // Level 1.
+    for (const cbr::FunctionType& type : types) {
+        for (const cbr::Implementation& impl : type.impls) {
+            check_id(impl.id.value(), "implementation id");
+            image.words.push_back(impl.id.value());
+            image.words.push_back(static_cast<Word>(level2_cursor));
+            level2_cursor += 2 * impl.attributes.size() + 1;
+        }
+        image.words.push_back(kEndOfList);
+    }
+
+    // Level 2.
+    for (const cbr::FunctionType& type : types) {
+        for (const cbr::Implementation& impl : type.impls) {
+            for (const cbr::Attribute& attr : impl.attributes) {
+                check_id(attr.id.value(), "attribute id");
+                image.words.push_back(attr.id.value());
+                image.words.push_back(attr.value);
+            }
+            image.words.push_back(kEndOfList);
+        }
+    }
+
+    QFA_ENSURES(image.words.size() == total, "tree layout passes disagree on size");
+    return image;
+}
+
+CaseBaseImage encode_case_base(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds) {
+    TreeImage tree = encode_tree(cb);
+    const SupplementalImage supplemental = encode_bounds(bounds);
+    const std::size_t total = tree.words.size() + supplemental.words.size();
+    if (total > kMaxIdWord) {
+        throw std::length_error("case-base image exceeds the 16-bit pointer range");
+    }
+    CaseBaseImage image;
+    image.supplemental_offset = static_cast<Word>(tree.words.size());
+    image.stats = tree.stats;
+    image.stats.supplemental_words = supplemental.words.size();
+    image.words = std::move(tree.words);
+    image.words.insert(image.words.end(), supplemental.words.begin(),
+                       supplemental.words.end());
+    return image;
+}
+
+namespace {
+
+/// Bounds-checked word fetch during decoding.
+Word fetch(std::span<const Word> words, std::size_t pos, const char* context) {
+    if (pos >= words.size()) {
+        throw ImageFormatError(std::string("pointer/scan past end of image in ") + context);
+    }
+    return words[pos];
+}
+
+}  // namespace
+
+cbr::CaseBase decode_tree(std::span<const Word> words) {
+    std::vector<cbr::FunctionType> types;
+
+    std::size_t pos0 = 0;
+    bool first_type = true;
+    Word prev_type = 0;
+    while (true) {
+        const Word type_id = fetch(words, pos0, "type list");
+        if (type_id == kEndOfList) {
+            break;
+        }
+        if (!first_type && type_id <= prev_type) {
+            throw ImageFormatError("type list is not strictly ascending");
+        }
+        const Word impl_ptr = fetch(words, pos0 + 1, "type list pointer");
+        if (!is_valid_id_word(impl_ptr)) {
+            throw ImageFormatError("type entry has a NULL reference pointer");
+        }
+
+        cbr::FunctionType type;
+        type.id = cbr::TypeId{type_id};
+        type.name = "type-" + std::to_string(type_id);
+
+        std::size_t pos1 = impl_ptr;
+        bool first_impl = true;
+        Word prev_impl = 0;
+        while (true) {
+            const Word impl_id = fetch(words, pos1, "implementation list");
+            if (impl_id == kEndOfList) {
+                break;
+            }
+            if (!first_impl && impl_id <= prev_impl) {
+                throw ImageFormatError("implementation list is not strictly ascending");
+            }
+            const Word attr_ptr = fetch(words, pos1 + 1, "implementation pointer");
+            if (!is_valid_id_word(attr_ptr)) {
+                throw ImageFormatError("implementation entry has a NULL reference pointer");
+            }
+
+            cbr::Implementation impl;
+            impl.id = cbr::ImplId{impl_id};
+
+            std::size_t pos2 = attr_ptr;
+            bool first_attr = true;
+            Word prev_attr = 0;
+            while (true) {
+                const Word attr_id = fetch(words, pos2, "attribute list");
+                if (attr_id == kEndOfList) {
+                    break;
+                }
+                if (!first_attr && attr_id <= prev_attr) {
+                    throw ImageFormatError("attribute list is not strictly ascending");
+                }
+                const Word value = fetch(words, pos2 + 1, "attribute value");
+                impl.attributes.push_back(cbr::Attribute{cbr::AttrId{attr_id}, value});
+                prev_attr = attr_id;
+                first_attr = false;
+                pos2 += 2;
+            }
+
+            type.impls.push_back(std::move(impl));
+            prev_impl = impl_id;
+            first_impl = false;
+            pos1 += 2;
+        }
+
+        types.push_back(std::move(type));
+        prev_type = type_id;
+        first_type = false;
+        pos0 += 2;
+    }
+
+    return cbr::CaseBase(std::move(types));
+}
+
+}  // namespace qfa::mem

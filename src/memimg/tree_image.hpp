@@ -1,0 +1,95 @@
+// Implementation-tree packing (fig. 5) and the combined case-base image.
+//
+// The tree is "a hierarchical tree of three levels [...] All partial lists
+// are generated at design time creating one big block of linear
+// concatenated lists":
+//
+//   level 0, at offset 0:      [type ID, ref pointer]*   END
+//   level 1, one list per type: [impl ID, ref pointer]*  END
+//   level 2, one list per impl: [attr ID, value]*        END
+//
+// Reference pointers are 16-bit word offsets from the start of the image
+// (Table 3: "16 bit-words each entry/pointer; reference pointers are
+// included").  Every list is terminated by the dedicated 0xFFFF word, and
+// attribute blocks are pre-sorted ascending by ID so the retrieval FSM can
+// resume its scan instead of restarting (§4.1).
+//
+// The combined CaseBaseImage appends the attribute supplemental list
+// (fig. 4 right) after the tree in the same memory block — this is the
+// content of the hardware's CB-MEM (fig. 7), which feeds both case
+// attribute values and the (1+dmax)^-1 reciprocals to the datapath.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "memimg/supplemental_image.hpp"
+#include "memimg/words.hpp"
+
+namespace qfa::mem {
+
+/// Word counts per level of a packed tree (layout accounting for Table 3).
+struct TreeLayoutStats {
+    std::size_t level0_words = 0;  ///< type list incl. terminator
+    std::size_t level1_words = 0;  ///< all implementation lists
+    std::size_t level2_words = 0;  ///< all attribute lists
+    std::size_t supplemental_words = 0;  ///< 0 for a bare tree image
+
+    [[nodiscard]] std::size_t total_words() const noexcept {
+        return level0_words + level1_words + level2_words + supplemental_words;
+    }
+    [[nodiscard]] std::size_t total_bytes() const noexcept {
+        return total_words() * kWordBytes;
+    }
+};
+
+/// A packed implementation tree.
+struct TreeImage {
+    std::vector<Word> words;
+    TreeLayoutStats stats;
+
+    [[nodiscard]] std::size_t size_bytes() const noexcept {
+        return words.size() * kWordBytes;
+    }
+};
+
+/// The full CB-MEM content: tree followed by the supplemental list.
+struct CaseBaseImage {
+    std::vector<Word> words;
+    Word supplemental_offset = 0;  ///< word offset of the supplemental list
+    TreeLayoutStats stats;
+
+    [[nodiscard]] std::size_t size_bytes() const noexcept {
+        return words.size() * kWordBytes;
+    }
+};
+
+/// Closed-form word count of a uniformly shaped tree — the paper's Table 3
+/// configuration plugs in (15, 10, 10).
+[[nodiscard]] constexpr std::size_t tree_image_words(std::size_t types,
+                                                     std::size_t impls_per_type,
+                                                     std::size_t attrs_per_impl) noexcept {
+    const std::size_t level0 = 2 * types + 1;
+    const std::size_t level1 = types * (2 * impls_per_type + 1);
+    const std::size_t level2 = types * impls_per_type * (2 * attrs_per_impl + 1);
+    return level0 + level1 + level2;
+}
+
+/// Packs a case base into the fig. 5 layout.  Throws std::length_error when
+/// the image would exceed the 16-bit pointer range and std::invalid_argument
+/// when an ID collides with the terminator word.
+[[nodiscard]] TreeImage encode_tree(const cbr::CaseBase& cb);
+
+/// Packs tree + supplemental list into one CB-MEM image.
+[[nodiscard]] CaseBaseImage encode_case_base(const cbr::CaseBase& cb,
+                                             const cbr::BoundsTable& bounds);
+
+/// Unpacks a tree image back into a case base (deployment metadata is not
+/// part of the retrieval memory and comes back default-initialised; targets
+/// come back as Target::gpp for the same reason).  Throws ImageFormatError
+/// on dangling pointers, missing terminators or unsorted lists.
+[[nodiscard]] cbr::CaseBase decode_tree(std::span<const Word> words);
+
+}  // namespace qfa::mem

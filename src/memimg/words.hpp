@@ -1,0 +1,47 @@
+// 16-bit word-level building blocks of the packed memory images.
+//
+// §4.1: "We decided to use linear lists which can be connected by reference
+// pointers for creating complex tree structures.  Each list contains several
+// entries like IDs, values, pointers and is terminated by a dedicated
+// NULL-entry.  These lists can be easily mapped on linear organized
+// RAM-blocks if all list elements use the same word length per entry
+// (e.g. 16 or 32 bits)."
+//
+// We use 16-bit words throughout (the paper's Table 3 uses "16 bit-words
+// each entry/pointer").  The dedicated terminator is the all-ones word
+// 0xFFFF, which is therefore excluded from the valid ID range.  Reference
+// pointers are word offsets from the start of the image.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace qfa::mem {
+
+/// One 16-bit memory word.
+using Word = std::uint16_t;
+
+/// The dedicated NULL-entry terminating every list.
+inline constexpr Word kEndOfList = 0xFFFF;
+
+/// Largest word value usable as an ID / pointer (one below the terminator).
+inline constexpr Word kMaxIdWord = 0xFFFE;
+
+/// Bytes per word.
+inline constexpr std::size_t kWordBytes = 2;
+
+/// True if the word may be used as an ID or pointer (not the terminator).
+[[nodiscard]] constexpr bool is_valid_id_word(Word w) noexcept {
+    return w != kEndOfList;
+}
+
+/// Thrown when decoding a malformed image (bad pointer, missing terminator,
+/// unsorted attribute blocks, truncated list, ...).
+class ImageFormatError : public std::runtime_error {
+public:
+    explicit ImageFormatError(const std::string& message)
+        : std::runtime_error("memory image: " + message) {}
+};
+
+}  // namespace qfa::mem

@@ -1,0 +1,77 @@
+// Block-RAM model.
+//
+// The retrieval unit of fig. 7 reads its two memories — Req-MEM (the packed
+// request list) and CB-MEM (implementation tree + supplemental list) — out
+// of on-chip block RAM.  Virtex-II block RAMs hold 18 Kbit each; Table 2
+// reports 2 of them for the 4.5 KiB case-base budget of Table 3.
+//
+// The model is behavioural but accounting-accurate: one synchronous read
+// per cycle per port (the FSM issues at most one read per state), with
+// access counters the benches use for effort reporting and a capacity
+// helper that maps image sizes to 18 Kbit block counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "memimg/words.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::rtl {
+
+/// Capacity of one Virtex-II block RAM in bits / 16-bit words.
+inline constexpr std::uint32_t kBramBits = 18 * 1024;
+inline constexpr std::uint32_t kBramWords = kBramBits / 16;  // 1152
+
+/// Number of 18 Kbit blocks needed to hold `words` 16-bit words.
+[[nodiscard]] constexpr std::uint32_t brams_for_words(std::size_t words) noexcept {
+    return words == 0 ? 0
+                      : static_cast<std::uint32_t>((words + kBramWords - 1) / kBramWords);
+}
+
+/// One read-only memory bank loaded with a packed image.
+class Bram {
+public:
+    Bram() = default;
+
+    /// Loads the image; the bank's size is fixed afterwards.
+    explicit Bram(std::vector<mem::Word> contents) : words_(std::move(contents)) {}
+
+    /// Synchronous single-word read.  Out-of-range addresses are a contract
+    /// violation — the FSM must never chase a dangling pointer silently.
+    [[nodiscard]] mem::Word read(std::size_t addr) {
+        QFA_EXPECTS(addr < words_.size(), "BRAM read past end of image");
+        ++reads_;
+        return words_[addr];
+    }
+
+    /// Paired read for the compact-block mode (§5): fetches words addr and
+    /// addr+1 through a doubled port width in one access.  When addr is the
+    /// image's last word (a terminator), the second half reads as zero —
+    /// hardware would fetch don't-care padding there.
+    [[nodiscard]] std::pair<mem::Word, mem::Word> read_pair(std::size_t addr) {
+        QFA_EXPECTS(addr < words_.size(), "BRAM pair read past end of image");
+        ++reads_;
+        const mem::Word second = addr + 1 < words_.size() ? words_[addr + 1] : 0;
+        return {words_[addr], second};
+    }
+
+    [[nodiscard]] std::size_t size_words() const noexcept { return words_.size(); }
+    [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+    void reset_counters() noexcept { reads_ = 0; }
+
+    /// 18 Kbit blocks this bank occupies.
+    [[nodiscard]] std::uint32_t bram_blocks() const noexcept {
+        return brams_for_words(words_.size());
+    }
+
+    [[nodiscard]] std::span<const mem::Word> contents() const noexcept { return words_; }
+
+private:
+    std::vector<mem::Word> words_;
+    std::uint64_t reads_ = 0;
+};
+
+}  // namespace qfa::rtl

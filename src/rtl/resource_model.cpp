@@ -1,0 +1,89 @@
+#include "rtl/resource_model.hpp"
+
+#include <cmath>
+
+#include "rtl/bram.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::rtl {
+
+namespace {
+
+// Per-component slice prices, calibrated so the baseline (n_best = 1,
+// normal fetch) sums to the published 441 slices.  A Virtex-II slice holds
+// two 4-input LUTs and two flip-flops; 16-bit carry-chain arithmetic costs
+// ~8 slices, a 16-bit register 8 flip-flops = ~4 slices when packed with
+// logic.  The figures below are consistent with those rules of thumb.
+constexpr std::uint32_t kFsmControl = 90;        // 20-state one-hot FSM + decode
+constexpr std::uint32_t kAddressPath = 120;      // six 16-bit cursors + adders + mux
+constexpr std::uint32_t kAbsUnit = 24;           // 16-bit subtract + conditional negate
+constexpr std::uint32_t kSatSubtract = 18;       // Q15 1-x with saturation
+constexpr std::uint32_t kAccumulator = 52;       // 32-bit adder + Q30 register
+constexpr std::uint32_t kComparator = 33;        // 32-bit magnitude compare
+constexpr std::uint32_t kResultSlot = 52;        // S_best + ID registers + enable
+constexpr std::uint32_t kGlue = 52;              // operand muxes, terminator detect
+
+// Extension costs (the model's own predictions — no published reference).
+constexpr std::uint32_t kExtraResultSlot = 40;   // added registers + insert compare
+constexpr std::uint32_t kCompactPort = 34;       // 32-bit port mux + pipeline regs
+
+// Critical-path model (ns), Virtex-II speed grade -4 class numbers:
+// BRAM clock-to-out, MULT18X18 combinational, saturating subtract LUT
+// levels, routing, FF setup.  Calibrated to 13.33 ns (75 MHz) baseline.
+constexpr double kTBramNs = 3.0;
+constexpr double kTMultNs = 4.9;
+constexpr double kTSatSubNs = 1.9;
+constexpr double kTRoutingNs = 3.0;
+constexpr double kTSetupNs = 0.53;
+// Each doubling of the n-best insertion network adds one compare level.
+constexpr double kTInsertLevelNs = 0.6;
+// The compact port's wider output mux sits on the memory path.
+constexpr double kTCompactMuxNs = 0.5;
+
+}  // namespace
+
+double utilisation_pct(std::uint32_t used, std::uint32_t available) noexcept {
+    return available == 0 ? 0.0 : 100.0 * static_cast<double>(used) / available;
+}
+
+ResourceEstimate estimate_resources(const ResourceModelConfig& config) {
+    QFA_EXPECTS(config.n_best >= 1, "n_best must be at least 1");
+
+    ResourceEstimate est;
+    est.breakdown = {
+        {"FSM control (fig. 6)", kFsmControl},
+        {"address/pointer path", kAddressPath},
+        {"ABS difference unit", kAbsUnit},
+        {"saturating subtract", kSatSubtract},
+        {"Q30 accumulator", kAccumulator},
+        {"best comparator", kComparator},
+        {"result registers", kResultSlot +
+                                 kExtraResultSlot *
+                                     static_cast<std::uint32_t>(config.n_best - 1)},
+        {"glue / muxing", kGlue},
+    };
+    if (config.compact_blocks) {
+        est.breakdown.push_back({"compact 32-bit port", kCompactPort});
+    }
+    for (const ResourceItem& item : est.breakdown) {
+        est.clb_slices += item.slices;
+    }
+
+    // Two multipliers: d x reciprocal and s x w (fig. 7).  The compact
+    // pipeline reuses them across overlapped stages.
+    est.mult18x18 = 2;
+
+    est.bram_blocks = brams_for_words(config.cb_capacity_words);
+
+    double path_ns = kTBramNs + kTMultNs + kTSatSubNs + kTRoutingNs + kTSetupNs;
+    if (config.n_best > 1) {
+        path_ns += kTInsertLevelNs * std::ceil(std::log2(static_cast<double>(config.n_best)));
+    }
+    if (config.compact_blocks) {
+        path_ns += kTCompactMuxNs;
+    }
+    est.fmax_mhz = 1000.0 / path_ns;
+    return est;
+}
+
+}  // namespace qfa::rtl

@@ -1,0 +1,61 @@
+// Structural resource and timing estimator — the Table 2 substitute.
+//
+// We cannot run Xilinx ISE 6.2 on an XC2V3000, so the synthesis results of
+// Table 2 (441 CLB slices, 2 MULT18X18, 2 BRAMs, 75 MHz) are reproduced by
+// a structural model: the datapath/FSM inventory of fig. 7 is priced with
+// per-component slice costs, and fmax comes from a critical-path model
+// (BRAM clock-to-out -> MULT18X18 -> saturating subtract -> routing ->
+// setup).  The per-component constants are CALIBRATED so the baseline
+// configuration reproduces the published totals; what the model then
+// predicts independently is how resources and fmax *scale* with the n-best
+// and compact-block extensions (E12/E14) — the paper gives no numbers for
+// those, so the deltas are the model's genuine output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qfa::rtl {
+
+/// Configuration being "synthesised".
+struct ResourceModelConfig {
+    std::size_t n_best = 1;        ///< result-register slots
+    bool compact_blocks = false;   ///< doubled port width + pipeline regs
+    std::size_t cb_capacity_words = 2304;  ///< CB-MEM provisioning (4.5 KiB)
+};
+
+/// One line of the slice breakdown.
+struct ResourceItem {
+    std::string component;
+    std::uint32_t slices = 0;
+};
+
+/// Estimated implementation cost.
+struct ResourceEstimate {
+    std::uint32_t clb_slices = 0;
+    std::uint32_t mult18x18 = 0;
+    std::uint32_t bram_blocks = 0;
+    double fmax_mhz = 0.0;
+    std::vector<ResourceItem> breakdown;
+};
+
+/// The published Table 2 values (XC2V3000, ISE 6.2).
+struct Table2Reference {
+    std::uint32_t clb_slices = 441;
+    std::uint32_t clb_slices_available = 14336;
+    std::uint32_t mult18x18 = 2;
+    std::uint32_t mult_available = 96;
+    std::uint32_t bram_blocks = 2;
+    std::uint32_t bram_available = 96;
+    double fmax_mhz = 75.0;
+};
+
+/// Prices the unit for the given configuration.
+[[nodiscard]] ResourceEstimate estimate_resources(const ResourceModelConfig& config);
+
+/// Utilisation percentage against the XC2V3000 inventory, e.g. for the
+/// "441 of 14336 | 3 %" formatting of Table 2.
+[[nodiscard]] double utilisation_pct(std::uint32_t used, std::uint32_t available) noexcept;
+
+}  // namespace qfa::rtl

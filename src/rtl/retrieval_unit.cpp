@@ -1,0 +1,335 @@
+#include "rtl/retrieval_unit.hpp"
+
+#include <algorithm>
+
+#include "fixed/reciprocal.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::rtl {
+
+const char* rtl_state_name(RtlState state) noexcept {
+    switch (state) {
+        case RtlState::idle: return "idle";
+        case RtlState::fetch_req_type: return "fetch_req_type";
+        case RtlState::type_scan_id: return "type_scan_id";
+        case RtlState::type_read_ptr: return "type_read_ptr";
+        case RtlState::impl_scan_id: return "impl_scan_id";
+        case RtlState::impl_read_ptr: return "impl_read_ptr";
+        case RtlState::req_read_id: return "req_read_id";
+        case RtlState::req_read_value: return "req_read_value";
+        case RtlState::req_read_weight: return "req_read_weight";
+        case RtlState::supp_scan_id: return "supp_scan_id";
+        case RtlState::supp_read_recip: return "supp_read_recip";
+        case RtlState::attr_scan_id: return "attr_scan_id";
+        case RtlState::attr_read_value: return "attr_read_value";
+        case RtlState::compute_abs: return "compute_abs";
+        case RtlState::compute_mul: return "compute_mul";
+        case RtlState::accumulate: return "accumulate";
+        case RtlState::compare_best: return "compare_best";
+        case RtlState::done: return "done";
+        case RtlState::fail_type: return "fail_type";
+        case RtlState::fail_watchdog: return "fail_watchdog";
+    }
+    return "?";
+}
+
+const RtlCandidate& RtlResult::best() const {
+    QFA_EXPECTS(!ranked.empty(), "best() on an empty RTL result");
+    return ranked.front();
+}
+
+RetrievalUnit::RetrievalUnit(RtlConfig config) : config_(config) {
+    QFA_EXPECTS(config_.n_best >= 1, "n_best must be at least 1");
+    result_regs_.reserve(config_.n_best);
+}
+
+void RetrievalUnit::attach_trace(VcdWriter* vcd) {
+    vcd_ = vcd;
+    trace_.reset();
+    if (vcd_ != nullptr) {
+        TraceSignals t;
+        t.state = vcd_->add_signal("fsm_state", 5);
+        t.cycle_parity = vcd_->add_signal("clk", 1);
+        t.req_addr = vcd_->add_signal("req_addr", 16);
+        t.cb_addr = vcd_->add_signal("cb_addr", 16);
+        t.acc_low = vcd_->add_signal("acc_q30", 32);
+        t.best_low = vcd_->add_signal("s_best_q30", 32);
+        t.impl_id = vcd_->add_signal("impl_id", 16);
+        trace_ = t;
+    }
+}
+
+void RetrievalUnit::trace_cycle() {
+    if (!trace_) {
+        return;
+    }
+    vcd_->advance_time(cycle_);
+    vcd_->change(trace_->state, static_cast<std::uint64_t>(state_));
+    vcd_->change(trace_->cycle_parity, cycle_ & 1);
+    vcd_->change(trace_->req_addr, req_pos_ & 0xFFFF);
+    vcd_->change(trace_->cb_addr,
+                 (state_ == RtlState::supp_scan_id || state_ == RtlState::supp_read_recip
+                      ? supp_base_ + supp_pos_
+                      : attr_list_base_ + attr_pos_) &
+                     0xFFFF);
+    vcd_->change(trace_->acc_low, acc_.raw_q30() & 0xFFFFFFFF);
+    vcd_->change(trace_->best_low,
+                 (result_regs_.empty() ? 0 : result_regs_.front().similarity_q30) &
+                     0xFFFFFFFF);
+    vcd_->change(trace_->impl_id, cur_impl_id_);
+}
+
+void RetrievalUnit::insert_candidate(cbr::ImplId impl, std::uint64_t q30) {
+    // Parallel insertion network: strictly-greater comparison against every
+    // slot, keeping earlier candidates on ties (fig. 6: "S > S_Best ?").
+    const auto pos = std::find_if(result_regs_.begin(), result_regs_.end(),
+                                  [q30](const RtlCandidate& c) {
+                                      return q30 > c.similarity_q30;
+                                  });
+    if (pos == result_regs_.end() && result_regs_.size() >= config_.n_best) {
+        return;  // not better than any retained slot
+    }
+    result_regs_.insert(pos, RtlCandidate{impl, q30});
+    if (result_regs_.size() > config_.n_best) {
+        result_regs_.pop_back();
+    }
+}
+
+bool RetrievalUnit::tick() {
+    if (cycle_ >= config_.max_cycles) {
+        enter(RtlState::fail_watchdog);
+        return false;
+    }
+    trace_cycle();
+    ++cycle_;
+
+    switch (state_) {
+        case RtlState::idle:
+            enter(RtlState::fetch_req_type);
+            return true;
+
+        case RtlState::fetch_req_type:
+            req_type_ = req_mem_.read(0);
+            req_pos_ = 1;
+            type_ptr_ = 0;
+            enter(RtlState::type_scan_id);
+            return true;
+
+        case RtlState::type_scan_id: {
+            const mem::Word id = cb_mem_.read(type_ptr_);
+            if (id == mem::kEndOfList) {
+                enter(RtlState::fail_type);
+                return false;
+            }
+            if (id == req_type_) {
+                enter(RtlState::type_read_ptr);
+            } else {
+                type_ptr_ += 2;  // skip the pointer word by address arithmetic
+            }
+            return true;
+        }
+
+        case RtlState::type_read_ptr:
+            impl_ptr_ = cb_mem_.read(type_ptr_ + 1);
+            enter(RtlState::impl_scan_id);
+            return true;
+
+        case RtlState::impl_scan_id: {
+            const mem::Word id = cb_mem_.read(impl_ptr_);
+            if (id == mem::kEndOfList) {
+                enter(RtlState::done);
+                return false;
+            }
+            cur_impl_id_ = id;
+            enter(RtlState::impl_read_ptr);
+            return true;
+        }
+
+        case RtlState::impl_read_ptr:
+            attr_list_base_ = cb_mem_.read(impl_ptr_ + 1);
+            attr_pos_ = 0;
+            supp_pos_ = 0;
+            req_pos_ = 1;
+            acc_.reset();
+            enter(RtlState::req_read_id);
+            return true;
+
+        case RtlState::req_read_id: {
+            if (config_.compact_blocks) {
+                // Doubled port: (id, value) in one access.
+                const auto [id, value] = req_mem_.read_pair(req_pos_);
+                if (id == mem::kEndOfList) {
+                    enter(RtlState::compare_best);
+                    return true;
+                }
+                cur_attr_id_ = id;
+                cur_attr_value_ = value;
+                enter(RtlState::req_read_weight);
+                return true;
+            }
+            const mem::Word id = req_mem_.read(req_pos_);
+            if (id == mem::kEndOfList) {
+                enter(RtlState::compare_best);
+                return true;
+            }
+            cur_attr_id_ = id;
+            enter(RtlState::req_read_value);
+            return true;
+        }
+
+        case RtlState::req_read_value:
+            cur_attr_value_ = req_mem_.read(req_pos_ + 1);
+            enter(RtlState::req_read_weight);
+            return true;
+
+        case RtlState::req_read_weight: {
+            const mem::Word raw = req_mem_.read(req_pos_ + 2);
+            cur_weight_ = raw > fx::Q15::kRawOne ? fx::Q15::kRawOne : raw;
+            req_pos_ += 3;
+            if (!config_.resume_sorted_scan) {
+                supp_pos_ = 0;  // ablation: restart every supplemental search
+            }
+            enter(RtlState::supp_scan_id);
+            return true;
+        }
+
+        case RtlState::supp_scan_id: {
+            const mem::Word id = cb_mem_.read(supp_base_ + supp_pos_);
+            if (id == mem::kEndOfList || id > cur_attr_id_) {
+                // Attribute has no supplemental block: dmax falls back to 0,
+                // i.e. only exact matches score (saturated reciprocal).
+                cur_recip_ = fx::Q15::one();
+                if (!config_.resume_sorted_scan) {
+                    attr_pos_ = 0;
+                }
+                enter(RtlState::attr_scan_id);
+                return true;
+            }
+            if (id == cur_attr_id_) {
+                enter(RtlState::supp_read_recip);
+                return true;
+            }
+            supp_pos_ += 4;  // skip lower/upper/reciprocal words
+            return true;
+        }
+
+        case RtlState::supp_read_recip: {
+            const mem::Word raw = cb_mem_.read(supp_base_ + supp_pos_ + 3);
+            cur_recip_ = fx::Q15::from_raw(raw > fx::Q15::kRawOne ? fx::Q15::kRawOne : raw);
+            if (!config_.resume_sorted_scan) {
+                attr_pos_ = 0;  // ablation: restart every attribute search
+            }
+            enter(RtlState::attr_scan_id);
+            return true;
+        }
+
+        case RtlState::attr_scan_id: {
+            if (config_.compact_blocks) {
+                const auto [id, value] = cb_mem_.read_pair(attr_list_base_ + attr_pos_);
+                if (id == mem::kEndOfList || id > cur_attr_id_) {
+                    // Missing attribute: unsatisfiable requirement, s_i = 0.
+                    ++stats_.attrs_missing;
+                    // Pipelined datapath: the zero product folds into this
+                    // cycle; proceed with the next request attribute.
+                    enter(RtlState::req_read_id);
+                    return true;
+                }
+                if (id == cur_attr_id_) {
+                    ++stats_.attrs_matched;
+                    cur_case_value_ = value;
+                    attr_pos_ += 2;
+                    // Pipelined ABS/MULT/MAC overlap the next fetch.
+                    local_sim_ = fx::local_similarity_q15(cur_attr_value_, cur_case_value_,
+                                                          cur_recip_);
+                    acc_.add_product(local_sim_, fx::Q15::from_raw(cur_weight_));
+                    enter(RtlState::req_read_id);
+                    return true;
+                }
+                attr_pos_ += 2;
+                return true;
+            }
+            const mem::Word id = cb_mem_.read(attr_list_base_ + attr_pos_);
+            if (id == mem::kEndOfList || id > cur_attr_id_) {
+                ++stats_.attrs_missing;
+                local_sim_ = fx::Q15::zero();
+                enter(RtlState::accumulate);
+                return true;
+            }
+            if (id == cur_attr_id_) {
+                enter(RtlState::attr_read_value);
+                return true;
+            }
+            attr_pos_ += 2;
+            return true;
+        }
+
+        case RtlState::attr_read_value:
+            cur_case_value_ = cb_mem_.read(attr_list_base_ + attr_pos_ + 1);
+            attr_pos_ += 2;
+            ++stats_.attrs_matched;
+            enter(RtlState::compute_abs);
+            return true;
+
+        case RtlState::compute_abs:
+            abs_diff_ = fx::attr_distance(cur_attr_value_, cur_case_value_);
+            enter(RtlState::compute_mul);
+            return true;
+
+        case RtlState::compute_mul:
+            // MULT18X18 #1 plus saturating subtract — bit-identical to the
+            // fixed-point reference.
+            local_sim_ =
+                fx::local_similarity_q15(cur_attr_value_, cur_case_value_, cur_recip_);
+            enter(RtlState::accumulate);
+            return true;
+
+        case RtlState::accumulate:
+            // MULT18X18 #2 plus the Q30 accumulator register.
+            acc_.add_product(local_sim_, fx::Q15::from_raw(cur_weight_));
+            enter(RtlState::req_read_id);
+            return true;
+
+        case RtlState::compare_best:
+            ++stats_.impls_scored;
+            insert_candidate(cbr::ImplId{cur_impl_id_}, acc_.raw_q30());
+            impl_ptr_ += 2;
+            enter(RtlState::impl_scan_id);
+            return true;
+
+        case RtlState::done:
+        case RtlState::fail_type:
+        case RtlState::fail_watchdog:
+            return false;
+    }
+    QFA_ASSERT(false, "unreachable FSM state");
+}
+
+RtlResult RetrievalUnit::run(const mem::RequestImage& request,
+                             const mem::CaseBaseImage& case_base) {
+    req_mem_ = Bram(request.words);
+    cb_mem_ = Bram(case_base.words);
+    supp_base_ = case_base.supplemental_offset;
+
+    state_ = RtlState::idle;
+    cycle_ = 0;
+    result_regs_.clear();
+    acc_.reset();
+    stats_ = RtlResult{};
+
+    // The idle->fetch transition is the start strobe, not a working cycle;
+    // begin in fetch_req_type directly.
+    state_ = RtlState::fetch_req_type;
+    while (tick()) {
+    }
+
+    RtlResult result = stats_;
+    result.found = state_ == RtlState::done && !result_regs_.empty();
+    result.watchdog_tripped = state_ == RtlState::fail_watchdog;
+    result.ranked = result_regs_;
+    result.cycles = cycle_;
+    result.req_reads = req_mem_.reads();
+    result.cb_reads = cb_mem_.reads();
+    return result;
+}
+
+}  // namespace qfa::rtl

@@ -1,0 +1,181 @@
+// Cycle-accurate model of the hardware retrieval unit (figs. 6 and 7).
+//
+// The unit is a finite state machine walking the packed request list
+// (Req-MEM) and case-base image (CB-MEM: implementation tree followed by the
+// attribute supplemental list) with a small datapath: ABS difference, one
+// MULT18X18 for d x (1+dmax)^-1, a saturating subtract producing the local
+// similarity, a second MULT18X18 plus adder accumulating S = sum s_i * w_i in
+// Q30, and a comparator keeping the running best (fig. 6: "S > S_Best ?").
+//
+// Timing model: one FSM state visit = one clock cycle, and every state
+// performs at most one memory access per bank — the structural property
+// that lets a BRAM-based implementation run one state per cycle.  Cycle
+// counts therefore equal state visits, which the tests check against
+// closed-form expectations and the benches sweep for figs. 6/E4/E5.
+//
+// Two §5 outlook features are implemented:
+//  * compact blocks ("loading IDs and values as blocks within one step"):
+//    doubled memory port fetches (id, value) pairs in one access and the
+//    datapath pipeline overlaps ABS/MULT/MAC with the next fetch — the
+//    "at least factor 2" speed-up of §5;
+//  * n-best retrieval: a bank of result registers with single-cycle sorted
+//    insertion returns the n most similar implementations so the allocation
+//    manager can negotiate alternatives.
+//
+// The sorted-list resume optimisation of §4.1 is faithfully modelled: both
+// the per-implementation attribute scan and the supplemental scan resume
+// from their current position because request attributes arrive in
+// ascending ID order.  The ablation switch `resume_sorted_scan = false`
+// restarts every search from the top of its list instead (E8).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/bram.hpp"
+#include "rtl/vcd.hpp"
+
+namespace qfa::rtl {
+
+/// Configuration knobs of the synthesised unit.
+struct RtlConfig {
+    /// §5 compact mode: paired fetches + pipelined datapath.
+    bool compact_blocks = false;
+
+    /// §4.1 resumable sorted scan (true = paper behaviour).
+    bool resume_sorted_scan = true;
+
+    /// Result registers (1 = fig. 6 most-similar unit; >1 = §5 n-best).
+    std::size_t n_best = 1;
+
+    /// Watchdog: abort pathological images after this many cycles.
+    std::uint64_t max_cycles = 100'000'000;
+};
+
+/// FSM states (fig. 6 boxes, one per memory access or datapath step).
+enum class RtlState : std::uint8_t {
+    idle,
+    fetch_req_type,    ///< read Req-MEM[0]
+    type_scan_id,      ///< scan level-0 list for the requested type
+    type_read_ptr,     ///< read the matching type's implementation pointer
+    impl_scan_id,      ///< read next implementation ID (or END)
+    impl_read_ptr,     ///< read the implementation's attribute-list pointer
+    req_read_id,       ///< read next request attribute ID (or END)
+    req_read_value,    ///< read request attribute value
+    req_read_weight,   ///< read request attribute weight
+    supp_scan_id,      ///< scan the supplemental list for the attribute ID
+    supp_read_recip,   ///< read the (1+dmax)^-1 word
+    attr_scan_id,      ///< scan the implementation's attribute list
+    attr_read_value,   ///< read the matching case attribute value
+    compute_abs,       ///< d = |A_req - A_cb|
+    compute_mul,       ///< s = 1 -sat d*(1+dmax)^-1   (MULT #1)
+    accumulate,        ///< S += s * w                 (MULT #2 + adder)
+    compare_best,      ///< S > S_best ? update result registers
+    done,              ///< best candidate(s) delivered
+    fail_type,         ///< requested type not in the case base
+    fail_watchdog,     ///< cycle limit exceeded (malformed image)
+};
+
+/// Human-readable state name for traces and logs.
+[[nodiscard]] const char* rtl_state_name(RtlState state) noexcept;
+
+/// One ranked candidate delivered by the unit.
+struct RtlCandidate {
+    cbr::ImplId impl;
+    std::uint64_t similarity_q30 = 0;
+
+    [[nodiscard]] double similarity() const noexcept {
+        return static_cast<double>(similarity_q30) / (32768.0 * 32768.0);
+    }
+};
+
+/// Outcome of one retrieval run.
+struct RtlResult {
+    bool found = false;                 ///< at least one implementation scored
+    bool watchdog_tripped = false;      ///< aborted on max_cycles
+    std::vector<RtlCandidate> ranked;   ///< up to n_best, descending
+    std::uint64_t cycles = 0;
+
+    // Effort counters (for the fig. 6 / E5 / E8 benches).
+    std::uint64_t req_reads = 0;
+    std::uint64_t cb_reads = 0;
+    std::uint64_t impls_scored = 0;
+    std::uint64_t attrs_matched = 0;
+    std::uint64_t attrs_missing = 0;
+
+    [[nodiscard]] const RtlCandidate& best() const;
+};
+
+/// The cycle-stepped retrieval unit.
+class RetrievalUnit {
+public:
+    explicit RetrievalUnit(RtlConfig config = {});
+
+    /// Streams FSM state / addresses / accumulator into a VCD dump for the
+    /// duration of subsequent run() calls.  Pass nullptr to detach.  The
+    /// writer must outlive the unit's runs.
+    void attach_trace(VcdWriter* vcd);
+
+    /// Runs one complete retrieval: loads both memories, resets the
+    /// datapath, ticks the FSM to completion and reports the result.
+    [[nodiscard]] RtlResult run(const mem::RequestImage& request,
+                                const mem::CaseBaseImage& case_base);
+
+    [[nodiscard]] const RtlConfig& config() const noexcept { return config_; }
+
+private:
+    struct TraceSignals {
+        VcdSignal state, cycle_parity, req_addr, cb_addr, acc_low, best_low, impl_id;
+    };
+
+    void trace_cycle();
+    void enter(RtlState next) noexcept { state_ = next; }
+
+    /// Executes one clock cycle; returns false once done/failed.
+    bool tick();
+
+    /// Sorted insertion into the result registers (one cycle, done inside
+    /// compare_best — hardware uses a parallel insertion network).
+    void insert_candidate(cbr::ImplId impl, std::uint64_t q30);
+
+    RtlConfig config_;
+    VcdWriter* vcd_ = nullptr;
+    std::optional<TraceSignals> trace_;
+
+    // Memories.
+    Bram req_mem_;
+    Bram cb_mem_;
+    std::size_t supp_base_ = 0;
+
+    // Architectural registers.
+    RtlState state_ = RtlState::idle;
+    std::uint64_t cycle_ = 0;
+    mem::Word req_type_ = 0;
+    std::size_t type_ptr_ = 0;      ///< cursor in the level-0 list
+    std::size_t impl_ptr_ = 0;      ///< cursor in the level-1 list
+    std::size_t attr_list_base_ = 0;
+    std::size_t attr_pos_ = 0;      ///< resumable cursor in the level-2 list
+    std::size_t supp_pos_ = 0;      ///< resumable cursor in the supplemental list
+    std::size_t req_pos_ = 0;       ///< cursor in the request list
+    mem::Word cur_impl_id_ = 0;
+    mem::Word cur_attr_id_ = 0;
+    mem::Word cur_attr_value_ = 0;
+    mem::Word cur_weight_ = 0;
+    mem::Word cur_case_value_ = 0;
+    fx::Q15 cur_recip_ = fx::Q15::one();
+    std::uint32_t abs_diff_ = 0;
+    fx::Q15 local_sim_ = fx::Q15::zero();
+    fx::SimAccumulator acc_;
+
+    // Result registers.
+    std::vector<RtlCandidate> result_regs_;
+
+    // Counters.
+    RtlResult stats_;
+};
+
+}  // namespace qfa::rtl

@@ -1,0 +1,101 @@
+#include "rtl/vcd.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace qfa::rtl {
+
+VcdWriter::VcdWriter(std::string module, std::string timescale)
+    : module_(std::move(module)), timescale_(std::move(timescale)) {}
+
+std::string VcdWriter::code_for(std::size_t index) {
+    // Identifier codes from the printable range '!'..'~' (94 symbols),
+    // extended positionally for more than 94 signals.
+    std::string code;
+    std::size_t n = index;
+    do {
+        code += static_cast<char>('!' + n % 94);
+        n /= 94;
+    } while (n > 0);
+    return code;
+}
+
+VcdSignal VcdWriter::add_signal(const std::string& name, unsigned width) {
+    QFA_EXPECTS(width >= 1 && width <= 64, "VCD signal width must be in [1, 64]");
+    QFA_EXPECTS(!definitions_closed_, "signals must be registered before value changes");
+    signals_.push_back(SignalDef{name, width, code_for(signals_.size()), 0, false});
+    return VcdSignal{signals_.size() - 1};
+}
+
+void VcdWriter::advance_time(std::uint64_t time) {
+    QFA_EXPECTS(time >= now_, "VCD time must be monotone");
+    now_ = time;
+}
+
+void VcdWriter::change(VcdSignal signal, std::uint64_t value) {
+    QFA_EXPECTS(signal.index < signals_.size(), "unknown VCD signal");
+    definitions_closed_ = true;
+    SignalDef& def = signals_[signal.index];
+    if (def.width < 64) {
+        QFA_EXPECTS(value < (std::uint64_t{1} << def.width),
+                    "VCD value exceeds the signal width");
+    }
+    if (def.has_value && def.last_value == value) {
+        return;  // deduplicate
+    }
+    def.last_value = value;
+    def.has_value = true;
+    changes_.push_back(Change{now_, signal.index, value});
+}
+
+std::string VcdWriter::str() const {
+    std::ostringstream os;
+    os << "$date qfa retrieval-unit model $end\n";
+    os << "$version qfa 1.0 $end\n";
+    os << "$timescale " << timescale_ << " $end\n";
+    os << "$scope module " << module_ << " $end\n";
+    for (const SignalDef& def : signals_) {
+        os << "$var wire " << def.width << " " << def.code << " " << def.name << " $end\n";
+    }
+    os << "$upscope $end\n";
+    os << "$enddefinitions $end\n";
+
+    std::uint64_t current_time = ~std::uint64_t{0};
+    for (const Change& change : changes_) {
+        if (change.time != current_time) {
+            os << "#" << change.time << "\n";
+            current_time = change.time;
+        }
+        const SignalDef& def = signals_[change.signal];
+        if (def.width == 1) {
+            os << (change.value & 1) << def.code << "\n";
+        } else {
+            os << "b";
+            bool leading = true;
+            for (int bit = static_cast<int>(def.width) - 1; bit >= 0; --bit) {
+                const bool set = ((change.value >> bit) & 1) != 0;
+                if (set) {
+                    leading = false;
+                }
+                if (!leading || bit == 0) {
+                    os << (set ? '1' : '0');
+                }
+            }
+            os << " " << def.code << "\n";
+        }
+    }
+    return os.str();
+}
+
+bool VcdWriter::write_file(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) {
+        return false;
+    }
+    file << str();
+    return static_cast<bool>(file);
+}
+
+}  // namespace qfa::rtl

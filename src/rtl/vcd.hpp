@@ -1,0 +1,72 @@
+// Value-change-dump (VCD) trace writer.
+//
+// The cycle-accurate retrieval unit can stream its FSM state, memory
+// addresses and datapath registers into an IEEE-1364 VCD file so a run can
+// be inspected in any waveform viewer — the C++-model equivalent of the
+// ModelSim traces the authors used to validate their VHDL (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qfa::rtl {
+
+/// Handle to a registered VCD signal.
+struct VcdSignal {
+    std::size_t index = 0;
+};
+
+/// Accumulates signal definitions and value changes, then serialises a
+/// standard VCD document.
+class VcdWriter {
+public:
+    /// `module` names the $scope; `timescale` is emitted verbatim
+    /// (one VCD time unit = one clock cycle by default).
+    explicit VcdWriter(std::string module = "retrieval_unit",
+                       std::string timescale = "1 ns");
+
+    /// Registers a signal of 1..64 bits.  All signals must be registered
+    /// before the first value change.
+    [[nodiscard]] VcdSignal add_signal(const std::string& name, unsigned width);
+
+    /// Moves time forward (monotone).  Subsequent changes stamp this time.
+    void advance_time(std::uint64_t time);
+
+    /// Records a value change (deduplicated: unchanged values are dropped).
+    void change(VcdSignal signal, std::uint64_t value);
+
+    /// Serialises the whole dump.
+    [[nodiscard]] std::string str() const;
+
+    /// Writes to a file; false on I/O failure.
+    [[nodiscard]] bool write_file(const std::string& path) const;
+
+    [[nodiscard]] std::size_t signal_count() const noexcept { return signals_.size(); }
+    [[nodiscard]] std::size_t change_count() const noexcept { return changes_.size(); }
+
+private:
+    struct SignalDef {
+        std::string name;
+        unsigned width;
+        std::string code;        ///< short VCD identifier
+        std::uint64_t last_value;
+        bool has_value;
+    };
+    struct Change {
+        std::uint64_t time;
+        std::size_t signal;
+        std::uint64_t value;
+    };
+
+    static std::string code_for(std::size_t index);
+
+    std::string module_;
+    std::string timescale_;
+    std::vector<SignalDef> signals_;
+    std::vector<Change> changes_;
+    std::uint64_t now_ = 0;
+    bool definitions_closed_ = false;
+};
+
+}  // namespace qfa::rtl

@@ -1,0 +1,42 @@
+#include "sysmodel/bitstream.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace qfa::sys {
+
+Repository::Repository(double read_bandwidth_bytes_per_us)
+    : bytes_per_us_(read_bandwidth_bytes_per_us) {
+    QFA_EXPECTS(bytes_per_us_ > 0.0, "FLASH bandwidth must be positive");
+}
+
+void Repository::store(ImplRef ref, ConfigBlob blob) {
+    blobs_[key(ref)] = blob;
+}
+
+void Repository::import_case_base(const cbr::CaseBase& cb) {
+    for (const cbr::FunctionType& type : cb.types()) {
+        for (const cbr::Implementation& impl : type.impls) {
+            store(ImplRef{type.id, impl.id},
+                  ConfigBlob{impl.target, impl.meta.config_bytes});
+        }
+    }
+}
+
+std::optional<ConfigBlob> Repository::find(ImplRef ref) const {
+    const auto it = blobs_.find(key(ref));
+    if (it == blobs_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+SimTime Repository::fetch_time(const ConfigBlob& blob) const {
+    return static_cast<SimTime>(
+        std::ceil(static_cast<double>(blob.bytes) / bytes_per_us_));
+}
+
+}  // namespace qfa::sys

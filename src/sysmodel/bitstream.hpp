@@ -1,0 +1,64 @@
+// Opcode / bitstream repository (fig. 1: "Opcode/Bitstream-Repository
+// (FLASH)").
+//
+// §3: "Since every available function realization has a unique identifier it
+// will be possible to retrieve the function's corresponding configuration
+// data (CPU opcode / FPGA bitstream) from a global function repository for
+// reconfiguration."  The model stores per-variant blob sizes and computes
+// fetch latency from a FLASH read bandwidth; the reconfiguration controller
+// adds the configuration-port time on top.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/case_base.hpp"
+#include "core/ids.hpp"
+#include "sysmodel/events.hpp"
+#include "sysmodel/task.hpp"
+
+namespace qfa::sys {
+
+/// One stored configuration blob.
+struct ConfigBlob {
+    cbr::Target target = cbr::Target::gpp;
+    std::uint32_t bytes = 0;
+};
+
+/// The FLASH-backed repository.
+class Repository {
+public:
+    /// `read_bandwidth_bytes_per_us` models sequential FLASH read speed
+    /// (default 20 MB/s — a 2004-class parallel NOR flash).
+    explicit Repository(double read_bandwidth_bytes_per_us = 20.0);
+
+    /// Registers (or replaces) the blob for one implementation variant.
+    void store(ImplRef ref, ConfigBlob blob);
+
+    /// Imports every implementation of a case base (sizes/targets from the
+    /// catalogue's deployment metadata).
+    void import_case_base(const cbr::CaseBase& cb);
+
+    /// Blob lookup; nullopt on a repository miss.
+    [[nodiscard]] std::optional<ConfigBlob> find(ImplRef ref) const;
+
+    /// Time to stream a blob out of FLASH.
+    [[nodiscard]] SimTime fetch_time(const ConfigBlob& blob) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return blobs_.size(); }
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+private:
+    static std::uint32_t key(ImplRef ref) noexcept {
+        return (static_cast<std::uint32_t>(ref.type.value()) << 16) | ref.impl.value();
+    }
+
+    double bytes_per_us_;
+    std::unordered_map<std::uint32_t, ConfigBlob> blobs_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace qfa::sys

@@ -1,0 +1,99 @@
+#include "sysmodel/device.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace qfa::sys {
+
+FpgaDevice::FpgaDevice(DeviceId id, std::string name, std::vector<SlotCapacity> slots)
+    : id_(id), name_(std::move(name)) {
+    QFA_EXPECTS(!slots.empty(), "an FPGA needs at least one slot");
+    slots_.reserve(slots.size());
+    for (const SlotCapacity& capacity : slots) {
+        slots_.push_back(Slot{capacity, std::nullopt, 0});
+    }
+}
+
+const Slot& FpgaDevice::slot(std::size_t index) const {
+    QFA_EXPECTS(index < slots_.size(), "slot index out of range");
+    return slots_[index];
+}
+
+std::optional<std::size_t> FpgaDevice::find_free_slot(
+    const cbr::ResourceDemand& demand) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].free() && slots_[i].capacity.fits(demand)) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::size_t> FpgaDevice::fitting_slots(const cbr::ResourceDemand& demand) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].capacity.fits(demand)) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+void FpgaDevice::occupy(std::size_t slot_index, TaskId task) {
+    QFA_EXPECTS(slot_index < slots_.size(), "slot index out of range");
+    QFA_EXPECTS(slots_[slot_index].free(), "slot is already occupied");
+    slots_[slot_index].occupant = task;
+    ++slots_[slot_index].reconfig_count;
+}
+
+std::optional<TaskId> FpgaDevice::vacate(std::size_t slot_index) {
+    QFA_EXPECTS(slot_index < slots_.size(), "slot index out of range");
+    std::optional<TaskId> evicted = slots_[slot_index].occupant;
+    slots_[slot_index].occupant.reset();
+    return evicted;
+}
+
+double FpgaDevice::occupancy() const noexcept {
+    const auto used = static_cast<double>(
+        std::count_if(slots_.begin(), slots_.end(),
+                      [](const Slot& s) { return !s.free(); }));
+    return used / static_cast<double>(slots_.size());
+}
+
+ProcessorDevice::ProcessorDevice(DeviceId id, std::string name, ProcessorKind kind,
+                                 std::uint32_t capacity_pct)
+    : id_(id), name_(std::move(name)), kind_(kind), capacity_pct_(capacity_pct) {
+    QFA_EXPECTS(capacity_pct > 0, "processor capacity must be positive");
+}
+
+std::uint32_t ProcessorDevice::headroom_pct() const noexcept {
+    return capacity_pct_ - used_pct_;
+}
+
+bool ProcessorDevice::admit(TaskId task, std::uint32_t load_pct) {
+    QFA_EXPECTS(load_pct > 0, "a software task must consume some load");
+    if (used_pct_ + load_pct > capacity_pct_) {
+        return false;
+    }
+    used_pct_ += load_pct;
+    admitted_.emplace_back(task, load_pct);
+    return true;
+}
+
+bool ProcessorDevice::remove(TaskId task) {
+    const auto it = std::find_if(admitted_.begin(), admitted_.end(),
+                                 [task](const auto& entry) { return entry.first == task; });
+    if (it == admitted_.end()) {
+        return false;
+    }
+    used_pct_ -= it->second;
+    admitted_.erase(it);
+    return true;
+}
+
+double ProcessorDevice::utilisation() const noexcept {
+    return static_cast<double>(used_pct_) / static_cast<double>(capacity_pct_);
+}
+
+}  // namespace qfa::sys

@@ -1,0 +1,131 @@
+// Execution devices of the fig. 1 platform.
+//
+// The conceived system combines "one or several low-cost reconfigurable
+// devices plus dedicated hardware like ASICs or DSPs" with a general-purpose
+// CPU.  Three device models:
+//
+//  * FpgaDevice — partially reconfigurable fabric organised as fixed slots
+//    (the module slots of the authors' FPL'04 run-time system [7]); each
+//    slot has a resource capacity (slices/BRAMs/multipliers) and holds at
+//    most one hardware task.
+//  * DspDevice / CpuDevice — processors admitting software tasks by
+//    utilisation share (percent), preemptable by priority.
+//
+// Devices only track occupancy; placement *policy* (which victim to evict,
+// which slot to prefer) lives in the scheduler and allocation layers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deploy.hpp"
+#include "sysmodel/task.hpp"
+
+namespace qfa::sys {
+
+/// Identifies a device within the platform.
+struct DeviceId {
+    std::uint16_t value = 0;
+    friend constexpr bool operator==(DeviceId, DeviceId) noexcept = default;
+    friend constexpr auto operator<=>(DeviceId, DeviceId) noexcept = default;
+};
+
+/// Capacity of one FPGA slot.
+struct SlotCapacity {
+    std::uint32_t clb_slices = 0;
+    std::uint32_t brams = 0;
+    std::uint32_t multipliers = 0;
+
+    /// True if `demand` fits this slot.
+    [[nodiscard]] constexpr bool fits(const cbr::ResourceDemand& demand) const noexcept {
+        return demand.clb_slices <= clb_slices && demand.brams <= brams &&
+               demand.multipliers <= multipliers;
+    }
+};
+
+/// One reconfigurable slot.
+struct Slot {
+    SlotCapacity capacity;
+    std::optional<TaskId> occupant;
+    std::uint64_t reconfig_count = 0;  ///< times this slot was reprogrammed
+
+    [[nodiscard]] bool free() const noexcept { return !occupant.has_value(); }
+};
+
+/// Partially reconfigurable FPGA with fixed module slots.
+class FpgaDevice {
+public:
+    FpgaDevice(DeviceId id, std::string name, std::vector<SlotCapacity> slots);
+
+    [[nodiscard]] DeviceId id() const noexcept { return id_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t slot_count() const noexcept { return slots_.size(); }
+    [[nodiscard]] const Slot& slot(std::size_t index) const;
+
+    /// Index of the first free slot fitting `demand`, if any.
+    [[nodiscard]] std::optional<std::size_t> find_free_slot(
+        const cbr::ResourceDemand& demand) const;
+
+    /// Indices of all (free or occupied) slots that could fit `demand` —
+    /// occupied ones are preemption candidates.
+    [[nodiscard]] std::vector<std::size_t> fitting_slots(
+        const cbr::ResourceDemand& demand) const;
+
+    /// Installs a task into a free slot.
+    void occupy(std::size_t slot_index, TaskId task);
+
+    /// Clears a slot; returns the evicted occupant (if any).
+    std::optional<TaskId> vacate(std::size_t slot_index);
+
+    /// Fraction of slots occupied, in [0, 1].
+    [[nodiscard]] double occupancy() const noexcept;
+
+private:
+    DeviceId id_;
+    std::string name_;
+    std::vector<Slot> slots_;
+};
+
+/// Processor kind for software-capable devices.
+enum class ProcessorKind : std::uint8_t { cpu, dsp };
+
+/// A utilisation-shared processor (DSP or general-purpose CPU).
+class ProcessorDevice {
+public:
+    ProcessorDevice(DeviceId id, std::string name, ProcessorKind kind,
+                    std::uint32_t capacity_pct = 100);
+
+    [[nodiscard]] DeviceId id() const noexcept { return id_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] ProcessorKind kind() const noexcept { return kind_; }
+
+    /// Remaining admissible load in percent.
+    [[nodiscard]] std::uint32_t headroom_pct() const noexcept;
+
+    /// Admits a task consuming `load_pct`; false when it would overload.
+    bool admit(TaskId task, std::uint32_t load_pct);
+
+    /// Removes a task; false when it was not admitted here.
+    bool remove(TaskId task);
+
+    /// Currently admitted tasks (with their loads).
+    [[nodiscard]] const std::vector<std::pair<TaskId, std::uint32_t>>& admitted()
+        const noexcept {
+        return admitted_;
+    }
+
+    /// Utilisation in [0, 1].
+    [[nodiscard]] double utilisation() const noexcept;
+
+private:
+    DeviceId id_;
+    std::string name_;
+    ProcessorKind kind_;
+    std::uint32_t capacity_pct_;
+    std::uint32_t used_pct_ = 0;
+    std::vector<std::pair<TaskId, std::uint32_t>> admitted_;
+};
+
+}  // namespace qfa::sys

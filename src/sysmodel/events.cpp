@@ -1,0 +1,54 @@
+#include "sysmodel/events.hpp"
+
+namespace qfa::sys {
+
+EventId EventQueue::schedule(SimTime at, std::function<void()> action) {
+    QFA_EXPECTS(at >= now_, "cannot schedule events in the past");
+    QFA_EXPECTS(static_cast<bool>(action), "event action must be callable");
+    const auto key = std::make_pair(at, next_sequence_++);
+    const EventId id{next_id_++};
+    events_.emplace(key, Scheduled{id.value, std::move(action)});
+    index_.emplace(id.value, key);
+    return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+    const auto it = index_.find(id.value);
+    if (it == index_.end()) {
+        return false;
+    }
+    events_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
+bool EventQueue::step() {
+    if (events_.empty()) {
+        return false;
+    }
+    const auto it = events_.begin();
+    now_ = it->first.first;
+    // Detach before running: the action may schedule/cancel other events.
+    std::function<void()> action = std::move(it->second.action);
+    index_.erase(it->second.id);
+    events_.erase(it);
+    ++executed_;
+    action();
+    return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+    while (!events_.empty() && events_.begin()->first.first <= until) {
+        (void)step();
+    }
+    now_ = std::max(now_, until);
+}
+
+void EventQueue::run_all(std::uint64_t max_events) {
+    std::uint64_t count = 0;
+    while (step()) {
+        QFA_ASSERT(++count <= max_events, "event cascade exceeded the safety cap");
+    }
+}
+
+}  // namespace qfa::sys

@@ -1,0 +1,72 @@
+// Discrete-event simulation kernel for the platform model.
+//
+// The fig. 1 system is inherently event-driven: applications issue function
+// calls, reconfigurations complete after bitstream-size-dependent delays,
+// tasks finish, QoS renegotiations fire.  This kernel provides the usual
+// time-ordered queue with stable FIFO ordering for simultaneous events and
+// cancellable handles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace qfa::sys {
+
+/// Simulated time in microseconds.
+using SimTime = std::uint64_t;
+
+/// Handle to a scheduled event (for cancellation).
+struct EventId {
+    std::uint64_t value = 0;
+    friend constexpr bool operator==(EventId, EventId) noexcept = default;
+};
+
+/// Time-ordered event queue.
+class EventQueue {
+public:
+    /// Schedules `action` at absolute time `at` (>= now).  Events at equal
+    /// times run in scheduling order (stable FIFO).
+    EventId schedule(SimTime at, std::function<void()> action);
+
+    /// Schedules `action` `delay` after now.
+    EventId schedule_in(SimTime delay, std::function<void()> action) {
+        return schedule(now_ + delay, std::move(action));
+    }
+
+    /// Cancels a pending event; false if it already ran or was cancelled.
+    bool cancel(EventId id);
+
+    /// Runs the next event; false when the queue is empty.
+    bool step();
+
+    /// Runs all events up to and including time `until`.
+    void run_until(SimTime until);
+
+    /// Drains the whole queue (with a safety cap on event count).
+    void run_all(std::uint64_t max_events = 10'000'000);
+
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+    [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+    [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+private:
+    struct Scheduled {
+        std::uint64_t id;
+        std::function<void()> action;
+    };
+
+    // Keyed by (time, sequence) for deterministic ordering.
+    std::map<std::pair<SimTime, std::uint64_t>, Scheduled> events_;
+    std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> index_;  ///< id -> key
+    SimTime now_ = 0;
+    std::uint64_t next_sequence_ = 0;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace qfa::sys

@@ -1,0 +1,39 @@
+#include "sysmodel/power.hpp"
+
+#include "util/contracts.hpp"
+
+namespace qfa::sys {
+
+PowerModel::PowerModel(std::uint32_t base_mw) : base_mw_(base_mw) {}
+
+void PowerModel::integrate_to(SimTime now) const {
+    QFA_EXPECTS(now >= last_sample_, "power samples must be monotone in time");
+    energy_mw_us_ += static_cast<double>(current_power_mw()) *
+                     static_cast<double>(now - last_sample_);
+    last_sample_ = now;
+}
+
+void PowerModel::task_started(TaskId task, std::uint32_t power_mw, SimTime now) {
+    integrate_to(now);
+    draws_[task] = power_mw;
+}
+
+void PowerModel::task_stopped(TaskId task, SimTime now) {
+    integrate_to(now);
+    draws_.erase(task);
+}
+
+std::uint32_t PowerModel::current_power_mw() const noexcept {
+    std::uint32_t total = base_mw_;
+    for (const auto& [task, mw] : draws_) {
+        total += mw;
+    }
+    return total;
+}
+
+double PowerModel::energy_uj(SimTime at) const {
+    integrate_to(at);
+    return energy_mw_us_ / 1000.0;
+}
+
+}  // namespace qfa::sys

@@ -1,0 +1,48 @@
+// Power and energy accounting.
+//
+// The introduction motivates "increases of system-performance and
+// energy/power-efficiency" from intelligent allocation; the energy-aware
+// allocation policy (E10) needs numbers to act on.  The model integrates
+// piecewise-constant power over simulated time: a device-base draw plus the
+// static/dynamic draw of every resident task, re-sampled whenever the task
+// population changes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sysmodel/events.hpp"
+#include "sysmodel/task.hpp"
+
+namespace qfa::sys {
+
+/// Integrates platform power over simulated time.
+class PowerModel {
+public:
+    /// `base_mw` is the constant platform draw (always-on logic).
+    explicit PowerModel(std::uint32_t base_mw = 250);
+
+    /// Registers a task's draw from `now` on (call when it becomes active).
+    void task_started(TaskId task, std::uint32_t power_mw, SimTime now);
+
+    /// Removes a task's draw (call when it finishes or is preempted).
+    void task_stopped(TaskId task, SimTime now);
+
+    /// Current total draw in mW.
+    [[nodiscard]] std::uint32_t current_power_mw() const noexcept;
+
+    /// Energy integrated up to `at`, in microjoules (mW * us / 1000).
+    [[nodiscard]] double energy_uj(SimTime at) const;
+
+    [[nodiscard]] std::size_t active_tasks() const noexcept { return draws_.size(); }
+
+private:
+    void integrate_to(SimTime now) const;
+
+    std::uint32_t base_mw_;
+    std::unordered_map<TaskId, std::uint32_t> draws_;
+    mutable SimTime last_sample_ = 0;
+    mutable double energy_mw_us_ = 0.0;
+};
+
+}  // namespace qfa::sys

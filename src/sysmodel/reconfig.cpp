@@ -1,0 +1,38 @@
+#include "sysmodel/reconfig.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace qfa::sys {
+
+ReconfigController::ReconfigController(ReconfigTiming timing) : timing_(timing) {
+    QFA_EXPECTS(timing_.icap_bytes_per_us > 0.0 && timing_.copy_bytes_per_us > 0.0,
+                "configuration bandwidths must be positive");
+}
+
+SimTime ReconfigController::programming_time(const ConfigBlob& blob) const {
+    const double bandwidth = blob.target == cbr::Target::fpga
+                                 ? timing_.icap_bytes_per_us
+                                 : timing_.copy_bytes_per_us;
+    return timing_.setup_us +
+           static_cast<SimTime>(std::ceil(static_cast<double>(blob.bytes) / bandwidth));
+}
+
+SimTime ReconfigController::reserve(std::uint16_t device, SimTime now,
+                                    const ConfigBlob& blob) {
+    const SimTime start = std::max(now, busy_until(device));
+    const SimTime duration = programming_time(blob);
+    port_free_at_[device] = start + duration;
+    ++count_;
+    total_busy_ += duration;
+    return start + duration;
+}
+
+SimTime ReconfigController::busy_until(std::uint16_t device) const {
+    const auto it = port_free_at_.find(device);
+    return it == port_free_at_.end() ? 0 : it->second;
+}
+
+}  // namespace qfa::sys

@@ -1,0 +1,52 @@
+// Run-time reconfiguration timing model.
+//
+// FPGA variants are programmed through the configuration port (ICAP on
+// Virtex-II: 8 bit at 66 MHz = 66 MB/s); DSP kernels and CPU opcode are
+// copied into program memory at bus speed.  Loads through one port are
+// serialised: a reconfiguration starting while the port is busy queues
+// behind it (the model tracks the port-busy horizon per device).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/ids.hpp"
+#include "sysmodel/bitstream.hpp"
+#include "sysmodel/events.hpp"
+
+namespace qfa::sys {
+
+/// Timing parameters of the configuration paths.
+struct ReconfigTiming {
+    double icap_bytes_per_us = 66.0;    ///< Virtex-II ICAP, 8 bit @ 66 MHz
+    double copy_bytes_per_us = 132.0;   ///< program-memory copy bandwidth
+    SimTime setup_us = 20;              ///< per-load constant overhead
+};
+
+/// Serialising reconfiguration controller.
+class ReconfigController {
+public:
+    explicit ReconfigController(ReconfigTiming timing = {});
+
+    /// Pure programming time of a blob on its target (no queueing).
+    [[nodiscard]] SimTime programming_time(const ConfigBlob& blob) const;
+
+    /// Reserves the configuration port of `device` starting no earlier than
+    /// `now`; returns the completion time (queueing + programming).
+    [[nodiscard]] SimTime reserve(std::uint16_t device, SimTime now,
+                                  const ConfigBlob& blob);
+
+    /// Time at which the device's port becomes free.
+    [[nodiscard]] SimTime busy_until(std::uint16_t device) const;
+
+    [[nodiscard]] std::uint64_t reconfigurations() const noexcept { return count_; }
+    [[nodiscard]] SimTime total_busy_time() const noexcept { return total_busy_; }
+
+private:
+    ReconfigTiming timing_;
+    std::map<std::uint16_t, SimTime> port_free_at_;
+    std::uint64_t count_ = 0;
+    SimTime total_busy_ = 0;
+};
+
+}  // namespace qfa::sys

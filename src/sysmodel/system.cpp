@@ -1,0 +1,288 @@
+#include "sysmodel/system.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace qfa::sys {
+
+namespace {
+
+constexpr std::uint16_t kCpuDevice = 0;
+constexpr std::uint16_t kDspDevice = 1;
+constexpr std::uint16_t kFirstFpgaDevice = 2;
+
+}  // namespace
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)),
+      repository_(config_.flash_bytes_per_us),
+      reconfig_(config_.reconfig_timing),
+      power_(config_.base_power_mw),
+      cpu_(DeviceId{kCpuDevice}, "cpu0", ProcessorKind::cpu) {
+    if (config_.with_dsp) {
+        dsp_.emplace(DeviceId{kDspDevice}, "dsp0", ProcessorKind::dsp);
+    }
+    QFA_EXPECTS(config_.fpga_count >= 1, "platform needs at least one FPGA");
+    for (std::size_t i = 0; i < config_.fpga_count; ++i) {
+        fpgas_.emplace_back(DeviceId{static_cast<std::uint16_t>(kFirstFpgaDevice + i)},
+                            "fpga" + std::to_string(i), config_.fpga_slots);
+    }
+}
+
+const FpgaDevice& Platform::fpga(std::size_t index) const {
+    QFA_EXPECTS(index < fpgas_.size(), "FPGA index out of range");
+    return fpgas_[index];
+}
+
+LoadSnapshot Platform::snapshot() const {
+    LoadSnapshot snap;
+    snap.now = events_.now();
+    for (const FpgaDevice& device : fpgas_) {
+        LoadSnapshot::FpgaView view;
+        view.device = device.id().value;
+        view.total_slots = device.slot_count();
+        for (std::size_t s = 0; s < device.slot_count(); ++s) {
+            if (device.slot(s).free()) {
+                ++view.free_slots;
+            }
+        }
+        view.occupancy = device.occupancy();
+        snap.fpgas.push_back(view);
+    }
+    snap.cpu_headroom_pct = cpu_.headroom_pct();
+    snap.has_dsp = dsp_.has_value();
+    snap.dsp_headroom_pct = dsp_ ? dsp_->headroom_pct() : 0;
+    snap.power_mw = power_.current_power_mw();
+    return snap;
+}
+
+std::optional<PlacementPlan> Platform::find_placement(const cbr::Implementation& impl) const {
+    switch (impl.target) {
+        case cbr::Target::fpga:
+            for (const FpgaDevice& device : fpgas_) {
+                if (auto slot = device.find_free_slot(impl.meta.demand)) {
+                    return PlacementPlan{cbr::Target::fpga, device.id().value,
+                                         static_cast<std::uint32_t>(*slot)};
+                }
+            }
+            return std::nullopt;
+        case cbr::Target::dsp:
+            if (dsp_ && impl.meta.demand.dsp_load_pct <= dsp_->headroom_pct() &&
+                impl.meta.demand.dsp_load_pct > 0) {
+                return PlacementPlan{cbr::Target::dsp, kDspDevice, 0};
+            }
+            return std::nullopt;
+        case cbr::Target::gpp:
+            if (impl.meta.demand.cpu_load_pct <= cpu_.headroom_pct() &&
+                impl.meta.demand.cpu_load_pct > 0) {
+                return PlacementPlan{cbr::Target::gpp, kCpuDevice, 0};
+            }
+            return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::vector<TaskId> Platform::preemption_candidates(const cbr::Implementation& impl,
+                                                    Priority below) const {
+    std::vector<TaskId> victims;
+    auto priority_of = [this](TaskId id) {
+        const auto it = tasks_.find(id);
+        return it == tasks_.end() ? Priority{255} : it->second.priority;
+    };
+
+    switch (impl.target) {
+        case cbr::Target::fpga: {
+            // Any occupied fitting slot whose occupant has lower priority.
+            for (const FpgaDevice& device : fpgas_) {
+                for (std::size_t s : device.fitting_slots(impl.meta.demand)) {
+                    const Slot& slot = device.slot(s);
+                    if (!slot.free() && priority_of(*slot.occupant) < below) {
+                        victims.push_back(*slot.occupant);
+                    }
+                }
+            }
+            break;
+        }
+        case cbr::Target::dsp:
+        case cbr::Target::gpp: {
+            const ProcessorDevice* proc =
+                impl.target == cbr::Target::dsp ? (dsp_ ? &*dsp_ : nullptr) : &cpu_;
+            if (proc == nullptr) {
+                break;
+            }
+            const std::uint32_t need = impl.target == cbr::Target::dsp
+                                           ? impl.meta.demand.dsp_load_pct
+                                           : impl.meta.demand.cpu_load_pct;
+            if (need <= proc->headroom_pct()) {
+                break;  // no preemption needed
+            }
+            // Collect lower-priority tasks, cheapest first, until the freed
+            // capacity would cover the deficit.
+            std::vector<std::pair<TaskId, std::uint32_t>> candidates;
+            for (const auto& [task, load] : proc->admitted()) {
+                if (priority_of(task) < below) {
+                    candidates.emplace_back(task, load);
+                }
+            }
+            std::sort(candidates.begin(), candidates.end(),
+                      [&priority_of](const auto& a, const auto& b) {
+                          return priority_of(a.first) < priority_of(b.first);
+                      });
+            std::uint32_t freed = proc->headroom_pct();
+            for (const auto& [task, load] : candidates) {
+                if (freed >= need) {
+                    break;
+                }
+                victims.push_back(task);
+                freed += load;
+            }
+            if (freed < need) {
+                victims.clear();  // even preempting everything would not fit
+            }
+            break;
+        }
+    }
+    std::sort(victims.begin(), victims.end(), [&priority_of](TaskId a, TaskId b) {
+        return priority_of(a) < priority_of(b);
+    });
+    return victims;
+}
+
+LaunchOutcome Platform::launch(ImplRef ref, const cbr::Implementation& impl,
+                               Priority priority, const PlacementPlan& plan) {
+    LaunchOutcome outcome;
+    const auto blob = repository_.find(ref);
+    if (!blob) {
+        ++stats_.repository_misses;
+        outcome.error = LaunchError::repository_miss;
+        return outcome;
+    }
+
+    // Occupy resources per the plan; reject stale plans.
+    switch (plan.target) {
+        case cbr::Target::fpga: {
+            const std::size_t index = plan.device - 2;
+            if (index >= fpgas_.size() || plan.slot >= fpgas_[index].slot_count() ||
+                !fpgas_[index].slot(plan.slot).free() ||
+                !fpgas_[index].slot(plan.slot).capacity.fits(impl.meta.demand)) {
+                outcome.error = LaunchError::placement_invalid;
+                return outcome;
+            }
+            break;
+        }
+        case cbr::Target::dsp:
+            if (!dsp_ || impl.meta.demand.dsp_load_pct > dsp_->headroom_pct()) {
+                outcome.error = LaunchError::placement_invalid;
+                return outcome;
+            }
+            break;
+        case cbr::Target::gpp:
+            if (impl.meta.demand.cpu_load_pct > cpu_.headroom_pct()) {
+                outcome.error = LaunchError::placement_invalid;
+                return outcome;
+            }
+            break;
+    }
+
+    const TaskId id{next_task_++};
+    Task task;
+    task.id = id;
+    task.impl = ref;
+    task.target = plan.target;
+    task.state = TaskState::loading;
+    task.priority = priority;
+    task.demand = impl.meta.demand;
+    task.static_power_mw = impl.meta.static_power_mw;
+    task.dynamic_power_mw = impl.meta.dynamic_power_mw;
+    task.device = plan.device;
+    task.slot = plan.slot;
+
+    switch (plan.target) {
+        case cbr::Target::fpga:
+            fpgas_[plan.device - 2].occupy(plan.slot, id);
+            break;
+        case cbr::Target::dsp:
+            QFA_ASSERT(dsp_->admit(id, impl.meta.demand.dsp_load_pct),
+                       "headroom was just checked");
+            break;
+        case cbr::Target::gpp:
+            QFA_ASSERT(cpu_.admit(id, impl.meta.demand.cpu_load_pct),
+                       "headroom was just checked");
+            break;
+    }
+
+    // FLASH fetch, then the (serialised) configuration port.
+    const SimTime fetched = events_.now() + repository_.fetch_time(*blob);
+    const SimTime active_at = reconfig_.reserve(plan.device, fetched, *blob);
+    outcome.active_at = active_at;
+
+    tasks_.emplace(id, task);
+    ++stats_.launches;
+    events_.schedule(active_at, [this, id] {
+        const auto it = tasks_.find(id);
+        if (it == tasks_.end() || it->second.state != TaskState::loading) {
+            return;  // released or preempted while loading
+        }
+        it->second.state = TaskState::active;
+        power_.task_started(id, it->second.static_power_mw + it->second.dynamic_power_mw,
+                            events_.now());
+    });
+
+    outcome.task = id;
+    return outcome;
+}
+
+void Platform::free_resources(const Task& task) {
+    switch (task.target) {
+        case cbr::Target::fpga:
+            (void)fpgas_[task.device - 2].vacate(task.slot);
+            break;
+        case cbr::Target::dsp:
+            if (dsp_) {
+                (void)dsp_->remove(task.id);
+            }
+            break;
+        case cbr::Target::gpp:
+            (void)cpu_.remove(task.id);
+            break;
+    }
+}
+
+bool Platform::release(TaskId id) {
+    const auto it = tasks_.find(id);
+    if (it == tasks_.end() || it->second.state == TaskState::finished) {
+        return false;
+    }
+    if (it->second.state == TaskState::active) {
+        power_.task_stopped(id, events_.now());
+    }
+    if (it->second.state != TaskState::preempted) {
+        free_resources(it->second);
+    }
+    it->second.state = TaskState::finished;
+    ++stats_.releases;
+    return true;
+}
+
+bool Platform::preempt(TaskId id) {
+    const auto it = tasks_.find(id);
+    if (it == tasks_.end() || it->second.state == TaskState::finished ||
+        it->second.state == TaskState::preempted) {
+        return false;
+    }
+    if (it->second.state == TaskState::active) {
+        power_.task_stopped(id, events_.now());
+    }
+    free_resources(it->second);
+    it->second.state = TaskState::preempted;
+    ++stats_.preemptions;
+    return true;
+}
+
+const Task* Platform::task(TaskId id) const {
+    const auto it = tasks_.find(id);
+    return it == tasks_.end() ? nullptr : &it->second;
+}
+
+}  // namespace qfa::sys

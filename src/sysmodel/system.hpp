@@ -1,0 +1,148 @@
+// The platform: devices + repository + reconfiguration + power + events.
+//
+// This is the "HW-Layer API" level of fig. 1: it knows "all hardware
+// relevant aspects like resource consumption, low-level communication and
+// reconfiguration of system parts" and serves the allocation layer above
+// with load snapshots, placement queries and task lifecycle operations.
+// Policy (which candidate to take, whether preemption is worth it) lives in
+// qfa::alloc — the platform only executes mechanically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/case_base.hpp"
+#include "sysmodel/bitstream.hpp"
+#include "sysmodel/device.hpp"
+#include "sysmodel/events.hpp"
+#include "sysmodel/power.hpp"
+#include "sysmodel/reconfig.hpp"
+#include "sysmodel/task.hpp"
+
+namespace qfa::sys {
+
+/// Platform construction parameters.
+struct PlatformConfig {
+    std::size_t fpga_count = 1;
+    /// Slot geometry replicated on every FPGA (default: four slots sized
+    /// like a quarter of an XC2V3000 column region).
+    std::vector<SlotCapacity> fpga_slots = {
+        {3584, 24, 24}, {3584, 24, 24}, {3584, 24, 24}, {3584, 24, 24}};
+    bool with_dsp = true;
+    ReconfigTiming reconfig_timing{};
+    double flash_bytes_per_us = 20.0;
+    std::uint32_t base_power_mw = 250;
+};
+
+/// Where a variant would be placed.
+struct PlacementPlan {
+    cbr::Target target = cbr::Target::gpp;
+    std::uint16_t device = 0;
+    std::uint32_t slot = 0;  ///< FPGA targets only
+};
+
+/// Snapshot of current system load (what the allocation layer sees).
+struct LoadSnapshot {
+    SimTime now = 0;
+    struct FpgaView {
+        std::uint16_t device = 0;
+        std::size_t total_slots = 0;
+        std::size_t free_slots = 0;
+        double occupancy = 0.0;
+    };
+    std::vector<FpgaView> fpgas;
+    std::uint32_t cpu_headroom_pct = 0;
+    bool has_dsp = false;
+    std::uint32_t dsp_headroom_pct = 0;
+    std::uint32_t power_mw = 0;
+};
+
+/// Why a launch failed.
+enum class LaunchError {
+    repository_miss,    ///< no configuration data for the variant
+    placement_invalid,  ///< the plan no longer fits (stale snapshot)
+};
+
+/// Result of a launch attempt.
+struct LaunchOutcome {
+    std::optional<TaskId> task;
+    std::optional<LaunchError> error;
+    SimTime active_at = 0;  ///< when the function becomes usable
+
+    [[nodiscard]] bool ok() const noexcept { return task.has_value(); }
+};
+
+/// Aggregate counters.
+struct PlatformStats {
+    std::uint64_t launches = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t repository_misses = 0;
+};
+
+/// The multi-device platform.
+class Platform {
+public:
+    explicit Platform(PlatformConfig config = {});
+
+    // -- queries (HW-Layer API) ------------------------------------------
+    [[nodiscard]] LoadSnapshot snapshot() const;
+
+    /// First placement with free capacity for the variant, if any.
+    [[nodiscard]] std::optional<PlacementPlan> find_placement(
+        const cbr::Implementation& impl) const;
+
+    /// Active/loading tasks that block a placement for `impl` and have
+    /// priority strictly below `below`, cheapest victims (lowest priority)
+    /// first.  Empty when no preemption can help.
+    [[nodiscard]] std::vector<TaskId> preemption_candidates(const cbr::Implementation& impl,
+                                                            Priority below) const;
+
+    // -- lifecycle --------------------------------------------------------
+    /// Fetches configuration data, occupies resources per `plan`, schedules
+    /// the load and returns the new task (state: loading -> active at
+    /// `active_at`).
+    LaunchOutcome launch(ImplRef ref, const cbr::Implementation& impl, Priority priority,
+                         const PlacementPlan& plan);
+
+    /// Frees a task's resources (any state); false when unknown/finished.
+    bool release(TaskId id);
+
+    /// Evicts a task (resources freed, state preempted); false when
+    /// unknown or already finished.
+    bool preempt(TaskId id);
+
+    [[nodiscard]] const Task* task(TaskId id) const;
+
+    // -- subsystem access -------------------------------------------------
+    [[nodiscard]] EventQueue& events() noexcept { return events_; }
+    [[nodiscard]] Repository& repository() noexcept { return repository_; }
+    [[nodiscard]] const ReconfigController& reconfig() const noexcept { return reconfig_; }
+    [[nodiscard]] PowerModel& power() noexcept { return power_; }
+    [[nodiscard]] const PlatformStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] std::size_t fpga_count() const noexcept { return fpgas_.size(); }
+    [[nodiscard]] const FpgaDevice& fpga(std::size_t index) const;
+    [[nodiscard]] const ProcessorDevice& cpu() const noexcept { return cpu_; }
+
+private:
+    /// Frees the device resources held by a task.
+    void free_resources(const Task& task);
+
+    PlatformConfig config_;
+    EventQueue events_;
+    Repository repository_;
+    ReconfigController reconfig_;
+    PowerModel power_;
+
+    ProcessorDevice cpu_;
+    std::optional<ProcessorDevice> dsp_;
+    std::vector<FpgaDevice> fpgas_;
+
+    std::unordered_map<TaskId, Task> tasks_;
+    std::uint32_t next_task_ = 1;
+    PlatformStats stats_;
+};
+
+}  // namespace qfa::sys

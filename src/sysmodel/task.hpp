@@ -1,0 +1,76 @@
+// Task model: one instantiated function variant on one device.
+//
+// The allocation manager turns a granted function request into a task: an
+// FPGA module occupying a slot, a DSP kernel, or a CPU software task.  The
+// lifecycle mirrors the run-time system of [7]: configuration data is
+// fetched and loaded (loading), the function executes (active), it may be
+// preempted by a more important task (preempted), and finally ends
+// (finished).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/deploy.hpp"
+#include "core/ids.hpp"
+
+namespace qfa::sys {
+
+/// Unique task identifier.
+struct TaskId {
+    std::uint32_t value = 0;
+    friend constexpr bool operator==(TaskId, TaskId) noexcept = default;
+    friend constexpr auto operator<=>(TaskId, TaskId) noexcept = default;
+};
+
+/// Refers to one implementation variant in the catalogue.
+struct ImplRef {
+    cbr::TypeId type;
+    cbr::ImplId impl;
+    friend constexpr bool operator==(ImplRef, ImplRef) noexcept = default;
+};
+
+/// Task lifecycle states.
+enum class TaskState : std::uint8_t {
+    loading,    ///< configuration data being fetched / programmed
+    active,     ///< running
+    preempted,  ///< displaced by a higher-priority task
+    finished,   ///< completed or released
+};
+
+[[nodiscard]] constexpr const char* task_state_name(TaskState s) noexcept {
+    switch (s) {
+        case TaskState::loading: return "loading";
+        case TaskState::active: return "active";
+        case TaskState::preempted: return "preempted";
+        case TaskState::finished: return "finished";
+    }
+    return "?";
+}
+
+/// Priority: higher value wins preemption decisions (adaptive priorities in
+/// the spirit of [7]).
+using Priority = std::uint8_t;
+
+/// One task instance.
+struct Task {
+    TaskId id;
+    ImplRef impl;
+    cbr::Target target = cbr::Target::gpp;
+    TaskState state = TaskState::loading;
+    Priority priority = 0;
+    cbr::ResourceDemand demand;
+    std::uint32_t static_power_mw = 0;
+    std::uint32_t dynamic_power_mw = 0;
+    std::uint16_t device = 0;      ///< DeviceId value of the hosting device
+    std::uint32_t slot = 0;        ///< slot index (FPGA targets only)
+};
+
+}  // namespace qfa::sys
+
+template <>
+struct std::hash<qfa::sys::TaskId> {
+    std::size_t operator()(qfa::sys::TaskId id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};

@@ -1,0 +1,38 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace qfa::util {
+
+namespace {
+
+std::string format_violation(const char* kind, const char* expr, const char* file, int line,
+                             const std::string& message) {
+    std::ostringstream os;
+    os << kind << " violated: `" << expr << "` at " << file << ":" << line;
+    if (!message.empty()) {
+        os << " — " << message;
+    }
+    return os.str();
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr, const char* file,
+                                     int line, const std::string& message)
+    : std::logic_error(format_violation(kind, expr, file, line, message)),
+      kind_(kind),
+      expr_(expr),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+
+void fail_contract(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& message) {
+    throw ContractViolation(kind, expr, file, line, message);
+}
+
+}  // namespace detail
+
+}  // namespace qfa::util

@@ -1,0 +1,67 @@
+// Contract checking for the qfa library.
+//
+// Follows the C++ Core Guidelines (I.6/I.8): preconditions and postconditions
+// are stated at the interface and checked at run time.  A violated contract
+// is a programming error, not an expected runtime condition, so it throws
+// ContractViolation (a std::logic_error) carrying the failed expression and
+// source location.  Expected failures (an infeasible allocation, a rejected
+// negotiation) are modelled as return values elsewhere, never as contract
+// violations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qfa::util {
+
+/// Thrown when a QFA_EXPECTS / QFA_ENSURES condition does not hold.
+class ContractViolation : public std::logic_error {
+public:
+    ContractViolation(const char* kind, const char* expr, const char* file, int line,
+                      const std::string& message);
+
+    [[nodiscard]] const char* kind() const noexcept { return kind_; }
+    [[nodiscard]] const char* expression() const noexcept { return expr_; }
+    [[nodiscard]] const char* file() const noexcept { return file_; }
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    const char* kind_;
+    const char* expr_;
+    const char* file_;
+    int line_;
+};
+
+namespace detail {
+[[noreturn]] void fail_contract(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& message);
+}  // namespace detail
+
+}  // namespace qfa::util
+
+/// Precondition check: argument/state requirements callers must satisfy.
+#define QFA_EXPECTS(cond, msg)                                                              \
+    do {                                                                                    \
+        if (!(cond)) {                                                                      \
+            ::qfa::util::detail::fail_contract("precondition", #cond, __FILE__, __LINE__,   \
+                                               (msg));                                      \
+        }                                                                                   \
+    } while (false)
+
+/// Postcondition check: what the implementation guarantees on exit.
+#define QFA_ENSURES(cond, msg)                                                              \
+    do {                                                                                    \
+        if (!(cond)) {                                                                      \
+            ::qfa::util::detail::fail_contract("postcondition", #cond, __FILE__, __LINE__,  \
+                                               (msg));                                      \
+        }                                                                                   \
+    } while (false)
+
+/// Internal invariant check (loop invariants, unreachable branches).
+#define QFA_ASSERT(cond, msg)                                                               \
+    do {                                                                                    \
+        if (!(cond)) {                                                                      \
+            ::qfa::util::detail::fail_contract("invariant", #cond, __FILE__, __LINE__,      \
+                                               (msg));                                      \
+        }                                                                                   \
+    } while (false)

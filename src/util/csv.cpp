@@ -1,0 +1,73 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace qfa::util {
+
+Csv::Csv(std::vector<std::string> header) : header_(std::move(header)) {
+    QFA_EXPECTS(!header_.empty(), "CSV needs at least one column");
+}
+
+void Csv::add_row(std::vector<std::string> cells) {
+    QFA_EXPECTS(cells.size() == header_.size(), "CSV row width must match header");
+    rows_.push_back(std::move(cells));
+}
+
+void Csv::add_numeric_row(std::initializer_list<double> values, int decimals) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        cells.push_back(to_fixed(v, decimals));
+    }
+    add_row(std::move(cells));
+}
+
+std::string Csv::escape(const std::string& cell) {
+    const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+std::string Csv::to_string() const {
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i != 0) {
+                os << ",";
+            }
+            os << escape(cells[i]);
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+    return os.str();
+}
+
+bool Csv::write_file(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) {
+        return false;
+    }
+    file << to_string();
+    return static_cast<bool>(file);
+}
+
+}  // namespace qfa::util

@@ -1,0 +1,40 @@
+// CSV emission for figure data series.
+//
+// Benches that regenerate the paper's figures write their series as CSV next
+// to the human-readable table output so they can be re-plotted.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qfa::util {
+
+/// Accumulates rows and serialises them as RFC-4180-style CSV.
+class Csv {
+public:
+    /// Creates a CSV document with the given header row.
+    explicit Csv(std::vector<std::string> header);
+
+    /// Appends a row of already-formatted cells (quoted on demand).
+    void add_row(std::vector<std::string> cells);
+
+    /// Appends a row of doubles formatted with `decimals` places.
+    void add_numeric_row(std::initializer_list<double> values, int decimals = 6);
+
+    /// Serialises the document, header first.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Writes the document to `path`; returns false on I/O failure.
+    [[nodiscard]] bool write_file(const std::string& path) const;
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+private:
+    static std::string escape(const std::string& cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qfa::util

@@ -1,0 +1,57 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace qfa::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::atomic<std::ostream*> g_stream{nullptr};
+
+std::ostream& sink() {
+    std::ostream* custom = g_stream.load(std::memory_order_relaxed);
+    return custom != nullptr ? *custom : std::clog;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_stream(std::ostream* stream) noexcept {
+    g_stream.store(stream, std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::trace: return "trace";
+        case LogLevel::debug: return "debug";
+        case LogLevel::info: return "info";
+        case LogLevel::warn: return "warn";
+        case LogLevel::error: return "error";
+        case LogLevel::off: return "off";
+    }
+    return "?";
+}
+
+void log(LogLevel level, const std::string& message) {
+    if (level < log_level() || level == LogLevel::off) {
+        return;
+    }
+    sink() << "[qfa:" << log_level_name(level) << "] " << message << "\n";
+}
+
+void log_trace(const std::string& message) { log(LogLevel::trace, message); }
+void log_debug(const std::string& message) { log(LogLevel::debug, message); }
+void log_info(const std::string& message) { log(LogLevel::info, message); }
+void log_warn(const std::string& message) { log(LogLevel::warn, message); }
+void log_error(const std::string& message) { log(LogLevel::error, message); }
+
+}  // namespace qfa::util

@@ -1,0 +1,38 @@
+// Minimal leveled logging.
+//
+// Examples and the scenario driver narrate system activity through this
+// logger; tests silence it.  No global mutable state beyond one atomic level
+// (Core Guidelines I.2: the level is the one knob, everything else is pure).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace qfa::util {
+
+/// Log severity, ordered.
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global threshold.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Redirects log output (default: std::clog).  Pass nullptr to restore.
+void set_log_stream(std::ostream* stream) noexcept;
+
+/// Emits one log line if `level` passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void log_trace(const std::string& message);
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+/// Human-readable level name ("info").
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+}  // namespace qfa::util

@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qfa::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+        word = sm.next();
+    }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    QFA_EXPECTS(lo <= hi, "uniform_int requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo);
+    if (span == ~std::uint64_t{0}) {
+        return static_cast<std::int64_t>(next_u64());
+    }
+    // Rejection sampling for an unbiased draw in [0, span].
+    const std::uint64_t bound = span + 1;
+    const std::uint64_t limit = (~std::uint64_t{0} / bound) * bound;
+    std::uint64_t draw = next_u64();
+    while (draw >= limit) {
+        draw = next_u64();
+    }
+    return lo + static_cast<std::int64_t>(draw % bound);
+}
+
+double Rng::uniform01() noexcept {
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+    QFA_EXPECTS(lo <= hi, "uniform_real requires lo <= hi");
+    return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+    QFA_EXPECTS(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0, 1]");
+    return uniform01() < p;
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller: u1 in (0,1] to avoid log(0).
+    double u1 = 1.0 - uniform01();
+    double u2 = uniform01();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sigma) {
+    QFA_EXPECTS(sigma >= 0.0, "normal sigma must be non-negative");
+    return mean + sigma * normal();
+}
+
+double Rng::exponential(double lambda) {
+    QFA_EXPECTS(lambda > 0.0, "exponential rate must be positive");
+    return -std::log(1.0 - uniform01()) / lambda;
+}
+
+std::size_t Rng::index(std::size_t size) {
+    QFA_EXPECTS(size > 0, "index requires a non-empty range");
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(size - 1)));
+}
+
+Rng Rng::split() noexcept {
+    return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace qfa::util

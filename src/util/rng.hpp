@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Every stochastic component of the library (workload generators, randomized
+// property tests, scenario drivers) draws from this generator so that a run
+// is reproducible from a single 64-bit seed.  The core generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64 as its authors
+// recommend; both are implemented here so the library has no dependency on
+// platform-varying std::mt19937 streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace qfa::util {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256**: the library-wide deterministic random source.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Constructs a generator whose whole stream is a function of `seed`.
+    explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept;
+
+    /// UniformRandomBitGenerator interface (usable with std <random> too).
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+    result_type operator()() noexcept { return next_u64(); }
+
+    /// Next raw 64 random bits.
+    std::uint64_t next_u64() noexcept;
+
+    /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform real in [0, 1).
+    [[nodiscard]] double uniform01() noexcept;
+
+    /// Uniform real in [lo, hi).  Requires lo <= hi.
+    [[nodiscard]] double uniform_real(double lo, double hi);
+
+    /// Bernoulli trial with success probability p in [0, 1].
+    [[nodiscard]] bool bernoulli(double p);
+
+    /// Standard normal deviate (Box–Muller, cached pair).
+    [[nodiscard]] double normal() noexcept;
+
+    /// Normal deviate with the given mean and standard deviation (sigma >= 0).
+    [[nodiscard]] double normal(double mean, double sigma);
+
+    /// Exponential deviate with rate lambda > 0 (mean 1/lambda).
+    [[nodiscard]] double exponential(double lambda);
+
+    /// Uniformly chosen index in [0, size).  Requires size > 0.
+    [[nodiscard]] std::size_t index(std::size_t size);
+
+    /// Uniformly chosen element of a non-empty span.
+    template <typename T>
+    [[nodiscard]] const T& pick(std::span<const T> items) {
+        QFA_EXPECTS(!items.empty(), "cannot pick from an empty span");
+        return items[index(items.size())];
+    }
+
+    /// Fisher–Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        if (items.size() < 2) {
+            return;
+        }
+        for (std::size_t i = items.size() - 1; i > 0; --i) {
+            std::size_t j = index(i + 1);
+            using std::swap;
+            swap(items[i], items[j]);
+        }
+    }
+
+    /// Derives an independent child generator (for parallel sub-streams).
+    [[nodiscard]] Rng split() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace qfa::util

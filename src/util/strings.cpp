@@ -1,0 +1,103 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace qfa::util {
+
+std::string to_fixed(double value, int decimals) {
+    QFA_EXPECTS(decimals >= 0 && decimals <= 18, "decimals out of supported range");
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+    return buffer;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+    constexpr const char* units[] = {"B", "KiB", "MiB", "GiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < std::size(units)) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0) {
+        return std::to_string(bytes) + " B";
+    }
+    return to_fixed(value, 1) + " " + units[unit];
+}
+
+std::string human_hz(double hertz) {
+    constexpr const char* units[] = {"Hz", "kHz", "MHz", "GHz"};
+    double value = hertz;
+    std::size_t unit = 0;
+    while (value >= 1000.0 && unit + 1 < std::size(units)) {
+        value /= 1000.0;
+        ++unit;
+    }
+    return to_fixed(value, 1) + " " + units[unit];
+}
+
+std::string join(std::span<const std::string> pieces, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i != 0) {
+            out += sep;
+        }
+        out += pieces[i];
+    }
+    return out;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+    if (text.size() >= width) {
+        return std::string(text);
+    }
+    return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+    if (text.size() >= width) {
+        return std::string(text);
+    }
+    return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::vector<std::string> split(std::string_view text, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == delim) {
+            out.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+    std::string out(text);
+    for (char& c : out) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+}  // namespace qfa::util

@@ -1,0 +1,42 @@
+// Small string/formatting helpers shared by tables, CSV output and logs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qfa::util {
+
+/// Formats a double with a fixed number of decimals ("0.85", "12.00").
+[[nodiscard]] std::string to_fixed(double value, int decimals);
+
+/// Formats a byte count with binary units ("64 B", "4.5 KiB", "1.2 MiB").
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+/// Formats a frequency in Hz ("75.0 MHz", "450 kHz").
+[[nodiscard]] std::string human_hz(double hertz);
+
+/// Joins the pieces with the separator: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(std::span<const std::string> pieces, std::string_view sep);
+
+/// Left-pads with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pads with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+}  // namespace qfa::util

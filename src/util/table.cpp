@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace qfa::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    QFA_EXPECTS(!headers_.empty(), "a table needs at least one column");
+    aligns_.assign(headers_.size(), Align::right);
+    aligns_.front() = Align::left;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+    QFA_EXPECTS(column < aligns_.size(), "column index out of range");
+    aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    QFA_EXPECTS(cells.size() == headers_.size(), "row width must match header width");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() {
+    rows_.push_back(Row{true, {}});
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const Row& row : rows_) {
+        if (row.separator) {
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    auto render_line = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string padded = aligns_[c] == Align::left
+                                           ? pad_right(cells[c], widths[c])
+                                           : pad_left(cells[c], widths[c]);
+            line += " " + padded + " |";
+        }
+        return line;
+    };
+
+    auto render_rule = [&]() {
+        std::string line = "+";
+        for (std::size_t width : widths) {
+            line += std::string(width + 2, '-') + "+";
+        }
+        return line;
+    };
+
+    std::ostringstream os;
+    os << render_rule() << "\n";
+    os << render_line(headers_) << "\n";
+    os << render_rule() << "\n";
+    for (const Row& row : rows_) {
+        if (row.separator) {
+            os << render_rule() << "\n";
+        } else {
+            os << render_line(row.cells) << "\n";
+        }
+    }
+    os << render_rule() << "\n";
+    return os.str();
+}
+
+std::string Table::render_with_title(const std::string& title) const {
+    return title + "\n" + render();
+}
+
+}  // namespace qfa::util

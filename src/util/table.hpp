@@ -1,0 +1,59 @@
+// ASCII table rendering for benchmark harnesses.
+//
+// The benches regenerate the paper's tables; this printer renders them in a
+// stable monospace format so that paper-vs-measured comparisons in
+// EXPERIMENTS.md can be copied verbatim from bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qfa::util {
+
+/// Column alignment within a rendered table.
+enum class Align { left, right };
+
+/// Builds and renders a fixed-column ASCII table.
+///
+/// Usage:
+///   Table t({"Impl", "S_global"});
+///   t.add_row({"DSP", "0.96"});
+///   std::cout << t.render();
+class Table {
+public:
+    /// Creates a table with one column per header entry (all right-aligned
+    /// except the first, which is left-aligned — the common layout for
+    /// name + numbers tables).
+    explicit Table(std::vector<std::string> headers);
+
+    /// Overrides the alignment of one column.
+    void set_align(std::size_t column, Align align);
+
+    /// Appends a data row; must have exactly one cell per column.
+    void add_row(std::vector<std::string> cells);
+
+    /// Appends a horizontal separator line.
+    void add_separator();
+
+    /// Renders the table including a title line if `title` is non-empty.
+    [[nodiscard]] std::string render() const;
+
+    /// Convenience: renders with a title line above the table.
+    [[nodiscard]] std::string render_with_title(const std::string& title) const;
+
+    [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+private:
+    struct Row {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace qfa::util

@@ -1,0 +1,141 @@
+#include "workload/catalog.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace qfa::wl {
+
+namespace {
+
+/// Quality scaling per target: FPGA best, DSP middle, GPP modest.
+double target_quality(cbr::Target target) {
+    switch (target) {
+        case cbr::Target::fpga: return 1.0;
+        case cbr::Target::dsp: return 0.75;
+        case cbr::Target::gpp: return 0.45;
+    }
+    return 0.5;
+}
+
+cbr::Target target_for_slot(std::uint16_t impl_ordinal) {
+    // Cycle through targets so every type offers a hardware/software mix.
+    switch (impl_ordinal % 3) {
+        case 0: return cbr::Target::fpga;
+        case 1: return cbr::Target::dsp;
+        default: return cbr::Target::gpp;
+    }
+}
+
+cbr::AttrValue synthesize_value(cbr::AttrId id, double quality, util::Rng& rng) {
+    const double jitter = rng.uniform_real(0.85, 1.15);
+    const double q = std::clamp(quality * jitter, 0.05, 1.0);
+    switch (id.value()) {
+        case 1:  // bitwidth: 8..32, quality-scaled, multiples of 8
+            return static_cast<cbr::AttrValue>(8 * (1 + static_cast<int>(q * 3.0)));
+        case 2:  // processing mode: float on good variants
+            return q > 0.8 ? 1 : 0;
+        case 3:  // output mode: mono/stereo/surround
+            return static_cast<cbr::AttrValue>(std::min(2, static_cast<int>(q * 3.0)));
+        case 4:  // sample rate kS/s: 8..192
+            return static_cast<cbr::AttrValue>(8 + q * 184.0);
+        case 5:  // latency class (lower is better, invert quality): 1..100
+            return static_cast<cbr::AttrValue>(1 + (1.0 - q) * 99.0);
+        case 6:  // frame size: 64..4096
+            return static_cast<cbr::AttrValue>(64 + q * 4032.0);
+        case 7:  // bit-error-rate class (lower better): 0..50
+            return static_cast<cbr::AttrValue>((1.0 - q) * 50.0);
+        case 8:  // channels: 1..8
+            return static_cast<cbr::AttrValue>(1 + q * 7.0);
+        case 9:  // buffer KiB: 1..64
+            return static_cast<cbr::AttrValue>(1 + q * 63.0);
+        case 10:  // power class (lower better): 0..20
+            return static_cast<cbr::AttrValue>((1.0 - q) * 20.0);
+        default:  // generic 0..100 scale
+            return static_cast<cbr::AttrValue>(q * 100.0);
+    }
+}
+
+cbr::ImplMeta synthesize_meta(cbr::Target target, util::Rng& rng) {
+    cbr::ImplMeta meta;
+    switch (target) {
+        case cbr::Target::fpga:
+            meta.config_bytes =
+                static_cast<std::uint32_t>(rng.uniform_int(40'000, 200'000));
+            meta.demand.clb_slices =
+                static_cast<std::uint32_t>(rng.uniform_int(400, 3200));
+            meta.demand.brams = static_cast<std::uint32_t>(rng.uniform_int(1, 16));
+            meta.demand.multipliers = static_cast<std::uint32_t>(rng.uniform_int(0, 16));
+            meta.static_power_mw = static_cast<std::uint32_t>(rng.uniform_int(80, 200));
+            meta.dynamic_power_mw = static_cast<std::uint32_t>(rng.uniform_int(100, 350));
+            break;
+        case cbr::Target::dsp:
+            meta.config_bytes = static_cast<std::uint32_t>(rng.uniform_int(8'000, 64'000));
+            meta.demand.dsp_load_pct = static_cast<std::uint32_t>(rng.uniform_int(10, 60));
+            meta.static_power_mw = static_cast<std::uint32_t>(rng.uniform_int(50, 120));
+            meta.dynamic_power_mw = static_cast<std::uint32_t>(rng.uniform_int(80, 250));
+            break;
+        case cbr::Target::gpp:
+            meta.config_bytes = static_cast<std::uint32_t>(rng.uniform_int(2'000, 32'000));
+            meta.demand.cpu_load_pct = static_cast<std::uint32_t>(rng.uniform_int(15, 70));
+            meta.static_power_mw = static_cast<std::uint32_t>(rng.uniform_int(20, 60));
+            meta.dynamic_power_mw = static_cast<std::uint32_t>(rng.uniform_int(150, 400));
+            break;
+    }
+    return meta;
+}
+
+}  // namespace
+
+cbr::SchemaRegistry catalog_schemas() {
+    cbr::SchemaRegistry registry;
+    registry.add({kAttrBitwidth, "bitwidth", "bit", false});
+    registry.add({kAttrProcessingMode, "processing-mode", "", true});
+    registry.add({kAttrOutputMode, "output-mode", "", true});
+    registry.add({kAttrSampleRate, "sampling-rate", "kS/s", false});
+    registry.add({kAttrLatency, "latency-class", "", false});
+    registry.add({kAttrFrameSize, "frame-size", "samples", false});
+    registry.add({kAttrErrorRate, "error-rate-class", "", false});
+    registry.add({kAttrChannels, "channels", "", false});
+    registry.add({kAttrBufferKb, "buffer", "KiB", false});
+    registry.add({kAttrPowerClass, "power-class", "", false});
+    return registry;
+}
+
+cbr::CaseBase generate_catalog(const CatalogConfig& config, util::Rng& rng) {
+    QFA_EXPECTS(config.function_types >= 1, "catalogue needs at least one type");
+    QFA_EXPECTS(config.impls_per_type >= 1, "catalogue needs implementations");
+    QFA_EXPECTS(config.attrs_per_impl >= 1 && config.attrs_per_impl <= 10,
+                "synthetic attribute kinds cover ids 1..10");
+    QFA_EXPECTS(config.attr_dropout >= 0.0 && config.attr_dropout < 1.0,
+                "dropout must leave some attributes");
+
+    cbr::CaseBaseBuilder builder;
+    for (std::uint16_t t = 1; t <= config.function_types; ++t) {
+        builder.begin_type(cbr::TypeId{t}, "function-" + std::to_string(t));
+        for (std::uint16_t i = 1; i <= config.impls_per_type; ++i) {
+            const cbr::Target target = target_for_slot(static_cast<std::uint16_t>(i - 1));
+            const double quality = target_quality(target);
+            std::vector<cbr::Attribute> attrs;
+            for (std::uint16_t a = 1; a <= config.attrs_per_impl; ++a) {
+                // Always keep the first attribute so no list is empty.
+                if (a > 1 && rng.bernoulli(config.attr_dropout)) {
+                    continue;
+                }
+                attrs.push_back(
+                    {cbr::AttrId{a}, synthesize_value(cbr::AttrId{a}, quality, rng)});
+            }
+            builder.add_impl(cbr::ImplId{i}, target, std::move(attrs),
+                             synthesize_meta(target, rng));
+        }
+    }
+    return builder.build();
+}
+
+GeneratedCatalog generate_catalog_with_bounds(const CatalogConfig& config, util::Rng& rng) {
+    GeneratedCatalog out{generate_catalog(config, rng), {}};
+    out.bounds = cbr::BoundsTable::from_case_base(out.case_base);
+    return out;
+}
+
+}  // namespace qfa::wl

@@ -1,0 +1,57 @@
+// Synthetic function-catalogue generation.
+//
+// Generates implementation trees with the attribute kinds the paper names
+// (§2.2: data rates, discrete processing modes, power consumption,
+// code/bitstream sizes, response times, frame sizes, bit-error rates) and
+// target-correlated quality, mirroring the fig. 3 pattern: FPGA variants
+// lead on throughput-like attributes, DSP variants sit in the middle, and
+// plain software trails — so retrieval quality and allocation pressure
+// interact the way the paper's motivation describes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/attribute.hpp"
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "util/rng.hpp"
+
+namespace qfa::wl {
+
+/// Canonical synthetic attribute ids (schemas via catalog_schemas()).
+inline constexpr cbr::AttrId kAttrBitwidth{1};
+inline constexpr cbr::AttrId kAttrProcessingMode{2};
+inline constexpr cbr::AttrId kAttrOutputMode{3};
+inline constexpr cbr::AttrId kAttrSampleRate{4};
+inline constexpr cbr::AttrId kAttrLatency{5};
+inline constexpr cbr::AttrId kAttrFrameSize{6};
+inline constexpr cbr::AttrId kAttrErrorRate{7};
+inline constexpr cbr::AttrId kAttrChannels{8};
+inline constexpr cbr::AttrId kAttrBufferKb{9};
+inline constexpr cbr::AttrId kAttrPowerClass{10};
+
+/// Shape of the generated catalogue.
+struct CatalogConfig {
+    std::uint16_t function_types = 15;   ///< Table 3 default
+    std::uint16_t impls_per_type = 10;   ///< Table 3 default
+    std::uint16_t attrs_per_impl = 10;   ///< Table 3 default (max 10 kinds)
+    /// Probability that a given attribute is omitted from a variant
+    /// (0 = dense lists, the Table 3 worst case).
+    double attr_dropout = 0.0;
+};
+
+/// Schemas for the synthetic attribute kinds.
+[[nodiscard]] cbr::SchemaRegistry catalog_schemas();
+
+/// Generates a catalogue; deterministic in (config, rng state).
+[[nodiscard]] cbr::CaseBase generate_catalog(const CatalogConfig& config, util::Rng& rng);
+
+/// Convenience: catalogue + derived design-global bounds.
+struct GeneratedCatalog {
+    cbr::CaseBase case_base;
+    cbr::BoundsTable bounds;
+};
+[[nodiscard]] GeneratedCatalog generate_catalog_with_bounds(const CatalogConfig& config,
+                                                            util::Rng& rng);
+
+}  // namespace qfa::wl

@@ -1,0 +1,52 @@
+#include "workload/requests.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace qfa::wl {
+
+cbr::TypeId random_type(const cbr::CaseBase& cb, util::Rng& rng) {
+    QFA_EXPECTS(!cb.empty(), "case base must not be empty");
+    const auto types = cb.types();
+    return types[rng.index(types.size())].id;
+}
+
+GeneratedRequest generate_request(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                                  cbr::TypeId type, util::Rng& rng,
+                                  const RequestGenConfig& config) {
+    QFA_EXPECTS(config.keep_prob > 0.0 && config.keep_prob <= 1.0,
+                "keep probability must be in (0, 1]");
+    QFA_EXPECTS(config.tightness >= 0.0 && config.tightness <= 1.0,
+                "tightness must be in [0, 1]");
+    const cbr::FunctionType* ft = cb.find_type(type);
+    QFA_EXPECTS(ft != nullptr && !ft->impls.empty(),
+                "request generation needs an implemented type");
+
+    const cbr::Implementation& target = ft->impls[rng.index(ft->impls.size())];
+
+    std::vector<cbr::RequestAttribute> constraints;
+    for (const cbr::Attribute& attr : target.attributes) {
+        if (!constraints.empty() && !rng.bernoulli(config.keep_prob)) {
+            continue;
+        }
+        // Jitter the requested value within the design range.
+        const auto b = bounds.find(attr.id);
+        double value = attr.value;
+        if (config.tightness > 0.0 && b) {
+            const double range = static_cast<double>(b->dmax());
+            value += rng.uniform_real(-1.0, 1.0) * config.tightness * range;
+            value = std::clamp(value, static_cast<double>(b->lower),
+                               static_cast<double>(b->upper));
+        }
+        const double weight = 1.0 + config.weight_skew * rng.uniform_real(0.0, 4.0);
+        constraints.push_back(
+            {attr.id, static_cast<cbr::AttrValue>(std::lround(value)), weight});
+    }
+    QFA_ASSERT(!constraints.empty(), "target variants always have attributes");
+
+    return GeneratedRequest{cbr::Request(type, std::move(constraints)), type, target.id};
+}
+
+}  // namespace qfa::wl

@@ -1,0 +1,49 @@
+// Synthetic request generation.
+//
+// Requests are produced by perturbing a real catalogue variant: pick a
+// "target" implementation, keep a random subset of its attributes (partial
+// requests are first-class, §3), and jitter the values by a tightness
+// factor.  Because the intended variant is known, retrieval *quality* can
+// be measured: does the retriever find the variant the request was aimed
+// at (or something at least as similar)?
+#pragma once
+
+#include <optional>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/request.hpp"
+#include "util/rng.hpp"
+
+namespace qfa::wl {
+
+/// Request-generation knobs.
+struct RequestGenConfig {
+    /// Probability of keeping each attribute of the target variant
+    /// (at least one is always kept).
+    double keep_prob = 0.7;
+    /// Relative value jitter: 0 = ask exactly for the variant's values,
+    /// 0.2 = up to ±20 % of the attribute's design range.
+    double tightness = 0.1;
+    /// Weight skew: 0 = equal weights; larger = more uneven.
+    double weight_skew = 0.5;
+};
+
+/// A generated request together with the variant it was aimed at.
+struct GeneratedRequest {
+    cbr::Request request;
+    cbr::TypeId type;
+    cbr::ImplId intended;  ///< the perturbation source
+};
+
+/// Generates one request aimed at a random implementation of `type`.
+/// Requires the type to exist and have implementations.
+[[nodiscard]] GeneratedRequest generate_request(const cbr::CaseBase& cb,
+                                                const cbr::BoundsTable& bounds,
+                                                cbr::TypeId type, util::Rng& rng,
+                                                const RequestGenConfig& config = {});
+
+/// Uniformly random type id present in the case base (requires non-empty).
+[[nodiscard]] cbr::TypeId random_type(const cbr::CaseBase& cb, util::Rng& rng);
+
+}  // namespace qfa::wl

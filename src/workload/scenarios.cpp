@@ -1,0 +1,196 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "alloc/negotiation.hpp"
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace qfa::wl {
+
+const char* app_kind_name(AppKind kind) noexcept {
+    switch (kind) {
+        case AppKind::mp3_player: return "mp3-player";
+        case AppKind::video: return "video";
+        case AppKind::automotive_ecu: return "automotive-ecu";
+        case AppKind::cruise_control: return "cruise-control";
+    }
+    return "?";
+}
+
+AppProfile make_profile(AppKind kind, alloc::AppId app, const cbr::CaseBase& cb,
+                        util::Rng& rng, std::size_t hot_set_size) {
+    QFA_EXPECTS(!cb.empty(), "profiles need a catalogue");
+    AppProfile profile;
+    profile.kind = kind;
+    profile.app = app;
+
+    // Draw a hot set of distinct types.
+    const auto types = cb.types();
+    std::vector<std::size_t> indices(types.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        indices[i] = i;
+    }
+    rng.shuffle(indices);
+    const std::size_t count = std::min(hot_set_size, indices.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        profile.hot_types.push_back(types[indices[i]].id);
+    }
+
+    switch (kind) {
+        case AppKind::mp3_player:
+            // Steady soft-real-time stream: frequent repeated calls.
+            profile.mean_interarrival_us = 25'000;
+            profile.mean_holding_us = 120'000;
+            profile.repeat_prob = 0.85;
+            profile.priority = 8;
+            profile.zipf_s = 1.2;
+            break;
+        case AppKind::video:
+            // Heavier, bursty, quality-hungry.
+            profile.mean_interarrival_us = 15'000;
+            profile.mean_holding_us = 60'000;
+            profile.repeat_prob = 0.6;
+            profile.priority = 12;
+            profile.threshold = 0.3;
+            profile.zipf_s = 0.9;
+            profile.request_gen.tightness = 0.05;
+            break;
+        case AppKind::automotive_ecu:
+            // Control tasks: high priority, diverse requests.
+            profile.mean_interarrival_us = 40'000;
+            profile.mean_holding_us = 200'000;
+            profile.repeat_prob = 0.4;
+            profile.priority = 20;
+            profile.zipf_s = 0.5;
+            break;
+        case AppKind::cruise_control:
+            // Sporadic but critical.
+            profile.mean_interarrival_us = 80'000;
+            profile.mean_holding_us = 300'000;
+            profile.repeat_prob = 0.7;
+            profile.priority = 25;
+            profile.zipf_s = 1.5;
+            break;
+    }
+    return profile;
+}
+
+std::string ScenarioReport::summary() const {
+    std::string out;
+    out += "requests=" + std::to_string(requests);
+    out += " grants=" + std::to_string(grants);
+    out += " (bypass=" + std::to_string(bypass_grants) + ")";
+    out += " rejects=" + std::to_string(rejections);
+    out += " preemptions=" + std::to_string(preemptions);
+    out += " grant_rate=" + util::to_fixed(grant_rate, 3);
+    out += " mean_S=" + util::to_fixed(mean_similarity, 3);
+    out += " mean_act_us=" + util::to_fixed(mean_activation_us, 1);
+    out += " energy_mJ=" + util::to_fixed(energy_mj, 2);
+    return out;
+}
+
+ScenarioDriver::ScenarioDriver(sys::Platform& platform, alloc::AllocationManager& manager,
+                               const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                               std::vector<AppProfile> apps, ScenarioConfig config)
+    : platform_(&platform),
+      manager_(&manager),
+      cb_(&cb),
+      bounds_(&bounds),
+      config_(config) {
+    QFA_EXPECTS(!apps.empty(), "a scenario needs at least one application");
+    util::Rng seeder(config_.seed);
+    for (AppProfile& profile : apps) {
+        QFA_EXPECTS(!profile.hot_types.empty(), "application has no hot types");
+        ZipfSampler popularity(profile.hot_types.size(), profile.zipf_s);
+        apps_.push_back(
+            AppState{std::move(profile), std::move(popularity), seeder.split(), {}});
+    }
+}
+
+void ScenarioDriver::schedule_next_arrival(std::size_t app_index) {
+    AppState& app = apps_[app_index];
+    const double gap = app.rng.exponential(1.0 / app.profile.mean_interarrival_us);
+    const sys::SimTime at =
+        platform_->events().now() + std::max<sys::SimTime>(1, (sys::SimTime)gap);
+    if (at > config_.duration_us) {
+        return;  // scenario over for this app
+    }
+    platform_->events().schedule(at, [this, app_index] { handle_arrival(app_index); });
+}
+
+void ScenarioDriver::handle_arrival(std::size_t app_index) {
+    AppState& app = apps_[app_index];
+    const AppProfile& profile = app.profile;
+
+    // Pick a (Zipf-popular) type; maybe repeat the previous request for it.
+    const std::size_t rank = app.popularity.sample(app.rng);
+    const cbr::TypeId type = profile.hot_types[rank];
+    std::optional<cbr::Request> request;
+    const auto cached = app.last_request.find(type.value());
+    if (cached != app.last_request.end() && app.rng.bernoulli(profile.repeat_prob)) {
+        request = cached->second;
+    } else {
+        GeneratedRequest generated =
+            generate_request(*cb_, *bounds_, type, app.rng, profile.request_gen);
+        request = std::move(generated.request);
+        app.last_request.insert_or_assign(type.value(), *request);
+    }
+
+    ++requests_;
+    alloc::AllocRequest alloc_request{profile.app, *request, profile.priority,
+                                      profile.threshold, 4, true};
+    const sys::SimTime issued_at = platform_->events().now();
+    const alloc::NegotiationResult outcome = alloc::negotiate(*manager_, alloc_request);
+    rounds_sum_ += static_cast<double>(outcome.rounds);
+
+    if (outcome.granted()) {
+        ++grants_;
+        similarity_sum_ += outcome.grant->similarity;
+        activation_sum_us_ +=
+            static_cast<double>(outcome.grant->active_at - issued_at);
+
+        // Hold the function, then release it.
+        const double hold = app.rng.exponential(1.0 / profile.mean_holding_us);
+        const sys::TaskId task = outcome.grant->task;
+        const sys::SimTime release_at =
+            std::max(outcome.grant->active_at,
+                     issued_at + std::max<sys::SimTime>(1, (sys::SimTime)hold));
+        platform_->events().schedule(release_at,
+                                     [this, task] { (void)manager_->release(task); });
+    } else {
+        ++rejections_;
+    }
+
+    schedule_next_arrival(app_index);
+}
+
+ScenarioReport ScenarioDriver::run() {
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+        schedule_next_arrival(i);
+    }
+    platform_->events().run_all();
+
+    ScenarioReport report;
+    report.requests = requests_;
+    report.grants = grants_;
+    report.bypass_grants = manager_->stats().bypass_grants;
+    report.rejections = rejections_;
+    report.counter_offers_accepted = manager_->stats().offers_accepted;
+    report.preemptions = manager_->stats().preemptions;
+    report.grant_rate = requests_ == 0 ? 0.0
+                                       : static_cast<double>(grants_) /
+                                             static_cast<double>(requests_);
+    report.mean_similarity =
+        grants_ == 0 ? 0.0 : similarity_sum_ / static_cast<double>(grants_);
+    report.mean_activation_us =
+        grants_ == 0 ? 0.0 : activation_sum_us_ / static_cast<double>(grants_);
+    report.energy_mj =
+        platform_->power().energy_uj(platform_->events().now()) / 1000.0;
+    report.mean_negotiation_rounds =
+        requests_ == 0 ? 0.0 : rounds_sum_ / static_cast<double>(requests_);
+    return report;
+}
+
+}  // namespace qfa::wl

@@ -1,0 +1,111 @@
+// Timed application scenarios — the fig. 1 application mix, synthetically.
+//
+// Four archetypes mirror the applications drawn in fig. 1 (MP3 player,
+// video, automotive ECU, cruise control).  Each issues Poisson-arriving
+// function calls over its hot set of function types (Zipf popularity,
+// repeated-call probability for bypass-token realism), holds granted
+// functions for an exponential time and releases them.  The driver runs
+// everything on the platform's event queue and reports aggregate outcome
+// statistics — the E10/E11 measurement harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/manager.hpp"
+#include "sysmodel/system.hpp"
+#include "workload/requests.hpp"
+#include "workload/zipf.hpp"
+
+namespace qfa::wl {
+
+/// Application archetypes (fig. 1).
+enum class AppKind : std::uint8_t { mp3_player, video, automotive_ecu, cruise_control };
+
+[[nodiscard]] const char* app_kind_name(AppKind kind) noexcept;
+
+/// Behavioural profile of one application.
+struct AppProfile {
+    AppKind kind = AppKind::mp3_player;
+    alloc::AppId app = 0;
+    std::vector<cbr::TypeId> hot_types;   ///< its function working set
+    double zipf_s = 1.0;                  ///< popularity skew over hot_types
+    double mean_interarrival_us = 20'000; ///< Poisson request arrivals
+    double mean_holding_us = 80'000;      ///< exponential function lifetime
+    double repeat_prob = 0.6;             ///< reuse the previous request
+    sys::Priority priority = 10;
+    double threshold = 0.0;
+    RequestGenConfig request_gen{};
+};
+
+/// Canonical profile for an archetype (hot types drawn from the catalogue).
+[[nodiscard]] AppProfile make_profile(AppKind kind, alloc::AppId app,
+                                      const cbr::CaseBase& cb, util::Rng& rng,
+                                      std::size_t hot_set_size = 3);
+
+/// Scenario-wide parameters.
+struct ScenarioConfig {
+    sys::SimTime duration_us = 1'000'000;  ///< 1 simulated second
+    std::uint64_t seed = 42;
+};
+
+/// Aggregate outcome of a scenario run.
+struct ScenarioReport {
+    std::uint64_t requests = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t bypass_grants = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t counter_offers_accepted = 0;
+    std::uint64_t preemptions = 0;
+    double grant_rate = 0.0;
+    double mean_similarity = 0.0;        ///< over grants
+    double mean_activation_us = 0.0;     ///< request -> function active
+    double energy_mj = 0.0;              ///< platform energy over the run
+    double mean_negotiation_rounds = 0.0;
+
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Event-driven scenario executor.
+class ScenarioDriver {
+public:
+    /// All referenced objects must outlive the driver.
+    ScenarioDriver(sys::Platform& platform, alloc::AllocationManager& manager,
+                   const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                   std::vector<AppProfile> apps, ScenarioConfig config);
+
+    /// Runs the scenario to completion and reports.
+    [[nodiscard]] ScenarioReport run();
+
+private:
+    struct AppState {
+        AppProfile profile;
+        ZipfSampler popularity;
+        util::Rng rng;
+        /// Last issued request per hot type (repeated-call pool).
+        std::unordered_map<std::uint16_t, cbr::Request> last_request;
+    };
+
+    void schedule_next_arrival(std::size_t app_index);
+    void handle_arrival(std::size_t app_index);
+
+    sys::Platform* platform_;
+    alloc::AllocationManager* manager_;
+    const cbr::CaseBase* cb_;
+    const cbr::BoundsTable* bounds_;
+    ScenarioConfig config_;
+    std::vector<AppState> apps_;
+
+    // accumulators
+    std::uint64_t requests_ = 0;
+    std::uint64_t grants_ = 0;
+    std::uint64_t rejections_ = 0;
+    std::uint64_t offers_accepted_ = 0;
+    double similarity_sum_ = 0.0;
+    double activation_sum_us_ = 0.0;
+    double rounds_sum_ = 0.0;
+};
+
+}  // namespace qfa::wl

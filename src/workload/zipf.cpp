@@ -1,0 +1,36 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace qfa::wl {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+    QFA_EXPECTS(n >= 1, "Zipf needs at least one rank");
+    QFA_EXPECTS(s >= 0.0, "Zipf exponent must be non-negative");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = total;
+    }
+    for (double& value : cdf_) {
+        value /= total;
+    }
+    cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(util::Rng& rng) const {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+    QFA_EXPECTS(rank < cdf_.size(), "rank out of range");
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace qfa::wl

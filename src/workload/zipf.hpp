@@ -1,0 +1,33 @@
+// Zipf-distributed sampling for hot-function popularity.
+//
+// Repeated function calls dominate real request streams (that is what makes
+// the §3 bypass tokens pay off); a Zipf law over the function set is the
+// standard synthetic stand-in.  P(rank k) ∝ 1 / k^s.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qfa::wl {
+
+/// Samples ranks 0..n-1 with Zipf(s) probabilities.
+class ZipfSampler {
+public:
+    /// `n` ranks, exponent `s` >= 0 (s = 0 degenerates to uniform).
+    ZipfSampler(std::size_t n, double s);
+
+    /// Draws one rank (0 = most popular).
+    [[nodiscard]] std::size_t sample(util::Rng& rng) const;
+
+    /// Probability mass of one rank.
+    [[nodiscard]] double probability(std::size_t rank) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace qfa::wl

@@ -1,0 +1,92 @@
+#include "alloc/bypass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::alloc;
+using qfa::cbr::ImplId;
+using qfa::cbr::TypeId;
+using qfa::sys::ImplRef;
+
+BypassToken token(std::uint64_t fp, std::uint64_t epoch = 0) {
+    return BypassToken{fp, ImplRef{TypeId{1}, ImplId{2}}, 0.96, epoch};
+}
+
+TEST(BypassCacheTest, StoreAndLookup) {
+    BypassCache cache;
+    cache.store(token(42));
+    const auto hit = cache.lookup(42, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->impl.impl, ImplId{2});
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BypassCacheTest, MissIsCounted) {
+    BypassCache cache;
+    EXPECT_EQ(cache.lookup(7, 0), std::nullopt);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(BypassCacheTest, EpochMismatchDropsToken) {
+    BypassCache cache;
+    cache.store(token(42, /*epoch=*/3));
+    EXPECT_EQ(cache.lookup(42, 4), std::nullopt);  // case base changed
+    EXPECT_EQ(cache.stats().stale, 1u);
+    EXPECT_EQ(cache.size(), 0u);  // dropped, not kept stale
+}
+
+TEST(BypassCacheTest, InvalidateRemoves) {
+    BypassCache cache;
+    cache.store(token(42));
+    cache.invalidate(42);
+    EXPECT_EQ(cache.lookup(42, 0), std::nullopt);
+    cache.invalidate(42);  // idempotent
+}
+
+TEST(BypassCacheTest, LruEvictionAtCapacity) {
+    BypassCache cache(2);
+    cache.store(token(1));
+    cache.store(token(2));
+    // Touch 1 so 2 becomes the LRU victim.
+    ASSERT_TRUE(cache.lookup(1, 0).has_value());
+    cache.store(token(3));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(cache.lookup(1, 0).has_value());
+    EXPECT_EQ(cache.lookup(2, 0), std::nullopt);
+    EXPECT_TRUE(cache.lookup(3, 0).has_value());
+}
+
+TEST(BypassCacheTest, StoreRefreshesExisting) {
+    BypassCache cache(2);
+    cache.store(token(1));
+    BypassToken updated = token(1);
+    updated.similarity = 0.5;
+    cache.store(updated);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_NEAR(cache.lookup(1, 0)->similarity, 0.5, 1e-12);
+}
+
+TEST(BypassCacheTest, ClearEmpties) {
+    BypassCache cache;
+    cache.store(token(1));
+    cache.store(token(2));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BypassCacheTest, HitRateComputation) {
+    BypassCache cache;
+    cache.store(token(1));
+    (void)cache.lookup(1, 0);  // hit
+    (void)cache.lookup(2, 0);  // miss
+    EXPECT_NEAR(cache.stats().hit_rate(), 0.5, 1e-12);
+}
+
+TEST(BypassCacheTest, ZeroCapacityIsAContract) {
+    EXPECT_THROW(BypassCache cache(0), qfa::util::ContractViolation);
+}
+
+}  // namespace

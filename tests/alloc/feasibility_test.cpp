@@ -1,0 +1,74 @@
+#include "alloc/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::alloc;
+using cbr::ImplId;
+using cbr::TypeId;
+
+struct Fixture {
+    Fixture() { platform.repository().import_case_base(cb); }
+
+    cbr::CaseBase cb = cbr::paper_example_case_base();
+    sys::Platform platform;
+
+    const cbr::Implementation& impl(std::size_t i) {
+        return cb.find_type(TypeId{1})->impls[i];
+    }
+};
+
+TEST(Feasibility, FitsOnIdleSystem) {
+    Fixture f;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const FeasibilityVerdict verdict = check_feasibility(
+            f.platform, sys::ImplRef{TypeId{1}, f.impl(i).id}, f.impl(i), 10);
+        EXPECT_EQ(verdict.kind, FeasibilityKind::fits) << i;
+        EXPECT_TRUE(verdict.plan.has_value());
+        EXPECT_TRUE(verdict.feasible());
+    }
+}
+
+TEST(Feasibility, EstimatesReadyTime) {
+    Fixture f;
+    const FeasibilityVerdict verdict = check_feasibility(
+        f.platform, sys::ImplRef{TypeId{1}, ImplId{1}}, f.impl(0), 10);
+    // 93 kB bitstream: ~4.65 ms FLASH + ~1.4 ms ICAP + setup.
+    EXPECT_GT(verdict.estimated_ready_us, 5'000u);
+    EXPECT_LT(verdict.estimated_ready_us, 10'000u);
+}
+
+TEST(Feasibility, NeedsPreemptionWhenFullOfLowerPriority) {
+    Fixture f;
+    const auto& dsp = f.impl(1);
+    for (int i = 0; i < 2; ++i) {
+        const auto plan = f.platform.find_placement(dsp);
+        ASSERT_TRUE(
+            f.platform.launch(sys::ImplRef{TypeId{1}, ImplId{2}}, dsp, 1, *plan).ok());
+    }
+    const FeasibilityVerdict verdict =
+        check_feasibility(f.platform, sys::ImplRef{TypeId{1}, ImplId{2}}, dsp, 10);
+    EXPECT_EQ(verdict.kind, FeasibilityKind::needs_preemption);
+    EXPECT_FALSE(verdict.victims.empty());
+    EXPECT_TRUE(verdict.feasible());
+}
+
+TEST(Feasibility, InfeasibleAgainstHigherPriority) {
+    Fixture f;
+    const auto& dsp = f.impl(1);
+    for (int i = 0; i < 2; ++i) {
+        const auto plan = f.platform.find_placement(dsp);
+        ASSERT_TRUE(
+            f.platform.launch(sys::ImplRef{TypeId{1}, ImplId{2}}, dsp, 200, *plan).ok());
+    }
+    const FeasibilityVerdict verdict =
+        check_feasibility(f.platform, sys::ImplRef{TypeId{1}, ImplId{2}}, dsp, 10);
+    EXPECT_EQ(verdict.kind, FeasibilityKind::infeasible);
+    EXPECT_FALSE(verdict.feasible());
+}
+
+}  // namespace

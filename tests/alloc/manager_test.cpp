@@ -1,0 +1,236 @@
+#include "alloc/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc/negotiation.hpp"
+#include "core/bounds.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::alloc;
+using cbr::AttrId;
+using cbr::ImplId;
+using cbr::Request;
+using cbr::TypeId;
+
+struct Fixture {
+    Fixture() {
+        platform.repository().import_case_base(cb);
+    }
+
+    cbr::CaseBase cb = cbr::paper_example_case_base();
+    cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    sys::Platform platform;
+    AllocationManager manager{platform, cb, bounds};
+
+    AllocRequest paper_request(AppId app = 1) {
+        return AllocRequest{app, cbr::paper_example_request(), 10, 0.0, 4, true};
+    }
+};
+
+TEST(ManagerTest, GrantsBestFeasibleCandidate) {
+    Fixture f;
+    const AllocationOutcome outcome = f.manager.allocate(f.paper_request());
+    ASSERT_TRUE(outcome.granted());
+    EXPECT_EQ(outcome.grant->impl.impl, ImplId{2});  // DSP, Table 1 best
+    EXPECT_EQ(outcome.grant->target, cbr::Target::dsp);
+    EXPECT_NEAR(outcome.grant->similarity, 0.96396, 1e-3);
+    EXPECT_FALSE(outcome.grant->via_bypass);
+    EXPECT_EQ(f.manager.stats().retrievals, 1u);
+}
+
+TEST(ManagerTest, RepeatedCallUsesBypassToken) {
+    Fixture f;
+    const AllocationOutcome first = f.manager.allocate(f.paper_request());
+    ASSERT_TRUE(first.granted());
+    ASSERT_TRUE(f.manager.release(first.grant->task));
+
+    const AllocationOutcome second = f.manager.allocate(f.paper_request());
+    ASSERT_TRUE(second.granted());
+    EXPECT_TRUE(second.grant->via_bypass);
+    EXPECT_EQ(second.grant->impl.impl, ImplId{2});
+    EXPECT_EQ(f.manager.stats().retrievals, 1u);  // no second retrieval
+    EXPECT_EQ(f.manager.bypass_stats().hits, 1u);
+}
+
+TEST(ManagerTest, DifferentAppsHaveIndependentTokens) {
+    Fixture f;
+    const AllocationOutcome a = f.manager.allocate(f.paper_request(1));
+    ASSERT_TRUE(a.granted());
+    ASSERT_TRUE(f.manager.release(a.grant->task));
+    const AllocationOutcome b = f.manager.allocate(f.paper_request(2));
+    ASSERT_TRUE(b.granted());
+    EXPECT_FALSE(b.grant->via_bypass);
+    EXPECT_EQ(f.manager.stats().retrievals, 2u);
+}
+
+TEST(ManagerTest, UnknownTypeIsRejected) {
+    Fixture f;
+    AllocRequest request{1, Request(TypeId{99}, {{AttrId{1}, 1, 1.0}}), 10, 0.0, 4, true};
+    const AllocationOutcome outcome = f.manager.allocate(request);
+    EXPECT_EQ(outcome.kind, AllocationOutcome::Kind::rejected);
+    EXPECT_EQ(outcome.reject, RejectReason::type_not_found);
+}
+
+TEST(ManagerTest, ThresholdRejection) {
+    Fixture f;
+    AllocRequest request = f.paper_request();
+    request.threshold = 0.99;
+    const AllocationOutcome outcome = f.manager.allocate(request);
+    EXPECT_EQ(outcome.kind, AllocationOutcome::Kind::rejected);
+    EXPECT_EQ(outcome.reject, RejectReason::below_threshold);
+}
+
+TEST(ManagerTest, CounterOfferWhenBestIsBusy) {
+    // Saturate the DSP so the best-matching variant (DSP, 35 % load x2
+    // exceeds 100 after two... actually 35+35=70, need three) — occupy the
+    // DSP fully with high-priority tasks first.
+    Fixture f;
+    const auto* fir = f.cb.find_type(TypeId{1});
+    const auto& dsp_impl = fir->impls[1];
+    for (int i = 0; i < 2; ++i) {
+        const auto plan = f.platform.find_placement(dsp_impl);
+        ASSERT_TRUE(plan.has_value());
+        ASSERT_TRUE(f.platform
+                        .launch(sys::ImplRef{TypeId{1}, ImplId{2}}, dsp_impl,
+                                /*priority=*/200, *plan)
+                        .ok());
+    }
+    ASSERT_EQ(f.platform.snapshot().dsp_headroom_pct, 30u);
+
+    // DSP (the best match) cannot fit and its occupants outrank us: the
+    // manager must counter-offer the FPGA alternative (second best).
+    const AllocationOutcome outcome = f.manager.allocate(f.paper_request());
+    ASSERT_EQ(outcome.kind, AllocationOutcome::Kind::counter_offer);
+    EXPECT_EQ(outcome.offer->best_infeasible.impl, ImplId{2});
+    EXPECT_EQ(outcome.offer->alternative.impl, ImplId{1});
+    EXPECT_LT(outcome.offer->alternative_similarity, outcome.offer->best_similarity);
+
+    // Accepting launches the alternative.
+    const AllocationOutcome accepted = f.manager.accept_offer(outcome.offer->offer_id);
+    ASSERT_TRUE(accepted.granted());
+    EXPECT_EQ(accepted.grant->impl.impl, ImplId{1});
+    EXPECT_EQ(f.manager.stats().offers_accepted, 1u);
+}
+
+TEST(ManagerTest, RejectOfferLeavesNothingPending) {
+    Fixture f;
+    const auto* fir = f.cb.find_type(TypeId{1});
+    const auto& dsp_impl = fir->impls[1];
+    for (int i = 0; i < 2; ++i) {
+        const auto plan = f.platform.find_placement(dsp_impl);
+        ASSERT_TRUE(
+            f.platform
+                .launch(sys::ImplRef{TypeId{1}, ImplId{2}}, dsp_impl, 200, *plan)
+                .ok());
+    }
+    const AllocationOutcome outcome = f.manager.allocate(f.paper_request());
+    ASSERT_EQ(outcome.kind, AllocationOutcome::Kind::counter_offer);
+    f.manager.reject_offer(outcome.offer->offer_id);
+    EXPECT_EQ(f.manager.stats().offers_rejected, 1u);
+    // Accepting a rejected offer fails gracefully.
+    const AllocationOutcome late = f.manager.accept_offer(outcome.offer->offer_id);
+    EXPECT_FALSE(late.granted());
+}
+
+TEST(ManagerTest, PreemptsLowerPriorityWhenAllowed) {
+    Fixture f;
+    // Fill the DSP with LOW-priority tasks.
+    const auto* fir = f.cb.find_type(TypeId{1});
+    const auto& dsp_impl = fir->impls[1];
+    std::vector<sys::TaskId> victims;
+    for (int i = 0; i < 2; ++i) {
+        const auto plan = f.platform.find_placement(dsp_impl);
+        const auto launched =
+            f.platform.launch(sys::ImplRef{TypeId{1}, ImplId{2}}, dsp_impl, 1, *plan);
+        ASSERT_TRUE(launched.ok());
+        victims.push_back(*launched.task);
+    }
+
+    // Our request (priority 10) wants the DSP: lower-priority tasks yield.
+    AllocRequest request = f.paper_request();
+    request.priority = 10;
+    const AllocationOutcome outcome = f.manager.allocate(request);
+    ASSERT_TRUE(outcome.granted());
+    EXPECT_EQ(outcome.grant->impl.impl, ImplId{2});
+    EXPECT_GE(outcome.grant->preemptions, 1u);
+    EXPECT_GE(f.manager.stats().preemptions, 1u);
+}
+
+TEST(ManagerTest, PreemptionGateRespected) {
+    Fixture f;
+    const auto* fir = f.cb.find_type(TypeId{1});
+    const auto& dsp_impl = fir->impls[1];
+    for (int i = 0; i < 2; ++i) {
+        const auto plan = f.platform.find_placement(dsp_impl);
+        ASSERT_TRUE(f.platform
+                        .launch(sys::ImplRef{TypeId{1}, ImplId{2}}, dsp_impl, 1, *plan)
+                        .ok());
+    }
+    AllocRequest request = f.paper_request();
+    request.allow_preemption = false;
+    const AllocationOutcome outcome = f.manager.allocate(request);
+    // Without preemption the DSP stays full; FPGA alternative is offered.
+    ASSERT_EQ(outcome.kind, AllocationOutcome::Kind::counter_offer);
+    EXPECT_EQ(f.manager.stats().preemptions, 0u);
+}
+
+TEST(ManagerTest, RebindInvalidatesBypassTokens) {
+    Fixture f;
+    const AllocationOutcome first = f.manager.allocate(f.paper_request());
+    ASSERT_TRUE(first.granted());
+    ASSERT_TRUE(f.manager.release(first.grant->task));
+
+    f.manager.rebind(f.cb, f.bounds, /*epoch=*/1);
+    const AllocationOutcome second = f.manager.allocate(f.paper_request());
+    ASSERT_TRUE(second.granted());
+    EXPECT_FALSE(second.grant->via_bypass);
+    EXPECT_EQ(f.manager.bypass_stats().stale, 1u);
+}
+
+TEST(NegotiationTest, RelaxesUntilGranted) {
+    Fixture f;
+    // Impossible threshold at first; relaxation halves it until candidates
+    // pass and the call is granted.
+    AllocRequest request = f.paper_request();
+    request.threshold = 0.99;
+    NegotiationConfig config;
+    config.max_rounds = 6;
+    config.drop_weakest = false;
+    const NegotiationResult result = negotiate(f.manager, request, config);
+    EXPECT_TRUE(result.granted());
+    EXPECT_GT(result.rounds, 1u);
+    EXPECT_FALSE(result.trace.empty());
+}
+
+TEST(NegotiationTest, UnknownTypeEndsImmediately) {
+    Fixture f;
+    AllocRequest request{1, Request(TypeId{99}, {{AttrId{1}, 1, 1.0}}), 10, 0.0, 4, true};
+    const NegotiationResult result = negotiate(f.manager, request);
+    EXPECT_FALSE(result.granted());
+    EXPECT_EQ(result.end, NegotiationEnd::exhausted);
+    EXPECT_EQ(result.rounds, 1u);
+}
+
+TEST(NegotiationTest, CounterOfferAutoAccepted) {
+    Fixture f;
+    const auto* fir = f.cb.find_type(TypeId{1});
+    const auto& dsp_impl = fir->impls[1];
+    for (int i = 0; i < 2; ++i) {
+        const auto plan = f.platform.find_placement(dsp_impl);
+        ASSERT_TRUE(f.platform
+                        .launch(sys::ImplRef{TypeId{1}, ImplId{2}}, dsp_impl, 200, *plan)
+                        .ok());
+    }
+    const NegotiationResult result = negotiate(f.manager, f.paper_request());
+    ASSERT_TRUE(result.granted());
+    EXPECT_EQ(result.grant->impl.impl, ImplId{1});  // accepted FPGA alternative
+}
+
+TEST(ManagerTest, RejectReasonNamesAreStable) {
+    EXPECT_STREQ(reject_reason_name(RejectReason::type_not_found), "type-not-found");
+    EXPECT_STREQ(reject_reason_name(RejectReason::nothing_feasible), "nothing-feasible");
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "alloc/policies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::alloc;
+using cbr::ImplId;
+using cbr::Target;
+using cbr::TypeId;
+
+struct PolicyFixture {
+    PolicyFixture() {
+        // Three candidates, descending similarity: DSP 0.96 / FPGA 0.92
+        // (within slack) / GPP 0.43.  DSP draws the most power; the GPP is
+        // the only one whose device is near idle in `busy_load`.
+        impls.resize(3);
+        impls[0].id = ImplId{2};
+        impls[0].target = Target::dsp;
+        impls[0].meta.static_power_mw = 90;
+        impls[0].meta.dynamic_power_mw = 160;
+        impls[1].id = ImplId{1};
+        impls[1].target = Target::fpga;
+        impls[1].meta.static_power_mw = 60;
+        impls[1].meta.dynamic_power_mw = 110;
+        impls[2].id = ImplId{3};
+        impls[2].target = Target::gpp;
+        impls[2].meta.static_power_mw = 40;
+        impls[2].meta.dynamic_power_mw = 310;
+
+        const double sims[] = {0.96, 0.92, 0.43};
+        for (std::size_t i = 0; i < 3; ++i) {
+            Candidate c;
+            c.match = cbr::Match{TypeId{1}, impls[i].id, impls[i].target, sims[i], {}};
+            c.impl = &impls[i];
+            c.feasibility.kind = FeasibilityKind::fits;
+            c.feasibility.plan = sys::PlacementPlan{};
+            candidates.push_back(c);
+        }
+
+        idle_load.fpgas.push_back({2, 4, 4, 0.0});
+        idle_load.cpu_headroom_pct = 100;
+        idle_load.has_dsp = true;
+        idle_load.dsp_headroom_pct = 100;
+
+        busy_load = idle_load;
+        busy_load.fpgas[0].occupancy = 0.75;
+        busy_load.dsp_headroom_pct = 20;
+        busy_load.cpu_headroom_pct = 90;
+    }
+
+    std::vector<cbr::Implementation> impls;
+    std::vector<Candidate> candidates;
+    sys::LoadSnapshot idle_load;
+    sys::LoadSnapshot busy_load;
+};
+
+TEST(SimilarityFirstTest, PicksTopFeasible) {
+    PolicyFixture f;
+    const SimilarityFirstPolicy policy;
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), 0u);
+}
+
+TEST(SimilarityFirstTest, SkipsInfeasibleBest) {
+    PolicyFixture f;
+    f.candidates[0].feasibility.kind = FeasibilityKind::infeasible;
+    const SimilarityFirstPolicy policy;
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), 1u);
+}
+
+TEST(SimilarityFirstTest, BestMatchWinsEvenViaPreemption) {
+    // §3: the best-matching variant is delivered, preempting lower-priority
+    // tasks, rather than silently degrading to a weaker clean fit.
+    PolicyFixture f;
+    f.candidates[0].feasibility.kind = FeasibilityKind::needs_preemption;
+    f.candidates[0].feasibility.victims = {sys::TaskId{9}};
+    const SimilarityFirstPolicy policy;
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), 0u);
+}
+
+TEST(SimilarityFirstTest, AllPreemptingTakesTheBest) {
+    PolicyFixture f;
+    for (Candidate& c : f.candidates) {
+        c.feasibility.kind = FeasibilityKind::needs_preemption;
+        c.feasibility.victims = {sys::TaskId{9}};
+    }
+    const SimilarityFirstPolicy policy;
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), 0u);
+}
+
+TEST(SimilarityFirstTest, NothingFeasibleIsNullopt) {
+    PolicyFixture f;
+    for (Candidate& c : f.candidates) {
+        c.feasibility.kind = FeasibilityKind::infeasible;
+    }
+    const SimilarityFirstPolicy policy;
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), std::nullopt);
+}
+
+TEST(EnergyAwareTest, PicksLowPowerWithinSlack) {
+    PolicyFixture f;
+    const EnergyAwarePolicy policy(0.1);
+    // DSP 250 mW vs FPGA 170 mW, both within 0.1 of 0.96: FPGA wins.
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), 1u);
+}
+
+TEST(EnergyAwareTest, SlackExcludesWeakCandidates) {
+    PolicyFixture f;
+    // GP variant has the lowest total power (350)?  No: 40+310 = 350 —
+    // higher than FPGA's 170.  Make it the cheapest to check the slack gate.
+    f.impls[2].meta.static_power_mw = 5;
+    f.impls[2].meta.dynamic_power_mw = 5;
+    const EnergyAwarePolicy policy(0.1);
+    // GPP is cheapest but 0.43 < 0.96 - 0.1: excluded.
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), 1u);
+}
+
+TEST(LoadBalancingTest, PicksLeastUtilisedTarget) {
+    PolicyFixture f;
+    const LoadBalancingPolicy policy(0.1);
+    // Idle system: FPGA occupancy 0.0 == DSP 0.0; DSP comes first in rank
+    // order and wins the tie.
+    EXPECT_EQ(policy.pick(f.candidates, f.idle_load), 0u);
+    // Busy system: DSP 80 % loaded, FPGA 75 %, CPU 10 % — but the CPU
+    // candidate is outside the slack; FPGA (lower than DSP) wins.
+    EXPECT_EQ(policy.pick(f.candidates, f.busy_load), 1u);
+}
+
+TEST(PolicyFactoryTest, CreatesAllKinds) {
+    for (auto kind : {PolicyKind::similarity_first, PolicyKind::energy_aware,
+                      PolicyKind::load_balancing}) {
+        const auto policy = make_policy(kind);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_FALSE(policy->name().empty());
+    }
+}
+
+}  // namespace

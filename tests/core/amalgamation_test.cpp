@@ -1,0 +1,129 @@
+// Property tests for the amalgamation axioms of §2.2: monotone in every
+// argument, S(0,...,0) = 0 and S(1,...,1) = 1.
+#include "core/amalgamation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+std::vector<double> equal_weights(std::size_t n) {
+    return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+TEST(WeightedSumTest, MatchesEquationTwo) {
+    const WeightedSum ws;
+    const std::vector<double> locals{1.0, 2.0 / 3.0, 33.0 / 37.0};
+    const double s = ws.combine(locals, equal_weights(3));
+    EXPECT_NEAR(s, (1.0 + 2.0 / 3.0 + 33.0 / 37.0) / 3.0, 1e-12);
+}
+
+TEST(WeightedSumTest, WeightsBias) {
+    const WeightedSum ws;
+    const std::vector<double> locals{1.0, 0.0};
+    const std::vector<double> weights{0.9, 0.1};
+    EXPECT_NEAR(ws.combine(locals, weights), 0.9, 1e-12);
+}
+
+TEST(MinMaxTest, PickExtremes) {
+    const MinAmalgamation mn;
+    const MaxAmalgamation mx;
+    const std::vector<double> locals{0.2, 0.9, 0.5};
+    const auto w = equal_weights(3);
+    EXPECT_DOUBLE_EQ(mn.combine(locals, w), 0.2);
+    EXPECT_DOUBLE_EQ(mx.combine(locals, w), 0.9);
+}
+
+TEST(OwaTest, WeightsApplyToSortedLocals) {
+    const OrderedWeightedAverage owa;
+    const std::vector<double> locals{0.1, 0.9};       // unsorted input
+    const std::vector<double> weights{1.0, 0.0};      // all weight on the best
+    EXPECT_DOUBLE_EQ(owa.combine(locals, weights), 0.9);
+}
+
+TEST(WeightedEuclideanTest, PerfectAndWorstCases) {
+    const WeightedEuclidean we;
+    const auto w = equal_weights(2);
+    EXPECT_DOUBLE_EQ(we.combine(std::vector<double>{1.0, 1.0}, w), 1.0);
+    EXPECT_DOUBLE_EQ(we.combine(std::vector<double>{0.0, 0.0}, w), 0.0);
+}
+
+TEST(AmalgamationTest, InputValidation) {
+    const WeightedSum ws;
+    EXPECT_THROW((void)ws.combine(std::vector<double>{1.0}, std::vector<double>{0.5, 0.5}),
+                 qfa::util::ContractViolation);
+    EXPECT_THROW((void)ws.combine(std::vector<double>{}, std::vector<double>{}),
+                 qfa::util::ContractViolation);
+}
+
+TEST(AmalgamationTest, FactoryCoversAllKinds) {
+    for (auto kind : {AmalgamationKind::weighted_sum, AmalgamationKind::minimum,
+                      AmalgamationKind::maximum, AmalgamationKind::owa,
+                      AmalgamationKind::weighted_euclidean}) {
+        const auto amalg = make_amalgamation(kind);
+        ASSERT_NE(amalg, nullptr);
+        EXPECT_FALSE(amalg->name().empty());
+    }
+}
+
+// ---- Axiom sweep over every amalgamation kind --------------------------
+
+class AmalgamationAxioms : public testing::TestWithParam<AmalgamationKind> {
+protected:
+    std::unique_ptr<Amalgamation> amalg_ = make_amalgamation(GetParam());
+};
+
+TEST_P(AmalgamationAxioms, BoundaryConditions) {
+    for (std::size_t n : {1u, 2u, 5u, 10u}) {
+        const auto w = equal_weights(n);
+        EXPECT_NEAR(amalg_->combine(std::vector<double>(n, 0.0), w), 0.0, 1e-12);
+        EXPECT_NEAR(amalg_->combine(std::vector<double>(n, 1.0), w), 1.0, 1e-12);
+    }
+}
+
+TEST_P(AmalgamationAxioms, OutputStaysInUnitCube) {
+    qfa::util::Rng rng(17);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(1, 8));
+        std::vector<double> locals(n);
+        for (double& l : locals) {
+            l = rng.uniform01();
+        }
+        const double s = amalg_->combine(locals, equal_weights(n));
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST_P(AmalgamationAxioms, MonotoneInEveryArgument) {
+    qfa::util::Rng rng(23);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+        std::vector<double> locals(n);
+        for (double& l : locals) {
+            l = rng.uniform01();
+        }
+        const auto w = equal_weights(n);
+        const double base = amalg_->combine(locals, w);
+        const std::size_t bump = rng.index(n);
+        std::vector<double> bumped = locals;
+        bumped[bump] = std::min(1.0, bumped[bump] + rng.uniform_real(0.0, 0.5));
+        EXPECT_GE(amalg_->combine(bumped, w) + 1e-12, base) << "argument " << bump;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AmalgamationAxioms,
+                         testing::Values(AmalgamationKind::weighted_sum,
+                                         AmalgamationKind::minimum,
+                                         AmalgamationKind::maximum,
+                                         AmalgamationKind::owa,
+                                         AmalgamationKind::weighted_euclidean));
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include "core/attribute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace qfa::cbr;
+
+TEST(Attribute, SortPredicateOrdersById) {
+    const Attribute a{AttrId{1}, 100};
+    const Attribute b{AttrId{2}, 0};
+    EXPECT_TRUE(attr_id_less(a, b));
+    EXPECT_FALSE(attr_id_less(b, a));
+}
+
+TEST(Attribute, StrictSortingDetection) {
+    const std::vector<Attribute> sorted{{AttrId{1}, 0}, {AttrId{3}, 0}, {AttrId{4}, 0}};
+    const std::vector<Attribute> duplicate{{AttrId{1}, 0}, {AttrId{1}, 1}};
+    const std::vector<Attribute> unsorted{{AttrId{3}, 0}, {AttrId{1}, 0}};
+    EXPECT_TRUE(attributes_strictly_sorted(sorted));
+    EXPECT_FALSE(attributes_strictly_sorted(duplicate));
+    EXPECT_FALSE(attributes_strictly_sorted(unsorted));
+    EXPECT_TRUE(attributes_strictly_sorted({}));
+}
+
+TEST(Attribute, FindAttributeBinarySearch) {
+    const std::vector<Attribute> attrs{{AttrId{1}, 16}, {AttrId{3}, 2}, {AttrId{4}, 44}};
+    EXPECT_EQ(find_attribute(attrs, AttrId{1}), AttrValue{16});
+    EXPECT_EQ(find_attribute(attrs, AttrId{4}), AttrValue{44});
+    EXPECT_EQ(find_attribute(attrs, AttrId{2}), std::nullopt);
+    EXPECT_EQ(find_attribute(attrs, AttrId{99}), std::nullopt);
+    EXPECT_EQ(find_attribute({}, AttrId{1}), std::nullopt);
+}
+
+TEST(SchemaRegistry, AddAndFind) {
+    SchemaRegistry registry;
+    registry.add({AttrId{7}, "power", "mW", false});
+    const AttrSchema* schema = registry.find(AttrId{7});
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->name, "power");
+    EXPECT_EQ(schema->unit, "mW");
+    EXPECT_EQ(registry.find(AttrId{8}), nullptr);
+}
+
+TEST(SchemaRegistry, DisplayNameFallsBack) {
+    SchemaRegistry registry;
+    registry.add({AttrId{1}, "bitwidth", "bit", false});
+    EXPECT_EQ(registry.display_name(AttrId{1}), "bitwidth");
+    EXPECT_EQ(registry.display_name(AttrId{42}), "attr#42");
+}
+
+TEST(SchemaRegistry, ReplaceOverwrites) {
+    SchemaRegistry registry;
+    registry.add({AttrId{1}, "old", "", false});
+    registry.add({AttrId{1}, "new", "", false});
+    EXPECT_EQ(registry.display_name(AttrId{1}), "new");
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SchemaRegistry, PaperExampleSchemasCoverFigure3) {
+    const SchemaRegistry registry = paper_example_schemas();
+    EXPECT_EQ(registry.display_name(AttrId{1}), "bitwidth");
+    EXPECT_EQ(registry.display_name(AttrId{2}), "processing-mode");
+    EXPECT_EQ(registry.display_name(AttrId{3}), "output-mode");
+    EXPECT_EQ(registry.display_name(AttrId{4}), "sampling-rate");
+    ASSERT_NE(registry.find(AttrId{2}), nullptr);
+    EXPECT_TRUE(registry.find(AttrId{2})->symbolic);
+    ASSERT_NE(registry.find(AttrId{4}), nullptr);
+    EXPECT_FALSE(registry.find(AttrId{4})->symbolic);
+}
+
+TEST(Ids, StrongTypesCompareAndConvert) {
+    EXPECT_LT(TypeId{1}, TypeId{2});
+    EXPECT_EQ(ImplId{3}, ImplId{3});
+    EXPECT_EQ(to_string(AttrId{4}), "attr#4");
+    EXPECT_EQ(std::hash<TypeId>{}(TypeId{5}), std::hash<TypeId>{}(TypeId{5}));
+}
+
+TEST(Ids, TargetNamesMatchTable1Labels) {
+    EXPECT_STREQ(target_name(Target::fpga), "FPGA");
+    EXPECT_STREQ(target_name(Target::dsp), "DSP");
+    EXPECT_STREQ(target_name(Target::gpp), "GP-Proc");
+}
+
+}  // namespace

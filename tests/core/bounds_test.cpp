@@ -1,0 +1,80 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fixed/reciprocal.hpp"
+
+#include <stdexcept>
+
+namespace {
+
+using namespace qfa::cbr;
+
+TEST(BoundsTable, FromCaseBaseCoversAllOccurrences) {
+    const CaseBase cb = paper_example_case_base();
+    const BoundsTable table = BoundsTable::from_case_base(cb);
+    // bitwidth occurs as 16,16,8 (FIR) and 16,16 (FFT) -> [8,16].
+    const auto b1 = table.find(AttrId{1});
+    ASSERT_TRUE(b1.has_value());
+    EXPECT_EQ(b1->lower, 8);
+    EXPECT_EQ(b1->upper, 16);
+    // sampling rate: 44,44,22 and 44,8 -> [8,44]: automatic derivation over
+    // the *whole* library reproduces the paper's dmax=36.
+    EXPECT_EQ(table.dmax(AttrId{4}), 36u);
+}
+
+TEST(BoundsTable, DesignerBoundsValidate) {
+    EXPECT_THROW(BoundsTable({{AttrId{1}, AttrBounds{10, 5}}}), std::invalid_argument);
+    EXPECT_NO_THROW(BoundsTable({{AttrId{1}, AttrBounds{5, 5}}}));
+}
+
+TEST(BoundsTable, UnknownAttributeFallsBackConservatively) {
+    const BoundsTable table;
+    EXPECT_EQ(table.find(AttrId{9}), std::nullopt);
+    EXPECT_EQ(table.dmax(AttrId{9}), 0u);
+    // dmax 0 -> saturated reciprocal: only exact matches score.
+    EXPECT_EQ(table.reciprocal(AttrId{9}).raw(), qfa::fx::Q15::kRawOne);
+}
+
+TEST(BoundsTable, CoverWidensButNeverShrinks) {
+    BoundsTable table;
+    table.cover(AttrId{1}, 10);
+    EXPECT_EQ(table.find(AttrId{1}), (AttrBounds{10, 10}));
+    table.cover(AttrId{1}, 4);
+    EXPECT_EQ(table.find(AttrId{1}), (AttrBounds{4, 10}));
+    table.cover(AttrId{1}, 20);
+    EXPECT_EQ(table.find(AttrId{1}), (AttrBounds{4, 20}));
+    table.cover(AttrId{1}, 10);  // interior value: no change
+    EXPECT_EQ(table.find(AttrId{1}), (AttrBounds{4, 20}));
+}
+
+TEST(BoundsTable, ReciprocalMatchesFixedPointHelper) {
+    const BoundsTable table = paper_example_bounds();
+    EXPECT_EQ(table.reciprocal(AttrId{4}).raw(), qfa::fx::reciprocal_q15(36).raw());
+    EXPECT_EQ(table.reciprocal(AttrId{1}).raw(), qfa::fx::reciprocal_q15(8).raw());
+}
+
+TEST(BoundsTable, PaperBoundsMatchTable1DmaxColumn) {
+    const BoundsTable table = paper_example_bounds();
+    EXPECT_EQ(table.dmax(AttrId{1}), 8u);
+    EXPECT_EQ(table.dmax(AttrId{2}), 1u);
+    EXPECT_EQ(table.dmax(AttrId{3}), 2u);
+    EXPECT_EQ(table.dmax(AttrId{4}), 36u);
+    EXPECT_EQ(table.size(), 4u);
+}
+
+TEST(BoundsTable, EntriesIterateAscending) {
+    const BoundsTable table = paper_example_bounds();
+    AttrId prev{0};
+    for (const auto& [id, bounds] : table.entries()) {
+        EXPECT_LT(prev, id);
+        prev = id;
+    }
+}
+
+TEST(BoundsTable, DmaxOfPointBoundsIsZero) {
+    BoundsTable table({{AttrId{1}, AttrBounds{7, 7}}});
+    EXPECT_EQ(table.dmax(AttrId{1}), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include "core/case_base.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace qfa::cbr;
+
+TEST(CaseBaseBuilder, BuildsSortedTreeFromUnsortedInput) {
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{2}, "fft")
+                      .add_impl(ImplId{2}, Target::gpp, {{AttrId{1}, 8}})
+                      .add_impl(ImplId{1}, Target::fpga, {{AttrId{4}, 44}, {AttrId{1}, 16}})
+                      .begin_type(TypeId{1}, "fir")
+                      .add_impl(ImplId{1}, Target::dsp, {{AttrId{1}, 16}})
+                      .build();
+    ASSERT_EQ(cb.types().size(), 2u);
+    EXPECT_EQ(cb.types()[0].id, TypeId{1});
+    EXPECT_EQ(cb.types()[1].id, TypeId{2});
+    const FunctionType* fft = cb.find_type(TypeId{2});
+    ASSERT_NE(fft, nullptr);
+    ASSERT_EQ(fft->impls.size(), 2u);
+    EXPECT_EQ(fft->impls[0].id, ImplId{1});
+    // Attribute list got sorted by id.
+    EXPECT_EQ(fft->impls[0].attributes[0].id, AttrId{1});
+    EXPECT_EQ(fft->impls[0].attributes[1].id, AttrId{4});
+}
+
+TEST(CaseBaseBuilder, RejectsImplBeforeType) {
+    CaseBaseBuilder builder;
+    EXPECT_THROW(builder.add_impl(ImplId{1}, Target::fpga, {}), std::invalid_argument);
+}
+
+TEST(CaseBaseBuilder, RejectsDuplicateAttributeIds) {
+    CaseBaseBuilder builder;
+    builder.begin_type(TypeId{1}, "t");
+    EXPECT_THROW(
+        builder.add_impl(ImplId{1}, Target::fpga, {{AttrId{1}, 1}, {AttrId{1}, 2}}),
+        std::invalid_argument);
+}
+
+TEST(CaseBaseBuilder, RejectsDuplicateTypeIds) {
+    CaseBaseBuilder builder;
+    builder.begin_type(TypeId{1}, "a").begin_type(TypeId{1}, "b");
+    EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(CaseBaseBuilder, RejectsDuplicateImplIds) {
+    CaseBaseBuilder builder;
+    builder.begin_type(TypeId{1}, "t")
+        .add_impl(ImplId{1}, Target::fpga, {})
+        .add_impl(ImplId{1}, Target::dsp, {});
+    EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(CaseBase, ValidatesUnsortedAttributesOnDirectConstruction) {
+    std::vector<FunctionType> types(1);
+    types[0].id = TypeId{1};
+    types[0].impls.push_back(
+        Implementation{ImplId{1}, Target::fpga, {{AttrId{4}, 0}, {AttrId{1}, 0}}, {}});
+    EXPECT_THROW(CaseBase cb(std::move(types)), std::invalid_argument);
+}
+
+TEST(CaseBase, FindTypeAndImpl) {
+    const CaseBase cb = paper_example_case_base();
+    const FunctionType* fir = cb.find_type(TypeId{1});
+    ASSERT_NE(fir, nullptr);
+    EXPECT_EQ(fir->name, "FIR Equalizer");
+    EXPECT_EQ(cb.find_type(TypeId{99}), nullptr);
+    const Implementation* dsp = fir->find_impl(ImplId{2});
+    ASSERT_NE(dsp, nullptr);
+    EXPECT_EQ(dsp->target, Target::dsp);
+    EXPECT_EQ(fir->find_impl(ImplId{99}), nullptr);
+}
+
+TEST(CaseBase, ImplementationAttributeLookup) {
+    const CaseBase cb = paper_example_case_base();
+    const Implementation* fpga = cb.find_type(TypeId{1})->find_impl(ImplId{1});
+    ASSERT_NE(fpga, nullptr);
+    EXPECT_EQ(fpga->attribute(AttrId{1}), AttrValue{16});
+    EXPECT_EQ(fpga->attribute(AttrId{3}), AttrValue{2});
+    EXPECT_EQ(fpga->attribute(AttrId{9}), std::nullopt);
+}
+
+TEST(CaseBase, StatsCountTheTree) {
+    const CaseBase cb = paper_example_case_base();
+    const CaseBaseStats stats = cb.stats();
+    EXPECT_EQ(stats.type_count, 2u);
+    EXPECT_EQ(stats.impl_count, 5u);
+    EXPECT_EQ(stats.attribute_count, 4u * 3 + 3u * 2);  // 3 FIR impls x4, 2 FFT impls x3
+    EXPECT_EQ(stats.max_impls_per_type, 3u);
+    EXPECT_EQ(stats.max_attrs_per_impl, 4u);
+    EXPECT_EQ(stats.distinct_attr_ids, 4u);
+}
+
+TEST(CaseBase, DistinctAttributeIdsAscending) {
+    const CaseBase cb = paper_example_case_base();
+    const auto ids = cb.distinct_attribute_ids();
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[0], AttrId{1});
+    EXPECT_EQ(ids[3], AttrId{4});
+}
+
+TEST(CaseBase, EmptyCaseBaseBehaves) {
+    const CaseBase cb;
+    EXPECT_TRUE(cb.empty());
+    EXPECT_EQ(cb.find_type(TypeId{1}), nullptr);
+    EXPECT_EQ(cb.stats().impl_count, 0u);
+    EXPECT_TRUE(cb.distinct_attribute_ids().empty());
+}
+
+TEST(CaseBase, PaperExampleMatchesFigure3) {
+    const CaseBase cb = paper_example_case_base();
+    const FunctionType* fir = cb.find_type(TypeId{1});
+    ASSERT_NE(fir, nullptr);
+    ASSERT_EQ(fir->impls.size(), 3u);
+    EXPECT_EQ(fir->impls[0].target, Target::fpga);
+    EXPECT_EQ(fir->impls[1].target, Target::dsp);
+    EXPECT_EQ(fir->impls[2].target, Target::gpp);
+    // Fig. 3 attribute values.
+    EXPECT_EQ(fir->impls[0].attribute(AttrId{4}), AttrValue{44});
+    EXPECT_EQ(fir->impls[1].attribute(AttrId{3}), AttrValue{1});
+    EXPECT_EQ(fir->impls[2].attribute(AttrId{1}), AttrValue{8});
+    EXPECT_EQ(fir->impls[2].attribute(AttrId{4}), AttrValue{22});
+}
+
+}  // namespace

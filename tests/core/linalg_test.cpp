@@ -1,0 +1,153 @@
+#include "core/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+    m.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+    EXPECT_THROW((void)m.at(2, 0), qfa::util::ContractViolation);
+}
+
+TEST(MatrixTest, IdentityAndScaledAdd) {
+    const Matrix i = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(i.at(0, 1), 0.0);
+    const Matrix two_i = i.scaled(2.0);
+    const Matrix three_i = two_i.add(i);
+    EXPECT_DOUBLE_EQ(three_i.at(2, 2), 3.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+    Matrix m(2, 2);
+    m.at(0, 0) = 1.0;
+    m.at(0, 1) = 2.0;
+    m.at(1, 0) = 3.0;
+    m.at(1, 1) = 4.0;
+    const std::vector<double> v{1.0, 1.0};
+    const auto out = m.multiply(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+    // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+    Matrix a(2, 2);
+    a.at(0, 0) = 4.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 3.0;
+    const auto l = cholesky(a);
+    ASSERT_TRUE(l.has_value());
+    EXPECT_DOUBLE_EQ(l->at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(l->at(1, 0), 1.0);
+    EXPECT_NEAR(l->at(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 1.0;  // eigenvalues 3 and -1
+    EXPECT_EQ(cholesky(a), std::nullopt);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+    Matrix a(2, 2);
+    a.at(0, 0) = 4.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 3.0;
+    const auto l = cholesky(a);
+    ASSERT_TRUE(l.has_value());
+    // x = [1, -1] -> b = A x = [2, -1].
+    const std::vector<double> b{2.0, -1.0};
+    const auto x = cholesky_solve(*l, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], -1.0, 1e-12);
+}
+
+TEST(CholeskyTest, RandomSpdRoundTrip) {
+    qfa::util::Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+        // Build SPD A = B·Bᵀ + I.
+        Matrix b(n, n);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c) {
+                b.at(r, c) = rng.uniform_real(-1.0, 1.0);
+            }
+        }
+        Matrix a(n, n);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c) {
+                double sum = r == c ? 1.0 : 0.0;
+                for (std::size_t k = 0; k < n; ++k) {
+                    sum += b.at(r, k) * b.at(c, k);
+                }
+                a.at(r, c) = sum;
+            }
+        }
+        const auto l = cholesky(a);
+        ASSERT_TRUE(l.has_value());
+        // Solve against a random x and compare.
+        std::vector<double> x(n);
+        for (double& v : x) {
+            v = rng.uniform_real(-2.0, 2.0);
+        }
+        const auto rhs = a.multiply(x);
+        const auto solved = cholesky_solve(*l, rhs);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(solved[i], x[i], 1e-9);
+        }
+    }
+}
+
+TEST(CovarianceTest, MatchesHandComputation) {
+    // Two samples: (0,0) and (2,2).  Sample covariance = [[2,2],[2,2]].
+    const std::vector<std::vector<double>> samples{{0.0, 0.0}, {2.0, 2.0}};
+    const Matrix cov = covariance(samples, 0.0);
+    EXPECT_DOUBLE_EQ(cov.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(cov.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(cov.at(1, 1), 2.0);
+}
+
+TEST(CovarianceTest, RidgeMakesDegenerateDataFactorable) {
+    const std::vector<std::vector<double>> samples{{1.0, 1.0}, {1.0, 1.0}};
+    EXPECT_EQ(cholesky(covariance(samples, 0.0)), std::nullopt);
+    EXPECT_TRUE(cholesky(covariance(samples, 1e-3)).has_value());
+}
+
+TEST(CovarianceTest, ColumnMeans) {
+    const std::vector<std::vector<double>> samples{{1.0, 10.0}, {3.0, 20.0}};
+    const auto means = column_means(samples);
+    EXPECT_DOUBLE_EQ(means[0], 2.0);
+    EXPECT_DOUBLE_EQ(means[1], 15.0);
+}
+
+TEST(CovarianceTest, RejectsRaggedInput) {
+    const std::vector<std::vector<double>> samples{{1.0, 2.0}, {1.0}};
+    EXPECT_THROW((void)covariance(samples, 0.0), qfa::util::ContractViolation);
+}
+
+TEST(MatrixTest, FrobeniusDistance) {
+    const Matrix a = Matrix::identity(2);
+    const Matrix b = Matrix::identity(2).scaled(2.0);
+    EXPECT_NEAR(a.frobenius_distance(b), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "core/mahalanobis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/bounds.hpp"
+#include "core/retrieval.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+TEST(Mahalanobis, FitsOnPaperExample) {
+    const CaseBase cb = paper_example_case_base();
+    const MahalanobisScorer scorer(cb);
+    EXPECT_EQ(scorer.dimension(), 4u);
+    EXPECT_EQ(scorer.covariance_matrix().rows(), 4u);
+}
+
+TEST(Mahalanobis, RejectsEmptyCaseBase) {
+    const CaseBase cb;
+    EXPECT_THROW(MahalanobisScorer scorer(cb), std::invalid_argument);
+}
+
+TEST(Mahalanobis, ExactMatchScoresHighest) {
+    const CaseBase cb = paper_example_case_base();
+    const MahalanobisScorer scorer(cb);
+    const FunctionType* fir = cb.find_type(TypeId{1});
+    ASSERT_NE(fir, nullptr);
+    const Implementation& dsp = fir->impls[1];
+
+    // Request exactly the DSP variant's attributes.
+    const Request exact(TypeId{1}, {{AttrId{1}, 16, 0.25},
+                                    {AttrId{2}, 0, 0.25},
+                                    {AttrId{3}, 1, 0.25},
+                                    {AttrId{4}, 44, 0.25}});
+    EXPECT_NEAR(scorer.score(exact, dsp), 1.0, 1e-9);
+    EXPECT_NEAR(scorer.distance(exact, dsp), 0.0, 1e-9);
+}
+
+TEST(Mahalanobis, RanksDspBestOnPaperRequest) {
+    // The paper claims Mahalanobis is "very effective concerning the
+    // results" — on the running example it must agree with eq. (1)/(2) that
+    // the DSP variant matches best.
+    const CaseBase cb = paper_example_case_base();
+    const MahalanobisScorer scorer(cb);
+    const Request request = paper_example_request();
+    const FunctionType* fir = cb.find_type(TypeId{1});
+
+    const double s_fpga = scorer.score(request, fir->impls[0]);
+    const double s_dsp = scorer.score(request, fir->impls[1]);
+    const double s_gp = scorer.score(request, fir->impls[2]);
+    EXPECT_GT(s_dsp, s_fpga);
+    EXPECT_GT(s_dsp, s_gp);
+}
+
+TEST(Mahalanobis, ScoresLieInUnitInterval) {
+    const CaseBase cb = paper_example_case_base();
+    const MahalanobisScorer scorer(cb);
+    const Request request = paper_example_request();
+    for (const FunctionType& type : cb.types()) {
+        for (const Implementation& impl : type.impls) {
+            const double s = scorer.score(request, impl);
+            EXPECT_GT(s, 0.0);
+            EXPECT_LE(s, 1.0);
+        }
+    }
+}
+
+TEST(Mahalanobis, DistanceGrowsWithDeviation) {
+    const CaseBase cb = paper_example_case_base();
+    const MahalanobisScorer scorer(cb);
+    const FunctionType* fir = cb.find_type(TypeId{1});
+    const Implementation& dsp = fir->impls[1];
+
+    double prev = -1.0;
+    for (int rate_int : {44, 40, 30, 20}) {
+        const auto rate = static_cast<AttrValue>(rate_int);
+        const Request r(TypeId{1}, {{AttrId{4}, rate, 1.0}});
+        const double d = scorer.distance(r, dsp);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Mahalanobis, UnconstrainedDimensionsDoNotContribute) {
+    const CaseBase cb = paper_example_case_base();
+    const MahalanobisScorer scorer(cb);
+    const FunctionType* fir = cb.find_type(TypeId{1});
+    const Implementation& fpga = fir->impls[0];
+
+    // A request over an attribute id the scorer never saw: distance 0.
+    const Request alien(TypeId{1}, {{AttrId{99}, 5, 1.0}});
+    EXPECT_DOUBLE_EQ(scorer.distance(alien, fpga), 0.0);
+    EXPECT_DOUBLE_EQ(scorer.score(alien, fpga), 1.0);
+}
+
+}  // namespace

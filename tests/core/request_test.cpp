@@ -1,0 +1,133 @@
+#include "core/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+TEST(Request, SortsConstraintsById) {
+    const Request r(TypeId{1}, {{AttrId{4}, 40, 1.0}, {AttrId{1}, 16, 1.0}});
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.constraints()[0].id, AttrId{1});
+    EXPECT_EQ(r.constraints()[1].id, AttrId{4});
+}
+
+TEST(Request, RejectsEmptyDuplicateAndNegative) {
+    EXPECT_THROW(Request(TypeId{1}, {}), std::invalid_argument);
+    EXPECT_THROW(Request(TypeId{1}, {{AttrId{1}, 1, 1.0}, {AttrId{1}, 2, 1.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(Request(TypeId{1}, {{AttrId{1}, 1, -0.5}}), std::invalid_argument);
+    EXPECT_THROW(Request(TypeId{1}, {{AttrId{1}, 1, 0.0}}), std::invalid_argument);
+}
+
+TEST(Request, FindLocatesConstraint) {
+    const Request r = paper_example_request();
+    const auto c = r.find(AttrId{3});
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->value, 1);
+    EXPECT_EQ(r.find(AttrId{2}), std::nullopt);
+}
+
+TEST(Request, NormalizedWeightsSumToOne) {
+    const Request r(TypeId{1}, {{AttrId{1}, 1, 2.0}, {AttrId{2}, 2, 6.0}});
+    const Request n = r.normalized();
+    EXPECT_NEAR(n.weight_sum(), 1.0, 1e-12);
+    EXPECT_NEAR(n.constraints()[0].weight, 0.25, 1e-12);
+    EXPECT_NEAR(n.constraints()[1].weight, 0.75, 1e-12);
+}
+
+TEST(Request, WithoutWeakestDropsSmallestWeight) {
+    const Request r(TypeId{1},
+                    {{AttrId{1}, 1, 0.5}, {AttrId{2}, 2, 0.1}, {AttrId{3}, 3, 0.4}});
+    const auto relaxed = r.without_weakest_constraint();
+    ASSERT_TRUE(relaxed.has_value());
+    EXPECT_EQ(relaxed->size(), 2u);
+    EXPECT_EQ(relaxed->find(AttrId{2}), std::nullopt);
+}
+
+TEST(Request, WithoutWeakestStopsAtOneConstraint) {
+    const Request r(TypeId{1}, {{AttrId{1}, 1, 1.0}});
+    EXPECT_EQ(r.without_weakest_constraint(), std::nullopt);
+}
+
+TEST(Request, FingerprintDistinguishesRequests) {
+    const Request a = paper_example_request();
+    const Request b(TypeId{1}, {{AttrId{1}, 16, 1.0 / 3}, {AttrId{3}, 1, 1.0 / 3},
+                                {AttrId{4}, 41, 1.0 / 3}});  // one value differs
+    const Request c(TypeId{2}, {{AttrId{1}, 16, 1.0 / 3}, {AttrId{3}, 1, 1.0 / 3},
+                                {AttrId{4}, 40, 1.0 / 3}});  // type differs
+    EXPECT_EQ(a.fingerprint(), paper_example_request().fingerprint());
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(Request, FingerprintIndependentOfInputOrder) {
+    const Request a(TypeId{1}, {{AttrId{1}, 16, 0.5}, {AttrId{4}, 40, 0.5}});
+    const Request b(TypeId{1}, {{AttrId{4}, 40, 0.5}, {AttrId{1}, 16, 0.5}});
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(QuantizeWeights, ExactlySumsToPowerOfTwo) {
+    const Request r = paper_example_request().normalized();
+    const auto weights = quantize_weights(r);
+    ASSERT_EQ(weights.size(), 3u);
+    std::uint32_t sum = 0;
+    for (const auto& w : weights) {
+        sum += w.raw();
+    }
+    EXPECT_EQ(sum, 32768u);  // exactly 1.0 in Q15 raw units
+}
+
+TEST(QuantizeWeights, RequiresNormalizedRequest) {
+    const Request r(TypeId{1}, {{AttrId{1}, 1, 2.0}, {AttrId{2}, 2, 2.0}});
+    EXPECT_THROW((void)quantize_weights(r), qfa::util::ContractViolation);
+    EXPECT_NO_THROW((void)quantize_weights(r.normalized()));
+}
+
+TEST(QuantizeWeights, SingleConstraintSaturates) {
+    const Request r(TypeId{1}, {{AttrId{1}, 1, 1.0}});
+    const auto weights = quantize_weights(r.normalized());
+    ASSERT_EQ(weights.size(), 1u);
+    EXPECT_EQ(weights[0].raw(), qfa::fx::Q15::kRawOne);
+}
+
+TEST(QuantizeWeights, PropertySweepSumsExactAndClose) {
+    qfa::util::Rng rng(1234);
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+        std::vector<RequestAttribute> constraints;
+        for (std::size_t i = 0; i < n; ++i) {
+            constraints.push_back({AttrId{static_cast<std::uint16_t>(i + 1)},
+                                   static_cast<AttrValue>(i), rng.uniform_real(0.01, 5.0)});
+        }
+        const Request r = Request(TypeId{1}, std::move(constraints)).normalized();
+        const auto weights = quantize_weights(r);
+        std::uint32_t sum = 0;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            sum += weights[i].raw();
+            EXPECT_NEAR(weights[i].to_double(), r.constraints()[i].weight, 1.0 / 32768.0);
+        }
+        EXPECT_EQ(sum, 32768u) << "trial " << trial;
+    }
+}
+
+TEST(Request, PaperExampleMatchesFigure3) {
+    const Request r = paper_example_request();
+    EXPECT_EQ(r.type(), TypeId{1});
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.constraints()[0].id, AttrId{1});
+    EXPECT_EQ(r.constraints()[0].value, 16);
+    EXPECT_EQ(r.constraints()[1].id, AttrId{3});
+    EXPECT_EQ(r.constraints()[1].value, 1);
+    EXPECT_EQ(r.constraints()[2].id, AttrId{4});
+    EXPECT_EQ(r.constraints()[2].value, 40);
+    EXPECT_NEAR(r.weight_sum(), 1.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include "core/retain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/retrieval.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+Implementation make_impl(std::uint16_t id, std::vector<Attribute> attrs) {
+    return Implementation{ImplId{id}, Target::fpga, std::move(attrs), {}};
+}
+
+TEST(DynamicCaseBase, StartsFromInitialTree) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    const CaseBase snap = dyn.snapshot();
+    EXPECT_EQ(snap.stats().impl_count, 5u);
+    EXPECT_EQ(dyn.bounds().dmax(AttrId{4}), 36u);
+    EXPECT_EQ(dyn.epoch(), 0u);
+}
+
+TEST(DynamicCaseBase, AddTypeOnceOnly) {
+    DynamicCaseBase dyn;
+    EXPECT_TRUE(dyn.add_type(TypeId{1}, "fir"));
+    EXPECT_FALSE(dyn.add_type(TypeId{1}, "fir-again"));
+    EXPECT_EQ(dyn.stats().types_added, 1u);
+    EXPECT_EQ(dyn.epoch(), 1u);
+}
+
+TEST(DynamicCaseBase, RetainAddsNovelVariant) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    const auto verdict = dyn.retain(
+        TypeId{1}, make_impl(9, {{AttrId{1}, 32}, {AttrId{4}, 96}}));
+    EXPECT_EQ(verdict, RetainVerdict::retained);
+    EXPECT_EQ(dyn.snapshot().find_type(TypeId{1})->impls.size(), 4u);
+    EXPECT_EQ(dyn.stats().retained, 1u);
+    // Bounds widened to cover the new values.
+    EXPECT_EQ(dyn.bounds().find(AttrId{1})->upper, 32);
+    EXPECT_EQ(dyn.bounds().find(AttrId{4})->upper, 96);
+}
+
+TEST(DynamicCaseBase, RetainRejectsNearDuplicates) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    // Identical to the existing FPGA variant: rejected as duplicate.
+    const auto verdict = dyn.retain(
+        TypeId{1},
+        make_impl(9, {{AttrId{1}, 16}, {AttrId{2}, 0}, {AttrId{3}, 2}, {AttrId{4}, 44}}));
+    EXPECT_EQ(verdict, RetainVerdict::duplicate);
+    EXPECT_EQ(dyn.stats().rejected_duplicates, 1u);
+    EXPECT_EQ(dyn.snapshot().find_type(TypeId{1})->impls.size(), 3u);
+}
+
+TEST(DynamicCaseBase, RetainRejectsUnknownTypeAndTakenId) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    EXPECT_EQ(dyn.retain(TypeId{42}, make_impl(1, {{AttrId{1}, 1}})),
+              RetainVerdict::unknown_type);
+    EXPECT_EQ(dyn.retain(TypeId{1}, make_impl(1, {{AttrId{1}, 99}})),
+              RetainVerdict::duplicate_id);
+}
+
+TEST(DynamicCaseBase, NoveltyThresholdControlsAdmission) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    // Slightly different from the FPGA variant.
+    const auto near_dup =
+        make_impl(9, {{AttrId{1}, 16}, {AttrId{2}, 0}, {AttrId{3}, 2}, {AttrId{4}, 43}});
+    // Strict threshold: rejected.
+    EXPECT_EQ(dyn.retain(TypeId{1}, near_dup, 0.9), RetainVerdict::duplicate);
+    // Permissive threshold (only exact duplicates rejected): admitted.
+    EXPECT_EQ(dyn.retain(TypeId{1}, near_dup, 1.0), RetainVerdict::retained);
+}
+
+TEST(DynamicCaseBase, SnapshotIsRetrievable) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    ASSERT_EQ(dyn.retain(TypeId{2}, make_impl(9, {{AttrId{1}, 24}, {AttrId{4}, 50}})),
+              RetainVerdict::retained);
+    const CaseBase snap = dyn.snapshot();
+    const Retriever retriever(snap, dyn.bounds());
+    const Request request(TypeId{2}, {{AttrId{1}, 24, 1.0}});
+    const RetrievalResult result = retriever.retrieve(request);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.best().impl, ImplId{9});
+}
+
+TEST(DynamicCaseBase, RemoveImplementation) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    EXPECT_TRUE(dyn.remove_implementation(TypeId{1}, ImplId{3}));
+    EXPECT_FALSE(dyn.remove_implementation(TypeId{1}, ImplId{3}));
+    EXPECT_FALSE(dyn.remove_implementation(TypeId{42}, ImplId{1}));
+    EXPECT_EQ(dyn.snapshot().find_type(TypeId{1})->impls.size(), 2u);
+    // Bounds did not shrink (conservative).
+    EXPECT_EQ(dyn.bounds().find(AttrId{1})->lower, 8);
+}
+
+TEST(DynamicCaseBase, OutcomeBookkeeping) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    dyn.record_outcome(TypeId{1}, ImplId{1}, true);
+    dyn.record_outcome(TypeId{1}, ImplId{1}, false);
+    dyn.record_outcome(TypeId{1}, ImplId{1}, false);
+    const OutcomeStats stats = dyn.outcome(TypeId{1}, ImplId{1});
+    EXPECT_EQ(stats.trials(), 3u);
+    EXPECT_NEAR(stats.failure_rate(), 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(dyn.outcome(TypeId{1}, ImplId{2}).trials(), 0u);
+}
+
+TEST(DynamicCaseBase, ReviseRemovesChronicallyFailingVariants) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    for (int i = 0; i < 6; ++i) {
+        dyn.record_outcome(TypeId{1}, ImplId{1}, false);  // always fails
+        dyn.record_outcome(TypeId{1}, ImplId{2}, true);   // always works
+    }
+    const auto removed = dyn.revise(0.5, 5);
+    ASSERT_EQ(removed.size(), 1u);
+    EXPECT_EQ(removed[0].second, ImplId{1});
+    EXPECT_EQ(dyn.stats().revised_out, 1u);
+    EXPECT_EQ(dyn.snapshot().find_type(TypeId{1})->find_impl(ImplId{1}), nullptr);
+}
+
+TEST(DynamicCaseBase, ReviseRespectsMinTrials) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    dyn.record_outcome(TypeId{1}, ImplId{1}, false);  // only one trial
+    EXPECT_TRUE(dyn.revise(0.5, 5).empty());
+}
+
+TEST(DynamicCaseBase, EpochAdvancesOnMutation) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    const auto e0 = dyn.epoch();
+    ASSERT_EQ(dyn.retain(TypeId{1}, make_impl(8, {{AttrId{1}, 64}})),
+              RetainVerdict::retained);
+    EXPECT_GT(dyn.epoch(), e0);
+    const auto e1 = dyn.epoch();
+    ASSERT_TRUE(dyn.remove_implementation(TypeId{1}, ImplId{8}));
+    EXPECT_GT(dyn.epoch(), e1);
+}
+
+TEST(DynamicCaseBase, NearestNeighbourSimilarityBehaves) {
+    DynamicCaseBase dyn(paper_example_case_base());
+    // Exact duplicate of the FPGA variant -> similarity 1.
+    const auto dup =
+        make_impl(9, {{AttrId{1}, 16}, {AttrId{2}, 0}, {AttrId{3}, 2}, {AttrId{4}, 44}});
+    EXPECT_NEAR(dyn.nearest_neighbour_similarity(TypeId{1}, dup), 1.0, 1e-12);
+    // Unknown type -> 0.
+    EXPECT_DOUBLE_EQ(dyn.nearest_neighbour_similarity(TypeId{42}, dup), 0.0);
+}
+
+}  // namespace

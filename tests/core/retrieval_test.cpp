@@ -1,0 +1,214 @@
+#include "core/retrieval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+class RetrievalTest : public testing::Test {
+protected:
+    CaseBase cb_ = paper_example_case_base();
+    BoundsTable bounds_ = paper_example_bounds();
+    Retriever retriever_{cb_, bounds_};
+};
+
+TEST_F(RetrievalTest, UnknownTypeReportsNotFound) {
+    const Request request(TypeId{42}, {{AttrId{1}, 16, 1.0}});
+    const RetrievalResult result = retriever_.retrieve(request);
+    EXPECT_EQ(result.status, RetrievalStatus::type_not_found);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.matches.empty());
+    EXPECT_THROW((void)result.best(), qfa::util::ContractViolation);
+}
+
+TEST_F(RetrievalTest, DefaultReturnsSingleBest) {
+    const RetrievalResult result = retriever_.retrieve(paper_example_request());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.matches.size(), 1u);
+    EXPECT_EQ(result.best().impl, ImplId{2});
+}
+
+TEST_F(RetrievalTest, NBestCapsAtAvailableImplementations) {
+    RetrievalOptions opts;
+    opts.n_best = 10;
+    const RetrievalResult result = retriever_.retrieve(paper_example_request(), opts);
+    EXPECT_EQ(result.matches.size(), 3u);
+}
+
+TEST_F(RetrievalTest, NBestZeroIsRejected) {
+    RetrievalOptions opts;
+    opts.n_best = 0;
+    EXPECT_THROW((void)retriever_.retrieve(paper_example_request(), opts),
+                 qfa::util::ContractViolation);
+}
+
+TEST_F(RetrievalTest, ThresholdCanRejectEverything) {
+    RetrievalOptions opts;
+    opts.threshold = 0.99;
+    const RetrievalResult result = retriever_.retrieve(paper_example_request(), opts);
+    EXPECT_EQ(result.status, RetrievalStatus::all_below_threshold);
+    EXPECT_TRUE(result.matches.empty());
+}
+
+TEST_F(RetrievalTest, MissingAttributeScoresZero) {
+    // Request an attribute id (2: processing mode) that exists, plus one
+    // (9) that no FIR implementation has: the missing one contributes 0.
+    const Request request(TypeId{1}, {{AttrId{2}, 0, 0.5}, {AttrId{9}, 7, 0.5}});
+    RetrievalOptions opts;
+    opts.collect_details = true;
+    const RetrievalResult result = retriever_.retrieve(request, opts);
+    ASSERT_TRUE(result.ok());
+    const Match& best = result.best();
+    ASSERT_EQ(best.details.size(), 2u);
+    EXPECT_DOUBLE_EQ(best.details[0].similarity, 1.0);       // mode matches
+    EXPECT_EQ(best.details[1].case_value, std::nullopt);     // attr 9 missing
+    EXPECT_DOUBLE_EQ(best.details[1].similarity, 0.0);
+    EXPECT_NEAR(best.similarity, 0.5, 1e-12);
+}
+
+TEST_F(RetrievalTest, PartialRequestsWork) {
+    // §3: incomplete attribute subsets are permitted.
+    const Request request(TypeId{1}, {{AttrId{4}, 44, 1.0}});
+    const RetrievalResult result = retriever_.retrieve(request);
+    ASSERT_TRUE(result.ok());
+    // FPGA and DSP both have rate 44; tie resolves to smaller ImplId (FPGA).
+    EXPECT_EQ(result.best().impl, ImplId{1});
+    EXPECT_DOUBLE_EQ(result.best().similarity, 1.0);
+}
+
+TEST_F(RetrievalTest, WeightsAreNormalizedInternally) {
+    // Same relative weights, different absolute scale: identical outcome.
+    const Request a(TypeId{1}, {{AttrId{1}, 16, 1.0}, {AttrId{4}, 40, 2.0}});
+    const Request b(TypeId{1}, {{AttrId{1}, 16, 10.0}, {AttrId{4}, 40, 20.0}});
+    const RetrievalResult ra = retriever_.retrieve(a);
+    const RetrievalResult rb = retriever_.retrieve(b);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.best().impl, rb.best().impl);
+    EXPECT_NEAR(ra.best().similarity, rb.best().similarity, 1e-12);
+}
+
+TEST_F(RetrievalTest, EffortCountersTrackWork) {
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    const RetrievalResult result = retriever_.retrieve(paper_example_request(), opts);
+    EXPECT_EQ(result.impls_considered, 3u);
+    EXPECT_EQ(result.attrs_compared, 9u);  // 3 impls x 3 request attributes
+}
+
+TEST_F(RetrievalTest, EmptyTypeYieldsNoCandidates) {
+    CaseBase cb = CaseBaseBuilder().begin_type(TypeId{5}, "empty").build();
+    BoundsTable bounds;
+    const Retriever retriever(cb, bounds);
+    const Request request(TypeId{5}, {{AttrId{1}, 1, 1.0}});
+    const RetrievalResult result = retriever.retrieve(request);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(retriever.retrieve_q15(request), std::nullopt);
+}
+
+TEST_F(RetrievalTest, AlternativeAmalgamationInjection) {
+    const MinAmalgamation min_amalg;
+    const Retriever conservative(cb_, bounds_, &min_amalg);
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    const RetrievalResult result = conservative.retrieve(paper_example_request(), opts);
+    ASSERT_TRUE(result.ok());
+    // Under min-amalgamation the DSP variant scores min(1,1,33/37) = 33/37.
+    EXPECT_EQ(result.best().impl, ImplId{2});
+    EXPECT_NEAR(result.best().similarity, 33.0 / 37.0, 1e-12);
+}
+
+TEST_F(RetrievalTest, Q15TieBreakKeepsFirstCandidate) {
+    // Two identical implementations: the FSM keeps the first (strict >).
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "t")
+                      .add_impl(ImplId{3}, Target::fpga, {{AttrId{1}, 10}})
+                      .add_impl(ImplId{7}, Target::dsp, {{AttrId{1}, 10}})
+                      .build();
+    const BoundsTable bounds = BoundsTable::from_case_base(cb);
+    const Retriever retriever(cb, bounds);
+    const Request request(TypeId{1}, {{AttrId{1}, 10, 1.0}});
+    const auto best = retriever.retrieve_q15(request);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->impl, ImplId{3});
+}
+
+TEST_F(RetrievalTest, Q15ScoresAllCandidatesInListOrder) {
+    const auto scored = retriever_.score_q15(paper_example_request());
+    ASSERT_EQ(scored.size(), 3u);
+    EXPECT_EQ(scored[0].impl, ImplId{1});
+    EXPECT_EQ(scored[1].impl, ImplId{2});
+    EXPECT_EQ(scored[2].impl, ImplId{3});
+}
+
+// ---- Randomized agreement sweep: double vs Q15 -------------------------
+//
+// The paper validated fixed-point retrieval against floating-point Matlab
+// ("we get the same retrieval results").  We assert the same on random case
+// bases: the Q15 winner's double-precision score is within quantization
+// error of the double-precision winner's score (the IDs may differ only on
+// quantization-level ties).
+class RetrievalAgreementSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RetrievalAgreementSweep, Q15WinnerIsQuasiOptimal) {
+    qfa::util::Rng rng(GetParam());
+    for (int round = 0; round < 30; ++round) {
+        CaseBaseBuilder builder;
+        builder.begin_type(TypeId{1}, "t");
+        const auto impl_count = static_cast<std::uint16_t>(rng.uniform_int(1, 12));
+        for (std::uint16_t i = 1; i <= impl_count; ++i) {
+            std::vector<Attribute> attrs;
+            for (std::uint16_t a = 1; a <= 5; ++a) {
+                if (rng.bernoulli(0.8)) {
+                    attrs.push_back({AttrId{a},
+                                     static_cast<AttrValue>(rng.uniform_int(0, 100))});
+                }
+            }
+            builder.add_impl(ImplId{i}, Target::fpga, std::move(attrs));
+        }
+        const CaseBase cb = builder.build();
+        const BoundsTable bounds = BoundsTable::from_case_base(cb);
+        const Retriever retriever(cb, bounds);
+
+        std::vector<RequestAttribute> constraints;
+        for (std::uint16_t a = 1; a <= 5; ++a) {
+            if (rng.bernoulli(0.7)) {
+                constraints.push_back({AttrId{a},
+                                       static_cast<AttrValue>(rng.uniform_int(0, 100)),
+                                       rng.uniform_real(0.1, 1.0)});
+            }
+        }
+        if (constraints.empty()) {
+            constraints.push_back({AttrId{1}, 50, 1.0});
+        }
+        const Request request(TypeId{1}, std::move(constraints));
+
+        const RetrievalResult ref = retriever.retrieve(request);
+        const auto fx_best = retriever.retrieve_q15(request);
+        ASSERT_TRUE(ref.ok());
+        ASSERT_TRUE(fx_best.has_value());
+        // Find the double score of the Q15 winner.
+        RetrievalOptions all;
+        all.n_best = impl_count;
+        const RetrievalResult ranked = retriever.retrieve(request, all);
+        double fx_winner_double_score = -1.0;
+        for (const Match& m : ranked.matches) {
+            if (m.impl == fx_best->impl) {
+                fx_winner_double_score = m.similarity;
+            }
+        }
+        ASSERT_GE(fx_winner_double_score, 0.0);
+        EXPECT_NEAR(fx_winner_double_score, ref.best().similarity, 5e-3)
+            << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetrievalAgreementSweep,
+                         testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull));
+
+}  // namespace

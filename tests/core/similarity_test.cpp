@@ -1,0 +1,89 @@
+#include "core/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+TEST(LocalSimilarity, IdentityGivesOne) {
+    EXPECT_DOUBLE_EQ(local_similarity(16, 16, 8), 1.0);
+    EXPECT_DOUBLE_EQ(local_similarity(0, 0, 0), 1.0);
+}
+
+TEST(LocalSimilarity, PaperEquationValues) {
+    EXPECT_NEAR(local_similarity(40, 44, 36), 1.0 - 4.0 / 37.0, 1e-12);
+    EXPECT_NEAR(local_similarity(1, 2, 2), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(local_similarity(16, 8, 8), 1.0 / 9.0, 1e-12);
+    EXPECT_NEAR(local_similarity(40, 22, 36), 19.0 / 37.0, 1e-12);
+}
+
+TEST(LocalSimilarity, SymmetricInArguments) {
+    qfa::util::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = static_cast<AttrValue>(rng.uniform_int(0, 1000));
+        const auto b = static_cast<AttrValue>(rng.uniform_int(0, 1000));
+        EXPECT_DOUBLE_EQ(local_similarity(a, b, 1000), local_similarity(b, a, 1000));
+    }
+}
+
+TEST(LocalSimilarity, RangeIsUnitInterval) {
+    qfa::util::Rng rng(6);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = static_cast<AttrValue>(rng.uniform_int(0, 65535));
+        const auto b = static_cast<AttrValue>(rng.uniform_int(0, 65535));
+        const auto dmax = static_cast<std::uint32_t>(rng.uniform_int(0, 65535));
+        const double s = local_similarity(a, b, dmax);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST(LocalSimilarity, BeyondDesignRangeClampsToZero) {
+    EXPECT_DOUBLE_EQ(local_similarity(0, 100, 36), 0.0);
+    EXPECT_DOUBLE_EQ(local_similarity(0, 37, 36), 0.0);   // d = dmax+1: ratio = 1
+    EXPECT_GT(local_similarity(0, 36, 36), 0.0);          // d = dmax: still positive
+}
+
+TEST(LocalSimilarity, MonotoneDecreasingInDistance) {
+    double prev = 2.0;
+    for (AttrValue b = 0; b <= 36; ++b) {
+        const double s = local_similarity(0, b, 36);
+        EXPECT_LT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(LocalSimilaritySquared, GentlerNearZeroDistance) {
+    // The squared variant penalizes small deviations less...
+    EXPECT_GT(local_similarity_squared(40, 44, 36), local_similarity(40, 44, 36));
+    // ...and both agree at the extremes.
+    EXPECT_DOUBLE_EQ(local_similarity_squared(5, 5, 36), 1.0);
+    EXPECT_DOUBLE_EQ(local_similarity_squared(0, 37, 36), 0.0);
+}
+
+TEST(LocalSimilarity, MetricDispatch) {
+    EXPECT_DOUBLE_EQ(local_similarity(LocalMetric::manhattan, 40, 44, 36),
+                     local_similarity(40, 44, 36));
+    EXPECT_DOUBLE_EQ(local_similarity(LocalMetric::squared, 40, 44, 36),
+                     local_similarity_squared(40, 44, 36));
+}
+
+TEST(LocalSimilarity, DoubleAndQ15PathsAgree) {
+    qfa::util::Rng rng(7);
+    for (std::uint32_t dmax : {2u, 8u, 36u, 255u}) {
+        const auto recip = qfa::fx::reciprocal_q15(dmax);
+        const double bound = qfa::fx::local_similarity_error_bound(dmax);
+        for (int i = 0; i < 1000; ++i) {
+            const auto a = static_cast<AttrValue>(rng.uniform_int(0, 300));
+            const auto b = static_cast<AttrValue>(rng.uniform_int(0, 300));
+            const double exact = local_similarity(a, b, dmax);
+            const double fixed_point = qfa::cbr::local_similarity_q15(a, b, recip).to_double();
+            EXPECT_NEAR(fixed_point, exact, bound) << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Golden reproduction of the paper's Table 1 (retrieval similarity example).
+//
+// Request: FIR equalizer (IDType=1), bitwidth 16, stereo output,
+// 40 kSamples/s, equal weights w=1/3.  Expected global similarities:
+// FPGA 0.85, DSP 0.96, GP-Proc 0.43 — DSP best, FPGA second, GP rejected on
+// manual inspection.  We check the published two-decimal values and the
+// exact fractions they round from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/request.hpp"
+#include "core/retrieval.hpp"
+
+namespace {
+
+using namespace qfa::cbr;
+
+class Table1Golden : public testing::Test {
+protected:
+    CaseBase cb_ = paper_example_case_base();
+    BoundsTable bounds_ = paper_example_bounds();
+    Request request_ = paper_example_request();
+    Retriever retriever_{cb_, bounds_};
+};
+
+double round2(double x) {
+    return std::round(x * 100.0) / 100.0;
+}
+
+TEST_F(Table1Golden, DmaxValuesMatchPaper) {
+    // Table 1's dmax column: 16-8=8, 2-0=2, 44-8=36.
+    EXPECT_EQ(bounds_.dmax(AttrId{1}), 8u);
+    EXPECT_EQ(bounds_.dmax(AttrId{3}), 2u);
+    EXPECT_EQ(bounds_.dmax(AttrId{4}), 36u);
+}
+
+TEST_F(Table1Golden, GlobalSimilaritiesRoundToPublishedValues) {
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    opts.collect_details = true;
+    const RetrievalResult result = retriever_.retrieve(request_, opts);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.matches.size(), 3u);
+
+    // Ranked: DSP (0.96) > FPGA (0.85) > GP-Proc (0.43).
+    EXPECT_EQ(result.matches[0].impl, ImplId{2});
+    EXPECT_EQ(result.matches[0].target, Target::dsp);
+    EXPECT_DOUBLE_EQ(round2(result.matches[0].similarity), 0.96);
+
+    EXPECT_EQ(result.matches[1].impl, ImplId{1});
+    EXPECT_EQ(result.matches[1].target, Target::fpga);
+    EXPECT_DOUBLE_EQ(round2(result.matches[1].similarity), 0.85);
+
+    EXPECT_EQ(result.matches[2].impl, ImplId{3});
+    EXPECT_EQ(result.matches[2].target, Target::gpp);
+    EXPECT_DOUBLE_EQ(round2(result.matches[2].similarity), 0.43);
+}
+
+TEST_F(Table1Golden, ExactFractionsBehindTheRounding) {
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    const RetrievalResult result = retriever_.retrieve(request_, opts);
+    ASSERT_EQ(result.matches.size(), 3u);
+    // DSP: (1 + 1 + (1 - 4/37)) / 3.
+    EXPECT_NEAR(result.matches[0].similarity, (2.0 + 33.0 / 37.0) / 3.0, 1e-12);
+    // FPGA: (1 + 2/3 + (1 - 4/37)) / 3.
+    EXPECT_NEAR(result.matches[1].similarity, (1.0 + 2.0 / 3.0 + 33.0 / 37.0) / 3.0, 1e-12);
+    // GP: ((1 - 8/9) + 2/3 + (1 - 18/37)) / 3.
+    EXPECT_NEAR(result.matches[2].similarity, (1.0 / 9.0 + 2.0 / 3.0 + 19.0 / 37.0) / 3.0,
+                1e-12);
+}
+
+TEST_F(Table1Golden, PerAttributeRowsMatchFpgaImplementation) {
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    opts.collect_details = true;
+    const RetrievalResult result = retriever_.retrieve(request_, opts);
+    const Match& fpga = result.matches[1];
+    ASSERT_EQ(fpga.details.size(), 3u);
+
+    // i=1: AReq=16, ACB=16, d=0 -> s=1.
+    EXPECT_EQ(fpga.details[0].id, AttrId{1});
+    EXPECT_EQ(fpga.details[0].case_value, AttrValue{16});
+    EXPECT_EQ(fpga.details[0].distance, 0u);
+    EXPECT_DOUBLE_EQ(fpga.details[0].similarity, 1.0);
+
+    // i=3: AReq=1, ACB=2, d=1, dmax=2 -> s=2/3 (table: 0.66).
+    EXPECT_EQ(fpga.details[1].id, AttrId{3});
+    EXPECT_EQ(fpga.details[1].distance, 1u);
+    EXPECT_NEAR(fpga.details[1].similarity, 2.0 / 3.0, 1e-12);
+
+    // i=4: AReq=40, ACB=44, d=4, dmax=36 -> s=33/37 (table: 0.894).
+    EXPECT_EQ(fpga.details[2].id, AttrId{4});
+    EXPECT_EQ(fpga.details[2].distance, 4u);
+    EXPECT_EQ(fpga.details[2].dmax, 36u);
+    EXPECT_NEAR(fpga.details[2].similarity, 33.0 / 37.0, 1e-12);
+}
+
+TEST_F(Table1Golden, GpProcRowsMatch) {
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    opts.collect_details = true;
+    const RetrievalResult result = retriever_.retrieve(request_, opts);
+    const Match& gp = result.matches[2];
+    ASSERT_EQ(gp.details.size(), 3u);
+    // i=1: d(16,8)=8 -> s=1/9 (table: 0.11).
+    EXPECT_NEAR(gp.details[0].similarity, 1.0 / 9.0, 1e-12);
+    // i=3: d(1,0)=1 -> s=2/3 (table: 0.66).
+    EXPECT_NEAR(gp.details[1].similarity, 2.0 / 3.0, 1e-12);
+    // i=4: d(40,22)=18 -> s=19/37 (table: 0.51).
+    EXPECT_EQ(gp.details[2].distance, 18u);
+    EXPECT_NEAR(gp.details[2].similarity, 19.0 / 37.0, 1e-12);
+}
+
+TEST_F(Table1Golden, Q15PathAgreesWithinQuantization) {
+    const auto best = retriever_.retrieve_q15(request_);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->impl, ImplId{2});  // DSP wins in fixed point too
+    EXPECT_NEAR(best->similarity(), (2.0 + 33.0 / 37.0) / 3.0, 2e-3);
+}
+
+TEST_F(Table1Golden, Q15RankingMatchesDoubleRanking) {
+    const auto scored = retriever_.score_q15(request_);
+    ASSERT_EQ(scored.size(), 3u);
+    // Case-base order: impl 1 (FPGA), impl 2 (DSP), impl 3 (GP).
+    EXPECT_GT(scored[1].similarity_q30, scored[0].similarity_q30);
+    EXPECT_GT(scored[0].similarity_q30, scored[2].similarity_q30);
+}
+
+TEST_F(Table1Golden, ThresholdRejectsTheSoftwareFallback) {
+    // §3: "It's conceivable to reject all results below a given threshold."
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    opts.threshold = 0.5;
+    const RetrievalResult result = retriever_.retrieve(request_, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.matches.size(), 2u);  // GP-Proc (0.43) rejected
+}
+
+TEST_F(Table1Golden, RelaxedRequestGivesTheLowEndImplementationAChance) {
+    // §3: if nothing feasible remains the application repeats the request
+    // with relaxed constraints.  Dropping the weakest constraint and
+    // lowering the threshold admits the GP variant again.
+    RetrievalOptions opts;
+    opts.n_best = 3;
+    opts.threshold = 0.4;
+    const RetrievalResult result = retriever_.retrieve(request_, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.matches.size(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "fixed/q15.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using qfa::fx::Q15;
+using qfa::fx::SimAccumulator;
+
+TEST(Q15, ZeroAndOneConstants) {
+    EXPECT_EQ(Q15::zero().raw(), 0);
+    EXPECT_EQ(Q15::one().raw(), Q15::kRawOne);
+    EXPECT_DOUBLE_EQ(Q15::zero().to_double(), 0.0);
+    EXPECT_NEAR(Q15::one().to_double(), 1.0, 1.0 / 32768.0);
+}
+
+TEST(Q15, FromDoubleClampsAndRounds) {
+    EXPECT_EQ(Q15::from_double(-0.5).raw(), 0);
+    EXPECT_EQ(Q15::from_double(2.0).raw(), Q15::kRawOne);
+    EXPECT_EQ(Q15::from_double(0.5).raw(), 16384);
+    EXPECT_EQ(Q15::from_double(1.0 / 3.0).raw(), 10923);  // round(32768/3)
+}
+
+TEST(Q15, FromRawRejectsOverflow) {
+    EXPECT_THROW((void)Q15::from_raw(32768), qfa::util::ContractViolation);
+    EXPECT_NO_THROW((void)Q15::from_raw(32767));
+}
+
+TEST(Q15, RoundTripErrorBounded) {
+    qfa::util::Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform01();
+        const double back = Q15::from_double(x).to_double();
+        EXPECT_LE(std::abs(back - x), qfa::fx::kQ15Epsilon + 1.0 / 32768.0);
+    }
+}
+
+TEST(Q15, MulTruncates) {
+    const Q15 half = Q15::from_double(0.5);
+    const Q15 quarter = half.mul(half);
+    EXPECT_EQ(quarter.raw(), 8192);
+    // Truncation: (32767 * 32767) >> 15 = 32766, not 32767.
+    EXPECT_EQ(Q15::one().mul(Q15::one()).raw(), 32766);
+}
+
+TEST(Q15, MulByZeroIsZero) {
+    EXPECT_EQ(Q15::one().mul(Q15::zero()).raw(), 0);
+}
+
+TEST(Q15, SatAddClampsAtOne) {
+    const Q15 big = Q15::from_double(0.9);
+    EXPECT_EQ(big.sat_add(big).raw(), Q15::kRawOne);
+    const Q15 small = Q15::from_double(0.25);
+    EXPECT_EQ(small.sat_add(small).raw(), Q15::from_double(0.5).raw());
+}
+
+TEST(Q15, SatSubClampsAtZero) {
+    const Q15 small = Q15::from_double(0.25);
+    const Q15 big = Q15::from_double(0.75);
+    EXPECT_EQ(small.sat_sub(big).raw(), 0);
+    EXPECT_EQ(big.sat_sub(small).raw(), Q15::from_double(0.5).raw());
+}
+
+TEST(Q15, OrderingFollowsValue) {
+    EXPECT_LT(Q15::from_double(0.3), Q15::from_double(0.7));
+    EXPECT_EQ(Q15::from_double(0.5), Q15::from_double(0.5));
+}
+
+TEST(SimAccumulatorTest, AccumulatesExactQ30Products) {
+    SimAccumulator acc;
+    const Q15 s = Q15::from_double(0.5);
+    const Q15 w = Q15::from_double(0.5);
+    acc.add_product(s, w);
+    EXPECT_EQ(acc.raw_q30(), 16384ull * 16384ull);
+    EXPECT_NEAR(acc.to_double(), 0.25, 1e-6);
+}
+
+TEST(SimAccumulatorTest, FullMatchApproachesOne) {
+    // Three equal weights summing to exactly 2^15, all similarities = one.
+    SimAccumulator acc;
+    acc.add_product(Q15::one(), Q15::from_raw(10922));
+    acc.add_product(Q15::one(), Q15::from_raw(10923));
+    acc.add_product(Q15::one(), Q15::from_raw(10923));
+    EXPECT_NEAR(acc.to_double(), 1.0, 1.0 / 32768.0 + 1e-9);
+    EXPECT_EQ(acc.to_q15().raw(), Q15::kRawOne);
+}
+
+TEST(SimAccumulatorTest, ResetClears) {
+    SimAccumulator acc;
+    acc.add_product(Q15::one(), Q15::one());
+    acc.reset();
+    EXPECT_EQ(acc.raw_q30(), 0u);
+}
+
+TEST(SimAccumulatorTest, ComparableForBestSelection) {
+    SimAccumulator a;
+    SimAccumulator b;
+    a.add_product(Q15::from_double(0.9), Q15::one());
+    b.add_product(Q15::from_double(0.8), Q15::one());
+    EXPECT_GT(a, b);
+}
+
+TEST(SimAccumulatorTest, ToQ15TruncatesAndSaturates) {
+    SimAccumulator acc;
+    acc.add_product(Q15::one(), Q15::one());  // 32767^2 = 0.99994 in Q30
+    EXPECT_EQ(acc.to_q15().raw(), 32766);
+}
+
+}  // namespace

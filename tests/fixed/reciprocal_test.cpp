@@ -1,0 +1,124 @@
+#include "fixed/reciprocal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using qfa::fx::attr_distance;
+using qfa::fx::local_similarity_error_bound;
+using qfa::fx::local_similarity_q15;
+using qfa::fx::Q15;
+using qfa::fx::reciprocal_q15;
+
+TEST(AttrDistance, AbsoluteDifference) {
+    EXPECT_EQ(attr_distance(16, 16), 0u);
+    EXPECT_EQ(attr_distance(40, 44), 4u);
+    EXPECT_EQ(attr_distance(44, 40), 4u);
+    EXPECT_EQ(attr_distance(0, 65535), 65535u);
+}
+
+TEST(Reciprocal, KnownValues) {
+    // dmax=36 (paper's sampling-rate attribute): 32768/37 = 885.6 -> 886.
+    EXPECT_EQ(reciprocal_q15(36).raw(), 886);
+    // dmax=8 (bitwidth): 32768/9 = 3640.9 -> 3641.
+    EXPECT_EQ(reciprocal_q15(8).raw(), 3641);
+    // dmax=2 (output mode): 32768/3 = 10922.7 -> 10923.
+    EXPECT_EQ(reciprocal_q15(2).raw(), 10923);
+    // dmax=1: 32768/2 = 16384 exactly.
+    EXPECT_EQ(reciprocal_q15(1).raw(), 16384);
+}
+
+TEST(Reciprocal, DmaxZeroSaturates) {
+    EXPECT_EQ(reciprocal_q15(0).raw(), Q15::kRawOne);
+}
+
+TEST(Reciprocal, MonotoneDecreasingInDmax) {
+    Q15 prev = reciprocal_q15(0);
+    for (std::uint32_t dmax = 1; dmax < 1000; ++dmax) {
+        const Q15 cur = reciprocal_q15(dmax);
+        EXPECT_LE(cur, prev) << "dmax=" << dmax;
+        prev = cur;
+    }
+}
+
+TEST(Reciprocal, ApproximatesTrueReciprocal) {
+    for (std::uint32_t dmax : {1u, 5u, 36u, 100u, 1000u, 65535u}) {
+        const double exact = 1.0 / (1.0 + dmax);
+        EXPECT_NEAR(reciprocal_q15(dmax).to_double(), exact, 1.0 / 65536.0) << "dmax=" << dmax;
+    }
+}
+
+TEST(LocalSimilarityQ15, ExactMatchIsOne) {
+    EXPECT_EQ(local_similarity_q15(16, 16, reciprocal_q15(8)).raw(), Q15::kRawOne);
+}
+
+TEST(LocalSimilarityQ15, PaperTable1Values) {
+    // s(40, 44) with dmax=36: exact 1 - 4/37 = 0.891892.
+    const Q15 s4 = local_similarity_q15(40, 44, reciprocal_q15(36));
+    EXPECT_NEAR(s4.to_double(), 1.0 - 4.0 / 37.0, local_similarity_error_bound(36));
+    // s(1, 2) with dmax=2: exact 2/3.
+    const Q15 s3 = local_similarity_q15(1, 2, reciprocal_q15(2));
+    EXPECT_NEAR(s3.to_double(), 2.0 / 3.0, local_similarity_error_bound(2));
+    // s(16, 8) with dmax=8: exact 1/9.
+    const Q15 s1 = local_similarity_q15(16, 8, reciprocal_q15(8));
+    EXPECT_NEAR(s1.to_double(), 1.0 / 9.0, local_similarity_error_bound(8));
+}
+
+TEST(LocalSimilarityQ15, MaxDistanceGivesNearZero) {
+    // d == dmax: s = 1 - dmax/(1+dmax), small but positive.
+    const Q15 s = local_similarity_q15(0, 36, reciprocal_q15(36));
+    EXPECT_NEAR(s.to_double(), 1.0 - 36.0 / 37.0, local_similarity_error_bound(36));
+    EXPECT_GT(s.raw(), 0);
+}
+
+TEST(LocalSimilarityQ15, BeyondDesignRangeSaturatesToZero) {
+    // d > dmax (request outside design bounds): ratio >= 1 -> similarity 0.
+    EXPECT_EQ(local_similarity_q15(0, 100, reciprocal_q15(36)).raw(), 0);
+}
+
+TEST(LocalSimilarityQ15, DmaxZeroOnlyExactMatches) {
+    const Q15 recip = reciprocal_q15(0);
+    EXPECT_EQ(local_similarity_q15(5, 5, recip).raw(), Q15::kRawOne);
+    EXPECT_EQ(local_similarity_q15(5, 6, recip).raw(), 0);
+}
+
+TEST(LocalSimilarityQ15, SymmetricInArguments) {
+    const Q15 recip = reciprocal_q15(100);
+    for (int ai : {0, 10, 50, 100}) {
+        for (int bi : {0, 10, 50, 100}) {
+            const auto a = static_cast<std::uint16_t>(ai);
+            const auto b = static_cast<std::uint16_t>(bi);
+            EXPECT_EQ(local_similarity_q15(a, b, recip).raw(),
+                      local_similarity_q15(b, a, recip).raw());
+        }
+    }
+}
+
+// Property sweep: fixed-point error stays within the analytic bound.
+class LocalSimErrorSweep : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LocalSimErrorSweep, ErrorWithinAnalyticBound) {
+    const std::uint32_t dmax = GetParam();
+    const Q15 recip = reciprocal_q15(dmax);
+    const double bound = local_similarity_error_bound(dmax);
+    qfa::util::Rng rng(dmax * 7919 + 1);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const auto a = static_cast<std::uint16_t>(rng.uniform_int(0, 200));
+        const auto b = static_cast<std::uint16_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(dmax)));
+        const double d = attr_distance(a, b);
+        const double exact = d > dmax ? 0.0 : 1.0 - d / (1.0 + dmax);
+        const double fixed_point = local_similarity_q15(a, b, recip).to_double();
+        EXPECT_NEAR(fixed_point, exact, bound)
+            << "a=" << a << " b=" << b << " dmax=" << dmax;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DmaxSweep, LocalSimErrorSweep,
+                         testing::Values(1u, 2u, 8u, 36u, 100u, 255u, 1024u, 4095u));
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Cross-module integration: the full fig. 1 stack — application API over
+// the allocation manager over the platform, fed by packed images that also
+// drive the hardware and software retrieval models.
+#include <gtest/gtest.h>
+
+#include "alloc/api.hpp"
+#include "core/bounds.hpp"
+#include "core/retain.hpp"
+#include "core/retrieval.hpp"
+#include "mblaze/retrieval_program.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+TEST(EndToEnd, PaperWalkthroughFigure3) {
+    // Fig. 3 scenario: an audio application asks for a FIR equalizer with
+    // bitwidth 16, stereo output, 40 kS/s — and must receive the DSP
+    // variant (Table 1), instantiated on the platform's DSP.
+    cbr::CaseBase cb = cbr::paper_example_case_base();
+    cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    sys::Platform platform;
+    platform.repository().import_case_base(cb);
+    alloc::AllocationManager manager(platform, cb, bounds);
+    alloc::ApplicationApi app(manager, 1);
+
+    const alloc::CallResult result = app.call_function(
+        cbr::TypeId{1},
+        {{cbr::AttrId{1}, 16, 1.0}, {cbr::AttrId{3}, 1, 1.0}, {cbr::AttrId{4}, 40, 1.0}});
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.grant->impl.impl, cbr::ImplId{2});
+    EXPECT_EQ(result.grant->target, cbr::Target::dsp);
+
+    // The DSP task actually runs on the platform.
+    platform.events().run_until(result.grant->active_at);
+    const sys::Task* task = platform.task(result.grant->task);
+    ASSERT_NE(task, nullptr);
+    EXPECT_EQ(task->state, sys::TaskState::active);
+    EXPECT_LT(platform.snapshot().dsp_headroom_pct, 100u);
+
+    EXPECT_TRUE(app.end_function(result.grant->task));
+    EXPECT_EQ(platform.snapshot().dsp_headroom_pct, 100u);
+}
+
+TEST(EndToEnd, FourWayRetrievalAgreementOnSyntheticCatalog) {
+    // Reference double, reference Q15, RTL model and MicroBlaze program all
+    // agree on random catalogue retrievals (IDs bit-exact for the fixed-
+    // point trio; the double reference agrees up to quantization ties).
+    util::Rng rng(71);
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(
+        wl::CatalogConfig{.function_types = 6, .impls_per_type = 6, .attrs_per_impl = 6,
+                          .attr_dropout = 0.2},
+        rng);
+    const cbr::Retriever retriever(cat.case_base, cat.bounds);
+    const mem::CaseBaseImage cb_image = mem::encode_case_base(cat.case_base, cat.bounds);
+
+    for (int round = 0; round < 40; ++round) {
+        const auto generated = wl::generate_request(
+            cat.case_base, cat.bounds, wl::random_type(cat.case_base, rng), rng);
+        const mem::RequestImage req_image = mem::encode_request(generated.request);
+
+        const auto q15 = retriever.retrieve_q15(generated.request);
+        ASSERT_TRUE(q15.has_value());
+
+        rtl::RetrievalUnit unit;
+        const rtl::RtlResult hw = unit.run(req_image, cb_image);
+        ASSERT_TRUE(hw.found);
+        EXPECT_EQ(hw.best().impl, q15->impl);
+        EXPECT_EQ(hw.best().similarity_q30, q15->similarity_q30);
+
+        const mb::SwRetrievalResult sw = mb::run_sw_retrieval(
+            mb::SwProgramKind::compiled_style, req_image, cb_image);
+        ASSERT_TRUE(sw.found);
+        EXPECT_EQ(sw.impl, q15->impl);
+        EXPECT_EQ(sw.similarity_q30, q15->similarity_q30);
+
+        // Double-precision winner scores at least as high (modulo epsilon).
+        const auto ref = retriever.retrieve(generated.request);
+        ASSERT_TRUE(ref.ok());
+        EXPECT_GE(ref.best().similarity + 5e-3, q15->similarity());
+    }
+}
+
+TEST(EndToEnd, DynamicCaseBaseFlowsThroughManager) {
+    // Retain a new variant at run time, rebind the manager, and watch the
+    // allocation switch to the better newcomer (the self-learning loop the
+    // paper sketches in §5).
+    cbr::DynamicCaseBase dynamic(cbr::paper_example_case_base());
+    cbr::CaseBase snapshot = dynamic.snapshot();
+    cbr::BoundsTable bounds = dynamic.bounds();
+
+    sys::Platform platform;
+    platform.repository().import_case_base(snapshot);
+    alloc::AllocationManager manager(platform, snapshot, bounds);
+
+    alloc::AllocRequest request{1, cbr::paper_example_request(), 10, 0.0, 4, true};
+    const alloc::AllocationOutcome before = manager.allocate(request);
+    ASSERT_TRUE(before.granted());
+    EXPECT_EQ(before.grant->impl.impl, cbr::ImplId{2});  // DSP, S = 0.96
+    ASSERT_TRUE(manager.release(before.grant->task));
+
+    // A new FPGA variant that matches the request *exactly*.
+    cbr::Implementation perfect;
+    perfect.id = cbr::ImplId{9};
+    perfect.target = cbr::Target::fpga;
+    perfect.attributes = {{cbr::AttrId{1}, 16}, {cbr::AttrId{3}, 1}, {cbr::AttrId{4}, 40}};
+    perfect.meta.config_bytes = 50'000;
+    perfect.meta.demand.clb_slices = 800;
+    ASSERT_EQ(dynamic.retain(cbr::TypeId{1}, perfect), cbr::RetainVerdict::retained);
+
+    snapshot = dynamic.snapshot();
+    bounds = dynamic.bounds();
+    platform.repository().import_case_base(snapshot);
+    manager.rebind(snapshot, bounds, dynamic.epoch());
+
+    const alloc::AllocationOutcome after = manager.allocate(request);
+    ASSERT_TRUE(after.granted());
+    EXPECT_EQ(after.grant->impl.impl, cbr::ImplId{9});
+    EXPECT_NEAR(after.grant->similarity, 1.0, 1e-9);
+    EXPECT_FALSE(after.grant->via_bypass);  // stale token was invalidated
+}
+
+TEST(EndToEnd, ImagesSurviveEncodeDecodeThroughAllConsumers) {
+    // One synthetic catalogue; encode, decode, re-encode: byte-identical,
+    // and both decoded and original drive retrieval identically.
+    util::Rng rng(73);
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(
+        wl::CatalogConfig{.function_types = 4, .impls_per_type = 5, .attrs_per_impl = 8},
+        rng);
+    const mem::TreeImage image = mem::encode_tree(cat.case_base);
+    const cbr::CaseBase decoded = mem::decode_tree(image.words);
+    const mem::TreeImage reencoded = mem::encode_tree(decoded);
+    EXPECT_EQ(image.words, reencoded.words);
+
+    const cbr::Retriever original(cat.case_base, cat.bounds);
+    const cbr::Retriever roundtrip(decoded, cat.bounds);
+    for (int i = 0; i < 20; ++i) {
+        const auto generated = wl::generate_request(
+            cat.case_base, cat.bounds, wl::random_type(cat.case_base, rng), rng);
+        const auto a = original.retrieve(generated.request);
+        const auto b = roundtrip.retrieve(generated.request);
+        ASSERT_EQ(a.ok(), b.ok());
+        if (a.ok()) {
+            EXPECT_EQ(a.best().impl, b.best().impl);
+            EXPECT_DOUBLE_EQ(a.best().similarity, b.best().similarity);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Guards on the reproduced experiment *shapes* — if a refactor shifts the
+// headline ratios out of the paper's bands, these tests fail before the
+// benches would reveal it.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/mahalanobis.hpp"
+#include "core/retrieval.hpp"
+#include "mblaze/retrieval_program.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "rtl/resource_model.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+struct Images {
+    mem::CaseBaseImage cb;
+    mem::RequestImage req;
+};
+
+Images build_images(std::uint16_t impls, std::uint16_t attrs, std::uint64_t seed) {
+    util::Rng rng(seed);
+    wl::CatalogConfig config;
+    config.function_types = 3;
+    config.impls_per_type = impls;
+    config.attrs_per_impl = attrs;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    wl::RequestGenConfig rconfig;
+    rconfig.keep_prob = 1.0;
+    const auto generated =
+        wl::generate_request(cat.case_base, cat.bounds, cbr::TypeId{2}, rng, rconfig);
+    return Images{mem::encode_case_base(cat.case_base, cat.bounds),
+                  mem::encode_request(generated.request)};
+}
+
+TEST(ShapeGuard, E4SpeedupStaysInPaperBand) {
+    // Paper: ~8.5x (compiled C).  Guard band: 6..10x for the compiled-style
+    // listing across shapes; optimised listing strictly lower.
+    for (const auto& [impls, attrs] : {std::pair<std::uint16_t, std::uint16_t>{4, 4},
+                                       {10, 8}, {16, 10}}) {
+        const Images images = build_images(impls, attrs, impls * 19u);
+        rtl::RetrievalUnit unit;
+        const auto hw = unit.run(images.req, images.cb);
+        const auto cc = mb::run_sw_retrieval(mb::SwProgramKind::compiled_style,
+                                             images.req, images.cb);
+        const auto opt = mb::run_sw_retrieval(mb::SwProgramKind::optimized,
+                                              images.req, images.cb);
+        const double ratio_cc =
+            static_cast<double>(cc.stats.cycles) / static_cast<double>(hw.cycles);
+        const double ratio_opt =
+            static_cast<double>(opt.stats.cycles) / static_cast<double>(hw.cycles);
+        EXPECT_GE(ratio_cc, 6.0) << impls << "x" << attrs;
+        EXPECT_LE(ratio_cc, 10.0) << impls << "x" << attrs;
+        EXPECT_LT(ratio_opt, ratio_cc) << impls << "x" << attrs;
+        EXPECT_GE(ratio_opt, 4.0) << impls << "x" << attrs;
+    }
+}
+
+TEST(ShapeGuard, E5CyclesPerImplementationConstant) {
+    // Linear scaling: the per-implementation cycle delta must be constant
+    // on a uniform catalogue (same request, growing impl count).
+    std::vector<std::uint64_t> cycles;
+    for (std::uint16_t impls = 2; impls <= 10; impls += 2) {
+        util::Rng rng(4242);  // same seed: same attribute values per impl slot
+        wl::CatalogConfig config;
+        config.function_types = 1;
+        config.impls_per_type = impls;
+        config.attrs_per_impl = 6;
+        const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+        wl::RequestGenConfig rconfig;
+        rconfig.keep_prob = 1.0;
+        util::Rng req_rng(7);
+        const auto generated = wl::generate_request(cat.case_base, cat.bounds,
+                                                    cbr::TypeId{1}, req_rng, rconfig);
+        rtl::RetrievalUnit unit;
+        cycles.push_back(unit.run(mem::encode_request(generated.request),
+                                  mem::encode_case_base(cat.case_base, cat.bounds))
+                             .cycles);
+    }
+    // Deltas within 15 % of each other (attribute values differ per impl,
+    // so scan lengths wobble slightly, but growth must stay linear).
+    std::vector<double> deltas;
+    for (std::size_t i = 1; i < cycles.size(); ++i) {
+        deltas.push_back(static_cast<double>(cycles[i] - cycles[i - 1]));
+    }
+    for (double d : deltas) {
+        EXPECT_NEAR(d, deltas.front(), 0.15 * deltas.front());
+    }
+}
+
+TEST(ShapeGuard, E12CompactSpeedupBand) {
+    const Images images = build_images(10, 10, 99);
+    rtl::RetrievalUnit normal;
+    rtl::RtlConfig cfg;
+    cfg.compact_blocks = true;
+    rtl::RetrievalUnit compact(cfg);
+    const double speedup =
+        static_cast<double>(normal.run(images.req, images.cb).cycles) /
+        static_cast<double>(compact.run(images.req, images.cb).cycles);
+    EXPECT_GE(speedup, 1.6);
+    EXPECT_LE(speedup, 2.2);
+}
+
+TEST(ShapeGuard, E13MahalanobisAgreesButCostsMore) {
+    util::Rng rng(99);
+    wl::CatalogConfig config;
+    config.function_types = 6;
+    config.impls_per_type = 8;
+    config.attrs_per_impl = 8;
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds(config, rng);
+    const cbr::Retriever manhattan(cat.case_base, cat.bounds);
+    const cbr::MahalanobisScorer mahalanobis(cat.case_base);
+
+    int total = 0;
+    int agree = 0;
+    for (int round = 0; round < 150; ++round) {
+        wl::RequestGenConfig rconfig;
+        rconfig.tightness = 0.08;
+        const auto generated = wl::generate_request(
+            cat.case_base, cat.bounds, wl::random_type(cat.case_base, rng), rng, rconfig);
+        const auto ref = manhattan.retrieve(generated.request);
+        if (!ref.ok()) {
+            continue;
+        }
+        const cbr::FunctionType* type = cat.case_base.find_type(generated.type);
+        double best_score = -1.0;
+        cbr::ImplId best_impl;
+        for (const auto& impl : type->impls) {
+            const double s = mahalanobis.score(generated.request, impl);
+            if (s > best_score) {
+                best_score = s;
+                best_impl = impl.id;
+            }
+        }
+        ++total;
+        agree += ref.best().impl == best_impl ? 1 : 0;
+    }
+    ASSERT_GT(total, 100);
+    // §2.2: "very effective concerning the results" — high agreement.
+    EXPECT_GT(static_cast<double>(agree) / total, 0.85);
+}
+
+TEST(ShapeGuard, E14NBestIsCycleInvariant) {
+    const Images images = build_images(12, 8, 55);
+    std::uint64_t base_cycles = 0;
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+        rtl::RtlConfig cfg;
+        cfg.n_best = n;
+        rtl::RetrievalUnit unit(cfg);
+        const auto result = unit.run(images.req, images.cb);
+        if (n == 1) {
+            base_cycles = result.cycles;
+        }
+        EXPECT_EQ(result.cycles, base_cycles) << "n=" << n;
+    }
+    // ...while resources grow monotonically.
+    std::uint32_t prev_slices = 0;
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+        rtl::ResourceModelConfig cfg;
+        cfg.n_best = n;
+        const auto est = rtl::estimate_resources(cfg);
+        EXPECT_GT(est.clb_slices, prev_slices);
+        prev_slices = est.clb_slices;
+    }
+}
+
+TEST(ShapeGuard, Table2BaselineNeverDrifts) {
+    const auto est = rtl::estimate_resources(rtl::ResourceModelConfig{});
+    EXPECT_EQ(est.clb_slices, 441u);
+    EXPECT_EQ(est.mult18x18, 2u);
+    EXPECT_EQ(est.bram_blocks, 2u);
+    EXPECT_NEAR(est.fmax_mhz, 75.0, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "mblaze/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace qfa::mb;
+
+TEST(Assembler, AssemblesBasicProgram) {
+    const Program p = assemble(R"(
+        ; a tiny program
+        start:
+            li   r1, 5
+            addi r1, r1, 3
+            halt
+    )");
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[0].op, Op::addi);   // li expands to addi rd, r0, imm
+    EXPECT_EQ(p.code[0].rd, 1);
+    EXPECT_EQ(p.code[0].ra, 0);
+    EXPECT_EQ(p.code[0].imm, 5);
+    EXPECT_EQ(p.code[2].op, Op::halt);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+    const Program p = assemble(R"(
+        top:
+            beq r1, r2, end
+            br  top
+        end:
+            halt
+    )");
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[0].imm, 2);  // end -> instruction 2
+    EXPECT_EQ(p.code[1].imm, 0);  // top -> instruction 0
+}
+
+TEST(Assembler, LabelOnOwnLine) {
+    const Program p = assemble("loop:\n  br loop\n");
+    ASSERT_EQ(p.code.size(), 1u);
+    EXPECT_EQ(p.code[0].imm, 0);
+}
+
+TEST(Assembler, ParsesHexAndNegativeImmediates) {
+    const Program p = assemble("li r1, 0xFFFF\nli r2, -7\nhalt\n");
+    EXPECT_EQ(p.code[0].imm, 0xFFFF);
+    EXPECT_EQ(p.code[1].imm, -7);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+    const Program p = assemble("# full comment\n\n  nop ; trailing\n  halt # other\n");
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(p.code[0].op, Op::nop);
+}
+
+TEST(Assembler, MovPseudoExpandsToAdd) {
+    const Program p = assemble("mov r5, r2\nhalt\n");
+    EXPECT_EQ(p.code[0].op, Op::add);
+    EXPECT_EQ(p.code[0].rd, 5);
+    EXPECT_EQ(p.code[0].ra, 2);
+    EXPECT_EQ(p.code[0].rb, 0);
+}
+
+TEST(Assembler, MemoryOperandOrder) {
+    const Program p = assemble("lhu r4, r1, 6\nsh r4, r2, 0\nhalt\n");
+    EXPECT_EQ(p.code[0].op, Op::lhu);
+    EXPECT_EQ(p.code[0].rd, 4);
+    EXPECT_EQ(p.code[0].ra, 1);
+    EXPECT_EQ(p.code[0].imm, 6);
+    EXPECT_EQ(p.code[1].op, Op::sh);
+}
+
+TEST(AssemblerErrors, UndefinedLabel) {
+    try {
+        (void)assemble("br nowhere\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError& e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_NE(std::string(e.what()).find("undefined label"), std::string::npos);
+    }
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+    EXPECT_THROW((void)assemble("a:\nnop\na:\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+    EXPECT_THROW((void)assemble("frobnicate r1, r2, r3\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+    EXPECT_THROW((void)assemble("add r1, r2, r99\n"), AsmError);
+    EXPECT_THROW((void)assemble("add r1, r2, x3\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadImmediate) {
+    EXPECT_THROW((void)assemble("addi r1, r2, banana\n"), AsmError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+    EXPECT_THROW((void)assemble("add r1, r2\n"), AsmError);
+    EXPECT_THROW((void)assemble("halt r1\n"), AsmError);
+}
+
+TEST(AssemblerErrors, EmptyLabel) {
+    EXPECT_THROW((void)assemble(" : \nnop\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ReportsLineNumbers) {
+    try {
+        (void)assemble("nop\nnop\nbogus r1\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError& e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+}  // namespace

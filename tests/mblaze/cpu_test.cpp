@@ -1,0 +1,168 @@
+#include "mblaze/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mblaze/assembler.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::mb;
+
+CpuStats run_source(Cpu& cpu, const char* source) {
+    return cpu.run(assemble(source));
+}
+
+TEST(Cpu, RegisterZeroIsHardwired) {
+    Cpu cpu;
+    cpu.set_reg(0, 42);
+    EXPECT_EQ(cpu.reg(0), 0u);
+    const CpuStats stats = run_source(cpu, "addi r0, r0, 7\nhalt\n");
+    EXPECT_TRUE(stats.halted);
+    EXPECT_EQ(cpu.reg(0), 0u);
+}
+
+TEST(Cpu, ArithmeticSemantics) {
+    Cpu cpu;
+    run_source(cpu, R"(
+        li   r1, 10
+        li   r2, 3
+        add  r3, r1, r2      ; 13
+        rsub r4, r2, r1      ; r1 - r2 = 7
+        rsubi r5, r2, 20     ; 20 - r2 = 17
+        mul  r6, r1, r2      ; 30
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(3), 13u);
+    EXPECT_EQ(cpu.reg(4), 7u);
+    EXPECT_EQ(cpu.reg(5), 17u);
+    EXPECT_EQ(cpu.reg(6), 30u);
+}
+
+TEST(Cpu, LogicAndShifts) {
+    Cpu cpu;
+    run_source(cpu, R"(
+        li   r1, 0xF0
+        li   r2, 0x3C
+        and  r3, r1, r2
+        or   r4, r1, r2
+        xor  r5, r1, r2
+        slli r6, r1, 4
+        srli r7, r1, 4
+        li   r8, -16
+        srai r9, r8, 2
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(3), 0x30u);
+    EXPECT_EQ(cpu.reg(4), 0xFCu);
+    EXPECT_EQ(cpu.reg(5), 0xCCu);
+    EXPECT_EQ(cpu.reg(6), 0xF00u);
+    EXPECT_EQ(cpu.reg(7), 0xFu);
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(9)), -4);
+}
+
+TEST(Cpu, MemoryHalfwordsAndWords) {
+    Cpu cpu;
+    cpu.set_reg(1, 0x100);
+    run_source(cpu, R"(
+        li  r2, 0xBEEF
+        sh  r2, r1, 0
+        lhu r3, r1, 0
+        li  r4, 0x12345678
+        sw  r4, r1, 8
+        lw  r5, r1, 8
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(3), 0xBEEFu);
+    EXPECT_EQ(cpu.reg(5), 0x12345678u);
+    EXPECT_EQ(cpu.read_half(0x100), 0xBEEF);
+    EXPECT_EQ(cpu.read_word(0x108), 0x12345678u);
+}
+
+TEST(Cpu, SignedBranchSemantics) {
+    Cpu cpu;
+    run_source(cpu, R"(
+        li  r1, -5
+        li  r2, 3
+        li  r3, 0
+        blt r1, r2, set_one   ; -5 < 3 signed (would be false unsigned)
+        br  end
+    set_one:
+        li  r3, 1
+    end:
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(3), 1u);
+}
+
+TEST(Cpu, LoopCountsCyclesPerCostModel) {
+    // 3 iterations of: addi(1) + bne-taken(3); last bne not taken (1);
+    // plus li(1) + li(1) + halt(1).
+    Cpu cpu;
+    const CpuStats stats = run_source(cpu, R"(
+        li   r1, 3
+        li   r2, 0
+    loop:
+        addi r1, r1, -1
+        bne  r1, r2, loop
+        halt
+    )");
+    // li,li = 2; iterations: (1+3)+(1+3)+(1+1)=10; halt = 1.
+    EXPECT_EQ(stats.cycles, 13u);
+    EXPECT_EQ(stats.instructions, 9u);
+    EXPECT_EQ(stats.branches_taken, 2u);
+    EXPECT_EQ(stats.branches_not_taken, 1u);
+}
+
+TEST(Cpu, CostModelConstants) {
+    EXPECT_EQ(instr_base_cycles(Op::add), 1u);
+    EXPECT_EQ(instr_base_cycles(Op::lhu), 2u);
+    EXPECT_EQ(instr_base_cycles(Op::sw), 2u);
+    EXPECT_EQ(instr_base_cycles(Op::mul), 3u);
+    EXPECT_EQ(instr_base_cycles(Op::beq), 1u);  // not-taken base
+    EXPECT_EQ(kTakenBranchPenalty, 2u);
+}
+
+TEST(Cpu, CountsLoadsStoresMultiplies) {
+    Cpu cpu;
+    cpu.set_reg(1, 0x100);
+    const CpuStats stats = run_source(cpu, R"(
+        li  r2, 7
+        sh  r2, r1, 0
+        lhu r3, r1, 0
+        mul r4, r3, r2
+        halt
+    )");
+    EXPECT_EQ(stats.loads, 1u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.multiplies, 1u);
+}
+
+TEST(Cpu, FuelExhaustionStopsInfiniteLoop) {
+    Cpu cpu;
+    const CpuStats stats = cpu.run(assemble("loop:\nbr loop\n"), 100);
+    EXPECT_TRUE(stats.fuel_exhausted);
+    EXPECT_FALSE(stats.halted);
+    EXPECT_EQ(stats.instructions, 100u);
+}
+
+TEST(Cpu, MemoryBoundsAreContracts) {
+    Cpu cpu(64);
+    cpu.set_reg(1, 60);
+    EXPECT_THROW(run_source(cpu, "lw r2, r1, 2\nhalt\n"), qfa::util::ContractViolation);
+}
+
+TEST(Cpu, PcPastEndIsAContract) {
+    Cpu cpu;
+    EXPECT_THROW((void)cpu.run(assemble("nop\n")), qfa::util::ContractViolation);
+}
+
+TEST(Cpu, LoadWordsPlacesImage) {
+    Cpu cpu;
+    const std::vector<qfa::mem::Word> words{0x1111, 0x2222, 0x3333};
+    cpu.load_words(0x200, words);
+    EXPECT_EQ(cpu.read_half(0x200), 0x1111);
+    EXPECT_EQ(cpu.read_half(0x204), 0x3333);
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+#include "mblaze/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace qfa::mb;
+
+TEST(Isa, ImmediateClassification) {
+    EXPECT_TRUE(op_has_immediate(Op::addi));
+    EXPECT_TRUE(op_has_immediate(Op::lhu));
+    EXPECT_TRUE(op_has_immediate(Op::srai));
+    EXPECT_FALSE(op_has_immediate(Op::add));
+    EXPECT_FALSE(op_has_immediate(Op::mul));
+    EXPECT_FALSE(op_has_immediate(Op::beq));
+}
+
+TEST(Isa, BranchClassification) {
+    EXPECT_TRUE(op_is_branch(Op::beq));
+    EXPECT_TRUE(op_is_branch(Op::br));
+    EXPECT_TRUE(op_is_branch(Op::bge));
+    EXPECT_FALSE(op_is_branch(Op::add));
+    EXPECT_FALSE(op_is_branch(Op::halt));
+}
+
+TEST(Isa, MemoryClassification) {
+    EXPECT_TRUE(op_is_memory(Op::lhu));
+    EXPECT_TRUE(op_is_memory(Op::sw));
+    EXPECT_FALSE(op_is_memory(Op::add));
+}
+
+TEST(Isa, DisassembleFormats) {
+    EXPECT_EQ(disassemble({Op::add, 1, 2, 3, 0}), "add r1, r2, r3");
+    EXPECT_EQ(disassemble({Op::addi, 1, 2, 0, -4}), "addi r1, r2, -4");
+    EXPECT_EQ(disassemble({Op::lhu, 5, 6, 0, 2}), "lhu r5, r6, 2");
+    EXPECT_EQ(disassemble({Op::beq, 0, 1, 2, 17}), "beq r1, r2, @17");
+    EXPECT_EQ(disassemble({Op::br, 0, 0, 0, 3}), "br @3");
+    EXPECT_EQ(disassemble({Op::halt, 0, 0, 0, 0}), "halt");
+}
+
+TEST(Isa, CodeBytesUseArchitecturalSize) {
+    Program program;
+    program.code.resize(7);
+    EXPECT_EQ(program.code_bytes(), 28u);
+}
+
+}  // namespace

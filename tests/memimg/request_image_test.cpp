@@ -1,0 +1,101 @@
+#include "memimg/request_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace qfa::mem;
+using qfa::cbr::AttrId;
+using qfa::cbr::Request;
+using qfa::cbr::RequestAttribute;
+using qfa::cbr::TypeId;
+
+TEST(RequestImage, PaperRequestLayout) {
+    const RequestImage image = encode_request(qfa::cbr::paper_example_request());
+    // 1 type word + 3 blocks of 3 + terminator = 11 words.
+    ASSERT_EQ(image.words.size(), 11u);
+    EXPECT_EQ(image.words[0], 1u);              // IDType = 1
+    EXPECT_EQ(image.words[1], 1u);              // attr 1
+    EXPECT_EQ(image.words[2], 16u);             // bitwidth 16
+    EXPECT_EQ(image.words[4], 3u);              // attr 3
+    EXPECT_EQ(image.words[5], 1u);              // stereo
+    EXPECT_EQ(image.words[7], 4u);              // attr 4
+    EXPECT_EQ(image.words[8], 40u);             // 40 kS/s
+    EXPECT_EQ(image.words[10], kEndOfList);
+    // Quantized equal weights sum to exactly 2^15.
+    const std::uint32_t weight_sum = std::uint32_t{image.words[3]} +
+                                     image.words[6] + image.words[9];
+    EXPECT_EQ(weight_sum, 32768u);
+}
+
+TEST(RequestImage, Table3WorstCaseIs64Bytes) {
+    // Table 3: "Attributes per Request: 10 (worst case)" -> 64 bytes.
+    EXPECT_EQ(request_image_words(10) * kWordBytes, 64u);
+
+    std::vector<RequestAttribute> constraints;
+    for (std::uint16_t i = 1; i <= 10; ++i) {
+        constraints.push_back({AttrId{i}, static_cast<qfa::cbr::AttrValue>(i * 3), 1.0});
+    }
+    const RequestImage image = encode_request(Request(TypeId{1}, std::move(constraints)));
+    EXPECT_EQ(image.size_bytes(), 64u);
+}
+
+TEST(RequestImage, RoundTripPreservesContent) {
+    const Request request = qfa::cbr::paper_example_request();
+    const RequestImage image = encode_request(request);
+    const DecodedRequest decoded = decode_request(image.words);
+    EXPECT_EQ(decoded.type, TypeId{1});
+    ASSERT_EQ(decoded.constraints.size(), 3u);
+    EXPECT_EQ(decoded.constraints[0].id, AttrId{1});
+    EXPECT_EQ(decoded.constraints[0].value, 16u);
+    EXPECT_NEAR(decoded.constraints[0].weight.to_double(), 1.0 / 3.0, 1e-4);
+    EXPECT_EQ(decoded.constraints[2].id, AttrId{4});
+    EXPECT_EQ(decoded.constraints[2].value, 40u);
+}
+
+TEST(RequestImage, BlocksAreSortedById) {
+    const Request request(TypeId{1}, {{AttrId{9}, 1, 1.0}, {AttrId{2}, 2, 1.0}});
+    const RequestImage image = encode_request(request);
+    EXPECT_EQ(image.words[1], 2u);
+    EXPECT_EQ(image.words[4], 9u);
+}
+
+TEST(RequestImage, RejectsTerminatorCollision) {
+    const Request bad_type(TypeId{0xFFFF}, {{AttrId{1}, 1, 1.0}});
+    EXPECT_THROW((void)encode_request(bad_type), std::invalid_argument);
+    const Request bad_attr(TypeId{1}, {{AttrId{0xFFFF}, 1, 1.0}});
+    EXPECT_THROW((void)encode_request(bad_attr), std::invalid_argument);
+}
+
+TEST(RequestImageDecode, RejectsEmptyImage) {
+    EXPECT_THROW((void)decode_request({}), ImageFormatError);
+}
+
+TEST(RequestImageDecode, RejectsMissingTerminator) {
+    std::vector<Word> words{1, 2, 10, 100};  // type + one block, no end
+    EXPECT_THROW((void)decode_request(words), ImageFormatError);
+}
+
+TEST(RequestImageDecode, RejectsTruncatedBlock) {
+    std::vector<Word> words{1, 2, 10};  // block cut after the value
+    EXPECT_THROW((void)decode_request(words), ImageFormatError);
+}
+
+TEST(RequestImageDecode, RejectsUnsortedBlocks) {
+    std::vector<Word> words{1, 5, 10, 100, 2, 20, 100, kEndOfList};
+    EXPECT_THROW((void)decode_request(words), ImageFormatError);
+}
+
+TEST(RequestImageDecode, RejectsOutOfRangeWeight) {
+    std::vector<Word> words{1, 2, 10, 0x9000, kEndOfList};  // weight > Q15 one
+    EXPECT_THROW((void)decode_request(words), ImageFormatError);
+}
+
+TEST(RequestImageDecode, RejectsEmptyConstraintList) {
+    std::vector<Word> words{1, kEndOfList};
+    EXPECT_THROW((void)decode_request(words), ImageFormatError);
+}
+
+}  // namespace

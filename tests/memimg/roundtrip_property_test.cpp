@@ -1,0 +1,138 @@
+// Randomized round-trip properties of the packed image formats: encode and
+// decode are mutual inverses for every well-formed catalogue/request, and
+// encoding is canonical (decode∘encode∘decode is the identity on images).
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/supplemental_image.hpp"
+#include "memimg/tree_image.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+class RoundTripSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripSweep, TreeEncodeDecodeIdentity) {
+    util::Rng rng(GetParam());
+    for (int round = 0; round < 10; ++round) {
+        wl::CatalogConfig config;
+        config.function_types = static_cast<std::uint16_t>(rng.uniform_int(1, 8));
+        config.impls_per_type = static_cast<std::uint16_t>(rng.uniform_int(1, 8));
+        config.attrs_per_impl = static_cast<std::uint16_t>(rng.uniform_int(1, 10));
+        config.attr_dropout = rng.uniform_real(0.0, 0.5);
+        const cbr::CaseBase original = wl::generate_catalog(config, rng);
+
+        const mem::TreeImage image = mem::encode_tree(original);
+        const cbr::CaseBase decoded = mem::decode_tree(image.words);
+
+        // Structure identical (names/targets/meta are not part of the
+        // retrieval memory, so compare ids + attributes).
+        ASSERT_EQ(decoded.types().size(), original.types().size());
+        for (std::size_t t = 0; t < original.types().size(); ++t) {
+            const auto& to = original.types()[t];
+            const auto& td = decoded.types()[t];
+            ASSERT_EQ(td.id, to.id);
+            ASSERT_EQ(td.impls.size(), to.impls.size());
+            for (std::size_t i = 0; i < to.impls.size(); ++i) {
+                EXPECT_EQ(td.impls[i].id, to.impls[i].id);
+                EXPECT_EQ(td.impls[i].attributes, to.impls[i].attributes);
+            }
+        }
+
+        // Canonical: re-encoding the decode gives the identical image.
+        EXPECT_EQ(mem::encode_tree(decoded).words, image.words);
+    }
+}
+
+TEST_P(RoundTripSweep, RequestEncodeDecodeConsistency) {
+    util::Rng rng(GetParam() ^ 0xABCDEF);
+    const wl::GeneratedCatalog cat = wl::generate_catalog_with_bounds({}, rng);
+    for (int round = 0; round < 25; ++round) {
+        const auto generated = wl::generate_request(
+            cat.case_base, cat.bounds, wl::random_type(cat.case_base, rng), rng);
+        const cbr::Request normalized = generated.request.normalized();
+        const mem::RequestImage image = mem::encode_request(generated.request);
+        const mem::DecodedRequest decoded = mem::decode_request(image.words);
+
+        EXPECT_EQ(decoded.type, normalized.type());
+        ASSERT_EQ(decoded.constraints.size(), normalized.size());
+        std::uint32_t weight_sum = 0;
+        for (std::size_t i = 0; i < decoded.constraints.size(); ++i) {
+            EXPECT_EQ(decoded.constraints[i].id, normalized.constraints()[i].id);
+            EXPECT_EQ(decoded.constraints[i].value, normalized.constraints()[i].value);
+            EXPECT_NEAR(decoded.constraints[i].weight.to_double(),
+                        normalized.constraints()[i].weight, 1.0 / 32768.0);
+            weight_sum += decoded.constraints[i].weight.raw();
+        }
+        // Unless a single saturated weight, raw weights sum to exactly 2^15.
+        if (decoded.constraints.size() > 1) {
+            EXPECT_EQ(weight_sum, 32768u);
+        }
+    }
+}
+
+TEST_P(RoundTripSweep, SupplementalEncodeDecodeIdentity) {
+    util::Rng rng(GetParam() ^ 0x123456);
+    for (int round = 0; round < 10; ++round) {
+        cbr::BoundsTable bounds;
+        const auto entries = static_cast<std::uint16_t>(rng.uniform_int(0, 12));
+        for (std::uint16_t i = 1; i <= entries; ++i) {
+            const auto lo = static_cast<cbr::AttrValue>(rng.uniform_int(0, 1000));
+            const auto hi = static_cast<cbr::AttrValue>(
+                rng.uniform_int(lo, std::min<std::int64_t>(lo + 5000, 65534)));
+            bounds.cover(cbr::AttrId{i}, lo);
+            bounds.cover(cbr::AttrId{i}, hi);
+        }
+        const mem::SupplementalImage image = mem::encode_bounds(bounds);
+        const cbr::BoundsTable decoded = mem::decode_bounds(image.words);
+        ASSERT_EQ(decoded.size(), bounds.size());
+        for (const auto& [id, b] : bounds.entries()) {
+            EXPECT_EQ(decoded.find(id), b);
+            EXPECT_EQ(decoded.reciprocal(id).raw(), bounds.reciprocal(id).raw());
+        }
+        EXPECT_EQ(mem::encode_bounds(decoded).words, image.words);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSweep,
+                         testing::Values(1ull, 7ull, 42ull, 1337ull, 9001ull));
+
+TEST(ImageFuzz, RandomWordSaladNeverCrashesDecoders) {
+    // Decoders must reject arbitrary garbage with ImageFormatError (or
+    // accept it if it happens to be well-formed) — never crash or hang.
+    util::Rng rng(0xF00D);
+    int rejected = 0;
+    for (int round = 0; round < 500; ++round) {
+        std::vector<mem::Word> words(
+            static_cast<std::size_t>(rng.uniform_int(0, 40)));
+        for (auto& w : words) {
+            // Bias towards small ids and terminators to reach deep paths.
+            const auto roll = rng.uniform_int(0, 9);
+            w = roll < 3 ? mem::kEndOfList
+                         : static_cast<mem::Word>(rng.uniform_int(0, 50));
+        }
+        try {
+            (void)mem::decode_tree(words);
+        } catch (const mem::ImageFormatError&) {
+            ++rejected;
+        }
+        try {
+            (void)mem::decode_request(words);
+        } catch (const mem::ImageFormatError&) {
+            ++rejected;
+        }
+        try {
+            (void)mem::decode_bounds(words);
+        } catch (const mem::ImageFormatError&) {
+            ++rejected;
+        }
+    }
+    EXPECT_GT(rejected, 500);  // the vast majority of salads are malformed
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "memimg/supplemental_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fixed/reciprocal.hpp"
+
+namespace {
+
+using namespace qfa::mem;
+using qfa::cbr::AttrBounds;
+using qfa::cbr::AttrId;
+using qfa::cbr::BoundsTable;
+
+TEST(SupplementalImage, PaperBoundsLayout) {
+    const SupplementalImage image = encode_bounds(qfa::cbr::paper_example_bounds());
+    // 4 blocks of 4 words + terminator.
+    ASSERT_EQ(image.words.size(), 17u);
+    EXPECT_EQ(image.words.size(), supplemental_image_words(4));
+    // Block for attr 4: id, lower 8, upper 44, recip(36).
+    EXPECT_EQ(image.words[12], 4u);
+    EXPECT_EQ(image.words[13], 8u);
+    EXPECT_EQ(image.words[14], 44u);
+    EXPECT_EQ(image.words[15], qfa::fx::reciprocal_q15(36).raw());
+    EXPECT_EQ(image.words[16], kEndOfList);
+}
+
+TEST(SupplementalImage, RoundTrip) {
+    const BoundsTable original = qfa::cbr::paper_example_bounds();
+    const SupplementalImage image = encode_bounds(original);
+    const BoundsTable decoded = decode_bounds(image.words);
+    EXPECT_EQ(decoded.size(), original.size());
+    for (const auto& [id, bounds] : original.entries()) {
+        EXPECT_EQ(decoded.find(id), bounds);
+    }
+}
+
+TEST(SupplementalImage, EmptyTableIsJustTerminator) {
+    const SupplementalImage image = encode_bounds(BoundsTable{});
+    ASSERT_EQ(image.words.size(), 1u);
+    EXPECT_EQ(image.words[0], kEndOfList);
+    EXPECT_EQ(decode_bounds(image.words).size(), 0u);
+}
+
+TEST(SupplementalImage, LookupReciprocalScansBlocks) {
+    const SupplementalImage image = encode_bounds(qfa::cbr::paper_example_bounds());
+    const auto recip = lookup_reciprocal(image.words, AttrId{4});
+    ASSERT_TRUE(recip.has_value());
+    EXPECT_EQ(recip->raw(), qfa::fx::reciprocal_q15(36).raw());
+    EXPECT_EQ(lookup_reciprocal(image.words, AttrId{9}), std::nullopt);
+}
+
+TEST(SupplementalImageDecode, RejectsMissingTerminator) {
+    std::vector<Word> words{1, 0, 10, qfa::fx::reciprocal_q15(10).raw()};
+    EXPECT_THROW((void)decode_bounds(words), ImageFormatError);
+}
+
+TEST(SupplementalImageDecode, RejectsTruncatedBlock) {
+    std::vector<Word> words{1, 0, 10};
+    EXPECT_THROW((void)decode_bounds(words), ImageFormatError);
+}
+
+TEST(SupplementalImageDecode, RejectsUnsortedBlocks) {
+    const auto r = [](std::uint32_t dmax) { return qfa::fx::reciprocal_q15(dmax).raw(); };
+    std::vector<Word> words{5, 0, 1, r(1), 2, 0, 1, r(1), kEndOfList};
+    EXPECT_THROW((void)decode_bounds(words), ImageFormatError);
+}
+
+TEST(SupplementalImageDecode, RejectsInvertedBounds) {
+    std::vector<Word> words{1, 10, 5, qfa::fx::reciprocal_q15(5).raw(), kEndOfList};
+    EXPECT_THROW((void)decode_bounds(words), ImageFormatError);
+}
+
+TEST(SupplementalImageDecode, RejectsInconsistentReciprocal) {
+    // Bounds say dmax=10 but the stored reciprocal is for dmax=3.
+    std::vector<Word> words{1, 0, 10, qfa::fx::reciprocal_q15(3).raw(), kEndOfList};
+    EXPECT_THROW((void)decode_bounds(words), ImageFormatError);
+}
+
+}  // namespace

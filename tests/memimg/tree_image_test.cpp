@@ -1,0 +1,170 @@
+#include "memimg/tree_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/bounds.hpp"
+
+namespace {
+
+using namespace qfa::mem;
+using namespace qfa::cbr;
+
+CaseBase uniform_case_base(std::uint16_t types, std::uint16_t impls, std::uint16_t attrs) {
+    CaseBaseBuilder builder;
+    for (std::uint16_t t = 1; t <= types; ++t) {
+        builder.begin_type(TypeId{t}, "type");
+        for (std::uint16_t i = 1; i <= impls; ++i) {
+            std::vector<Attribute> attributes;
+            for (std::uint16_t a = 1; a <= attrs; ++a) {
+                attributes.push_back({AttrId{a}, static_cast<AttrValue>(t + i + a)});
+            }
+            builder.add_impl(ImplId{i}, Target::fpga, std::move(attributes));
+        }
+    }
+    return builder.build();
+}
+
+TEST(TreeImage, PaperExampleLayout) {
+    const CaseBase cb = paper_example_case_base();
+    const TreeImage image = encode_tree(cb);
+
+    // Level 0: two types -> [id, ptr] x2 + END = 5 words.
+    EXPECT_EQ(image.stats.level0_words, 5u);
+    EXPECT_EQ(image.words[0], 1u);              // FIR equalizer
+    EXPECT_EQ(image.words[2], 2u);              // 1D-FFT
+    EXPECT_EQ(image.words[4], kEndOfList);
+
+    // Type 1's pointer lands on its implementation list.
+    const Word t1_ptr = image.words[1];
+    EXPECT_EQ(t1_ptr, 5u);                      // directly after level 0
+    EXPECT_EQ(image.words[t1_ptr], 1u);         // impl 1
+
+    // Impl 1's pointer lands on its attribute list; first attr is (1, 16).
+    const Word i1_ptr = image.words[t1_ptr + 1];
+    EXPECT_EQ(image.words[i1_ptr], 1u);
+    EXPECT_EQ(image.words[i1_ptr + 1], 16u);
+}
+
+TEST(TreeImage, ClosedFormWordCountMatchesEncoder) {
+    for (std::uint16_t t : {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{5}}) {
+        for (std::uint16_t i : {std::uint16_t{1}, std::uint16_t{3}}) {
+            for (std::uint16_t a : {std::uint16_t{1}, std::uint16_t{4}}) {
+                const TreeImage image = encode_tree(uniform_case_base(t, i, a));
+                EXPECT_EQ(image.words.size(), tree_image_words(t, i, a))
+                    << t << "/" << i << "/" << a;
+            }
+        }
+    }
+}
+
+TEST(TreeImage, Table3ConfigurationSize) {
+    // Paper Table 3: 15 types x 10 impls x 10 attrs in 16-bit words.
+    // Our faithful fig. 5 layout (ids + values + pointers + terminators)
+    // needs 3496 words = 6992 bytes; see EXPERIMENTS.md for the discussion
+    // of the paper's 4.5 kB figure (the 2x18Kbit BRAM budget).
+    EXPECT_EQ(tree_image_words(15, 10, 10), 3496u);
+    const TreeImage image = encode_tree(uniform_case_base(15, 10, 10));
+    EXPECT_EQ(image.size_bytes(), 6992u);
+}
+
+TEST(TreeImage, RoundTripPreservesTreeContent) {
+    const CaseBase original = paper_example_case_base();
+    const TreeImage image = encode_tree(original);
+    const CaseBase decoded = decode_tree(image.words);
+
+    ASSERT_EQ(decoded.types().size(), original.types().size());
+    for (const FunctionType& type : original.types()) {
+        const FunctionType* got = decoded.find_type(type.id);
+        ASSERT_NE(got, nullptr);
+        ASSERT_EQ(got->impls.size(), type.impls.size());
+        for (std::size_t i = 0; i < type.impls.size(); ++i) {
+            EXPECT_EQ(got->impls[i].id, type.impls[i].id);
+            EXPECT_EQ(got->impls[i].attributes, type.impls[i].attributes);
+        }
+    }
+}
+
+TEST(TreeImage, EmptyCaseBaseIsJustTerminator) {
+    const TreeImage image = encode_tree(CaseBase{});
+    ASSERT_EQ(image.words.size(), 1u);
+    EXPECT_EQ(image.words[0], kEndOfList);
+    EXPECT_TRUE(decode_tree(image.words).empty());
+}
+
+TEST(TreeImage, TypeWithoutImplsEncodes) {
+    CaseBase cb = CaseBaseBuilder().begin_type(TypeId{7}, "empty").build();
+    const TreeImage image = encode_tree(cb);
+    const CaseBase decoded = decode_tree(image.words);
+    const FunctionType* type = decoded.find_type(TypeId{7});
+    ASSERT_NE(type, nullptr);
+    EXPECT_TRUE(type->impls.empty());
+}
+
+TEST(TreeImage, RejectsOversizedTree) {
+    // 80 types x 25 impls x 20 attrs = 84'161 words > 0xFFFE fails.
+    EXPECT_THROW((void)encode_tree(uniform_case_base(80, 25, 20)), std::length_error);
+}
+
+TEST(CaseBaseImageTest, AppendsSupplementalList) {
+    const CaseBase cb = paper_example_case_base();
+    const BoundsTable bounds = paper_example_bounds();
+    const CaseBaseImage image = encode_case_base(cb, bounds);
+
+    const TreeImage tree = encode_tree(cb);
+    EXPECT_EQ(image.supplemental_offset, tree.words.size());
+    EXPECT_EQ(image.words.size(), tree.words.size() + supplemental_image_words(4));
+    EXPECT_EQ(image.stats.supplemental_words, supplemental_image_words(4));
+
+    // The supplemental section decodes back to the bounds.
+    const auto supp_span =
+        std::span<const Word>(image.words).subspan(image.supplemental_offset);
+    const BoundsTable decoded = decode_bounds(supp_span);
+    EXPECT_EQ(decoded.dmax(AttrId{4}), 36u);
+}
+
+// ---- Failure injection on the tree structure ---------------------------
+
+TEST(TreeImageDecode, RejectsDanglingTypePointer) {
+    std::vector<Word> words{1, 200, kEndOfList};  // pointer past the image
+    EXPECT_THROW((void)decode_tree(words), ImageFormatError);
+}
+
+TEST(TreeImageDecode, RejectsNullReferencePointer) {
+    std::vector<Word> words{1, kEndOfList, kEndOfList};
+    EXPECT_THROW((void)decode_tree(words), ImageFormatError);
+}
+
+TEST(TreeImageDecode, RejectsMissingTypeTerminator) {
+    std::vector<Word> words{1, 2};  // no END after the type entry's list
+    EXPECT_THROW((void)decode_tree(words), ImageFormatError);
+}
+
+TEST(TreeImageDecode, RejectsUnsortedTypeList) {
+    // Types 5 then 2, each pointing at a valid empty impl list.
+    std::vector<Word> words{5, 6, 2, 6, kEndOfList, kEndOfList, kEndOfList};
+    EXPECT_THROW((void)decode_tree(words), ImageFormatError);
+}
+
+TEST(TreeImageDecode, RejectsUnsortedAttributeList) {
+    const CaseBase cb = paper_example_case_base();
+    TreeImage image = encode_tree(cb);
+    // Corrupt: swap the first implementation's first two attribute ids.
+    const Word t1_ptr = image.words[1];
+    const Word i1_ptr = image.words[t1_ptr + 1];
+    std::swap(image.words[i1_ptr], image.words[i1_ptr + 2]);
+    EXPECT_THROW((void)decode_tree(image.words), ImageFormatError);
+}
+
+TEST(TreeImageDecode, RejectsDuplicateImplIds) {
+    // One type, impl list: [3, ptr][3, ptr] END, attr lists empty.
+    std::vector<Word> words{
+        1, 3, kEndOfList,      // level 0 at 0..2 (type 1 -> 3)
+        3, 8, 3, 9, kEndOfList,  // level 1 at 3..7: impl 3 twice
+        kEndOfList, kEndOfList   // attr lists at 8 and 9
+    };
+    EXPECT_THROW((void)decode_tree(words), ImageFormatError);
+}
+
+}  // namespace

@@ -1,0 +1,52 @@
+#include "rtl/bram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::rtl;
+
+TEST(Bram, ReadReturnsContentsAndCounts) {
+    Bram bram({10, 20, 30});
+    EXPECT_EQ(bram.read(0), 10);
+    EXPECT_EQ(bram.read(2), 30);
+    EXPECT_EQ(bram.reads(), 2u);
+    bram.reset_counters();
+    EXPECT_EQ(bram.reads(), 0u);
+}
+
+TEST(Bram, ReadOutOfRangeIsAContractViolation) {
+    Bram bram({1});
+    EXPECT_THROW((void)bram.read(1), qfa::util::ContractViolation);
+}
+
+TEST(Bram, PairReadFetchesTwoWordsInOneAccess) {
+    Bram bram({10, 20, 30});
+    const auto [a, b] = bram.read_pair(0);
+    EXPECT_EQ(a, 10);
+    EXPECT_EQ(b, 20);
+    EXPECT_EQ(bram.reads(), 1u);
+}
+
+TEST(Bram, PairReadAtLastWordPadsWithZero) {
+    Bram bram({10, 20});
+    const auto [a, b] = bram.read_pair(1);
+    EXPECT_EQ(a, 20);
+    EXPECT_EQ(b, 0);
+    EXPECT_THROW((void)bram.read_pair(2), qfa::util::ContractViolation);
+}
+
+TEST(Bram, BlockCountMatchesVirtex2Geometry) {
+    EXPECT_EQ(kBramWords, 1152u);
+    EXPECT_EQ(brams_for_words(0), 0u);
+    EXPECT_EQ(brams_for_words(1), 1u);
+    EXPECT_EQ(brams_for_words(1152), 1u);
+    EXPECT_EQ(brams_for_words(1153), 2u);
+    // Table 3's 4.5 KiB case base = 2304 words = exactly 2 BRAMs (Table 2).
+    EXPECT_EQ(brams_for_words(2304), 2u);
+    EXPECT_EQ(Bram(std::vector<qfa::mem::Word>(2304)).bram_blocks(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "rtl/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::rtl;
+
+TEST(ResourceModel, BaselineReproducesTable2) {
+    const ResourceEstimate est = estimate_resources(ResourceModelConfig{});
+    const Table2Reference paper;
+    EXPECT_EQ(est.clb_slices, paper.clb_slices);        // 441
+    EXPECT_EQ(est.mult18x18, paper.mult18x18);          // 2
+    EXPECT_EQ(est.bram_blocks, paper.bram_blocks);      // 2 (4.5 KiB budget)
+    EXPECT_NEAR(est.fmax_mhz, paper.fmax_mhz, 0.5);     // 75 MHz
+}
+
+TEST(ResourceModel, BreakdownSumsToTotal) {
+    const ResourceEstimate est = estimate_resources(ResourceModelConfig{});
+    std::uint32_t sum = 0;
+    for (const ResourceItem& item : est.breakdown) {
+        sum += item.slices;
+    }
+    EXPECT_EQ(sum, est.clb_slices);
+    EXPECT_GE(est.breakdown.size(), 8u);
+}
+
+TEST(ResourceModel, UtilisationMatchesTable2Percentages) {
+    const Table2Reference paper;
+    EXPECT_NEAR(utilisation_pct(paper.clb_slices, paper.clb_slices_available), 3.08, 0.1);
+    EXPECT_NEAR(utilisation_pct(paper.mult18x18, paper.mult_available), 2.08, 0.1);
+    EXPECT_NEAR(utilisation_pct(paper.bram_blocks, paper.bram_available), 2.08, 0.1);
+    EXPECT_DOUBLE_EQ(utilisation_pct(1, 0), 0.0);
+}
+
+TEST(ResourceModel, NBestAddsSlicesAndLowersFmax) {
+    ResourceModelConfig base;
+    ResourceModelConfig nbest;
+    nbest.n_best = 4;
+    const auto a = estimate_resources(base);
+    const auto b = estimate_resources(nbest);
+    EXPECT_GT(b.clb_slices, a.clb_slices);
+    EXPECT_LT(b.fmax_mhz, a.fmax_mhz);
+    EXPECT_EQ(b.mult18x18, a.mult18x18);  // datapath multipliers unchanged
+}
+
+TEST(ResourceModel, CompactModeCostsPortLogic) {
+    ResourceModelConfig compact;
+    compact.compact_blocks = true;
+    const auto a = estimate_resources(ResourceModelConfig{});
+    const auto b = estimate_resources(compact);
+    EXPECT_GT(b.clb_slices, a.clb_slices);
+    EXPECT_LT(b.fmax_mhz, a.fmax_mhz);
+}
+
+TEST(ResourceModel, BramBlocksScaleWithCapacity) {
+    ResourceModelConfig small;
+    small.cb_capacity_words = 1000;     // < 1 BRAM
+    ResourceModelConfig large;
+    large.cb_capacity_words = 3496;     // our Table 3 image: 4 BRAMs
+    EXPECT_EQ(estimate_resources(small).bram_blocks, 1u);
+    EXPECT_EQ(estimate_resources(large).bram_blocks, 4u);
+}
+
+TEST(ResourceModel, RejectsZeroNBest) {
+    ResourceModelConfig bad;
+    bad.n_best = 0;
+    EXPECT_THROW((void)estimate_resources(bad), qfa::util::ContractViolation);
+}
+
+}  // namespace

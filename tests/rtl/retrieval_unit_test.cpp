@@ -1,0 +1,244 @@
+#include "rtl/retrieval_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/retrieval.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::rtl;
+using cbr::AttrId;
+using cbr::AttrValue;
+using cbr::Attribute;
+using cbr::CaseBase;
+using cbr::CaseBaseBuilder;
+using cbr::ImplId;
+using cbr::Request;
+using cbr::RequestAttribute;
+using cbr::Target;
+using cbr::TypeId;
+
+struct Fixture {
+    CaseBase cb = cbr::paper_example_case_base();
+    cbr::BoundsTable bounds = cbr::paper_example_bounds();
+    mem::CaseBaseImage cb_image = mem::encode_case_base(cb, bounds);
+    Request request = cbr::paper_example_request();
+    mem::RequestImage req_image = mem::encode_request(request);
+};
+
+TEST(RetrievalUnitTest, FindsDspOnPaperExample) {
+    Fixture f;
+    RetrievalUnit unit;
+    const RtlResult result = unit.run(f.req_image, f.cb_image);
+    ASSERT_TRUE(result.found);
+    EXPECT_FALSE(result.watchdog_tripped);
+    EXPECT_EQ(result.best().impl, ImplId{2});                 // DSP wins (Table 1)
+    EXPECT_NEAR(result.best().similarity(), 0.96396, 2e-3);   // 0.96 published
+    EXPECT_EQ(result.impls_scored, 3u);
+    EXPECT_EQ(result.attrs_matched, 9u);
+    EXPECT_EQ(result.attrs_missing, 0u);
+}
+
+TEST(RetrievalUnitTest, BitExactAgainstQ15Reference) {
+    Fixture f;
+    RetrievalUnit unit;
+    const RtlResult hw = unit.run(f.req_image, f.cb_image);
+    const cbr::Retriever sw(f.cb, f.bounds);
+    const auto ref = sw.retrieve_q15(f.request);
+    ASSERT_TRUE(hw.found);
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_EQ(hw.best().impl, ref->impl);
+    EXPECT_EQ(hw.best().similarity_q30, ref->similarity_q30);  // identical accumulator
+}
+
+TEST(RetrievalUnitTest, UnknownTypeFails) {
+    Fixture f;
+    const mem::RequestImage bad =
+        mem::encode_request(Request(TypeId{77}, {{AttrId{1}, 1, 1.0}}));
+    RetrievalUnit unit;
+    const RtlResult result = unit.run(bad, f.cb_image);
+    EXPECT_FALSE(result.found);
+    EXPECT_TRUE(result.ranked.empty());
+    EXPECT_THROW((void)result.best(), util::ContractViolation);
+}
+
+TEST(RetrievalUnitTest, EmptyTypeDeliversNothing) {
+    CaseBase cb = CaseBaseBuilder().begin_type(TypeId{3}, "empty").build();
+    const auto bounds = cbr::BoundsTable::from_case_base(cb);
+    const auto cb_image = mem::encode_case_base(cb, bounds);
+    const auto req = mem::encode_request(Request(TypeId{3}, {{AttrId{1}, 1, 1.0}}));
+    RetrievalUnit unit;
+    const RtlResult result = unit.run(req, cb_image);
+    EXPECT_FALSE(result.found);
+}
+
+TEST(RetrievalUnitTest, ClosedFormCycleCountMinimalCase) {
+    // One type, one implementation, one attribute, everything in front:
+    //   fetch(1) + type_scan(1) + type_ptr(1)
+    //   + impl_scan(1) + impl_ptr(1)
+    //   + [req_id(1) + req_val(1) + req_w(1) + supp_scan(1) + supp_recip(1)
+    //      + attr_scan(1) + attr_val(1) + abs(1) + mul(1) + acc(1)]  = 10
+    //   + req_id END(1) + compare(1) + impl_scan END(1)
+    //   = 18 cycles.
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "t")
+                      .add_impl(ImplId{1}, Target::fpga, {{AttrId{1}, 10}})
+                      .build();
+    const auto bounds = cbr::BoundsTable::from_case_base(cb);
+    const auto cb_image = mem::encode_case_base(cb, bounds);
+    const auto req = mem::encode_request(Request(TypeId{1}, {{AttrId{1}, 10, 1.0}}));
+    RetrievalUnit unit;
+    const RtlResult result = unit.run(req, cb_image);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.cycles, 18u);
+    EXPECT_NEAR(result.best().similarity(), 1.0, 1e-4);
+}
+
+TEST(RetrievalUnitTest, CyclesGrowLinearlyWithImplementations) {
+    // Uniform shape: cycles per implementation must be constant (the linear
+    // search effort property of §4.1).
+    std::vector<std::uint64_t> cycles;
+    for (std::uint16_t impls = 1; impls <= 6; ++impls) {
+        CaseBaseBuilder builder;
+        builder.begin_type(TypeId{1}, "t");
+        for (std::uint16_t i = 1; i <= impls; ++i) {
+            builder.add_impl(ImplId{i}, Target::fpga,
+                             {{AttrId{1}, 10}, {AttrId{2}, 20}, {AttrId{3}, 30}});
+        }
+        const CaseBase cb = builder.build();
+        const auto bounds = cbr::BoundsTable::from_case_base(cb);
+        const auto cb_image = mem::encode_case_base(cb, bounds);
+        const auto req = mem::encode_request(Request(
+            TypeId{1}, {{AttrId{1}, 10, 1.0}, {AttrId{2}, 20, 1.0}, {AttrId{3}, 30, 1.0}}));
+        RetrievalUnit unit;
+        cycles.push_back(unit.run(req, cb_image).cycles);
+    }
+    const std::uint64_t delta = cycles[1] - cycles[0];
+    for (std::size_t i = 2; i < cycles.size(); ++i) {
+        EXPECT_EQ(cycles[i] - cycles[i - 1], delta) << "at " << i << " implementations";
+    }
+}
+
+TEST(RetrievalUnitTest, MissingAttributeScoresZeroButCompletes) {
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "t")
+                      .add_impl(ImplId{1}, Target::fpga, {{AttrId{2}, 5}})
+                      .build();
+    const auto bounds = cbr::BoundsTable::from_case_base(cb);
+    const auto cb_image = mem::encode_case_base(cb, bounds);
+    // Request attr 1 (absent, id below) and attr 9 (absent, id above).
+    const auto req = mem::encode_request(
+        Request(TypeId{1}, {{AttrId{1}, 5, 0.5}, {AttrId{9}, 5, 0.5}}));
+    RetrievalUnit unit;
+    const RtlResult result = unit.run(req, cb_image);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.best().similarity_q30, 0u);
+    EXPECT_EQ(result.attrs_missing, 2u);
+    EXPECT_EQ(result.attrs_matched, 0u);
+}
+
+TEST(RetrievalUnitTest, WatchdogTripsOnTinyBudget) {
+    Fixture f;
+    RtlConfig config;
+    config.max_cycles = 5;
+    RetrievalUnit unit(config);
+    const RtlResult result = unit.run(f.req_image, f.cb_image);
+    EXPECT_TRUE(result.watchdog_tripped);
+    EXPECT_FALSE(result.found);
+}
+
+TEST(RetrievalUnitTest, MalformedImagePointerIsCaught) {
+    Fixture f;
+    mem::CaseBaseImage corrupt = f.cb_image;
+    corrupt.words[1] = 0xFFF0;  // type 1's impl pointer now dangles
+    RetrievalUnit unit;
+    EXPECT_THROW((void)unit.run(f.req_image, corrupt), util::ContractViolation);
+}
+
+TEST(RetrievalUnitTest, TraceEmitsStateChanges) {
+    Fixture f;
+    VcdWriter vcd;
+    RetrievalUnit unit;
+    unit.attach_trace(&vcd);
+    const RtlResult result = unit.run(f.req_image, f.cb_image);
+    ASSERT_TRUE(result.found);
+    EXPECT_GT(vcd.change_count(), result.cycles);  // several signals per cycle
+    const std::string out = vcd.str();
+    EXPECT_NE(out.find("fsm_state"), std::string::npos);
+    EXPECT_NE(out.find("acc_q30"), std::string::npos);
+}
+
+TEST(RetrievalUnitTest, StateNamesAreStable) {
+    EXPECT_STREQ(rtl_state_name(RtlState::fetch_req_type), "fetch_req_type");
+    EXPECT_STREQ(rtl_state_name(RtlState::compare_best), "compare_best");
+    EXPECT_STREQ(rtl_state_name(RtlState::fail_watchdog), "fail_watchdog");
+}
+
+// ---- Randomized bit-exact equivalence sweep ----------------------------
+//
+// Strengthens the paper's Matlab-vs-ModelSim check: on random case bases
+// and requests, the hardware model and the fixed-point software reference
+// must deliver the *identical* best implementation and Q30 accumulator.
+class RtlEquivalenceSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtlEquivalenceSweep, HwMatchesQ15Reference) {
+    util::Rng rng(GetParam());
+    for (int round = 0; round < 25; ++round) {
+        CaseBaseBuilder builder;
+        const auto type_count = static_cast<std::uint16_t>(rng.uniform_int(1, 4));
+        for (std::uint16_t t = 1; t <= type_count; ++t) {
+            builder.begin_type(TypeId{t}, "t");
+            const auto impl_count = static_cast<std::uint16_t>(rng.uniform_int(0, 8));
+            for (std::uint16_t i = 1; i <= impl_count; ++i) {
+                std::vector<Attribute> attrs;
+                for (std::uint16_t a = 1; a <= 6; ++a) {
+                    if (rng.bernoulli(0.7)) {
+                        attrs.push_back({AttrId{a},
+                                         static_cast<AttrValue>(rng.uniform_int(0, 200))});
+                    }
+                }
+                builder.add_impl(ImplId{i}, Target::fpga, std::move(attrs));
+            }
+        }
+        const CaseBase cb = builder.build();
+        const auto bounds = cbr::BoundsTable::from_case_base(cb);
+        const auto cb_image = mem::encode_case_base(cb, bounds);
+        const cbr::Retriever reference(cb, bounds);
+
+        const auto req_type = static_cast<std::uint16_t>(rng.uniform_int(1, type_count));
+        std::vector<RequestAttribute> constraints;
+        for (std::uint16_t a = 1; a <= 6; ++a) {
+            if (rng.bernoulli(0.6)) {
+                constraints.push_back({AttrId{a},
+                                       static_cast<AttrValue>(rng.uniform_int(0, 200)),
+                                       rng.uniform_real(0.05, 1.0)});
+            }
+        }
+        if (constraints.empty()) {
+            constraints.push_back({AttrId{3}, 100, 1.0});
+        }
+        const Request request(TypeId{req_type}, std::move(constraints));
+        const auto req_image = mem::encode_request(request);
+
+        RetrievalUnit unit;
+        const RtlResult hw = unit.run(req_image, cb_image);
+        const auto ref = reference.retrieve_q15(request);
+
+        if (!ref.has_value()) {
+            EXPECT_FALSE(hw.found) << "round " << round;
+            continue;
+        }
+        ASSERT_TRUE(hw.found) << "round " << round;
+        EXPECT_EQ(hw.best().impl, ref->impl) << "round " << round;
+        EXPECT_EQ(hw.best().similarity_q30, ref->similarity_q30) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlEquivalenceSweep,
+                         testing::Values(11ull, 22ull, 33ull, 44ull, 55ull, 66ull));
+
+}  // namespace

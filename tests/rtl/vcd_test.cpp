@@ -1,0 +1,104 @@
+#include "rtl/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::rtl;
+
+TEST(Vcd, HeaderContainsDefinitions) {
+    VcdWriter vcd("retrieval_unit");
+    (void)vcd.add_signal("clk", 1);
+    (void)vcd.add_signal("state", 5);
+    const std::string out = vcd.str();
+    EXPECT_NE(out.find("$timescale 1 ns $end"), std::string::npos);
+    EXPECT_NE(out.find("$scope module retrieval_unit $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 5 \" state $end"), std::string::npos);
+    EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, ScalarAndVectorChanges) {
+    VcdWriter vcd;
+    const auto clk = vcd.add_signal("clk", 1);
+    const auto bus = vcd.add_signal("bus", 8);
+    vcd.advance_time(0);
+    vcd.change(clk, 1);
+    vcd.change(bus, 0xA5);
+    vcd.advance_time(1);
+    vcd.change(clk, 0);
+    const std::string out = vcd.str();
+    EXPECT_NE(out.find("#0\n1!"), std::string::npos);
+    EXPECT_NE(out.find("b10100101 \""), std::string::npos);
+    EXPECT_NE(out.find("#1\n0!"), std::string::npos);
+}
+
+TEST(Vcd, DeduplicatesUnchangedValues) {
+    VcdWriter vcd;
+    const auto sig = vcd.add_signal("s", 4);
+    vcd.advance_time(0);
+    vcd.change(sig, 3);
+    vcd.advance_time(1);
+    vcd.change(sig, 3);  // no-op
+    vcd.advance_time(2);
+    vcd.change(sig, 4);
+    EXPECT_EQ(vcd.change_count(), 2u);
+}
+
+TEST(Vcd, RejectsLateSignalRegistrationAndBadValues) {
+    VcdWriter vcd;
+    const auto sig = vcd.add_signal("s", 2);
+    vcd.change(sig, 3);
+    EXPECT_THROW((void)vcd.add_signal("late", 1), qfa::util::ContractViolation);
+    EXPECT_THROW(vcd.change(sig, 4), qfa::util::ContractViolation);  // > 2 bits
+    EXPECT_THROW(vcd.change(VcdSignal{5}, 0), qfa::util::ContractViolation);
+}
+
+TEST(Vcd, TimeMustBeMonotone) {
+    VcdWriter vcd;
+    vcd.advance_time(5);
+    EXPECT_THROW(vcd.advance_time(4), qfa::util::ContractViolation);
+    EXPECT_NO_THROW(vcd.advance_time(5));
+}
+
+TEST(Vcd, ZeroValueVectorRendersSingleZero) {
+    VcdWriter vcd;
+    const auto bus = vcd.add_signal("bus", 8);
+    vcd.advance_time(0);
+    vcd.change(bus, 0);
+    EXPECT_NE(vcd.str().find("b0 !"), std::string::npos);
+}
+
+TEST(Vcd, ManySignalsGetDistinctCodes) {
+    VcdWriter vcd;
+    std::vector<VcdSignal> signals;
+    for (int i = 0; i < 200; ++i) {
+        signals.push_back(vcd.add_signal("s" + std::to_string(i), 1));
+    }
+    const std::string out = vcd.str();
+    // Signals beyond index 93 use two-character codes (base-94 digits,
+    // least significant first: index 94 = 0 + 1*94 -> "!\"").
+    EXPECT_NE(out.find("$var wire 1 !\" s94 $end"), std::string::npos);
+}
+
+TEST(Vcd, WritesFile) {
+    VcdWriter vcd;
+    const auto sig = vcd.add_signal("s", 1);
+    vcd.advance_time(0);
+    vcd.change(sig, 1);
+    const std::string path = testing::TempDir() + "/qfa_trace_test.vcd";
+    ASSERT_TRUE(vcd.write_file(path));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("$enddefinitions"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include "sysmodel/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::sys;
+using qfa::cbr::ResourceDemand;
+
+FpgaDevice make_fpga() {
+    return FpgaDevice(DeviceId{2}, "fpga0",
+                      {SlotCapacity{1000, 8, 8}, SlotCapacity{2000, 16, 16},
+                       SlotCapacity{500, 4, 4}});
+}
+
+TEST(FpgaDeviceTest, FindFreeSlotRespectsCapacity) {
+    FpgaDevice fpga = make_fpga();
+    const ResourceDemand small{.clb_slices = 400, .brams = 2, .multipliers = 2};
+    const ResourceDemand big{.clb_slices = 1500, .brams = 10, .multipliers = 10};
+    const ResourceDemand huge{.clb_slices = 5000};
+
+    EXPECT_EQ(fpga.find_free_slot(small), 0u);   // first fit
+    EXPECT_EQ(fpga.find_free_slot(big), 1u);     // only slot 1 fits
+    EXPECT_EQ(fpga.find_free_slot(huge), std::nullopt);
+}
+
+TEST(FpgaDeviceTest, OccupyAndVacate) {
+    FpgaDevice fpga = make_fpga();
+    fpga.occupy(0, TaskId{7});
+    EXPECT_FALSE(fpga.slot(0).free());
+    EXPECT_EQ(fpga.slot(0).occupant, TaskId{7});
+    EXPECT_EQ(fpga.slot(0).reconfig_count, 1u);
+    EXPECT_NEAR(fpga.occupancy(), 1.0 / 3.0, 1e-12);
+
+    const auto evicted = fpga.vacate(0);
+    EXPECT_EQ(evicted, TaskId{7});
+    EXPECT_TRUE(fpga.slot(0).free());
+    EXPECT_EQ(fpga.vacate(0), std::nullopt);
+}
+
+TEST(FpgaDeviceTest, OccupiedSlotIsSkippedByFindFree) {
+    FpgaDevice fpga = make_fpga();
+    const ResourceDemand small{.clb_slices = 400, .brams = 2, .multipliers = 2};
+    fpga.occupy(0, TaskId{1});
+    EXPECT_EQ(fpga.find_free_slot(small), 1u);
+}
+
+TEST(FpgaDeviceTest, FittingSlotsIncludeOccupied) {
+    FpgaDevice fpga = make_fpga();
+    fpga.occupy(0, TaskId{1});
+    const ResourceDemand small{.clb_slices = 400, .brams = 2, .multipliers = 2};
+    const auto fitting = fpga.fitting_slots(small);
+    ASSERT_EQ(fitting.size(), 3u);  // all slots could host it
+}
+
+TEST(FpgaDeviceTest, DoubleOccupyIsAContract) {
+    FpgaDevice fpga = make_fpga();
+    fpga.occupy(0, TaskId{1});
+    EXPECT_THROW(fpga.occupy(0, TaskId{2}), qfa::util::ContractViolation);
+}
+
+TEST(FpgaDeviceTest, NeedsAtLeastOneSlot) {
+    EXPECT_THROW(FpgaDevice(DeviceId{2}, "bad", {}), qfa::util::ContractViolation);
+}
+
+TEST(ProcessorDeviceTest, AdmissionByUtilisation) {
+    ProcessorDevice cpu(DeviceId{0}, "cpu0", ProcessorKind::cpu);
+    EXPECT_EQ(cpu.headroom_pct(), 100u);
+    EXPECT_TRUE(cpu.admit(TaskId{1}, 60));
+    EXPECT_EQ(cpu.headroom_pct(), 40u);
+    EXPECT_FALSE(cpu.admit(TaskId{2}, 50));  // would overload
+    EXPECT_TRUE(cpu.admit(TaskId{2}, 40));
+    EXPECT_EQ(cpu.headroom_pct(), 0u);
+    EXPECT_NEAR(cpu.utilisation(), 1.0, 1e-12);
+}
+
+TEST(ProcessorDeviceTest, RemoveRestoresHeadroom) {
+    ProcessorDevice dsp(DeviceId{1}, "dsp0", ProcessorKind::dsp);
+    EXPECT_TRUE(dsp.admit(TaskId{1}, 30));
+    EXPECT_TRUE(dsp.remove(TaskId{1}));
+    EXPECT_FALSE(dsp.remove(TaskId{1}));
+    EXPECT_EQ(dsp.headroom_pct(), 100u);
+}
+
+TEST(ProcessorDeviceTest, AdmittedListTracksLoads) {
+    ProcessorDevice cpu(DeviceId{0}, "cpu0", ProcessorKind::cpu);
+    ASSERT_TRUE(cpu.admit(TaskId{1}, 25));
+    ASSERT_TRUE(cpu.admit(TaskId{2}, 35));
+    ASSERT_EQ(cpu.admitted().size(), 2u);
+    EXPECT_EQ(cpu.admitted()[1].second, 35u);
+}
+
+TEST(ProcessorDeviceTest, ZeroLoadTaskIsAContract) {
+    ProcessorDevice cpu(DeviceId{0}, "cpu0", ProcessorKind::cpu);
+    EXPECT_THROW((void)cpu.admit(TaskId{1}, 0), qfa::util::ContractViolation);
+}
+
+TEST(TaskTest, StateNames) {
+    EXPECT_STREQ(task_state_name(TaskState::loading), "loading");
+    EXPECT_STREQ(task_state_name(TaskState::active), "active");
+    EXPECT_STREQ(task_state_name(TaskState::preempted), "preempted");
+    EXPECT_STREQ(task_state_name(TaskState::finished), "finished");
+}
+
+}  // namespace

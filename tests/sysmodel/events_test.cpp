@@ -1,0 +1,100 @@
+#include "sysmodel/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::sys;
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue queue;
+    std::vector<int> order;
+    (void)queue.schedule(30, [&] { order.push_back(3); });
+    (void)queue.schedule(10, [&] { order.push_back(1); });
+    (void)queue.schedule(20, [&] { order.push_back(2); });
+    queue.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+    EXPECT_EQ(queue.executed(), 3u);
+}
+
+TEST(EventQueue, SimultaneousEventsRunFifo) {
+    EventQueue queue;
+    std::vector<int> order;
+    (void)queue.schedule(5, [&] { order.push_back(1); });
+    (void)queue.schedule(5, [&] { order.push_back(2); });
+    (void)queue.schedule(5, [&] { order.push_back(3); });
+    queue.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+    EventQueue queue;
+    SimTime fired_at = 0;
+    (void)queue.schedule(10, [&] {
+        (void)queue.schedule_in(5, [&] { fired_at = queue.now(); });
+    });
+    queue.run_all();
+    EXPECT_EQ(fired_at, 15u);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    EventQueue queue;
+    bool ran = false;
+    const EventId id = queue.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id));  // already gone
+    queue.run_all();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+    EventQueue queue;
+    int count = 0;
+    (void)queue.schedule(10, [&] { ++count; });
+    (void)queue.schedule(20, [&] { ++count; });
+    (void)queue.schedule(30, [&] { ++count; });
+    queue.run_until(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(queue.now(), 20u);
+    EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+    EventQueue queue;
+    int depth = 0;
+    std::function<void()> cascade = [&] {
+        if (++depth < 5) {
+            (void)queue.schedule_in(1, cascade);
+        }
+    };
+    (void)queue.schedule(0, cascade);
+    queue.run_all();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(queue.now(), 4u);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+    EventQueue queue;
+    (void)queue.schedule(10, [] {});
+    queue.run_all();
+    EXPECT_THROW((void)queue.schedule(5, [] {}), qfa::util::ContractViolation);
+}
+
+TEST(EventQueue, RunAllCapsCascades) {
+    EventQueue queue;
+    std::function<void()> forever = [&] { (void)queue.schedule_in(1, forever); };
+    (void)queue.schedule(0, forever);
+    EXPECT_THROW(queue.run_all(100), qfa::util::ContractViolation);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+    EventQueue queue;
+    EXPECT_FALSE(queue.step());
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+#include "sysmodel/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/case_base.hpp"
+
+namespace {
+
+using namespace qfa::sys;
+using qfa::cbr::ImplId;
+using qfa::cbr::Implementation;
+using qfa::cbr::Target;
+using qfa::cbr::TypeId;
+
+struct Fixture {
+    Fixture() {
+        platform.repository().import_case_base(cb);
+        fir = cb.find_type(TypeId{1});
+    }
+
+    qfa::cbr::CaseBase cb = qfa::cbr::paper_example_case_base();
+    Platform platform;
+    const qfa::cbr::FunctionType* fir = nullptr;
+
+    const Implementation& fpga_impl() const { return fir->impls[0]; }
+    const Implementation& dsp_impl() const { return fir->impls[1]; }
+    const Implementation& gpp_impl() const { return fir->impls[2]; }
+};
+
+TEST(PlatformTest, SnapshotDescribesFreshSystem) {
+    Fixture f;
+    const LoadSnapshot snap = f.platform.snapshot();
+    ASSERT_EQ(snap.fpgas.size(), 1u);
+    EXPECT_EQ(snap.fpgas[0].total_slots, 4u);
+    EXPECT_EQ(snap.fpgas[0].free_slots, 4u);
+    EXPECT_EQ(snap.cpu_headroom_pct, 100u);
+    EXPECT_TRUE(snap.has_dsp);
+    EXPECT_EQ(snap.dsp_headroom_pct, 100u);
+    EXPECT_GT(snap.power_mw, 0u);
+}
+
+TEST(PlatformTest, FindPlacementPerTarget) {
+    Fixture f;
+    const auto fpga_plan = f.platform.find_placement(f.fpga_impl());
+    ASSERT_TRUE(fpga_plan.has_value());
+    EXPECT_EQ(fpga_plan->target, Target::fpga);
+    EXPECT_EQ(fpga_plan->device, 2u);
+
+    const auto dsp_plan = f.platform.find_placement(f.dsp_impl());
+    ASSERT_TRUE(dsp_plan.has_value());
+    EXPECT_EQ(dsp_plan->device, 1u);
+
+    const auto gpp_plan = f.platform.find_placement(f.gpp_impl());
+    ASSERT_TRUE(gpp_plan.has_value());
+    EXPECT_EQ(gpp_plan->device, 0u);
+}
+
+TEST(PlatformTest, LaunchMakesTaskActiveAfterLoadDelay) {
+    Fixture f;
+    const auto plan = f.platform.find_placement(f.fpga_impl());
+    const LaunchOutcome outcome =
+        f.platform.launch(ImplRef{TypeId{1}, ImplId{1}}, f.fpga_impl(), 10, *plan);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_GT(outcome.active_at, 0u);  // FLASH fetch + ICAP programming
+
+    const Task* task = f.platform.task(*outcome.task);
+    ASSERT_NE(task, nullptr);
+    EXPECT_EQ(task->state, TaskState::loading);
+
+    f.platform.events().run_until(outcome.active_at);
+    EXPECT_EQ(task->state, TaskState::active);
+    EXPECT_GT(f.platform.power().current_power_mw(), 250u);
+}
+
+TEST(PlatformTest, RepositoryMissFailsLaunch) {
+    Fixture f;
+    const auto plan = f.platform.find_placement(f.fpga_impl());
+    const LaunchOutcome outcome =
+        f.platform.launch(ImplRef{TypeId{9}, ImplId{9}}, f.fpga_impl(), 10, *plan);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error, LaunchError::repository_miss);
+    EXPECT_EQ(f.platform.stats().repository_misses, 1u);
+}
+
+TEST(PlatformTest, StalePlanIsRejected) {
+    Fixture f;
+    const auto plan = f.platform.find_placement(f.fpga_impl());
+    const LaunchOutcome first =
+        f.platform.launch(ImplRef{TypeId{1}, ImplId{1}}, f.fpga_impl(), 10, *plan);
+    ASSERT_TRUE(first.ok());
+    // Same plan again: slot now occupied.
+    const LaunchOutcome second =
+        f.platform.launch(ImplRef{TypeId{1}, ImplId{1}}, f.fpga_impl(), 10, *plan);
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(second.error, LaunchError::placement_invalid);
+}
+
+TEST(PlatformTest, ReleaseFreesResources) {
+    Fixture f;
+    const auto plan = f.platform.find_placement(f.gpp_impl());
+    const LaunchOutcome outcome =
+        f.platform.launch(ImplRef{TypeId{1}, ImplId{3}}, f.gpp_impl(), 10, *plan);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_LT(f.platform.snapshot().cpu_headroom_pct, 100u);
+
+    EXPECT_TRUE(f.platform.release(*outcome.task));
+    EXPECT_EQ(f.platform.snapshot().cpu_headroom_pct, 100u);
+    EXPECT_FALSE(f.platform.release(*outcome.task));  // already finished
+    EXPECT_EQ(f.platform.task(*outcome.task)->state, TaskState::finished);
+}
+
+TEST(PlatformTest, PreemptEvictsAndCountsStats) {
+    Fixture f;
+    const auto plan = f.platform.find_placement(f.dsp_impl());
+    const LaunchOutcome outcome =
+        f.platform.launch(ImplRef{TypeId{1}, ImplId{2}}, f.dsp_impl(), 5, *plan);
+    ASSERT_TRUE(outcome.ok());
+    f.platform.events().run_until(outcome.active_at);
+
+    EXPECT_TRUE(f.platform.preempt(*outcome.task));
+    EXPECT_EQ(f.platform.task(*outcome.task)->state, TaskState::preempted);
+    EXPECT_EQ(f.platform.snapshot().dsp_headroom_pct, 100u);
+    EXPECT_EQ(f.platform.stats().preemptions, 1u);
+    EXPECT_FALSE(f.platform.preempt(*outcome.task));  // already preempted
+}
+
+TEST(PlatformTest, PreemptionCandidatesRespectPriority) {
+    Fixture f;
+    // Fill the CPU with a priority-10 task (55 % load).
+    const auto plan = f.platform.find_placement(f.gpp_impl());
+    const LaunchOutcome low =
+        f.platform.launch(ImplRef{TypeId{1}, ImplId{3}}, f.gpp_impl(), 10, *plan);
+    ASSERT_TRUE(low.ok());
+    // Second 55 % CPU task does not fit (headroom 45 %).
+    EXPECT_EQ(f.platform.find_placement(f.gpp_impl()), std::nullopt);
+
+    // Higher priority may evict it; equal/lower may not.
+    EXPECT_EQ(f.platform.preemption_candidates(f.gpp_impl(), 20).size(), 1u);
+    EXPECT_TRUE(f.platform.preemption_candidates(f.gpp_impl(), 10).empty());
+    EXPECT_TRUE(f.platform.preemption_candidates(f.gpp_impl(), 5).empty());
+}
+
+TEST(PlatformTest, FpgaPreemptionCandidates) {
+    Fixture f;
+    // Occupy all four slots with priority-10 FPGA tasks.
+    for (int i = 0; i < 4; ++i) {
+        const auto plan = f.platform.find_placement(f.fpga_impl());
+        ASSERT_TRUE(plan.has_value());
+        ASSERT_TRUE(f.platform
+                        .launch(ImplRef{TypeId{1}, ImplId{1}}, f.fpga_impl(), 10, *plan)
+                        .ok());
+    }
+    EXPECT_EQ(f.platform.find_placement(f.fpga_impl()), std::nullopt);
+    EXPECT_EQ(f.platform.preemption_candidates(f.fpga_impl(), 15).size(), 4u);
+    EXPECT_TRUE(f.platform.preemption_candidates(f.fpga_impl(), 10).empty());
+}
+
+TEST(PlatformTest, ReleaseWhileLoadingNeverActivates) {
+    Fixture f;
+    const auto plan = f.platform.find_placement(f.fpga_impl());
+    const LaunchOutcome outcome =
+        f.platform.launch(ImplRef{TypeId{1}, ImplId{1}}, f.fpga_impl(), 10, *plan);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(f.platform.release(*outcome.task));
+    // The pending activation event must not resurrect the task.
+    f.platform.events().run_all();
+    EXPECT_EQ(f.platform.task(*outcome.task)->state, TaskState::finished);
+    EXPECT_EQ(f.platform.power().active_tasks(), 0u);
+}
+
+TEST(PlatformTest, ConfigWithoutDsp) {
+    PlatformConfig config;
+    config.with_dsp = false;
+    Platform platform(config);
+    const LoadSnapshot snap = platform.snapshot();
+    EXPECT_FALSE(snap.has_dsp);
+
+    const qfa::cbr::CaseBase cb = qfa::cbr::paper_example_case_base();
+    const auto& dsp_impl = cb.find_type(TypeId{1})->impls[1];
+    EXPECT_EQ(platform.find_placement(dsp_impl), std::nullopt);
+}
+
+TEST(PlatformTest, MultiFpgaPlacementSpillsOver) {
+    PlatformConfig config;
+    config.fpga_count = 2;
+    config.fpga_slots = {SlotCapacity{500, 4, 4}};  // one small slot each
+    Platform platform(config);
+    platform.repository().import_case_base(qfa::cbr::paper_example_case_base());
+
+    const qfa::cbr::CaseBase cb = qfa::cbr::paper_example_case_base();
+    qfa::cbr::Implementation small = cb.find_type(TypeId{1})->impls[0];
+    small.meta.demand = qfa::cbr::ResourceDemand{.clb_slices = 400, .brams = 2,
+                                                 .multipliers = 2};
+    const auto plan1 = platform.find_placement(small);
+    ASSERT_TRUE(plan1.has_value());
+    ASSERT_TRUE(platform.launch(ImplRef{TypeId{1}, ImplId{1}}, small, 10, *plan1).ok());
+    const auto plan2 = platform.find_placement(small);
+    ASSERT_TRUE(plan2.has_value());
+    EXPECT_NE(plan2->device, plan1->device);  // second FPGA
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "sysmodel/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace qfa::sys;
+
+TEST(PowerModel, BaseDrawOnly) {
+    PowerModel power(250);
+    EXPECT_EQ(power.current_power_mw(), 250u);
+    // 250 mW for 1000 us = 250'000 mW*us = 250 uJ.
+    EXPECT_NEAR(power.energy_uj(1000), 250.0, 1e-9);
+}
+
+TEST(PowerModel, TaskDrawIsAdded) {
+    PowerModel power(100);
+    power.task_started(TaskId{1}, 400, 0);
+    EXPECT_EQ(power.current_power_mw(), 500u);
+    EXPECT_EQ(power.active_tasks(), 1u);
+}
+
+TEST(PowerModel, EnergyIntegratesPiecewise) {
+    PowerModel power(100);
+    // 0..100us at 100 mW, 100..200us at 600 mW, 200..300us at 100 mW.
+    power.task_started(TaskId{1}, 500, 100);
+    power.task_stopped(TaskId{1}, 200);
+    const double energy = power.energy_uj(300);
+    EXPECT_NEAR(energy, (100.0 * 100 + 600.0 * 100 + 100.0 * 100) / 1000.0, 1e-9);
+}
+
+TEST(PowerModel, MultipleTasksSum) {
+    PowerModel power(0);
+    power.task_started(TaskId{1}, 100, 0);
+    power.task_started(TaskId{2}, 200, 0);
+    EXPECT_EQ(power.current_power_mw(), 300u);
+    power.task_stopped(TaskId{1}, 10);
+    EXPECT_EQ(power.current_power_mw(), 200u);
+}
+
+TEST(PowerModel, NonMonotoneSamplingIsAContract) {
+    PowerModel power(100);
+    power.task_started(TaskId{1}, 100, 50);
+    EXPECT_THROW(power.task_started(TaskId{2}, 100, 20), qfa::util::ContractViolation);
+}
+
+TEST(PowerModel, EnergyQueryIsIdempotentAtSameTime) {
+    PowerModel power(100);
+    const double a = power.energy_uj(1000);
+    const double b = power.energy_uj(1000);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+#include "sysmodel/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/case_base.hpp"
+#include "sysmodel/reconfig.hpp"
+
+namespace {
+
+using namespace qfa::sys;
+using qfa::cbr::ImplId;
+using qfa::cbr::Target;
+using qfa::cbr::TypeId;
+
+TEST(Repository, StoreAndFind) {
+    Repository repo;
+    repo.store(ImplRef{TypeId{1}, ImplId{2}}, ConfigBlob{Target::dsp, 18'000});
+    const auto blob = repo.find(ImplRef{TypeId{1}, ImplId{2}});
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(blob->bytes, 18'000u);
+    EXPECT_EQ(blob->target, Target::dsp);
+    EXPECT_EQ(repo.hits(), 1u);
+}
+
+TEST(Repository, MissIsCounted) {
+    Repository repo;
+    EXPECT_EQ(repo.find(ImplRef{TypeId{9}, ImplId{9}}), std::nullopt);
+    EXPECT_EQ(repo.misses(), 1u);
+}
+
+TEST(Repository, ImportCaseBaseLoadsEveryVariant) {
+    Repository repo;
+    repo.import_case_base(qfa::cbr::paper_example_case_base());
+    EXPECT_EQ(repo.size(), 5u);
+    const auto fpga = repo.find(ImplRef{TypeId{1}, ImplId{1}});
+    ASSERT_TRUE(fpga.has_value());
+    EXPECT_EQ(fpga->bytes, 93'000u);   // the fig. 3 FPGA variant's bitstream
+    EXPECT_EQ(fpga->target, Target::fpga);
+}
+
+TEST(Repository, FetchTimeScalesWithSize) {
+    Repository repo(20.0);  // 20 B/us
+    EXPECT_EQ(repo.fetch_time(ConfigBlob{Target::fpga, 20'000}), 1000u);
+    EXPECT_EQ(repo.fetch_time(ConfigBlob{Target::fpga, 0}), 0u);
+    // Ceil rounding.
+    EXPECT_EQ(repo.fetch_time(ConfigBlob{Target::fpga, 30}), 2u);
+}
+
+TEST(ReconfigControllerTest, ProgrammingTimeByTarget) {
+    ReconfigController controller;
+    // FPGA via ICAP at 66 B/us, others via memory copy at 132 B/us.
+    const SimTime fpga = controller.programming_time(ConfigBlob{Target::fpga, 66'000});
+    const SimTime sw = controller.programming_time(ConfigBlob{Target::gpp, 66'000});
+    EXPECT_EQ(fpga, 20u + 1000u);
+    EXPECT_EQ(sw, 20u + 500u);
+}
+
+TEST(ReconfigControllerTest, PortSerialisesLoads) {
+    ReconfigController controller;
+    const ConfigBlob blob{Target::fpga, 6'600};  // 100 us + 20 setup
+    const SimTime first = controller.reserve(2, 0, blob);
+    EXPECT_EQ(first, 120u);
+    // Second load issued at t=0 queues behind the first.
+    const SimTime second = controller.reserve(2, 0, blob);
+    EXPECT_EQ(second, 240u);
+    // A different device's port is independent.
+    const SimTime other = controller.reserve(3, 0, blob);
+    EXPECT_EQ(other, 120u);
+    EXPECT_EQ(controller.reconfigurations(), 3u);
+    EXPECT_EQ(controller.total_busy_time(), 360u);
+}
+
+TEST(ReconfigControllerTest, BusyUntilTracksHorizon) {
+    ReconfigController controller;
+    EXPECT_EQ(controller.busy_until(2), 0u);
+    (void)controller.reserve(2, 50, ConfigBlob{Target::fpga, 660});
+    EXPECT_EQ(controller.busy_until(2), 50u + 20u + 10u);
+}
+
+}  // namespace

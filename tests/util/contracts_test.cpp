@@ -1,0 +1,45 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using qfa::util::ContractViolation;
+
+int checked_divide(int a, int b) {
+    QFA_EXPECTS(b != 0, "divisor must be non-zero");
+    return a / b;
+}
+
+TEST(Contracts, SatisfiedPreconditionPasses) {
+    EXPECT_EQ(checked_divide(6, 3), 2);
+}
+
+TEST(Contracts, ViolatedPreconditionThrows) {
+    EXPECT_THROW(checked_divide(1, 0), ContractViolation);
+}
+
+TEST(Contracts, ViolationCarriesLocationAndKind) {
+    try {
+        checked_divide(1, 0);
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        EXPECT_STREQ(e.kind(), "precondition");
+        EXPECT_STREQ(e.expression(), "b != 0");
+        EXPECT_NE(std::string(e.file()).find("contracts_test.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+        EXPECT_NE(std::string(e.what()).find("divisor must be non-zero"), std::string::npos);
+    }
+}
+
+TEST(Contracts, EnsuresAndAssertMacrosThrowOnFailure) {
+    EXPECT_THROW([] { QFA_ENSURES(false, "broken post"); }(), ContractViolation);
+    EXPECT_THROW([] { QFA_ASSERT(false, "broken invariant"); }(), ContractViolation);
+    EXPECT_NO_THROW([] { QFA_ENSURES(true, ""); QFA_ASSERT(true, ""); }());
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+    EXPECT_THROW(checked_divide(1, 0), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using qfa::util::Csv;
+
+TEST(Csv, EmitsHeaderAndRows) {
+    Csv csv({"n_impls", "cycles"});
+    csv.add_row({"10", "420"});
+    EXPECT_EQ(csv.to_string(), "n_impls,cycles\n10,420\n");
+}
+
+TEST(Csv, QuotesCellsWithCommasAndQuotes) {
+    Csv csv({"name"});
+    csv.add_row({"a,b"});
+    csv.add_row({"say \"hi\""});
+    const std::string out = csv.to_string();
+    EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, NumericRowFormatsWithDecimals) {
+    Csv csv({"x", "y"});
+    csv.add_numeric_row({1.0, 0.85285}, 2);
+    EXPECT_EQ(csv.to_string(), "x,y\n1.00,0.85\n");
+}
+
+TEST(Csv, RejectsWrongWidth) {
+    Csv csv({"a", "b"});
+    EXPECT_THROW(csv.add_row({"1"}), qfa::util::ContractViolation);
+}
+
+TEST(Csv, WritesFile) {
+    Csv csv({"a"});
+    csv.add_row({"1"});
+    const std::string path = testing::TempDir() + "/qfa_csv_test.csv";
+    ASSERT_TRUE(csv.write_file(path));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "a\n1\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+    Csv csv({"a"});
+    EXPECT_FALSE(csv.write_file("/nonexistent-dir-zzz/x.csv"));
+}
+
+TEST(Csv, TracksRowCount) {
+    Csv csv({"a"});
+    EXPECT_EQ(csv.row_count(), 0u);
+    csv.add_row({"1"});
+    EXPECT_EQ(csv.row_count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace qfa::util;
+
+class LogTest : public testing::Test {
+protected:
+    void SetUp() override {
+        set_log_stream(&stream_);
+        set_log_level(LogLevel::trace);
+    }
+    void TearDown() override {
+        set_log_stream(nullptr);
+        set_log_level(LogLevel::warn);
+    }
+    std::ostringstream stream_;
+};
+
+TEST_F(LogTest, EmitsAtOrAboveThreshold) {
+    set_log_level(LogLevel::info);
+    log_info("visible");
+    log_debug("hidden");
+    const std::string out = stream_.str();
+    EXPECT_NE(out.find("visible"), std::string::npos);
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+    set_log_level(LogLevel::off);
+    log_error("nope");
+    EXPECT_TRUE(stream_.str().empty());
+}
+
+TEST_F(LogTest, PrefixesLevelName) {
+    log_warn("careful");
+    EXPECT_NE(stream_.str().find("[qfa:warn] careful"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelNamesAreStable) {
+    EXPECT_STREQ(log_level_name(LogLevel::trace), "trace");
+    EXPECT_STREQ(log_level_name(LogLevel::error), "error");
+    EXPECT_STREQ(log_level_name(LogLevel::off), "off");
+}
+
+TEST_F(LogTest, LevelRoundTrips) {
+    set_log_level(LogLevel::debug);
+    EXPECT_EQ(log_level(), LogLevel::debug);
+}
+
+}  // namespace

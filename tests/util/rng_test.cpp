@@ -1,0 +1,166 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using qfa::util::Rng;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRangeAndHitsEndpoints) {
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::int64_t v = rng.uniform_int(-3, 4);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 4);
+        saw_lo |= v == -3;
+        saw_hi |= v == 4;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rng.uniform_int(5, 5), 5);
+    }
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+    Rng rng(7);
+    EXPECT_THROW((void)rng.uniform_int(2, 1), qfa::util::ContractViolation);
+}
+
+TEST(Rng, Uniform01MeanIsCentered) {
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double u = rng.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(13);
+    double sum = 0.0;
+    double sum2 = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / kSamples;
+    const double var = sum2 / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParametersShiftsAndScales) {
+    Rng rng(17);
+    double sum = 0.0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) {
+        sum += rng.normal(10.0, 2.0);
+    }
+    EXPECT_NEAR(sum / kSamples, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+    Rng rng(19);
+    double sum = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = rng.exponential(4.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyTracksProbability) {
+    Rng rng(23);
+    int hits = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliRejectsOutOfRangeProbability) {
+    Rng rng(23);
+    EXPECT_THROW((void)rng.bernoulli(-0.1), qfa::util::ContractViolation);
+    EXPECT_THROW((void)rng.bernoulli(1.1), qfa::util::ContractViolation);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+    Rng rng(29);
+    std::vector<int> values(100);
+    for (int i = 0; i < 100; ++i) {
+        values[static_cast<std::size_t>(i)] = i;
+    }
+    auto shuffled = values;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(values.begin(), values.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, PickRejectsEmptySpan) {
+    Rng rng(31);
+    std::vector<int> empty;
+    EXPECT_THROW((void)rng.pick(std::span<const int>(empty)), qfa::util::ContractViolation);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng parent(37);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next_u64() == child.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, WorksAsStdUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    Rng rng(41);
+    EXPECT_LE(Rng::min(), rng());
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace qfa::util;
+
+TEST(Strings, ToFixedRounds) {
+    EXPECT_EQ(to_fixed(0.85285, 2), "0.85");
+    EXPECT_EQ(to_fixed(0.96396, 2), "0.96");
+    EXPECT_EQ(to_fixed(1.0, 0), "1");
+    EXPECT_EQ(to_fixed(-1.25, 1), "-1.2");  // banker's-free snprintf rounding
+}
+
+TEST(Strings, HumanBytes) {
+    EXPECT_EQ(human_bytes(64), "64 B");
+    EXPECT_EQ(human_bytes(4608), "4.5 KiB");
+    EXPECT_EQ(human_bytes(1024ull * 1024), "1.0 MiB");
+}
+
+TEST(Strings, HumanHz) {
+    EXPECT_EQ(human_hz(75e6), "75.0 MHz");
+    EXPECT_EQ(human_hz(66e6), "66.0 MHz");
+    EXPECT_EQ(human_hz(450.0), "450.0 Hz");
+}
+
+TEST(Strings, JoinConcatenatesWithSeparator) {
+    const std::vector<std::string> pieces{"a", "b", "c"};
+    EXPECT_EQ(join(pieces, ", "), "a, b, c");
+    EXPECT_EQ(join(std::span<const std::string>{}, ","), "");
+}
+
+TEST(Strings, Padding) {
+    EXPECT_EQ(pad_left("7", 3), "  7");
+    EXPECT_EQ(pad_right("7", 3), "7  ");
+    EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimStripsWhitespace) {
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\n"), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsWith) {
+    EXPECT_TRUE(starts_with("addi r1, r2", "addi"));
+    EXPECT_FALSE(starts_with("add", "addi"));
+}
+
+TEST(Strings, ToLower) {
+    EXPECT_EQ(to_lower("FIR Equalizer"), "fir equalizer");
+}
+
+}  // namespace

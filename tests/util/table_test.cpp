@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using qfa::util::Align;
+using qfa::util::Table;
+
+TEST(Table, RendersHeaderAndRows) {
+    Table t({"Impl", "S_global"});
+    t.add_row({"FPGA", "0.85"});
+    t.add_row({"DSP", "0.96"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| Impl |"), std::string::npos);
+    EXPECT_NE(out.find("0.96"), std::string::npos);
+    EXPECT_NE(out.find("+------+"), std::string::npos);
+}
+
+TEST(Table, RightAlignsNumericColumnsByDefault) {
+    Table t({"name", "value"});
+    t.add_row({"a", "1"});
+    t.add_row({"b", "100"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("|     1 |"), std::string::npos);
+    EXPECT_NE(out.find("|   100 |"), std::string::npos);
+}
+
+TEST(Table, SetAlignChangesColumn) {
+    Table t({"h1", "h2"});
+    t.set_align(1, Align::left);
+    t.add_row({"x", "1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| 1  |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), qfa::util::ContractViolation);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+    EXPECT_THROW(Table t({}), qfa::util::ContractViolation);
+}
+
+TEST(Table, SeparatorRendersRule) {
+    Table t({"a"});
+    t.add_row({"1"});
+    t.add_separator();
+    t.add_row({"2"});
+    const std::string out = t.render();
+    // header rule + top + separator + bottom = 4 rules
+    std::size_t rules = 0;
+    for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+         pos = out.find("+-", pos + 1)) {
+        ++rules;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, TitleIsPrepended) {
+    Table t({"a"});
+    t.add_row({"1"});
+    const std::string out = t.render_with_title("Table 1. Retrieval example");
+    EXPECT_EQ(out.rfind("Table 1. Retrieval example\n", 0), 0u);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+    Table t({"a", "b", "c"});
+    t.add_row({"1", "2", "3"});
+    EXPECT_EQ(t.column_count(), 3u);
+    EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace

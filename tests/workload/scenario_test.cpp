@@ -1,0 +1,136 @@
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/catalog.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::wl;
+
+struct ScenarioFixture {
+    ScenarioFixture() {
+        util::Rng rng(31);
+        catalog = generate_catalog_with_bounds({}, rng);
+        platform.repository().import_case_base(catalog.case_base);
+    }
+
+    GeneratedCatalog catalog;
+    sys::Platform platform;
+};
+
+TEST(Profiles, ArchetypesHaveDistinctCharacters) {
+    ScenarioFixture f;
+    util::Rng rng(37);
+    const AppProfile mp3 =
+        make_profile(AppKind::mp3_player, 1, f.catalog.case_base, rng);
+    const AppProfile ecu =
+        make_profile(AppKind::automotive_ecu, 2, f.catalog.case_base, rng);
+    EXPECT_GT(mp3.repeat_prob, ecu.repeat_prob);     // streaming repeats more
+    EXPECT_GT(ecu.priority, mp3.priority);           // control outranks media
+    EXPECT_FALSE(mp3.hot_types.empty());
+    EXPECT_FALSE(ecu.hot_types.empty());
+}
+
+TEST(Profiles, KindNamesAreStable) {
+    EXPECT_STREQ(app_kind_name(AppKind::mp3_player), "mp3-player");
+    EXPECT_STREQ(app_kind_name(AppKind::cruise_control), "cruise-control");
+}
+
+TEST(ScenarioDriverTest, RunsAndGrantsRequests) {
+    ScenarioFixture f;
+    alloc::AllocationManager manager(f.platform, f.catalog.case_base, f.catalog.bounds);
+
+    util::Rng rng(41);
+    std::vector<AppProfile> apps = {
+        make_profile(AppKind::mp3_player, 1, f.catalog.case_base, rng),
+        make_profile(AppKind::video, 2, f.catalog.case_base, rng),
+        make_profile(AppKind::automotive_ecu, 3, f.catalog.case_base, rng),
+        make_profile(AppKind::cruise_control, 4, f.catalog.case_base, rng),
+    };
+    ScenarioConfig config;
+    config.duration_us = 500'000;
+    config.seed = 43;
+    ScenarioDriver driver(f.platform, manager, f.catalog.case_base, f.catalog.bounds,
+                          std::move(apps), config);
+    const ScenarioReport report = driver.run();
+
+    EXPECT_GT(report.requests, 10u);
+    EXPECT_GT(report.grants, 0u);
+    EXPECT_GT(report.grant_rate, 0.4);  // a 4-slot FPGA + CPU + DSP mostly keeps up
+    EXPECT_GT(report.mean_similarity, 0.5);
+    EXPECT_GT(report.energy_mj, 0.0);
+    EXPECT_GE(report.mean_negotiation_rounds, 1.0);
+    EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(ScenarioDriverTest, RepeatedCallsProduceBypassGrants) {
+    ScenarioFixture f;
+    alloc::AllocationManager manager(f.platform, f.catalog.case_base, f.catalog.bounds);
+    util::Rng rng(47);
+    AppProfile streaming = make_profile(AppKind::mp3_player, 1, f.catalog.case_base, rng);
+    streaming.repeat_prob = 0.95;  // nearly always the same request
+    ScenarioConfig config;
+    config.duration_us = 500'000;
+    ScenarioDriver driver(f.platform, manager, f.catalog.case_base, f.catalog.bounds,
+                          {streaming}, config);
+    const ScenarioReport report = driver.run();
+    EXPECT_GT(report.bypass_grants, 0u);
+    EXPECT_GT(manager.bypass_stats().hits, 0u);
+}
+
+TEST(ScenarioDriverTest, DeterministicInSeed) {
+    auto run_once = [] {
+        ScenarioFixture f;
+        alloc::AllocationManager manager(f.platform, f.catalog.case_base,
+                                         f.catalog.bounds);
+        util::Rng rng(53);
+        std::vector<AppProfile> apps = {
+            make_profile(AppKind::video, 1, f.catalog.case_base, rng)};
+        ScenarioConfig config;
+        config.duration_us = 200'000;
+        config.seed = 99;
+        ScenarioDriver driver(f.platform, manager, f.catalog.case_base, f.catalog.bounds,
+                              std::move(apps), config);
+        return driver.run();
+    };
+    const ScenarioReport a = run_once();
+    const ScenarioReport b = run_once();
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.grants, b.grants);
+    EXPECT_DOUBLE_EQ(a.mean_similarity, b.mean_similarity);
+}
+
+TEST(ScenarioDriverTest, OverloadIncreasesRejections) {
+    // A tiny platform (one small slot, no DSP) under four hungry apps must
+    // reject more than a roomy one.
+    auto run_with = [](std::size_t slots) {
+        util::Rng rng(61);
+        GeneratedCatalog catalog = generate_catalog_with_bounds({}, rng);
+        sys::PlatformConfig pconfig;
+        pconfig.fpga_slots.assign(slots, sys::SlotCapacity{3584, 24, 24});
+        pconfig.with_dsp = slots > 1;
+        sys::Platform platform(pconfig);
+        platform.repository().import_case_base(catalog.case_base);
+        alloc::AllocationManager manager(platform, catalog.case_base, catalog.bounds);
+        std::vector<AppProfile> apps;
+        for (std::uint16_t i = 0; i < 4; ++i) {
+            AppProfile p = make_profile(AppKind::video, static_cast<alloc::AppId>(i + 1),
+                                        catalog.case_base, rng);
+            p.mean_interarrival_us = 5'000;   // hungry
+            p.mean_holding_us = 400'000;      // long-lived
+            apps.push_back(std::move(p));
+        }
+        ScenarioConfig sconfig;
+        sconfig.duration_us = 300'000;
+        ScenarioDriver driver(platform, manager, catalog.case_base, catalog.bounds,
+                              std::move(apps), sconfig);
+        return driver.run();
+    };
+    const ScenarioReport tiny = run_with(1);
+    const ScenarioReport roomy = run_with(6);
+    EXPECT_LT(tiny.grant_rate, roomy.grant_rate);
+}
+
+}  // namespace

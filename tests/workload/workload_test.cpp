@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/retrieval.hpp"
+#include "util/contracts.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::wl;
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+    const ZipfSampler zipf(10, 1.0);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 10; ++k) {
+        sum += zipf.probability(k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+    const ZipfSampler zipf(10, 1.2);
+    for (std::size_t k = 1; k < 10; ++k) {
+        EXPECT_GT(zipf.probability(0), zipf.probability(k));
+    }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+    const ZipfSampler zipf(4, 0.0);
+    for (std::size_t k = 0; k < 4; ++k) {
+        EXPECT_NEAR(zipf.probability(k), 0.25, 1e-12);
+    }
+}
+
+TEST(Zipf, EmpiricalFrequencyTracksTheory) {
+    const ZipfSampler zipf(5, 1.0);
+    util::Rng rng(7);
+    std::vector<int> counts(5, 0);
+    constexpr int kSamples = 100'000;
+    for (int i = 0; i < kSamples; ++i) {
+        ++counts[zipf.sample(rng)];
+    }
+    for (std::size_t k = 0; k < 5; ++k) {
+        EXPECT_NEAR(static_cast<double>(counts[k]) / kSamples, zipf.probability(k), 0.01);
+    }
+}
+
+TEST(Zipf, RejectsEmptyRange) {
+    EXPECT_THROW(ZipfSampler(0, 1.0), util::ContractViolation);
+    EXPECT_THROW(ZipfSampler(3, -1.0), util::ContractViolation);
+}
+
+TEST(Catalog, GeneratesRequestedShape) {
+    util::Rng rng(11);
+    CatalogConfig config;
+    config.function_types = 15;
+    config.impls_per_type = 10;
+    config.attrs_per_impl = 10;
+    const cbr::CaseBase cb = generate_catalog(config, rng);
+    const cbr::CaseBaseStats stats = cb.stats();
+    EXPECT_EQ(stats.type_count, 15u);
+    EXPECT_EQ(stats.impl_count, 150u);
+    EXPECT_EQ(stats.attribute_count, 1500u);  // dense (no dropout)
+    EXPECT_EQ(stats.distinct_attr_ids, 10u);
+}
+
+TEST(Catalog, DropoutThinsAttributes) {
+    util::Rng rng(11);
+    CatalogConfig config;
+    config.attr_dropout = 0.4;
+    const cbr::CaseBase cb = generate_catalog(config, rng);
+    const cbr::CaseBaseStats stats = cb.stats();
+    EXPECT_LT(stats.attribute_count, 1500u);
+    EXPECT_GT(stats.attribute_count, 500u);
+    // Every implementation retains at least one attribute.
+    for (const auto& type : cb.types()) {
+        for (const auto& impl : type.impls) {
+            EXPECT_FALSE(impl.attributes.empty());
+        }
+    }
+}
+
+TEST(Catalog, DeterministicInSeed) {
+    CatalogConfig config;
+    util::Rng rng_a(5);
+    util::Rng rng_b(5);
+    const cbr::CaseBase a = generate_catalog(config, rng_a);
+    const cbr::CaseBase b = generate_catalog(config, rng_b);
+    const auto* impl_a = a.find_type(cbr::TypeId{3})->find_impl(cbr::ImplId{4});
+    const auto* impl_b = b.find_type(cbr::TypeId{3})->find_impl(cbr::ImplId{4});
+    ASSERT_NE(impl_a, nullptr);
+    ASSERT_NE(impl_b, nullptr);
+    EXPECT_EQ(impl_a->attributes, impl_b->attributes);
+}
+
+TEST(Catalog, TargetsCycleAndMetaIsConsistent) {
+    util::Rng rng(13);
+    const cbr::CaseBase cb = generate_catalog({}, rng);
+    for (const auto& type : cb.types()) {
+        for (const auto& impl : type.impls) {
+            switch (impl.target) {
+                case cbr::Target::fpga:
+                    EXPECT_GT(impl.meta.demand.clb_slices, 0u);
+                    EXPECT_EQ(impl.meta.demand.cpu_load_pct, 0u);
+                    break;
+                case cbr::Target::dsp:
+                    EXPECT_GT(impl.meta.demand.dsp_load_pct, 0u);
+                    break;
+                case cbr::Target::gpp:
+                    EXPECT_GT(impl.meta.demand.cpu_load_pct, 0u);
+                    break;
+            }
+            EXPECT_GT(impl.meta.config_bytes, 0u);
+        }
+    }
+}
+
+TEST(Catalog, SchemasCoverAllAttributeIds) {
+    const cbr::SchemaRegistry schemas = catalog_schemas();
+    for (std::uint16_t a = 1; a <= 10; ++a) {
+        EXPECT_NE(schemas.find(cbr::AttrId{a}), nullptr) << a;
+    }
+}
+
+TEST(Requests, TightRequestRetrievesIntendedVariant) {
+    util::Rng rng(17);
+    const GeneratedCatalog cat = generate_catalog_with_bounds({}, rng);
+    const cbr::Retriever retriever(cat.case_base, cat.bounds);
+
+    RequestGenConfig config;
+    config.tightness = 0.0;  // exact values
+    config.keep_prob = 1.0;  // all attributes
+    int intended_hits = 0;
+    constexpr int kTrials = 100;
+    for (int i = 0; i < kTrials; ++i) {
+        const auto generated = generate_request(
+            cat.case_base, cat.bounds, random_type(cat.case_base, rng), rng, config);
+        const auto result = retriever.retrieve(generated.request);
+        ASSERT_TRUE(result.ok());
+        // The intended variant must be a perfect match; others may tie.
+        if (result.best().impl == generated.intended) {
+            ++intended_hits;
+        }
+        EXPECT_NEAR(result.best().similarity, 1.0, 1e-9);
+    }
+    EXPECT_GT(intended_hits, kTrials / 2);
+}
+
+TEST(Requests, LooseRequestsStillRetrieveSomething) {
+    util::Rng rng(19);
+    const GeneratedCatalog cat = generate_catalog_with_bounds({}, rng);
+    const cbr::Retriever retriever(cat.case_base, cat.bounds);
+    RequestGenConfig config;
+    config.tightness = 0.3;
+    config.keep_prob = 0.5;
+    for (int i = 0; i < 50; ++i) {
+        const auto generated = generate_request(
+            cat.case_base, cat.bounds, random_type(cat.case_base, rng), rng, config);
+        const auto result = retriever.retrieve(generated.request);
+        ASSERT_TRUE(result.ok());
+        EXPECT_GT(result.best().similarity, 0.0);
+    }
+}
+
+TEST(Requests, PartialRequestsAreGenerated) {
+    util::Rng rng(23);
+    const GeneratedCatalog cat = generate_catalog_with_bounds({}, rng);
+    RequestGenConfig config;
+    config.keep_prob = 0.3;
+    bool saw_partial = false;
+    for (int i = 0; i < 20; ++i) {
+        const auto generated = generate_request(
+            cat.case_base, cat.bounds, random_type(cat.case_base, rng), rng, config);
+        if (generated.request.size() < 10) {
+            saw_partial = true;
+        }
+    }
+    EXPECT_TRUE(saw_partial);
+}
+
+}  // namespace
