@@ -1,0 +1,199 @@
+// Compiled columnar retrieval vs. the tree-walking reference.
+//
+// The paper's speedup story is a layout story: arrange the case base the
+// way the datapath consumes it and retrieval cost collapses.  This bench
+// measures the software mirror of that claim — the SoA compiled plan
+// (core/compiled.hpp) against the pointer-rich reference tree — at
+// 10/100/1k/10k implementations, plus the batch API that amortizes
+// per-request scratch across a request stream.  Acceptance: the compiled
+// batch path is >= 5x the reference at 1k implementations.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "core/compiled.hpp"
+#include "core/retrieval.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+// The compiled view holds pointers into the scenario's case base, so it is
+// built by the caller once the Scenario sits at its final address (a
+// member here would dangle if the named return were moved, not elided).
+struct Scenario {
+    wl::GeneratedCatalog catalog;
+    std::vector<cbr::Request> requests;
+
+    [[nodiscard]] cbr::CompiledCaseBase compile() const {
+        return cbr::CompiledCaseBase(catalog.case_base, catalog.bounds);
+    }
+};
+
+Scenario make_scenario(std::size_t impls, std::size_t request_count = 256) {
+    util::Rng rng(0xC0DEC0DEULL + impls);
+    wl::CatalogConfig config;
+    config.function_types = 1;
+    config.impls_per_type = static_cast<std::uint16_t>(impls);
+    config.attrs_per_impl = 10;
+    config.attr_dropout = 0.2;
+    Scenario s{wl::generate_catalog_with_bounds(config, rng), {}};
+    const auto generated = wl::generate_request_batch(s.catalog.case_base,
+                                                      s.catalog.bounds, request_count, rng);
+    s.requests.reserve(generated.size());
+    for (const wl::GeneratedRequest& g : generated) {
+        s.requests.push_back(g.request);
+    }
+    return s;
+}
+
+cbr::RetrievalOptions bench_options() {
+    cbr::RetrievalOptions options;
+    options.n_best = 4;  // the allocation manager's default retrieval width
+    return options;
+}
+
+template <typename Fn>
+double ns_per_request(std::size_t request_count, Fn&& run_batch_once) {
+    using clock = std::chrono::steady_clock;
+    // Warm up, then repeat until we have accumulated enough wall time for a
+    // stable estimate.
+    run_batch_once();
+    std::size_t reps = 0;
+    const auto start = clock::now();
+    auto elapsed = clock::duration::zero();
+    do {
+        run_batch_once();
+        ++reps;
+        elapsed = clock::now() - start;
+    } while (elapsed < std::chrono::milliseconds(200));
+    const double total_ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    return total_ns / static_cast<double>(reps) / static_cast<double>(request_count);
+}
+
+void print_comparison() {
+    std::cout << "=== Compiled columnar retrieval vs. reference tree walk ===\n\n";
+    util::Table table({"impls", "tree ns/req", "compiled ns/req", "batch ns/req",
+                       "compiled x", "batch x"});
+    const cbr::RetrievalOptions options = bench_options();
+    double batch_speedup_1k = 0.0;
+    for (const std::size_t impls : {10u, 100u, 1000u, 10000u}) {
+        const Scenario s = make_scenario(impls);
+        const cbr::CompiledCaseBase plan = s.compile();
+        const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds, plan);
+        cbr::RetrievalScratch scratch;
+
+        // Sanity: the fast paths must agree with the reference bit-for-bit.
+        const auto check = retriever.retrieve(s.requests.front(), options);
+        const auto check_fast =
+            retriever.retrieve_compiled(s.requests.front(), options, &scratch);
+        if (check.matches.size() != check_fast.matches.size() ||
+            (!check.matches.empty() &&
+             (check.best().impl != check_fast.best().impl ||
+              check.best().similarity != check_fast.best().similarity))) {
+            std::cerr << "FATAL: compiled path diverged from the reference\n";
+            std::exit(1);
+        }
+
+        const double tree = ns_per_request(s.requests.size(), [&] {
+            for (const cbr::Request& request : s.requests) {
+                benchmark::DoNotOptimize(retriever.retrieve(request, options));
+            }
+        });
+        const double compiled = ns_per_request(s.requests.size(), [&] {
+            for (const cbr::Request& request : s.requests) {
+                benchmark::DoNotOptimize(
+                    retriever.retrieve_compiled(request, options, &scratch));
+            }
+        });
+        const double batch = ns_per_request(s.requests.size(), [&] {
+            benchmark::DoNotOptimize(retriever.retrieve_batch(s.requests, options, scratch));
+        });
+
+        if (impls == 1000u) {
+            batch_speedup_1k = tree / batch;
+        }
+        table.add_row({std::to_string(impls), util::to_fixed(tree, 1),
+                       util::to_fixed(compiled, 1), util::to_fixed(batch, 1),
+                       util::to_fixed(tree / compiled, 2) + "x",
+                       util::to_fixed(tree / batch, 2) + "x"});
+    }
+    std::cout << table.render_with_title(
+                     "n_best = 4, 10 attribute columns, 20% attribute dropout;\n"
+                     "tree = per-(impl x constraint) binary search + stable_sort,\n"
+                     "compiled = SoA column gathers + bounded top-k heap,\n"
+                     "batch = compiled + scratch amortized over 256 requests")
+              << "\n";
+    std::cout << "batch speedup at 1k impls: " << util::to_fixed(batch_speedup_1k, 2)
+              << "x (acceptance: >= 5x)\n\n";
+}
+
+void bm_tree_retrieve(benchmark::State& state) {
+    const Scenario s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds);
+    const cbr::RetrievalOptions options = bench_options();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            retriever.retrieve(s.requests[i++ % s.requests.size()], options));
+    }
+}
+BENCHMARK(bm_tree_retrieve)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void bm_compiled_retrieve(benchmark::State& state) {
+    const Scenario s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const cbr::CompiledCaseBase compiled = s.compile();
+    const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds, compiled);
+    const cbr::RetrievalOptions options = bench_options();
+    cbr::RetrievalScratch scratch;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve_compiled(
+            s.requests[i++ % s.requests.size()], options, &scratch));
+    }
+}
+BENCHMARK(bm_compiled_retrieve)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void bm_batch_retrieve(benchmark::State& state) {
+    const Scenario s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const cbr::CompiledCaseBase compiled = s.compile();
+    const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds, compiled);
+    const cbr::RetrievalOptions options = bench_options();
+    cbr::RetrievalScratch scratch;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(retriever.retrieve_batch(s.requests, options, scratch));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(s.requests.size()));
+}
+BENCHMARK(bm_batch_retrieve)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void bm_q15_compiled(benchmark::State& state) {
+    const Scenario s = make_scenario(static_cast<std::size_t>(state.range(0)));
+    const cbr::CompiledCaseBase compiled = s.compile();
+    const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds, compiled);
+    cbr::RetrievalScratch scratch;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            retriever.score_q15_compiled(s.requests[i++ % s.requests.size()], &scratch));
+    }
+}
+BENCHMARK(bm_q15_compiled)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_comparison();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -35,6 +35,7 @@ AllocationManager::AllocationManager(sys::Platform& platform, const cbr::CaseBas
     : platform_(&platform),
       cb_(&cb),
       bounds_(&bounds),
+      compiled_(cb, bounds),
       owned_policy_(std::move(policy)),
       bypass_(bypass_capacity) {}
 
@@ -42,6 +43,7 @@ void AllocationManager::rebind(const cbr::CaseBase& cb, const cbr::BoundsTable& 
                                std::uint64_t epoch) {
     cb_ = &cb;
     bounds_ = &bounds;
+    compiled_ = cbr::CompiledCaseBase(cb, bounds);
     case_base_epoch_ = epoch;
 }
 
@@ -124,11 +126,12 @@ AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
 
     // ---- 2. retrieval ---------------------------------------------------
     ++stats_.retrievals;
-    const cbr::Retriever retriever(*cb_, *bounds_);
+    const cbr::Retriever retriever(*cb_, *bounds_, compiled_);
     cbr::RetrievalOptions options;
     options.n_best = request.n_best;
     options.threshold = request.threshold;
-    const cbr::RetrievalResult retrieved = retriever.retrieve(request.request, options);
+    const cbr::RetrievalResult retrieved =
+        retriever.retrieve_compiled(request.request, options, &scratch_);
     if (retrieved.status == cbr::RetrievalStatus::type_not_found) {
         outcome.reject = RejectReason::type_not_found;
         outcome.kind = AllocationOutcome::Kind::rejected;

@@ -22,6 +22,7 @@
 #include "alloc/feasibility.hpp"
 #include "alloc/policies.hpp"
 #include "core/bounds.hpp"
+#include "core/compiled.hpp"
 #include "core/request.hpp"
 #include "core/retrieval.hpp"
 #include "sysmodel/system.hpp"
@@ -143,6 +144,11 @@ private:
     sys::Platform* platform_;
     const cbr::CaseBase* cb_;
     const cbr::BoundsTable* bounds_;
+    /// Columnar plan of the bound catalogue: compiled once per (re)bind, so
+    /// every retrieval under scenario traffic takes the allocation-free
+    /// compiled fast path (bit-identical to the tree reference).
+    cbr::CompiledCaseBase compiled_;
+    cbr::RetrievalScratch scratch_;
     std::unique_ptr<AllocationPolicy> owned_policy_;
     BypassCache bypass_;
     std::uint64_t case_base_epoch_ = 0;

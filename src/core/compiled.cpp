@@ -1,0 +1,108 @@
+#include "core/compiled.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace qfa::cbr {
+
+std::size_t TypePlan::column_of(AttrId id) const noexcept {
+    const auto it = std::lower_bound(attr_ids.begin(), attr_ids.end(), id);
+    if (it != attr_ids.end() && *it == id) {
+        return static_cast<std::size_t>(it - attr_ids.begin());
+    }
+    return npos;
+}
+
+void TypePlan::map_columns(std::span<const RequestAttribute> constraints,
+                           std::vector<std::size_t>& out) const {
+    out.resize(constraints.size());
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        while (c < attr_ids.size() && attr_ids[c] < constraints[i].id) {
+            ++c;
+        }
+        out[i] = (c < attr_ids.size() && attr_ids[c] == constraints[i].id) ? c : npos;
+    }
+}
+
+CompiledCaseBase::CompiledCaseBase(const CaseBase& cb, const BoundsTable& bounds)
+    : source_(&cb), bounds_(&bounds) {
+    plans_.reserve(cb.types().size());
+    for (const FunctionType& type : cb.types()) {
+        TypePlan plan;
+        plan.id = type.id;
+        plan.impl_count = type.impls.size();
+        plan.impl_ids.reserve(plan.impl_count);
+        plan.targets.reserve(plan.impl_count);
+
+        // Union of attribute ids over the type's implementations (each
+        // implementation list is strictly ascending, so a set-union style
+        // merge would work too; sort+unique keeps it simple at compile
+        // time, which runs once).
+        for (const Implementation& impl : type.impls) {
+            plan.impl_ids.push_back(impl.id);
+            plan.targets.push_back(impl.target);
+            for (const Attribute& attr : impl.attributes) {
+                plan.attr_ids.push_back(attr.id);
+            }
+        }
+        std::sort(plan.attr_ids.begin(), plan.attr_ids.end());
+        plan.attr_ids.erase(std::unique(plan.attr_ids.begin(), plan.attr_ids.end()),
+                            plan.attr_ids.end());
+
+        const std::size_t columns = plan.attr_ids.size();
+        plan.dmax.reserve(columns);
+        plan.divisor.reserve(columns);
+        plan.reciprocal.reserve(columns);
+        for (const AttrId id : plan.attr_ids) {
+            const std::uint32_t d = bounds.dmax(id);
+            plan.dmax.push_back(d);
+            plan.divisor.push_back(1.0 + static_cast<double>(d));
+            plan.reciprocal.push_back(bounds.reciprocal(id));
+        }
+
+        plan.values.assign(columns * plan.impl_count, AttrValue{0});
+        plan.present.assign(columns * plan.impl_count, 0.0);
+        plan.present_mask.assign(columns * plan.impl_count, std::uint16_t{0});
+        for (std::size_t r = 0; r < plan.impl_count; ++r) {
+            for (const Attribute& attr : type.impls[r].attributes) {
+                const std::size_t c = plan.column_of(attr.id);
+                QFA_ASSERT(c != TypePlan::npos, "attribute id must be in the union");
+                const std::size_t slot = c * plan.impl_count + r;
+                plan.values[slot] = attr.value;
+                plan.present[slot] = 1.0;
+                plan.present_mask[slot] = 0xFFFFU;
+            }
+        }
+        plans_.push_back(std::move(plan));
+    }
+}
+
+const TypePlan* CompiledCaseBase::find(TypeId id) const noexcept {
+    const auto it = std::lower_bound(
+        plans_.begin(), plans_.end(), id,
+        [](const TypePlan& plan, TypeId target) { return plan.id < target; });
+    if (it != plans_.end() && it->id == id) {
+        return &*it;
+    }
+    return nullptr;
+}
+
+CompiledStats CompiledCaseBase::stats() const noexcept {
+    CompiledStats stats;
+    stats.type_count = plans_.size();
+    for (const TypePlan& plan : plans_) {
+        stats.impl_count += plan.impl_count;
+        stats.column_count += plan.attr_ids.size();
+        stats.value_slots += plan.values.size();
+        for (const double p : plan.present) {
+            if (p == 0.0) {
+                ++stats.sentinel_slots;
+            }
+        }
+    }
+    return stats;
+}
+
+}  // namespace qfa::cbr

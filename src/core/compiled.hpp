@@ -1,0 +1,156 @@
+// Compiled columnar retrieval plans — the software mirror of figs. 4/5.
+//
+// The paper packs each function type's implementation descriptions into
+// dense, pre-sorted 16-bit word lists so the hardware retrieval unit can
+// stream them without pointer chasing (fig. 4: request list + supplemental
+// dmax/reciprocal table, fig. 5: the case-base word list walked by the
+// fig. 6 state machine).  The reference `CaseBase` keeps the tree in a
+// pointer-rich `std::vector` hierarchy instead, and the reference
+// `Retriever` pays for that layout on every request: one binary search per
+// (implementation × constraint), two heap allocations per implementation
+// and a full `stable_sort` per call.
+//
+// `CompiledCaseBase` is the design-time compilation step that recovers the
+// paper's layout on the software side.  For every function type it builds a
+// structure-of-arrays *plan* over the union of the type's attribute ids:
+//
+//           column 0       column 1    ...      (one column per AttrId)
+//   row 0 [ value(i0,a0)  value(i0,a1) ... ]    (one row per ImplId)
+//   row 1 [ value(i1,a0)  value(i1,a1) ... ]
+//
+// stored column-major, so scoring one request constraint touches one
+// contiguous column for all implementations.  An implementation that lacks
+// an attribute holds a sentinel slot: value 0 plus a 0.0 / 0x0000 entry in
+// the parallel presence arrays, turning the reference path's
+// `std::optional` + binary search into a branch-light gather-and-multiply
+// (the paper's "missing attribute = unsatisfiable requirement, s_i = 0"
+// rule, §3).  Each column also carries its design-global dmax, the exact
+// double divisor (1 + dmax) of eq. (1), and the pre-quantized Q15
+// reciprocal of fig. 4's "maxrange-1" entry, so the double-precision and
+// the Q15 datapath share one compiled layout.
+//
+// Everything downstream (Retriever::retrieve_compiled / retrieve_batch /
+// score_q15_compiled) is bit-identical to the tree-walking reference: same
+// operations in the same order, just over a layout the hardware — and the
+// cache — likes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/ids.hpp"
+#include "core/request.hpp"
+#include "fixed/q15.hpp"
+
+namespace qfa::cbr {
+
+/// Compiled structure-of-arrays plan of one function type.
+struct TypePlan {
+    /// Sentinel column index: the request attribute occurs nowhere in the
+    /// type's implementations (every row scores s_i = 0).
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    TypeId id;
+    std::size_t impl_count = 0;
+
+    // Row metadata (one entry per implementation, ascending by ImplId).
+    std::vector<ImplId> impl_ids;
+    std::vector<Target> targets;
+
+    // Column metadata (one entry per distinct AttrId, ascending).
+    std::vector<AttrId> attr_ids;
+    std::vector<std::uint32_t> dmax;      ///< design-global max distance
+    std::vector<double> divisor;          ///< exact 1.0 + dmax of eq. (1)
+    std::vector<fx::Q15> reciprocal;      ///< fig. 4 "maxrange-1" entry
+
+    // Column-major payload: slot [c * impl_count + r] is column c, row r.
+    std::vector<AttrValue> values;        ///< 0 in sentinel (missing) slots
+    std::vector<double> present;          ///< 1.0 present / 0.0 sentinel
+    std::vector<std::uint16_t> present_mask;  ///< 0xFFFF present / 0x0000
+
+    /// Column index for an attribute id (binary search); npos when the id
+    /// never occurs in this type.
+    [[nodiscard]] std::size_t column_of(AttrId id) const noexcept;
+
+    /// Maps each (sorted) request constraint to its column via a linear
+    /// merge join; out[i] = column index or npos.
+    void map_columns(std::span<const RequestAttribute> constraints,
+                     std::vector<std::size_t>& out) const;
+};
+
+/// Aggregate shape of a compiled case base (bench / memory accounting).
+struct CompiledStats {
+    std::size_t type_count = 0;
+    std::size_t impl_count = 0;
+    std::size_t column_count = 0;   ///< Σ per-type distinct attribute ids
+    std::size_t value_slots = 0;    ///< Σ columns × rows (incl. sentinels)
+    std::size_t sentinel_slots = 0; ///< slots holding no real attribute
+};
+
+/// Immutable compiled form of a CaseBase + BoundsTable pair.
+///
+/// Compilation is a one-time design-time cost (like encoding the fig. 5
+/// word lists); the per-request hot paths only read the plans.  The source
+/// objects must outlive the compiled view, which keeps pointers to them so
+/// consumers can assert they score against the catalogue they compiled.
+class CompiledCaseBase {
+public:
+    CompiledCaseBase() = default;
+
+    /// Compiles every function type of `cb` against the design-global
+    /// bounds table.
+    CompiledCaseBase(const CaseBase& cb, const BoundsTable& bounds);
+
+    /// Plan for a type id (binary search); nullptr when absent.
+    [[nodiscard]] const TypePlan* find(TypeId id) const noexcept;
+
+    [[nodiscard]] std::span<const TypePlan> plans() const noexcept { return plans_; }
+    [[nodiscard]] bool empty() const noexcept { return plans_.empty(); }
+
+    /// The tree this view was compiled from (nullptr when default-built).
+    [[nodiscard]] const CaseBase* source() const noexcept { return source_; }
+    [[nodiscard]] const BoundsTable* source_bounds() const noexcept { return bounds_; }
+
+    [[nodiscard]] CompiledStats stats() const noexcept;
+
+private:
+    std::vector<TypePlan> plans_;  ///< ascending by TypeId
+    const CaseBase* source_ = nullptr;
+    const BoundsTable* bounds_ = nullptr;
+};
+
+/// Caller-owned scratch for the compiled retrieval paths.
+///
+/// One instance per serving thread; every vector is grown once to the
+/// high-water mark of the workload and then reused, so steady-state
+/// retrieval performs no heap allocation (beyond the returned matches).
+struct RetrievalScratch {
+    std::vector<double> acc;              ///< per-row weighted-sum state
+    std::vector<std::uint64_t> acc_q30;   ///< per-row Q30 accumulators
+    std::vector<double> norm_weights;     ///< per-constraint w_i / Σw
+    std::vector<std::size_t> columns;     ///< per-constraint column / npos
+    std::vector<double> locals;           ///< per-row locals (general path)
+    std::vector<fx::Q15> q15_weights;     ///< per-constraint quantized w_i
+    std::vector<std::uint32_t> topk;      ///< candidate row heap
+};
+
+/// Shared per-constraint column iteration: invokes
+/// `fn(constraint_index, constraint, column_index_or_npos)` for every
+/// request constraint, reusing the merge-joined column map in `scratch` —
+/// the single traversal both the double-precision and the Q15 compiled
+/// scoring loops are routed through.
+template <typename Fn>
+void for_each_constraint_column(const TypePlan& plan,
+                                std::span<const RequestAttribute> constraints,
+                                std::vector<std::size_t>& column_scratch, Fn&& fn) {
+    plan.map_columns(constraints, column_scratch);
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        fn(i, constraints[i], column_scratch[i]);
+    }
+}
+
+}  // namespace qfa::cbr

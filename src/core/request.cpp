@@ -96,21 +96,24 @@ std::uint64_t Request::fingerprint() const noexcept {
     return hash;
 }
 
-std::vector<fx::Q15> quantize_weights(const Request& request) {
-    const double sum = request.weight_sum();
+void quantize_weights(std::span<const double> normalized_weights,
+                      std::vector<fx::Q15>& out) {
+    double sum = 0.0;
+    for (const double w : normalized_weights) {
+        sum += w;
+    }
     QFA_EXPECTS(std::abs(sum - 1.0) < 1e-9,
-                "quantize_weights requires a normalized request (call normalized())");
+                "quantize_weights requires normalized weights (Σ w = 1)");
 
     // Largest-remainder quantization: floor everything, then hand out the
     // remaining raw units to the constraints with the biggest remainders so
     // the raw total is exactly 2^15.
-    const auto constraints = request.constraints();
-    const std::size_t n = constraints.size();
+    const std::size_t n = normalized_weights.size();
     std::vector<std::uint32_t> raw(n);
     std::vector<double> remainder(n);
     std::int64_t total = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        const double exact = constraints[i].weight * static_cast<double>(fx::Q15::kScale);
+        const double exact = normalized_weights[i] * static_cast<double>(fx::Q15::kScale);
         raw[i] = static_cast<std::uint32_t>(std::floor(exact));
         remainder[i] = exact - std::floor(exact);
         total += raw[i];
@@ -127,14 +130,25 @@ std::vector<fx::Q15> quantize_weights(const Request& request) {
         ++raw[order[k]];
     }
 
-    std::vector<fx::Q15> weights;
-    weights.reserve(n);
+    out.clear();
+    out.reserve(n);
     for (std::uint32_t r : raw) {
         // A single constraint with weight 1.0 quantizes to the saturated one.
-        weights.push_back(r >= fx::Q15::kScale ? fx::Q15::one()
-                                               : fx::Q15::from_raw(static_cast<std::uint16_t>(r)));
+        out.push_back(r >= fx::Q15::kScale ? fx::Q15::one()
+                                           : fx::Q15::from_raw(static_cast<std::uint16_t>(r)));
     }
-    return weights;
+}
+
+std::vector<fx::Q15> quantize_weights(const Request& request) {
+    const auto constraints = request.constraints();
+    std::vector<double> weights;
+    weights.reserve(constraints.size());
+    for (const RequestAttribute& c : constraints) {
+        weights.push_back(c.weight);
+    }
+    std::vector<fx::Q15> out;
+    quantize_weights(weights, out);
+    return out;
 }
 
 Request paper_example_request() {

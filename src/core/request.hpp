@@ -79,6 +79,12 @@ private:
 /// Requires a normalized request (Σ w_i = 1 within 1e-9).
 [[nodiscard]] std::vector<fx::Q15> quantize_weights(const Request& request);
 
+/// Same quantization over a bare weight vector (Σ w_i = 1 within 1e-9),
+/// writing into a caller-owned buffer — the allocation-free core the
+/// Request overload and the compiled batch path share.
+void quantize_weights(std::span<const double> normalized_weights,
+                      std::vector<fx::Q15>& out);
+
 /// The paper's fig. 3 request: FIR equalizer, bitwidth 16, stereo output,
 /// 40 kSamples/s, equal weights (Table 1 uses w_i = 1/3).
 [[nodiscard]] Request paper_example_request();

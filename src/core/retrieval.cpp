@@ -10,6 +10,65 @@ namespace {
 
 const WeightedSum kDefaultAmalgamation{};
 
+/// Single place for option validation (shared by the tree path, the
+/// compiled path and the batch API).
+void validate_options(const RetrievalOptions& options) {
+    QFA_EXPECTS(options.n_best >= 1, "n_best must be at least 1");
+}
+
+/// Shared per-constraint iteration over one tree implementation: invokes
+/// `fn(index, constraint, optional_case_value)` for every request
+/// constraint — the one binary-search walk both the double-precision and
+/// the Q15 reference scoring loops route through.
+template <typename Fn>
+void for_each_constraint_local(const Implementation& impl,
+                               std::span<const RequestAttribute> constraints, Fn&& fn) {
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        fn(i, constraints[i], impl.attribute(constraints[i].id));
+    }
+}
+
+/// Ranking predicate of the result list: descending similarity, ties to
+/// the smaller ImplId (deterministic, matches the reference stable_sort).
+inline bool ranks_before(double sim_a, ImplId impl_a, double sim_b, ImplId impl_b) {
+    if (sim_a != sim_b) {
+        return sim_a > sim_b;
+    }
+    return impl_a < impl_b;
+}
+
+/// Fills one reference-identical details row list for a compiled plan row.
+void collect_plan_details(const TypePlan& plan, std::size_t row,
+                          std::span<const RequestAttribute> constraints,
+                          std::span<const std::size_t> columns,
+                          std::span<const double> norm_weights, LocalMetric metric,
+                          const BoundsTable& bounds, Match& match) {
+    match.details.reserve(constraints.size());
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        const RequestAttribute& constraint = constraints[i];
+        const std::size_t c = columns[i];
+        std::optional<AttrValue> case_value;
+        double s = 0.0;
+        std::uint32_t dmax;
+        if (c != TypePlan::npos) {
+            dmax = plan.dmax[c];
+            const std::size_t slot = c * plan.impl_count + row;
+            if (plan.present[slot] != 0.0) {
+                case_value = plan.values[slot];
+                s = local_similarity(metric, constraint.value, *case_value, dmax);
+            }
+        } else {
+            // The reference records the design-global dmax even when the
+            // attribute occurs in no implementation of the type.
+            dmax = bounds.dmax(constraint.id);
+        }
+        match.details.push_back(LocalDetail{
+            constraint.id, constraint.value, case_value,
+            case_value ? manhattan_distance(constraint.value, *case_value) : 0, dmax,
+            norm_weights[i], s});
+    }
+}
+
 }  // namespace
 
 const Match& RetrievalResult::best() const {
@@ -21,9 +80,23 @@ Retriever::Retriever(const CaseBase& cb, const BoundsTable& bounds,
                      const Amalgamation* amalgamation)
     : cb_(&cb), bounds_(&bounds), amalgamation_(amalgamation) {}
 
+Retriever::Retriever(const CaseBase& cb, const BoundsTable& bounds,
+                     const CompiledCaseBase& compiled, const Amalgamation* amalgamation)
+    : cb_(&cb), bounds_(&bounds), amalgamation_(amalgamation) {
+    bind_compiled(compiled);
+}
+
+void Retriever::bind_compiled(const CompiledCaseBase& compiled) {
+    QFA_EXPECTS(compiled.source() == cb_,
+                "compiled view must be built from the retriever's case base");
+    QFA_EXPECTS(compiled.source_bounds() == bounds_,
+                "compiled view must be built from the retriever's bounds table");
+    compiled_ = &compiled;
+}
+
 RetrievalResult Retriever::retrieve(const Request& request,
                                     const RetrievalOptions& options) const {
-    QFA_EXPECTS(options.n_best >= 1, "n_best must be at least 1");
+    validate_options(options);
 
     RetrievalResult result;
     const FunctionType* type = cb_->find_type(request.type());
@@ -45,24 +118,26 @@ RetrievalResult Retriever::retrieve(const Request& request,
         locals.clear();
         weights.clear();
         Match match{type->id, impl.id, impl.target, 0.0, {}};
-        for (const RequestAttribute& constraint : normalized.constraints()) {
-            ++result.attrs_compared;
-            const std::uint32_t dmax = bounds_->dmax(constraint.id);
-            const std::optional<AttrValue> case_value = impl.attribute(constraint.id);
-            // Missing attribute: unsatisfiable requirement, s_i = 0 (§3).
-            const double s = case_value
-                                 ? local_similarity(options.metric, constraint.value,
-                                                    *case_value, dmax)
-                                 : 0.0;
-            locals.push_back(s);
-            weights.push_back(constraint.weight);
-            if (options.collect_details) {
-                match.details.push_back(LocalDetail{
-                    constraint.id, constraint.value, case_value,
-                    case_value ? manhattan_distance(constraint.value, *case_value) : 0,
-                    dmax, constraint.weight, s});
-            }
-        }
+        for_each_constraint_local(
+            impl, normalized.constraints(),
+            [&](std::size_t, const RequestAttribute& constraint,
+                const std::optional<AttrValue>& case_value) {
+                ++result.attrs_compared;
+                const std::uint32_t dmax = bounds_->dmax(constraint.id);
+                // Missing attribute: unsatisfiable requirement, s_i = 0 (§3).
+                const double s = case_value
+                                     ? local_similarity(options.metric, constraint.value,
+                                                        *case_value, dmax)
+                                     : 0.0;
+                locals.push_back(s);
+                weights.push_back(constraint.weight);
+                if (options.collect_details) {
+                    match.details.push_back(LocalDetail{
+                        constraint.id, constraint.value, case_value,
+                        case_value ? manhattan_distance(constraint.value, *case_value) : 0,
+                        dmax, constraint.weight, s});
+                }
+            });
         match.similarity = amalg.combine(locals, weights);
         scored.push_back(std::move(match));
     }
@@ -70,10 +145,7 @@ RetrievalResult Retriever::retrieve(const Request& request,
     // Rank descending by similarity; ties resolve to the smaller ImplId so
     // results are deterministic.
     std::stable_sort(scored.begin(), scored.end(), [](const Match& a, const Match& b) {
-        if (a.similarity != b.similarity) {
-            return a.similarity > b.similarity;
-        }
-        return a.impl < b.impl;
+        return ranks_before(a.similarity, a.impl, b.similarity, b.impl);
     });
 
     for (Match& match : scored) {
@@ -81,7 +153,7 @@ RetrievalResult Retriever::retrieve(const Request& request,
             continue;  // §3: reject all results below a given threshold
         }
         result.matches.push_back(std::move(match));
-        if (result.matches.size() == options.n_best) {
+        if (result.matches.size() >= options.n_best) {
             break;
         }
     }
@@ -93,6 +165,163 @@ RetrievalResult Retriever::retrieve(const Request& request,
         // callers: nothing can be allocated.
         result.status = RetrievalStatus::all_below_threshold;
     }
+    return result;
+}
+
+RetrievalResult Retriever::retrieve_compiled(const Request& request,
+                                             const RetrievalOptions& options,
+                                             RetrievalScratch* scratch) const {
+    RetrievalScratch local;
+    return retrieve_compiled_into(request, options, scratch != nullptr ? *scratch : local);
+}
+
+std::vector<RetrievalResult> Retriever::retrieve_batch(std::span<const Request> requests,
+                                                       const RetrievalOptions& options,
+                                                       RetrievalScratch& scratch) const {
+    std::vector<RetrievalResult> results;
+    results.reserve(requests.size());
+    for (const Request& request : requests) {
+        results.push_back(retrieve_compiled_into(request, options, scratch));
+    }
+    return results;
+}
+
+RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
+                                                  const RetrievalOptions& options,
+                                                  RetrievalScratch& scratch) const {
+    validate_options(options);
+    QFA_EXPECTS(compiled_ != nullptr,
+                "retrieve_compiled needs a bound CompiledCaseBase (bind_compiled)");
+
+    RetrievalResult result;
+    const TypePlan* plan = compiled_->find(request.type());
+    if (plan == nullptr) {
+        result.status = RetrievalStatus::type_not_found;
+        return result;
+    }
+    const std::size_t rows = plan->impl_count;
+    result.impls_considered = rows;
+    if (rows == 0) {
+        result.status = RetrievalStatus::all_below_threshold;
+        return result;
+    }
+
+    // Normalize weights into scratch (same arithmetic as Request::normalized:
+    // one left-to-right sum, then one divide per weight — no Request copy).
+    const std::span<const RequestAttribute> constraints = request.constraints();
+    const std::size_t n = constraints.size();
+    result.attrs_compared = rows * n;
+    double sum = 0.0;
+    for (const RequestAttribute& c : constraints) {
+        sum += c.weight;
+    }
+    QFA_ASSERT(sum > 0.0, "validated request must have positive weight sum");
+    scratch.norm_weights.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch.norm_weights[i] = constraints[i].weight / sum;
+    }
+
+    std::vector<double>& sims = scratch.acc;
+    sims.assign(rows, 0.0);
+
+    if (amalgamation_ == nullptr) {
+        // Fused weighted-sum fast path, column-major: each constraint
+        // streams one contiguous column.  Per accumulator the terms arrive
+        // in constraint order with the exact reference operations
+        // (d / (1 + dmax), clamp-at-zero branch, × presence, × weight), so
+        // the final sums are bit-identical to WeightedSum::combine.
+        for_each_constraint_column(
+            *plan, constraints, scratch.columns,
+            [&](std::size_t i, const RequestAttribute& constraint, std::size_t c) {
+                if (c == TypePlan::npos) {
+                    return;  // s_i = 0 everywhere: contributes exactly 0.0
+                }
+                const double w = scratch.norm_weights[i];
+                const double div = plan->divisor[c];
+                const AttrValue req = constraint.value;
+                const AttrValue* vals = plan->values.data() + c * rows;
+                const double* pres = plan->present.data() + c * rows;
+                if (options.metric == LocalMetric::manhattan) {
+                    for (std::size_t r = 0; r < rows; ++r) {
+                        const double d =
+                            static_cast<double>(manhattan_distance(req, vals[r]));
+                        const double ratio = d / div;
+                        const double s = ratio >= 1.0 ? 0.0 : 1.0 - ratio;
+                        sims[r] += w * (s * pres[r]);
+                    }
+                } else {
+                    for (std::size_t r = 0; r < rows; ++r) {
+                        const double d =
+                            static_cast<double>(manhattan_distance(req, vals[r]));
+                        const double ratio = d / div;
+                        const double s = ratio >= 1.0 ? 0.0 : 1.0 - ratio * ratio;
+                        sims[r] += w * (s * pres[r]);
+                    }
+                }
+            });
+        for (std::size_t r = 0; r < rows; ++r) {
+            sims[r] = std::clamp(sims[r], 0.0, 1.0);  // WeightedSum's final clamp
+        }
+    } else {
+        // General path (injected amalgamation): still columnar — the column
+        // map replaces the per-(impl × constraint) binary search — but each
+        // row materializes its locals for Amalgamation::combine.
+        plan->map_columns(constraints, scratch.columns);
+        scratch.locals.resize(n);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t c = scratch.columns[i];
+                double s = 0.0;
+                if (c != TypePlan::npos) {
+                    const std::size_t slot = c * rows + r;
+                    if (plan->present[slot] != 0.0) {
+                        s = local_similarity(options.metric, constraints[i].value,
+                                             plan->values[slot], plan->dmax[c]);
+                    }
+                }
+                scratch.locals[i] = s;
+            }
+            sims[r] = amalgamation_->combine(scratch.locals, scratch.norm_weights);
+        }
+    }
+
+    // Bounded top-k selection: a partial heap over the candidate rows keyed
+    // on (similarity desc, ImplId asc).  With `ranks_before` as the heap's
+    // "less", the front is the worst kept candidate; the final sort yields
+    // exactly the first n_best entries of the reference full sort.
+    std::vector<std::uint32_t>& heap = scratch.topk;
+    heap.clear();
+    const auto heap_less = [&](std::uint32_t a, std::uint32_t b) {
+        return ranks_before(sims[a], plan->impl_ids[a], sims[b], plan->impl_ids[b]);
+    };
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        if (sims[r] < options.threshold) {
+            continue;  // §3 threshold rejection, as in the reference loop
+        }
+        if (heap.size() < options.n_best) {
+            heap.push_back(r);
+            std::push_heap(heap.begin(), heap.end(), heap_less);
+        } else if (ranks_before(sims[r], plan->impl_ids[r], sims[heap.front()],
+                                plan->impl_ids[heap.front()])) {
+            std::pop_heap(heap.begin(), heap.end(), heap_less);
+            heap.back() = r;
+            std::push_heap(heap.begin(), heap.end(), heap_less);
+        }
+    }
+    std::sort(heap.begin(), heap.end(), heap_less);
+
+    result.matches.reserve(heap.size());
+    for (const std::uint32_t r : heap) {
+        Match match{plan->id, plan->impl_ids[r], plan->targets[r], sims[r], {}};
+        if (options.collect_details) {
+            collect_plan_details(*plan, r, constraints, scratch.columns,
+                                 scratch.norm_weights, options.metric, *bounds_, match);
+        }
+        result.matches.push_back(std::move(match));
+    }
+
+    result.status = result.matches.empty() ? RetrievalStatus::all_below_threshold
+                                           : RetrievalStatus::ok;
     return result;
 }
 
@@ -110,21 +339,80 @@ std::vector<MatchQ15> Retriever::score_q15(const Request& request) const {
     out.reserve(type->impls.size());
     for (const Implementation& impl : type->impls) {
         fx::SimAccumulator acc;
-        for (std::size_t i = 0; i < constraints.size(); ++i) {
-            const std::optional<AttrValue> case_value = impl.attribute(constraints[i].id);
-            const fx::Q15 s =
-                case_value ? cbr::local_similarity_q15(constraints[i].value, *case_value,
-                                                       bounds_->reciprocal(constraints[i].id))
-                           : fx::Q15::zero();
-            acc.add_product(s, weights[i]);
-        }
+        for_each_constraint_local(
+            impl, constraints,
+            [&](std::size_t i, const RequestAttribute& constraint,
+                const std::optional<AttrValue>& case_value) {
+                const fx::Q15 s =
+                    case_value
+                        ? cbr::local_similarity_q15(constraint.value, *case_value,
+                                                    bounds_->reciprocal(constraint.id))
+                        : fx::Q15::zero();
+                acc.add_product(s, weights[i]);
+            });
         out.push_back(MatchQ15{type->id, impl.id, acc.raw_q30()});
     }
     return out;
 }
 
+std::vector<MatchQ15> Retriever::score_q15_compiled(const Request& request,
+                                                    RetrievalScratch* scratch) const {
+    QFA_EXPECTS(compiled_ != nullptr,
+                "score_q15_compiled needs a bound CompiledCaseBase (bind_compiled)");
+    RetrievalScratch local;
+    RetrievalScratch& s = scratch != nullptr ? *scratch : local;
+
+    std::vector<MatchQ15> out;
+    const TypePlan* plan = compiled_->find(request.type());
+    if (plan == nullptr) {
+        return out;
+    }
+    const std::size_t rows = plan->impl_count;
+
+    const std::span<const RequestAttribute> constraints = request.constraints();
+    double sum = 0.0;
+    for (const RequestAttribute& c : constraints) {
+        sum += c.weight;
+    }
+    QFA_ASSERT(sum > 0.0, "validated request must have positive weight sum");
+    s.norm_weights.resize(constraints.size());
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        s.norm_weights[i] = constraints[i].weight / sum;
+    }
+    quantize_weights(s.norm_weights, s.q15_weights);
+
+    s.acc_q30.assign(rows, 0);
+    // Same column traversal as the double-precision fast path; the masked
+    // raw word zeroes sentinel slots exactly like the reference's
+    // `case_value ? ... : Q15::zero()`.
+    for_each_constraint_column(
+        *plan, constraints, s.columns,
+        [&](std::size_t i, const RequestAttribute& constraint, std::size_t c) {
+            if (c == TypePlan::npos) {
+                return;  // s_i = 0 everywhere: adds 0 to every accumulator
+            }
+            const std::uint64_t w = s.q15_weights[i].raw();
+            const fx::Q15 recip = plan->reciprocal[c];
+            const AttrValue req = constraint.value;
+            const AttrValue* vals = plan->values.data() + c * rows;
+            const std::uint16_t* mask = plan->present_mask.data() + c * rows;
+            for (std::size_t r = 0; r < rows; ++r) {
+                const std::uint16_t raw =
+                    fx::local_similarity_q15(req, vals[r], recip).raw() & mask[r];
+                s.acc_q30[r] += static_cast<std::uint64_t>(raw) * w;
+            }
+        });
+
+    out.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        out.push_back(MatchQ15{plan->id, plan->impl_ids[r], s.acc_q30[r]});
+    }
+    return out;
+}
+
 std::optional<MatchQ15> Retriever::retrieve_q15(const Request& request) const {
-    const std::vector<MatchQ15> scored = score_q15(request);
+    const std::vector<MatchQ15> scored =
+        compiled_ != nullptr ? score_q15_compiled(request) : score_q15(request);
     if (scored.empty()) {
         return std::nullopt;
     }

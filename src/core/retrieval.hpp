@@ -25,6 +25,7 @@
 #include "core/amalgamation.hpp"
 #include "core/bounds.hpp"
 #include "core/case_base.hpp"
+#include "core/compiled.hpp"
 #include "core/request.hpp"
 #include "core/similarity.hpp"
 #include "fixed/q15.hpp"
@@ -98,10 +99,42 @@ public:
     Retriever(const CaseBase& cb, const BoundsTable& bounds,
               const Amalgamation* amalgamation = nullptr);
 
+    /// Same, with a pre-compiled columnar view of the identical case base,
+    /// enabling the retrieve_compiled / retrieve_batch / score_q15_compiled
+    /// fast paths.  The compiled view must have been built from `cb`.
+    Retriever(const CaseBase& cb, const BoundsTable& bounds,
+              const CompiledCaseBase& compiled,
+              const Amalgamation* amalgamation = nullptr);
+
+    /// Attaches a compiled view after construction (same contract).
+    void bind_compiled(const CompiledCaseBase& compiled);
+
+    [[nodiscard]] bool has_compiled() const noexcept { return compiled_ != nullptr; }
+
     /// Scores every implementation of the requested type.  The request is
     /// normalized internally (weights rescaled to Σ w = 1).
     [[nodiscard]] RetrievalResult retrieve(const Request& request,
                                            const RetrievalOptions& options = {}) const;
+
+    /// Columnar fast path: scores against the compiled plan instead of the
+    /// tree and selects the n best with a bounded partial heap keyed on
+    /// (similarity desc, ImplId asc) instead of a full stable_sort.  The
+    /// result (matches, ranks, statuses, details) is bit-identical to
+    /// retrieve(): identical floating-point operations in identical order,
+    /// just over the structure-of-arrays layout.  Requires a bound compiled
+    /// view.  `scratch` (optional) removes all steady-state allocations
+    /// apart from the returned matches.
+    [[nodiscard]] RetrievalResult retrieve_compiled(
+        const Request& request, const RetrievalOptions& options = {},
+        RetrievalScratch* scratch = nullptr) const;
+
+    /// Batched fast path: runs retrieve_compiled over every request while
+    /// reusing one caller-owned scratch, amortizing weight normalization /
+    /// column-map buffers across the batch.  results[i] is bit-identical to
+    /// retrieve(requests[i], options).
+    [[nodiscard]] std::vector<RetrievalResult> retrieve_batch(
+        std::span<const Request> requests, const RetrievalOptions& options,
+        RetrievalScratch& scratch) const;
 
     /// Exact datapath scoring: Q15 local similarities, Q15 quantized
     /// weights, Q30 accumulation, ties broken towards the *first* candidate
@@ -109,6 +142,13 @@ public:
     /// candidates in case-base order (not ranked); the best candidate is the
     /// max by (similarity_q30, earlier-in-list).
     [[nodiscard]] std::vector<MatchQ15> score_q15(const Request& request) const;
+
+    /// Q15 datapath scoring over the compiled columns (shared with the
+    /// double-precision fast path): same layout, same per-constraint
+    /// traversal, results exactly equal to score_q15().  Requires a bound
+    /// compiled view.
+    [[nodiscard]] std::vector<MatchQ15> score_q15_compiled(
+        const Request& request, RetrievalScratch* scratch = nullptr) const;
 
     /// Best candidate under Q15 arithmetic (hardware tie-breaking), or
     /// nullopt when the type is unknown/empty.
@@ -118,9 +158,14 @@ public:
     [[nodiscard]] const BoundsTable& bounds() const noexcept { return *bounds_; }
 
 private:
+    RetrievalResult retrieve_compiled_into(const Request& request,
+                                           const RetrievalOptions& options,
+                                           RetrievalScratch& scratch) const;
+
     const CaseBase* cb_;
     const BoundsTable* bounds_;
-    const Amalgamation* amalgamation_;  ///< nullptr = weighted sum
+    const Amalgamation* amalgamation_;       ///< nullptr = weighted sum
+    const CompiledCaseBase* compiled_ = nullptr;  ///< nullptr = tree only
 };
 
 }  // namespace qfa::cbr

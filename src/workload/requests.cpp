@@ -49,4 +49,25 @@ GeneratedRequest generate_request(const cbr::CaseBase& cb, const cbr::BoundsTabl
     return GeneratedRequest{cbr::Request(type, std::move(constraints)), type, target.id};
 }
 
+std::vector<GeneratedRequest> generate_request_batch(const cbr::CaseBase& cb,
+                                                     const cbr::BoundsTable& bounds,
+                                                     std::size_t count, util::Rng& rng,
+                                                     const RequestGenConfig& config) {
+    std::vector<cbr::TypeId> implemented;
+    for (const cbr::FunctionType& type : cb.types()) {
+        if (!type.impls.empty()) {
+            implemented.push_back(type.id);
+        }
+    }
+    QFA_EXPECTS(!implemented.empty(), "batch generation needs an implemented type");
+
+    std::vector<GeneratedRequest> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const cbr::TypeId type = implemented[rng.index(implemented.size())];
+        batch.push_back(generate_request(cb, bounds, type, rng, config));
+    }
+    return batch;
+}
+
 }  // namespace qfa::wl

@@ -43,6 +43,14 @@ struct GeneratedRequest {
                                                 cbr::TypeId type, util::Rng& rng,
                                                 const RequestGenConfig& config = {});
 
+/// Generates a batch of requests aimed at random implemented types — the
+/// input shape for Retriever::retrieve_batch under heavy request traffic
+/// (benches, property tests, storm drivers).  Deterministic in (config,
+/// rng state); requires at least one type with implementations.
+[[nodiscard]] std::vector<GeneratedRequest> generate_request_batch(
+    const cbr::CaseBase& cb, const cbr::BoundsTable& bounds, std::size_t count,
+    util::Rng& rng, const RequestGenConfig& config = {});
+
 /// Uniformly random type id present in the case base (requires non-empty).
 [[nodiscard]] cbr::TypeId random_type(const cbr::CaseBase& cb, util::Rng& rng);
 

@@ -1,0 +1,396 @@
+// Equivalence and selection tests for the compiled columnar retrieval
+// engine: `retrieve_compiled` / `retrieve_batch` / `score_q15_compiled`
+// must be *bit-identical* to the tree-walking reference — same matches,
+// ranks, statuses, details and Q30 accumulators — across randomized
+// catalogues (seeded via util/rng), thresholds, tie-breaks and top-k edges.
+#include "core/compiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/retrieval.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::cbr;
+
+/// Bitwise double equality (NaN-free domain): catches even sign-of-zero
+/// and last-ulp divergence that EXPECT_DOUBLE_EQ would wave through.
+void expect_bits_equal(double a, double b, const char* what) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+        << what << ": " << a << " vs " << b;
+}
+
+void expect_identical(const RetrievalResult& reference, const RetrievalResult& fast) {
+    ASSERT_EQ(reference.status, fast.status);
+    EXPECT_EQ(reference.impls_considered, fast.impls_considered);
+    EXPECT_EQ(reference.attrs_compared, fast.attrs_compared);
+    ASSERT_EQ(reference.matches.size(), fast.matches.size());
+    for (std::size_t i = 0; i < reference.matches.size(); ++i) {
+        const Match& a = reference.matches[i];
+        const Match& b = fast.matches[i];
+        EXPECT_EQ(a.type, b.type) << "rank " << i;
+        EXPECT_EQ(a.impl, b.impl) << "rank " << i;
+        EXPECT_EQ(a.target, b.target) << "rank " << i;
+        expect_bits_equal(a.similarity, b.similarity, "similarity");
+        ASSERT_EQ(a.details.size(), b.details.size()) << "rank " << i;
+        for (std::size_t d = 0; d < a.details.size(); ++d) {
+            EXPECT_EQ(a.details[d].id, b.details[d].id);
+            EXPECT_EQ(a.details[d].request_value, b.details[d].request_value);
+            EXPECT_EQ(a.details[d].case_value, b.details[d].case_value);
+            EXPECT_EQ(a.details[d].distance, b.details[d].distance);
+            EXPECT_EQ(a.details[d].dmax, b.details[d].dmax);
+            expect_bits_equal(a.details[d].weight, b.details[d].weight, "detail weight");
+            expect_bits_equal(a.details[d].similarity, b.details[d].similarity,
+                              "detail similarity");
+        }
+    }
+}
+
+struct Fixture {
+    wl::GeneratedCatalog catalog;
+    CompiledCaseBase compiled;
+    Retriever retriever;
+
+    explicit Fixture(wl::GeneratedCatalog cat)
+        : catalog(std::move(cat)),
+          compiled(catalog.case_base, catalog.bounds),
+          retriever(catalog.case_base, catalog.bounds, compiled) {}
+};
+
+Fixture make_fixture(std::uint16_t types, std::uint16_t impls, std::uint16_t attrs,
+                     double dropout, std::uint64_t seed) {
+    util::Rng rng(seed);
+    wl::CatalogConfig config;
+    config.function_types = types;
+    config.impls_per_type = impls;
+    config.attrs_per_impl = attrs;
+    config.attr_dropout = dropout;
+    return Fixture(wl::generate_catalog_with_bounds(config, rng));
+}
+
+TEST(CompiledCaseBaseTest, PlansMirrorTheTree) {
+    const Fixture fx = make_fixture(4, 9, 7, 0.35, 77);
+    const CaseBaseStats tree = fx.catalog.case_base.stats();
+    const CompiledStats plan = fx.compiled.stats();
+    EXPECT_EQ(plan.type_count, tree.type_count);
+    EXPECT_EQ(plan.impl_count, tree.impl_count);
+    EXPECT_EQ(plan.value_slots - plan.sentinel_slots, tree.attribute_count);
+    for (const FunctionType& type : fx.catalog.case_base.types()) {
+        const TypePlan* p = fx.compiled.find(type.id);
+        ASSERT_NE(p, nullptr);
+        ASSERT_EQ(p->impl_count, type.impls.size());
+        // Every tree attribute is present at its (column, row) slot with the
+        // design-global dmax / reciprocal alongside.
+        for (std::size_t r = 0; r < type.impls.size(); ++r) {
+            EXPECT_EQ(p->impl_ids[r], type.impls[r].id);
+            EXPECT_EQ(p->targets[r], type.impls[r].target);
+            for (const Attribute& attr : type.impls[r].attributes) {
+                const std::size_t c = p->column_of(attr.id);
+                ASSERT_NE(c, TypePlan::npos);
+                const std::size_t slot = c * p->impl_count + r;
+                EXPECT_EQ(p->values[slot], attr.value);
+                EXPECT_EQ(p->present[slot], 1.0);
+                EXPECT_EQ(p->present_mask[slot], 0xFFFFU);
+                EXPECT_EQ(p->dmax[c], fx.catalog.bounds.dmax(attr.id));
+                EXPECT_EQ(p->reciprocal[c], fx.catalog.bounds.reciprocal(attr.id));
+            }
+        }
+    }
+    EXPECT_EQ(fx.compiled.find(TypeId{999}), nullptr);
+}
+
+TEST(CompiledRetrievalTest, RandomizedEquivalenceProperty) {
+    const struct {
+        std::uint16_t types, impls, attrs;
+        double dropout;
+        std::uint64_t seed;
+    } shapes[] = {
+        {4, 12, 8, 0.3, 1},
+        {2, 40, 10, 0.0, 2},
+        {3, 7, 5, 0.6, 3},
+    };
+    const std::size_t n_bests[] = {1, 2, 5, 100};
+    const double thresholds[] = {0.0, 0.35, 0.7, 0.97};
+
+    for (const auto& shape : shapes) {
+        Fixture fx = make_fixture(shape.types, shape.impls, shape.attrs, shape.dropout,
+                                  shape.seed);
+        util::Rng rng(shape.seed * 1000 + 17);
+        const auto batch = wl::generate_request_batch(fx.catalog.case_base,
+                                                      fx.catalog.bounds, 48, rng);
+        RetrievalScratch scratch;
+        std::size_t variant = 0;
+        for (const wl::GeneratedRequest& generated : batch) {
+            RetrievalOptions options;
+            options.n_best = n_bests[variant % 4];
+            options.threshold = thresholds[(variant / 4) % 4];
+            options.collect_details = (variant % 2) == 1;
+            options.metric =
+                (variant % 3) == 0 ? LocalMetric::squared : LocalMetric::manhattan;
+            ++variant;
+            const RetrievalResult reference =
+                fx.retriever.retrieve(generated.request, options);
+            expect_identical(reference, fx.retriever.retrieve_compiled(
+                                            generated.request, options, &scratch));
+            // And without caller scratch (internal scratch path).
+            expect_identical(reference,
+                             fx.retriever.retrieve_compiled(generated.request, options));
+        }
+    }
+}
+
+TEST(CompiledRetrievalTest, BatchIsBitIdenticalToScalarReference) {
+    Fixture fx = make_fixture(3, 25, 9, 0.25, 11);
+    util::Rng rng(1199);
+    const auto generated = wl::generate_request_batch(fx.catalog.case_base,
+                                                      fx.catalog.bounds, 64, rng);
+    std::vector<Request> requests;
+    requests.reserve(generated.size());
+    for (const wl::GeneratedRequest& g : generated) {
+        requests.push_back(g.request);
+    }
+
+    RetrievalOptions options;
+    options.n_best = 3;
+    options.threshold = 0.4;
+    RetrievalScratch scratch;
+    const std::vector<RetrievalResult> batched =
+        fx.retriever.retrieve_batch(requests, options, scratch);
+    ASSERT_EQ(batched.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        expect_identical(fx.retriever.retrieve(requests[i], options), batched[i]);
+    }
+}
+
+TEST(CompiledRetrievalTest, UnknownTypeReportsNotFound) {
+    Fixture fx = make_fixture(2, 5, 6, 0.2, 5);
+    const Request request(TypeId{999}, {{AttrId{1}, 10, 1.0}});
+    expect_identical(fx.retriever.retrieve(request),
+                     fx.retriever.retrieve_compiled(request));
+    EXPECT_EQ(fx.retriever.retrieve_compiled(request).status,
+              RetrievalStatus::type_not_found);
+}
+
+TEST(CompiledRetrievalTest, EmptyTypeBehavesLikeBelowThreshold) {
+    // A declared type with no implementation variants (fig. 3 shows 1D-FFT
+    // unexpanded) must reject like the reference: nothing can be allocated.
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "FIR")
+                      .add_impl(ImplId{1}, Target::gpp, {{AttrId{1}, 16}})
+                      .begin_type(TypeId{2}, "1D-FFT (unexpanded)")
+                      .build();
+    const BoundsTable bounds = BoundsTable::from_case_base(cb);
+    const CompiledCaseBase compiled(cb, bounds);
+    const Retriever retriever(cb, bounds, compiled);
+    const Request request(TypeId{2}, {{AttrId{1}, 16, 1.0}});
+    expect_identical(retriever.retrieve(request), retriever.retrieve_compiled(request));
+    EXPECT_EQ(retriever.retrieve_compiled(request).status,
+              RetrievalStatus::all_below_threshold);
+}
+
+TEST(CompiledRetrievalTest, TiesRankByAscendingImplId) {
+    // Four identical variants: similarities tie exactly, so ranking must
+    // fall back to ImplId in both paths.
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "tied")
+                      .add_impl(ImplId{9}, Target::gpp, {{AttrId{1}, 10}, {AttrId{2}, 4}})
+                      .add_impl(ImplId{3}, Target::dsp, {{AttrId{1}, 10}, {AttrId{2}, 4}})
+                      .add_impl(ImplId{7}, Target::fpga, {{AttrId{1}, 10}, {AttrId{2}, 4}})
+                      .add_impl(ImplId{5}, Target::gpp, {{AttrId{1}, 10}, {AttrId{2}, 4}})
+                      .build();
+    const BoundsTable bounds = BoundsTable::from_case_base(cb);
+    const CompiledCaseBase compiled(cb, bounds);
+    const Retriever retriever(cb, bounds, compiled);
+    const Request request(TypeId{1}, {{AttrId{1}, 12, 0.5}, {AttrId{2}, 4, 0.5}});
+
+    RetrievalOptions options;
+    options.n_best = 4;
+    const RetrievalResult fast = retriever.retrieve_compiled(request, options);
+    expect_identical(retriever.retrieve(request, options), fast);
+    ASSERT_EQ(fast.matches.size(), 4u);
+    EXPECT_EQ(fast.matches[0].impl, ImplId{3});
+    EXPECT_EQ(fast.matches[1].impl, ImplId{5});
+    EXPECT_EQ(fast.matches[2].impl, ImplId{7});
+    EXPECT_EQ(fast.matches[3].impl, ImplId{9});
+
+    // Partial top-k across the tie keeps the smallest ids.
+    options.n_best = 2;
+    const RetrievalResult top2 = retriever.retrieve_compiled(request, options);
+    expect_identical(retriever.retrieve(request, options), top2);
+    ASSERT_EQ(top2.matches.size(), 2u);
+    EXPECT_EQ(top2.matches[0].impl, ImplId{3});
+    EXPECT_EQ(top2.matches[1].impl, ImplId{5});
+}
+
+TEST(CompiledRetrievalTest, DetailsForAttributeAbsentFromTheWholeType) {
+    // A constraint on an attribute that no implementation of the requested
+    // type carries (but which exists elsewhere in the design, so the bounds
+    // table knows its dmax) must produce the same detail rows as the
+    // reference: s = 0, no case value, and the *design-global* dmax.
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "FIR")
+                      .add_impl(ImplId{1}, Target::gpp, {{AttrId{1}, 16}})
+                      .add_impl(ImplId{2}, Target::dsp, {{AttrId{1}, 8}})
+                      .begin_type(TypeId{2}, "FFT")
+                      .add_impl(ImplId{1}, Target::fpga, {{AttrId{2}, 10}, {AttrId{3}, 60}})
+                      .add_impl(ImplId{2}, Target::dsp, {{AttrId{3}, 10}})
+                      .build();
+    const BoundsTable bounds = BoundsTable::from_case_base(cb);
+    ASSERT_GT(bounds.dmax(AttrId{3}), 0u);
+    const CompiledCaseBase compiled(cb, bounds);
+    const Retriever retriever(cb, bounds, compiled);
+
+    // Attr 3 occurs only in type 2; requesting it against type 1 hits the
+    // "no column" path.
+    const Request request(TypeId{1}, {{AttrId{1}, 12, 0.5}, {AttrId{3}, 30, 0.5}});
+    RetrievalOptions options;
+    options.n_best = 2;
+    options.collect_details = true;
+    const RetrievalResult reference = retriever.retrieve(request, options);
+    const RetrievalResult fast = retriever.retrieve_compiled(request, options);
+    expect_identical(reference, fast);
+    ASSERT_EQ(fast.matches.size(), 2u);
+    const LocalDetail& absent = fast.matches[0].details[1];
+    EXPECT_EQ(absent.id, AttrId{3});
+    EXPECT_EQ(absent.case_value, std::nullopt);
+    EXPECT_EQ(absent.dmax, bounds.dmax(AttrId{3}));
+    EXPECT_EQ(absent.similarity, 0.0);
+}
+
+TEST(CompiledRetrievalTest, TopKAtAndBeyondImplCount) {
+    Fixture fx = make_fixture(1, 13, 6, 0.1, 21);
+    util::Rng rng(2121);
+    const auto generated = wl::generate_request_batch(fx.catalog.case_base,
+                                                      fx.catalog.bounds, 4, rng);
+    for (const wl::GeneratedRequest& g : generated) {
+        for (const std::size_t n : {std::size_t{13}, std::size_t{14}, std::size_t{1000}}) {
+            RetrievalOptions options;
+            options.n_best = n;
+            const RetrievalResult fast = fx.retriever.retrieve_compiled(g.request, options);
+            expect_identical(fx.retriever.retrieve(g.request, options), fast);
+            EXPECT_EQ(fast.matches.size(), 13u);
+        }
+    }
+}
+
+TEST(CompiledRetrievalTest, ThresholdRejectionAndExactBoundary) {
+    Fixture fx = make_fixture(2, 10, 8, 0.3, 31);
+    util::Rng rng(3131);
+    const auto generated = wl::generate_request_batch(fx.catalog.case_base,
+                                                      fx.catalog.bounds, 6, rng);
+    for (const wl::GeneratedRequest& g : generated) {
+        const RetrievalResult best = fx.retriever.retrieve(g.request);
+        ASSERT_TRUE(best.ok());
+
+        // Threshold exactly at the best similarity keeps the best (>= passes).
+        RetrievalOptions at;
+        at.threshold = best.best().similarity;
+        expect_identical(fx.retriever.retrieve(g.request, at),
+                         fx.retriever.retrieve_compiled(g.request, at));
+        EXPECT_TRUE(fx.retriever.retrieve_compiled(g.request, at).ok());
+
+        // A threshold above every candidate rejects them all.
+        RetrievalOptions above;
+        above.threshold = 1.01;
+        const RetrievalResult rejected = fx.retriever.retrieve_compiled(g.request, above);
+        expect_identical(fx.retriever.retrieve(g.request, above), rejected);
+        EXPECT_EQ(rejected.status, RetrievalStatus::all_below_threshold);
+    }
+}
+
+TEST(CompiledRetrievalTest, InjectedAmalgamationsTakeTheGeneralPath) {
+    Fixture fx = make_fixture(2, 15, 7, 0.4, 41);
+    util::Rng rng(4141);
+    const auto generated = wl::generate_request_batch(fx.catalog.case_base,
+                                                      fx.catalog.bounds, 12, rng);
+    for (const AmalgamationKind kind :
+         {AmalgamationKind::minimum, AmalgamationKind::maximum, AmalgamationKind::owa,
+          AmalgamationKind::weighted_euclidean}) {
+        const auto amalg = make_amalgamation(kind);
+        const Retriever retriever(fx.catalog.case_base, fx.catalog.bounds, fx.compiled,
+                                  amalg.get());
+        RetrievalOptions options;
+        options.n_best = 4;
+        for (const wl::GeneratedRequest& g : generated) {
+            expect_identical(retriever.retrieve(g.request, options),
+                             retriever.retrieve_compiled(g.request, options));
+        }
+    }
+}
+
+TEST(CompiledRetrievalTest, Q15ColumnsMatchTheTreeDatapath) {
+    const struct {
+        std::uint16_t types, impls, attrs;
+        double dropout;
+        std::uint64_t seed;
+    } shapes[] = {{3, 12, 8, 0.3, 51}, {1, 30, 10, 0.0, 52}, {2, 6, 4, 0.5, 53}};
+    for (const auto& shape : shapes) {
+        Fixture fx = make_fixture(shape.types, shape.impls, shape.attrs, shape.dropout,
+                                  shape.seed);
+        util::Rng rng(shape.seed + 7);
+        const auto generated = wl::generate_request_batch(fx.catalog.case_base,
+                                                          fx.catalog.bounds, 24, rng);
+        RetrievalScratch scratch;
+        for (const wl::GeneratedRequest& g : generated) {
+            const std::vector<MatchQ15> reference = fx.retriever.score_q15(g.request);
+            const std::vector<MatchQ15> fast =
+                fx.retriever.score_q15_compiled(g.request, &scratch);
+            ASSERT_EQ(reference.size(), fast.size());
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+                EXPECT_EQ(reference[i].type, fast[i].type);
+                EXPECT_EQ(reference[i].impl, fast[i].impl);
+                EXPECT_EQ(reference[i].similarity_q30, fast[i].similarity_q30)
+                    << "impl " << reference[i].impl.value();
+            }
+
+            // retrieve_q15 (first-max tie-breaking) agrees with a tree-only
+            // retriever.
+            const Retriever tree_only(fx.catalog.case_base, fx.catalog.bounds);
+            const auto best_fast = fx.retriever.retrieve_q15(g.request);
+            const auto best_tree = tree_only.retrieve_q15(g.request);
+            ASSERT_EQ(best_tree.has_value(), best_fast.has_value());
+            if (best_tree) {
+                EXPECT_EQ(best_tree->impl, best_fast->impl);
+                EXPECT_EQ(best_tree->similarity_q30, best_fast->similarity_q30);
+            }
+        }
+    }
+}
+
+TEST(CompiledRetrievalTest, CompiledPathRequiresBoundPlanAndValidOptions) {
+    Fixture fx = make_fixture(1, 4, 5, 0.0, 61);
+    const Retriever unbound(fx.catalog.case_base, fx.catalog.bounds);
+    const Request request(TypeId{1}, {{AttrId{1}, 5, 1.0}});
+    EXPECT_THROW((void)unbound.retrieve_compiled(request), util::ContractViolation);
+
+    RetrievalOptions zero;
+    zero.n_best = 0;
+    EXPECT_THROW((void)fx.retriever.retrieve_compiled(request, zero),
+                 util::ContractViolation);
+
+    // A compiled view of a *different* case base is rejected at bind time.
+    const CaseBase other = paper_example_case_base();
+    const BoundsTable other_bounds = paper_example_bounds();
+    const CompiledCaseBase other_compiled(other, other_bounds);
+    Retriever retriever(fx.catalog.case_base, fx.catalog.bounds);
+    EXPECT_THROW(retriever.bind_compiled(other_compiled), util::ContractViolation);
+
+    // Same case base but a different bounds table is rejected too: the
+    // baked dmax/divisor/reciprocal columns would silently diverge.
+    const BoundsTable rederived = BoundsTable::from_case_base(fx.catalog.case_base);
+    const CompiledCaseBase mismatched_bounds(fx.catalog.case_base, rederived);
+    Retriever retriever2(fx.catalog.case_base, fx.catalog.bounds);
+    EXPECT_THROW(retriever2.bind_compiled(mismatched_bounds), util::ContractViolation);
+}
+
+}  // namespace
