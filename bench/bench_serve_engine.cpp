@@ -1,0 +1,283 @@
+// Sharded serving engine vs. the single-threaded compiled path, and
+// incremental plan patching vs. full recompilation.
+//
+// Two acceptance claims from the serve-layer PR:
+//  * aggregate retrieval throughput at 4 shards >= 3x the single-threaded
+//    compiled batch path at 1k implementations (needs >= 4 hardware
+//    threads — the table prints the machine's concurrency so CI boxes and
+//    1-core containers read honestly);
+//  * incremental retain (CompiledCaseBase::patched row splice) >= 10x
+//    cheaper than a full recompile at 10k implementations.
+// Both tables self-check bit-identity against the reference retriever and
+// a from-scratch compile before timing anything.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/compiled.hpp"
+#include "core/retain.hpp"
+#include "core/retrieval.hpp"
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+
+struct Scenario {
+    wl::GeneratedCatalog catalog;
+    std::vector<cbr::Request> requests;
+
+    [[nodiscard]] cbr::CompiledCaseBase compile() const {
+        return cbr::CompiledCaseBase(catalog.case_base, catalog.bounds);
+    }
+};
+
+Scenario make_scenario(std::uint16_t types, std::uint16_t impls_per_type,
+                       std::size_t request_count) {
+    util::Rng rng(0x5EE5EEDULL + types * 1000 + impls_per_type);
+    wl::CatalogConfig config;
+    config.function_types = types;
+    config.impls_per_type = impls_per_type;
+    config.attrs_per_impl = 10;
+    config.attr_dropout = 0.2;
+    Scenario s{wl::generate_catalog_with_bounds(config, rng), {}};
+    const auto generated = wl::generate_request_batch(s.catalog.case_base,
+                                                      s.catalog.bounds, request_count, rng);
+    s.requests.reserve(generated.size());
+    for (const wl::GeneratedRequest& g : generated) {
+        s.requests.push_back(g.request);
+    }
+    return s;
+}
+
+cbr::RetrievalOptions bench_options() {
+    cbr::RetrievalOptions options;
+    options.n_best = 4;  // the allocation manager's default retrieval width
+    return options;
+}
+
+template <typename Fn>
+double ns_per_request(std::size_t request_count, Fn&& run_batch_once) {
+    using clock = std::chrono::steady_clock;
+    run_batch_once();  // warm-up
+    std::size_t reps = 0;
+    const auto start = clock::now();
+    auto elapsed = clock::duration::zero();
+    do {
+        run_batch_once();
+        ++reps;
+        elapsed = clock::now() - start;
+    } while (elapsed < std::chrono::milliseconds(200));
+    const double total_ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    return total_ns / static_cast<double>(reps) / static_cast<double>(request_count);
+}
+
+void check_identical_or_die(const cbr::RetrievalResult& reference,
+                            const cbr::RetrievalResult& served, const char* where) {
+    if (!cbr::identical_results(reference, served)) {
+        std::cerr << "FATAL: " << where << " diverged from the reference\n";
+        std::exit(1);
+    }
+}
+
+// ---- 1. aggregate throughput: shards vs the single-threaded batch path ----
+
+void print_throughput() {
+    // 16 types x 64 impls = 1024 implementations spread over the shards.
+    const Scenario s = make_scenario(16, 64, 256);
+    const cbr::CompiledCaseBase plan = s.compile();
+    const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds, plan);
+    const cbr::RetrievalOptions options = bench_options();
+    cbr::RetrievalScratch scratch;
+
+    const double single = ns_per_request(s.requests.size(), [&] {
+        benchmark::DoNotOptimize(retriever.retrieve_batch(s.requests, options, scratch));
+    });
+
+    std::cout << "=== Sharded serve engine vs. single-threaded compiled batch ===\n\n";
+    util::Table table({"shards", "engine ns/req", "single ns/req", "aggregate x"});
+    double speedup_at_4 = 0.0;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        serve::EngineConfig config;
+        config.shard_count = shards;
+        config.queue_capacity = s.requests.size();
+        serve::Engine engine(s.catalog.case_base, config);
+
+        // Self-check: the served results must be bit-identical.
+        const std::vector<cbr::RetrievalResult> served =
+            engine.retrieve_all(s.requests, options);
+        for (std::size_t i = 0; i < s.requests.size(); ++i) {
+            check_identical_or_die(retriever.retrieve_compiled(s.requests[i], options,
+                                                               &scratch),
+                                   served[i], "serve engine");
+        }
+
+        const double engine_ns = ns_per_request(s.requests.size(), [&] {
+            benchmark::DoNotOptimize(engine.retrieve_all(s.requests, options));
+        });
+        if (shards == 4) {
+            speedup_at_4 = single / engine_ns;
+        }
+        table.add_row({std::to_string(shards), util::to_fixed(engine_ns, 1),
+                       util::to_fixed(single, 1), util::to_fixed(single / engine_ns, 2) + "x"});
+    }
+    std::cout << table.render_with_title(
+                     "1024 impls over 16 types, n_best = 4, 256-request batches;\n"
+                     "single = retrieve_batch on one thread, engine = shard workers")
+              << "\n";
+    std::cout << "hardware threads on this machine: "
+              << std::thread::hardware_concurrency() << "\n";
+    std::cout << "aggregate speedup at 4 shards: " << util::to_fixed(speedup_at_4, 2)
+              << "x (acceptance: >= 3x, requires >= 4 hardware threads)\n\n";
+}
+
+// ---- 2. incremental retain vs full recompile at 10k implementations ------
+
+void print_retain_cost() {
+    util::Rng rng(0xFEEDFACEULL);
+    wl::CatalogConfig config;
+    config.function_types = 1;
+    config.impls_per_type = 10000;
+    config.attrs_per_impl = 10;
+    config.attr_dropout = 0.2;
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds(config, rng);
+    const cbr::TypeId type = catalog.case_base.types().front().id;
+
+    // Predecessor state and its compiled plans.
+    cbr::DynamicCaseBase dynamic(catalog.case_base);
+    const cbr::CaseBase before_tree = dynamic.snapshot();
+    const cbr::BoundsTable before_bounds = dynamic.bounds();
+    const cbr::CompiledCaseBase before(before_tree, before_bounds);
+
+    // Successor state: one retained variant.
+    cbr::Implementation impl;
+    impl.id = cbr::ImplId{60000};
+    impl.target = cbr::Target::dsp;
+    impl.attributes = {{cbr::AttrId{1}, 13}, {cbr::AttrId{4}, 39}, {cbr::AttrId{9}, 777}};
+    if (dynamic.retain(type, impl) != cbr::RetainVerdict::retained) {
+        std::cerr << "FATAL: bench retain was rejected\n";
+        std::exit(1);
+    }
+    const cbr::CaseBase after_tree = dynamic.snapshot();
+    const cbr::BoundsTable after_bounds = dynamic.bounds();
+
+    // Self-check: the patched plans must equal a fresh compile.
+    const cbr::CompiledCaseBase fresh(after_tree, after_bounds);
+    const cbr::CompiledCaseBase patched =
+        cbr::CompiledCaseBase::patched(before, after_tree, after_bounds, type);
+    const cbr::CompiledStats fs = fresh.stats();
+    const cbr::CompiledStats ps = patched.stats();
+    if (fs.impl_count != ps.impl_count || fs.value_slots != ps.value_slots ||
+        fs.sentinel_slots != ps.sentinel_slots ||
+        fresh.plans().front().values != patched.plans().front().values) {
+        std::cerr << "FATAL: patched plan diverged from a fresh compile\n";
+        std::exit(1);
+    }
+
+    const auto time_ns = [](auto&& fn) {
+        using clock = std::chrono::steady_clock;
+        fn();  // warm-up
+        std::size_t reps = 0;
+        const auto start = clock::now();
+        auto elapsed = clock::duration::zero();
+        do {
+            fn();
+            ++reps;
+            elapsed = clock::now() - start;
+        } while (elapsed < std::chrono::milliseconds(300));
+        return static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+               static_cast<double>(reps);
+    };
+
+    const double full_ns = time_ns([&] {
+        benchmark::DoNotOptimize(cbr::CompiledCaseBase(after_tree, after_bounds));
+    });
+    const double patch_ns = time_ns([&] {
+        benchmark::DoNotOptimize(
+            cbr::CompiledCaseBase::patched(before, after_tree, after_bounds, type));
+    });
+
+    std::cout << "=== Incremental retain vs. full recompile (10k impls) ===\n\n";
+    util::Table table({"path", "us/update", "x vs full"});
+    table.add_row({"full recompile", util::to_fixed(full_ns / 1000.0, 1), "1.00x"});
+    table.add_row({"incremental patch", util::to_fixed(patch_ns / 1000.0, 1),
+                   util::to_fixed(full_ns / patch_ns, 2) + "x"});
+    std::cout << table.render_with_title(
+                     "one retained variant into 10000 impls x 10 attribute columns;\n"
+                     "full = tree walk + column scatter, patch = row splice + \n"
+                     "metadata refresh (both bit-identical to the reference)")
+              << "\n";
+    std::cout << "incremental retain cost advantage: " << util::to_fixed(full_ns / patch_ns, 2)
+              << "x (acceptance: >= 10x)\n\n";
+}
+
+// ---- benchmark registrations ---------------------------------------------
+
+void bm_engine_retrieve_all(benchmark::State& state) {
+    const Scenario s = make_scenario(16, 64, 256);
+    serve::EngineConfig config;
+    config.shard_count = static_cast<std::size_t>(state.range(0));
+    config.queue_capacity = s.requests.size();
+    serve::Engine engine(s.catalog.case_base, config);
+    const cbr::RetrievalOptions options = bench_options();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.retrieve_all(s.requests, options));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(s.requests.size()));
+}
+BENCHMARK(bm_engine_retrieve_all)->Arg(1)->Arg(2)->Arg(4);
+
+void bm_full_recompile(benchmark::State& state) {
+    const Scenario s = make_scenario(1, static_cast<std::uint16_t>(state.range(0)), 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cbr::CompiledCaseBase(s.catalog.case_base, s.catalog.bounds));
+    }
+}
+BENCHMARK(bm_full_recompile)->Arg(1000)->Arg(10000);
+
+void bm_incremental_patch(benchmark::State& state) {
+    const Scenario s = make_scenario(1, static_cast<std::uint16_t>(state.range(0)), 1);
+    const cbr::TypeId type = s.catalog.case_base.types().front().id;
+    cbr::DynamicCaseBase dynamic(s.catalog.case_base);
+    const cbr::CaseBase before_tree = dynamic.snapshot();
+    const cbr::BoundsTable before_bounds = dynamic.bounds();
+    const cbr::CompiledCaseBase before(before_tree, before_bounds);
+    cbr::Implementation impl;
+    impl.id = cbr::ImplId{60000};
+    impl.target = cbr::Target::dsp;
+    impl.attributes = {{cbr::AttrId{1}, 13}, {cbr::AttrId{4}, 39}};
+    if (dynamic.retain(type, impl) != cbr::RetainVerdict::retained) {
+        state.SkipWithError("bench retain rejected");
+        return;
+    }
+    const cbr::CaseBase after_tree = dynamic.snapshot();
+    const cbr::BoundsTable after_bounds = dynamic.bounds();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cbr::CompiledCaseBase::patched(before, after_tree, after_bounds, type));
+    }
+}
+BENCHMARK(bm_incremental_patch)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_throughput();
+    print_retain_cost();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,7 +1,9 @@
 #include "alloc/manager.hpp"
 
 #include <algorithm>
+#include <future>
 
+#include "serve/engine.hpp"
 #include "util/contracts.hpp"
 
 namespace qfa::alloc {
@@ -24,6 +26,7 @@ const char* reject_reason_name(RejectReason reason) noexcept {
         case RejectReason::below_threshold: return "below-threshold";
         case RejectReason::nothing_feasible: return "nothing-feasible";
         case RejectReason::repository_miss: return "repository-miss";
+        case RejectReason::retrieval_failed: return "retrieval-failed";
     }
     return "?";
 }
@@ -35,7 +38,7 @@ AllocationManager::AllocationManager(sys::Platform& platform, const cbr::CaseBas
     : platform_(&platform),
       cb_(&cb),
       bounds_(&bounds),
-      compiled_(cb, bounds),
+      owned_compiled_(cb, bounds),
       owned_policy_(std::move(policy)),
       bypass_(bypass_capacity) {}
 
@@ -43,8 +46,20 @@ void AllocationManager::rebind(const cbr::CaseBase& cb, const cbr::BoundsTable& 
                                std::uint64_t epoch) {
     cb_ = &cb;
     bounds_ = &bounds;
-    compiled_ = cbr::CompiledCaseBase(cb, bounds);
+    owned_compiled_ = cbr::CompiledCaseBase(cb, bounds);
+    compiled_ = &owned_compiled_;
+    generation_.reset();
     case_base_epoch_ = epoch;
+}
+
+void AllocationManager::rebind(serve::GenerationPtr generation) {
+    QFA_EXPECTS(generation != nullptr, "cannot rebind to a null generation");
+    generation_ = std::move(generation);
+    cb_ = &generation_->case_base;
+    bounds_ = &generation_->bounds;
+    compiled_ = &generation_->compiled;
+    owned_compiled_ = cbr::CompiledCaseBase{};  // drop the stale owned plans
+    case_base_epoch_ = generation_->epoch;
 }
 
 AllocationOutcome AllocationManager::launch_candidate(const AllocRequest& request,
@@ -69,10 +84,7 @@ AllocationOutcome AllocationManager::launch_candidate(const AllocRequest& reques
         }
         stats_.preemptions += evicted;
         if (!plan) {
-            outcome.kind = AllocationOutcome::Kind::rejected;
-            outcome.reject = RejectReason::nothing_feasible;
-            ++stats_.rejections;
-            return outcome;
+            return reject(RejectReason::nothing_feasible);
         }
     }
     QFA_ASSERT(plan.has_value(), "fits verdict must carry a plan");
@@ -80,12 +92,9 @@ AllocationOutcome AllocationManager::launch_candidate(const AllocRequest& reques
     const sys::LaunchOutcome launched =
         platform_->launch(ref, impl, request.priority, *plan);
     if (!launched.ok()) {
-        outcome.kind = AllocationOutcome::Kind::rejected;
-        outcome.reject = launched.error == sys::LaunchError::repository_miss
-                             ? RejectReason::repository_miss
-                             : RejectReason::nothing_feasible;
-        ++stats_.rejections;
-        return outcome;
+        return reject(launched.error == sys::LaunchError::repository_miss
+                          ? RejectReason::repository_miss
+                          : RejectReason::nothing_feasible);
     }
 
     // Mint/refresh the bypass token for repeated calls (§3).
@@ -102,10 +111,7 @@ AllocationOutcome AllocationManager::launch_candidate(const AllocRequest& reques
     return outcome;
 }
 
-AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
-    ++stats_.requests;
-    AllocationOutcome outcome;
-
+std::optional<AllocationOutcome> AllocationManager::try_bypass(const AllocRequest& request) {
     // ---- 1. bypass path (§3) -------------------------------------------
     const std::uint64_t key = bypass_key(request.app, request.request);
     if (auto token = bypass_.lookup(key, case_base_epoch_)) {
@@ -123,27 +129,92 @@ AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
         // Availability check failed: fall through to a fresh retrieval.
         bypass_.invalidate(key);
     }
+    return std::nullopt;
+}
+
+AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
+    ++stats_.requests;
+    if (std::optional<AllocationOutcome> bypassed = try_bypass(request)) {
+        return *bypassed;
+    }
 
     // ---- 2. retrieval ---------------------------------------------------
     ++stats_.retrievals;
-    const cbr::Retriever retriever(*cb_, *bounds_, compiled_);
+    const cbr::Retriever retriever(*cb_, *bounds_, *compiled_);
     cbr::RetrievalOptions options;
     options.n_best = request.n_best;
     options.threshold = request.threshold;
-    const cbr::RetrievalResult retrieved =
-        retriever.retrieve_compiled(request.request, options, &scratch_);
+    return decide(request,
+                  retriever.retrieve_compiled(request.request, options, &scratch_));
+}
+
+AllocationOutcome AllocationManager::allocate_prepared(const AllocRequest& request,
+                                                       const cbr::RetrievalResult& retrieved) {
+    ++stats_.requests;
+    if (std::optional<AllocationOutcome> bypassed = try_bypass(request)) {
+        return *bypassed;  // token wins; the prefetched retrieval is unused
+    }
+    ++stats_.retrievals;  // the prefetched retrieval is consumed here
+    return decide(request, retrieved);
+}
+
+std::vector<AllocationOutcome> AllocationManager::allocate_batch(
+    std::span<const AllocRequest> requests, serve::Engine& engine) {
+    QFA_EXPECTS(generation_ != nullptr && engine.current() == generation_,
+                "allocate_batch requires rebind(engine.current()) so the manager and "
+                "the engine decide on the same epoch");
+    // Validate every request *before* the first submission: a contract
+    // violation must surface synchronously (as in sequential allocate()),
+    // never from a worker after earlier requests were already granted.
+    for (const AllocRequest& request : requests) {
+        QFA_EXPECTS(request.n_best >= 1, "n_best must be at least 1");
+    }
+    std::vector<std::future<cbr::RetrievalResult>> futures;
+    futures.reserve(requests.size());
+    for (const AllocRequest& request : requests) {
+        // Same QoS-knob mapping as the inline retrieval in allocate().
+        cbr::RetrievalOptions options;
+        options.n_best = request.n_best;
+        options.threshold = request.threshold;
+        futures.push_back(engine.submit(request.request, options));
+    }
+    // Past this point nothing may throw past a grant: platform tasks are
+    // already being launched, and an escaping exception would discard
+    // their TaskIds (unreleasable leak).  A dropped retrieval (engine
+    // shut down mid-batch) therefore becomes a per-request rejection.
+    std::vector<AllocationOutcome> outcomes;
+    outcomes.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        try {
+            outcomes.push_back(allocate_prepared(requests[i], futures[i].get()));
+        } catch (const std::future_error&) {
+            ++stats_.requests;  // allocate_prepared never ran for this one
+            outcomes.push_back(reject(RejectReason::retrieval_failed));
+        } catch (const std::runtime_error&) {
+            ++stats_.requests;
+            outcomes.push_back(reject(RejectReason::retrieval_failed));
+        }
+    }
+    return outcomes;
+}
+
+AllocationOutcome AllocationManager::reject(RejectReason reason) {
+    AllocationOutcome outcome;
+    outcome.kind = AllocationOutcome::Kind::rejected;
+    outcome.reject = reason;
+    ++stats_.rejections;
+    return outcome;
+}
+
+AllocationOutcome AllocationManager::decide(const AllocRequest& request,
+                                            const cbr::RetrievalResult& retrieved) {
     if (retrieved.status == cbr::RetrievalStatus::type_not_found) {
-        outcome.reject = RejectReason::type_not_found;
-        outcome.kind = AllocationOutcome::Kind::rejected;
-        ++stats_.rejections;
-        return outcome;
+        return reject(RejectReason::type_not_found);
     }
     if (!retrieved.ok()) {
-        outcome.reject = RejectReason::below_threshold;
-        outcome.kind = AllocationOutcome::Kind::rejected;
-        ++stats_.rejections;
-        return outcome;
+        return reject(RejectReason::below_threshold);
     }
+    AllocationOutcome outcome;
 
     // ---- 3. feasibility of every candidate ------------------------------
     const cbr::FunctionType* type = cb_->find_type(request.request.type());
@@ -172,10 +243,7 @@ AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
                                          : static_cast<const AllocationPolicy&>(kDefaultPolicy);
     const auto chosen = policy.pick(candidates, platform_->snapshot());
     if (!chosen) {
-        outcome.reject = RejectReason::nothing_feasible;
-        outcome.kind = AllocationOutcome::Kind::rejected;
-        ++stats_.rejections;
-        return outcome;
+        return reject(RejectReason::nothing_feasible);
     }
     const Candidate& choice = candidates[*chosen];
 

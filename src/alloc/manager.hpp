@@ -11,12 +11,34 @@
 //      alternative is — returns a counter-offer the application must decide
 //      on (§2/§3's QoS negotiation);
 //   6. on rejection the application can relax the request and retry (§3).
+//
+// Serving integration (§5 outlook: "several applications" against one case
+// base).  The retrieval step — the paper's measured bottleneck (§4) — can
+// be fanned out across cores through the sharded serve::Engine:
+// allocate_batch() submits every request's n-best retrieval to the engine
+// and then replays the decision procedure (bypass, feasibility, policy,
+// negotiation) serially in request order, producing outcomes identical to
+// calling allocate() one by one.  rebind() accepts a published
+// serve::Generation directly, adopting its already-compiled plans instead
+// of recompiling — the epoch tag invalidates outstanding bypass tokens
+// exactly like a manual rebind.
+//
+// Thread safety: one AllocationManager instance serves one decision thread
+// (the platform mutations in steps 3–5 are inherently serial); only the
+// retrieval fan-out inside allocate_batch is concurrent.  Catalogue
+// mutations (engine retain/revise) must be quiesced for the duration of
+// an allocate_batch call: a retrieval served on a newer epoch can return
+// a variant the manager's pinned generation does not know, which fails
+// the manager's internal contracts (ContractViolation) instead of
+// silently degrading.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "alloc/bypass.hpp"
 #include "alloc/feasibility.hpp"
@@ -25,7 +47,12 @@
 #include "core/compiled.hpp"
 #include "core/request.hpp"
 #include "core/retrieval.hpp"
+#include "serve/generation.hpp"
 #include "sysmodel/system.hpp"
+
+namespace qfa::serve {
+class Engine;
+}  // namespace qfa::serve
 
 namespace qfa::alloc {
 
@@ -68,6 +95,8 @@ enum class RejectReason {
     below_threshold,      ///< no candidate passed the similarity threshold
     nothing_feasible,     ///< candidates exist but none fits, even preempting
     repository_miss,      ///< configuration data missing for the choice
+    retrieval_failed,     ///< batch fan-out: the serve engine dropped the job
+                          ///< (shutdown mid-batch); retry on a live engine
 };
 
 [[nodiscard]] const char* reject_reason_name(RejectReason reason) noexcept;
@@ -106,8 +135,35 @@ public:
                       std::unique_ptr<AllocationPolicy> policy = nullptr,
                       std::size_t bypass_capacity = 64);
 
+    // Not copyable/movable: compiled_ may point at the manager's own
+    // owned_compiled_ member, which a generated move would leave dangling.
+    AllocationManager(const AllocationManager&) = delete;
+    AllocationManager& operator=(const AllocationManager&) = delete;
+
     /// Handles one function call.
     AllocationOutcome allocate(const AllocRequest& request);
+
+    /// allocate() with the n-best retrieval already performed (the serve
+    /// engine's fan-out path): the bypass cache is still consulted first —
+    /// a valid token wins over the prefetched result, exactly as in
+    /// allocate() — then the decision procedure runs on `retrieved`.
+    /// Outcomes are identical to allocate() provided `retrieved` was
+    /// produced against the manager's bound catalogue with the request's
+    /// n_best / threshold.
+    AllocationOutcome allocate_prepared(const AllocRequest& request,
+                                        const cbr::RetrievalResult& retrieved);
+
+    /// Batch front-end: fans every request's retrieval out across the
+    /// engine's shards (multi-core), then decides serially in request
+    /// order.  outcomes[i] is identical to calling allocate(requests[i])
+    /// sequentially.  Requires the manager to be rebound to the engine's
+    /// current generation (rebind(engine.current())) so both sides score
+    /// the same epoch.  Requests are validated before anything is
+    /// submitted; once deciding starts, nothing throws past a grant — if
+    /// the engine is shut down mid-batch, the affected requests come back
+    /// rejected with RejectReason::retrieval_failed instead.
+    std::vector<AllocationOutcome> allocate_batch(std::span<const AllocRequest> requests,
+                                                  serve::Engine& engine);
 
     /// Accepts a pending counter-offer: launches the alternative.
     AllocationOutcome accept_offer(std::uint64_t offer_id);
@@ -122,6 +178,13 @@ public:
     /// change whenever content changed — it invalidates bypass tokens.
     void rebind(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
                 std::uint64_t epoch);
+
+    /// Rebinds to a published serve generation without recompiling: the
+    /// generation already carries the compiled plans for exactly its tree
+    /// and bounds.  The manager holds the GenerationPtr, so the epoch
+    /// stays alive while bound even after the engine publishes successors;
+    /// the generation's epoch tag invalidates bypass tokens.
+    void rebind(serve::GenerationPtr generation);
 
     [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
     [[nodiscard]] const BypassStats& bypass_stats() const noexcept {
@@ -141,13 +204,30 @@ private:
                                        const FeasibilityVerdict& feasibility,
                                        bool via_bypass);
 
+    /// Step 1 of allocate(): the bypass fast path.  Engaged outcome when a
+    /// valid token granted; nullopt when the caller must retrieve (the
+    /// stale token, if any, has been invalidated).
+    std::optional<AllocationOutcome> try_bypass(const AllocRequest& request);
+
+    /// Steps 2b–5 of allocate(): status checks, per-candidate feasibility,
+    /// policy choice, grant / counter-offer — shared by the inline and the
+    /// prepared (engine fan-out) retrieval paths.
+    AllocationOutcome decide(const AllocRequest& request,
+                             const cbr::RetrievalResult& retrieved);
+
+    /// Builds a rejected outcome and counts it.
+    AllocationOutcome reject(RejectReason reason);
+
     sys::Platform* platform_;
     const cbr::CaseBase* cb_;
     const cbr::BoundsTable* bounds_;
-    /// Columnar plan of the bound catalogue: compiled once per (re)bind, so
-    /// every retrieval under scenario traffic takes the allocation-free
+    /// Columnar plan of the bound catalogue: compiled once per (re)bind —
+    /// or borrowed from a serve::Generation, which already carries one —
+    /// so every retrieval under scenario traffic takes the allocation-free
     /// compiled fast path (bit-identical to the tree reference).
-    cbr::CompiledCaseBase compiled_;
+    cbr::CompiledCaseBase owned_compiled_;
+    const cbr::CompiledCaseBase* compiled_ = &owned_compiled_;
+    serve::GenerationPtr generation_;  ///< pins a borrowed epoch, else null
     cbr::RetrievalScratch scratch_;
     std::unique_ptr<AllocationPolicy> owned_policy_;
     BypassCache bypass_;

@@ -33,6 +33,18 @@
 // score_q15_compiled) is bit-identical to the tree-walking reference: same
 // operations in the same order, just over a layout the hardware — and the
 // cache — likes.
+//
+// Thread safety.  A CompiledCaseBase is immutable once constructed: any
+// number of threads may call find() / plans() / stats() and score against
+// the plans concurrently without synchronization, provided each thread uses
+// its own RetrievalScratch.  Mutation is modelled as *replacement*: the
+// retain path (§5's dynamic case-base update) builds a successor view with
+// patched() — copying untouched plans, splicing one row into the changed
+// type's columns — and publishes it wholesale (see serve/generation.hpp for
+// the epoch-based publication protocol).  A view's lifetime must cover the
+// source CaseBase/BoundsTable it was compiled against *and* every reader
+// still scoring through it; serve::Generation bundles all three under one
+// shared_ptr so retiring an epoch frees them together.
 #pragma once
 
 #include <cstddef>
@@ -104,6 +116,25 @@ public:
     /// Compiles every function type of `cb` against the design-global
     /// bounds table.
     CompiledCaseBase(const CaseBase& cb, const BoundsTable& bounds);
+
+    /// Incremental recompile after a retain/revise step (§5's dynamic
+    /// update): `cb`/`bounds` are the successor catalogue in which only the
+    /// implementation list of `changed` differs from `previous`'s source —
+    /// bounds entries may have widened (they only ever widen, see
+    /// BoundsTable::cover).  Untouched types keep their column payloads
+    /// (bulk copy, no tree walk); the changed type takes a row-splice fast
+    /// path when exactly one implementation was inserted, and falls back to
+    /// a single-type recompile otherwise (removal, bulk edits).  Column
+    /// dmax / divisor / Q15-reciprocal metadata is re-read from `bounds`
+    /// for *every* plan, because a widened design-global bound reaches into
+    /// other types' columns too.  The result is bit-identical to a fresh
+    /// CompiledCaseBase(cb, bounds) — same plans, same slots, same
+    /// quantized reciprocals — at a fraction of the cost (the point of the
+    /// serve layer's incremental epoch publication).
+    [[nodiscard]] static CompiledCaseBase patched(const CompiledCaseBase& previous,
+                                                  const CaseBase& cb,
+                                                  const BoundsTable& bounds,
+                                                  TypeId changed);
 
     /// Plan for a type id (binary search); nullptr when absent.
     [[nodiscard]] const TypePlan* find(TypeId id) const noexcept;

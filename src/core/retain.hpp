@@ -12,6 +12,16 @@
 //    observed failure rate disqualifies them;
 //  * bounds maintenance: design-global attribute bounds only ever widen, so
 //    previously packed supplemental tables remain conservative.
+//
+// Thread safety / serving.  DynamicCaseBase is *not* internally
+// synchronized: it is the writer-side master copy.  Under the serve layer
+// (src/serve) every mutator runs under the engine's writer mutex, and
+// readers never touch this object at all — each successful mutation bumps
+// epoch() and is turned into an immutable serve::Generation (snapshot +
+// incrementally patched compiled plans, see CompiledCaseBase::patched)
+// that is what retrieval threads actually score.  The epoch counter is
+// therefore also the published generation tag: one mutation, one epoch,
+// one atomic plan swap.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,7 @@
 #include "core/retrieval.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/contracts.hpp"
 
@@ -74,6 +75,34 @@ void collect_plan_details(const TypePlan& plan, std::size_t row,
 const Match& RetrievalResult::best() const {
     QFA_EXPECTS(!matches.empty(), "best() on an empty retrieval result");
     return matches.front();
+}
+
+bool identical_results(const RetrievalResult& a, const RetrievalResult& b) noexcept {
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    if (a.status != b.status || a.impls_considered != b.impls_considered ||
+        a.attrs_compared != b.attrs_compared || a.matches.size() != b.matches.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.matches.size(); ++i) {
+        const Match& x = a.matches[i];
+        const Match& y = b.matches[i];
+        if (x.type != y.type || x.impl != y.impl || x.target != y.target ||
+            bits(x.similarity) != bits(y.similarity) ||
+            x.details.size() != y.details.size()) {
+            return false;
+        }
+        for (std::size_t d = 0; d < x.details.size(); ++d) {
+            const LocalDetail& p = x.details[d];
+            const LocalDetail& q = y.details[d];
+            if (p.id != q.id || p.request_value != q.request_value ||
+                p.case_value != q.case_value || p.distance != q.distance ||
+                p.dmax != q.dmax || bits(p.weight) != bits(q.weight) ||
+                bits(p.similarity) != bits(q.similarity)) {
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 Retriever::Retriever(const CaseBase& cb, const BoundsTable& bounds,

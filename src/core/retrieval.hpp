@@ -15,6 +15,14 @@
 //  * candidates below a similarity threshold can be rejected (§3);
 //  * n-best retrieval (§5 outlook) returns the n top candidates so the
 //    allocation manager can check feasibility of alternatives.
+//
+// Thread safety.  A Retriever is a read-only view (four pointers); all
+// scoring members are const and touch no shared mutable state, so any
+// number of threads may retrieve through the same Retriever — or through
+// per-thread copies — concurrently, provided (a) each thread passes its
+// own RetrievalScratch and (b) the bound case base / bounds / compiled
+// view are not mutated meanwhile.  The serve engine (src/serve) satisfies
+// (b) by scoring only immutable epoch-published generations.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +97,15 @@ struct RetrievalResult {
     [[nodiscard]] bool ok() const noexcept { return status == RetrievalStatus::ok; }
     [[nodiscard]] const Match& best() const;
 };
+
+/// Bit-identity of two retrieval results: same status and effort counters,
+/// same ranked (type, impl, target) sequence, bitwise-equal similarities,
+/// and equal detail rows (bitwise on their doubles) when collected.  This
+/// is *the* golden-model comparison — the compiled fast paths, the serve
+/// engine and the self-checking benches all claim equality in exactly this
+/// sense, so they all share this one definition.
+[[nodiscard]] bool identical_results(const RetrievalResult& a,
+                                     const RetrievalResult& b) noexcept;
 
 /// Reference retriever over the in-memory case base.
 class Retriever {

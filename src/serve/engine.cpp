@@ -1,0 +1,169 @@
+#include "serve/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace qfa::serve {
+
+namespace {
+
+/// The exception a submission resolves to when the engine stopped first.
+std::exception_ptr engine_stopped() {
+    return std::make_exception_ptr(std::runtime_error("serve engine is shut down"));
+}
+
+}  // namespace
+
+Engine::Engine(cbr::CaseBase initial, EngineConfig config)
+    : master_(std::move(initial)),
+      store_(make_generation(master_.epoch(), master_.snapshot(), master_.bounds())) {
+    QFA_EXPECTS(config.shard_count >= 1, "engine needs at least one shard");
+    QFA_EXPECTS(config.queue_capacity >= 1, "engine needs a positive queue capacity");
+    shards_.reserve(config.shard_count);
+    for (std::size_t i = 0; i < config.shard_count; ++i) {
+        shards_.push_back(std::make_unique<Shard>(config.queue_capacity));
+    }
+    // Workers start only after every shard exists: shard_of indexes the
+    // final vector.
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        shard->worker = std::thread([this, &shard = *shard] { worker_loop(shard); });
+    }
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::worker_loop(Shard& shard) {
+    // One scratch per worker: the compiled path's steady state allocates
+    // nothing beyond returned matches.  The generation is pinned per job
+    // and released before blocking on an empty queue, so an idle shard
+    // never keeps a retired epoch (tree + plans) alive; the Retriever it
+    // binds is four pointers, not worth caching across epochs.
+    cbr::RetrievalScratch scratch;
+    while (std::optional<Job> job = shard.queue.pop()) {
+        const GenerationPtr pinned = store_.load();
+        const cbr::Retriever retriever(pinned->case_base, pinned->bounds,
+                                       pinned->compiled);
+        // Count before fulfilling the promise: anyone who has observed the
+        // result must also observe it in the stats.
+        shard.served.fetch_add(1, std::memory_order_relaxed);
+        try {
+            job->promise.set_value(
+                retriever.retrieve_compiled(job->request, job->options, &scratch));
+        } catch (...) {
+            job->promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+std::future<cbr::RetrievalResult> Engine::submit(cbr::Request request,
+                                                 cbr::RetrievalOptions options) {
+    // Counted before the push so stats() never observes served > submitted;
+    // the refused-push path below undoes it.
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    Job job{std::move(request), options, {}};
+    std::future<cbr::RetrievalResult> future = job.promise.get_future();
+    Shard& shard = *shards_[shard_of(job.request.type())];
+    if (stopped_.load(std::memory_order_acquire) || !shard.queue.push(std::move(job))) {
+        // The job (promise included) was moved into push() and destroyed
+        // there on refusal, so `future`'s shared state is broken_promise;
+        // hand the caller a fresh future carrying the real reason instead.
+        submitted_.fetch_sub(1, std::memory_order_relaxed);
+        std::promise<cbr::RetrievalResult> broken;
+        future = broken.get_future();
+        broken.set_exception(engine_stopped());
+        return future;
+    }
+    return future;
+}
+
+std::vector<cbr::RetrievalResult> Engine::retrieve_all(
+    std::span<const cbr::Request> requests, const cbr::RetrievalOptions& options) {
+    std::vector<std::future<cbr::RetrievalResult>> futures;
+    futures.reserve(requests.size());
+    for (const cbr::Request& request : requests) {
+        futures.push_back(submit(request, options));
+    }
+    std::vector<cbr::RetrievalResult> results;
+    results.reserve(futures.size());
+    for (std::future<cbr::RetrievalResult>& future : futures) {
+        results.push_back(future.get());
+    }
+    return results;
+}
+
+cbr::RetainVerdict Engine::retain(cbr::TypeId type, cbr::Implementation impl,
+                                  double novelty_threshold) {
+    std::lock_guard lock(writer_mutex_);
+    const cbr::RetainVerdict verdict = master_.retain(type, std::move(impl), novelty_threshold);
+    if (verdict == cbr::RetainVerdict::retained) {
+        retains_.fetch_add(1, std::memory_order_relaxed);
+        publish_locked(type);
+    }
+    return verdict;
+}
+
+bool Engine::add_type(cbr::TypeId id, std::string name) {
+    std::lock_guard lock(writer_mutex_);
+    if (!master_.add_type(id, std::move(name))) {
+        return false;
+    }
+    publish_locked(id);
+    return true;
+}
+
+bool Engine::remove_implementation(cbr::TypeId type, cbr::ImplId impl) {
+    std::lock_guard lock(writer_mutex_);
+    if (!master_.remove_implementation(type, impl)) {
+        return false;
+    }
+    publish_locked(type);
+    return true;
+}
+
+void Engine::publish_locked(cbr::TypeId changed) {
+    const GenerationPtr previous = store_.load();
+    store_.publish(patch_generation(*previous, master_.epoch(), master_.snapshot(),
+                                    master_.bounds(), changed));
+    published_epochs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+cbr::MaintenanceStats Engine::maintenance_stats() const {
+    std::lock_guard lock(writer_mutex_);
+    return master_.stats();
+}
+
+EngineStats Engine::stats() const {
+    EngineStats stats;
+    stats.submitted = submitted_.load(std::memory_order_relaxed);
+    stats.retains = retains_.load(std::memory_order_relaxed);
+    stats.published_epochs = published_epochs_.load(std::memory_order_relaxed);
+    stats.shard_served.reserve(shards_.size());
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        const std::uint64_t served = shard->served.load(std::memory_order_relaxed);
+        stats.shard_served.push_back(served);
+        stats.served += served;
+    }
+    return stats;
+}
+
+void Engine::shutdown() {
+    // Serialized: a concurrent second caller (including the destructor)
+    // blocks until the first caller's close + joins complete, so nobody
+    // returns from shutdown() while workers are still running.
+    std::lock_guard lock(shutdown_mutex_);
+    if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+        return;
+    }
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        shard->queue.close();
+    }
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        if (shard->worker.joinable()) {
+            shard->worker.join();
+        }
+    }
+}
+
+}  // namespace qfa::serve

@@ -1,0 +1,172 @@
+// The sharded serving engine — fig. 1's allocation manager as an always-on
+// multi-core service.
+//
+// §5's outlook is explicit: the allocation manager is meant to serve "the
+// dynamic allocation of functions requested by several applications" at run
+// time, and the retrieval unit exists because software retrieval was the
+// bottleneck (§4's ~8.5x hardware speedup).  On a multi-core host the same
+// bottleneck is answered with parallelism instead of RTL: this engine
+// partitions the compiled type plans (core/compiled.hpp) across worker
+// threads and serves retrievals from all cores at once.
+//
+//  * Sharding.  Function types are distributed over `shard_count` shards by
+//    TypeId (shard_of).  Every request names exactly one type (fig. 4's
+//    request list starts with the basic-function id), so a request is
+//    served entirely by one shard — no cross-shard coordination, no
+//    locking on the hot path.  Each worker owns a private RetrievalScratch,
+//    so steady-state retrieval performs no allocation and no sharing.
+//  * Queueing.  Producers (application threads) push jobs into the target
+//    shard's bounded MPMC queue (serve/queue.hpp) and receive a
+//    std::future for the result; backpressure is by blocking at capacity.
+//  * Epochs.  The catalogue lives in a PlanStore (serve/generation.hpp).
+//    Workers pin the current Generation per job; retain()/revise() build
+//    the successor with an incremental plan patch and publish it with one
+//    atomic swap — readers never block on a writer, writers never wait for
+//    readers (§5's "dynamic update mechanisms" without a stop-the-world).
+//
+// Bit-identity: a retrieval served by any shard at epoch E performs exactly
+// the floating-point / Q15 operations of the single-threaded
+// Retriever::retrieve_compiled against generation E — sharding only decides
+// *where* a plan is scored, never *how*.
+//
+// Thread safety: submit / retrieve_all / retain / add_type /
+// remove_implementation / current / epoch / stats are all safe from any
+// thread.  Mutations serialize on an internal writer mutex; retrievals
+// never take it.  shutdown() (and the destructor) closes the queues,
+// drains accepted jobs and joins the workers.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/retain.hpp"
+#include "core/retrieval.hpp"
+#include "serve/generation.hpp"
+#include "serve/queue.hpp"
+
+namespace qfa::serve {
+
+/// Engine shape knobs.
+struct EngineConfig {
+    std::size_t shard_count = 4;      ///< worker threads / plan partitions
+    std::size_t queue_capacity = 1024;  ///< per-shard backlog bound
+};
+
+/// Monotone counters (mirrors ManagerStats' role for the serve layer).
+struct EngineStats {
+    std::uint64_t submitted = 0;        ///< jobs accepted into a queue
+    std::uint64_t served = 0;           ///< jobs completed by workers
+    std::uint64_t retains = 0;          ///< successful retain() calls
+    std::uint64_t published_epochs = 0; ///< generations published (every one
+                                        ///< built by incremental patching)
+    std::vector<std::uint64_t> shard_served;  ///< per-shard completion counts
+};
+
+class Engine {
+public:
+    /// Spawns the shard workers over an initial catalogue; design-global
+    /// bounds are derived from the tree (BoundsTable::from_case_base), and
+    /// only widen afterwards as retain() covers new values.
+    explicit Engine(cbr::CaseBase initial, EngineConfig config = {});
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /// Joins the workers after draining accepted jobs.
+    ~Engine();
+
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+    /// The shard that owns a function type's plan.
+    [[nodiscard]] std::size_t shard_of(cbr::TypeId type) const noexcept {
+        return type.value() % shards_.size();
+    }
+
+    /// Enqueues one retrieval on the owning shard.  The future resolves to
+    /// the same result the single-threaded compiled path produces at the
+    /// pinned epoch; it carries an exception if the engine is shut down
+    /// before the job runs.
+    /// The allocation layer's batch front-end
+    /// (AllocationManager::allocate_batch) fans its AllocRequests out
+    /// through this, mapping each request's QoS knobs (n_best width, §3
+    /// threshold) onto the options — the serve layer itself stays below
+    /// alloc and knows nothing about grants.
+    [[nodiscard]] std::future<cbr::RetrievalResult> submit(cbr::Request request,
+                                                           cbr::RetrievalOptions options = {});
+
+    /// Blocking batch helper: submits every request, waits for all, and
+    /// returns results in input order — bit-identical to
+    /// Retriever::retrieve_batch on the current generation.
+    [[nodiscard]] std::vector<cbr::RetrievalResult> retrieve_all(
+        std::span<const cbr::Request> requests, const cbr::RetrievalOptions& options = {});
+
+    /// Retain (§5 self-learning): novelty-checks and inserts the variant,
+    /// then publishes a new epoch whose plans were *patched*, not
+    /// recompiled (one row splice into the type's columns).  Readers keep
+    /// scoring the old epoch until their in-flight request completes.
+    cbr::RetainVerdict retain(cbr::TypeId type, cbr::Implementation impl,
+                              double novelty_threshold = 0.98);
+
+    /// Adds an (empty) function type and publishes the successor epoch.
+    bool add_type(cbr::TypeId id, std::string name);
+
+    /// Removes one variant (the revise step's primitive) and publishes the
+    /// successor epoch; the changed type's plan is recompiled (removal has
+    /// no splice fast path), everything else is patched.
+    bool remove_implementation(cbr::TypeId type, cbr::ImplId impl);
+
+    /// Pins the current generation — e.g. to rebind an AllocationManager to
+    /// the served catalogue without recompiling (the generation already
+    /// carries compiled plans).  Safe to hold across later publishes.
+    [[nodiscard]] GenerationPtr current() const noexcept { return store_.load(); }
+
+    /// Epoch of the current generation (== the master case base's mutation
+    /// counter).
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return store_.load()->epoch; }
+
+    /// Retain/revise bookkeeping of the master case base.
+    [[nodiscard]] cbr::MaintenanceStats maintenance_stats() const;
+
+    [[nodiscard]] EngineStats stats() const;
+
+    /// Closes the queues, drains accepted jobs, joins workers.  Idempotent;
+    /// submissions after shutdown resolve to a broken-engine exception.
+    void shutdown();
+
+private:
+    struct Job {
+        cbr::Request request;
+        cbr::RetrievalOptions options;
+        std::promise<cbr::RetrievalResult> promise;
+    };
+
+    struct Shard {
+        explicit Shard(std::size_t capacity) : queue(capacity) {}
+        BoundedMpmcQueue<Job> queue;
+        std::thread worker;
+        std::atomic<std::uint64_t> served{0};
+    };
+
+    void worker_loop(Shard& shard);
+
+    /// Builds and publishes the successor generation for a mutation of
+    /// `changed`.  Caller holds writer_mutex_.
+    void publish_locked(cbr::TypeId changed);
+
+    cbr::DynamicCaseBase master_;   ///< writer-side truth; guarded by writer_mutex_
+    PlanStore store_;               ///< reader-side publication point
+    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable std::mutex writer_mutex_;
+    std::mutex shutdown_mutex_;
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> retains_{0};
+    std::atomic<std::uint64_t> published_epochs_{0};
+    std::atomic<bool> stopped_{false};
+};
+
+}  // namespace qfa::serve

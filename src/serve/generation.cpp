@@ -1,0 +1,56 @@
+#include "serve/generation.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace qfa::serve {
+
+namespace {
+
+/// Allocates the generation shell first so the compiled plans can be built
+/// against the members' final addresses (CompiledCaseBase keeps pointers to
+/// its sources for the bind-time identity checks).
+std::shared_ptr<Generation> make_shell(std::uint64_t epoch, cbr::CaseBase case_base,
+                                       cbr::BoundsTable bounds) {
+    auto generation = std::make_shared<Generation>();
+    generation->epoch = epoch;
+    generation->case_base = std::move(case_base);
+    generation->bounds = std::move(bounds);
+    return generation;
+}
+
+}  // namespace
+
+GenerationPtr make_generation(std::uint64_t epoch, cbr::CaseBase case_base,
+                              cbr::BoundsTable bounds) {
+    auto generation = make_shell(epoch, std::move(case_base), std::move(bounds));
+    generation->compiled = cbr::CompiledCaseBase(generation->case_base, generation->bounds);
+    return generation;
+}
+
+GenerationPtr patch_generation(const Generation& previous, std::uint64_t epoch,
+                               cbr::CaseBase case_base, cbr::BoundsTable bounds,
+                               cbr::TypeId changed) {
+    QFA_EXPECTS(epoch > previous.epoch, "successor epochs must strictly increase");
+    auto generation = make_shell(epoch, std::move(case_base), std::move(bounds));
+    generation->compiled = cbr::CompiledCaseBase::patched(
+        previous.compiled, generation->case_base, generation->bounds, changed);
+    return generation;
+}
+
+PlanStore::PlanStore(GenerationPtr initial) : current_(std::move(initial)) {
+    QFA_EXPECTS(current_.load() != nullptr, "plan store needs an initial generation");
+}
+
+GenerationPtr PlanStore::load() const noexcept {
+    return current_.load(std::memory_order_acquire);
+}
+
+void PlanStore::publish(GenerationPtr next) {
+    QFA_EXPECTS(next != nullptr, "cannot publish a null generation");
+    QFA_EXPECTS(next->epoch > load()->epoch, "epochs must be published in order");
+    current_.store(std::move(next), std::memory_order_release);
+}
+
+}  // namespace qfa::serve

@@ -1,0 +1,91 @@
+// Epoch-based catalogue publication — RCU for compiled retrieval plans.
+//
+// The paper compiles the case base into supplemental word lists at design
+// time (§3, figs. 4/5) and §5 names run-time case-base update as the open
+// extension.  Updating a *served* catalogue poses the classic
+// reader/writer problem: retrieval threads are streaming the compiled
+// columns while retain() wants to replace them.  The serve layer resolves
+// it the RCU way — immutability plus epoch swap:
+//
+//  * a Generation bundles one immutable catalogue state: the tree
+//    (CaseBase), the design-global supplemental table (BoundsTable), the
+//    compiled columnar plans built from exactly those two, and the epoch
+//    counter identifying the state;
+//  * readers pin a Generation with one atomic shared_ptr load and score
+//    against it for the duration of a request — they can never observe a
+//    torn column, because nothing a reader can reach is ever written again;
+//  * the writer builds the successor Generation off to the side (usually
+//    with CompiledCaseBase::patched, so a retain costs one row splice, not
+//    a recompile) and publishes it with one atomic store;
+//  * the last reader dropping its shared_ptr frees the retired epoch —
+//    there is no grace-period machinery to get wrong.
+//
+// Thread safety: Generation is deeply immutable after make_generation /
+// patch_generation returns.  PlanStore::load is safe from any thread and
+// never blocks on a publish in progress (the libstdc++ atomic<shared_ptr>
+// control word is the only contention point); publishers must be
+// serialized by the caller — see PlanStore::publish.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/compiled.hpp"
+#include "core/ids.hpp"
+
+namespace qfa::serve {
+
+/// One immutable, epoch-tagged catalogue state.  The compiled plans point
+/// into the sibling case_base/bounds members, so the three always retire
+/// together — holding the shared_ptr keeps every pointer a reader can
+/// reach alive.
+struct Generation {
+    std::uint64_t epoch = 0;
+    cbr::CaseBase case_base;
+    cbr::BoundsTable bounds;
+    cbr::CompiledCaseBase compiled;  ///< built from the two members above
+};
+
+using GenerationPtr = std::shared_ptr<const Generation>;
+
+/// Builds a generation by full compilation (engine start-up, or the
+/// fallback when no predecessor exists).
+[[nodiscard]] GenerationPtr make_generation(std::uint64_t epoch, cbr::CaseBase case_base,
+                                            cbr::BoundsTable bounds);
+
+/// Builds the successor of `previous` after a mutation confined to
+/// `changed` (retain / remove / add_type), via CompiledCaseBase::patched:
+/// untouched type plans are copied wholesale, the changed type is spliced
+/// or recompiled, and widened bounds are re-read into every plan's
+/// supplemental columns.  Bit-identical to make_generation on the same
+/// inputs.
+[[nodiscard]] GenerationPtr patch_generation(const Generation& previous,
+                                             std::uint64_t epoch, cbr::CaseBase case_base,
+                                             cbr::BoundsTable bounds, cbr::TypeId changed);
+
+/// The single publication point readers and the writer share.
+class PlanStore {
+public:
+    explicit PlanStore(GenerationPtr initial);
+
+    /// Pins the current generation (atomic acquire load; never blocks on a
+    /// concurrent publish).
+    [[nodiscard]] GenerationPtr load() const noexcept;
+
+    /// Publishes a successor (atomic release store).  Readers that already
+    /// pinned the predecessor finish their request on it; new loads see
+    /// `next`.  Epochs must be published in strictly increasing order, and
+    /// *publishers must be externally serialized* (the engine's writer
+    /// mutex does this): the epoch-order precondition is checked
+    /// check-then-store, so two racing publishers could both pass it and
+    /// commit out of order.  load() stays safe from any thread concurrently
+    /// with a publish.
+    void publish(GenerationPtr next);
+
+private:
+    std::atomic<GenerationPtr> current_;
+};
+
+}  // namespace qfa::serve

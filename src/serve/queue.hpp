@@ -1,0 +1,114 @@
+// Bounded MPMC job queue — the serving engine's request mailbox.
+//
+// §5's outlook has "several applications" issuing QoS requests against one
+// case base; the serve layer realizes that as producer threads pushing jobs
+// into per-shard queues drained by worker threads.  The queue is
+// deliberately a plain mutex + two-condition-variable monitor rather than a
+// lock-free ring: one retrieval costs microseconds (a full column sweep per
+// constraint), so enqueue overhead is noise, and the monitor form is
+// trivially correct under ThreadSanitizer.  Capacity bounds give
+// backpressure: a producer outrunning the shards blocks instead of growing
+// an unbounded backlog (the admission analogue of §3's "reject requests the
+// platform cannot serve").
+//
+// Thread safety: every member is safe to call from any number of producer
+// and consumer threads concurrently.  close() wakes all waiters; items
+// already queued are still drained (graceful shutdown), pushes after close
+// are refused.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace qfa::serve {
+
+template <typename T>
+class BoundedMpmcQueue {
+public:
+    explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
+        QFA_EXPECTS(capacity >= 1, "queue capacity must be at least 1");
+    }
+
+    BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+    BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+    /// Blocks while the queue is full; false when it was closed instead
+    /// (the item is dropped — the caller owns failure signalling).
+    bool push(T item) {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+        if (closed_) {
+            return false;
+        }
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push; false when full or closed.
+    bool try_push(T item) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) {
+                return false;
+            }
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks while the queue is empty; nullopt once closed *and* drained.
+    std::optional<T> pop() {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) {
+            return std::nullopt;  // closed and fully drained
+        }
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Refuses further pushes and wakes every waiter.  Idempotent; queued
+    /// items remain poppable so shutdown never loses accepted work.
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+}  // namespace qfa::serve

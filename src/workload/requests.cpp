@@ -70,4 +70,17 @@ std::vector<GeneratedRequest> generate_request_batch(const cbr::CaseBase& cb,
     return batch;
 }
 
+std::vector<std::vector<GeneratedRequest>> generate_request_streams(
+    const cbr::CaseBase& cb, const cbr::BoundsTable& bounds, std::size_t streams,
+    std::size_t per_stream, util::Rng& rng, const RequestGenConfig& config) {
+    QFA_EXPECTS(streams >= 1, "stream generation needs at least one stream");
+    std::vector<std::vector<GeneratedRequest>> out;
+    out.reserve(streams);
+    for (std::size_t i = 0; i < streams; ++i) {
+        util::Rng child = rng.split();
+        out.push_back(generate_request_batch(cb, bounds, per_stream, child, config));
+    }
+    return out;
+}
+
 }  // namespace qfa::wl

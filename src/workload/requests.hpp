@@ -51,6 +51,17 @@ struct GeneratedRequest {
     const cbr::CaseBase& cb, const cbr::BoundsTable& bounds, std::size_t count,
     util::Rng& rng, const RequestGenConfig& config = {});
 
+/// Partitions a request workload into `streams` per-producer sub-streams —
+/// the input shape for the serve engine's concurrent submitters (stress
+/// tests, multi-application benches).  Stream i draws from its own
+/// Rng::split child, so its contents are a pure function of (config, rng
+/// state, i): reordering or interleaving producer threads cannot change
+/// what any stream asks for.  Requires streams >= 1 and at least one
+/// implemented type.
+[[nodiscard]] std::vector<std::vector<GeneratedRequest>> generate_request_streams(
+    const cbr::CaseBase& cb, const cbr::BoundsTable& bounds, std::size_t streams,
+    std::size_t per_stream, util::Rng& rng, const RequestGenConfig& config = {});
+
 /// Uniformly random type id present in the case base (requires non-empty).
 [[nodiscard]] cbr::TypeId random_type(const cbr::CaseBase& cb, util::Rng& rng);
 

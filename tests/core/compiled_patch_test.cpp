@@ -1,0 +1,196 @@
+// CompiledCaseBase::patched must be *bit-identical* to a fresh compile of
+// the successor catalogue: same plans, same column payloads (including
+// sentinel slots), same supplemental dmax / divisor / Q15-reciprocal
+// metadata — across row-splice fast paths (retain), recompile fallbacks
+// (remove), type insertion/erasure, and design-global bounds widening that
+// reaches into *other* types' columns.
+#include "core/compiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/retain.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::cbr;
+
+void expect_plans_identical(const CompiledCaseBase& fresh, const CompiledCaseBase& patched) {
+    ASSERT_EQ(fresh.plans().size(), patched.plans().size());
+    for (std::size_t t = 0; t < fresh.plans().size(); ++t) {
+        const TypePlan& a = fresh.plans()[t];
+        const TypePlan& b = patched.plans()[t];
+        EXPECT_EQ(a.id, b.id);
+        ASSERT_EQ(a.impl_count, b.impl_count);
+        EXPECT_EQ(a.impl_ids, b.impl_ids);
+        EXPECT_EQ(a.targets, b.targets);
+        EXPECT_EQ(a.attr_ids, b.attr_ids);
+        EXPECT_EQ(a.dmax, b.dmax);
+        ASSERT_EQ(a.divisor.size(), b.divisor.size());
+        for (std::size_t c = 0; c < a.divisor.size(); ++c) {
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(a.divisor[c]),
+                      std::bit_cast<std::uint64_t>(b.divisor[c]))
+                << "divisor, type " << a.id.value() << " column " << c;
+        }
+        EXPECT_EQ(a.reciprocal, b.reciprocal);
+        EXPECT_EQ(a.values, b.values);
+        ASSERT_EQ(a.present.size(), b.present.size());
+        for (std::size_t s = 0; s < a.present.size(); ++s) {
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(a.present[s]),
+                      std::bit_cast<std::uint64_t>(b.present[s]))
+                << "present, type " << a.id.value() << " slot " << s;
+        }
+        EXPECT_EQ(a.present_mask, b.present_mask);
+    }
+}
+
+/// Drives a DynamicCaseBase mutation, then checks patched-vs-fresh.
+struct Harness {
+    DynamicCaseBase dynamic;
+    CaseBase tree;
+    BoundsTable bounds;
+    CompiledCaseBase compiled;
+
+    explicit Harness(CaseBase initial)
+        : dynamic(std::move(initial)),
+          tree(dynamic.snapshot()),
+          bounds(dynamic.bounds()),
+          compiled(tree, bounds) {}
+
+    /// After a successful mutation of `changed`: advance to the successor
+    /// state via patched() and assert bit-identity with a fresh compile.
+    void check_advance(TypeId changed) {
+        CaseBase next_tree = dynamic.snapshot();
+        BoundsTable next_bounds = dynamic.bounds();
+        CompiledCaseBase patched =
+            CompiledCaseBase::patched(compiled, next_tree, next_bounds, changed);
+        const CompiledCaseBase fresh(next_tree, next_bounds);
+        expect_plans_identical(fresh, patched);
+        EXPECT_EQ(patched.source(), &next_tree);
+        EXPECT_EQ(patched.source_bounds(), &next_bounds);
+        tree = std::move(next_tree);
+        bounds = std::move(next_bounds);
+        // Rebuild against the members' final addresses (tree/bounds moved).
+        compiled = CompiledCaseBase::patched(compiled, tree, bounds, changed);
+    }
+};
+
+Implementation make_impl(ImplId id, Target target, std::vector<Attribute> attrs) {
+    Implementation impl;
+    impl.id = id;
+    impl.target = target;
+    impl.attributes = std::move(attrs);
+    return impl;
+}
+
+TEST(CompiledPatchTest, RetainSpliceMatchesFreshCompile) {
+    Harness h(paper_example_case_base());
+
+    // Append-at-end (fresh id above every existing one).
+    ASSERT_EQ(h.dynamic.retain(TypeId{1}, make_impl(ImplId{9}, Target::dsp,
+                                                    {{AttrId{1}, 12}, {AttrId{4}, 30}})),
+              RetainVerdict::retained);
+    h.check_advance(TypeId{1});
+
+    // Insert-in-the-middle (id 4 lands between the seed ids and 9).
+    ASSERT_EQ(h.dynamic.retain(TypeId{1}, make_impl(ImplId{4}, Target::fpga,
+                                                    {{AttrId{1}, 9}, {AttrId{2}, 1}})),
+              RetainVerdict::retained);
+    h.check_advance(TypeId{1});
+}
+
+TEST(CompiledPatchTest, NovelAttributeWidensBoundsAcrossTypes) {
+    // Two types sharing attribute 1.  Retaining a variant of type 2 with an
+    // out-of-range value for attribute 1 widens the design-global bound, so
+    // type 1's divisor/reciprocal columns must be refreshed too.
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "FIR")
+                      .add_impl(ImplId{1}, Target::gpp, {{AttrId{1}, 16}, {AttrId{2}, 1}})
+                      .begin_type(TypeId{2}, "FFT")
+                      .add_impl(ImplId{1}, Target::dsp, {{AttrId{1}, 8}})
+                      .build();
+    Harness h(std::move(cb));
+
+    ASSERT_EQ(h.dynamic.retain(
+                  TypeId{2}, make_impl(ImplId{7}, Target::fpga,
+                                       {{AttrId{1}, 200}, {AttrId{9}, 5}})),
+              RetainVerdict::retained);
+    EXPECT_GT(h.dynamic.bounds().dmax(AttrId{1}), h.bounds.dmax(AttrId{1}));
+    h.check_advance(TypeId{2});
+
+    // The untouched type's metadata picked up the widened bound.
+    const TypePlan* fir = h.compiled.find(TypeId{1});
+    ASSERT_NE(fir, nullptr);
+    const std::size_t c = fir->column_of(AttrId{1});
+    ASSERT_NE(c, TypePlan::npos);
+    EXPECT_EQ(fir->dmax[c], h.bounds.dmax(AttrId{1}));
+}
+
+TEST(CompiledPatchTest, RemoveTakesTheRecompileFallback) {
+    Harness h(paper_example_case_base());
+    ASSERT_TRUE(h.dynamic.remove_implementation(TypeId{1}, ImplId{2}));
+    h.check_advance(TypeId{1});
+    const TypePlan* fir = h.compiled.find(TypeId{1});
+    ASSERT_NE(fir, nullptr);
+    EXPECT_EQ(fir->impl_count, 2u);
+}
+
+TEST(CompiledPatchTest, AddTypeInsertsAPlan) {
+    Harness h(paper_example_case_base());
+    ASSERT_TRUE(h.dynamic.add_type(TypeId{7}, "IIR"));
+    h.check_advance(TypeId{7});
+    ASSERT_NE(h.compiled.find(TypeId{7}), nullptr);
+    EXPECT_EQ(h.compiled.find(TypeId{7})->impl_count, 0u);
+
+    ASSERT_EQ(h.dynamic.retain(TypeId{7}, make_impl(ImplId{1}, Target::fpga,
+                                                    {{AttrId{3}, 2}, {AttrId{5}, 40}})),
+              RetainVerdict::retained);
+    h.check_advance(TypeId{7});
+}
+
+TEST(CompiledPatchTest, RandomizedRetainSequenceStaysBitIdentical) {
+    util::Rng rng(0xBEEF5EEDULL);
+    wl::CatalogConfig config;
+    config.function_types = 5;
+    config.impls_per_type = 8;
+    config.attrs_per_impl = 7;
+    config.attr_dropout = 0.3;
+    wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds(config, rng);
+    Harness h(std::move(catalog.case_base));
+
+    std::uint16_t next_id = 1000;
+    std::size_t retained = 0;
+    for (int step = 0; step < 40; ++step) {
+        const auto types = h.tree.types();
+        const TypeId type = types[rng.index(types.size())].id;
+        std::vector<Attribute> attrs;
+        const std::size_t n_attrs = 1 + rng.index(6);
+        for (std::size_t a = 0; a < n_attrs; ++a) {
+            const AttrId id{static_cast<std::uint16_t>(1 + rng.index(12))};
+            bool duplicate = false;
+            for (const Attribute& existing : attrs) {
+                duplicate = duplicate || existing.id == id;
+            }
+            if (!duplicate) {
+                attrs.push_back({id, static_cast<AttrValue>(rng.index(300))});
+            }
+        }
+        const RetainVerdict verdict =
+            h.dynamic.retain(type, make_impl(ImplId{next_id++}, Target::dsp,
+                                             std::move(attrs)));
+        if (verdict == RetainVerdict::retained) {
+            ++retained;
+            h.check_advance(type);
+        }
+    }
+    EXPECT_GT(retained, 10u);  // the sequence must actually exercise the splice
+}
+
+}  // namespace

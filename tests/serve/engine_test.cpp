@@ -1,0 +1,283 @@
+// Serve engine semantics: sharded retrieval is bit-identical to the
+// single-threaded compiled reference at every shard count, submitted
+// options carry the §3 QoS knobs through the queues, retain() publishes
+// patched epochs that new requests observe, shutdown breaks late
+// submissions, and the allocation manager's batch front-end decides
+// exactly like sequential allocate().
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <future>
+#include <string>
+
+#include "alloc/manager.hpp"
+#include "core/retrieval.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::serve;
+using cbr::AttrId;
+using cbr::ImplId;
+using cbr::TypeId;
+
+/// One definition of bit-identity for the whole repo: the library's
+/// identical_results.  On mismatch, print the ranked lists for diagnosis.
+void expect_identical(const cbr::RetrievalResult& reference,
+                      const cbr::RetrievalResult& served) {
+    const bool same = cbr::identical_results(reference, served);
+    EXPECT_TRUE(same);
+    if (!same) {
+        for (std::size_t i = 0; i < std::max(reference.matches.size(), served.matches.size());
+             ++i) {
+            const auto row = [&](const cbr::RetrievalResult& r) {
+                return i < r.matches.size()
+                           ? "impl " + std::to_string(r.matches[i].impl.value()) + " S=" +
+                                 std::to_string(r.matches[i].similarity)
+                           : std::string("-");
+            };
+            ADD_FAILURE() << "rank " << i << ": reference " << row(reference)
+                          << " vs served " << row(served);
+        }
+    }
+}
+
+struct Workload {
+    wl::GeneratedCatalog catalog;
+    std::vector<cbr::Request> requests;
+};
+
+Workload make_workload(std::uint16_t types, std::uint16_t impls, std::size_t count,
+                       std::uint64_t seed) {
+    util::Rng rng(seed);
+    wl::CatalogConfig config;
+    config.function_types = types;
+    config.impls_per_type = impls;
+    config.attrs_per_impl = 8;
+    config.attr_dropout = 0.25;
+    Workload w{wl::generate_catalog_with_bounds(config, rng), {}};
+    const auto generated =
+        wl::generate_request_batch(w.catalog.case_base, w.catalog.bounds, count, rng);
+    w.requests.reserve(generated.size());
+    for (const wl::GeneratedRequest& g : generated) {
+        w.requests.push_back(g.request);
+    }
+    return w;
+}
+
+TEST(EngineTest, ShardedRetrievalMatchesReferenceAtEveryShardCount) {
+    const Workload w = make_workload(12, 6, 96, 0xA11CE);
+    cbr::RetrievalOptions options;
+    options.n_best = 4;
+    options.threshold = 0.2;
+
+    const cbr::Retriever reference(w.catalog.case_base, w.catalog.bounds);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        EngineConfig config;
+        config.shard_count = shards;
+        Engine engine(w.catalog.case_base, config);
+        EXPECT_EQ(engine.shard_count(), shards);
+
+        const std::vector<cbr::RetrievalResult> served =
+            engine.retrieve_all(w.requests, options);
+        ASSERT_EQ(served.size(), w.requests.size());
+        for (std::size_t i = 0; i < w.requests.size(); ++i) {
+            expect_identical(reference.retrieve(w.requests[i], options), served[i]);
+        }
+
+        const EngineStats stats = engine.stats();
+        EXPECT_EQ(stats.submitted, w.requests.size());
+        EXPECT_EQ(stats.served, w.requests.size());
+        ASSERT_EQ(stats.shard_served.size(), shards);
+        if (shards > 1) {
+            // 12 types spread over the shards: no shard serves everything.
+            for (const std::uint64_t count : stats.shard_served) {
+                EXPECT_LT(count, w.requests.size());
+            }
+        }
+    }
+}
+
+TEST(EngineTest, RequestsRouteToTheOwningShard) {
+    const Workload w = make_workload(8, 4, 32, 0xB0B);
+    EngineConfig config;
+    config.shard_count = 4;
+    Engine engine(w.catalog.case_base, config);
+    for (const cbr::Request& request : w.requests) {
+        EXPECT_EQ(engine.shard_of(request.type()),
+                  request.type().value() % config.shard_count);
+    }
+}
+
+TEST(EngineTest, SubmittedOptionsApplyQosKnobs) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 64});
+
+    cbr::RetrievalOptions options;
+    options.n_best = 2;
+    const cbr::RetrievalResult wide =
+        engine.submit(cbr::paper_example_request(), options).get();
+    ASSERT_TRUE(wide.ok());
+    EXPECT_EQ(wide.matches.size(), 2u);  // n_best = 2 honoured
+    EXPECT_EQ(wide.best().impl, ImplId{2});
+
+    options.threshold = 0.99;  // §3: reject everything below
+    const cbr::RetrievalResult rejected =
+        engine.submit(cbr::paper_example_request(), options).get();
+    EXPECT_EQ(rejected.status, cbr::RetrievalStatus::all_below_threshold);
+}
+
+TEST(EngineTest, RetainPublishesAPatchedEpochVisibleToNewRequests) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 64});
+    const std::uint64_t before = engine.epoch();
+    const GenerationPtr pinned = engine.current();
+
+    const cbr::Request request = cbr::paper_example_request();
+    const cbr::RetrievalResult without = engine.submit(request).get();
+    ASSERT_TRUE(without.ok());
+
+    // Retain a variant matching the paper request exactly: it must win
+    // retrieval in the next epoch.
+    cbr::Implementation perfect;
+    perfect.id = ImplId{42};
+    perfect.target = cbr::Target::fpga;
+    perfect.attributes = {{AttrId{1}, 16}, {AttrId{3}, 1}, {AttrId{4}, 40}};
+    ASSERT_EQ(engine.retain(TypeId{1}, perfect), cbr::RetainVerdict::retained);
+
+    EXPECT_EQ(engine.epoch(), before + 1);
+    const cbr::RetrievalResult with = engine.submit(request).get();
+    ASSERT_TRUE(with.ok());
+    EXPECT_EQ(with.best().impl, ImplId{42});
+    // Exact-match variant: every local similarity is 1, so the weighted sum
+    // lands within one rounding step of 1.0 and beats every seed variant.
+    EXPECT_GT(with.best().similarity, 0.999);
+
+    // The pinned pre-retain generation is untouched (RCU: old readers keep
+    // a consistent view alive).
+    EXPECT_EQ(pinned->epoch, before);
+    EXPECT_EQ(pinned->compiled.find(TypeId{1})->impl_count, without.impls_considered);
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.retains, 1u);
+    EXPECT_EQ(stats.published_epochs, 1u);
+
+    // Duplicate id is refused and publishes nothing.
+    EXPECT_EQ(engine.retain(TypeId{1}, perfect), cbr::RetainVerdict::duplicate_id);
+    EXPECT_EQ(engine.epoch(), before + 1);
+}
+
+TEST(EngineTest, RemoveAndAddTypePublishSuccessorEpochs) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 64});
+    const std::uint64_t base = engine.epoch();
+
+    ASSERT_TRUE(engine.remove_implementation(TypeId{1}, ImplId{3}));
+    EXPECT_EQ(engine.epoch(), base + 1);
+    EXPECT_FALSE(engine.remove_implementation(TypeId{1}, ImplId{3}));  // already gone
+    EXPECT_EQ(engine.epoch(), base + 1);
+
+    ASSERT_TRUE(engine.add_type(TypeId{31}, "IIR"));
+    EXPECT_EQ(engine.epoch(), base + 2);
+    EXPECT_NE(engine.current()->compiled.find(TypeId{31}), nullptr);
+}
+
+TEST(EngineTest, ShutdownDrainsThenBreaksLateSubmissions) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 64});
+    auto accepted = engine.submit(cbr::paper_example_request());
+    engine.shutdown();
+    EXPECT_TRUE(accepted.get().ok());  // accepted before shutdown: served
+
+    auto late = engine.submit(cbr::paper_example_request());
+    EXPECT_THROW((void)late.get(), std::runtime_error);
+    engine.shutdown();  // idempotent
+}
+
+TEST(EngineManagerTest, AllocateBatchMatchesSequentialAllocate) {
+    const Workload w = make_workload(6, 5, 48, 0xCAFE);
+
+    std::vector<alloc::AllocRequest> requests;
+    requests.reserve(w.requests.size());
+    for (std::size_t i = 0; i < w.requests.size(); ++i) {
+        requests.push_back(alloc::AllocRequest{static_cast<alloc::AppId>(i % 3),
+                                               w.requests[i], 10, 0.1, 4, true});
+    }
+
+    Engine engine(w.catalog.case_base, EngineConfig{4, 256});
+
+    // Batch manager: bound to the engine's generation, retrievals fanned
+    // out across the shards.
+    sys::Platform batch_platform;
+    batch_platform.repository().import_case_base(w.catalog.case_base);
+    alloc::AllocationManager batch_manager(batch_platform, w.catalog.case_base,
+                                           w.catalog.bounds);
+    batch_manager.rebind(engine.current());
+    const std::vector<alloc::AllocationOutcome> batched =
+        batch_manager.allocate_batch(requests, engine);
+
+    // Reference manager: plain sequential allocate() on its own platform.
+    sys::Platform seq_platform;
+    seq_platform.repository().import_case_base(w.catalog.case_base);
+    alloc::AllocationManager seq_manager(seq_platform, w.catalog.case_base,
+                                         w.catalog.bounds);
+
+    ASSERT_EQ(batched.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const alloc::AllocationOutcome expected = seq_manager.allocate(requests[i]);
+        EXPECT_EQ(batched[i].kind, expected.kind) << "request " << i;
+        if (expected.granted()) {
+            ASSERT_TRUE(batched[i].grant.has_value()) << "request " << i;
+            EXPECT_EQ(batched[i].grant->impl.impl, expected.grant->impl.impl);
+            EXPECT_EQ(batched[i].grant->via_bypass, expected.grant->via_bypass);
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(batched[i].grant->similarity),
+                      std::bit_cast<std::uint64_t>(expected.grant->similarity));
+        }
+    }
+    EXPECT_EQ(batch_manager.stats().requests, seq_manager.stats().requests);
+    EXPECT_EQ(batch_manager.stats().grants, seq_manager.stats().grants);
+    EXPECT_EQ(batch_manager.stats().retrievals, seq_manager.stats().retrievals);
+
+    // The contract is enforced: a manager not bound to the engine's current
+    // generation is rejected.
+    alloc::AllocationManager unbound(seq_platform, w.catalog.case_base, w.catalog.bounds);
+    EXPECT_THROW((void)unbound.allocate_batch(requests, engine),
+                 util::ContractViolation);
+}
+
+TEST(EngineManagerTest, ShutDownEngineYieldsRetrievalFailedRejections) {
+    // A batch against a stopped engine must not throw (an escaping
+    // exception would discard earlier grants' TaskIds): every dropped
+    // retrieval becomes a per-request retrieval_failed rejection.
+    const Workload w = make_workload(4, 3, 8, 0xF00D);
+    Engine engine(w.catalog.case_base, EngineConfig{2, 64});
+
+    sys::Platform platform;
+    platform.repository().import_case_base(w.catalog.case_base);
+    alloc::AllocationManager manager(platform, w.catalog.case_base, w.catalog.bounds);
+    manager.rebind(engine.current());
+    engine.shutdown();
+
+    std::vector<alloc::AllocRequest> requests;
+    for (const cbr::Request& request : w.requests) {
+        requests.push_back(alloc::AllocRequest{1, request, 10, 0.0, 4, true});
+    }
+    const std::vector<alloc::AllocationOutcome> outcomes =
+        manager.allocate_batch(requests, engine);
+    ASSERT_EQ(outcomes.size(), requests.size());
+    for (const alloc::AllocationOutcome& outcome : outcomes) {
+        EXPECT_EQ(outcome.kind, alloc::AllocationOutcome::Kind::rejected);
+        EXPECT_EQ(outcome.reject, alloc::RejectReason::retrieval_failed);
+    }
+    EXPECT_EQ(manager.stats().requests, requests.size());
+    EXPECT_EQ(manager.stats().rejections, requests.size());
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// BoundedMpmcQueue: FIFO order, capacity backpressure, close semantics
+// (graceful drain, refused pushes), and multi-producer/multi-consumer
+// integrity under real threads.
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using qfa::serve::BoundedMpmcQueue;
+
+TEST(BoundedMpmcQueueTest, FifoWithinCapacity) {
+    BoundedMpmcQueue<int> queue(4);
+    EXPECT_EQ(queue.capacity(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(queue.try_push(i));
+    }
+    EXPECT_FALSE(queue.try_push(99));  // full
+    EXPECT_EQ(queue.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const auto item = queue.pop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(*item, i);
+    }
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedMpmcQueueTest, CloseDrainsAcceptedItemsThenSignalsEnd) {
+    BoundedMpmcQueue<int> queue(8);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_FALSE(queue.push(3));      // refused after close
+    EXPECT_FALSE(queue.try_push(3));
+    EXPECT_EQ(queue.pop(), 1);        // accepted work is never lost
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), std::nullopt);  // drained + closed
+}
+
+TEST(BoundedMpmcQueueTest, CloseWakesBlockedConsumers) {
+    BoundedMpmcQueue<int> queue(2);
+    std::optional<int> seen{42};
+    std::thread consumer([&] { seen = queue.pop(); });
+    queue.close();
+    consumer.join();
+    EXPECT_EQ(seen, std::nullopt);
+}
+
+TEST(BoundedMpmcQueueTest, BackpressureBlocksThenResumes) {
+    BoundedMpmcQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    bool second_accepted = false;
+    std::thread producer([&] { second_accepted = queue.push(1); });
+    // The producer is blocked on a full queue until this pop frees a slot.
+    EXPECT_EQ(queue.pop(), 0);
+    producer.join();
+    EXPECT_TRUE(second_accepted);
+    EXPECT_EQ(queue.pop(), 1);
+}
+
+TEST(BoundedMpmcQueueTest, ManyProducersManyConsumersLoseNothing) {
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 500;
+    BoundedMpmcQueue<int> queue(16);
+
+    std::vector<std::vector<int>> consumed(kConsumers);
+    std::vector<std::thread> threads;
+    threads.reserve(kProducers + kConsumers);
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&queue, &bucket = consumed[c]] {
+            while (auto item = queue.pop()) {
+                bucket.push_back(*item);
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&queue, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(queue.push(p * kPerProducer + i));
+            }
+        });
+    }
+    for (int t = kConsumers; t < kConsumers + kProducers; ++t) {
+        threads[t].join();  // all producers done
+    }
+    queue.close();
+    for (int t = 0; t < kConsumers; ++t) {
+        threads[t].join();
+    }
+
+    std::vector<int> all;
+    for (const std::vector<int>& bucket : consumed) {
+        all.insert(all.end(), bucket.begin(), bucket.end());
+    }
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+    std::sort(all.begin(), all.end());
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(BoundedMpmcQueueTest, RejectsZeroCapacity) {
+    EXPECT_THROW(BoundedMpmcQueue<int>(0), qfa::util::ContractViolation);
+}
+
+}  // namespace

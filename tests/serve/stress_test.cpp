@@ -1,0 +1,171 @@
+// Concurrent retain-vs-retrieve stress: reader threads hammer the engine
+// with request streams while a writer thread retains new variants,
+// publishing a patched epoch each time.  Every served result must be
+// bit-identical to the single-threaded reference at *some* published epoch
+// — the torn-column detector: a reader observing a half-swapped plan
+// (old columns, new rows; stale divisors; resized-but-unfilled arrays)
+// produces a result no consistent epoch can produce.  Each published
+// epoch's incrementally patched plans are additionally checked
+// bit-identical to a from-scratch compile.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "core/retrieval.hpp"
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace qfa::serve;
+
+TEST(ServeStressTest, EveryRetrievalObservesAConsistentEpoch) {
+    util::Rng rng(0x57A85EEDULL);
+    wl::CatalogConfig config;
+    config.function_types = 8;
+    config.impls_per_type = 6;
+    config.attrs_per_impl = 7;
+    config.attr_dropout = 0.25;
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds(config, rng);
+
+    constexpr std::size_t kReaders = 3;
+    constexpr std::size_t kPerReader = 160;
+    constexpr std::size_t kRetains = 24;
+
+    // Deterministic per-reader request streams, independent of scheduling.
+    const std::vector<std::vector<wl::GeneratedRequest>> streams =
+        wl::generate_request_streams(catalog.case_base, catalog.bounds, kReaders,
+                                     kPerReader, rng);
+
+    EngineConfig engine_config;
+    engine_config.shard_count = 4;
+    engine_config.queue_capacity = 64;
+    Engine engine(catalog.case_base, engine_config);
+
+    // The writer keeps every published generation alive so results can be
+    // replayed against each epoch afterwards.
+    std::vector<GenerationPtr> generations;
+    generations.push_back(engine.current());
+
+    cbr::RetrievalOptions options;
+    options.n_best = 3;
+
+    std::vector<std::vector<cbr::RetrievalResult>> observed(kReaders);
+    std::atomic<bool> writer_done{false};
+    // Readers start only after the writer's first publish: every request
+    // is then served at epoch >= 1, which makes the cross-epoch assertion
+    // below deterministic (generation contents are seed-fixed; only the
+    // reader/writer interleaving varies with scheduling).
+    std::latch first_publish(1);
+
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (std::size_t r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&, r] {
+            first_publish.wait();
+            observed[r].reserve(kPerReader);
+            for (const wl::GeneratedRequest& g : streams[r]) {
+                observed[r].push_back(engine.submit(g.request, options).get());
+            }
+        });
+    }
+
+    std::thread writer([&] {
+        util::Rng writer_rng(0xD00DULL);
+        std::uint16_t next_id = 5000;
+        std::size_t published = 0;
+        while (published < kRetains) {
+            const cbr::TypeId type =
+                wl::random_type(catalog.case_base, writer_rng);
+            cbr::Implementation impl;
+            impl.id = cbr::ImplId{next_id++};
+            impl.target = cbr::Target::dsp;
+            const std::size_t n_attrs = 1 + writer_rng.index(5);
+            for (std::size_t a = 0; a < n_attrs; ++a) {
+                const cbr::AttrId id{static_cast<std::uint16_t>(1 + writer_rng.index(10))};
+                bool duplicate = false;
+                for (const cbr::Attribute& existing : impl.attributes) {
+                    duplicate = duplicate || existing.id == id;
+                }
+                if (!duplicate) {
+                    impl.attributes.push_back(
+                        {id, static_cast<cbr::AttrValue>(writer_rng.index(500))});
+                }
+            }
+            if (engine.retain(type, std::move(impl)) == cbr::RetainVerdict::retained) {
+                generations.push_back(engine.current());
+                ++published;
+                if (published == 1) {
+                    first_publish.count_down();  // release the readers
+                }
+            }
+        }
+        writer_done.store(true, std::memory_order_release);
+    });
+
+    for (std::thread& reader : readers) {
+        reader.join();
+    }
+    writer.join();
+    ASSERT_TRUE(writer_done.load());
+    ASSERT_EQ(generations.size(), kRetains + 1);
+
+    // 1. No torn columns: every observed result is exactly what the
+    //    single-threaded reference produces on one of the published epochs.
+    std::size_t beyond_first_epoch = 0;
+    for (std::size_t r = 0; r < kReaders; ++r) {
+        for (std::size_t i = 0; i < streams[r].size(); ++i) {
+            bool matched = false;
+            std::size_t matched_epoch = 0;
+            for (std::size_t g = 0; g < generations.size() && !matched; ++g) {
+                const cbr::Retriever reference(generations[g]->case_base,
+                                               generations[g]->bounds,
+                                               generations[g]->compiled);
+                matched = cbr::identical_results(
+                    observed[r][i],
+                    reference.retrieve_compiled(streams[r][i].request, options));
+                matched_epoch = g;
+            }
+            ASSERT_TRUE(matched) << "reader " << r << " request " << i
+                                 << " matches no published epoch (torn read?)";
+            beyond_first_epoch += matched_epoch > 0 ? 1 : 0;
+        }
+    }
+    // The race must actually interleave.  Readers were latch-gated on the
+    // first publish, so every request was served at epoch >= 1; as the
+    // seed-fixed retains widen bounds and change rankings, at least one
+    // result must differ from what epoch 0 would have produced.
+    EXPECT_GT(beyond_first_epoch, 0u);
+
+    // 2. Every published epoch's patched plans are bit-identical to a
+    //    from-scratch compile of the same tree/bounds.
+    for (const GenerationPtr& generation : generations) {
+        const cbr::CompiledCaseBase fresh(generation->case_base, generation->bounds);
+        const cbr::CompiledStats a = fresh.stats();
+        const cbr::CompiledStats b = generation->compiled.stats();
+        EXPECT_EQ(a.type_count, b.type_count);
+        EXPECT_EQ(a.impl_count, b.impl_count);
+        EXPECT_EQ(a.column_count, b.column_count);
+        EXPECT_EQ(a.value_slots, b.value_slots);
+        EXPECT_EQ(a.sentinel_slots, b.sentinel_slots);
+        ASSERT_EQ(fresh.plans().size(), generation->compiled.plans().size());
+        for (std::size_t t = 0; t < fresh.plans().size(); ++t) {
+            const cbr::TypePlan& x = fresh.plans()[t];
+            const cbr::TypePlan& y = generation->compiled.plans()[t];
+            EXPECT_EQ(x.impl_ids, y.impl_ids);
+            EXPECT_EQ(x.attr_ids, y.attr_ids);
+            EXPECT_EQ(x.dmax, y.dmax);
+            EXPECT_EQ(x.values, y.values);
+            EXPECT_EQ(x.present_mask, y.present_mask);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Checks that local (relative) markdown links resolve to real files.
+
+Scans the given markdown files for [text](target) links, resolves each
+non-URL target against the linking file's directory (fragments and
+query strings stripped), and fails with a listing of every dangling
+link.  External http(s)/mailto links are not fetched — CI must stay
+network-independent — so this guards exactly what rots silently:
+renamed/moved files breaking README/docs cross-references.
+
+Usage: tools/check_markdown_links.py README.md docs/*.md ...
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path}:{line}: dangling link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    all_errors = []
+    for name in argv[1:]:
+        file = Path(name)
+        if not file.exists():
+            all_errors.append(f"{name}: file not found")
+            continue
+        all_errors.extend(check(file))
+    for error in all_errors:
+        print(error)
+    if not all_errors:
+        print(f"OK: {len(argv) - 1} file(s), all local links resolve")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
