@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/api.cpp" "CMakeFiles/qfa.dir/src/alloc/api.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/alloc/api.cpp.o.d"
+  "/root/repo/src/alloc/bypass.cpp" "CMakeFiles/qfa.dir/src/alloc/bypass.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/alloc/bypass.cpp.o.d"
+  "/root/repo/src/alloc/feasibility.cpp" "CMakeFiles/qfa.dir/src/alloc/feasibility.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/alloc/feasibility.cpp.o.d"
+  "/root/repo/src/alloc/manager.cpp" "CMakeFiles/qfa.dir/src/alloc/manager.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/alloc/manager.cpp.o.d"
+  "/root/repo/src/alloc/negotiation.cpp" "CMakeFiles/qfa.dir/src/alloc/negotiation.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/alloc/negotiation.cpp.o.d"
+  "/root/repo/src/alloc/policies.cpp" "CMakeFiles/qfa.dir/src/alloc/policies.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/alloc/policies.cpp.o.d"
+  "/root/repo/src/core/amalgamation.cpp" "CMakeFiles/qfa.dir/src/core/amalgamation.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/amalgamation.cpp.o.d"
+  "/root/repo/src/core/attribute.cpp" "CMakeFiles/qfa.dir/src/core/attribute.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/attribute.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "CMakeFiles/qfa.dir/src/core/bounds.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/bounds.cpp.o.d"
+  "/root/repo/src/core/case_base.cpp" "CMakeFiles/qfa.dir/src/core/case_base.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/case_base.cpp.o.d"
+  "/root/repo/src/core/compiled.cpp" "CMakeFiles/qfa.dir/src/core/compiled.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/compiled.cpp.o.d"
+  "/root/repo/src/core/linalg.cpp" "CMakeFiles/qfa.dir/src/core/linalg.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/linalg.cpp.o.d"
+  "/root/repo/src/core/mahalanobis.cpp" "CMakeFiles/qfa.dir/src/core/mahalanobis.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/mahalanobis.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "CMakeFiles/qfa.dir/src/core/request.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/request.cpp.o.d"
+  "/root/repo/src/core/retain.cpp" "CMakeFiles/qfa.dir/src/core/retain.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/retain.cpp.o.d"
+  "/root/repo/src/core/retrieval.cpp" "CMakeFiles/qfa.dir/src/core/retrieval.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/retrieval.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "CMakeFiles/qfa.dir/src/core/similarity.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/core/similarity.cpp.o.d"
+  "/root/repo/src/fixed/q15.cpp" "CMakeFiles/qfa.dir/src/fixed/q15.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/fixed/q15.cpp.o.d"
+  "/root/repo/src/fixed/reciprocal.cpp" "CMakeFiles/qfa.dir/src/fixed/reciprocal.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/fixed/reciprocal.cpp.o.d"
+  "/root/repo/src/mblaze/assembler.cpp" "CMakeFiles/qfa.dir/src/mblaze/assembler.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/mblaze/assembler.cpp.o.d"
+  "/root/repo/src/mblaze/cpu.cpp" "CMakeFiles/qfa.dir/src/mblaze/cpu.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/mblaze/cpu.cpp.o.d"
+  "/root/repo/src/mblaze/isa.cpp" "CMakeFiles/qfa.dir/src/mblaze/isa.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/mblaze/isa.cpp.o.d"
+  "/root/repo/src/mblaze/retrieval_program.cpp" "CMakeFiles/qfa.dir/src/mblaze/retrieval_program.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/mblaze/retrieval_program.cpp.o.d"
+  "/root/repo/src/memimg/request_image.cpp" "CMakeFiles/qfa.dir/src/memimg/request_image.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/memimg/request_image.cpp.o.d"
+  "/root/repo/src/memimg/supplemental_image.cpp" "CMakeFiles/qfa.dir/src/memimg/supplemental_image.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/memimg/supplemental_image.cpp.o.d"
+  "/root/repo/src/memimg/tree_image.cpp" "CMakeFiles/qfa.dir/src/memimg/tree_image.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/memimg/tree_image.cpp.o.d"
+  "/root/repo/src/rtl/resource_model.cpp" "CMakeFiles/qfa.dir/src/rtl/resource_model.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/rtl/resource_model.cpp.o.d"
+  "/root/repo/src/rtl/retrieval_unit.cpp" "CMakeFiles/qfa.dir/src/rtl/retrieval_unit.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/rtl/retrieval_unit.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "CMakeFiles/qfa.dir/src/rtl/vcd.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/rtl/vcd.cpp.o.d"
+  "/root/repo/src/serve/engine.cpp" "CMakeFiles/qfa.dir/src/serve/engine.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/serve/engine.cpp.o.d"
+  "/root/repo/src/serve/generation.cpp" "CMakeFiles/qfa.dir/src/serve/generation.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/serve/generation.cpp.o.d"
+  "/root/repo/src/sysmodel/bitstream.cpp" "CMakeFiles/qfa.dir/src/sysmodel/bitstream.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/sysmodel/bitstream.cpp.o.d"
+  "/root/repo/src/sysmodel/device.cpp" "CMakeFiles/qfa.dir/src/sysmodel/device.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/sysmodel/device.cpp.o.d"
+  "/root/repo/src/sysmodel/events.cpp" "CMakeFiles/qfa.dir/src/sysmodel/events.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/sysmodel/events.cpp.o.d"
+  "/root/repo/src/sysmodel/power.cpp" "CMakeFiles/qfa.dir/src/sysmodel/power.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/sysmodel/power.cpp.o.d"
+  "/root/repo/src/sysmodel/reconfig.cpp" "CMakeFiles/qfa.dir/src/sysmodel/reconfig.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/sysmodel/reconfig.cpp.o.d"
+  "/root/repo/src/sysmodel/system.cpp" "CMakeFiles/qfa.dir/src/sysmodel/system.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/sysmodel/system.cpp.o.d"
+  "/root/repo/src/util/contracts.cpp" "CMakeFiles/qfa.dir/src/util/contracts.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/util/contracts.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/qfa.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/qfa.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/qfa.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/qfa.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/qfa.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "CMakeFiles/qfa.dir/src/workload/catalog.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/workload/catalog.cpp.o.d"
+  "/root/repo/src/workload/requests.cpp" "CMakeFiles/qfa.dir/src/workload/requests.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/workload/requests.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "CMakeFiles/qfa.dir/src/workload/scenarios.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/workload/scenarios.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "CMakeFiles/qfa.dir/src/workload/zipf.cpp.o" "gcc" "CMakeFiles/qfa.dir/src/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

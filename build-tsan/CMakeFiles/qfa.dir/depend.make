@@ -1,0 +1,2 @@
+# Empty dependencies file for qfa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/bypass_test.cpp.o"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/bypass_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/feasibility_test.cpp.o"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/feasibility_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/manager_test.cpp.o"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/manager_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/negotiation_test.cpp.o"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/negotiation_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/policies_test.cpp.o"
+  "CMakeFiles/qfa_tests_alloc.dir/alloc/policies_test.cpp.o.d"
+  "qfa_tests_alloc"
+  "qfa_tests_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/amalgamation_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/amalgamation_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/amalgamation_test.cpp.o.d"
+  "/root/repo/tests/core/attribute_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/attribute_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/attribute_test.cpp.o.d"
+  "/root/repo/tests/core/bounds_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/bounds_test.cpp.o.d"
+  "/root/repo/tests/core/case_base_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/case_base_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/case_base_test.cpp.o.d"
+  "/root/repo/tests/core/compiled_patch_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/compiled_patch_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/compiled_patch_test.cpp.o.d"
+  "/root/repo/tests/core/compiled_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/compiled_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/compiled_test.cpp.o.d"
+  "/root/repo/tests/core/linalg_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/linalg_test.cpp.o.d"
+  "/root/repo/tests/core/mahalanobis_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/mahalanobis_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/mahalanobis_test.cpp.o.d"
+  "/root/repo/tests/core/request_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/request_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/request_test.cpp.o.d"
+  "/root/repo/tests/core/retain_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/retain_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/retain_test.cpp.o.d"
+  "/root/repo/tests/core/retrieval_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/retrieval_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/retrieval_test.cpp.o.d"
+  "/root/repo/tests/core/similarity_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/similarity_test.cpp.o.d"
+  "/root/repo/tests/core/table1_golden_test.cpp" "tests/CMakeFiles/qfa_tests_core.dir/core/table1_golden_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_core.dir/core/table1_golden_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/qfa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

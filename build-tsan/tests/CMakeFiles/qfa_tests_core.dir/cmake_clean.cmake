@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_core.dir/core/amalgamation_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/amalgamation_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/attribute_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/attribute_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/bounds_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/bounds_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/case_base_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/case_base_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/compiled_patch_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/compiled_patch_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/compiled_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/compiled_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/linalg_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/linalg_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/mahalanobis_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/mahalanobis_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/request_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/request_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/retain_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/retain_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/retrieval_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/retrieval_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/similarity_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/similarity_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_core.dir/core/table1_golden_test.cpp.o"
+  "CMakeFiles/qfa_tests_core.dir/core/table1_golden_test.cpp.o.d"
+  "qfa_tests_core"
+  "qfa_tests_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

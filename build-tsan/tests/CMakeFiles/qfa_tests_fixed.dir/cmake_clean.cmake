@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_fixed.dir/fixed/q15_test.cpp.o"
+  "CMakeFiles/qfa_tests_fixed.dir/fixed/q15_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_fixed.dir/fixed/reciprocal_test.cpp.o"
+  "CMakeFiles/qfa_tests_fixed.dir/fixed/reciprocal_test.cpp.o.d"
+  "qfa_tests_fixed"
+  "qfa_tests_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

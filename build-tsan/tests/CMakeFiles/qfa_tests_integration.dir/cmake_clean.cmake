@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_integration.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/qfa_tests_integration.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_integration.dir/integration/shape_guard_test.cpp.o"
+  "CMakeFiles/qfa_tests_integration.dir/integration/shape_guard_test.cpp.o.d"
+  "qfa_tests_integration"
+  "qfa_tests_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

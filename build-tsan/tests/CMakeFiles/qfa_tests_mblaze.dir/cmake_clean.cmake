@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/assembler_test.cpp.o"
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/assembler_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/cpu_test.cpp.o"
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/cpu_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/isa_test.cpp.o"
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/isa_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/retrieval_program_test.cpp.o"
+  "CMakeFiles/qfa_tests_mblaze.dir/mblaze/retrieval_program_test.cpp.o.d"
+  "qfa_tests_mblaze"
+  "qfa_tests_mblaze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_mblaze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

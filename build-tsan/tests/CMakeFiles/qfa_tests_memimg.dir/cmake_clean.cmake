@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/request_image_test.cpp.o"
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/request_image_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/roundtrip_property_test.cpp.o"
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/roundtrip_property_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/supplemental_image_test.cpp.o"
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/supplemental_image_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/tree_image_test.cpp.o"
+  "CMakeFiles/qfa_tests_memimg.dir/memimg/tree_image_test.cpp.o.d"
+  "qfa_tests_memimg"
+  "qfa_tests_memimg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_memimg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

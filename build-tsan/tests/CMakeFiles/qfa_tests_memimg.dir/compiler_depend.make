@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qfa_tests_memimg.
+# This may be replaced when dependencies are built.

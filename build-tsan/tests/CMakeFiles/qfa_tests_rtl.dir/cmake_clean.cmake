@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/bram_test.cpp.o"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/bram_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/modes_test.cpp.o"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/modes_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/resource_model_test.cpp.o"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/resource_model_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/retrieval_unit_test.cpp.o"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/retrieval_unit_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/vcd_test.cpp.o"
+  "CMakeFiles/qfa_tests_rtl.dir/rtl/vcd_test.cpp.o.d"
+  "qfa_tests_rtl"
+  "qfa_tests_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_serve.dir/serve/engine_test.cpp.o"
+  "CMakeFiles/qfa_tests_serve.dir/serve/engine_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_serve.dir/serve/queue_test.cpp.o"
+  "CMakeFiles/qfa_tests_serve.dir/serve/queue_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_serve.dir/serve/stress_test.cpp.o"
+  "CMakeFiles/qfa_tests_serve.dir/serve/stress_test.cpp.o.d"
+  "qfa_tests_serve"
+  "qfa_tests_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sysmodel/device_test.cpp" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/device_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/device_test.cpp.o.d"
+  "/root/repo/tests/sysmodel/events_test.cpp" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/events_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/events_test.cpp.o.d"
+  "/root/repo/tests/sysmodel/platform_test.cpp" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/platform_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/platform_test.cpp.o.d"
+  "/root/repo/tests/sysmodel/power_test.cpp" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/power_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/power_test.cpp.o.d"
+  "/root/repo/tests/sysmodel/repository_test.cpp" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/repository_test.cpp.o" "gcc" "tests/CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/repository_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/qfa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/device_test.cpp.o"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/device_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/events_test.cpp.o"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/events_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/platform_test.cpp.o"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/platform_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/power_test.cpp.o"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/power_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/repository_test.cpp.o"
+  "CMakeFiles/qfa_tests_sysmodel.dir/sysmodel/repository_test.cpp.o.d"
+  "qfa_tests_sysmodel"
+  "qfa_tests_sysmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qfa_tests_sysmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_util.dir/util/contracts_test.cpp.o"
+  "CMakeFiles/qfa_tests_util.dir/util/contracts_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_util.dir/util/csv_test.cpp.o"
+  "CMakeFiles/qfa_tests_util.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_util.dir/util/log_test.cpp.o"
+  "CMakeFiles/qfa_tests_util.dir/util/log_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/qfa_tests_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_util.dir/util/strings_test.cpp.o"
+  "CMakeFiles/qfa_tests_util.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_util.dir/util/table_test.cpp.o"
+  "CMakeFiles/qfa_tests_util.dir/util/table_test.cpp.o.d"
+  "qfa_tests_util"
+  "qfa_tests_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfa_tests_workload.dir/workload/scenario_test.cpp.o"
+  "CMakeFiles/qfa_tests_workload.dir/workload/scenario_test.cpp.o.d"
+  "CMakeFiles/qfa_tests_workload.dir/workload/workload_test.cpp.o"
+  "CMakeFiles/qfa_tests_workload.dir/workload/workload_test.cpp.o.d"
+  "qfa_tests_workload"
+  "qfa_tests_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfa_tests_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

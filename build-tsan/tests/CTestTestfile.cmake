@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[util]=] "/root/repo/build-tsan/tests/qfa_tests_util")
+set_tests_properties([=[util]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[fixed]=] "/root/repo/build-tsan/tests/qfa_tests_fixed")
+set_tests_properties([=[fixed]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[core]=] "/root/repo/build-tsan/tests/qfa_tests_core")
+set_tests_properties([=[core]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[memimg]=] "/root/repo/build-tsan/tests/qfa_tests_memimg")
+set_tests_properties([=[memimg]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mblaze]=] "/root/repo/build-tsan/tests/qfa_tests_mblaze")
+set_tests_properties([=[mblaze]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[alloc]=] "/root/repo/build-tsan/tests/qfa_tests_alloc")
+set_tests_properties([=[alloc]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[workload]=] "/root/repo/build-tsan/tests/qfa_tests_workload")
+set_tests_properties([=[workload]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[rtl]=] "/root/repo/build-tsan/tests/qfa_tests_rtl")
+set_tests_properties([=[rtl]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[sysmodel]=] "/root/repo/build-tsan/tests/qfa_tests_sysmodel")
+set_tests_properties([=[sysmodel]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[serve]=] "/root/repo/build-tsan/tests/qfa_tests_serve")
+set_tests_properties([=[serve]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[integration]=] "/root/repo/build-tsan/tests/qfa_tests_integration")
+set_tests_properties([=[integration]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
