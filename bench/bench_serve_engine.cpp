@@ -1,14 +1,21 @@
-// Sharded serving engine vs. the single-threaded compiled path, and
-// incremental plan patching vs. full recompilation.
+// Sharded serving engine vs. the single-threaded compiled path,
+// incremental plan patching vs. full recompilation, bulk shard enqueue
+// vs. per-job submission, and copy-on-write epoch publication vs. the
+// deep-copy patching it replaced.
 //
-// Two acceptance claims from the serve-layer PR:
+// Acceptance claims:
 //  * aggregate retrieval throughput at 4 shards >= 3x the single-threaded
 //    compiled batch path at 1k implementations (needs >= 4 hardware
 //    threads — the table prints the machine's concurrency so CI boxes and
 //    1-core containers read honestly);
 //  * incremental retain (CompiledCaseBase::patched row splice) >= 10x
-//    cheaper than a full recompile at 10k implementations.
-// Both tables self-check bit-identity against the reference retriever and
+//    cheaper than a full recompile at 10k implementations;
+//  * submit_batch (one queue lock per shard per batch) cuts enqueue
+//    overhead vs a submit() loop (one lock round-trip per job);
+//  * COW patched() (untouched plans aliased) beats the pre-COW deep-copy
+//    behaviour (untouched plans copied wholesale) at 10k implementations
+//    spread over many types.
+// Every table self-checks bit-identity against the reference retriever /
 // a from-scratch compile before timing anything.
 #include <benchmark/benchmark.h>
 
@@ -141,7 +148,67 @@ void print_throughput() {
               << "x (acceptance: >= 3x, requires >= 4 hardware threads)\n\n";
 }
 
-// ---- 2. incremental retain vs full recompile at 10k implementations ------
+// ---- 2. bulk shard enqueue vs per-job submission --------------------------
+
+void print_bulk_enqueue() {
+    // Many cheap retrievals (128 impls over 32 types, tiny n_best) so the
+    // queue round-trips are a visible share of the request cost.
+    const Scenario s = make_scenario(32, 4, 512);
+    const cbr::CompiledCaseBase plan = s.compile();
+    const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds, plan);
+    cbr::RetrievalOptions options;
+    options.n_best = 1;
+    cbr::RetrievalScratch scratch;
+
+    serve::EngineConfig config;
+    config.shard_count = 4;
+    config.queue_capacity = s.requests.size();
+    serve::Engine engine(s.catalog.case_base, config);
+
+    // Self-check both paths before timing.
+    const std::vector<cbr::RetrievalResult> bulk_served =
+        engine.retrieve_all(s.requests, options);
+    std::vector<std::future<cbr::RetrievalResult>> futures;
+    futures.reserve(s.requests.size());
+    for (const cbr::Request& request : s.requests) {
+        futures.push_back(engine.submit(request, options));
+    }
+    for (std::size_t i = 0; i < s.requests.size(); ++i) {
+        const cbr::RetrievalResult reference =
+            retriever.retrieve_compiled(s.requests[i], options, &scratch);
+        check_identical_or_die(reference, bulk_served[i], "bulk enqueue");
+        check_identical_or_die(reference, futures[i].get(), "per-job submit");
+    }
+
+    const double per_job_ns = ns_per_request(s.requests.size(), [&] {
+        std::vector<std::future<cbr::RetrievalResult>> fs;
+        fs.reserve(s.requests.size());
+        for (const cbr::Request& request : s.requests) {
+            fs.push_back(engine.submit(request, options));
+        }
+        for (std::future<cbr::RetrievalResult>& f : fs) {
+            benchmark::DoNotOptimize(f.get());
+        }
+    });
+    const double bulk_ns = ns_per_request(s.requests.size(), [&] {
+        benchmark::DoNotOptimize(engine.retrieve_all(s.requests, options));
+    });
+
+    std::cout << "=== Bulk shard enqueue vs. per-job submission ===\n\n";
+    util::Table table({"path", "ns/req", "x vs per-job"});
+    table.add_row({"submit() per job", util::to_fixed(per_job_ns, 1), "1.00x"});
+    table.add_row({"submit_batch", util::to_fixed(bulk_ns, 1),
+                   util::to_fixed(per_job_ns / bulk_ns, 2) + "x"});
+    std::cout << table.render_with_title(
+                     "512-request batches, 128 impls over 32 types, n_best = 1, 4 shards;\n"
+                     "per-job = one queue lock round-trip per job, bulk = one\n"
+                     "push_all per shard per batch (results bit-identical)")
+              << "\n";
+    std::cout << "bulk enqueue advantage: " << util::to_fixed(per_job_ns / bulk_ns, 2)
+              << "x (acceptance: reduces queue overhead, i.e. >= 1x on quiet machines)\n\n";
+}
+
+// ---- 3. incremental retain vs full recompile at 10k implementations ------
 
 void print_retain_cost() {
     util::Rng rng(0xFEEDFACEULL);
@@ -179,7 +246,7 @@ void print_retain_cost() {
     const cbr::CompiledStats ps = patched.stats();
     if (fs.impl_count != ps.impl_count || fs.value_slots != ps.value_slots ||
         fs.sentinel_slots != ps.sentinel_slots ||
-        fresh.plans().front().values != patched.plans().front().values) {
+        fresh.plans().front()->values != patched.plans().front()->values) {
         std::cerr << "FATAL: patched plan diverged from a fresh compile\n";
         std::exit(1);
     }
@@ -220,6 +287,138 @@ void print_retain_cost() {
               << "\n";
     std::cout << "incremental retain cost advantage: " << util::to_fixed(full_ns / patch_ns, 2)
               << "x (acceptance: >= 10x)\n\n";
+}
+
+// ---- 4. copy-on-write epochs vs deep-copy patching (10k impls) -----------
+
+void print_cow_epoch_cost() {
+    // The serve-layer shape: 10k implementations spread over 16 types, one
+    // type retained into.  Pre-COW patched() copied the 15 untouched
+    // plans wholesale into every epoch; COW aliases them (pointer copy).
+    util::Rng rng(0xC0C05EEDULL);
+    wl::CatalogConfig config;
+    config.function_types = 16;
+    config.impls_per_type = 625;
+    config.attrs_per_impl = 10;
+    config.attr_dropout = 0.2;
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds(config, rng);
+    const cbr::TypeId type = catalog.case_base.types().front().id;
+
+    cbr::DynamicCaseBase dynamic(catalog.case_base);
+    const cbr::CaseBase before_tree = dynamic.snapshot();
+    const cbr::BoundsTable before_bounds = dynamic.bounds();
+    const cbr::CompiledCaseBase before(before_tree, before_bounds);
+
+    // Mid-range attribute values (midpoint of each design-global bound):
+    // the retain widens no bound, so every untouched plan is
+    // COW-shareable — the steady-state serving case this table measures.
+    cbr::Implementation impl;
+    impl.id = cbr::ImplId{60000};
+    impl.target = cbr::Target::dsp;
+    for (const cbr::AttrId id : {cbr::AttrId{1}, cbr::AttrId{4}, cbr::AttrId{9}}) {
+        const auto bounds_entry = before_bounds.find(id);
+        if (!bounds_entry) {
+            std::cerr << "FATAL: bench attribute missing from the bounds table\n";
+            std::exit(1);
+        }
+        impl.attributes.push_back(
+            {id, static_cast<cbr::AttrValue>(
+                     bounds_entry->lower + (bounds_entry->upper - bounds_entry->lower) / 2)});
+    }
+    // Novelty threshold 1.0: mid-range values sit close to existing
+    // variants by construction — only an exact duplicate may be refused.
+    if (dynamic.retain(type, impl, /*novelty_threshold=*/1.0) !=
+        cbr::RetainVerdict::retained) {
+        std::cerr << "FATAL: bench retain was rejected\n";
+        std::exit(1);
+    }
+    const cbr::CaseBase after_tree = dynamic.snapshot();
+    const cbr::BoundsTable after_bounds = dynamic.bounds();
+
+    // Self-check: the COW-patched plans must equal a fresh compile, and
+    // the untouched plans must actually be shared (pointer-aliased).
+    const cbr::CompiledCaseBase fresh(after_tree, after_bounds);
+    const cbr::CompiledCaseBase patched =
+        cbr::CompiledCaseBase::patched(before, after_tree, after_bounds, type);
+    const cbr::CompiledStats fs = fresh.stats();
+    const cbr::CompiledStats ps = patched.stats();
+    if (fs.impl_count != ps.impl_count || fs.value_slots != ps.value_slots ||
+        fs.sentinel_slots != ps.sentinel_slots) {
+        std::cerr << "FATAL: COW-patched plan diverged from a fresh compile\n";
+        std::exit(1);
+    }
+    for (std::size_t t = 0; t < fresh.plans().size(); ++t) {
+        if (fresh.plans()[t]->values != patched.plans()[t]->values) {
+            std::cerr << "FATAL: COW-patched payload diverged from a fresh compile\n";
+            std::exit(1);
+        }
+    }
+    std::size_t shared = 0;
+    for (const std::shared_ptr<const cbr::TypePlan>& plan : patched.plans()) {
+        for (const std::shared_ptr<const cbr::TypePlan>& old : before.plans()) {
+            shared += plan == old ? 1 : 0;
+        }
+    }
+    if (shared == 0) {
+        std::cerr << "FATAL: COW sharing did not engage (0 plans aliased)\n";
+        std::exit(1);
+    }
+
+    const auto time_ns = [](auto&& fn) {
+        using clock = std::chrono::steady_clock;
+        fn();  // warm-up
+        std::size_t reps = 0;
+        const auto start = clock::now();
+        auto elapsed = clock::duration::zero();
+        do {
+            fn();
+            ++reps;
+            elapsed = clock::now() - start;
+        } while (elapsed < std::chrono::milliseconds(300));
+        return static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+               static_cast<double>(reps);
+    };
+
+    const double full_ns = time_ns([&] {
+        benchmark::DoNotOptimize(cbr::CompiledCaseBase(after_tree, after_bounds));
+    });
+    // The pre-COW cost model: the same splice plus a wholesale payload
+    // copy of every untouched plan (what patched() did before plans were
+    // shared_ptrs).
+    const double deep_ns = time_ns([&] {
+        const cbr::CompiledCaseBase next =
+            cbr::CompiledCaseBase::patched(before, after_tree, after_bounds, type);
+        for (const std::shared_ptr<const cbr::TypePlan>& plan : next.plans()) {
+            if (plan->id != type) {
+                cbr::TypePlan copy = *plan;
+                benchmark::DoNotOptimize(copy);
+            }
+        }
+        benchmark::DoNotOptimize(next);
+    });
+    const double cow_ns = time_ns([&] {
+        benchmark::DoNotOptimize(
+            cbr::CompiledCaseBase::patched(before, after_tree, after_bounds, type));
+    });
+
+    std::cout << "=== Copy-on-write epochs vs. deep-copy patching (10k impls) ===\n\n";
+    util::Table table({"path", "us/epoch", "x vs full"});
+    table.add_row({"full recompile", util::to_fixed(full_ns / 1000.0, 1), "1.00x"});
+    table.add_row({"deep-copy patch (pre-COW)", util::to_fixed(deep_ns / 1000.0, 1),
+                   util::to_fixed(full_ns / deep_ns, 2) + "x"});
+    table.add_row({"COW patch", util::to_fixed(cow_ns / 1000.0, 1),
+                   util::to_fixed(full_ns / cow_ns, 2) + "x"});
+    std::cout << table.render_with_title(
+                     "one retained variant into 10000 impls over 16 types;\n"
+                     "deep-copy = splice + wholesale copy of the 15 untouched\n"
+                     "plans, COW = splice + pointer alias (bit-identical)")
+              << "\n";
+    std::cout << "plans shared with the predecessor epoch: " << shared << "/"
+              << patched.plans().size() << "\n";
+    std::cout << "COW advantage over deep-copy patching: "
+              << util::to_fixed(deep_ns / cow_ns, 2)
+              << "x (acceptance: > 1x at 10k impls)\n\n";
 }
 
 // ---- benchmark registrations ---------------------------------------------
@@ -276,7 +475,9 @@ BENCHMARK(bm_incremental_patch)->Arg(1000)->Arg(10000);
 
 int main(int argc, char** argv) {
     print_throughput();
+    print_bulk_enqueue();
     print_retain_cost();
+    print_cow_epoch_cost();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,5 +1,7 @@
 #include "alloc/bypass.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace qfa::alloc {
@@ -14,6 +16,11 @@ void BypassCache::touch(std::uint64_t fingerprint) {
     lru_.erase(it->second.lru_pos);
     lru_.push_front(fingerprint);
     it->second.lru_pos = lru_.begin();
+}
+
+bool BypassCache::peek(std::uint64_t fingerprint, std::uint64_t current_epoch) const {
+    const auto it = map_.find(fingerprint);
+    return it != map_.end() && it->second.token.case_base_epoch == current_epoch;
 }
 
 std::optional<BypassToken> BypassCache::lookup(std::uint64_t fingerprint,
@@ -63,6 +70,83 @@ void BypassCache::invalidate(std::uint64_t fingerprint) {
 void BypassCache::clear() {
     lru_.clear();
     map_.clear();
+}
+
+ShardedBypassCache::ShardedBypassCache(std::size_t capacity, std::size_t shard_count) {
+    QFA_EXPECTS(capacity >= 1, "bypass cache needs capacity");
+    QFA_EXPECTS(shard_count >= 1, "bypass cache needs at least one shard");
+    // Never more shards than capacity: a tiny cache must stay tiny (8
+    // one-entry shards would quadruple a requested capacity of 2), so
+    // small caches trade shard parallelism for the requested bound.
+    shard_count = std::min(shard_count, capacity);
+    const std::size_t per_shard = (capacity + shard_count - 1) / shard_count;
+    shards_.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+    capacity_ = per_shard * shard_count;
+}
+
+std::optional<BypassToken> ShardedBypassCache::lookup(std::uint64_t fingerprint,
+                                                      std::uint64_t current_epoch) {
+    Shard& shard = *shards_[shard_of(fingerprint)];
+    std::lock_guard lock(shard.mutex);
+    return shard.cache.lookup(fingerprint, current_epoch);
+}
+
+bool ShardedBypassCache::peek(std::uint64_t fingerprint, std::uint64_t current_epoch) const {
+    const Shard& shard = *shards_[shard_of(fingerprint)];
+    std::lock_guard lock(shard.mutex);
+    return shard.cache.peek(fingerprint, current_epoch);
+}
+
+void ShardedBypassCache::store(const BypassToken& token) {
+    Shard& shard = *shards_[shard_of(token.fingerprint)];
+    std::lock_guard lock(shard.mutex);
+    shard.cache.store(token);
+}
+
+void ShardedBypassCache::invalidate(std::uint64_t fingerprint) {
+    Shard& shard = *shards_[shard_of(fingerprint)];
+    std::lock_guard lock(shard.mutex);
+    shard.cache.invalidate(fingerprint);
+}
+
+void ShardedBypassCache::clear() {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        shard->cache.clear();
+    }
+}
+
+std::size_t ShardedBypassCache::size() const {
+    std::size_t total = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        total += shard->cache.size();
+    }
+    return total;
+}
+
+std::size_t ShardedBypassCache::capacity() const noexcept { return capacity_; }
+
+BypassStats ShardedBypassCache::stats() const {
+    BypassStats total;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        const BypassStats& s = shard->cache.stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.stale += s.stale;
+        total.evictions += s.evictions;
+    }
+    return total;
+}
+
+BypassStats ShardedBypassCache::shard_stats(std::size_t shard) const {
+    QFA_EXPECTS(shard < shards_.size(), "shard index out of range");
+    std::lock_guard lock(shards_[shard]->mutex);
+    return shards_[shard]->cache.stats();
 }
 
 }  // namespace qfa::alloc

@@ -11,14 +11,30 @@
 // weights) and invalidated by case-base epoch changes — a retained or
 // revised variant could alter the retrieval outcome, so stale-epoch tokens
 // force a fresh retrieval.  The cache is bounded with LRU eviction.
+//
+// Two granularities:
+//  * BypassCache — one LRU map, single-threaded (one decision loop).  The
+//    building block, and what the unit tests pin down.
+//  * ShardedBypassCache — N independent BypassCache shards, each behind
+//    its own mutex, selected by util::mix64(fingerprint) % N.  Lookups and
+//    stores from different shards never contend, so the bypass stage of
+//    the staged allocation pipeline scales with cores the way the serve
+//    engine's retrieval shards do (ROADMAP: bypass-cache sharding), and a
+//    side-effect-free peek() lets the batch front-end probe for tokens
+//    without perturbing the LRU order or the stats that sequential
+//    allocate() would produce.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "sysmodel/task.hpp"
+#include "util/rng.hpp"
 
 namespace qfa::alloc {
 
@@ -53,6 +69,13 @@ public:
     [[nodiscard]] std::optional<BypassToken> lookup(std::uint64_t fingerprint,
                                                     std::uint64_t current_epoch);
 
+    /// Side-effect-free probe: true when a token minted at `current_epoch`
+    /// is present.  Touches neither the stats nor the LRU order and never
+    /// drops a stale token — a pipeline stage may probe ahead without
+    /// changing what a later authoritative lookup() observes or counts.
+    [[nodiscard]] bool peek(std::uint64_t fingerprint,
+                            std::uint64_t current_epoch) const;
+
     /// Stores (or refreshes) a token, evicting the least recently used
     /// entry when full.
     void store(const BypassToken& token);
@@ -78,6 +101,69 @@ private:
     };
     std::unordered_map<std::uint64_t, Entry> map_;
     BypassStats stats_;
+};
+
+/// Thread-safe sharded bypass cache: `shard_count` independent BypassCache
+/// shards, each behind its own mutex.  A fingerprint belongs to exactly
+/// one shard (util::mix64(fingerprint) % shard_count — deterministic, so
+/// the same key always meets the same LRU), and every operation takes only
+/// that shard's lock; the aggregate accessors (size / stats) take the
+/// locks one shard at a time.  Single-threaded behaviour is identical to
+/// per-shard BypassCaches keyed by the same split — the sequential-vs-
+/// pipelined bit-identity proof in tests/serve/engine_test.cpp relies on
+/// exactly this.
+class ShardedBypassCache {
+public:
+    /// `capacity` is distributed over the shards (ceil division, at least
+    /// one entry per shard); `shard_count` is clamped to `capacity` so a
+    /// small cache is never inflated past its requested bound.
+    /// capacity() reports the resulting total.
+    explicit ShardedBypassCache(std::size_t capacity = 64, std::size_t shard_count = 8);
+
+    /// The shard a fingerprint's token lives in.
+    [[nodiscard]] std::size_t shard_of(std::uint64_t fingerprint) const noexcept {
+        return static_cast<std::size_t>(util::mix64(fingerprint) % shards_.size());
+    }
+
+    /// BypassCache::lookup on the owning shard, under its lock.
+    [[nodiscard]] std::optional<BypassToken> lookup(std::uint64_t fingerprint,
+                                                    std::uint64_t current_epoch);
+
+    /// BypassCache::peek on the owning shard: side-effect-free, so a
+    /// shard-parallel probe stage cannot perturb what the serial decision
+    /// stage later observes or counts.
+    [[nodiscard]] bool peek(std::uint64_t fingerprint, std::uint64_t current_epoch) const;
+
+    /// BypassCache::store on the owning shard (LRU eviction is per shard).
+    void store(const BypassToken& token);
+
+    /// BypassCache::invalidate on the owning shard.
+    void invalidate(std::uint64_t fingerprint);
+
+    /// Drops every token in every shard.
+    void clear();
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const noexcept;
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+    /// Aggregate statistics: hits / misses / stale / evictions summed
+    /// across the shards (the view existing stats consumers expect).
+    [[nodiscard]] BypassStats stats() const;
+
+    /// Snapshot of one shard's statistics (load-balance inspection; the
+    /// aggregate of all shards equals stats()).
+    [[nodiscard]] BypassStats shard_stats(std::size_t shard) const;
+
+private:
+    struct Shard {
+        explicit Shard(std::size_t capacity) : cache(capacity) {}
+        mutable std::mutex mutex;
+        BypassCache cache;
+    };
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t capacity_ = 0;  ///< per-shard capacity × shard count
 };
 
 }  // namespace qfa::alloc

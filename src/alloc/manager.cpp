@@ -132,20 +132,24 @@ std::optional<AllocationOutcome> AllocationManager::try_bypass(const AllocReques
     return std::nullopt;
 }
 
-AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
-    ++stats_.requests;
-    if (std::optional<AllocationOutcome> bypassed = try_bypass(request)) {
-        return *bypassed;
-    }
-
-    // ---- 2. retrieval ---------------------------------------------------
-    ++stats_.retrievals;
+cbr::RetrievalResult AllocationManager::retrieve_inline(const AllocRequest& request) {
     const cbr::Retriever retriever(*cb_, *bounds_, *compiled_);
+    // Same QoS-knob mapping as the engine fan-out path.
     cbr::RetrievalOptions options;
     options.n_best = request.n_best;
     options.threshold = request.threshold;
-    return decide(request,
-                  retriever.retrieve_compiled(request.request, options, &scratch_));
+    return retriever.retrieve_compiled(request.request, options, &scratch_);
+}
+
+AllocationOutcome AllocationManager::allocate(const AllocRequest& request) {
+    ++stats_.requests;
+    // ---- stage 1: bypass ------------------------------------------------
+    if (std::optional<AllocationOutcome> bypassed = try_bypass(request)) {
+        return *bypassed;
+    }
+    // ---- stage 2: retrieval ---------------------------------------------
+    ++stats_.retrievals;
+    return decide(request, retrieve_inline(request));
 }
 
 AllocationOutcome AllocationManager::allocate_prepared(const AllocRequest& request,
@@ -169,15 +173,39 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
     for (const AllocRequest& request : requests) {
         QFA_EXPECTS(request.n_best >= 1, "n_best must be at least 1");
     }
-    std::vector<std::future<cbr::RetrievalResult>> futures;
-    futures.reserve(requests.size());
-    for (const AllocRequest& request : requests) {
+
+    // ---- stage 1 (probe form): which requests need a retrieval? ---------
+    // peek() is side-effect-free — no stats, no LRU touch — so the serial
+    // replay below still observes exactly the cache states sequential
+    // allocate() calls would.  A probed token is only a prefetch hint: it
+    // may be lost before its serial turn (availability failure, eviction),
+    // and a probed miss may gain a token minted by an earlier request in
+    // this batch — both re-checked authoritatively below.
+    constexpr std::size_t kNoPrefetch = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> prefetch_slot(requests.size(), kNoPrefetch);
+    std::vector<cbr::Request> to_retrieve;
+    std::vector<cbr::RetrievalOptions> retrieve_options;
+    to_retrieve.reserve(requests.size());
+    retrieve_options.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (bypass_.peek(bypass_key(requests[i].app, requests[i].request),
+                         case_base_epoch_)) {
+            continue;  // token expected to grant: skip the prefetch
+        }
+        prefetch_slot[i] = to_retrieve.size();
+        to_retrieve.push_back(requests[i].request);
         // Same QoS-knob mapping as the inline retrieval in allocate().
         cbr::RetrievalOptions options;
-        options.n_best = request.n_best;
-        options.threshold = request.threshold;
-        futures.push_back(engine.submit(request.request, options));
+        options.n_best = requests[i].n_best;
+        options.threshold = requests[i].threshold;
+        retrieve_options.push_back(options);
     }
+
+    // ---- stage 2: retrieval fan-out (one bulk enqueue per shard) --------
+    std::vector<std::future<cbr::RetrievalResult>> futures =
+        engine.submit_batch(to_retrieve, retrieve_options);
+
+    // ---- stages 1' + 3–5: serial replay in request order ----------------
     // Past this point nothing may throw past a grant: platform tasks are
     // already being launched, and an escaping exception would discard
     // their TaskIds (unreleasable leak).  A dropped retrieval (engine
@@ -185,13 +213,30 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
     std::vector<AllocationOutcome> outcomes;
     outcomes.reserve(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
+        ++stats_.requests;
+        if (std::optional<AllocationOutcome> bypassed = try_bypass(requests[i])) {
+            outcomes.push_back(*bypassed);  // any prefetched result is unused
+            continue;
+        }
         try {
-            outcomes.push_back(allocate_prepared(requests[i], futures[i].get()));
+            if (prefetch_slot[i] == kNoPrefetch) {
+                // The probe saw a token but the authoritative lookup lost
+                // it: fall back to the inline retrieval of sequential
+                // allocate() — same arithmetic, same outcome.
+                ++stats_.retrievals;
+                outcomes.push_back(decide(requests[i], retrieve_inline(requests[i])));
+                continue;
+            }
+            const cbr::RetrievalResult retrieved = futures[prefetch_slot[i]].get();
+            ++stats_.retrievals;  // the prefetched retrieval is consumed here
+            outcomes.push_back(decide(requests[i], retrieved));
         } catch (const std::future_error&) {
-            ++stats_.requests;  // allocate_prepared never ran for this one
             outcomes.push_back(reject(RejectReason::retrieval_failed));
         } catch (const std::runtime_error&) {
-            ++stats_.requests;
+            // Covers the fallback path too, honouring the no-throw-past-a-
+            // grant rule above; ContractViolation is a logic_error and
+            // still surfaces (a wrong-epoch retrieval must not be
+            // reported as a mere retrieval failure).
             outcomes.push_back(reject(RejectReason::retrieval_failed));
         }
     }
@@ -206,29 +251,19 @@ AllocationOutcome AllocationManager::reject(RejectReason reason) {
     return outcome;
 }
 
-AllocationOutcome AllocationManager::decide(const AllocRequest& request,
-                                            const cbr::RetrievalResult& retrieved) {
-    if (retrieved.status == cbr::RetrievalStatus::type_not_found) {
-        return reject(RejectReason::type_not_found);
-    }
-    if (!retrieved.ok()) {
-        return reject(RejectReason::below_threshold);
-    }
-    AllocationOutcome outcome;
-
-    // ---- 3. feasibility of every candidate ------------------------------
-    const cbr::FunctionType* type = cb_->find_type(request.request.type());
-    QFA_ASSERT(type != nullptr, "retrieval succeeded, type must exist");
+std::vector<Candidate> AllocationManager::assess_candidates(
+    const AllocRequest& request, const cbr::RetrievalResult& retrieved,
+    const cbr::FunctionType& type) {
     std::vector<Candidate> candidates;
     candidates.reserve(retrieved.matches.size());
     for (const cbr::Match& match : retrieved.matches) {
-        const cbr::Implementation* impl = type->find_impl(match.impl);
+        const cbr::Implementation* impl = type.find_impl(match.impl);
         QFA_ASSERT(impl != nullptr, "retrieved candidate must exist in the tree");
         Candidate candidate;
         candidate.match = match;
         candidate.impl = impl;
         candidate.feasibility = check_feasibility(
-            *platform_, sys::ImplRef{type->id, match.impl}, *impl, request.priority);
+            *platform_, sys::ImplRef{type.id, match.impl}, *impl, request.priority);
         if (!request.allow_preemption &&
             candidate.feasibility.kind == FeasibilityKind::needs_preemption) {
             candidate.feasibility.kind = FeasibilityKind::infeasible;
@@ -236,8 +271,12 @@ AllocationOutcome AllocationManager::decide(const AllocRequest& request,
         }
         candidates.push_back(std::move(candidate));
     }
+    return candidates;
+}
 
-    // ---- 4. policy choice ------------------------------------------------
+AllocationOutcome AllocationManager::choose(const AllocRequest& request,
+                                            const cbr::FunctionType& type,
+                                            std::vector<Candidate>& candidates) {
     const AllocationPolicy& policy = owned_policy_ != nullptr
                                          ? static_cast<const AllocationPolicy&>(*owned_policy_)
                                          : static_cast<const AllocationPolicy&>(kDefaultPolicy);
@@ -247,7 +286,6 @@ AllocationOutcome AllocationManager::decide(const AllocRequest& request,
     }
     const Candidate& choice = candidates[*chosen];
 
-    // ---- 5. grant or counter-offer ---------------------------------------
     // §3: when the *best-matching* variant is infeasible but an alternative
     // is, the application has to decide — counter-offer instead of silently
     // degrading the QoS.
@@ -257,20 +295,39 @@ AllocationOutcome AllocationManager::decide(const AllocRequest& request,
         const std::uint64_t offer_id = next_offer_++;
         pending_offers_.emplace(
             offer_id,
-            PendingOffer{request, sys::ImplRef{type->id, choice.match.impl},
+            PendingOffer{request, sys::ImplRef{type.id, choice.match.impl},
                          choice.match.similarity});
+        AllocationOutcome outcome;
         outcome.kind = AllocationOutcome::Kind::counter_offer;
-        outcome.offer = CounterOffer{sys::ImplRef{type->id, candidates[0].match.impl},
+        outcome.offer = CounterOffer{sys::ImplRef{type.id, candidates[0].match.impl},
                                      candidates[0].match.similarity,
-                                     sys::ImplRef{type->id, choice.match.impl},
+                                     sys::ImplRef{type.id, choice.match.impl},
                                      choice.match.similarity, offer_id};
         ++stats_.counter_offers;
         return outcome;
     }
 
-    return launch_candidate(request, sys::ImplRef{type->id, choice.match.impl},
+    return launch_candidate(request, sys::ImplRef{type.id, choice.match.impl},
                             *choice.impl, choice.match.similarity, choice.feasibility,
                             /*via_bypass=*/false);
+}
+
+AllocationOutcome AllocationManager::decide(const AllocRequest& request,
+                                            const cbr::RetrievalResult& retrieved) {
+    if (retrieved.status == cbr::RetrievalStatus::type_not_found) {
+        return reject(RejectReason::type_not_found);
+    }
+    if (!retrieved.ok()) {
+        return reject(RejectReason::below_threshold);
+    }
+    const cbr::FunctionType* type = cb_->find_type(request.request.type());
+    QFA_ASSERT(type != nullptr, "retrieval succeeded, type must exist");
+
+    // ---- stage 3: feasibility of every candidate ------------------------
+    std::vector<Candidate> candidates = assess_candidates(request, retrieved, *type);
+
+    // ---- stages 4–5: policy choice, then commit or counter-offer --------
+    return choose(request, *type, candidates);
 }
 
 AllocationOutcome AllocationManager::accept_offer(std::uint64_t offer_id) {

@@ -1,30 +1,42 @@
-// The function-allocation manager — fig. 1's middle layer.
+// The function-allocation manager — fig. 1's middle layer, structured as
+// an explicit five-stage pipeline:
 //
-// On a function call with QoS constraints the manager:
-//   1. consults the bypass cache (§3) — a valid token skips retrieval and
-//      goes straight to the availability check;
-//   2. otherwise runs n-best CBR retrieval with the configured threshold;
-//   3. checks candidate feasibility against the platform load;
-//   4. lets the allocation policy choose among feasible candidates;
-//   5. launches the chosen variant (preempting lower-priority victims when
-//      allowed), or — when the *best-matching* variant is infeasible but an
-//      alternative is — returns a counter-offer the application must decide
-//      on (§2/§3's QoS negotiation);
-//   6. on rejection the application can relax the request and retry (§3).
+//   1. bypass   — consult the bypass cache (§3); a valid token skips
+//                 retrieval and goes straight to the availability check;
+//   2. retrieve — n-best CBR retrieval with the configured threshold;
+//   3. feasibility — check every candidate against the platform load;
+//   4. policy   — let the allocation policy choose among feasible
+//                 candidates; when the *best-matching* variant is
+//                 infeasible but an alternative is, emit a counter-offer
+//                 the application must decide on (§2/§3's QoS
+//                 negotiation);
+//   5. commit   — launch the chosen variant (preempting lower-priority
+//                 victims when allowed) and mint the bypass token.
+//   On rejection the application can relax the request and retry (§3).
 //
-// Serving integration (§5 outlook: "several applications" against one case
-// base).  The retrieval step — the paper's measured bottleneck (§4) — can
-// be fanned out across cores through the sharded serve::Engine:
-// allocate_batch() submits every request's n-best retrieval to the engine
-// and then replays the decision procedure (bypass, feasibility, policy,
-// negotiation) serially in request order, producing outcomes identical to
-// calling allocate() one by one.  rebind() accepts a published
-// serve::Generation directly, adopting its already-compiled plans instead
-// of recompiling — the epoch tag invalidates outstanding bypass tokens
-// exactly like a manual rebind.
+// The stage split is what lets the allocate path follow the workload onto
+// multiple cores (§5 outlook: "several applications" against one case
+// base).  Stages 1–2 are read-mostly: the bypass cache is sharded
+// (ShardedBypassCache — per-shard LRU + mutex) so lookups and stores scale
+// across threads, and retrieval fans out across the serve::Engine's plan
+// shards.  Stages 3–5 mutate platform state (load, running tasks), so
+// they are inherently serial and always replay in request order.
+//
+// allocate() runs all five stages inline for one request.
+// allocate_batch() pipelines: a side-effect-free bypass *probe* (stage 1)
+// over the whole batch decides which requests need retrieval; those fan
+// out across the engine's shards in one bulk enqueue per shard (stage 2);
+// then the authoritative bypass lookup and stages 3–5 replay serially in
+// request order — outcomes bit-identical to calling allocate() one by
+// one, including the token-minted-mid-batch and token-lost-mid-batch
+// races (a probe is only a prefetch hint; the serial replay re-checks and
+// falls back to an inline retrieval when a probed token disappeared).
+// rebind() accepts a published serve::Generation directly, adopting its
+// already-compiled plans instead of recompiling — the epoch tag
+// invalidates outstanding bypass tokens exactly like a manual rebind.
 //
 // Thread safety: one AllocationManager instance serves one decision thread
-// (the platform mutations in steps 3–5 are inherently serial); only the
+// (the platform mutations in stages 3–5 are inherently serial); only the
 // retrieval fan-out inside allocate_batch is concurrent.  Catalogue
 // mutations (engine retain/revise) must be quiesced for the duration of
 // an allocate_batch call: a retrieval served on a newer epoch can return
@@ -123,6 +135,9 @@ struct ManagerStats {
     std::uint64_t offers_rejected = 0;
     std::uint64_t rejections = 0;
     std::uint64_t preemptions = 0;
+    /// Bypass-cache counters summed across the cache's shards — the same
+    /// single-cache view consumers saw before sharding.
+    BypassStats bypass;
 };
 
 /// The allocation manager.
@@ -153,15 +168,20 @@ public:
     AllocationOutcome allocate_prepared(const AllocRequest& request,
                                         const cbr::RetrievalResult& retrieved);
 
-    /// Batch front-end: fans every request's retrieval out across the
-    /// engine's shards (multi-core), then decides serially in request
-    /// order.  outcomes[i] is identical to calling allocate(requests[i])
-    /// sequentially.  Requires the manager to be rebound to the engine's
-    /// current generation (rebind(engine.current())) so both sides score
-    /// the same epoch.  Requests are validated before anything is
-    /// submitted; once deciding starts, nothing throws past a grant — if
-    /// the engine is shut down mid-batch, the affected requests come back
-    /// rejected with RejectReason::retrieval_failed instead.
+    /// Batch front-end, pipelined: a side-effect-free bypass probe picks
+    /// the requests that need retrieval, those fan out across the engine's
+    /// shards with one bulk enqueue per shard (Engine::submit_batch), and
+    /// the decision stages replay serially in request order.  outcomes[i]
+    /// is identical to calling allocate(requests[i]) sequentially — a
+    /// probed token that disappears before its serial turn falls back to
+    /// the same inline retrieval allocate() performs.  Requires the
+    /// manager to be rebound to the engine's current generation
+    /// (rebind(engine.current())) so both sides score the same epoch.
+    /// Requests are validated before anything is submitted; once deciding
+    /// starts, nothing throws past a grant — if the engine is shut down
+    /// mid-batch, the affected prefetches come back rejected with
+    /// RejectReason::retrieval_failed instead (a valid bypass token still
+    /// grants: stage 1 needs no engine).
     std::vector<AllocationOutcome> allocate_batch(std::span<const AllocRequest> requests,
                                                   serve::Engine& engine);
 
@@ -186,10 +206,16 @@ public:
     /// the generation's epoch tag invalidates bypass tokens.
     void rebind(serve::GenerationPtr generation);
 
-    [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
-    [[nodiscard]] const BypassStats& bypass_stats() const noexcept {
-        return bypass_.stats();
+    /// Counter snapshot; `bypass` holds the cache's per-shard statistics
+    /// summed (hits/misses/stale/evictions), so pre-sharding consumers
+    /// read the same aggregate they always did.
+    [[nodiscard]] ManagerStats stats() const {
+        ManagerStats snapshot = stats_;
+        snapshot.bypass = bypass_.stats();
+        return snapshot;
     }
+    /// The aggregate bypass-cache statistics (== stats().bypass).
+    [[nodiscard]] BypassStats bypass_stats() const { return bypass_.stats(); }
 
 private:
     struct PendingOffer {
@@ -198,19 +224,41 @@ private:
         double similarity = 0.0;
     };
 
-    /// Launches one candidate (preempting when required & allowed).
+    // ---- the staged pipeline (see the header comment) -------------------
+
+    /// Stage 1, authoritative form: the bypass fast path.  Engaged outcome
+    /// when a valid token granted; nullopt when the caller must retrieve
+    /// (the stale token, if any, has been invalidated).
+    std::optional<AllocationOutcome> try_bypass(const AllocRequest& request);
+
+    /// Stage 2, inline form: the n-best retrieval allocate() performs on
+    /// the calling thread (allocate_batch fans the same retrieval out
+    /// across the serve engine's shards instead — identical arithmetic).
+    cbr::RetrievalResult retrieve_inline(const AllocRequest& request);
+
+    /// Stage 3: per-candidate feasibility against the current platform
+    /// load.  Reads state stages 5 mutates, so the pipeline always runs it
+    /// serially in request order.
+    std::vector<Candidate> assess_candidates(const AllocRequest& request,
+                                             const cbr::RetrievalResult& retrieved,
+                                             const cbr::FunctionType& type);
+
+    /// Stage 4: policy choice over the assessed candidates, then commit —
+    /// or a §3 counter-offer when the best match is infeasible but an
+    /// alternative is.
+    AllocationOutcome choose(const AllocRequest& request, const cbr::FunctionType& type,
+                             std::vector<Candidate>& candidates);
+
+    /// Stage 5 (commit): launches one candidate (preempting when required
+    /// & allowed) and mints the bypass token.  The only stage that mutates
+    /// the platform — the serialization point of the pipeline.
     AllocationOutcome launch_candidate(const AllocRequest& request, sys::ImplRef ref,
                                        const cbr::Implementation& impl, double similarity,
                                        const FeasibilityVerdict& feasibility,
                                        bool via_bypass);
 
-    /// Step 1 of allocate(): the bypass fast path.  Engaged outcome when a
-    /// valid token granted; nullopt when the caller must retrieve (the
-    /// stale token, if any, has been invalidated).
-    std::optional<AllocationOutcome> try_bypass(const AllocRequest& request);
-
-    /// Steps 2b–5 of allocate(): status checks, per-candidate feasibility,
-    /// policy choice, grant / counter-offer — shared by the inline and the
+    /// Stages 3–5 over one retrieval result: status checks, feasibility,
+    /// policy, grant / counter-offer — shared by the inline and the
     /// prepared (engine fan-out) retrieval paths.
     AllocationOutcome decide(const AllocRequest& request,
                              const cbr::RetrievalResult& retrieved);
@@ -230,7 +278,9 @@ private:
     serve::GenerationPtr generation_;  ///< pins a borrowed epoch, else null
     cbr::RetrievalScratch scratch_;
     std::unique_ptr<AllocationPolicy> owned_policy_;
-    BypassCache bypass_;
+    /// Sharded (per-shard LRU + mutex): stage 1 probes/lookups from
+    /// concurrent pipelines never serialize on one cache-wide lock.
+    ShardedBypassCache bypass_;
     std::uint64_t case_base_epoch_ = 0;
     std::unordered_map<std::uint64_t, PendingOffer> pending_offers_;
     std::uint64_t next_offer_ = 1;

@@ -29,9 +29,7 @@ void TypePlan::map_columns(std::span<const RequestAttribute> constraints,
 namespace {
 
 /// Re-reads the supplemental column metadata from the bounds table — the
-/// exact values a fresh compile would bake in.  Runs on every plan during
-/// patched(), because design-global bounds widened by a retain reach into
-/// every type whose union contains the widened attribute id.
+/// exact values a fresh compile would bake in.
 void refresh_column_metadata(TypePlan& plan, const BoundsTable& bounds) {
     const std::size_t columns = plan.attr_ids.size();
     plan.dmax.resize(columns);
@@ -43,6 +41,22 @@ void refresh_column_metadata(TypePlan& plan, const BoundsTable& bounds) {
         plan.divisor[c] = 1.0 + static_cast<double>(d);
         plan.reciprocal[c] = bounds.reciprocal(plan.attr_ids[c]);
     }
+}
+
+/// True when a plan's supplemental columns already hold exactly what a
+/// fresh compile against `bounds` would bake in — the copy-on-write test
+/// of patched(): such a plan can be *shared* with the successor epoch
+/// instead of cloned.  divisor is derived deterministically from dmax
+/// (1.0 + double(dmax)), so comparing dmax and the quantized reciprocal
+/// covers all three columns bit-exactly.
+bool metadata_current(const TypePlan& plan, const BoundsTable& bounds) {
+    for (std::size_t c = 0; c < plan.attr_ids.size(); ++c) {
+        if (plan.dmax[c] != bounds.dmax(plan.attr_ids[c]) ||
+            plan.reciprocal[c] != bounds.reciprocal(plan.attr_ids[c])) {
+            return false;
+        }
+    }
+    return true;
 }
 
 /// Full single-type compilation (the constructor's per-type step).
@@ -181,7 +195,7 @@ CompiledCaseBase::CompiledCaseBase(const CaseBase& cb, const BoundsTable& bounds
     : source_(&cb), bounds_(&bounds) {
     plans_.reserve(cb.types().size());
     for (const FunctionType& type : cb.types()) {
-        plans_.push_back(compile_type_plan(type, bounds));
+        plans_.push_back(std::make_shared<const TypePlan>(compile_type_plan(type, bounds)));
     }
 }
 
@@ -192,41 +206,51 @@ CompiledCaseBase CompiledCaseBase::patched(const CompiledCaseBase& previous,
     next.source_ = &cb;
     next.bounds_ = &bounds;
 
-    // Selective rebuild: untouched plans are copied wholesale (contiguous
-    // payload copies, no tree walk); the changed plan is spliced straight
-    // from its predecessor — never copied first — or recompiled when the
-    // shape change is not a single insertion.
+    // Selective rebuild: an untouched plan whose supplemental columns still
+    // match `bounds` is *shared* copy-on-write (one shared_ptr copy); a
+    // plan a widened design-global bound reaches into is cloned with
+    // refreshed metadata (payload copied wholesale, no tree walk); the
+    // changed plan is spliced straight from its predecessor — never copied
+    // first — or recompiled when the shape change is not a single
+    // insertion.
     const FunctionType* type = cb.find_type(changed);
     next.plans_.reserve(cb.types().size());
-    bool handled = false;
-    for (const TypePlan& plan : previous.plans_) {
-        if (!handled && changed < plan.id && type != nullptr) {
-            next.plans_.push_back(compile_type_plan(*type, bounds));  // type added
-            handled = true;
+    const auto carry_forward = [&](const std::shared_ptr<const TypePlan>& plan) {
+        if (metadata_current(*plan, bounds)) {
+            next.plans_.push_back(plan);  // COW: successor aliases the plan
+            return;
         }
-        if (plan.id == changed) {
+        auto refreshed = std::make_shared<TypePlan>(*plan);
+        refresh_column_metadata(*refreshed, bounds);
+        next.plans_.push_back(std::move(refreshed));
+    };
+    bool handled = false;
+    for (const std::shared_ptr<const TypePlan>& plan : previous.plans_) {
+        if (!handled && changed < plan->id && type != nullptr) {
+            next.plans_.push_back(
+                std::make_shared<const TypePlan>(compile_type_plan(*type, bounds)));
+            handled = true;  // type added before this plan's id
+        }
+        if (plan->id == changed) {
             handled = true;
             if (type == nullptr) {
                 continue;  // type removed from the tree: drop its plan
             }
             TypePlan spliced;
-            if (patch_single_insert(plan, *type, spliced)) {
-                next.plans_.push_back(std::move(spliced));
+            if (patch_single_insert(*plan, *type, spliced)) {
+                refresh_column_metadata(spliced, bounds);
+                next.plans_.push_back(std::make_shared<const TypePlan>(std::move(spliced)));
             } else {
-                next.plans_.push_back(compile_type_plan(*type, bounds));
+                next.plans_.push_back(
+                    std::make_shared<const TypePlan>(compile_type_plan(*type, bounds)));
             }
             continue;
         }
-        next.plans_.push_back(plan);
+        carry_forward(plan);
     }
     if (!handled && type != nullptr) {
-        next.plans_.push_back(compile_type_plan(*type, bounds));  // appended type
-    }
-
-    // Widened bounds reach every plan's supplemental columns; the payloads
-    // of untouched types are byte-identical to a fresh compile already.
-    for (TypePlan& plan : next.plans_) {
-        refresh_column_metadata(plan, bounds);
+        next.plans_.push_back(
+            std::make_shared<const TypePlan>(compile_type_plan(*type, bounds)));  // appended
     }
 
     QFA_ASSERT(next.plans_.size() == cb.types().size(),
@@ -237,9 +261,11 @@ CompiledCaseBase CompiledCaseBase::patched(const CompiledCaseBase& previous,
 const TypePlan* CompiledCaseBase::find(TypeId id) const noexcept {
     const auto it = std::lower_bound(
         plans_.begin(), plans_.end(), id,
-        [](const TypePlan& plan, TypeId target) { return plan.id < target; });
-    if (it != plans_.end() && it->id == id) {
-        return &*it;
+        [](const std::shared_ptr<const TypePlan>& plan, TypeId target) {
+            return plan->id < target;
+        });
+    if (it != plans_.end() && (*it)->id == id) {
+        return it->get();
     }
     return nullptr;
 }
@@ -247,11 +273,11 @@ const TypePlan* CompiledCaseBase::find(TypeId id) const noexcept {
 CompiledStats CompiledCaseBase::stats() const noexcept {
     CompiledStats stats;
     stats.type_count = plans_.size();
-    for (const TypePlan& plan : plans_) {
-        stats.impl_count += plan.impl_count;
-        stats.column_count += plan.attr_ids.size();
-        stats.value_slots += plan.values.size();
-        for (const double p : plan.present) {
+    for (const std::shared_ptr<const TypePlan>& plan : plans_) {
+        stats.impl_count += plan->impl_count;
+        stats.column_count += plan->attr_ids.size();
+        stats.value_slots += plan->values.size();
+        for (const double p : plan->present) {
             if (p == 0.0) {
                 ++stats.sentinel_slots;
             }

@@ -39,16 +39,22 @@
 // the plans concurrently without synchronization, provided each thread uses
 // its own RetrievalScratch.  Mutation is modelled as *replacement*: the
 // retain path (§5's dynamic case-base update) builds a successor view with
-// patched() — copying untouched plans, splicing one row into the changed
-// type's columns — and publishes it wholesale (see serve/generation.hpp for
-// the epoch-based publication protocol).  A view's lifetime must cover the
-// source CaseBase/BoundsTable it was compiled against *and* every reader
-// still scoring through it; serve::Generation bundles all three under one
-// shared_ptr so retiring an epoch frees them together.
+// patched() — *sharing* untouched plans copy-on-write, splicing one row
+// into the changed type's columns — and publishes it wholesale (see
+// serve/generation.hpp for the epoch-based publication protocol).  Plans
+// are held by shared_ptr<const TypePlan>, so consecutive epochs alias the
+// type plans that did not change between them: publishing an epoch costs
+// one splice plus a pointer copy per untouched type, never a catalogue
+// copy.  A view's lifetime must cover the source CaseBase/BoundsTable it
+// was compiled against *and* every reader still scoring through it;
+// serve::Generation bundles all three under one shared_ptr so retiring an
+// epoch frees them together (a TypePlan owns its payload outright and may
+// outlive the epoch that built it, kept alive by successor epochs).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -121,16 +127,20 @@ public:
     /// update): `cb`/`bounds` are the successor catalogue in which only the
     /// implementation list of `changed` differs from `previous`'s source —
     /// bounds entries may have widened (they only ever widen, see
-    /// BoundsTable::cover).  Untouched types keep their column payloads
-    /// (bulk copy, no tree walk); the changed type takes a row-splice fast
-    /// path when exactly one implementation was inserted, and falls back to
-    /// a single-type recompile otherwise (removal, bulk edits).  Column
-    /// dmax / divisor / Q15-reciprocal metadata is re-read from `bounds`
-    /// for *every* plan, because a widened design-global bound reaches into
-    /// other types' columns too.  The result is bit-identical to a fresh
-    /// CompiledCaseBase(cb, bounds) — same plans, same slots, same
-    /// quantized reciprocals — at a fraction of the cost (the point of the
-    /// serve layer's incremental epoch publication).
+    /// BoundsTable::cover).  Untouched types *share* their plan with
+    /// `previous` copy-on-write (one shared_ptr copy, no payload copy, no
+    /// tree walk) as long as their supplemental dmax / divisor /
+    /// Q15-reciprocal columns still match `bounds`; a plan whose
+    /// design-global bounds widened — a retain into one type reaches into
+    /// every other type whose union contains the widened attribute id — is
+    /// cloned with refreshed metadata (payload still copied wholesale, not
+    /// recompiled).  The changed type takes a row-splice fast path when
+    /// exactly one implementation was inserted, and falls back to a
+    /// single-type recompile otherwise (removal, bulk edits).  The result
+    /// is bit-identical to a fresh CompiledCaseBase(cb, bounds) — same
+    /// plans, same slots, same quantized reciprocals — at a fraction of
+    /// the cost (the point of the serve layer's incremental epoch
+    /// publication).
     [[nodiscard]] static CompiledCaseBase patched(const CompiledCaseBase& previous,
                                                   const CaseBase& cb,
                                                   const BoundsTable& bounds,
@@ -139,7 +149,12 @@ public:
     /// Plan for a type id (binary search); nullptr when absent.
     [[nodiscard]] const TypePlan* find(TypeId id) const noexcept;
 
-    [[nodiscard]] std::span<const TypePlan> plans() const noexcept { return plans_; }
+    /// The per-type plans, ascending by TypeId.  Exposed as shared_ptrs so
+    /// callers can both inspect plans (`*plans()[t]`) and observe
+    /// copy-on-write sharing across patched() epochs (pointer equality).
+    [[nodiscard]] std::span<const std::shared_ptr<const TypePlan>> plans() const noexcept {
+        return plans_;
+    }
     [[nodiscard]] bool empty() const noexcept { return plans_.empty(); }
 
     /// The tree this view was compiled from (nullptr when default-built).
@@ -149,7 +164,10 @@ public:
     [[nodiscard]] CompiledStats stats() const noexcept;
 
 private:
-    std::vector<TypePlan> plans_;  ///< ascending by TypeId
+    /// Ascending by TypeId.  shared_ptr per plan: patched() epochs alias
+    /// the plans that did not change between them (copy-on-write), and a
+    /// CompiledCaseBase copy is a cheap pointer-vector copy.
+    std::vector<std::shared_ptr<const TypePlan>> plans_;
     const CaseBase* source_ = nullptr;
     const BoundsTable* bounds_ = nullptr;
 };

@@ -78,13 +78,49 @@ std::future<cbr::RetrievalResult> Engine::submit(cbr::Request request,
     return future;
 }
 
-std::vector<cbr::RetrievalResult> Engine::retrieve_all(
-    std::span<const cbr::Request> requests, const cbr::RetrievalOptions& options) {
+std::vector<std::future<cbr::RetrievalResult>> Engine::submit_batch(
+    std::span<const cbr::Request> requests, std::span<const cbr::RetrievalOptions> options) {
+    QFA_EXPECTS(options.size() == requests.size() || options.size() == 1,
+                "submit_batch needs one options set per request, or one for the batch");
+    // Group the jobs by owning shard first, then feed each shard's queue
+    // with one push_all — one lock acquisition per shard per batch where a
+    // submit() loop pays one per job.  Jobs stay in input order within a
+    // shard (push_all preserves order, each shard has one FIFO consumer),
+    // so a shard serves exactly the sequence a per-job loop would hand it.
     std::vector<std::future<cbr::RetrievalResult>> futures;
     futures.reserve(requests.size());
-    for (const cbr::Request& request : requests) {
-        futures.push_back(submit(request, options));
+    std::vector<std::vector<Job>> grouped(shards_.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        Job job{requests[i], options.size() == 1 ? options[0] : options[i], {}};
+        futures.push_back(job.promise.get_future());
+        grouped[shard_of(requests[i].type())].push_back(std::move(job));
     }
+    for (std::size_t s = 0; s < grouped.size(); ++s) {
+        std::vector<Job>& jobs = grouped[s];
+        if (jobs.empty()) {
+            continue;
+        }
+        // Counted before the push so stats() never observes served >
+        // submitted; refused jobs are undone below, as in submit().
+        submitted_.fetch_add(jobs.size(), std::memory_order_relaxed);
+        const std::size_t accepted = stopped_.load(std::memory_order_acquire)
+                                         ? 0
+                                         : shards_[s]->queue.push_all(std::span<Job>(jobs));
+        if (accepted < jobs.size()) {
+            // Closed mid-batch: the tail jobs still own their promises —
+            // resolve them to the shut-down error their futures report.
+            submitted_.fetch_sub(jobs.size() - accepted, std::memory_order_relaxed);
+            for (std::size_t j = accepted; j < jobs.size(); ++j) {
+                jobs[j].promise.set_exception(engine_stopped());
+            }
+        }
+    }
+    return futures;
+}
+
+std::vector<cbr::RetrievalResult> Engine::retrieve_all(
+    std::span<const cbr::Request> requests, const cbr::RetrievalOptions& options) {
+    std::vector<std::future<cbr::RetrievalResult>> futures = submit_batch(requests, options);
     std::vector<cbr::RetrievalResult> results;
     results.reserve(futures.size());
     for (std::future<cbr::RetrievalResult>& future : futures) {

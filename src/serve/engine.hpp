@@ -48,6 +48,7 @@
 #include "core/retrieval.hpp"
 #include "serve/generation.hpp"
 #include "serve/queue.hpp"
+#include "util/rng.hpp"
 
 namespace qfa::serve {
 
@@ -82,9 +83,21 @@ public:
 
     [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
 
-    /// The shard that owns a function type's plan.
+    /// Deterministic mix (util::mix64, the SplitMix64 finalizer) applied
+    /// to a TypeId before the shard modulo.  Raw ids are often allocated
+    /// on a stride — a catalogue numbering its types 0, S, 2S, ... with S
+    /// a multiple of the shard count would collapse onto one worker under
+    /// a plain modulo; the finalizer's avalanche spreads any arithmetic
+    /// progression evenly.  Pure function of the id: the mapping is stable
+    /// across runs, processes and engine instances of equal shard count.
+    [[nodiscard]] static constexpr std::uint64_t mix_type_id(std::uint64_t id) noexcept {
+        return util::mix64(id);
+    }
+
+    /// The shard that owns a function type's plan: mix_type_id(id) modulo
+    /// the shard count.
     [[nodiscard]] std::size_t shard_of(cbr::TypeId type) const noexcept {
-        return type.value() % shards_.size();
+        return static_cast<std::size_t>(mix_type_id(type.value()) % shards_.size());
     }
 
     /// Enqueues one retrieval on the owning shard.  The future resolves to
@@ -99,8 +112,27 @@ public:
     [[nodiscard]] std::future<cbr::RetrievalResult> submit(cbr::Request request,
                                                            cbr::RetrievalOptions options = {});
 
-    /// Blocking batch helper: submits every request, waits for all, and
-    /// returns results in input order — bit-identical to
+    /// Bulk enqueue: groups the requests by owning shard and feeds each
+    /// shard's jobs with ONE queue lock acquisition per shard per batch
+    /// (BoundedMpmcQueue::push_all) instead of one per job.  futures[i]
+    /// belongs to requests[i] and resolves exactly as submit(requests[i],
+    /// options[i]) would — grouping changes how jobs enter the queues,
+    /// never what a shard computes.  `options` must be the same size as
+    /// `requests` (per-request QoS knobs, the alloc batch front-end) or a
+    /// single element broadcast to every request.  Jobs refused by a
+    /// closed queue resolve to the shut-down exception.
+    [[nodiscard]] std::vector<std::future<cbr::RetrievalResult>> submit_batch(
+        std::span<const cbr::Request> requests,
+        std::span<const cbr::RetrievalOptions> options);
+
+    /// submit_batch with one options set for the whole batch.
+    [[nodiscard]] std::vector<std::future<cbr::RetrievalResult>> submit_batch(
+        std::span<const cbr::Request> requests, const cbr::RetrievalOptions& options = {}) {
+        return submit_batch(requests, std::span<const cbr::RetrievalOptions>(&options, 1));
+    }
+
+    /// Blocking batch helper: submit_batch (bulk per-shard enqueue), waits
+    /// for all, and returns results in input order — bit-identical to
     /// Retriever::retrieve_batch on the current generation.
     [[nodiscard]] std::vector<cbr::RetrievalResult> retrieve_all(
         std::span<const cbr::Request> requests, const cbr::RetrievalOptions& options = {});

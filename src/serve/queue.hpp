@@ -22,6 +22,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "util/contracts.hpp"
@@ -50,6 +51,31 @@ public:
         lock.unlock();
         not_empty_.notify_one();
         return true;
+    }
+
+    /// Bulk enqueue: moves every item into the queue in order under ONE
+    /// lock acquisition (a per-job push pays a lock round-trip each; the
+    /// batch front-ends pay one per shard per batch).  Blocks while full —
+    /// batches larger than the capacity are fed as consumers drain, so
+    /// consumers are notified per insert while the lock is held (a no-op
+    /// futex wake when nobody waits; never the lost-wakeup deadlock that
+    /// notifying only after the loop would risk).  Returns the number of
+    /// items accepted: items.size() normally, fewer when the queue was
+    /// closed mid-batch — the tail items are left untouched in `items` and
+    /// failure signalling for them stays with the caller, as in push().
+    std::size_t push_all(std::span<T> items) {
+        std::size_t accepted = 0;
+        std::unique_lock lock(mutex_);
+        for (T& item : items) {
+            not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+            if (closed_) {
+                break;
+            }
+            items_.push_back(std::move(item));
+            ++accepted;
+            not_empty_.notify_one();
+        }
+        return accepted;
     }
 
     /// Non-blocking push; false when full or closed.

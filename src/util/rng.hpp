@@ -17,6 +17,18 @@
 
 namespace qfa::util {
 
+/// Stateless SplitMix64 finalizer: the avalanche step of SplitMix64::next
+/// as a pure hash of one 64-bit key.  Shard pickers use it to spread
+/// structured keys (type ids allocated on a stride, request fingerprints)
+/// evenly before a modulo; a pure function of the key, so the mapping is
+/// stable across runs and processes.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
 /// SplitMix64: used to expand a single seed into xoshiro state.
 class SplitMix64 {
 public:

@@ -38,6 +38,22 @@ TEST(BypassCacheTest, EpochMismatchDropsToken) {
     EXPECT_EQ(cache.size(), 0u);  // dropped, not kept stale
 }
 
+TEST(BypassCacheTest, PeekIsSideEffectFree) {
+    BypassCache cache(2);
+    cache.store(token(1, /*epoch=*/5));
+    cache.store(token(2, /*epoch=*/5));
+    EXPECT_TRUE(cache.peek(1, 5));
+    EXPECT_FALSE(cache.peek(1, 6));  // epoch mismatch
+    EXPECT_FALSE(cache.peek(3, 5));  // absent
+    // Nothing was counted or dropped, and the LRU order did not move:
+    // storing a third token must still evict 1 (2 stayed most recent).
+    EXPECT_EQ(cache.stats().hits + cache.stats().misses + cache.stats().stale, 0u);
+    EXPECT_EQ(cache.size(), 2u);
+    cache.store(token(3, /*epoch=*/5));
+    EXPECT_FALSE(cache.peek(1, 5));  // evicted: peek never touched LRU
+    EXPECT_TRUE(cache.peek(2, 5));
+}
+
 TEST(BypassCacheTest, InvalidateRemoves) {
     BypassCache cache;
     cache.store(token(42));

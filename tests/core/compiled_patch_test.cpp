@@ -25,8 +25,8 @@ using namespace qfa::cbr;
 void expect_plans_identical(const CompiledCaseBase& fresh, const CompiledCaseBase& patched) {
     ASSERT_EQ(fresh.plans().size(), patched.plans().size());
     for (std::size_t t = 0; t < fresh.plans().size(); ++t) {
-        const TypePlan& a = fresh.plans()[t];
-        const TypePlan& b = patched.plans()[t];
+        const TypePlan& a = *fresh.plans()[t];
+        const TypePlan& b = *patched.plans()[t];
         EXPECT_EQ(a.id, b.id);
         ASSERT_EQ(a.impl_count, b.impl_count);
         EXPECT_EQ(a.impl_ids, b.impl_ids);
@@ -153,6 +153,83 @@ TEST(CompiledPatchTest, AddTypeInsertsAPlan) {
                                                     {{AttrId{3}, 2}, {AttrId{5}, 40}})),
               RetainVerdict::retained);
     h.check_advance(TypeId{7});
+}
+
+TEST(CompiledPatchTest, UntouchedPlansAreSharedCopyOnWrite) {
+    // Disjoint attribute sets and an in-range retain: no design-global
+    // bound widens, so every untouched type's plan must be *aliased* from
+    // the predecessor epoch (pointer equality — copy-on-write), never
+    // copied.
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "FIR")
+                      .add_impl(ImplId{1}, Target::gpp, {{AttrId{1}, 16}, {AttrId{2}, 4}})
+                      .begin_type(TypeId{2}, "FFT")
+                      .add_impl(ImplId{1}, Target::dsp, {{AttrId{3}, 10}})
+                      .add_impl(ImplId{2}, Target::fpga, {{AttrId{3}, 20}})
+                      .begin_type(TypeId{3}, "DCT")
+                      .add_impl(ImplId{1}, Target::gpp, {{AttrId{4}, 7}})
+                      .build();
+    DynamicCaseBase dynamic(std::move(cb));
+    const CaseBase before_tree = dynamic.snapshot();
+    const BoundsTable before_bounds = dynamic.bounds();
+    const CompiledCaseBase before(before_tree, before_bounds);
+
+    ASSERT_EQ(dynamic.retain(TypeId{2},
+                             make_impl(ImplId{9}, Target::dsp, {{AttrId{3}, 15}})),
+              RetainVerdict::retained);
+    const CaseBase after_tree = dynamic.snapshot();
+    const BoundsTable after_bounds = dynamic.bounds();
+    const CompiledCaseBase patched =
+        CompiledCaseBase::patched(before, after_tree, after_bounds, TypeId{2});
+
+    EXPECT_EQ(patched.plans()[0].get(), before.plans()[0].get());  // type 1 shared
+    EXPECT_NE(patched.plans()[1].get(), before.plans()[1].get());  // type 2 spliced
+    EXPECT_EQ(patched.plans()[2].get(), before.plans()[2].get());  // type 3 shared
+    EXPECT_EQ(patched.find(TypeId{2})->impl_count, 3u);
+
+    const CompiledCaseBase fresh(after_tree, after_bounds);
+    expect_plans_identical(fresh, patched);
+}
+
+TEST(CompiledPatchTest, WidenedBoundsCloneOnlyTheReachedPlans) {
+    // Types 1 and 2 share attribute 1; type 3 does not.  A retain into
+    // type 2 that widens attribute 1's design-global bound must *clone*
+    // type 1's plan (refreshed dmax/divisor/reciprocal — sharing it would
+    // serve stale metadata) while type 3, untouched by the widening,
+    // stays aliased.
+    CaseBase cb = CaseBaseBuilder()
+                      .begin_type(TypeId{1}, "FIR")
+                      .add_impl(ImplId{1}, Target::gpp, {{AttrId{1}, 16}})
+                      .begin_type(TypeId{2}, "FFT")
+                      .add_impl(ImplId{1}, Target::dsp, {{AttrId{1}, 8}})
+                      .begin_type(TypeId{3}, "DCT")
+                      .add_impl(ImplId{1}, Target::gpp, {{AttrId{5}, 3}})
+                      .build();
+    DynamicCaseBase dynamic(std::move(cb));
+    const CaseBase before_tree = dynamic.snapshot();
+    const BoundsTable before_bounds = dynamic.bounds();
+    const CompiledCaseBase before(before_tree, before_bounds);
+
+    ASSERT_EQ(dynamic.retain(TypeId{2},
+                             make_impl(ImplId{9}, Target::fpga, {{AttrId{1}, 200}})),
+              RetainVerdict::retained);
+    ASSERT_GT(dynamic.bounds().dmax(AttrId{1}), before_bounds.dmax(AttrId{1}));
+    const CaseBase after_tree = dynamic.snapshot();
+    const BoundsTable after_bounds = dynamic.bounds();
+    const CompiledCaseBase patched =
+        CompiledCaseBase::patched(before, after_tree, after_bounds, TypeId{2});
+
+    EXPECT_NE(patched.plans()[0].get(), before.plans()[0].get());  // type 1 cloned
+    EXPECT_NE(patched.plans()[1].get(), before.plans()[1].get());  // type 2 spliced
+    EXPECT_EQ(patched.plans()[2].get(), before.plans()[2].get());  // type 3 shared
+    // The clone picked up the widened metadata; the payload did not move.
+    const TypePlan* fir = patched.find(TypeId{1});
+    ASSERT_NE(fir, nullptr);
+    EXPECT_EQ(fir->dmax[fir->column_of(AttrId{1})], after_bounds.dmax(AttrId{1}));
+    EXPECT_EQ(fir->values, before.find(TypeId{1})->values);
+
+    const CompiledCaseBase fresh(after_tree, after_bounds);
+    expect_plans_identical(fresh, patched);
 }
 
 TEST(CompiledPatchTest, RandomizedRetainSequenceStaysBitIdentical) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <future>
 #include <string>
@@ -111,9 +112,31 @@ TEST(EngineTest, RequestsRouteToTheOwningShard) {
     config.shard_count = 4;
     Engine engine(w.catalog.case_base, config);
     for (const cbr::Request& request : w.requests) {
+        // The documented mapping: splitmix64-mixed id modulo shard count —
+        // deterministic across engines of equal shard count.
         EXPECT_EQ(engine.shard_of(request.type()),
-                  request.type().value() % config.shard_count);
+                  Engine::mix_type_id(request.type().value()) % config.shard_count);
+        EXPECT_LT(engine.shard_of(request.type()), config.shard_count);
     }
+}
+
+TEST(EngineTest, StridedTypeIdsSpreadAcrossShards) {
+    // The pathological catalogue for a plain `id % shards` mapping: type
+    // ids striding by the shard count (0, 4, 8, ...) all collapse onto
+    // shard 0.  The mixed mapping must keep every shard below the total
+    // and populate more than one shard.
+    constexpr std::uint64_t kShards = 4;
+    constexpr std::uint64_t kTypes = 16;
+    std::array<std::size_t, kShards> owned{};
+    for (std::uint64_t id = 0; id < kTypes * kShards; id += kShards) {
+        ++owned[Engine::mix_type_id(id) % kShards];
+    }
+    std::size_t populated = 0;
+    for (const std::size_t count : owned) {
+        EXPECT_LT(count, kTypes);  // no shard owns the whole catalogue
+        populated += count > 0 ? 1 : 0;
+    }
+    EXPECT_GT(populated, 1u);
 }
 
 TEST(EngineTest, SubmittedOptionsApplyQosKnobs) {
@@ -132,6 +155,46 @@ TEST(EngineTest, SubmittedOptionsApplyQosKnobs) {
     const cbr::RetrievalResult rejected =
         engine.submit(cbr::paper_example_request(), options).get();
     EXPECT_EQ(rejected.status, cbr::RetrievalStatus::all_below_threshold);
+}
+
+TEST(EngineTest, SubmitBatchMatchesPerJobSubmitWithPerRequestOptions) {
+    const Workload w = make_workload(12, 6, 64, 0xBA7C4);
+    // Queue capacity far below the batch size: the bulk enqueue must feed
+    // each shard as its worker drains, never deadlock on a full queue.
+    Engine engine(w.catalog.case_base, EngineConfig{4, 4});
+
+    std::vector<cbr::RetrievalOptions> options(w.requests.size());
+    for (std::size_t i = 0; i < options.size(); ++i) {
+        options[i].n_best = 1 + i % 5;
+        options[i].threshold = static_cast<double>(i % 3) * 0.2;
+    }
+    std::vector<std::future<cbr::RetrievalResult>> futures =
+        engine.submit_batch(w.requests, options);
+    ASSERT_EQ(futures.size(), w.requests.size());
+
+    const cbr::Retriever reference(w.catalog.case_base, w.catalog.bounds);
+    for (std::size_t i = 0; i < w.requests.size(); ++i) {
+        // futures[i] must belong to requests[i] with options[i] — the
+        // per-shard grouping may reorder queue entry, never attribution.
+        expect_identical(reference.retrieve(w.requests[i], options[i]),
+                         futures[i].get());
+    }
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.submitted, w.requests.size());
+    EXPECT_EQ(stats.served, w.requests.size());
+}
+
+TEST(EngineTest, SubmitBatchAfterShutdownBreaksEveryJob) {
+    const Workload w = make_workload(4, 3, 8, 0xDEAD);
+    Engine engine(w.catalog.case_base, EngineConfig{2, 64});
+    engine.shutdown();
+    std::vector<std::future<cbr::RetrievalResult>> futures =
+        engine.submit_batch(w.requests);
+    ASSERT_EQ(futures.size(), w.requests.size());
+    for (std::future<cbr::RetrievalResult>& future : futures) {
+        EXPECT_THROW((void)future.get(), std::runtime_error);
+    }
+    EXPECT_EQ(engine.stats().submitted, 0u);  // refused jobs are not counted
 }
 
 TEST(EngineTest, RetainPublishesAPatchedEpochVisibleToNewRequests) {
@@ -201,9 +264,16 @@ TEST(EngineTest, ShutdownDrainsThenBreaksLateSubmissions) {
     engine.shutdown();  // idempotent
 }
 
-TEST(EngineManagerTest, AllocateBatchMatchesSequentialAllocate) {
-    const Workload w = make_workload(6, 5, 48, 0xCAFE);
-
+/// Drives the pipelined batch manager and the sequential reference over
+/// the same request list for `rounds` rounds (each on its own platform)
+/// and asserts outcome-by-outcome and stats bit-identity.  Later rounds
+/// replay fingerprints whose tokens round 1 minted, so the batch probe
+/// stage sees hits (prefetch skipped, token grants) and — with a small
+/// `bypass_capacity` — tokens evicted between probe and serial turn
+/// (inline-retrieval fallback).
+void expect_batch_matches_sequential(const Workload& w, std::size_t rounds,
+                                     std::size_t bypass_capacity,
+                                     alloc::ManagerStats* out_stats = nullptr) {
     std::vector<alloc::AllocRequest> requests;
     requests.reserve(w.requests.size());
     for (std::size_t i = 0; i < w.requests.size(); ++i) {
@@ -218,38 +288,107 @@ TEST(EngineManagerTest, AllocateBatchMatchesSequentialAllocate) {
     sys::Platform batch_platform;
     batch_platform.repository().import_case_base(w.catalog.case_base);
     alloc::AllocationManager batch_manager(batch_platform, w.catalog.case_base,
-                                           w.catalog.bounds);
+                                           w.catalog.bounds, nullptr, bypass_capacity);
     batch_manager.rebind(engine.current());
-    const std::vector<alloc::AllocationOutcome> batched =
-        batch_manager.allocate_batch(requests, engine);
 
     // Reference manager: plain sequential allocate() on its own platform.
     sys::Platform seq_platform;
     seq_platform.repository().import_case_base(w.catalog.case_base);
     alloc::AllocationManager seq_manager(seq_platform, w.catalog.case_base,
-                                         w.catalog.bounds);
+                                         w.catalog.bounds, nullptr, bypass_capacity);
 
-    ASSERT_EQ(batched.size(), requests.size());
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-        const alloc::AllocationOutcome expected = seq_manager.allocate(requests[i]);
-        EXPECT_EQ(batched[i].kind, expected.kind) << "request " << i;
-        if (expected.granted()) {
-            ASSERT_TRUE(batched[i].grant.has_value()) << "request " << i;
-            EXPECT_EQ(batched[i].grant->impl.impl, expected.grant->impl.impl);
-            EXPECT_EQ(batched[i].grant->via_bypass, expected.grant->via_bypass);
-            EXPECT_EQ(std::bit_cast<std::uint64_t>(batched[i].grant->similarity),
-                      std::bit_cast<std::uint64_t>(expected.grant->similarity));
+    for (std::size_t round = 0; round < rounds; ++round) {
+        const std::vector<alloc::AllocationOutcome> batched =
+            batch_manager.allocate_batch(requests, engine);
+        ASSERT_EQ(batched.size(), requests.size());
+        std::vector<alloc::AllocationOutcome> sequential;
+        sequential.reserve(requests.size());
+        for (const alloc::AllocRequest& request : requests) {
+            sequential.push_back(seq_manager.allocate(request));
+        }
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            EXPECT_EQ(batched[i].kind, sequential[i].kind)
+                << "round " << round << " request " << i;
+            if (sequential[i].granted()) {
+                ASSERT_TRUE(batched[i].grant.has_value())
+                    << "round " << round << " request " << i;
+                EXPECT_EQ(batched[i].grant->impl.impl, sequential[i].grant->impl.impl);
+                EXPECT_EQ(batched[i].grant->via_bypass, sequential[i].grant->via_bypass);
+                EXPECT_EQ(std::bit_cast<std::uint64_t>(batched[i].grant->similarity),
+                          std::bit_cast<std::uint64_t>(sequential[i].grant->similarity));
+            }
+        }
+        // Free this round's tasks on both platforms (symmetrically, so the
+        // two sides stay in lock-step): the next round's tokens must pass
+        // the availability check instead of meeting a saturated platform.
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            if (batched[i].granted()) {
+                EXPECT_TRUE(batch_manager.release(batched[i].grant->task));
+            }
+            if (sequential[i].granted()) {
+                EXPECT_TRUE(seq_manager.release(sequential[i].grant->task));
+            }
         }
     }
-    EXPECT_EQ(batch_manager.stats().requests, seq_manager.stats().requests);
-    EXPECT_EQ(batch_manager.stats().grants, seq_manager.stats().grants);
-    EXPECT_EQ(batch_manager.stats().retrievals, seq_manager.stats().retrievals);
+    const alloc::ManagerStats batch_stats = batch_manager.stats();
+    const alloc::ManagerStats seq_stats = seq_manager.stats();
+    EXPECT_EQ(batch_stats.requests, seq_stats.requests);
+    EXPECT_EQ(batch_stats.grants, seq_stats.grants);
+    EXPECT_EQ(batch_stats.retrievals, seq_stats.retrievals);
+    EXPECT_EQ(batch_stats.bypass_grants, seq_stats.bypass_grants);
+    EXPECT_EQ(batch_stats.rejections, seq_stats.rejections);
+    // The probe stage must not have perturbed the cache: per-shard stats
+    // summed across the sharded cache match the sequential reference
+    // counter for counter.
+    EXPECT_EQ(batch_stats.bypass.hits, seq_stats.bypass.hits);
+    EXPECT_EQ(batch_stats.bypass.misses, seq_stats.bypass.misses);
+    EXPECT_EQ(batch_stats.bypass.stale, seq_stats.bypass.stale);
+    EXPECT_EQ(batch_stats.bypass.evictions, seq_stats.bypass.evictions);
+    if (out_stats != nullptr) {
+        *out_stats = batch_stats;
+    }
+}
+
+TEST(EngineManagerTest, AllocateBatchMatchesSequentialAllocate) {
+    const Workload w = make_workload(6, 5, 48, 0xCAFE);
+    expect_batch_matches_sequential(w, 1, 64);
 
     // The contract is enforced: a manager not bound to the engine's current
     // generation is rejected.
-    alloc::AllocationManager unbound(seq_platform, w.catalog.case_base, w.catalog.bounds);
+    std::vector<alloc::AllocRequest> requests;
+    for (const cbr::Request& request : w.requests) {
+        requests.push_back(alloc::AllocRequest{0, request, 10, 0.1, 4, true});
+    }
+    Engine engine(w.catalog.case_base, EngineConfig{2, 64});
+    sys::Platform platform;
+    platform.repository().import_case_base(w.catalog.case_base);
+    alloc::AllocationManager unbound(platform, w.catalog.case_base, w.catalog.bounds);
     EXPECT_THROW((void)unbound.allocate_batch(requests, engine),
                  util::ContractViolation);
+}
+
+TEST(EngineManagerTest, AllocateBatchIdentityHoldsAcrossBypassRounds) {
+    // Round 2+ replays fingerprints with live tokens: the probe stage
+    // skips their prefetch and the serial replay grants via bypass —
+    // outcomes and every counter must still match sequential allocate().
+    const Workload w = make_workload(6, 5, 48, 0xCAFE);
+    alloc::ManagerStats stats;
+    expect_batch_matches_sequential(w, 3, 64, &stats);
+    // The rounds must actually have exercised the token path: probes hit,
+    // and the prefetch-skip saved retrievals vs one per request.
+    EXPECT_GT(stats.bypass.hits, 0u);
+    EXPECT_LT(stats.retrievals, stats.requests);
+}
+
+TEST(EngineManagerTest, AllocateBatchIdentityHoldsUnderBypassEviction) {
+    // A near-zero cache capacity maximizes the probe's failure modes:
+    // tokens evicted between the probe and the serial turn force the
+    // inline-retrieval fallback, and stores evict mid-batch.  Identity
+    // (including the retrieval counter) must survive all of it.
+    const Workload w = make_workload(6, 5, 48, 0xCAFE);
+    alloc::ManagerStats stats;
+    expect_batch_matches_sequential(w, 3, 2, &stats);
+    EXPECT_GT(stats.bypass.evictions, 0u);
 }
 
 TEST(EngineManagerTest, ShutDownEngineYieldsRetrievalFailedRejections) {

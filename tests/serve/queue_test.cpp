@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -105,6 +106,65 @@ TEST(BoundedMpmcQueueTest, ManyProducersManyConsumersLoseNothing) {
     for (int i = 0; i < kProducers * kPerProducer; ++i) {
         EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
     }
+}
+
+TEST(BoundedMpmcQueueTest, PushAllPreservesOrderWithinCapacity) {
+    BoundedMpmcQueue<int> queue(8);
+    std::vector<int> items{1, 2, 3, 4, 5};
+    EXPECT_EQ(queue.push_all(std::span<int>(items)), 5u);
+    for (int i = 1; i <= 5; ++i) {
+        EXPECT_EQ(queue.pop(), i);
+    }
+}
+
+TEST(BoundedMpmcQueueTest, PushAllLargerThanCapacityFeedsAsConsumersDrain) {
+    // A batch 8x the capacity must flow through completely: push_all waits
+    // on the full queue and notifies the consumer per insert, so neither
+    // side can sleep forever.
+    constexpr int kItems = 16;
+    BoundedMpmcQueue<int> queue(2);
+    std::vector<int> drained;
+    std::thread consumer([&] {
+        while (auto item = queue.pop()) {
+            drained.push_back(*item);
+        }
+    });
+    std::vector<int> items(kItems);
+    for (int i = 0; i < kItems; ++i) {
+        items[static_cast<std::size_t>(i)] = i;
+    }
+    EXPECT_EQ(queue.push_all(std::span<int>(items)), static_cast<std::size_t>(kItems));
+    queue.close();
+    consumer.join();
+    ASSERT_EQ(drained.size(), static_cast<std::size_t>(kItems));
+    for (int i = 0; i < kItems; ++i) {
+        EXPECT_EQ(drained[static_cast<std::size_t>(i)], i);  // FIFO preserved
+    }
+}
+
+TEST(BoundedMpmcQueueTest, PushAllReportsItemsAcceptedBeforeClose) {
+    BoundedMpmcQueue<int> queue(2);
+    std::vector<int> items{1, 2, 3, 4};
+    // Close the queue from another thread while push_all is blocked on the
+    // full queue: the two accepted items must be reported and drainable.
+    std::thread closer([&] {
+        while (queue.size() < 2) {
+            std::this_thread::yield();
+        }
+        queue.close();
+    });
+    EXPECT_EQ(queue.push_all(std::span<int>(items)), 2u);
+    closer.join();
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedMpmcQueueTest, PushAllOnClosedQueueAcceptsNothing) {
+    BoundedMpmcQueue<int> queue(4);
+    queue.close();
+    std::vector<int> items{1, 2};
+    EXPECT_EQ(queue.push_all(std::span<int>(items)), 0u);
 }
 
 TEST(BoundedMpmcQueueTest, RejectsZeroCapacity) {

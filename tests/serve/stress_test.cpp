@@ -157,8 +157,8 @@ TEST(ServeStressTest, EveryRetrievalObservesAConsistentEpoch) {
         EXPECT_EQ(a.sentinel_slots, b.sentinel_slots);
         ASSERT_EQ(fresh.plans().size(), generation->compiled.plans().size());
         for (std::size_t t = 0; t < fresh.plans().size(); ++t) {
-            const cbr::TypePlan& x = fresh.plans()[t];
-            const cbr::TypePlan& y = generation->compiled.plans()[t];
+            const cbr::TypePlan& x = *fresh.plans()[t];
+            const cbr::TypePlan& y = *generation->compiled.plans()[t];
             EXPECT_EQ(x.impl_ids, y.impl_ids);
             EXPECT_EQ(x.attr_ids, y.attr_ids);
             EXPECT_EQ(x.dmax, y.dmax);
