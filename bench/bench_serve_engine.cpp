@@ -1,7 +1,9 @@
 // Sharded serving engine vs. the single-threaded compiled path,
 // incremental plan patching vs. full recompilation, bulk shard enqueue
-// vs. per-job submission, and copy-on-write epoch publication vs. the
-// deep-copy patching it replaced.
+// vs. per-job submission, copy-on-write epoch publication vs. the
+// deep-copy patching it replaced, the shard-offloaded bypass probe vs.
+// the decision-thread probe loop, and the speculative feasibility stage
+// vs. the serial stage 3.
 //
 // Acceptance claims:
 //  * aggregate retrieval throughput at 4 shards >= 3x the single-threaded
@@ -14,21 +16,36 @@
 //    overhead vs a submit() loop (one lock round-trip per job);
 //  * COW patched() (untouched plans aliased) beats the pre-COW deep-copy
 //    behaviour (untouched plans copied wholesale) at 10k implementations
-//    spread over many types.
+//    spread over many types;
+//  * allocate_batch with the stage-1 probe loop on the shard workers and
+//    the speculative stage-3 wave produces outcomes and ManagerStats
+//    bit-identical to sequential allocate() (checked outcome by outcome
+//    before timing; the multi-core speedups need >= 4 hardware threads).
 // Every table self-checks bit-identity against the reference retriever /
-// a from-scratch compile before timing anything.
+// a from-scratch compile / sequential allocate() before timing anything.
+//
+// --json=PATH additionally writes the machine-readable table summary
+// (table name -> ns/op + speedup) CI's bench-smoke job archives as
+// BENCH_serve.json to track the perf trajectory across PRs.
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "alloc/manager.hpp"
 #include "core/compiled.hpp"
 #include "core/retain.hpp"
 #include "core/retrieval.hpp"
 #include "serve/engine.hpp"
+#include "sysmodel/system.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -38,6 +55,42 @@
 namespace {
 
 using namespace qfa;
+
+// ---- machine-readable summary (CI's BENCH_serve.json) ---------------------
+
+struct JsonRecord {
+    std::string table;    ///< table identifier, stable across PRs
+    double ns_per_op = 0; ///< the new path's cost
+    double speedup = 0;   ///< vs that table's baseline row
+};
+
+std::vector<JsonRecord>& json_records() {
+    static std::vector<JsonRecord> records;
+    return records;
+}
+
+void record_table(std::string table, double ns_per_op, double speedup) {
+    json_records().push_back({std::move(table), ns_per_op, speedup});
+}
+
+void write_json(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "FATAL: cannot write " << path << "\n";
+        std::exit(1);
+    }
+    out << "{\n  \"benchmark\": \"bench_serve_engine\",\n  \"tables\": [\n";
+    for (std::size_t i = 0; i < json_records().size(); ++i) {
+        const JsonRecord& r = json_records()[i];
+        out << "    {\"table\": \"" << r.table << "\", \"ns_per_op\": "
+            << util::to_fixed(r.ns_per_op, 1) << ", \"speedup\": "
+            << util::to_fixed(r.speedup, 3) << "}"
+            << (i + 1 < json_records().size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_records().size() << " table records to " << path
+              << "\n";
+}
 
 struct Scenario {
     wl::GeneratedCatalog catalog;
@@ -146,6 +199,7 @@ void print_throughput() {
               << std::thread::hardware_concurrency() << "\n";
     std::cout << "aggregate speedup at 4 shards: " << util::to_fixed(speedup_at_4, 2)
               << "x (acceptance: >= 3x, requires >= 4 hardware threads)\n\n";
+    record_table("serve_throughput_4shards", single / speedup_at_4, speedup_at_4);
 }
 
 // ---- 2. bulk shard enqueue vs per-job submission --------------------------
@@ -206,6 +260,7 @@ void print_bulk_enqueue() {
               << "\n";
     std::cout << "bulk enqueue advantage: " << util::to_fixed(per_job_ns / bulk_ns, 2)
               << "x (acceptance: reduces queue overhead, i.e. >= 1x on quiet machines)\n\n";
+    record_table("bulk_enqueue", bulk_ns, per_job_ns / bulk_ns);
 }
 
 // ---- 3. incremental retain vs full recompile at 10k implementations ------
@@ -287,6 +342,7 @@ void print_retain_cost() {
               << "\n";
     std::cout << "incremental retain cost advantage: " << util::to_fixed(full_ns / patch_ns, 2)
               << "x (acceptance: >= 10x)\n\n";
+    record_table("incremental_retain_10k", patch_ns, full_ns / patch_ns);
 }
 
 // ---- 4. copy-on-write epochs vs deep-copy patching (10k impls) -----------
@@ -419,6 +475,287 @@ void print_cow_epoch_cost() {
     std::cout << "COW advantage over deep-copy patching: "
               << util::to_fixed(deep_ns / cow_ns, 2)
               << "x (acceptance: > 1x at 10k impls)\n\n";
+    record_table("cow_epoch_10k", cow_ns, deep_ns / cow_ns);
+}
+
+// ---- 5 & 6. the batch allocation pipeline's shard-offloaded stages --------
+
+/// One allocation pipeline under test: its own platform + manager (bound
+/// to the shared engine's generation), with the tuning that selects which
+/// stages run on the shard workers.
+struct PipelineUnderTest {
+    sys::Platform platform;
+    std::unique_ptr<alloc::AllocationManager> manager;
+
+    PipelineUnderTest(const wl::GeneratedCatalog& catalog, const serve::Engine& engine,
+                      alloc::BatchTuning tuning, std::size_t bypass_capacity) {
+        platform.repository().import_case_base(catalog.case_base);
+        manager = std::make_unique<alloc::AllocationManager>(
+            platform, catalog.case_base, catalog.bounds, nullptr, bypass_capacity);
+        manager->rebind(engine.current());
+        manager->set_batch_tuning(tuning);
+    }
+};
+
+void check_outcomes_identical_or_die(const std::vector<alloc::AllocationOutcome>& a,
+                                     const std::vector<alloc::AllocationOutcome>& b,
+                                     const char* where) {
+    if (a.size() != b.size()) {
+        std::cerr << "FATAL: " << where << " diverged (outcome counts)\n";
+        std::exit(1);
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        bool same = a[i].kind == b[i].kind;
+        if (same && a[i].grant.has_value()) {
+            same = b[i].grant.has_value() &&
+                   a[i].grant->impl.impl == b[i].grant->impl.impl &&
+                   a[i].grant->via_bypass == b[i].grant->via_bypass &&
+                   std::bit_cast<std::uint64_t>(a[i].grant->similarity) ==
+                       std::bit_cast<std::uint64_t>(b[i].grant->similarity);
+        }
+        if (same && a[i].reject.has_value()) {
+            same = b[i].reject.has_value() && *a[i].reject == *b[i].reject;
+        }
+        if (!same) {
+            std::cerr << "FATAL: " << where << " diverged at request " << i << "\n";
+            std::exit(1);
+        }
+    }
+}
+
+void check_stats_identical_or_die(const alloc::ManagerStats& a,
+                                  const alloc::ManagerStats& b, const char* where) {
+    if (a.requests != b.requests || a.retrievals != b.retrievals ||
+        a.grants != b.grants || a.bypass_grants != b.bypass_grants ||
+        a.rejections != b.rejections || a.counter_offers != b.counter_offers ||
+        a.bypass.hits != b.bypass.hits || a.bypass.misses != b.bypass.misses ||
+        a.bypass.stale != b.bypass.stale || a.bypass.evictions != b.bypass.evictions) {
+        std::cerr << "FATAL: " << where << " diverged from sequential ManagerStats\n";
+        std::exit(1);
+    }
+}
+
+void release_grants(alloc::AllocationManager& manager,
+                    const std::vector<alloc::AllocationOutcome>& outcomes) {
+    for (const alloc::AllocationOutcome& outcome : outcomes) {
+        if (outcome.granted()) {
+            (void)manager.release(outcome.grant->task);
+        }
+    }
+}
+
+void print_probe_offload() {
+    // Steady-state bypass traffic: after a warm-up round every request
+    // holds a live token, so each batch is probe + token grants — the
+    // stage this table isolates.  512 requests per batch, speculation off
+    // (an all-hit batch prefetches nothing anyway).
+    util::Rng rng(0x9B0BE5EEDULL);
+    wl::CatalogConfig catalog_config;
+    catalog_config.function_types = 16;
+    catalog_config.impls_per_type = 16;
+    catalog_config.attrs_per_impl = 10;
+    catalog_config.attr_dropout = 0.2;
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds(catalog_config, rng);
+    const auto generated =
+        wl::generate_request_batch(catalog.case_base, catalog.bounds, 512, rng);
+
+    std::vector<alloc::AllocRequest> requests;
+    requests.reserve(generated.size());
+    for (std::size_t i = 0; i < generated.size(); ++i) {
+        requests.push_back(alloc::AllocRequest{static_cast<alloc::AppId>(i % 7),
+                                               generated[i].request, 10, 0.0, 4, true});
+    }
+
+    serve::EngineConfig engine_config;
+    engine_config.shard_count = 4;
+    engine_config.queue_capacity = requests.size();
+    serve::Engine engine(catalog.case_base, engine_config);
+
+    // Tokens for 512 distinct fingerprints must survive a round: capacity
+    // well above the batch.
+    constexpr std::size_t kBypass = 2048;
+    alloc::BatchTuning inline_probe;   // threshold above the batch: decision thread
+    inline_probe.probe_offload_min_batch = requests.size() + 1;
+    inline_probe.speculate_min_batch = requests.size() + 1;
+    alloc::BatchTuning offload_probe;  // every batch probes on the workers
+    offload_probe.probe_offload_min_batch = 1;
+    offload_probe.speculate_min_batch = requests.size() + 1;
+
+    PipelineUnderTest sequential(catalog, engine, inline_probe, kBypass);
+    PipelineUnderTest inlined(catalog, engine, inline_probe, kBypass);
+    PipelineUnderTest offloaded(catalog, engine, offload_probe, kBypass);
+
+    // Self-check: two rounds (mint, then ride the tokens) must decide
+    // identically on all three pipelines, counter for counter.
+    for (int round = 0; round < 2; ++round) {
+        std::vector<alloc::AllocationOutcome> seq;
+        seq.reserve(requests.size());
+        for (const alloc::AllocRequest& request : requests) {
+            seq.push_back(sequential.manager->allocate(request));
+        }
+        const auto inl = inlined.manager->allocate_batch(requests, engine);
+        const auto off = offloaded.manager->allocate_batch(requests, engine);
+        check_outcomes_identical_or_die(seq, inl, "inline-probe batch");
+        check_outcomes_identical_or_die(seq, off, "offloaded-probe batch");
+        release_grants(*sequential.manager, seq);
+        release_grants(*inlined.manager, inl);
+        release_grants(*offloaded.manager, off);
+    }
+    check_stats_identical_or_die(inlined.manager->stats(), sequential.manager->stats(),
+                                 "inline-probe batch");
+    check_stats_identical_or_die(offloaded.manager->stats(), sequential.manager->stats(),
+                                 "offloaded-probe batch");
+    if (offloaded.manager->batch_pipeline_stats().probe_offloads == 0) {
+        std::cerr << "FATAL: probe offload never engaged\n";
+        std::exit(1);
+    }
+
+    const double seq_ns = ns_per_request(requests.size(), [&] {
+        std::vector<alloc::AllocationOutcome> outcomes;
+        outcomes.reserve(requests.size());
+        for (const alloc::AllocRequest& request : requests) {
+            outcomes.push_back(sequential.manager->allocate(request));
+        }
+        release_grants(*sequential.manager, outcomes);
+    });
+    const double inline_ns = ns_per_request(requests.size(), [&] {
+        const auto outcomes = inlined.manager->allocate_batch(requests, engine);
+        release_grants(*inlined.manager, outcomes);
+    });
+    const double offload_ns = ns_per_request(requests.size(), [&] {
+        const auto outcomes = offloaded.manager->allocate_batch(requests, engine);
+        release_grants(*offloaded.manager, outcomes);
+    });
+
+    std::cout << "=== Stage-1 probe: decision thread vs. shard workers ===\n\n";
+    util::Table table({"path", "ns/req", "x vs sequential"});
+    table.add_row({"sequential allocate()", util::to_fixed(seq_ns, 1), "1.00x"});
+    table.add_row({"batch, inline probe", util::to_fixed(inline_ns, 1),
+                   util::to_fixed(seq_ns / inline_ns, 2) + "x"});
+    table.add_row({"batch, shard-side probe", util::to_fixed(offload_ns, 1),
+                   util::to_fixed(seq_ns / offload_ns, 2) + "x"});
+    std::cout << table.render_with_title(
+                     "512-request all-bypass-hit batches, 256 impls over 16 types,\n"
+                     "4 shards; probe = ShardedBypassCache::peek per request, run\n"
+                     "on the decision thread vs. sliced across the shard workers\n"
+                     "(outcomes and ManagerStats bit-identical to sequential)")
+              << "\n";
+    std::cout << "shard-side probe vs inline probe: "
+              << util::to_fixed(inline_ns / offload_ns, 2)
+              << "x (acceptance: identity holds; >= 1x needs >= 4 hardware threads)\n\n";
+    record_table("probe_offload", offload_ns, inline_ns / offload_ns);
+}
+
+void print_speculative_decision() {
+    // The speculative stage-3 shape: a saturated platform, preemption
+    // disallowed — every candidate set is assessed in full and every
+    // request rejects without mutating the platform, so the wave stays
+    // valid end to end and stage 3 runs entirely on the shard workers.
+    util::Rng rng(0x5BEC5EEDULL);
+    wl::CatalogConfig catalog_config;
+    catalog_config.function_types = 12;
+    catalog_config.impls_per_type = 32;
+    catalog_config.attrs_per_impl = 10;
+    catalog_config.attr_dropout = 0.2;
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds(catalog_config, rng);
+    const auto generated =
+        wl::generate_request_batch(catalog.case_base, catalog.bounds, 256, rng);
+
+    std::vector<alloc::AllocRequest> fill;     // saturates the platform
+    std::vector<alloc::AllocRequest> requests;  // the measured batch
+    for (std::size_t i = 0; i < generated.size(); ++i) {
+        if (i < 64) {
+            fill.push_back(alloc::AllocRequest{static_cast<alloc::AppId>(200 + i % 3),
+                                               generated[i].request, 200, 0.0, 1, false});
+        }
+        requests.push_back(alloc::AllocRequest{static_cast<alloc::AppId>(i % 5),
+                                               generated[i].request, 1, 0.0, 4, false});
+    }
+
+    serve::EngineConfig engine_config;
+    engine_config.shard_count = 4;
+    engine_config.queue_capacity = requests.size();
+    serve::Engine engine(catalog.case_base, engine_config);
+
+    alloc::BatchTuning no_speculation;
+    no_speculation.probe_offload_min_batch = requests.size() + 1;
+    no_speculation.speculate_min_batch = requests.size() + 1;
+    alloc::BatchTuning speculation;
+    speculation.probe_offload_min_batch = requests.size() + 1;  // isolate stage 3
+    speculation.speculate_min_batch = 1;
+
+    PipelineUnderTest sequential(catalog, engine, no_speculation, 64);
+    PipelineUnderTest serial_stage3(catalog, engine, no_speculation, 64);
+    PipelineUnderTest speculative(catalog, engine, speculation, 64);
+
+    // Saturate all three platforms identically with high-priority fills.
+    for (PipelineUnderTest* pipeline : {&sequential, &serial_stage3, &speculative}) {
+        for (const alloc::AllocRequest& request : fill) {
+            (void)pipeline->manager->allocate(request);
+        }
+    }
+
+    // Self-check: the measured batch must decide identically (the grants
+    // the fill left room for included), and repeating it must too.
+    for (int round = 0; round < 2; ++round) {
+        std::vector<alloc::AllocationOutcome> seq;
+        seq.reserve(requests.size());
+        for (const alloc::AllocRequest& request : requests) {
+            seq.push_back(sequential.manager->allocate(request));
+        }
+        const auto serial = serial_stage3.manager->allocate_batch(requests, engine);
+        const auto spec = speculative.manager->allocate_batch(requests, engine);
+        check_outcomes_identical_or_die(seq, serial, "serial-stage-3 batch");
+        check_outcomes_identical_or_die(seq, spec, "speculative batch");
+        release_grants(*sequential.manager, seq);
+        release_grants(*serial_stage3.manager, serial);
+        release_grants(*speculative.manager, spec);
+    }
+    check_stats_identical_or_die(serial_stage3.manager->stats(),
+                                 sequential.manager->stats(), "serial-stage-3 batch");
+    check_stats_identical_or_die(speculative.manager->stats(),
+                                 sequential.manager->stats(), "speculative batch");
+    const alloc::BatchPipelineStats wave = speculative.manager->batch_pipeline_stats();
+    if (wave.speculated == 0 || wave.speculations_adopted == 0) {
+        std::cerr << "FATAL: speculation never engaged/validated\n";
+        std::exit(1);
+    }
+
+    const double seq_ns = ns_per_request(requests.size(), [&] {
+        std::vector<alloc::AllocationOutcome> outcomes;
+        outcomes.reserve(requests.size());
+        for (const alloc::AllocRequest& request : requests) {
+            outcomes.push_back(sequential.manager->allocate(request));
+        }
+        release_grants(*sequential.manager, outcomes);
+    });
+    const double serial_ns = ns_per_request(requests.size(), [&] {
+        const auto outcomes = serial_stage3.manager->allocate_batch(requests, engine);
+        release_grants(*serial_stage3.manager, outcomes);
+    });
+    const double spec_ns = ns_per_request(requests.size(), [&] {
+        const auto outcomes = speculative.manager->allocate_batch(requests, engine);
+        release_grants(*speculative.manager, outcomes);
+    });
+
+    std::cout << "=== Stage-3 feasibility: serial replay vs. speculative wave ===\n\n";
+    util::Table table({"path", "ns/req", "x vs sequential"});
+    table.add_row({"sequential allocate()", util::to_fixed(seq_ns, 1), "1.00x"});
+    table.add_row({"batch, serial stage 3", util::to_fixed(serial_ns, 1),
+                   util::to_fixed(seq_ns / serial_ns, 2) + "x"});
+    table.add_row({"batch, speculative stage 3", util::to_fixed(spec_ns, 1),
+                   util::to_fixed(seq_ns / spec_ns, 2) + "x"});
+    std::cout << table.render_with_title(
+                     "256-request batches against a saturated platform (no\n"
+                     "preemption), 384 impls over 12 types, n_best = 4, 4 shards;\n"
+                     "speculative = candidate feasibility assessed on the shard\n"
+                     "workers against the pre-replay snapshot, re-validated at\n"
+                     "commit (outcomes and ManagerStats bit-identical)")
+              << "\n";
+    std::cout << "speculative stage 3 vs serial stage 3: "
+              << util::to_fixed(serial_ns / spec_ns, 2)
+              << "x (acceptance: identity holds; >= 1x needs >= 4 hardware threads)\n\n";
+    record_table("speculative_decision", spec_ns, serial_ns / spec_ns);
 }
 
 // ---- benchmark registrations ---------------------------------------------
@@ -474,10 +811,29 @@ BENCHMARK(bm_incremental_patch)->Arg(1000)->Arg(10000);
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Strip our own --json=PATH flag before benchmark::Initialize sees the
+    // argument vector.
+    std::string json_path;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        constexpr const char* kJsonFlag = "--json=";
+        if (std::strncmp(argv[i], kJsonFlag, std::strlen(kJsonFlag)) == 0) {
+            json_path = argv[i] + std::strlen(kJsonFlag);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+
     print_throughput();
     print_bulk_enqueue();
     print_retain_cost();
     print_cow_epoch_cost();
+    print_probe_offload();
+    print_speculative_decision();
+    if (!json_path.empty()) {
+        write_json(json_path);
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

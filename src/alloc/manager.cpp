@@ -68,6 +68,10 @@ AllocationOutcome AllocationManager::launch_candidate(const AllocRequest& reques
                                                       double similarity,
                                                       const FeasibilityVerdict& feasibility,
                                                       bool via_bypass) {
+    // Conservatively treat every commit attempt as a platform mutation:
+    // a stale-but-adopted speculation would break bit-identity, an
+    // over-invalidated one only costs a serial recompute.
+    ++platform_version_;
     AllocationOutcome outcome;
     std::uint64_t evicted = 0;
 
@@ -162,11 +166,70 @@ AllocationOutcome AllocationManager::allocate_prepared(const AllocRequest& reque
     return decide(request, retrieved);
 }
 
+void AllocationManager::probe_batch(std::span<const AllocRequest> requests,
+                                    serve::Engine& engine,
+                                    std::vector<std::uint8_t>& hit) {
+    const std::size_t n = requests.size();
+    const std::size_t shards = engine.shard_count();
+    const auto probe_inline = [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+            hit[i] = bypass_.peek(bypass_key(requests[i].app, requests[i].request),
+                                  case_base_epoch_)
+                         ? 1
+                         : 0;
+        }
+    };
+    if (n < tuning_.probe_offload_min_batch || shards < 2) {
+        probe_inline();
+        return;
+    }
+    // One contiguous slice per shard worker.  peek() takes only the owning
+    // bypass shard's mutex and touches neither stats nor LRU order, so N
+    // workers probing concurrently compute exactly what the inline loop
+    // would — offloading moves the loop, never the answer.
+    std::vector<serve::Engine::ShardTask> tasks;
+    tasks.reserve(shards);
+    const std::size_t chunk = (n + shards - 1) / shards;
+    for (std::size_t s = 0, begin = 0; begin < n; ++s, begin += chunk) {
+        const std::size_t end = std::min(n, begin + chunk);
+        tasks.push_back({s % shards, [this, requests, &hit, begin, end] {
+                             for (std::size_t i = begin; i < end; ++i) {
+                                 hit[i] = bypass_.peek(
+                                              bypass_key(requests[i].app,
+                                                         requests[i].request),
+                                              case_base_epoch_)
+                                              ? 1
+                                              : 0;
+                             }
+                         }});
+    }
+    std::vector<std::future<void>> futures = engine.execute_batch(tasks);
+    bool complete = true;
+    for (std::future<void>& future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            complete = false;  // engine shut down mid-wave
+        }
+    }
+    if (!complete) {
+        // Some slices never ran.  peek is idempotent and side-effect-free,
+        // so the cheapest correct recovery is to re-probe everything
+        // inline — bit-identical to having never offloaded.
+        probe_inline();
+        return;
+    }
+    ++batch_stats_.probe_offloads;
+}
+
 std::vector<AllocationOutcome> AllocationManager::allocate_batch(
     std::span<const AllocRequest> requests, serve::Engine& engine) {
     QFA_EXPECTS(generation_ != nullptr && engine.current() == generation_,
                 "allocate_batch requires rebind(engine.current()) so the manager and "
                 "the engine decide on the same epoch");
+    if (requests.empty()) {
+        return {};
+    }
     // Validate every request *before* the first submission: a contract
     // violation must surface synchronously (as in sequential allocate()),
     // never from a worker after earlier requests were already granted.
@@ -180,7 +243,11 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
     // allocate() calls would.  A probed token is only a prefetch hint: it
     // may be lost before its serial turn (availability failure, eviction),
     // and a probed miss may gain a token minted by an earlier request in
-    // this batch — both re-checked authoritatively below.
+    // this batch — both re-checked authoritatively below.  Large batches
+    // run the probe loop on the shard workers (probe_batch).
+    std::vector<std::uint8_t> probed(requests.size(), 0);
+    probe_batch(requests, engine, probed);
+
     constexpr std::size_t kNoPrefetch = static_cast<std::size_t>(-1);
     std::vector<std::size_t> prefetch_slot(requests.size(), kNoPrefetch);
     std::vector<cbr::Request> to_retrieve;
@@ -188,8 +255,7 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
     to_retrieve.reserve(requests.size());
     retrieve_options.reserve(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
-        if (bypass_.peek(bypass_key(requests[i].app, requests[i].request),
-                         case_base_epoch_)) {
+        if (probed[i] != 0) {
             continue;  // token expected to grant: skip the prefetch
         }
         prefetch_slot[i] = to_retrieve.size();
@@ -204,6 +270,95 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
     // ---- stage 2: retrieval fan-out (one bulk enqueue per shard) --------
     std::vector<std::future<cbr::RetrievalResult>> futures =
         engine.submit_batch(to_retrieve, retrieve_options);
+
+    // Without a speculative wave the serial replay consumes each future
+    // lazily at its own turn — decisions for early requests overlap with
+    // retrievals still in flight for later ones.  A wave needs the
+    // results up front instead: a speculation closure must never block on
+    // a retrieval queued behind it on the same shard (one worker drains
+    // each queue), so the prefetches are collected at a barrier first and
+    // a dropped retrieval's exception is kept aside to surface at the
+    // owning request's serial turn, exactly where the lazy .get() would
+    // have thrown it.
+    // Gated on shard count like the probe offload: a 1-shard engine would
+    // serialize the wave on its lone worker and forfeit the lazy path's
+    // decide-while-retrieving overlap for nothing.
+    const bool wave_enabled =
+        requests.size() >= tuning_.speculate_min_batch && engine.shard_count() >= 2;
+    struct Prefetch {
+        std::optional<cbr::RetrievalResult> result;
+        std::exception_ptr error;
+    };
+    std::vector<Prefetch> prefetched(wave_enabled ? futures.size() : 0);
+    for (std::size_t slot = 0; slot < prefetched.size(); ++slot) {
+        try {
+            prefetched[slot].result = futures[slot].get();
+        } catch (...) {
+            prefetched[slot].error = std::current_exception();
+        }
+    }
+
+    // ---- stage 3 (speculative form): feasibility against a snapshot -----
+    // Stage 3 only *reads* platform state, and only stage 5 commits mutate
+    // it — so while the decision thread sits at this barrier the platform
+    // is frozen and the shard workers can assess every prefetched
+    // candidate set concurrently.  Each request records nothing; the wave
+    // writes one private slot per request, adopted at its serial turn iff
+    // platform_version_ still equals wave_version (no commit, preemption
+    // or release happened first — feasibility being a pure function of
+    // platform state, the serial recompute would return these exact
+    // verdicts), and recomputed serially otherwise.
+    std::vector<std::optional<std::vector<Candidate>>> speculated(requests.size());
+    const std::uint64_t wave_version = platform_version_;
+    if (wave_enabled) {
+        std::vector<serve::Engine::ShardTask> wave;
+        const std::size_t shards = engine.shard_count();
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const std::size_t slot = prefetch_slot[i];
+            if (slot == kNoPrefetch || !prefetched[slot].result.has_value() ||
+                !prefetched[slot].result->ok()) {
+                continue;  // bypass expected, dropped, or rejected pre-stage-3
+            }
+            wave.push_back({i % shards, [this, &requests, &prefetched, &speculated, i,
+                                         slot] {
+                                const cbr::FunctionType* type =
+                                    cb_->find_type(requests[i].request.type());
+                                if (type == nullptr) {
+                                    return;  // serial decide re-derives the reject
+                                }
+                                speculated[i].emplace(assess_candidates(
+                                    requests[i], *prefetched[slot].result, *type));
+                            }});
+        }
+        std::vector<std::future<void>> wave_futures = engine.execute_batch(wave);
+        // Drain the WHOLE barrier before letting any exception escape: the
+        // wave closures reference this frame's locals, so unwinding while
+        // a shard still runs one would be a use-after-scope.  Once every
+        // future resolved, no closure is live.
+        std::exception_ptr wave_failure;
+        for (std::future<void>& future : wave_futures) {
+            try {
+                future.get();
+            } catch (const std::future_error&) {
+                // Dropped by a shut-down engine: the slot stays empty and
+                // the serial replay assesses inline.
+            } catch (const std::runtime_error&) {
+                // Same: engine_stopped.
+            } catch (...) {
+                // A ContractViolation (logic_error) still surfaces — after
+                // the barrier, and before any commit.
+                if (wave_failure == nullptr) {
+                    wave_failure = std::current_exception();
+                }
+            }
+        }
+        if (wave_failure != nullptr) {
+            std::rethrow_exception(wave_failure);
+        }
+        for (const std::optional<std::vector<Candidate>>& slot : speculated) {
+            batch_stats_.speculated += slot.has_value() ? 1 : 0;
+        }
+    }
 
     // ---- stages 1' + 3–5: serial replay in request order ----------------
     // Past this point nothing may throw past a grant: platform tasks are
@@ -227,9 +382,30 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
                 outcomes.push_back(decide(requests[i], retrieve_inline(requests[i])));
                 continue;
             }
-            const cbr::RetrievalResult retrieved = futures[prefetch_slot[i]].get();
+            if (!wave_enabled) {
+                // Lazy consumption: this turn blocks only on its own
+                // retrieval, overlapping stages 3–5 with later requests'
+                // still-running fan-out.
+                const cbr::RetrievalResult retrieved = futures[prefetch_slot[i]].get();
+                ++stats_.retrievals;  // the prefetched retrieval is consumed here
+                outcomes.push_back(decide(requests[i], retrieved));
+                continue;
+            }
+            Prefetch& prefetch = prefetched[prefetch_slot[i]];
+            if (prefetch.error != nullptr) {
+                std::rethrow_exception(prefetch.error);
+            }
             ++stats_.retrievals;  // the prefetched retrieval is consumed here
-            outcomes.push_back(decide(requests[i], retrieved));
+            std::vector<Candidate>* adopted = nullptr;
+            if (speculated[i].has_value()) {
+                if (platform_version_ == wave_version) {
+                    adopted = &*speculated[i];
+                    ++batch_stats_.speculations_adopted;
+                } else {
+                    ++batch_stats_.speculations_recomputed;
+                }
+            }
+            outcomes.push_back(decide(requests[i], *prefetch.result, adopted));
         } catch (const std::future_error&) {
             outcomes.push_back(reject(RejectReason::retrieval_failed));
         } catch (const std::runtime_error&) {
@@ -253,7 +429,7 @@ AllocationOutcome AllocationManager::reject(RejectReason reason) {
 
 std::vector<Candidate> AllocationManager::assess_candidates(
     const AllocRequest& request, const cbr::RetrievalResult& retrieved,
-    const cbr::FunctionType& type) {
+    const cbr::FunctionType& type) const {
     std::vector<Candidate> candidates;
     candidates.reserve(retrieved.matches.size());
     for (const cbr::Match& match : retrieved.matches) {
@@ -313,7 +489,8 @@ AllocationOutcome AllocationManager::choose(const AllocRequest& request,
 }
 
 AllocationOutcome AllocationManager::decide(const AllocRequest& request,
-                                            const cbr::RetrievalResult& retrieved) {
+                                            const cbr::RetrievalResult& retrieved,
+                                            std::vector<Candidate>* speculated) {
     if (retrieved.status == cbr::RetrievalStatus::type_not_found) {
         return reject(RejectReason::type_not_found);
     }
@@ -324,7 +501,11 @@ AllocationOutcome AllocationManager::decide(const AllocRequest& request,
     QFA_ASSERT(type != nullptr, "retrieval succeeded, type must exist");
 
     // ---- stage 3: feasibility of every candidate ------------------------
-    std::vector<Candidate> candidates = assess_candidates(request, retrieved, *type);
+    // An adopted speculation is this exact computation, performed on a
+    // shard worker against a platform state the caller proved unchanged.
+    std::vector<Candidate> candidates = speculated != nullptr
+                                            ? std::move(*speculated)
+                                            : assess_candidates(request, retrieved, *type);
 
     // ---- stages 4–5: policy choice, then commit or counter-offer --------
     return choose(request, *type, candidates);
@@ -372,6 +553,7 @@ void AllocationManager::reject_offer(std::uint64_t offer_id) {
 }
 
 bool AllocationManager::release(sys::TaskId task) {
+    ++platform_version_;
     return platform_->release(task);
 }
 

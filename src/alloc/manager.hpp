@@ -24,20 +24,33 @@
 //
 // allocate() runs all five stages inline for one request.
 // allocate_batch() pipelines: a side-effect-free bypass *probe* (stage 1)
-// over the whole batch decides which requests need retrieval; those fan
-// out across the engine's shards in one bulk enqueue per shard (stage 2);
-// then the authoritative bypass lookup and stages 3–5 replay serially in
-// request order — outcomes bit-identical to calling allocate() one by
-// one, including the token-minted-mid-batch and token-lost-mid-batch
-// races (a probe is only a prefetch hint; the serial replay re-checks and
-// falls back to an inline retrieval when a probed token disappeared).
+// over the whole batch decides which requests need retrieval — for large
+// batches the probe loop itself runs on the engine's shard workers
+// (Engine::execute_batch, one contiguous slice per shard) instead of
+// serializing on the decision thread; those requests fan out across the
+// engine's shards in one bulk enqueue per shard (stage 2); a *speculative*
+// stage 3 then assesses every prefetched candidate set against the
+// platform-state snapshot at wave time, again on the shard workers; and
+// finally the authoritative bypass lookup and stages 3–5 replay serially
+// in request order.  At each request's commit the speculative candidate
+// set is re-validated: adopted verbatim when the platform was not mutated
+// since the wave (feasibility is a pure function of platform state, so
+// the verdicts are exactly what a serial stage 3 would recompute), and
+// recomputed serially the moment any earlier grant / preemption /
+// release changed the load.  Outcomes stay bit-identical to calling
+// allocate() one by one, including the token-minted-mid-batch and
+// token-lost-mid-batch races (a probe is only a prefetch hint; the serial
+// replay re-checks and falls back to an inline retrieval when a probed
+// token disappeared).
 // rebind() accepts a published serve::Generation directly, adopting its
 // already-compiled plans instead of recompiling — the epoch tag
 // invalidates outstanding bypass tokens exactly like a manual rebind.
 //
 // Thread safety: one AllocationManager instance serves one decision thread
-// (the platform mutations in stages 3–5 are inherently serial); only the
-// retrieval fan-out inside allocate_batch is concurrent.  Catalogue
+// (the platform mutations in stages 3–5 are inherently serial); the
+// concurrency inside allocate_batch — probe offload, retrieval fan-out,
+// speculative feasibility — only ever runs side-effect-free reads while
+// the decision thread blocks on the wave's completion.  Catalogue
 // mutations (engine retain/revise) must be quiesced for the duration of
 // an allocate_batch call: a retrieval served on a newer epoch can return
 // a variant the manager's pinned generation does not know, which fails
@@ -140,6 +153,30 @@ struct ManagerStats {
     BypassStats bypass;
 };
 
+/// Tuning knobs for allocate_batch's shard-offloaded stages.  Purely a
+/// performance trade: outcomes and every ManagerStats counter are
+/// bit-identical to sequential allocate() at ANY setting — the knobs only
+/// decide where the side-effect-free work runs.
+struct BatchTuning {
+    /// Run the stage-1 probe loop on the engine's shard workers at/above
+    /// this batch size; below it the per-shard enqueue round-trips cost
+    /// more than the probes they parallelize.
+    std::size_t probe_offload_min_batch = 64;
+    /// Run the speculative stage-3 wave at/above this batch size.
+    std::size_t speculate_min_batch = 4;
+};
+
+/// Telemetry for the batch pipeline's offloaded and speculative stages.
+/// Deliberately *not* part of ManagerStats: sequential allocate() never
+/// touches these, and ManagerStats is pinned bit-identical between the
+/// batch and sequential paths.
+struct BatchPipelineStats {
+    std::uint64_t probe_offloads = 0;   ///< probe stages run on shard workers
+    std::uint64_t speculated = 0;       ///< candidate sets assessed on workers
+    std::uint64_t speculations_adopted = 0;     ///< valid at commit: reused
+    std::uint64_t speculations_recomputed = 0;  ///< stale at commit: redone
+};
+
 /// The allocation manager.
 class AllocationManager {
 public:
@@ -169,21 +206,39 @@ public:
                                         const cbr::RetrievalResult& retrieved);
 
     /// Batch front-end, pipelined: a side-effect-free bypass probe picks
-    /// the requests that need retrieval, those fan out across the engine's
-    /// shards with one bulk enqueue per shard (Engine::submit_batch), and
-    /// the decision stages replay serially in request order.  outcomes[i]
-    /// is identical to calling allocate(requests[i]) sequentially — a
-    /// probed token that disappears before its serial turn falls back to
-    /// the same inline retrieval allocate() performs.  Requires the
-    /// manager to be rebound to the engine's current generation
-    /// (rebind(engine.current())) so both sides score the same epoch.
-    /// Requests are validated before anything is submitted; once deciding
-    /// starts, nothing throws past a grant — if the engine is shut down
-    /// mid-batch, the affected prefetches come back rejected with
-    /// RejectReason::retrieval_failed instead (a valid bypass token still
-    /// grants: stage 1 needs no engine).
+    /// the requests that need retrieval (run on the engine's shard workers
+    /// for large batches — BatchTuning), those fan out across the engine's
+    /// shards with one bulk enqueue per shard (Engine::submit_batch), a
+    /// speculative feasibility wave assesses the prefetched candidate sets
+    /// on the shard workers against the pre-replay platform snapshot, and
+    /// the decision stages replay serially in request order, adopting each
+    /// speculative candidate set iff the platform is still exactly the
+    /// state it was assessed against (else recomputing it serially).
+    /// outcomes[i] is identical to calling allocate(requests[i])
+    /// sequentially — a probed token that disappears before its serial
+    /// turn falls back to the same inline retrieval allocate() performs.
+    /// An empty batch returns an empty vector.  Requires the manager to be
+    /// rebound to the engine's current generation (rebind(engine.current()))
+    /// so both sides score the same epoch.  Requests are validated before
+    /// anything is submitted; once deciding starts, nothing throws past a
+    /// grant — if the engine is shut down mid-batch, the affected
+    /// prefetches come back rejected with RejectReason::retrieval_failed
+    /// instead (a valid bypass token still grants: stage 1 needs no
+    /// engine), and a speculation wave the engine dropped simply degrades
+    /// to the serial stage 3.
     std::vector<AllocationOutcome> allocate_batch(std::span<const AllocRequest> requests,
                                                   serve::Engine& engine);
+
+    /// Adjusts where allocate_batch runs its side-effect-free stages
+    /// (never what it computes — see BatchTuning).
+    void set_batch_tuning(const BatchTuning& tuning) { tuning_ = tuning; }
+    [[nodiscard]] const BatchTuning& batch_tuning() const noexcept { return tuning_; }
+
+    /// Offload/speculation telemetry (separate from ManagerStats, which
+    /// stays bit-identical to the sequential path).
+    [[nodiscard]] const BatchPipelineStats& batch_pipeline_stats() const noexcept {
+        return batch_stats_;
+    }
 
     /// Accepts a pending counter-offer: launches the alternative.
     AllocationOutcome accept_offer(std::uint64_t offer_id);
@@ -237,11 +292,14 @@ private:
     cbr::RetrievalResult retrieve_inline(const AllocRequest& request);
 
     /// Stage 3: per-candidate feasibility against the current platform
-    /// load.  Reads state stages 5 mutates, so the pipeline always runs it
-    /// serially in request order.
+    /// load.  A pure function of (request, retrieved, platform state) —
+    /// it mutates nothing, which is what lets allocate_batch run it
+    /// speculatively on the engine's shard workers while the decision
+    /// thread is quiescent, and adopt the result at commit whenever
+    /// platform_version_ shows the state unchanged since the wave.
     std::vector<Candidate> assess_candidates(const AllocRequest& request,
                                              const cbr::RetrievalResult& retrieved,
-                                             const cbr::FunctionType& type);
+                                             const cbr::FunctionType& type) const;
 
     /// Stage 4: policy choice over the assessed candidates, then commit —
     /// or a §3 counter-offer when the best match is infeasible but an
@@ -259,9 +317,21 @@ private:
 
     /// Stages 3–5 over one retrieval result: status checks, feasibility,
     /// policy, grant / counter-offer — shared by the inline and the
-    /// prepared (engine fan-out) retrieval paths.
+    /// prepared (engine fan-out) retrieval paths.  `speculated`, when
+    /// non-null, is an already-validated stage-3 candidate set for exactly
+    /// this (request, retrieved, platform state) — consumed instead of
+    /// re-assessing.
     AllocationOutcome decide(const AllocRequest& request,
-                             const cbr::RetrievalResult& retrieved);
+                             const cbr::RetrievalResult& retrieved,
+                             std::vector<Candidate>* speculated = nullptr);
+
+    /// Stage-1 probe over the whole batch: hit[i] = side-effect-free peek
+    /// for requests[i].  Runs on the engine's shard workers (one
+    /// contiguous slice per shard) at/above the tuning threshold, inline
+    /// otherwise; results are identical either way, and an engine shutdown
+    /// mid-wave falls back to re-probing inline (peek is idempotent).
+    void probe_batch(std::span<const AllocRequest> requests, serve::Engine& engine,
+                     std::vector<std::uint8_t>& hit);
 
     /// Builds a rejected outcome and counts it.
     AllocationOutcome reject(RejectReason reason);
@@ -285,6 +355,14 @@ private:
     std::unordered_map<std::uint64_t, PendingOffer> pending_offers_;
     std::uint64_t next_offer_ = 1;
     ManagerStats stats_;
+    /// Bumped on every operation that may mutate platform load (launches,
+    /// preemptions, releases).  A speculative stage-3 wave records the
+    /// version it ran against; at commit, equality proves the platform is
+    /// byte-for-byte the state the wave assessed (only this manager's
+    /// decision thread mutates it) and the speculation can be adopted.
+    std::uint64_t platform_version_ = 0;
+    BatchTuning tuning_;
+    BatchPipelineStats batch_stats_;
 };
 
 }  // namespace qfa::alloc

@@ -42,17 +42,31 @@ void Engine::worker_loop(Shard& shard) {
     // binds is four pointers, not worth caching across epochs.
     cbr::RetrievalScratch scratch;
     while (std::optional<Job> job = shard.queue.pop()) {
-        const GenerationPtr pinned = store_.load();
-        const cbr::Retriever retriever(pinned->case_base, pinned->bounds,
-                                       pinned->compiled);
-        // Count before fulfilling the promise: anyone who has observed the
-        // result must also observe it in the stats.
-        shard.served.fetch_add(1, std::memory_order_relaxed);
-        try {
-            job->promise.set_value(
-                retriever.retrieve_compiled(job->request, job->options, &scratch));
-        } catch (...) {
-            job->promise.set_exception(std::current_exception());
+        // Count before fulfilling the promise (release, matching stats()'s
+        // acquire reads): anyone who has observed the result must also
+        // observe it in the stats, and a stats() snapshot that includes
+        // this completion also includes its submission.
+        if (RetrieveJob* retrieval = std::get_if<RetrieveJob>(&*job)) {
+            const GenerationPtr pinned = store_.load();
+            const cbr::Retriever retriever(pinned->case_base, pinned->bounds,
+                                           pinned->compiled);
+            shard.served.fetch_add(1, std::memory_order_release);
+            try {
+                retrieval->promise.set_value(retriever.retrieve_compiled(
+                    retrieval->request, retrieval->options, &scratch));
+            } catch (...) {
+                retrieval->promise.set_exception(std::current_exception());
+            }
+        } else {
+            ExecuteJob& exec = std::get<ExecuteJob>(*job);
+            shard.served.fetch_add(1, std::memory_order_release);
+            executed_.fetch_add(1, std::memory_order_release);
+            try {
+                exec.fn();
+                exec.promise.set_value();
+            } catch (...) {
+                exec.promise.set_exception(std::current_exception());
+            }
         }
     }
 }
@@ -62,10 +76,11 @@ std::future<cbr::RetrievalResult> Engine::submit(cbr::Request request,
     // Counted before the push so stats() never observes served > submitted;
     // the refused-push path below undoes it.
     submitted_.fetch_add(1, std::memory_order_relaxed);
-    Job job{std::move(request), options, {}};
+    RetrieveJob job{std::move(request), options, {}};
     std::future<cbr::RetrievalResult> future = job.promise.get_future();
     Shard& shard = *shards_[shard_of(job.request.type())];
-    if (stopped_.load(std::memory_order_acquire) || !shard.queue.push(std::move(job))) {
+    if (stopped_.load(std::memory_order_acquire) ||
+        !shard.queue.push(Job{std::move(job)})) {
         // The job (promise included) was moved into push() and destroyed
         // there on refusal, so `future`'s shared state is broken_promise;
         // hand the caller a fresh future carrying the real reason instead.
@@ -80,6 +95,11 @@ std::future<cbr::RetrievalResult> Engine::submit(cbr::Request request,
 
 std::vector<std::future<cbr::RetrievalResult>> Engine::submit_batch(
     std::span<const cbr::Request> requests, std::span<const cbr::RetrievalOptions> options) {
+    // An empty batch is a no-op with an empty result — checked before the
+    // options contract so `submit_batch({}, anything)` cannot trip it.
+    if (requests.empty()) {
+        return {};
+    }
     QFA_EXPECTS(options.size() == requests.size() || options.size() == 1,
                 "submit_batch needs one options set per request, or one for the batch");
     // Group the jobs by owning shard first, then feed each shard's queue
@@ -91,10 +111,58 @@ std::vector<std::future<cbr::RetrievalResult>> Engine::submit_batch(
     futures.reserve(requests.size());
     std::vector<std::vector<Job>> grouped(shards_.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
-        Job job{requests[i], options.size() == 1 ? options[0] : options[i], {}};
+        RetrieveJob job{requests[i], options.size() == 1 ? options[0] : options[i], {}};
         futures.push_back(job.promise.get_future());
-        grouped[shard_of(requests[i].type())].push_back(std::move(job));
+        grouped[shard_of(requests[i].type())].push_back(Job{std::move(job)});
     }
+    enqueue_grouped(grouped);
+    return futures;
+}
+
+std::future<void> Engine::execute(std::size_t shard, std::function<void()> fn) {
+    QFA_EXPECTS(shard < shards_.size(), "execute needs a shard index below shard_count()");
+    QFA_EXPECTS(fn != nullptr, "execute needs a callable");
+    // Counted before the push so stats() never observes served > submitted;
+    // the refused-push path below undoes it, as in submit().
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    ExecuteJob job{std::move(fn), {}};
+    std::future<void> future = job.promise.get_future();
+    Shard& target = *shards_[shard];
+    if (stopped_.load(std::memory_order_acquire) ||
+        !target.queue.push(Job{std::move(job)})) {
+        submitted_.fetch_sub(1, std::memory_order_relaxed);
+        std::promise<void> broken;
+        future = broken.get_future();
+        broken.set_exception(engine_stopped());
+        return future;
+    }
+    return future;
+}
+
+std::vector<std::future<void>> Engine::execute_batch(std::span<ShardTask> tasks) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(tasks.size());
+    if (tasks.empty()) {
+        return futures;
+    }
+    // Same shape as submit_batch: group by target shard, one push_all per
+    // shard per batch; tasks bound for one shard run in input order.
+    // Shard indices are validated while grouping, before the first push —
+    // a bad index must surface synchronously with no task yet enqueued.
+    std::vector<std::vector<Job>> grouped(shards_.size());
+    for (ShardTask& task : tasks) {
+        QFA_EXPECTS(task.shard < shards_.size(),
+                    "execute_batch needs shard indices below shard_count()");
+        QFA_EXPECTS(task.fn != nullptr, "execute_batch needs callables");
+        ExecuteJob job{std::move(task.fn), {}};
+        futures.push_back(job.promise.get_future());
+        grouped[task.shard].push_back(Job{std::move(job)});
+    }
+    enqueue_grouped(grouped);
+    return futures;
+}
+
+void Engine::enqueue_grouped(std::vector<std::vector<Job>>& grouped) {
     for (std::size_t s = 0; s < grouped.size(); ++s) {
         std::vector<Job>& jobs = grouped[s];
         if (jobs.empty()) {
@@ -111,11 +179,11 @@ std::vector<std::future<cbr::RetrievalResult>> Engine::submit_batch(
             // resolve them to the shut-down error their futures report.
             submitted_.fetch_sub(jobs.size() - accepted, std::memory_order_relaxed);
             for (std::size_t j = accepted; j < jobs.size(); ++j) {
-                jobs[j].promise.set_exception(engine_stopped());
+                std::visit([](auto& job) { job.promise.set_exception(engine_stopped()); },
+                           jobs[j]);
             }
         }
     }
-    return futures;
 }
 
 std::vector<cbr::RetrievalResult> Engine::retrieve_all(
@@ -160,8 +228,32 @@ bool Engine::remove_implementation(cbr::TypeId type, cbr::ImplId impl) {
 
 void Engine::publish_locked(cbr::TypeId changed) {
     const GenerationPtr previous = store_.load();
-    store_.publish(patch_generation(*previous, master_.epoch(), master_.snapshot(),
-                                    master_.bounds(), changed));
+    GenerationPtr next = patch_generation(*previous, master_.epoch(), master_.snapshot(),
+                                          master_.bounds(), changed);
+    // COW telemetry: how many of the successor's plans are pointer-aliased
+    // from the predecessor (vs spliced/cloned).  Both plan lists are
+    // ordered by TypeId, so one merge pass finds every alias.
+    std::uint64_t shared = 0;
+    const auto& old_plans = previous->compiled.plans();
+    const auto& new_plans = next->compiled.plans();
+    for (std::size_t o = 0, n = 0; o < old_plans.size() && n < new_plans.size();) {
+        if (old_plans[o]->id.value() < new_plans[n]->id.value()) {
+            ++o;
+        } else if (new_plans[n]->id.value() < old_plans[o]->id.value()) {
+            ++n;
+        } else {
+            shared += old_plans[o] == new_plans[n] ? 1 : 0;
+            ++o;
+            ++n;
+        }
+    }
+    // Published before shared (release), mirrored by stats() reading
+    // shared (acquire) before published: any snapshot that includes an
+    // epoch's aliased plans also includes its published total, so
+    // cow_plans_shared <= cow_plans_published always holds.
+    cow_plans_published_.fetch_add(new_plans.size(), std::memory_order_release);
+    cow_plans_shared_.fetch_add(shared, std::memory_order_release);
+    store_.publish(std::move(next));
     published_epochs_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -171,16 +263,28 @@ cbr::MaintenanceStats Engine::maintenance_stats() const {
 }
 
 EngineStats Engine::stats() const {
+    // Snapshot order is load-bearing (see EngineStats): completions are
+    // read before submissions.  A worker bumps its shard's `served` with a
+    // release store only after the submitter's `submitted_` increment
+    // (ordered through the queue mutex), so acquiring a completion here
+    // makes its submission visible to the later `submitted_` read — no
+    // snapshot can show served > submitted.  `executed` is read first for
+    // the same reason relative to `served` (executed <= served always).
     EngineStats stats;
-    stats.submitted = submitted_.load(std::memory_order_relaxed);
     stats.retains = retains_.load(std::memory_order_relaxed);
     stats.published_epochs = published_epochs_.load(std::memory_order_relaxed);
+    // shared acquired before published: see publish_locked for the pairing
+    // that keeps cow_plans_shared <= cow_plans_published in any snapshot.
+    stats.cow_plans_shared = cow_plans_shared_.load(std::memory_order_acquire);
+    stats.cow_plans_published = cow_plans_published_.load(std::memory_order_relaxed);
+    stats.executed = executed_.load(std::memory_order_acquire);
     stats.shard_served.reserve(shards_.size());
     for (const std::unique_ptr<Shard>& shard : shards_) {
-        const std::uint64_t served = shard->served.load(std::memory_order_relaxed);
+        const std::uint64_t served = shard->served.load(std::memory_order_acquire);
         stats.shard_served.push_back(served);
         stats.served += served;
     }
+    stats.submitted = submitted_.load(std::memory_order_relaxed);
     return stats;
 }
 

@@ -29,19 +29,30 @@
 // Retriever::retrieve_compiled against generation E — sharding only decides
 // *where* a plan is scored, never *how*.
 //
-// Thread safety: submit / retrieve_all / retain / add_type /
-// remove_implementation / current / epoch / stats are all safe from any
-// thread.  Mutations serialize on an internal writer mutex; retrievals
-// never take it.  shutdown() (and the destructor) closes the queues,
-// drains accepted jobs and joins the workers.
+// Beyond retrievals, the shards double as a general execution substrate:
+// execute() / execute_batch() enqueue type-erased closures that run on a
+// named shard's worker thread, interleaved FIFO with that shard's
+// retrieval jobs.  Layers above use this to follow the workload onto the
+// cores without spawning threads of their own — the allocation manager's
+// batch pipeline runs its bypass-probe stage and its speculative
+// feasibility stage this way (alloc/manager.cpp).
+//
+// Thread safety: submit / submit_batch / retrieve_all / execute /
+// execute_batch / retain / add_type / remove_implementation / current /
+// epoch / stats are all safe from any thread.  Mutations serialize on an
+// internal writer mutex; retrievals never take it.  shutdown() (and the
+// destructor) closes the queues, drains accepted jobs and joins the
+// workers.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <span>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "core/retain.hpp"
@@ -59,12 +70,31 @@ struct EngineConfig {
 };
 
 /// Monotone counters (mirrors ManagerStats' role for the serve layer).
+///
+/// Snapshot coherence: stats() reads the per-shard completion counters
+/// before `submitted`, with release/acquire ordering on the completion
+/// side, so any snapshot satisfies `served <= submitted` — a caller can
+/// treat `submitted - served` as the non-negative in-flight backlog.
+/// Counters are otherwise independently monotone; two snapshots taken
+/// around a mutation may disagree on how far each counter advanced.
 struct EngineStats {
     std::uint64_t submitted = 0;        ///< jobs accepted into a queue
     std::uint64_t served = 0;           ///< jobs completed by workers
+                                        ///< (retrievals and executes)
+    std::uint64_t executed = 0;         ///< execute()/execute_batch closures
+                                        ///< completed (subset of `served`)
     std::uint64_t retains = 0;          ///< successful retain() calls
     std::uint64_t published_epochs = 0; ///< generations published (every one
                                         ///< built by incremental patching)
+    /// COW sharing telemetry (ROADMAP): of the type plans carried by all
+    /// published epochs, how many were pointer-aliased from the
+    /// predecessor epoch rather than spliced/cloned.  The sharing ratio
+    /// `cow_plans_shared / cow_plans_published` is the per-epoch
+    /// publication cost long-running serving wants to watch — near 1 means
+    /// epochs cost a splice plus pointer copies, near 0 means widened
+    /// bounds keep forcing clones.
+    std::uint64_t cow_plans_shared = 0;     ///< plans aliased across publishes
+    std::uint64_t cow_plans_published = 0;  ///< plans carried by publishes
     std::vector<std::uint64_t> shard_served;  ///< per-shard completion counts
 };
 
@@ -131,6 +161,30 @@ public:
         return submit_batch(requests, std::span<const cbr::RetrievalOptions>(&options, 1));
     }
 
+    /// One type-erased closure bound for one shard (execute_batch input).
+    struct ShardTask {
+        std::size_t shard = 0;      ///< must be < shard_count()
+        std::function<void()> fn;   ///< runs on that shard's worker thread
+    };
+
+    /// Run-on-shard primitive: enqueues a type-erased closure on shard
+    /// `shard`'s queue, FIFO-interleaved with that shard's retrieval jobs,
+    /// and returns a future that resolves when the closure has run (or
+    /// carries the closure's exception, or the shut-down error when the
+    /// engine stopped first).  The closure runs on the worker thread with
+    /// no lock held — it must synchronize access to shared state itself
+    /// and must not block on work queued behind it on the same shard
+    /// (deadlock: one worker drains each queue).  Layers above use this to
+    /// fan read-mostly stages across the cores — see the header comment.
+    [[nodiscard]] std::future<void> execute(std::size_t shard, std::function<void()> fn);
+
+    /// Bulk run-on-shard: groups the tasks by target shard and feeds each
+    /// shard's queue with one push_all per batch, exactly as submit_batch
+    /// does for retrievals.  futures[i] belongs to tasks[i]; tasks bound
+    /// for the same shard run in input order.  Tasks refused by a closed
+    /// queue resolve to the shut-down exception.
+    [[nodiscard]] std::vector<std::future<void>> execute_batch(std::span<ShardTask> tasks);
+
     /// Blocking batch helper: submit_batch (bulk per-shard enqueue), waits
     /// for all, and returns results in input order — bit-identical to
     /// Retriever::retrieve_batch on the current generation.
@@ -171,11 +225,25 @@ public:
     void shutdown();
 
 private:
-    struct Job {
+    /// A queued n-best retrieval (the original job kind).
+    struct RetrieveJob {
         cbr::Request request;
         cbr::RetrievalOptions options;
         std::promise<cbr::RetrievalResult> promise;
     };
+
+    /// A queued type-erased closure (the run-on-shard job kind).  The
+    /// promise<void> resolves after fn() returns, or carries fn's
+    /// exception.
+    struct ExecuteJob {
+        std::function<void()> fn;
+        std::promise<void> promise;
+    };
+
+    /// One shard serves both kinds from one FIFO, so an execute enqueued
+    /// after a retrieval on the same shard observes that retrieval's
+    /// completion (and vice versa).
+    using Job = std::variant<RetrieveJob, ExecuteJob>;
 
     struct Shard {
         explicit Shard(std::size_t capacity) : queue(capacity) {}
@@ -185,6 +253,10 @@ private:
     };
 
     void worker_loop(Shard& shard);
+
+    /// Feeds shard-grouped jobs with one push_all per shard; jobs refused
+    /// by a closed queue resolve their promises to the shut-down error.
+    void enqueue_grouped(std::vector<std::vector<Job>>& grouped);
 
     /// Builds and publishes the successor generation for a mutation of
     /// `changed`.  Caller holds writer_mutex_.
@@ -196,8 +268,11 @@ private:
     mutable std::mutex writer_mutex_;
     std::mutex shutdown_mutex_;
     std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> executed_{0};
     std::atomic<std::uint64_t> retains_{0};
     std::atomic<std::uint64_t> published_epochs_{0};
+    std::atomic<std::uint64_t> cow_plans_shared_{0};
+    std::atomic<std::uint64_t> cow_plans_published_{0};
     std::atomic<bool> stopped_{false};
 };
 

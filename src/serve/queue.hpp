@@ -55,17 +55,33 @@ public:
 
     /// Bulk enqueue: moves every item into the queue in order under ONE
     /// lock acquisition (a per-job push pays a lock round-trip each; the
-    /// batch front-ends pay one per shard per batch).  Blocks while full —
-    /// batches larger than the capacity are fed as consumers drain, so
-    /// consumers are notified per insert while the lock is held (a no-op
-    /// futex wake when nobody waits; never the lost-wakeup deadlock that
-    /// notifying only after the loop would risk).  Returns the number of
-    /// items accepted: items.size() normally, fewer when the queue was
+    /// batch front-ends pay one per shard per batch).  Returns the number
+    /// of items accepted: items.size() normally, fewer when the queue was
     /// closed mid-batch — the tail items are left untouched in `items` and
     /// failure signalling for them stays with the caller, as in push().
+    ///
+    /// Wake discipline: when the whole batch fits below capacity, the
+    /// inserts happen under the lock but every not_empty_ wake is issued
+    /// *after* unlock — a consumer woken mid-batch would otherwise run
+    /// straight into the still-held mutex and block again (one spurious
+    /// context-switch round-trip per item).  Only the over-capacity
+    /// feeding path keeps the per-insert wake while holding the lock: the
+    /// producer is about to wait on not_full_ there, and the consumer it
+    /// wakes is what creates the space that lets the batch progress.
     std::size_t push_all(std::span<T> items) {
         std::size_t accepted = 0;
         std::unique_lock lock(mutex_);
+        if (!closed_ && items.size() <= capacity_ - items_.size()) {
+            for (T& item : items) {
+                items_.push_back(std::move(item));
+                ++accepted;
+            }
+            lock.unlock();
+            for (std::size_t i = 0; i < accepted; ++i) {
+                not_empty_.notify_one();
+            }
+            return accepted;
+        }
         for (T& item : items) {
             not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
             if (closed_) {

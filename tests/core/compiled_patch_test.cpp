@@ -14,6 +14,7 @@
 #include "core/bounds.hpp"
 #include "core/case_base.hpp"
 #include "core/retain.hpp"
+#include "serve/engine.hpp"
 #include "util/rng.hpp"
 #include "workload/catalog.hpp"
 
@@ -230,6 +231,46 @@ TEST(CompiledPatchTest, WidenedBoundsCloneOnlyTheReachedPlans) {
 
     const CompiledCaseBase fresh(after_tree, after_bounds);
     expect_plans_identical(fresh, patched);
+}
+
+TEST(CompiledPatchTest, EngineStatsExposeCowSharingPerEpoch) {
+    // The serving engine must surface the plan-sharing ratio the COW
+    // design buys (ROADMAP telemetry item): after an in-range retain into
+    // one of three disjoint-attribute types, the published epoch carries
+    // 3 plans of which 2 are aliased from the predecessor; after a
+    // bound-widening retain that reaches a second type, only 1 of 3.
+    cbr::CaseBase cb = cbr::CaseBaseBuilder()
+                           .begin_type(TypeId{1}, "FIR")
+                           .add_impl(ImplId{1}, cbr::Target::gpp,
+                                     {{AttrId{1}, 16}, {AttrId{2}, 4}})
+                           .begin_type(TypeId{2}, "FFT")
+                           .add_impl(ImplId{1}, cbr::Target::dsp, {{AttrId{3}, 10}})
+                           .add_impl(ImplId{2}, cbr::Target::fpga, {{AttrId{3}, 20}})
+                           .begin_type(TypeId{3}, "DCT")
+                           .add_impl(ImplId{1}, cbr::Target::gpp, {{AttrId{4}, 7}})
+                           .build();
+    serve::Engine engine(std::move(cb), serve::EngineConfig{2, 16});
+    EXPECT_EQ(engine.stats().cow_plans_published, 0u);  // nothing published yet
+
+    // In-range retain: no design-global bound widens, types 1 and 3 alias.
+    ASSERT_EQ(engine.retain(TypeId{2},
+                            make_impl(ImplId{9}, cbr::Target::dsp, {{AttrId{3}, 15}})),
+              cbr::RetainVerdict::retained);
+    serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.published_epochs, 1u);
+    EXPECT_EQ(stats.cow_plans_published, 3u);
+    EXPECT_EQ(stats.cow_plans_shared, 2u);
+
+    // Widening retain into type 2 reaching attribute 1 (shared with type
+    // 1): type 1's plan is cloned for refreshed metadata, only type 3
+    // stays aliased.  The counters accumulate across publishes.
+    ASSERT_EQ(engine.retain(TypeId{2},
+                            make_impl(ImplId{10}, cbr::Target::fpga, {{AttrId{1}, 500}})),
+              cbr::RetainVerdict::retained);
+    stats = engine.stats();
+    EXPECT_EQ(stats.published_epochs, 2u);
+    EXPECT_EQ(stats.cow_plans_published, 6u);
+    EXPECT_EQ(stats.cow_plans_shared, 3u);  // 2 from the first publish + 1
 }
 
 TEST(CompiledPatchTest, RandomizedRetainSequenceStaysBitIdentical) {

@@ -11,8 +11,10 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 
 #include "alloc/manager.hpp"
 #include "core/retrieval.hpp"
@@ -71,6 +73,31 @@ Workload make_workload(std::uint16_t types, std::uint16_t impls, std::size_t cou
         w.requests.push_back(g.request);
     }
     return w;
+}
+
+TEST(EngineTest, RejectsDegenerateConfigs) {
+    // shard_count == 0 would reach shard_of's modulo as a division by
+    // zero; queue_capacity == 0 could never accept a job.  Both must fail
+    // the constructor's contract, mirroring the queue's capacity check.
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    EXPECT_THROW(Engine(cb, EngineConfig{0, 64}), util::ContractViolation);
+    EXPECT_THROW(Engine(cb, EngineConfig{2, 0}), util::ContractViolation);
+}
+
+TEST(EngineTest, EmptyBatchReturnsEmptyResults) {
+    // An empty batch is a no-op, never a contract violation — with the
+    // broadcast overload, with per-request options, and through
+    // retrieve_all.
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 16});
+
+    cbr::RetrievalOptions broadcast;
+    EXPECT_TRUE(engine.submit_batch({}, broadcast).empty());
+    EXPECT_TRUE(engine.submit_batch(std::span<const cbr::Request>{},
+                                    std::span<const cbr::RetrievalOptions>{})
+                    .empty());
+    EXPECT_TRUE(engine.retrieve_all({}).empty());
+    EXPECT_EQ(engine.stats().submitted, 0u);
 }
 
 TEST(EngineTest, ShardedRetrievalMatchesReferenceAtEveryShardCount) {
@@ -197,6 +224,129 @@ TEST(EngineTest, SubmitBatchAfterShutdownBreaksEveryJob) {
     EXPECT_EQ(engine.stats().submitted, 0u);  // refused jobs are not counted
 }
 
+TEST(EngineTest, ExecuteRunsClosuresOnShardWorkers) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{3, 16});
+
+    // One closure per shard, each recording the worker thread it ran on.
+    std::vector<std::thread::id> ran_on(engine.shard_count());
+    std::vector<std::future<void>> futures;
+    for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+        futures.push_back(engine.execute(
+            s, [&ran_on, s] { ran_on[s] = std::this_thread::get_id(); }));
+    }
+    for (std::future<void>& future : futures) {
+        future.get();
+    }
+    for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+        EXPECT_NE(ran_on[s], std::thread::id{});            // it ran
+        EXPECT_NE(ran_on[s], std::this_thread::get_id());   // on a worker
+    }
+    // A second closure on the same shard must meet the same worker: one
+    // thread drains each shard queue.
+    for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+        std::thread::id again;
+        engine.execute(s, [&again] { again = std::this_thread::get_id(); }).get();
+        EXPECT_EQ(again, ran_on[s]);
+    }
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.executed, 2 * engine.shard_count());
+    EXPECT_EQ(stats.served, stats.executed);     // no retrievals submitted
+    EXPECT_EQ(stats.submitted, stats.executed);  // every job completed
+}
+
+TEST(EngineTest, ExecuteInterleavesFifoWithRetrievalsOnOneShard) {
+    // A closure enqueued after a retrieval on the same shard must observe
+    // that retrieval completed: one FIFO, one consumer per shard.
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 16});
+    const cbr::Request request = cbr::paper_example_request();
+    const std::size_t shard = engine.shard_of(request.type());
+
+    std::shared_future<cbr::RetrievalResult> retrieval =
+        engine.submit(request).share();
+    bool retrieval_was_done = false;
+    engine.execute(shard, [&] {
+        retrieval_was_done =
+            retrieval.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    }).get();
+    EXPECT_TRUE(retrieval_was_done);
+    EXPECT_TRUE(retrieval.get().ok());
+}
+
+TEST(EngineTest, ExecutePropagatesClosureExceptions) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{1, 16});
+    std::future<void> future =
+        engine.execute(0, [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+    // The worker survives the throwing closure.
+    bool ran = false;
+    engine.execute(0, [&ran] { ran = true; }).get();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EngineTest, ExecuteValidatesShardIndexAndCallable) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 16});
+    EXPECT_THROW((void)engine.execute(2, [] {}), util::ContractViolation);
+    EXPECT_THROW((void)engine.execute(0, nullptr), util::ContractViolation);
+
+    std::vector<Engine::ShardTask> bad;
+    bad.push_back({5, [] {}});
+    EXPECT_THROW((void)engine.execute_batch(bad), util::ContractViolation);
+    EXPECT_EQ(engine.stats().submitted, 0u);  // nothing was enqueued
+}
+
+TEST(EngineTest, ExecuteBatchGroupsPerShardAndPreservesOrder) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 32});
+    // Tasks bound for one shard run in input order (FIFO queue, one
+    // consumer), so per-shard sequences must come out ascending.
+    constexpr std::size_t kPerShard = 24;
+    std::vector<std::vector<int>> seen(engine.shard_count());
+    std::vector<Engine::ShardTask> tasks;
+    for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+        for (std::size_t k = 0; k < kPerShard; ++k) {
+            tasks.push_back({s, [&seen, s, k] {
+                                 seen[s].push_back(static_cast<int>(k));
+                             }});
+        }
+    }
+    std::vector<std::future<void>> futures = engine.execute_batch(tasks);
+    ASSERT_EQ(futures.size(), 2 * kPerShard);
+    for (std::future<void>& future : futures) {
+        future.get();
+    }
+    for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+        ASSERT_EQ(seen[s].size(), kPerShard);
+        for (std::size_t k = 0; k < kPerShard; ++k) {
+            EXPECT_EQ(seen[s][k], static_cast<int>(k));
+        }
+    }
+    EXPECT_TRUE(engine.execute_batch({}).empty());  // empty batch: no-op
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.executed, 2 * kPerShard);
+    EXPECT_EQ(stats.submitted, 2 * kPerShard);
+}
+
+TEST(EngineTest, ExecuteAfterShutdownBreaksTheFuture) {
+    const cbr::CaseBase cb = cbr::paper_example_case_base();
+    Engine engine(cb, EngineConfig{2, 16});
+    engine.shutdown();
+    EXPECT_THROW(engine.execute(0, [] {}).get(), std::runtime_error);
+    std::vector<Engine::ShardTask> tasks;
+    tasks.push_back({0, [] {}});
+    tasks.push_back({1, [] {}});
+    std::vector<std::future<void>> futures = engine.execute_batch(tasks);
+    ASSERT_EQ(futures.size(), 2u);
+    for (std::future<void>& future : futures) {
+        EXPECT_THROW(future.get(), std::runtime_error);
+    }
+    EXPECT_EQ(engine.stats().submitted, 0u);  // refused jobs are not counted
+}
+
 TEST(EngineTest, RetainPublishesAPatchedEpochVisibleToNewRequests) {
     const cbr::CaseBase cb = cbr::paper_example_case_base();
     Engine engine(cb, EngineConfig{2, 64});
@@ -273,7 +423,9 @@ TEST(EngineTest, ShutdownDrainsThenBreaksLateSubmissions) {
 /// (inline-retrieval fallback).
 void expect_batch_matches_sequential(const Workload& w, std::size_t rounds,
                                      std::size_t bypass_capacity,
-                                     alloc::ManagerStats* out_stats = nullptr) {
+                                     alloc::ManagerStats* out_stats = nullptr,
+                                     alloc::BatchTuning tuning = {},
+                                     alloc::BatchPipelineStats* out_pipeline = nullptr) {
     std::vector<alloc::AllocRequest> requests;
     requests.reserve(w.requests.size());
     for (std::size_t i = 0; i < w.requests.size(); ++i) {
@@ -290,6 +442,7 @@ void expect_batch_matches_sequential(const Workload& w, std::size_t rounds,
     alloc::AllocationManager batch_manager(batch_platform, w.catalog.case_base,
                                            w.catalog.bounds, nullptr, bypass_capacity);
     batch_manager.rebind(engine.current());
+    batch_manager.set_batch_tuning(tuning);
 
     // Reference manager: plain sequential allocate() on its own platform.
     sys::Platform seq_platform;
@@ -347,6 +500,9 @@ void expect_batch_matches_sequential(const Workload& w, std::size_t rounds,
     if (out_stats != nullptr) {
         *out_stats = batch_stats;
     }
+    if (out_pipeline != nullptr) {
+        *out_pipeline = batch_manager.batch_pipeline_stats();
+    }
 }
 
 TEST(EngineManagerTest, AllocateBatchMatchesSequentialAllocate) {
@@ -389,6 +545,67 @@ TEST(EngineManagerTest, AllocateBatchIdentityHoldsUnderBypassEviction) {
     alloc::ManagerStats stats;
     expect_batch_matches_sequential(w, 3, 2, &stats);
     EXPECT_GT(stats.bypass.evictions, 0u);
+}
+
+TEST(EngineManagerTest, EmptyAllocateBatchReturnsEmpty) {
+    const Workload w = make_workload(4, 3, 8, 0xE44);
+    Engine engine(w.catalog.case_base, EngineConfig{2, 16});
+    sys::Platform platform;
+    platform.repository().import_case_base(w.catalog.case_base);
+    alloc::AllocationManager manager(platform, w.catalog.case_base, w.catalog.bounds);
+    manager.rebind(engine.current());
+    EXPECT_TRUE(manager.allocate_batch({}, engine).empty());
+    EXPECT_EQ(manager.stats().requests, 0u);
+    EXPECT_EQ(engine.stats().submitted, 0u);
+}
+
+TEST(EngineManagerTest, ShardOffloadedProbeKeepsBatchIdentity) {
+    // Force the probe loop onto the shard workers for every batch (min
+    // batch 1) and drive multiple bypass rounds: outcomes and every
+    // counter must still match sequential allocate(), and the offload must
+    // actually have engaged.
+    const Workload w = make_workload(6, 5, 48, 0xCAFE);
+    alloc::ManagerStats stats;
+    alloc::BatchTuning tuning;
+    tuning.probe_offload_min_batch = 1;
+    alloc::BatchPipelineStats pipeline;
+    expect_batch_matches_sequential(w, 3, 64, &stats, tuning, &pipeline);
+    EXPECT_EQ(pipeline.probe_offloads, 3u);  // every round offloaded
+    EXPECT_GT(stats.bypass.hits, 0u);        // rounds 2+ rode the tokens
+}
+
+TEST(EngineManagerTest, SpeculativeFeasibilityKeepsBatchIdentity) {
+    // The speculative stage-3 wave must engage (speculated > 0), adopt at
+    // least the pre-first-commit candidate sets, recompute the ones a
+    // grant invalidated — and the outcomes/stats must stay bit-identical
+    // to sequential allocate() through all of it.
+    const Workload w = make_workload(6, 5, 48, 0xCAFE);
+    alloc::ManagerStats stats;
+    alloc::BatchTuning tuning;
+    tuning.probe_offload_min_batch = 1;
+    tuning.speculate_min_batch = 1;
+    alloc::BatchPipelineStats pipeline;
+    expect_batch_matches_sequential(w, 3, 64, &stats, tuning, &pipeline);
+    EXPECT_GT(pipeline.speculated, 0u);
+    EXPECT_GT(pipeline.speculations_adopted, 0u);
+    // Grants mutate the platform, so some wave entries must have gone
+    // stale and been recomputed serially — the revalidation path is live.
+    EXPECT_GT(pipeline.speculations_recomputed, 0u);
+    EXPECT_LE(pipeline.speculations_adopted + pipeline.speculations_recomputed,
+              pipeline.speculated);
+}
+
+TEST(EngineManagerTest, SpeculationDisabledIsStillIdentical) {
+    // Thresholds above the batch size keep both offloads off: the plain
+    // pipeline must behave exactly as before (and as sequential).
+    const Workload w = make_workload(6, 5, 48, 0xCAFE);
+    alloc::BatchTuning tuning;
+    tuning.probe_offload_min_batch = 1000;
+    tuning.speculate_min_batch = 1000;
+    alloc::BatchPipelineStats pipeline;
+    expect_batch_matches_sequential(w, 3, 64, nullptr, tuning, &pipeline);
+    EXPECT_EQ(pipeline.probe_offloads, 0u);
+    EXPECT_EQ(pipeline.speculated, 0u);
 }
 
 TEST(EngineManagerTest, ShutDownEngineYieldsRetrievalFailedRejections) {

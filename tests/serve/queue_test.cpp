@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <span>
 #include <thread>
 #include <vector>
@@ -140,6 +142,58 @@ TEST(BoundedMpmcQueueTest, PushAllLargerThanCapacityFeedsAsConsumersDrain) {
     for (int i = 0; i < kItems; ++i) {
         EXPECT_EQ(drained[static_cast<std::size_t>(i)], i);  // FIFO preserved
     }
+}
+
+TEST(BoundedMpmcQueueTest, PushAllWakesBlockedConsumersOnTheFastPath) {
+    // The within-capacity fast path issues its wakes *after* unlocking (a
+    // consumer woken under the held lock would block right back on it).
+    // Consumers parked in pop() before the push must all be woken and
+    // drain the batch — one wake per accepted item, nobody sleeps forever.
+    constexpr int kConsumers = 3;
+    constexpr int kItems = 8;
+    BoundedMpmcQueue<int> queue(16);
+    std::atomic<int> drained{0};
+    std::vector<std::thread> consumers;
+    consumers.reserve(kConsumers);
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (queue.pop()) {
+                drained.fetch_add(1);
+            }
+        });
+    }
+    // Give the consumers time to park on not_empty_ before the bulk push.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::vector<int> items(kItems);
+    for (int i = 0; i < kItems; ++i) {
+        items[static_cast<std::size_t>(i)] = i;
+    }
+    EXPECT_EQ(queue.push_all(std::span<int>(items)), static_cast<std::size_t>(kItems));
+    while (drained.load() < kItems) {
+        std::this_thread::yield();
+    }
+    queue.close();
+    for (std::thread& consumer : consumers) {
+        consumer.join();
+    }
+    EXPECT_EQ(drained.load(), kItems);
+}
+
+TEST(BoundedMpmcQueueTest, PushAllExactlyAtCapacityTakesTheFastPath) {
+    // A batch that fills the queue to exactly its capacity needs no
+    // consumer progress and must be accepted in one pass.
+    BoundedMpmcQueue<int> queue(4);
+    std::vector<int> items{1, 2, 3, 4};
+    EXPECT_EQ(queue.push_all(std::span<int>(items)), 4u);
+    EXPECT_EQ(queue.size(), 4u);
+    for (int i = 1; i <= 4; ++i) {
+        EXPECT_EQ(queue.pop(), i);
+    }
+    // Partially full + batch exactly reaching capacity also fits.
+    ASSERT_TRUE(queue.push(10));
+    std::vector<int> rest{11, 12, 13};
+    EXPECT_EQ(queue.push_all(std::span<int>(rest)), 3u);
+    EXPECT_EQ(queue.size(), 4u);
 }
 
 TEST(BoundedMpmcQueueTest, PushAllReportsItemsAcceptedBeforeClose) {

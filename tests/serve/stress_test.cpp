@@ -168,4 +168,126 @@ TEST(ServeStressTest, EveryRetrievalObservesAConsistentEpoch) {
     }
 }
 
+TEST(ServeStressTest, ExecuteVsRetainVsSubmitBatchStaysCoherent) {
+    // The run-on-shard primitive must coexist with the retrieval batch
+    // path and concurrent epoch publication: executor threads fan
+    // closures across the shards (each writing its own result slot),
+    // batch threads drive submit_batch retrievals, a writer publishes
+    // patched epochs via retain, and a poller keeps reading stats() —
+    // TSan fodder for the queue variant, the execute completion path and
+    // the snapshot ordering.  Coherence pins: every closure ran exactly
+    // once, every retrieval resolved, and every stats() snapshot obeys
+    // executed <= served <= submitted.
+    util::Rng rng(0xE8EC5EEDULL);
+    wl::CatalogConfig config;
+    config.function_types = 6;
+    config.impls_per_type = 5;
+    config.attrs_per_impl = 6;
+    config.attr_dropout = 0.25;
+    const wl::GeneratedCatalog catalog = wl::generate_catalog_with_bounds(config, rng);
+
+    constexpr std::size_t kExecutors = 2;
+    constexpr std::size_t kWavesPerExecutor = 40;
+    constexpr std::size_t kBatchThreads = 2;
+    constexpr std::size_t kBatchesPerThread = 30;
+    constexpr std::size_t kBatchSize = 16;
+    constexpr std::size_t kRetains = 12;
+
+    const std::vector<std::vector<wl::GeneratedRequest>> streams =
+        wl::generate_request_streams(catalog.case_base, catalog.bounds, kBatchThreads,
+                                     kBatchesPerThread * kBatchSize, rng);
+
+    EngineConfig engine_config;
+    engine_config.shard_count = 4;
+    engine_config.queue_capacity = 32;
+    Engine engine(catalog.case_base, engine_config);
+    const std::size_t shards = engine.shard_count();
+
+    // One private slot per (executor, wave, shard): a closure that runs
+    // twice or races another would trip the exactly-once check or TSan.
+    std::vector<std::uint32_t> slots(kExecutors * kWavesPerExecutor * shards, 0);
+    std::atomic<bool> stop_polling{false};
+    std::atomic<std::uint64_t> snapshots{0};
+
+    std::vector<std::thread> threads;
+    for (std::size_t e = 0; e < kExecutors; ++e) {
+        threads.emplace_back([&, e] {
+            for (std::size_t wave = 0; wave < kWavesPerExecutor; ++wave) {
+                std::vector<Engine::ShardTask> tasks;
+                tasks.reserve(shards);
+                for (std::size_t s = 0; s < shards; ++s) {
+                    const std::size_t slot = (e * kWavesPerExecutor + wave) * shards + s;
+                    tasks.push_back({s, [&slots, slot] { slots[slot] += 1; }});
+                }
+                std::vector<std::future<void>> futures = engine.execute_batch(tasks);
+                for (std::future<void>& future : futures) {
+                    future.get();
+                }
+            }
+        });
+    }
+    for (std::size_t b = 0; b < kBatchThreads; ++b) {
+        threads.emplace_back([&, b] {
+            cbr::RetrievalOptions options;
+            options.n_best = 2;
+            for (std::size_t batch = 0; batch < kBatchesPerThread; ++batch) {
+                std::vector<cbr::Request> requests;
+                requests.reserve(kBatchSize);
+                for (std::size_t i = 0; i < kBatchSize; ++i) {
+                    requests.push_back(streams[b][batch * kBatchSize + i].request);
+                }
+                std::vector<std::future<cbr::RetrievalResult>> futures =
+                    engine.submit_batch(requests, options);
+                for (std::future<cbr::RetrievalResult>& future : futures) {
+                    (void)future.get();  // must resolve (engine never stops mid-test)
+                }
+            }
+        });
+    }
+    threads.emplace_back([&] {
+        util::Rng writer_rng(0xBEEFULL);
+        std::uint16_t next_id = 7000;
+        std::size_t published = 0;
+        while (published < kRetains) {
+            const cbr::TypeId type = wl::random_type(catalog.case_base, writer_rng);
+            cbr::Implementation impl;
+            impl.id = cbr::ImplId{next_id++};
+            impl.target = cbr::Target::dsp;
+            impl.attributes.push_back(
+                {cbr::AttrId{static_cast<std::uint16_t>(1 + writer_rng.index(8))},
+                 static_cast<cbr::AttrValue>(writer_rng.index(400))});
+            published += engine.retain(type, std::move(impl)) ==
+                                 cbr::RetainVerdict::retained
+                             ? 1
+                             : 0;
+        }
+    });
+    threads.emplace_back([&] {
+        while (!stop_polling.load(std::memory_order_acquire)) {
+            const EngineStats stats = engine.stats();
+            ASSERT_LE(stats.executed, stats.served);
+            ASSERT_LE(stats.served, stats.submitted);
+            ASSERT_LE(stats.cow_plans_shared, stats.cow_plans_published);
+            snapshots.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    for (std::size_t t = 0; t + 1 < threads.size(); ++t) {
+        threads[t].join();
+    }
+    stop_polling.store(true, std::memory_order_release);
+    threads.back().join();
+    EXPECT_GT(snapshots.load(), 0u);
+
+    for (const std::uint32_t count : slots) {
+        ASSERT_EQ(count, 1u);  // every closure ran exactly once
+    }
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.executed, kExecutors * kWavesPerExecutor * shards);
+    EXPECT_EQ(stats.served,
+              stats.executed + kBatchThreads * kBatchesPerThread * kBatchSize);
+    EXPECT_EQ(stats.submitted, stats.served);
+    EXPECT_EQ(stats.retains, kRetains);
+}
+
 }  // namespace
