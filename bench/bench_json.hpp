@@ -1,0 +1,74 @@
+// Shared machine-readable bench summary (--json=PATH).
+//
+// Both self-checking perf binaries (bench_serve_engine,
+// bench_compiled_retrieval) accept --json=PATH and write the same tiny
+// schema — {"benchmark": ..., "tables": [{"table", "ns_per_op",
+// "speedup"}]} — which CI's bench-smoke job archives per run
+// (BENCH_serve.json / BENCH_retrieval.json) so the perf trajectory is
+// comparable across PRs without re-running anything.  Table names are
+// stable identifiers; ns_per_op is the new path's cost and speedup is
+// measured against that table's baseline row.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace qfa::benchjson {
+
+struct Record {
+    std::string table;    ///< table identifier, stable across PRs
+    double ns_per_op = 0; ///< the new path's cost
+    double speedup = 0;   ///< vs that table's baseline row
+};
+
+inline std::vector<Record>& records() {
+    static std::vector<Record> list;
+    return list;
+}
+
+inline void record_table(std::string table, double ns_per_op, double speedup) {
+    records().push_back({std::move(table), ns_per_op, speedup});
+}
+
+inline void write(const std::string& benchmark_name, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "FATAL: cannot write " << path << "\n";
+        std::exit(1);
+    }
+    out << "{\n  \"benchmark\": \"" << benchmark_name << "\",\n  \"tables\": [\n";
+    for (std::size_t i = 0; i < records().size(); ++i) {
+        const Record& r = records()[i];
+        out << "    {\"table\": \"" << r.table << "\", \"ns_per_op\": "
+            << util::to_fixed(r.ns_per_op, 1) << ", \"speedup\": "
+            << util::to_fixed(r.speedup, 3) << "}"
+            << (i + 1 < records().size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << records().size() << " table records to " << path << "\n";
+}
+
+/// Strips a --json=PATH argument from argv (so benchmark::Initialize never
+/// sees it) and returns the path, empty when absent.
+inline std::string strip_json_flag(int& argc, char** argv) {
+    std::string path;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        constexpr const char* kFlag = "--json=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+            path = argv[i] + std::strlen(kFlag);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+    return path;
+}
+
+}  // namespace qfa::benchjson

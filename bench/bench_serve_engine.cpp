@@ -32,8 +32,6 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -41,6 +39,7 @@
 #include <vector>
 
 #include "alloc/manager.hpp"
+#include "bench_json.hpp"
 #include "core/compiled.hpp"
 #include "core/retain.hpp"
 #include "core/retrieval.hpp"
@@ -57,40 +56,9 @@ namespace {
 using namespace qfa;
 
 // ---- machine-readable summary (CI's BENCH_serve.json) ---------------------
+// Shared with bench_compiled_retrieval: see bench/bench_json.hpp.
 
-struct JsonRecord {
-    std::string table;    ///< table identifier, stable across PRs
-    double ns_per_op = 0; ///< the new path's cost
-    double speedup = 0;   ///< vs that table's baseline row
-};
-
-std::vector<JsonRecord>& json_records() {
-    static std::vector<JsonRecord> records;
-    return records;
-}
-
-void record_table(std::string table, double ns_per_op, double speedup) {
-    json_records().push_back({std::move(table), ns_per_op, speedup});
-}
-
-void write_json(const std::string& path) {
-    std::ofstream out(path);
-    if (!out) {
-        std::cerr << "FATAL: cannot write " << path << "\n";
-        std::exit(1);
-    }
-    out << "{\n  \"benchmark\": \"bench_serve_engine\",\n  \"tables\": [\n";
-    for (std::size_t i = 0; i < json_records().size(); ++i) {
-        const JsonRecord& r = json_records()[i];
-        out << "    {\"table\": \"" << r.table << "\", \"ns_per_op\": "
-            << util::to_fixed(r.ns_per_op, 1) << ", \"speedup\": "
-            << util::to_fixed(r.speedup, 3) << "}"
-            << (i + 1 < json_records().size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::cout << "wrote " << json_records().size() << " table records to " << path
-              << "\n";
-}
+using benchjson::record_table;
 
 struct Scenario {
     wl::GeneratedCatalog catalog;
@@ -813,17 +781,7 @@ BENCHMARK(bm_incremental_patch)->Arg(1000)->Arg(10000);
 int main(int argc, char** argv) {
     // Strip our own --json=PATH flag before benchmark::Initialize sees the
     // argument vector.
-    std::string json_path;
-    int kept = 1;
-    for (int i = 1; i < argc; ++i) {
-        constexpr const char* kJsonFlag = "--json=";
-        if (std::strncmp(argv[i], kJsonFlag, std::strlen(kJsonFlag)) == 0) {
-            json_path = argv[i] + std::strlen(kJsonFlag);
-        } else {
-            argv[kept++] = argv[i];
-        }
-    }
-    argc = kept;
+    const std::string json_path = benchjson::strip_json_flag(argc, argv);
 
     print_throughput();
     print_bulk_enqueue();
@@ -832,7 +790,7 @@ int main(int argc, char** argv) {
     print_probe_offload();
     print_speculative_decision();
     if (!json_path.empty()) {
-        write_json(json_path);
+        benchjson::write("bench_serve_engine", json_path);
     }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

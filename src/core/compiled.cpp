@@ -84,18 +84,19 @@ TypePlan compile_type_plan(const FunctionType& type, const BoundsTable& bounds) 
 
     refresh_column_metadata(plan, bounds);
 
+    // Padded geometry: every column spans row_stride slots so the SIMD
+    // kernels stream whole vectors; the tail rows keep the neutral
+    // sentinel (value 0, mask 0) and accumulate exactly zero.
+    plan.row_stride = TypePlan::padded(plan.impl_count);
     const std::size_t columns = plan.attr_ids.size();
-    plan.values.assign(columns * plan.impl_count, AttrValue{0});
-    plan.present.assign(columns * plan.impl_count, 0.0);
-    plan.present_mask.assign(columns * plan.impl_count, std::uint16_t{0});
+    plan.values.assign(columns * plan.row_stride, AttrValue{0});
+    plan.present_mask.assign(columns * plan.row_stride, std::uint16_t{0});
     for (std::size_t r = 0; r < plan.impl_count; ++r) {
         for (const Attribute& attr : type.impls[r].attributes) {
             const std::size_t c = plan.column_of(attr.id);
             QFA_ASSERT(c != TypePlan::npos, "attribute id must be in the union");
-            const std::size_t slot = c * plan.impl_count + r;
-            plan.values[slot] = attr.value;
-            plan.present[slot] = 1.0;
-            plan.present_mask[slot] = 0xFFFFU;
+            plan.values[plan.slot(c, r)] = attr.value;
+            plan.present_mask[plan.slot(c, r)] = 0xFFFFU;
         }
     }
     return plan;
@@ -153,38 +154,41 @@ bool patch_single_insert(const TypePlan& old, const FunctionType& type,
 
     // Single-pass append build: every payload byte is written exactly once
     // (no zero-fill-then-overwrite), which is what buys the >= 10x over a
-    // full recompile at large row counts.
+    // full recompile at large row counts.  Both sides use the padded
+    // geometry: source columns are read at the old stride, destination
+    // columns are written at the new stride with the padded tail re-zeroed
+    // (the tail length can shrink by up to kRowAlign-1 when the insertion
+    // crosses an alignment boundary).
     const std::size_t columns = out.attr_ids.size();
     const std::size_t out_rows = rows + 1;
-    out.values.reserve(columns * out_rows);
-    out.present.reserve(columns * out_rows);
-    out.present_mask.reserve(columns * out_rows);
+    out.row_stride = TypePlan::padded(out_rows);
+    const std::size_t pad = out.row_stride - out_rows;
+    out.values.reserve(columns * out.row_stride);
+    out.present_mask.reserve(columns * out.row_stride);
     for (std::size_t c = 0; c < columns; ++c) {
         const std::size_t oc = old.column_of(out.attr_ids[c]);
         if (oc == TypePlan::npos) {
             // Brand-new column: sentinels everywhere; row r0 is fixed below.
-            out.values.insert(out.values.end(), out_rows, AttrValue{0});
-            out.present.insert(out.present.end(), out_rows, 0.0);
-            out.present_mask.insert(out.present_mask.end(), out_rows, std::uint16_t{0});
+            out.values.insert(out.values.end(), out.row_stride, AttrValue{0});
+            out.present_mask.insert(out.present_mask.end(), out.row_stride,
+                                    std::uint16_t{0});
             continue;
         }
         const auto splice = [&](const auto& src_vec, auto& dst_vec, auto sentinel) {
-            const auto* src = src_vec.data() + oc * rows;
+            const auto* src = src_vec.data() + oc * old.row_stride;
             dst_vec.insert(dst_vec.end(), src, src + r0);
             dst_vec.push_back(sentinel);  // row r0 placeholder, fixed below
             dst_vec.insert(dst_vec.end(), src + r0, src + rows);
+            dst_vec.insert(dst_vec.end(), pad, sentinel);  // padded tail
         };
         splice(old.values, out.values, AttrValue{0});
-        splice(old.present, out.present, 0.0);
         splice(old.present_mask, out.present_mask, std::uint16_t{0});
     }
     for (const Attribute& attr : inserted.attributes) {
         const std::size_t c = out.column_of(attr.id);
         QFA_ASSERT(c != TypePlan::npos, "inserted attribute id must be in the union");
-        const std::size_t slot = c * out_rows + r0;
-        out.values[slot] = attr.value;
-        out.present[slot] = 1.0;
-        out.present_mask[slot] = 0xFFFFU;
+        out.values[out.slot(c, r0)] = attr.value;
+        out.present_mask[out.slot(c, r0)] = 0xFFFFU;
     }
     return true;
 }
@@ -275,11 +279,18 @@ CompiledStats CompiledCaseBase::stats() const noexcept {
     stats.type_count = plans_.size();
     for (const std::shared_ptr<const TypePlan>& plan : plans_) {
         stats.impl_count += plan->impl_count;
-        stats.column_count += plan->attr_ids.size();
-        stats.value_slots += plan->values.size();
-        for (const double p : plan->present) {
-            if (p == 0.0) {
-                ++stats.sentinel_slots;
+        const std::size_t columns = plan->attr_ids.size();
+        stats.column_count += columns;
+        // value_slots / sentinel_slots count the logical (unpadded) grid so
+        // the "slots minus sentinels equals tree attributes" invariant is
+        // layout-independent; the alignment tail is reported separately.
+        stats.value_slots += columns * plan->impl_count;
+        stats.padded_slots += columns * (plan->row_stride - plan->impl_count);
+        for (std::size_t c = 0; c < columns; ++c) {
+            for (std::size_t r = 0; r < plan->impl_count; ++r) {
+                if (plan->present_mask[plan->slot(c, r)] == 0) {
+                    ++stats.sentinel_slots;
+                }
             }
         }
     }

@@ -20,11 +20,13 @@
 //
 // stored column-major, so scoring one request constraint touches one
 // contiguous column for all implementations.  An implementation that lacks
-// an attribute holds a sentinel slot: value 0 plus a 0.0 / 0x0000 entry in
-// the parallel presence arrays, turning the reference path's
-// `std::optional` + binary search into a branch-light gather-and-multiply
+// an attribute holds a sentinel slot: value 0 plus a 0x0000 word in the
+// parallel presence-mask array, turning the reference path's
+// `std::optional` + binary search into a branch-light gather-and-mask
 // (the paper's "missing attribute = unsatisfiable requirement, s_i = 0"
-// rule, §3).  Each column also carries its design-global dmax, the exact
+// rule, §3).  Columns are padded to TypePlan::kRowAlign rows with the same
+// neutral sentinels so the SIMD column kernels (core/kernels.hpp) stream
+// whole vectors tail-free.  Each column also carries its design-global dmax, the exact
 // double divisor (1 + dmax) of eq. (1), and the pre-quantized Q15
 // reciprocal of fig. 4's "maxrange-1" entry, so the double-precision and
 // the Q15 datapath share one compiled layout.
@@ -72,8 +74,31 @@ struct TypePlan {
     /// type's implementations (every row scores s_i = 0).
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
+    /// Row padding unit of the column payload: every column is padded to a
+    /// multiple of kRowAlign rows with neutral sentinels (value 0, presence
+    /// 0), so the SIMD column kernels (core/kernels.hpp) run whole vectors
+    /// with no scalar tail at any supported lane width.  Deliberately
+    /// ISA-independent — the padded geometry, and therefore plan bytes,
+    /// COW sharing and stats, is identical whether the binary runs AVX2,
+    /// SSE2, NEON or the QFA_SIMD=off scalar fallback.
+    static constexpr std::size_t kRowAlign = 8;
+
     TypeId id;
     std::size_t impl_count = 0;
+
+    /// Column stride of the payload vectors: impl_count rounded up to
+    /// kRowAlign (0 for an empty type).  Set by compile()/patched().
+    std::size_t row_stride = 0;
+
+    /// Slot index of (column c, row r) in the padded payload.
+    [[nodiscard]] constexpr std::size_t slot(std::size_t c, std::size_t r) const noexcept {
+        return c * row_stride + r;
+    }
+
+    /// The padded stride for a row count (kRowAlign multiple, 0 for 0).
+    [[nodiscard]] static constexpr std::size_t padded(std::size_t rows) noexcept {
+        return (rows + kRowAlign - 1) / kRowAlign * kRowAlign;
+    }
 
     // Row metadata (one entry per implementation, ascending by ImplId).
     std::vector<ImplId> impl_ids;
@@ -85,9 +110,12 @@ struct TypePlan {
     std::vector<double> divisor;          ///< exact 1.0 + dmax of eq. (1)
     std::vector<fx::Q15> reciprocal;      ///< fig. 4 "maxrange-1" entry
 
-    // Column-major payload: slot [c * impl_count + r] is column c, row r.
-    std::vector<AttrValue> values;        ///< 0 in sentinel (missing) slots
-    std::vector<double> present;          ///< 1.0 present / 0.0 sentinel
+    // Column-major payload: slot [c * row_stride + r] is column c, row r.
+    // Presence is one maskable 16-bit word per slot (0xFFFF / 0), shared
+    // by the double-precision kernels (widened to f64 lane masks) and the
+    // Q15 AND-mask loop — 2 bytes per slot where the pre-SIMD layout kept
+    // an extra 8-byte double alongside.
+    std::vector<AttrValue> values;        ///< 0 in sentinel/padding slots
     std::vector<std::uint16_t> present_mask;  ///< 0xFFFF present / 0x0000
 
     /// Column index for an attribute id (binary search); npos when the id
@@ -106,7 +134,8 @@ struct CompiledStats {
     std::size_t impl_count = 0;
     std::size_t column_count = 0;   ///< Σ per-type distinct attribute ids
     std::size_t value_slots = 0;    ///< Σ columns × rows (incl. sentinels)
-    std::size_t sentinel_slots = 0; ///< slots holding no real attribute
+    std::size_t sentinel_slots = 0; ///< real-row slots with no attribute
+    std::size_t padded_slots = 0;   ///< Σ columns × (row_stride − rows)
 };
 
 /// Immutable compiled form of a CaseBase + BoundsTable pair.
@@ -170,21 +199,6 @@ private:
     std::vector<std::shared_ptr<const TypePlan>> plans_;
     const CaseBase* source_ = nullptr;
     const BoundsTable* bounds_ = nullptr;
-};
-
-/// Caller-owned scratch for the compiled retrieval paths.
-///
-/// One instance per serving thread; every vector is grown once to the
-/// high-water mark of the workload and then reused, so steady-state
-/// retrieval performs no heap allocation (beyond the returned matches).
-struct RetrievalScratch {
-    std::vector<double> acc;              ///< per-row weighted-sum state
-    std::vector<std::uint64_t> acc_q30;   ///< per-row Q30 accumulators
-    std::vector<double> norm_weights;     ///< per-constraint w_i / Σw
-    std::vector<std::size_t> columns;     ///< per-constraint column / npos
-    std::vector<double> locals;           ///< per-row locals (general path)
-    std::vector<fx::Q15> q15_weights;     ///< per-constraint quantized w_i
-    std::vector<std::uint32_t> topk;      ///< candidate row heap
 };
 
 /// Shared per-constraint column iteration: invokes

@@ -1,0 +1,69 @@
+// Baseline kernel table + the once-per-process runtime dispatch.
+//
+// This TU compiles core/kernels.inl with the binary's ordinary target
+// flags, so base_kernels() is SSE2 on stock x86-64, AVX2 under
+// -march=native, NEON on AArch64, and scalar everywhere else (including
+// QFA_SIMD=off builds, where util/simd.hpp collapses to the scalar
+// wrappers project-wide).
+
+#include "core/kernels.hpp"
+
+#include <cstring>
+
+#include "util/simd.hpp"
+
+#define QFA_KERN_NS kern_base
+#include "core/kernels.inl"
+#undef QFA_KERN_NS
+
+namespace qfa::cbr::kern {
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if !defined(QFA_SIMD_DISABLED) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+const KernelTable& base_kernels() noexcept { return kern_base::table(); }
+
+const KernelTable& active_kernels() noexcept {
+#if defined(QFA_SIMD_DISABLED)
+    return scalar_kernels();
+#else
+    static const KernelTable* const chosen = [] {
+        const KernelTable* avx2 = avx2_kernels();
+        return (avx2 != nullptr && cpu_has_avx2()) ? avx2 : &base_kernels();
+    }();
+    return *chosen;
+#endif
+}
+
+std::span<const KernelTable* const> available_kernels() noexcept {
+    // Scalar first (the reference), then each distinct wider table.  In a
+    // QFA_SIMD=off build all three collapse to scalar and the list is one
+    // entry; in a -march=native build base may itself be AVX2, in which
+    // case the separately compiled AVX2 table still exercises the
+    // force-compiled TU.
+    static const KernelTable* tables[3];
+    static const std::size_t count = [] {
+        std::size_t n = 0;
+        tables[n++] = &scalar_kernels();
+        if (std::strcmp(base_kernels().isa, "scalar") != 0) {
+            tables[n++] = &base_kernels();
+        }
+        if (const KernelTable* avx2 = avx2_kernels();
+            avx2 != nullptr && cpu_has_avx2()) {
+            tables[n++] = avx2;
+        }
+        return n;
+    }();
+    return {tables, count};
+}
+
+}  // namespace qfa::cbr::kern

@@ -1,0 +1,89 @@
+// SIMD-dispatched column kernels of the compiled retrieval datapath.
+//
+// The three hot loops of core/retrieval.cpp — the double-precision
+// manhattan and squared-distance weighted accumulations of
+// retrieve_compiled_into and the Q15 AND-mask scoring loop of
+// score_q15_compiled — are pure vertical loops over one padded plan
+// column (core/compiled.hpp pads every column to TypePlan::kRowAlign
+// rows, so the kernels never need a scalar tail).  Each kernel is
+// compiled once per instruction set from the single generic source
+// core/kernels.inl over the util/simd.hpp wrappers:
+//
+//   * scalar_kernels() — plain C++, always built (core/kernels_scalar.cpp);
+//     the reference the bit-identity tests and bench self-checks compare
+//     against, and the QFA_SIMD=off escape hatch.
+//   * base_kernels()   — whatever ISA the translation unit's target flags
+//     select (SSE2 on baseline x86-64, NEON on AArch64, AVX2 under
+//     -march=native, scalar elsewhere).
+//   * avx2_kernels()   — force-compiled with AVX2 codegen on x86 even in a
+//     baseline build (core/kernels_avx2.cpp gets per-source -mavx2);
+//     nullptr when the toolchain or QFA_SIMD=off ruled it out.
+//
+// active_kernels() runtime-dispatches once per process: the AVX2 table
+// when the CPU reports AVX2, otherwise the base table (which is always
+// safe to execute — it was compiled with the same flags as the rest of
+// the binary).  With QFA_SIMD=off every table is the scalar one.
+//
+// Bit-identity contract: for identical inputs, every table produces
+// bitwise-equal accumulators (see util/simd.hpp for why vector width
+// cannot change per-row FP operation order).  tests/core/simd_kernel_test
+// pins this across the padded-tail edge cases; bench_compiled_retrieval
+// re-proves it at startup before timing anything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace qfa::cbr::kern {
+
+/// One ISA's set of column kernels.  All three walk `padded_rows` slots
+/// (a multiple of TypePlan::kRowAlign, or 0) of one column and add into
+/// the caller's per-row accumulators; padded tail slots hold value 0 and
+/// presence 0, so they accumulate exactly +0.0 / 0.
+struct KernelTable {
+    const char* isa;  ///< "avx2" / "sse2" / "neon" / "scalar"
+
+    /// acc[r] += weight * s_r with s_r = eq. (1) manhattan similarity of
+    /// (request_value, values[r]) under `divisor` = 1 + dmax, AND-masked
+    /// by mask[r] (0xFFFF present / 0 sentinel).
+    void (*manhattan)(double* acc, const std::uint16_t* values,
+                      const std::uint16_t* mask, std::size_t padded_rows,
+                      std::uint16_t request_value, double divisor, double weight);
+
+    /// Same with the squared-normalized-distance local measure
+    /// (1 - ratio^2, the E13 Euclidean-flavour ablation).
+    void (*squared)(double* acc, const std::uint16_t* values,
+                    const std::uint16_t* mask, std::size_t padded_rows,
+                    std::uint16_t request_value, double divisor, double weight);
+
+    /// acc[r] += u64(s_r & mask[r]) * weight_raw with s_r the fig. 7 Q15
+    /// local similarity under the pre-quantized reciprocal — the Q30
+    /// accumulation of score_q15_compiled.
+    void (*q15)(std::uint64_t* acc, const std::uint16_t* values,
+                const std::uint16_t* mask, std::size_t padded_rows,
+                std::uint16_t request_value, std::uint16_t reciprocal_raw,
+                std::uint16_t weight_raw);
+};
+
+/// The always-available scalar reference table.
+[[nodiscard]] const KernelTable& scalar_kernels() noexcept;
+
+/// The table matching this binary's baseline target flags.
+[[nodiscard]] const KernelTable& base_kernels() noexcept;
+
+/// The force-compiled AVX2 table, or nullptr when it was not built
+/// (non-x86 toolchain, or QFA_SIMD=off).
+[[nodiscard]] const KernelTable* avx2_kernels() noexcept;
+
+/// Runtime-dispatched table the retrieval fast paths score through:
+/// AVX2 when both compiled in and reported by the CPU, else the base
+/// table; always the scalar table under QFA_SIMD=off.
+[[nodiscard]] const KernelTable& active_kernels() noexcept;
+
+/// Every distinct table available in this binary (scalar first).  The
+/// bit-identity tests and the bench self-checks sweep this list so no
+/// compiled-in ISA can escape verification.
+[[nodiscard]] std::span<const KernelTable* const> available_kernels() noexcept;
+
+}  // namespace qfa::cbr::kern

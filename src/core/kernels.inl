@@ -1,0 +1,87 @@
+// Generic column-kernel bodies, instantiated once per instruction set.
+//
+// Included by core/kernels.cpp (baseline flags), core/kernels_avx2.cpp
+// (per-source -mavx2) and core/kernels_scalar.cpp (QFA_SIMD_FORCE_SCALAR):
+// each including TU defines QFA_KERN_NS to a distinct namespace and gets
+// this source compiled over the util/simd.hpp wrappers its target flags
+// select.  The loops are the verbatim arithmetic of the scalar reference
+// paths — d = |req - case|, ratio = d / (1 + dmax), clamp-at-one branch
+// realised as an AND mask, presence realised as an AND mask, one multiply
+// by the normalized weight, one add per row — at kF64Lanes / kQ15Lanes
+// rows per step.  Per-row accumulators are independent, so widening the
+// loop cannot reorder any row's additions: results are bit-identical to
+// the scalar table at every width (pinned by tests/core/simd_kernel_test).
+//
+// Preconditions (guaranteed by the padded TypePlan layout): padded_rows is
+// a multiple of simd::kRowBlock (or 0), and the padded tail slots of
+// `values` / `mask` hold 0 — they contribute exactly +0.0 / 0 and the
+// callers never read their accumulator lanes.
+
+#ifndef QFA_KERN_NS
+#error "kernels.inl must be included with QFA_KERN_NS defined"
+#endif
+
+namespace qfa::cbr::kern {
+namespace QFA_KERN_NS {
+
+namespace {
+
+void accumulate_manhattan(double* acc, const std::uint16_t* values,
+                          const std::uint16_t* mask, std::size_t padded_rows,
+                          std::uint16_t request_value, double divisor, double weight) {
+    namespace v = qfa::simd;
+    const v::f64v one = v::f64_broadcast(1.0);
+    const v::f64v div = v::f64_broadcast(divisor);
+    const v::f64v w = v::f64_broadcast(weight);
+    const v::f64v req = v::f64_broadcast(static_cast<double>(request_value));
+    for (std::size_t r = 0; r < padded_rows; r += v::kF64Lanes) {
+        const v::f64v d = v::f64_abs(v::f64_sub(req, v::f64_from_u16(values + r)));
+        const v::f64v ratio = v::f64_div(d, div);
+        // s = ratio >= 1 ? 0 : 1 - ratio, then presence-masked: both
+        // branches of the reference realised as bitwise AND (s is never
+        // negative where kept, so masking equals the branch bit-for-bit).
+        v::f64v s = v::f64_and(v::f64_sub(one, ratio), v::f64_lt(ratio, one));
+        s = v::f64_and(s, v::f64_lanemask_u16(mask + r));
+        v::f64_storeu(acc + r, v::f64_add(v::f64_loadu(acc + r), v::f64_mul(w, s)));
+    }
+}
+
+void accumulate_squared(double* acc, const std::uint16_t* values,
+                        const std::uint16_t* mask, std::size_t padded_rows,
+                        std::uint16_t request_value, double divisor, double weight) {
+    namespace v = qfa::simd;
+    const v::f64v one = v::f64_broadcast(1.0);
+    const v::f64v div = v::f64_broadcast(divisor);
+    const v::f64v w = v::f64_broadcast(weight);
+    const v::f64v req = v::f64_broadcast(static_cast<double>(request_value));
+    for (std::size_t r = 0; r < padded_rows; r += v::kF64Lanes) {
+        const v::f64v d = v::f64_abs(v::f64_sub(req, v::f64_from_u16(values + r)));
+        const v::f64v ratio = v::f64_div(d, div);
+        v::f64v s = v::f64_and(v::f64_sub(one, v::f64_mul(ratio, ratio)),
+                               v::f64_lt(ratio, one));
+        s = v::f64_and(s, v::f64_lanemask_u16(mask + r));
+        v::f64_storeu(acc + r, v::f64_add(v::f64_loadu(acc + r), v::f64_mul(w, s)));
+    }
+}
+
+void accumulate_q15(std::uint64_t* acc, const std::uint16_t* values,
+                    const std::uint16_t* mask, std::size_t padded_rows,
+                    std::uint16_t request_value, std::uint16_t reciprocal_raw,
+                    std::uint16_t weight_raw) {
+    namespace v = qfa::simd;
+    for (std::size_t r = 0; r < padded_rows; r += v::kQ15Lanes) {
+        v::q15_block(acc + r, values + r, mask + r, request_value, reciprocal_raw,
+                     weight_raw);
+    }
+}
+
+}  // namespace
+
+const KernelTable& table() noexcept {
+    static const KernelTable t{qfa::simd::kIsaName, &accumulate_manhattan,
+                               &accumulate_squared, &accumulate_q15};
+    return t;
+}
+
+}  // namespace QFA_KERN_NS
+}  // namespace qfa::cbr::kern

@@ -1,0 +1,32 @@
+// Force-compiled AVX2 kernel table.
+//
+// CMake gives this one source file -mavx2 on x86 toolchains (see the
+// QFA_SIMD block in the top-level CMakeLists), so a baseline x86-64 build
+// still carries 4-lane kernels that active_kernels() runtime-dispatches
+// onto after checking cpuid — the ggml-style "compile wide, gate at
+// runtime" pattern.  Only the kernel bodies live behind the gate; nothing
+// else in the binary may require AVX2.  On toolchains where the flag is
+// unavailable (or under QFA_SIMD=off) __AVX2__ is absent here and the
+// accessor degrades to nullptr.
+
+#include "core/kernels.hpp"
+
+#if defined(__AVX2__) && !defined(QFA_SIMD_DISABLED)
+
+#include "util/simd.hpp"
+
+#define QFA_KERN_NS kern_avx2
+#include "core/kernels.inl"
+#undef QFA_KERN_NS
+
+namespace qfa::cbr::kern {
+const KernelTable* avx2_kernels() noexcept { return &kern_avx2::table(); }
+}  // namespace qfa::cbr::kern
+
+#else
+
+namespace qfa::cbr::kern {
+const KernelTable* avx2_kernels() noexcept { return nullptr; }
+}  // namespace qfa::cbr::kern
+
+#endif

@@ -1,0 +1,21 @@
+// Always-built scalar kernel table — the bit-identity reference.
+//
+// QFA_SIMD_FORCE_SCALAR makes util/simd.hpp select its one-lane wrappers
+// regardless of the target flags, so this TU compiles the exact same
+// kernels.inl source into plain scalar loops.  Tests and the bench
+// self-checks compare every wider table against this one; QFA_SIMD=off
+// builds retrieve through it directly.
+
+#define QFA_SIMD_FORCE_SCALAR 1
+
+#include "core/kernels.hpp"
+
+#include "util/simd.hpp"
+
+#define QFA_KERN_NS kern_scalar
+#include "core/kernels.inl"
+#undef QFA_KERN_NS
+
+namespace qfa::cbr::kern {
+const KernelTable& scalar_kernels() noexcept { return kern_scalar::table(); }
+}  // namespace qfa::cbr::kern

@@ -98,6 +98,12 @@ std::uint64_t Request::fingerprint() const noexcept {
 
 void quantize_weights(std::span<const double> normalized_weights,
                       std::vector<fx::Q15>& out) {
+    WeightQuantScratch scratch;
+    quantize_weights(normalized_weights, out, scratch);
+}
+
+void quantize_weights(std::span<const double> normalized_weights,
+                      std::vector<fx::Q15>& out, WeightQuantScratch& scratch) {
     double sum = 0.0;
     for (const double w : normalized_weights) {
         sum += w;
@@ -109,8 +115,10 @@ void quantize_weights(std::span<const double> normalized_weights,
     // remaining raw units to the constraints with the biggest remainders so
     // the raw total is exactly 2^15.
     const std::size_t n = normalized_weights.size();
-    std::vector<std::uint32_t> raw(n);
-    std::vector<double> remainder(n);
+    std::vector<std::uint32_t>& raw = scratch.raw;
+    std::vector<double>& remainder = scratch.remainder;
+    raw.assign(n, 0);
+    remainder.assign(n, 0.0);
     std::int64_t total = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const double exact = normalized_weights[i] * static_cast<double>(fx::Q15::kScale);
@@ -121,7 +129,8 @@ void quantize_weights(std::span<const double> normalized_weights,
     std::int64_t missing = static_cast<std::int64_t>(fx::Q15::kScale) - total;
     QFA_ASSERT(missing >= 0 && missing <= static_cast<std::int64_t>(n),
                "largest-remainder bookkeeping out of range");
-    std::vector<std::size_t> order(n);
+    std::vector<std::size_t>& order = scratch.order;
+    order.resize(n);
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::stable_sort(order.begin(), order.end(), [&remainder](std::size_t a, std::size_t b) {
         return remainder[a] > remainder[b];

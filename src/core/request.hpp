@@ -79,11 +79,23 @@ private:
 /// Requires a normalized request (Σ w_i = 1 within 1e-9).
 [[nodiscard]] std::vector<fx::Q15> quantize_weights(const Request& request);
 
+/// Working buffers of the largest-remainder quantizer.  One per serving
+/// thread (RetrievalScratch embeds one): reused across calls so the
+/// quantization step performs no steady-state allocation.
+struct WeightQuantScratch {
+    std::vector<std::uint32_t> raw;
+    std::vector<double> remainder;
+    std::vector<std::size_t> order;
+};
+
 /// Same quantization over a bare weight vector (Σ w_i = 1 within 1e-9),
 /// writing into a caller-owned buffer — the allocation-free core the
-/// Request overload and the compiled batch path share.
+/// Request overload and the compiled batch path share.  The first form
+/// allocates its working buffers per call; the second reuses the caller's.
 void quantize_weights(std::span<const double> normalized_weights,
                       std::vector<fx::Q15>& out);
+void quantize_weights(std::span<const double> normalized_weights,
+                      std::vector<fx::Q15>& out, WeightQuantScratch& scratch);
 
 /// The paper's fig. 3 request: FIR equalizer, bitwidth 16, stereo output,
 /// 40 kSamples/s, equal weights (Table 1 uses w_i = 1/3).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/kernels.hpp"
 #include "util/contracts.hpp"
 
 namespace qfa::cbr {
@@ -29,6 +30,32 @@ void for_each_constraint_local(const Implementation& impl,
     }
 }
 
+/// Normalizes request weights into scratch.norm_weights — the exact
+/// arithmetic of Request::normalized (one left-to-right sum, then one
+/// divide per weight) without the Request copy.  All scoring paths route
+/// through this one helper: the bit-identity contracts between them
+/// depend on every path normalizing in the same operation order.
+void normalize_weights_into(std::span<const RequestAttribute> constraints,
+                            RetrievalScratch& scratch) {
+    double sum = 0.0;
+    for (const RequestAttribute& c : constraints) {
+        sum += c.weight;
+    }
+    QFA_ASSERT(sum > 0.0, "validated request must have positive weight sum");
+    scratch.norm_weights.resize(constraints.size());
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        scratch.norm_weights[i] = constraints[i].weight / sum;
+    }
+}
+
+/// Same, plus the largest-remainder Q15 quantization into
+/// scratch.q15_weights — the Q15 paths' shared front end.
+void normalize_and_quantize_weights_into(std::span<const RequestAttribute> constraints,
+                                         RetrievalScratch& scratch) {
+    normalize_weights_into(constraints, scratch);
+    quantize_weights(scratch.norm_weights, scratch.q15_weights, scratch.quant);
+}
+
 /// Ranking predicate of the result list: descending similarity, ties to
 /// the smaller ImplId (deterministic, matches the reference stable_sort).
 inline bool ranks_before(double sim_a, ImplId impl_a, double sim_b, ImplId impl_b) {
@@ -53,8 +80,8 @@ void collect_plan_details(const TypePlan& plan, std::size_t row,
         std::uint32_t dmax;
         if (c != TypePlan::npos) {
             dmax = plan.dmax[c];
-            const std::size_t slot = c * plan.impl_count + row;
-            if (plan.present[slot] != 0.0) {
+            const std::size_t slot = plan.slot(c, row);
+            if (plan.present_mask[slot] != 0) {
                 case_value = plan.values[slot];
                 s = local_similarity(metric, constraint.value, *case_value, dmax);
             }
@@ -235,58 +262,37 @@ RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
         return result;
     }
 
-    // Normalize weights into scratch (same arithmetic as Request::normalized:
-    // one left-to-right sum, then one divide per weight — no Request copy).
     const std::span<const RequestAttribute> constraints = request.constraints();
     const std::size_t n = constraints.size();
     result.attrs_compared = rows * n;
-    double sum = 0.0;
-    for (const RequestAttribute& c : constraints) {
-        sum += c.weight;
-    }
-    QFA_ASSERT(sum > 0.0, "validated request must have positive weight sum");
-    scratch.norm_weights.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        scratch.norm_weights[i] = constraints[i].weight / sum;
-    }
+    normalize_weights_into(constraints, scratch);
 
     std::vector<double>& sims = scratch.acc;
-    sims.assign(rows, 0.0);
+    sims.assign(plan->row_stride, 0.0);  // padded lanes accumulate exactly 0.0
 
     if (amalgamation_ == nullptr) {
         // Fused weighted-sum fast path, column-major: each constraint
-        // streams one contiguous column.  Per accumulator the terms arrive
+        // streams one contiguous padded column through the runtime-selected
+        // SIMD kernel (core/kernels.hpp).  Per accumulator the terms arrive
         // in constraint order with the exact reference operations
-        // (d / (1 + dmax), clamp-at-zero branch, × presence, × weight), so
-        // the final sums are bit-identical to WeightedSum::combine.
+        // (d / (1 + dmax), clamp-at-zero as a lane mask, presence as a lane
+        // mask, × weight), and lanes are whole rows, so the final sums are
+        // bit-identical to WeightedSum::combine at any vector width.
+        const kern::KernelTable& kernels = kern::active_kernels();
         for_each_constraint_column(
             *plan, constraints, scratch.columns,
             [&](std::size_t i, const RequestAttribute& constraint, std::size_t c) {
                 if (c == TypePlan::npos) {
                     return;  // s_i = 0 everywhere: contributes exactly 0.0
                 }
-                const double w = scratch.norm_weights[i];
-                const double div = plan->divisor[c];
-                const AttrValue req = constraint.value;
-                const AttrValue* vals = plan->values.data() + c * rows;
-                const double* pres = plan->present.data() + c * rows;
-                if (options.metric == LocalMetric::manhattan) {
-                    for (std::size_t r = 0; r < rows; ++r) {
-                        const double d =
-                            static_cast<double>(manhattan_distance(req, vals[r]));
-                        const double ratio = d / div;
-                        const double s = ratio >= 1.0 ? 0.0 : 1.0 - ratio;
-                        sims[r] += w * (s * pres[r]);
-                    }
-                } else {
-                    for (std::size_t r = 0; r < rows; ++r) {
-                        const double d =
-                            static_cast<double>(manhattan_distance(req, vals[r]));
-                        const double ratio = d / div;
-                        const double s = ratio >= 1.0 ? 0.0 : 1.0 - ratio * ratio;
-                        sims[r] += w * (s * pres[r]);
-                    }
-                }
+                const std::size_t stride = plan->row_stride;
+                const AttrValue* vals = plan->values.data() + c * stride;
+                const std::uint16_t* mask = plan->present_mask.data() + c * stride;
+                const auto kernel = options.metric == LocalMetric::manhattan
+                                        ? kernels.manhattan
+                                        : kernels.squared;
+                kernel(sims.data(), vals, mask, stride, constraint.value,
+                       plan->divisor[c], scratch.norm_weights[i]);
             });
         for (std::size_t r = 0; r < rows; ++r) {
             sims[r] = std::clamp(sims[r], 0.0, 1.0);  // WeightedSum's final clamp
@@ -302,8 +308,8 @@ RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
                 const std::size_t c = scratch.columns[i];
                 double s = 0.0;
                 if (c != TypePlan::npos) {
-                    const std::size_t slot = c * rows + r;
-                    if (plan->present[slot] != 0.0) {
+                    const std::size_t slot = plan->slot(c, r);
+                    if (plan->present_mask[slot] != 0) {
                         s = local_similarity(options.metric, constraints[i].value,
                                              plan->values[slot], plan->dmax[c]);
                     }
@@ -355,15 +361,25 @@ RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
 }
 
 std::vector<MatchQ15> Retriever::score_q15(const Request& request) const {
-    std::vector<MatchQ15> out;
+    RetrievalScratch local;
+    score_q15_into(request, local);
+    return std::move(local.q15_out);
+}
+
+std::span<const MatchQ15> Retriever::score_q15_into(const Request& request,
+                                                    RetrievalScratch& scratch) const {
+    std::vector<MatchQ15>& out = scratch.q15_out;
+    out.clear();
     const FunctionType* type = cb_->find_type(request.type());
     if (type == nullptr) {
         return out;
     }
 
-    const Request normalized = request.normalized();
-    const std::vector<fx::Q15> weights = quantize_weights(normalized);
-    const auto constraints = normalized.constraints();
+    // Weight normalization + quantization entirely in scratch: no Request
+    // copy, no per-call allocation.
+    const std::span<const RequestAttribute> constraints = request.constraints();
+    normalize_and_quantize_weights_into(constraints, scratch);
+    const std::span<const fx::Q15> weights = scratch.q15_weights;
 
     out.reserve(type->impls.size());
     for (const Implementation& impl : type->impls) {
@@ -386,12 +402,22 @@ std::vector<MatchQ15> Retriever::score_q15(const Request& request) const {
 
 std::vector<MatchQ15> Retriever::score_q15_compiled(const Request& request,
                                                     RetrievalScratch* scratch) const {
-    QFA_EXPECTS(compiled_ != nullptr,
-                "score_q15_compiled needs a bound CompiledCaseBase (bind_compiled)");
     RetrievalScratch local;
     RetrievalScratch& s = scratch != nullptr ? *scratch : local;
+    const std::span<const MatchQ15> scored = score_q15_compiled_into(request, s);
+    if (scratch == nullptr) {
+        return std::move(local.q15_out);
+    }
+    return {scored.begin(), scored.end()};
+}
 
-    std::vector<MatchQ15> out;
+std::span<const MatchQ15> Retriever::score_q15_compiled_into(
+    const Request& request, RetrievalScratch& s) const {
+    QFA_EXPECTS(compiled_ != nullptr,
+                "score_q15_compiled needs a bound CompiledCaseBase (bind_compiled)");
+
+    std::vector<MatchQ15>& out = s.q15_out;
+    out.clear();
     const TypePlan* plan = compiled_->find(request.type());
     if (plan == nullptr) {
         return out;
@@ -399,37 +425,26 @@ std::vector<MatchQ15> Retriever::score_q15_compiled(const Request& request,
     const std::size_t rows = plan->impl_count;
 
     const std::span<const RequestAttribute> constraints = request.constraints();
-    double sum = 0.0;
-    for (const RequestAttribute& c : constraints) {
-        sum += c.weight;
-    }
-    QFA_ASSERT(sum > 0.0, "validated request must have positive weight sum");
-    s.norm_weights.resize(constraints.size());
-    for (std::size_t i = 0; i < constraints.size(); ++i) {
-        s.norm_weights[i] = constraints[i].weight / sum;
-    }
-    quantize_weights(s.norm_weights, s.q15_weights);
+    normalize_and_quantize_weights_into(constraints, s);
 
-    s.acc_q30.assign(rows, 0);
-    // Same column traversal as the double-precision fast path; the masked
-    // raw word zeroes sentinel slots exactly like the reference's
-    // `case_value ? ... : Q15::zero()`.
+    s.acc_q30.assign(plan->row_stride, 0);  // padded lanes accumulate exactly 0
+    // Same column traversal as the double-precision fast path, through the
+    // Q15 SIMD kernel: the AND-masked raw word zeroes sentinel (and
+    // padding) slots exactly like the reference's
+    // `case_value ? ... : Q15::zero()`, and the arithmetic is exact
+    // integer, so lane width cannot change any accumulator.
+    const kern::KernelTable& kernels = kern::active_kernels();
     for_each_constraint_column(
         *plan, constraints, s.columns,
         [&](std::size_t i, const RequestAttribute& constraint, std::size_t c) {
             if (c == TypePlan::npos) {
                 return;  // s_i = 0 everywhere: adds 0 to every accumulator
             }
-            const std::uint64_t w = s.q15_weights[i].raw();
-            const fx::Q15 recip = plan->reciprocal[c];
-            const AttrValue req = constraint.value;
-            const AttrValue* vals = plan->values.data() + c * rows;
-            const std::uint16_t* mask = plan->present_mask.data() + c * rows;
-            for (std::size_t r = 0; r < rows; ++r) {
-                const std::uint16_t raw =
-                    fx::local_similarity_q15(req, vals[r], recip).raw() & mask[r];
-                s.acc_q30[r] += static_cast<std::uint64_t>(raw) * w;
-            }
+            const std::size_t stride = plan->row_stride;
+            kernels.q15(s.acc_q30.data(), plan->values.data() + c * stride,
+                        plan->present_mask.data() + c * stride, stride,
+                        constraint.value, plan->reciprocal[c].raw(),
+                        s.q15_weights[i].raw());
         });
 
     out.reserve(rows);
@@ -439,9 +454,13 @@ std::vector<MatchQ15> Retriever::score_q15_compiled(const Request& request,
     return out;
 }
 
-std::optional<MatchQ15> Retriever::retrieve_q15(const Request& request) const {
-    const std::vector<MatchQ15> scored =
-        compiled_ != nullptr ? score_q15_compiled(request) : score_q15(request);
+std::optional<MatchQ15> Retriever::retrieve_q15(const Request& request,
+                                                RetrievalScratch* scratch) const {
+    RetrievalScratch local;
+    RetrievalScratch& s = scratch != nullptr ? *scratch : local;
+    const std::span<const MatchQ15> scored = compiled_ != nullptr
+                                                 ? score_q15_compiled_into(request, s)
+                                                 : score_q15_into(request, s);
     if (scored.empty()) {
         return std::nullopt;
     }

@@ -79,6 +79,24 @@ enum class RetrievalStatus {
     all_below_threshold ///< candidates existed but none passed the threshold
 };
 
+/// Caller-owned scratch for the compiled retrieval paths.
+///
+/// One instance per serving thread; every vector is grown once to the
+/// high-water mark of the workload and then reused, so steady-state
+/// retrieval performs no heap allocation (beyond the returned matches —
+/// and the _into variants avoid even those by parking their output here).
+struct RetrievalScratch {
+    std::vector<double> acc;              ///< per-row weighted-sum state
+    std::vector<std::uint64_t> acc_q30;   ///< per-row Q30 accumulators
+    std::vector<double> norm_weights;     ///< per-constraint w_i / Σw
+    std::vector<std::size_t> columns;     ///< per-constraint column / npos
+    std::vector<double> locals;           ///< per-row locals (general path)
+    std::vector<fx::Q15> q15_weights;     ///< per-constraint quantized w_i
+    WeightQuantScratch quant;             ///< quantizer working buffers
+    std::vector<std::uint32_t> topk;      ///< candidate row heap
+    std::vector<MatchQ15> q15_out;        ///< score_q15_*_into output
+};
+
 /// Retrieval knobs.
 struct RetrievalOptions {
     std::size_t n_best = 1;          ///< how many ranked candidates to return
@@ -160,16 +178,33 @@ public:
     /// max by (similarity_q30, earlier-in-list).
     [[nodiscard]] std::vector<MatchQ15> score_q15(const Request& request) const;
 
+    /// Scratch-routed tree scoring: weight normalization, quantization and
+    /// the scored list all live in caller-owned scratch (like
+    /// retrieve_compiled does for the double path), so repeated calls
+    /// perform no steady-state allocation.  The returned span aliases
+    /// `scratch.q15_out` and is invalidated by the next _into call.
+    std::span<const MatchQ15> score_q15_into(const Request& request,
+                                             RetrievalScratch& scratch) const;
+
     /// Q15 datapath scoring over the compiled columns (shared with the
     /// double-precision fast path): same layout, same per-constraint
     /// traversal, results exactly equal to score_q15().  Requires a bound
-    /// compiled view.
+    /// compiled view.  The column loop runs through the runtime-dispatched
+    /// SIMD kernels (core/kernels.hpp) — exact integer arithmetic, so the
+    /// equality with score_q15() holds at any lane width.
     [[nodiscard]] std::vector<MatchQ15> score_q15_compiled(
         const Request& request, RetrievalScratch* scratch = nullptr) const;
 
+    /// Scratch-routed variant of score_q15_compiled: same contract as
+    /// score_q15_into, no output allocation.
+    std::span<const MatchQ15> score_q15_compiled_into(const Request& request,
+                                                      RetrievalScratch& scratch) const;
+
     /// Best candidate under Q15 arithmetic (hardware tie-breaking), or
-    /// nullopt when the type is unknown/empty.
-    [[nodiscard]] std::optional<MatchQ15> retrieve_q15(const Request& request) const;
+    /// nullopt when the type is unknown/empty.  `scratch` (optional)
+    /// removes all per-call allocations.
+    [[nodiscard]] std::optional<MatchQ15> retrieve_q15(
+        const Request& request, RetrievalScratch* scratch = nullptr) const;
 
     [[nodiscard]] const CaseBase& case_base() const noexcept { return *cb_; }
     [[nodiscard]] const BoundsTable& bounds() const noexcept { return *bounds_; }

@@ -41,13 +41,11 @@ void expect_plans_identical(const CompiledCaseBase& fresh, const CompiledCaseBas
                 << "divisor, type " << a.id.value() << " column " << c;
         }
         EXPECT_EQ(a.reciprocal, b.reciprocal);
+        // values / present_mask are the padded payload vectors, so this
+        // also pins the spliced plan's row stride and re-zeroed alignment
+        // tail against the fresh compile.
+        EXPECT_EQ(a.row_stride, b.row_stride);
         EXPECT_EQ(a.values, b.values);
-        ASSERT_EQ(a.present.size(), b.present.size());
-        for (std::size_t s = 0; s < a.present.size(); ++s) {
-            EXPECT_EQ(std::bit_cast<std::uint64_t>(a.present[s]),
-                      std::bit_cast<std::uint64_t>(b.present[s]))
-                << "present, type " << a.id.value() << " slot " << s;
-        }
         EXPECT_EQ(a.present_mask, b.present_mask);
     }
 }

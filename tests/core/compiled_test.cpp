@@ -97,12 +97,19 @@ TEST(CompiledCaseBaseTest, PlansMirrorTheTree) {
             for (const Attribute& attr : type.impls[r].attributes) {
                 const std::size_t c = p->column_of(attr.id);
                 ASSERT_NE(c, TypePlan::npos);
-                const std::size_t slot = c * p->impl_count + r;
-                EXPECT_EQ(p->values[slot], attr.value);
-                EXPECT_EQ(p->present[slot], 1.0);
-                EXPECT_EQ(p->present_mask[slot], 0xFFFFU);
+                EXPECT_EQ(p->values[p->slot(c, r)], attr.value);
+                EXPECT_EQ(p->present_mask[p->slot(c, r)], 0xFFFFU);
                 EXPECT_EQ(p->dmax[c], fx.catalog.bounds.dmax(attr.id));
                 EXPECT_EQ(p->reciprocal[c], fx.catalog.bounds.reciprocal(attr.id));
+            }
+        }
+        // Padded geometry: kRowAlign-multiple stride, neutral sentinels in
+        // every alignment-tail slot (the SIMD kernels stream them).
+        EXPECT_EQ(p->row_stride, TypePlan::padded(p->impl_count));
+        for (std::size_t c = 0; c < p->attr_ids.size(); ++c) {
+            for (std::size_t r = p->impl_count; r < p->row_stride; ++r) {
+                EXPECT_EQ(p->values[p->slot(c, r)], 0);
+                EXPECT_EQ(p->present_mask[p->slot(c, r)], 0);
             }
         }
     }
