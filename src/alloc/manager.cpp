@@ -27,6 +27,8 @@ const char* reject_reason_name(RejectReason reason) noexcept {
         case RejectReason::nothing_feasible: return "nothing-feasible";
         case RejectReason::repository_miss: return "repository-miss";
         case RejectReason::retrieval_failed: return "retrieval-failed";
+        case RejectReason::deadline_exceeded: return "deadline-exceeded";
+        case RejectReason::load_shed: return "load-shed";
     }
     return "?";
 }
@@ -252,8 +254,10 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
     std::vector<std::size_t> prefetch_slot(requests.size(), kNoPrefetch);
     std::vector<cbr::Request> to_retrieve;
     std::vector<cbr::RetrievalOptions> retrieve_options;
+    std::vector<serve::JobClass> retrieve_classes;
     to_retrieve.reserve(requests.size());
     retrieve_options.reserve(requests.size());
+    bool any_classed = false;
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (probed[i] != 0) {
             continue;  // token expected to grant: skip the prefetch
@@ -265,11 +269,24 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
         options.n_best = requests[i].n_best;
         options.threshold = requests[i].threshold;
         retrieve_options.push_back(options);
+        // SLO propagation: tenant / priority / deadline ride down to the
+        // serve layer, which expires overdue retrievals (DeadlineExceeded)
+        // instead of computing answers nobody can use.
+        serve::JobClass cls;
+        cls.tenant = requests[i].tenant;
+        cls.priority = requests[i].priority;
+        cls.deadline = requests[i].deadline;
+        retrieve_classes.push_back(cls);
+        any_classed = any_classed || requests[i].deadline.has_value() ||
+                      requests[i].tenant != 0;
+    }
+    if (!any_classed) {
+        retrieve_classes.clear();  // unclassed batch: zero per-job overhead
     }
 
     // ---- stage 2: retrieval fan-out (one bulk enqueue per shard) --------
     std::vector<std::future<cbr::RetrievalResult>> futures =
-        engine.submit_batch(to_retrieve, retrieve_options);
+        engine.submit_batch(to_retrieve, retrieve_options, retrieve_classes);
 
     // Without a speculative wave the serial replay consumes each future
     // lazily at its own turn — decisions for early requests overlap with
@@ -408,6 +425,13 @@ std::vector<AllocationOutcome> AllocationManager::allocate_batch(
             outcomes.push_back(decide(requests[i], *prefetch.result, adopted));
         } catch (const std::future_error&) {
             outcomes.push_back(reject(RejectReason::retrieval_failed));
+        } catch (const serve::DeadlineExceeded&) {
+            // Ordered before the runtime_error catch (both SLO errors
+            // derive from it): the typed reasons must not collapse into
+            // retrieval_failed.
+            outcomes.push_back(reject(RejectReason::deadline_exceeded));
+        } catch (const serve::LoadShed&) {
+            outcomes.push_back(reject(RejectReason::load_shed));
         } catch (const std::runtime_error&) {
             // Covers the fallback path too, honouring the no-throw-past-a-
             // grant rule above; ContractViolation is a logic_error and

@@ -58,6 +58,7 @@
 // silently degrading.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -72,6 +73,7 @@
 #include "core/compiled.hpp"
 #include "core/request.hpp"
 #include "core/retrieval.hpp"
+#include "serve/admission.hpp"
 #include "serve/generation.hpp"
 #include "sysmodel/system.hpp"
 
@@ -92,6 +94,14 @@ struct AllocRequest {
     double threshold = 0.0;        ///< reject candidates below (§3)
     std::size_t n_best = 4;        ///< retrieval width for alternatives
     bool allow_preemption = true;  ///< may evict lower-priority tasks
+    /// SLO tagging for the batch fan-out (serve/admission.hpp): the
+    /// retrieval is submitted under this tenant, and — when a deadline is
+    /// set — dropped by the engine once it cannot complete in time, which
+    /// surfaces as RejectReason::deadline_exceeded.  Sequential allocate()
+    /// retrieves inline with no queue to wait in, so it ignores both (a
+    /// deadline bounds *queueing*, which the inline path does not have).
+    serve::TenantId tenant = 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt;
 };
 
 /// Granted allocation.
@@ -122,6 +132,11 @@ enum class RejectReason {
     repository_miss,      ///< configuration data missing for the choice
     retrieval_failed,     ///< batch fan-out: the serve engine dropped the job
                           ///< (shutdown mid-batch); retry on a live engine
+    deadline_exceeded,    ///< batch fan-out: the request's deadline passed
+                          ///< before its retrieval was served (expired in
+                          ///< queue, or already infeasible at submission)
+    load_shed,            ///< batch fan-out: the engine's shedder evicted
+                          ///< the retrieval to protect higher-priority work
 };
 
 [[nodiscard]] const char* reject_reason_name(RejectReason reason) noexcept;

@@ -1,0 +1,147 @@
+// SLO vocabulary for the serving engine's overload path.
+//
+// The paper's §3 allocation platform may "reject requests the platform
+// cannot serve"; closed-loop callers never see that case because bounded
+// queues block them at capacity.  Open-loop traffic (arrivals on a clock,
+// not gated on completions) makes overload the steady state, and the engine
+// then needs a typed answer for every request it cannot serve in time:
+// refuse it at admission, expire it at dequeue, or shed it from the backlog
+// to protect higher-priority work.  This header defines that vocabulary —
+// tenants, deadlines, admission outcomes, shedding policy — shared by the
+// engine (serve/engine.hpp) and the allocation manager's batch front-end
+// (alloc/manager.hpp) without either including the other.
+//
+// Outcome taxonomy (disjoint, exhaustive for one request):
+//   rejected   — never entered a queue (admission said no: full backlog,
+//                engine shutting down, or a deadline already infeasible)
+//   expired    — entered a queue but its deadline passed before a worker
+//                reached it; dropped on dequeue, future resolves with
+//                DeadlineExceeded (never silently)
+//   shed       — removed from the backlog by the load shedder to make room
+//                for higher-priority work; future resolves with LoadShed
+//   served     — completed with a result, bit-identical to the
+//                single-threaded compiled path at the pinned epoch
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+
+#include "core/retrieval.hpp"
+
+namespace qfa::serve {
+
+/// Multi-tenant traffic tag (§5's "several applications").  Tenant 0 is the
+/// default for single-tenant callers; ids need no registration — counters
+/// materialize on first use.
+using TenantId = std::uint16_t;
+
+/// A queued request's deadline passed before a worker reached it.  The
+/// future resolves with this — expiry is never silent.
+class DeadlineExceeded : public std::runtime_error {
+public:
+    DeadlineExceeded() : std::runtime_error("retrieval deadline exceeded before service") {}
+};
+
+/// The load shedder removed the request from the backlog to make room for
+/// higher-priority work.  The future resolves with this.
+class LoadShed : public std::runtime_error {
+public:
+    LoadShed() : std::runtime_error("retrieval shed under overload") {}
+};
+
+/// What the engine does when the admission path finds the target shard's
+/// backlog full (or past its watermark).
+enum class AdmissionPolicy : std::uint8_t {
+    reject_new,   ///< refuse the incoming request (queue_full)
+    shed_lowest,  ///< evict the lowest-priority queued victim, then admit
+};
+
+/// Overload-behavior knobs (EngineConfig::admission).  All bounds are "0 =
+/// disabled"; a default-constructed config admits everything the queue
+/// capacity admits, i.e. PR-4 behavior.
+struct AdmissionConfig {
+    /// Per-shard backlog bound for the admission path, tighter than the
+    /// queue capacity (0 = use the capacity alone).
+    std::size_t max_queue_depth = 0;
+    /// Engine-wide cap on admitted-but-unresolved retrievals (0 = none).
+    std::size_t max_inflight = 0;
+    AdmissionPolicy policy = AdmissionPolicy::reject_new;
+    /// Shed proactively once a shard's depth reaches this (0 = only when
+    /// full; only meaningful under shed_lowest).
+    std::size_t shed_depth_watermark = 0;
+    /// Shed proactively once the oldest queued job has waited this long
+    /// (zero = disabled; only meaningful under shed_lowest).
+    std::chrono::steady_clock::duration shed_latency_watermark{0};
+};
+
+/// Typed admission outcome.
+enum class AdmissionStatus : std::uint8_t {
+    admitted,             ///< in a queue; the future will resolve
+    queue_full,           ///< refused: backlog/inflight bound hit
+    shutting_down,        ///< refused: the engine is stopping
+    deadline_infeasible,  ///< refused: the deadline already passed at admission
+};
+
+[[nodiscard]] constexpr std::string_view admission_status_name(AdmissionStatus status) {
+    switch (status) {
+        case AdmissionStatus::admitted: return "admitted";
+        case AdmissionStatus::queue_full: return "queue_full";
+        case AdmissionStatus::shutting_down: return "shutting_down";
+        case AdmissionStatus::deadline_infeasible: return "deadline_infeasible";
+    }
+    return "?";
+}
+
+/// What try_submit / submit_until hand back: a status, and a future only
+/// when admitted (rejections resolve nothing — the status is the answer,
+/// and the caller never blocks on a request the engine refused).
+struct AdmissionResult {
+    AdmissionStatus status = AdmissionStatus::shutting_down;
+    std::future<cbr::RetrievalResult> future;  ///< valid iff admitted()
+    [[nodiscard]] bool admitted() const noexcept {
+        return status == AdmissionStatus::admitted;
+    }
+};
+
+/// Per-request SLO class carried alongside the retrieval itself.
+struct JobClass {
+    TenantId tenant = 0;
+    /// Shedding rank; higher wins, matching sys::Priority's preemption
+    /// convention (sysmodel/task.hpp) so alloc can pass its priority through.
+    std::uint8_t priority = 10;
+    /// Absolute completion deadline; requests past it are refused at
+    /// admission and dropped (DeadlineExceeded) at dequeue.
+    std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt;
+    /// When set, the worker stamps the service-completion instant here
+    /// immediately before resolving the future — the future's happens-before
+    /// makes the stamp safely readable after future.get()/wait() returns.
+    /// The open-loop harness uses this to time latency without a second
+    /// clock read racing the caller.
+    std::chrono::steady_clock::time_point* completed_at = nullptr;
+};
+
+/// Admission-side deadline test: a deadline at or before `now` cannot be
+/// met (even a zero-cost retrieval completes no earlier than now), so
+/// d <= now is refused.  The boundary is deliberately different from
+/// expired_on_dequeue: d == now is infeasible to *admit* but not yet
+/// expired once queued.
+[[nodiscard]] constexpr bool admission_infeasible(
+    std::chrono::steady_clock::time_point deadline,
+    std::chrono::steady_clock::time_point now) noexcept {
+    return deadline <= now;
+}
+
+/// Dequeue-side expiry test: a job whose deadline is exactly the dequeue
+/// instant is still served (the deadline has not *passed*); only d < now
+/// is dropped.
+[[nodiscard]] constexpr bool expired_on_dequeue(
+    std::chrono::steady_clock::time_point deadline,
+    std::chrono::steady_clock::time_point now) noexcept {
+    return deadline < now;
+}
+
+}  // namespace qfa::serve

@@ -1,5 +1,8 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <deque>
 #include <stdexcept>
 #include <utility>
 
@@ -18,12 +21,22 @@ std::exception_ptr engine_stopped() {
 
 Engine::Engine(cbr::CaseBase initial, EngineConfig config)
     : master_(std::move(initial)),
-      store_(make_generation(master_.epoch(), master_.snapshot(), master_.bounds())) {
+      store_(make_generation(master_.epoch(), master_.snapshot(), master_.bounds())),
+      admission_(config.admission) {
     QFA_EXPECTS(config.shard_count >= 1, "engine needs at least one shard");
     QFA_EXPECTS(config.queue_capacity >= 1, "engine needs a positive queue capacity");
+    // EDF mode hands the queue a deadline extractor; execute closures have
+    // no deadline and so always rank behind deadlined retrievals.
+    BoundedMpmcQueue<Job>::DeadlineFn deadline_of;
+    if (config.edf) {
+        deadline_of = [](const Job& job) -> std::optional<std::chrono::steady_clock::time_point> {
+            const RetrieveJob* retrieval = std::get_if<RetrieveJob>(&job);
+            return retrieval == nullptr ? std::nullopt : retrieval->cls.deadline;
+        };
+    }
     shards_.reserve(config.shard_count);
     for (std::size_t i = 0; i < config.shard_count; ++i) {
-        shards_.push_back(std::make_unique<Shard>(config.queue_capacity));
+        shards_.push_back(std::make_unique<Shard>(config.queue_capacity, deadline_of));
     }
     // Workers start only after every shard exists: shard_of indexes the
     // final vector.
@@ -47,15 +60,49 @@ void Engine::worker_loop(Shard& shard) {
         // observe it in the stats, and a stats() snapshot that includes
         // this completion also includes its submission.
         if (RetrieveJob* retrieval = std::get_if<RetrieveJob>(&*job)) {
+            // Drop-on-dequeue expiry: a deadline that *passed* while the job
+            // sat queued is a DeadlineExceeded resolution, never a silent
+            // drop and never a wasted retrieval.  The boundary is
+            // expired_on_dequeue's (d < now serves; d == now still serves).
+            if (retrieval->cls.deadline.has_value()) {
+                const auto now = std::chrono::steady_clock::now();
+                if (expired_on_dequeue(*retrieval->cls.deadline, now)) {
+                    expired_.fetch_add(1, std::memory_order_release);
+                    if (retrieval->tenant != nullptr) {
+                        retrieval->tenant->expired.fetch_add(1, std::memory_order_relaxed);
+                    }
+                    if (retrieval->counted_inflight) {
+                        inflight_.fetch_sub(1, std::memory_order_relaxed);
+                    }
+                    if (retrieval->cls.completed_at != nullptr) {
+                        *retrieval->cls.completed_at = now;
+                    }
+                    retrieval->promise.set_exception(
+                        std::make_exception_ptr(DeadlineExceeded{}));
+                    continue;
+                }
+            }
             const GenerationPtr pinned = store_.load();
             const cbr::Retriever retriever(pinned->case_base, pinned->bounds,
                                            pinned->compiled);
             shard.served.fetch_add(1, std::memory_order_release);
+            if (retrieval->tenant != nullptr) {
+                retrieval->tenant->served.fetch_add(1, std::memory_order_relaxed);
+            }
             try {
-                retrieval->promise.set_value(retriever.retrieve_compiled(
-                    retrieval->request, retrieval->options, &scratch));
+                cbr::RetrievalResult result = retriever.retrieve_compiled(
+                    retrieval->request, retrieval->options, &scratch);
+                // Stamp before set_value: the future's happens-before makes
+                // the stamp readable after get()/wait() returns.
+                if (retrieval->cls.completed_at != nullptr) {
+                    *retrieval->cls.completed_at = std::chrono::steady_clock::now();
+                }
+                retrieval->promise.set_value(std::move(result));
             } catch (...) {
                 retrieval->promise.set_exception(std::current_exception());
+            }
+            if (retrieval->counted_inflight) {
+                inflight_.fetch_sub(1, std::memory_order_relaxed);
             }
         } else {
             ExecuteJob& exec = std::get<ExecuteJob>(*job);
@@ -119,6 +166,233 @@ std::vector<std::future<cbr::RetrievalResult>> Engine::submit_batch(
     return futures;
 }
 
+std::vector<std::future<cbr::RetrievalResult>> Engine::submit_batch(
+    std::span<const cbr::Request> requests, std::span<const cbr::RetrievalOptions> options,
+    std::span<const JobClass> classes) {
+    if (classes.empty()) {
+        return submit_batch(requests, options);
+    }
+    if (requests.empty()) {
+        return {};
+    }
+    QFA_EXPECTS(options.size() == requests.size() || options.size() == 1,
+                "submit_batch needs one options set per request, or one for the batch");
+    QFA_EXPECTS(classes.size() == requests.size() || classes.size() == 1,
+                "submit_batch needs one class per request, one for the batch, or none");
+    // Same grouped shape as the unclassed overload; the class rides on the
+    // job so workers can expire, stamp and count per tenant.  Deadlines
+    // already infeasible here never enter a queue: their futures resolve
+    // with DeadlineExceeded immediately and they count as rejected.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::future<cbr::RetrievalResult>> futures;
+    futures.reserve(requests.size());
+    std::vector<std::vector<Job>> grouped(shards_.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const JobClass& cls = classes.size() == 1 ? classes[0] : classes[i];
+        TenantCounters& tenant = tenant_counters(cls.tenant);
+        RetrieveJob job{requests[i], options.size() == 1 ? options[0] : options[i], {}};
+        futures.push_back(job.promise.get_future());
+        if (cls.deadline.has_value() && admission_infeasible(*cls.deadline, now)) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            tenant.rejected.fetch_add(1, std::memory_order_relaxed);
+            job.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
+            continue;
+        }
+        job.cls = cls;
+        job.tenant = &tenant;
+        job.enqueued_at = now;
+        grouped[shard_of(requests[i].type())].push_back(Job{std::move(job)});
+    }
+    enqueue_grouped(grouped);
+    return futures;
+}
+
+Engine::TenantCounters& Engine::tenant_counters(TenantId tenant) {
+    std::lock_guard lock(tenant_mutex_);
+    std::unique_ptr<TenantCounters>& slot = tenants_[tenant];
+    if (slot == nullptr) {
+        slot = std::make_unique<TenantCounters>();
+    }
+    return *slot;
+}
+
+AdmissionResult Engine::count_rejected(AdmissionStatus status, const JobClass& cls) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    tenant_counters(cls.tenant).rejected.fetch_add(1, std::memory_order_relaxed);
+    return AdmissionResult{status, {}};
+}
+
+bool Engine::shed_one(Shard& shard, std::uint8_t incoming_priority) {
+    // Victim choice under the queue lock: only classed retrievals are
+    // sheddable (execute closures and unclassed closed-loop jobs are not),
+    // only STRICTLY lower priority than the incoming request (shedding a
+    // peer to admit a peer is churn, not triage), lowest priority first;
+    // among equals the tenant shed from least so far loses — the per-tenant
+    // debt ledger that keeps eviction spread across tenants.
+    std::optional<Job> victim = shard.queue.extract([&](const std::deque<Job>& items) {
+        std::size_t best = items.size();
+        std::uint8_t best_priority = 0;
+        std::uint64_t best_debt = 0;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            const RetrieveJob* candidate = std::get_if<RetrieveJob>(&items[i]);
+            if (candidate == nullptr || candidate->tenant == nullptr ||
+                candidate->cls.priority >= incoming_priority) {
+                continue;
+            }
+            const std::uint64_t debt =
+                candidate->tenant->shed_debt.load(std::memory_order_relaxed);
+            if (best == items.size() || candidate->cls.priority < best_priority ||
+                (candidate->cls.priority == best_priority && debt < best_debt)) {
+                best = i;
+                best_priority = candidate->cls.priority;
+                best_debt = debt;
+            }
+        }
+        return best;
+    });
+    if (!victim.has_value()) {
+        return false;
+    }
+    RetrieveJob& job = std::get<RetrieveJob>(*victim);
+    shed_.fetch_add(1, std::memory_order_release);
+    job.tenant->shed.fetch_add(1, std::memory_order_relaxed);
+    job.tenant->shed_debt.fetch_add(1, std::memory_order_relaxed);
+    if (job.counted_inflight) {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (job.cls.completed_at != nullptr) {
+        *job.cls.completed_at = std::chrono::steady_clock::now();
+    }
+    job.promise.set_exception(std::make_exception_ptr(LoadShed{}));
+    return true;
+}
+
+AdmissionResult Engine::try_admit(const cbr::Request& request,
+                                  const cbr::RetrievalOptions& options, const JobClass& cls) {
+    if (stopped_.load(std::memory_order_acquire)) {
+        return AdmissionResult{AdmissionStatus::shutting_down, {}};
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (cls.deadline.has_value() && admission_infeasible(*cls.deadline, now)) {
+        return AdmissionResult{AdmissionStatus::deadline_infeasible, {}};
+    }
+    if (admission_.max_inflight > 0 &&
+        inflight_.load(std::memory_order_relaxed) >= admission_.max_inflight) {
+        return AdmissionResult{AdmissionStatus::queue_full, {}};
+    }
+    Shard& shard = *shards_[shard_of(request.type())];
+    const bool shedding = admission_.policy == AdmissionPolicy::shed_lowest;
+    // Depth bound tighter than the queue capacity.  size() is advisory; a
+    // racing producer can slip past the check — the bound is a watermark,
+    // not a hard invariant, and the queue capacity backstops it.
+    if (admission_.max_queue_depth > 0 &&
+        shard.queue.size() >= admission_.max_queue_depth) {
+        if (!shedding || !shed_one(shard, cls.priority) ||
+            shard.queue.size() >= admission_.max_queue_depth) {
+            return AdmissionResult{AdmissionStatus::queue_full, {}};
+        }
+    }
+    // Proactive watermarks (shed_lowest only): trade queued low-priority
+    // work for headroom before the backlog saturates.
+    if (shedding && admission_.shed_depth_watermark > 0 &&
+        shard.queue.size() >= admission_.shed_depth_watermark) {
+        (void)shed_one(shard, cls.priority);
+    }
+    if (shedding && admission_.shed_latency_watermark.count() > 0) {
+        bool over = false;
+        // Read-only scan through extract: select nothing, observe the
+        // oldest queued retrieval's wait.
+        (void)shard.queue.extract([&](const std::deque<Job>& items) {
+            for (const Job& item : items) {
+                if (const RetrieveJob* oldest = std::get_if<RetrieveJob>(&item)) {
+                    over = now - oldest->enqueued_at > admission_.shed_latency_watermark;
+                    break;
+                }
+            }
+            return items.size();
+        });
+        if (over) {
+            (void)shed_one(shard, cls.priority);
+        }
+    }
+    TenantCounters& tenant = tenant_counters(cls.tenant);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        // The job takes a COPY of the request: a refused try_push_status
+        // destroys the job it consumed, and both the shed-retry below and
+        // submit_until's outer retries need the request again.  A request
+        // is a type id plus a handful of constraints — the copy is noise
+        // next to the clock reads on this path.
+        RetrieveJob job{request, options, {}};
+        std::future<cbr::RetrievalResult> future = job.promise.get_future();
+        job.cls = cls;
+        job.tenant = &tenant;
+        job.counted_inflight = true;
+        job.enqueued_at = now;
+        // Counted before the push so stats() never observes completions
+        // beyond submissions; refusals undo it, as in submit().
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+        const PushStatus status = shard.queue.try_push_status(Job{std::move(job)});
+        if (status == PushStatus::accepted) {
+            admitted_.fetch_add(1, std::memory_order_relaxed);
+            tenant.admitted.fetch_add(1, std::memory_order_relaxed);
+            return AdmissionResult{AdmissionStatus::admitted, std::move(future)};
+        }
+        submitted_.fetch_sub(1, std::memory_order_relaxed);
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        if (status == PushStatus::closed) {
+            return AdmissionResult{AdmissionStatus::shutting_down, {}};
+        }
+        // Full at hard capacity: under shed_lowest evict a victim and
+        // retry once; a second full (shed found nothing, or a racing
+        // producer refilled the slot) is final.
+        if (!shedding || attempt > 0 || !shed_one(shard, cls.priority)) {
+            break;
+        }
+    }
+    return AdmissionResult{AdmissionStatus::queue_full, {}};
+}
+
+AdmissionResult Engine::try_submit(cbr::Request request, cbr::RetrievalOptions options,
+                                   JobClass cls) {
+    AdmissionResult result = try_admit(request, options, cls);
+    if (!result.admitted()) {
+        return count_rejected(result.status, cls);
+    }
+    return result;
+}
+
+AdmissionResult Engine::submit_until(cbr::Request request, cbr::RetrievalOptions options,
+                                     std::chrono::steady_clock::time_point admit_by,
+                                     JobClass cls) {
+    // Retry on queue_full until admit_by, parking on the shard's depth
+    // between attempts rather than spinning.  Every other status is final
+    // immediately (shutting_down and deadline_infeasible cannot improve by
+    // waiting — well, a deadline cannot un-pass).  Counters move exactly
+    // once, on the final outcome: try_admit counts nothing on refusal.
+    Shard& shard = *shards_[shard_of(request.type())];
+    const std::size_t wait_depth = admission_.max_queue_depth > 0
+                                       ? std::min(admission_.max_queue_depth,
+                                                  shard.queue.capacity())
+                                       : shard.queue.capacity();
+    for (;;) {
+        AdmissionResult result = try_admit(request, options, cls);
+        if (result.admitted()) {
+            return result;
+        }
+        if (result.status != AdmissionStatus::queue_full ||
+            std::chrono::steady_clock::now() >= admit_by) {
+            return count_rejected(result.status, cls);
+        }
+        if (shard.queue.wait_below(wait_depth, admit_by)) {
+            // Depth is already fine, so the refusal was the inflight bound
+            // (or a lost race): brief backoff instead of a hot retry loop —
+            // workers signal progress through the queue, not the bound.
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    }
+}
+
 std::future<void> Engine::execute(std::size_t shard, std::function<void()> fn) {
     QFA_EXPECTS(shard < shards_.size(), "execute needs a shard index below shard_count()");
     QFA_EXPECTS(fn != nullptr, "execute needs a callable");
@@ -156,7 +430,9 @@ std::vector<std::future<void>> Engine::execute_batch(std::span<ShardTask> tasks)
         QFA_EXPECTS(task.fn != nullptr, "execute_batch needs callables");
         ExecuteJob job{std::move(task.fn), {}};
         futures.push_back(job.promise.get_future());
-        grouped[task.shard].push_back(Job{std::move(job)});
+        // In-place construction (not push_back(Job{...})): skips the
+        // variant move, which GCC 12 mis-analyzes across alternatives.
+        grouped[task.shard].emplace_back(std::in_place_type<ExecuteJob>, std::move(job));
     }
     enqueue_grouped(grouped);
     return futures;
@@ -278,6 +554,11 @@ EngineStats Engine::stats() const {
     stats.cow_plans_shared = cow_plans_shared_.load(std::memory_order_acquire);
     stats.cow_plans_published = cow_plans_published_.load(std::memory_order_relaxed);
     stats.executed = executed_.load(std::memory_order_acquire);
+    // All three completion-side counters (served / expired / shed) are
+    // acquired before `submitted` is read, so no snapshot can show
+    // served + expired + shed > submitted.
+    stats.expired = expired_.load(std::memory_order_acquire);
+    stats.shed = shed_.load(std::memory_order_acquire);
     stats.shard_served.reserve(shards_.size());
     for (const std::unique_ptr<Shard>& shard : shards_) {
         const std::uint64_t served = shard->served.load(std::memory_order_acquire);
@@ -285,6 +566,20 @@ EngineStats Engine::stats() const {
         stats.served += served;
     }
     stats.submitted = submitted_.load(std::memory_order_relaxed);
+    stats.admitted = admitted_.load(std::memory_order_relaxed);
+    stats.rejected = rejected_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard lock(tenant_mutex_);
+        for (const auto& [tenant, counters] : tenants_) {
+            EngineStats::TenantStats slice;
+            slice.served = counters->served.load(std::memory_order_acquire);
+            slice.expired = counters->expired.load(std::memory_order_acquire);
+            slice.shed = counters->shed.load(std::memory_order_acquire);
+            slice.admitted = counters->admitted.load(std::memory_order_relaxed);
+            slice.rejected = counters->rejected.load(std::memory_order_relaxed);
+            stats.tenants.emplace(tenant, slice);
+        }
+    }
     return stats;
 }
 

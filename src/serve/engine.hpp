@@ -45,9 +45,11 @@
 // workers.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -57,6 +59,7 @@
 
 #include "core/retain.hpp"
 #include "core/retrieval.hpp"
+#include "serve/admission.hpp"
 #include "serve/generation.hpp"
 #include "serve/queue.hpp"
 #include "util/rng.hpp"
@@ -67,20 +70,40 @@ namespace qfa::serve {
 struct EngineConfig {
     std::size_t shard_count = 4;      ///< worker threads / plan partitions
     std::size_t queue_capacity = 1024;  ///< per-shard backlog bound
+    AdmissionConfig admission;        ///< overload knobs for the try_submit path
+    /// Opt-in earliest-deadline-first dequeue per shard.  Changes only
+    /// *when* a queued job is served, never what it computes — each
+    /// completed retrieval stays bit-identical to FIFO's result for the
+    /// same request — but it relaxes execute()'s FIFO-interleaving
+    /// guarantee, so it is off by default.
+    bool edf = false;
 };
 
 /// Monotone counters (mirrors ManagerStats' role for the serve layer).
 ///
-/// Snapshot coherence: stats() reads the per-shard completion counters
-/// before `submitted`, with release/acquire ordering on the completion
-/// side, so any snapshot satisfies `served <= submitted` — a caller can
-/// treat `submitted - served` as the non-negative in-flight backlog.
-/// Counters are otherwise independently monotone; two snapshots taken
-/// around a mutation may disagree on how far each counter advanced.
+/// Snapshot coherence: stats() reads every completion-side counter
+/// (`served`, `expired`, `shed`) before `submitted`, with release/acquire
+/// ordering on the completion side, so any snapshot satisfies
+/// `served + expired + shed <= submitted` — a caller can treat
+/// `submitted - served - expired - shed` as the non-negative in-flight
+/// backlog.  Counters are otherwise independently monotone; two snapshots
+/// taken around a mutation may disagree on how far each counter advanced.
 struct EngineStats {
+    /// Per-tenant outcome slice (admission-path traffic carries a TenantId;
+    /// the blocking closed-loop paths land on tenant 0 only when they pass
+    /// JobClasses).
+    struct TenantStats {
+        std::uint64_t admitted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t expired = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t served = 0;
+    };
+
     std::uint64_t submitted = 0;        ///< jobs accepted into a queue
     std::uint64_t served = 0;           ///< jobs completed by workers
-                                        ///< (retrievals and executes)
+                                        ///< (retrievals and executes); expired
+                                        ///< and shed jobs are NOT served
     std::uint64_t executed = 0;         ///< execute()/execute_batch closures
                                         ///< completed (subset of `served`)
     std::uint64_t retains = 0;          ///< successful retain() calls
@@ -95,7 +118,15 @@ struct EngineStats {
     /// bounds keep forcing clones.
     std::uint64_t cow_plans_shared = 0;     ///< plans aliased across publishes
     std::uint64_t cow_plans_published = 0;  ///< plans carried by publishes
+    // Overload pipeline (admission → expiry → shed; serve/admission.hpp):
+    std::uint64_t admitted = 0;  ///< accepted by try_submit/submit_until
+                                 ///< (subset of `submitted`)
+    std::uint64_t rejected = 0;  ///< typed admission refusals — these never
+                                 ///< entered a queue and are NOT in `submitted`
+    std::uint64_t expired = 0;   ///< dropped on dequeue past their deadline
+    std::uint64_t shed = 0;      ///< evicted from a backlog by the shedder
     std::vector<std::uint64_t> shard_served;  ///< per-shard completion counts
+    std::map<TenantId, TenantStats> tenants;  ///< per-tenant outcome slices
 };
 
 class Engine {
@@ -161,6 +192,39 @@ public:
         return submit_batch(requests, std::span<const cbr::RetrievalOptions>(&options, 1));
     }
 
+    /// Classed bulk enqueue: submit_batch plus per-request SLO classes
+    /// (tenant, priority, deadline, completion stamp).  Still the blocking
+    /// closed-loop path — producers wait at capacity — but workers now
+    /// honor deadlines: a request infeasible already at submission resolves
+    /// immediately with DeadlineExceeded (counted rejected), and one whose
+    /// deadline passes while queued resolves with DeadlineExceeded at
+    /// dequeue (counted expired).  `classes` is per-request, one broadcast
+    /// element, or empty (= unclassed, exactly the 2-arg overload).
+    [[nodiscard]] std::vector<std::future<cbr::RetrievalResult>> submit_batch(
+        std::span<const cbr::Request> requests,
+        std::span<const cbr::RetrievalOptions> options, std::span<const JobClass> classes);
+
+    /// Non-blocking admission (the open-loop path): never waits at
+    /// capacity.  Refusals are typed — queue_full (backlog or inflight
+    /// bound hit, after shedding under AdmissionPolicy::shed_lowest),
+    /// shutting_down, deadline_infeasible (cls.deadline <= now) — and a
+    /// refused result carries NO future: the status is the whole answer and
+    /// the request never entered a queue.  Admitted requests resolve like
+    /// submit()'s, or with DeadlineExceeded / LoadShed when the overload
+    /// pipeline drops them later (never silently).
+    [[nodiscard]] AdmissionResult try_submit(cbr::Request request,
+                                             cbr::RetrievalOptions options = {},
+                                             JobClass cls = {});
+
+    /// try_submit with patience: blocks on a full backlog, but only until
+    /// `admit_by`.  Still full then → queue_full.  All counters move once,
+    /// at the final outcome, regardless of how many internal retries the
+    /// wait took.
+    [[nodiscard]] AdmissionResult submit_until(cbr::Request request,
+                                               cbr::RetrievalOptions options,
+                                               std::chrono::steady_clock::time_point admit_by,
+                                               JobClass cls = {});
+
     /// One type-erased closure bound for one shard (execute_batch input).
     struct ShardTask {
         std::size_t shard = 0;      ///< must be < shard_count()
@@ -225,11 +289,30 @@ public:
     void shutdown();
 
 private:
+    /// Per-tenant atomic outcome counters, materialized on first use and
+    /// owned by tenants_ (stable addresses: jobs carry the raw pointer so
+    /// workers and the shedder never touch the map or its mutex).
+    /// shed_debt is the fairness ledger: the shedder picks its victim from
+    /// the tenant shed from LEAST so far, spreading eviction across tenants
+    /// instead of starving whichever one is easiest to hit.
+    struct TenantCounters {
+        std::atomic<std::uint64_t> admitted{0};
+        std::atomic<std::uint64_t> rejected{0};
+        std::atomic<std::uint64_t> expired{0};
+        std::atomic<std::uint64_t> shed{0};
+        std::atomic<std::uint64_t> served{0};
+        std::atomic<std::uint64_t> shed_debt{0};
+    };
+
     /// A queued n-best retrieval (the original job kind).
     struct RetrieveJob {
         cbr::Request request;
         cbr::RetrievalOptions options;
         std::promise<cbr::RetrievalResult> promise;
+        JobClass cls{};                    ///< tenant / priority / deadline / stamp
+        TenantCounters* tenant = nullptr;  ///< null = unclassed (never shed)
+        bool counted_inflight = false;     ///< admitted via try_submit/submit_until
+        std::chrono::steady_clock::time_point enqueued_at{};  ///< latency watermark input
     };
 
     /// A queued type-erased closure (the run-on-shard job kind).  The
@@ -246,7 +329,8 @@ private:
     using Job = std::variant<RetrieveJob, ExecuteJob>;
 
     struct Shard {
-        explicit Shard(std::size_t capacity) : queue(capacity) {}
+        Shard(std::size_t capacity, BoundedMpmcQueue<Job>::DeadlineFn deadline_of)
+            : queue(capacity, std::move(deadline_of)) {}
         BoundedMpmcQueue<Job> queue;
         std::thread worker;
         std::atomic<std::uint64_t> served{0};
@@ -258,6 +342,24 @@ private:
     /// by a closed queue resolve their promises to the shut-down error.
     void enqueue_grouped(std::vector<std::vector<Job>>& grouped);
 
+    /// Counters for `tenant`, materializing them on first use.
+    TenantCounters& tenant_counters(TenantId tenant);
+
+    /// One admission attempt.  Counts no rejection and does not consume
+    /// `request` (the job copies it) so submit_until can retry; the public
+    /// entry points count the final outcome exactly once.
+    AdmissionResult try_admit(const cbr::Request& request,
+                              const cbr::RetrievalOptions& options, const JobClass& cls);
+
+    /// Evicts the lowest-priority queued retrieval strictly below
+    /// `incoming_priority` from `shard` (ties: least-shed tenant, then
+    /// oldest).  The victim's future resolves with LoadShed.  False when no
+    /// sheddable job exists.
+    bool shed_one(Shard& shard, std::uint8_t incoming_priority);
+
+    /// Books one refusal (global + tenant) and wraps it as a result.
+    AdmissionResult count_rejected(AdmissionStatus status, const JobClass& cls);
+
     /// Builds and publishes the successor generation for a mutation of
     /// `changed`.  Caller holds writer_mutex_.
     void publish_locked(cbr::TypeId changed);
@@ -265,10 +367,18 @@ private:
     cbr::DynamicCaseBase master_;   ///< writer-side truth; guarded by writer_mutex_
     PlanStore store_;               ///< reader-side publication point
     std::vector<std::unique_ptr<Shard>> shards_;
+    AdmissionConfig admission_;
     mutable std::mutex writer_mutex_;
     std::mutex shutdown_mutex_;
+    mutable std::mutex tenant_mutex_;  ///< guards tenants_ (the map, not the counters)
+    std::map<TenantId, std::unique_ptr<TenantCounters>> tenants_;
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> expired_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> inflight_{0};  ///< admission-path jobs unresolved
     std::atomic<std::uint64_t> retains_{0};
     std::atomic<std::uint64_t> published_epochs_{0};
     std::atomic<std::uint64_t> cow_plans_shared_{0};

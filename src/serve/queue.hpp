@@ -7,9 +7,19 @@
 // lock-free ring: one retrieval costs microseconds (a full column sweep per
 // constraint), so enqueue overhead is noise, and the monitor form is
 // trivially correct under ThreadSanitizer.  Capacity bounds give
-// backpressure: a producer outrunning the shards blocks instead of growing
-// an unbounded backlog (the admission analogue of §3's "reject requests the
-// platform cannot serve").
+// backpressure; the admission layer (serve/engine.hpp) chooses per call
+// whether a producer at capacity blocks (push), blocks up to a deadline
+// (push_until) or is refused immediately with a typed reason
+// (try_push_status) — the §3 "reject requests the platform cannot serve"
+// analogue under overload.
+//
+// Ordering.  The default discipline is FIFO.  A queue constructed with a
+// deadline extractor instead pops earliest-deadline-first (EDF): the item
+// whose extracted deadline is smallest is served next; items without a
+// deadline rank as infinitely late, and all ties (including every
+// no-deadline item) break towards arrival order.  EDF only reorders *when*
+// an item is popped, never what it contains — consumers that compute pure
+// functions of the items produce the same per-item results either way.
 //
 // Thread safety: every member is safe to call from any number of producer
 // and consumer threads concurrently.  close() wakes all waiters; items
@@ -17,9 +27,11 @@
 // are refused.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -29,10 +41,27 @@
 
 namespace qfa::serve {
 
+/// Why a bounded push did or did not enqueue its item.
+enum class PushStatus : std::uint8_t {
+    accepted,   ///< the item is in the queue
+    full,       ///< refused: at capacity (try_push_status only)
+    timed_out,  ///< refused: still full at the deadline (push_until only)
+    closed,     ///< refused: the queue no longer accepts work
+};
+
 template <typename T>
 class BoundedMpmcQueue {
 public:
-    explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    /// Optional EDF hook: extracts an item's deadline (nullopt = none —
+    /// ranks after every deadlined item, in arrival order).
+    using DeadlineFn =
+        std::function<std::optional<std::chrono::steady_clock::time_point>(const T&)>;
+
+    /// FIFO by default; passing a deadline extractor makes the queue
+    /// EDF-ordered — pop() serves the earliest extracted deadline first
+    /// (see the header comment for the tie rules).
+    explicit BoundedMpmcQueue(std::size_t capacity, DeadlineFn deadline_of = nullptr)
+        : capacity_(capacity), deadline_of_(std::move(deadline_of)) {
         QFA_EXPECTS(capacity >= 1, "queue capacity must be at least 1");
     }
 
@@ -96,26 +125,92 @@ public:
 
     /// Non-blocking push; false when full or closed.
     bool try_push(T item) {
+        return try_push_status(std::move(item)) == PushStatus::accepted;
+    }
+
+    /// Non-blocking push with a typed refusal reason — the admission
+    /// layer's primitive: `full` and `closed` need different answers to
+    /// the caller (retry-later vs give-up).  The item is dropped on
+    /// refusal, exactly as in push().
+    PushStatus try_push_status(T item) {
         {
             std::lock_guard lock(mutex_);
-            if (closed_ || items_.size() >= capacity_) {
-                return false;
+            if (closed_) {
+                return PushStatus::closed;
+            }
+            if (items_.size() >= capacity_) {
+                return PushStatus::full;
             }
             items_.push_back(std::move(item));
         }
         not_empty_.notify_one();
-        return true;
+        return PushStatus::accepted;
+    }
+
+    /// Deadline-bounded push: blocks while the queue is full, but only
+    /// until `deadline` — the middle ground between push() (may wait
+    /// forever) and try_push_status() (never waits).  timed_out when the
+    /// queue was still full at the deadline; closed when it was closed
+    /// first; the item is dropped on either refusal.
+    PushStatus push_until(T item, std::chrono::steady_clock::time_point deadline) {
+        std::unique_lock lock(mutex_);
+        if (!not_full_.wait_until(lock, deadline,
+                                  [&] { return items_.size() < capacity_ || closed_; })) {
+            return PushStatus::timed_out;
+        }
+        if (closed_) {
+            return PushStatus::closed;
+        }
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return PushStatus::accepted;
+    }
+
+    /// Waits until the depth drops below `depth`, the queue closes, or the
+    /// deadline passes; true when depth < `depth` held at return.  Purely
+    /// advisory — a racing producer may refill the freed slot before the
+    /// caller acts on the answer (admission layers re-check under
+    /// try_push_status and loop).
+    bool wait_below(std::size_t depth, std::chrono::steady_clock::time_point deadline) {
+        std::unique_lock lock(mutex_);
+        (void)not_full_.wait_until(lock, deadline,
+                                   [&] { return items_.size() < depth || closed_; });
+        return items_.size() < depth;
     }
 
     /// Blocks while the queue is empty; nullopt once closed *and* drained.
+    /// FIFO queues serve arrival order; EDF queues serve the earliest
+    /// extracted deadline (header comment).
     std::optional<T> pop() {
         std::unique_lock lock(mutex_);
         not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
         if (items_.empty()) {
             return std::nullopt;  // closed and fully drained
         }
-        T item = std::move(items_.front());
-        items_.pop_front();
+        const std::size_t slot = deadline_of_ == nullptr ? 0 : earliest_locked();
+        T item = std::move(items_[slot]);
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(slot));
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Removes and returns the queued item `select` picks, or nullopt when
+    /// it picks none.  `select` receives the queue's items (front = oldest)
+    /// under the lock and returns an index, or >= size() for "none" —
+    /// it must not touch the queue and should be O(n) at worst.  The load
+    /// shedder uses this to pull the lowest-priority victim out of a deep
+    /// backlog; the freed slot wakes one blocked producer.
+    template <typename Select>
+    std::optional<T> extract(Select&& select) {
+        std::unique_lock lock(mutex_);
+        const std::size_t slot = select(static_cast<const std::deque<T>&>(items_));
+        if (slot >= items_.size()) {
+            return std::nullopt;
+        }
+        T item = std::move(items_[slot]);
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(slot));
         lock.unlock();
         not_full_.notify_one();
         return item;
@@ -137,19 +232,47 @@ public:
         return closed_;
     }
 
+    /// Advisory depth observer: exact at the instant the lock was held,
+    /// stale the instant it returns — watermark shedders and admission
+    /// checks treat it as a hint and re-check where exactness matters.
+    /// Coherence guarantee: every observation is in [0, capacity()], and
+    /// with only pushes (or only pops) running, consecutive observations
+    /// from one thread are monotone.
     [[nodiscard]] std::size_t size() const {
         std::lock_guard lock(mutex_);
         return items_.size();
     }
 
+    /// Immutable bound; together with size() this is the advisory depth
+    /// pair the engine's watermark shedder reads.
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
 private:
+    /// Index of the earliest-deadline item (EDF mode).  Caller holds the
+    /// lock; items_ is non-empty.  No-deadline items rank infinitely late;
+    /// all ties break towards the smaller index (arrival order).
+    [[nodiscard]] std::size_t earliest_locked() const {
+        std::size_t best = 0;
+        std::optional<std::chrono::steady_clock::time_point> best_deadline =
+            deadline_of_(items_[0]);
+        for (std::size_t i = 1; i < items_.size(); ++i) {
+            const std::optional<std::chrono::steady_clock::time_point> deadline =
+                deadline_of_(items_[i]);
+            if (deadline.has_value() &&
+                (!best_deadline.has_value() || *deadline < *best_deadline)) {
+                best = i;
+                best_deadline = deadline;
+            }
+        }
+        return best;
+    }
+
     mutable std::mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::deque<T> items_;
     std::size_t capacity_;
+    DeadlineFn deadline_of_;  ///< nullptr = FIFO; set = EDF ordering
     bool closed_ = false;
 };
 

@@ -1,0 +1,239 @@
+#include "workload/openloop.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "serve/engine.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace qfa::wl {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+double to_seconds(steady::duration d) {
+    return std::chrono::duration<double>(d).count();
+}
+
+steady::duration from_seconds(double s) {
+    return std::chrono::duration_cast<steady::duration>(std::chrono::duration<double>(s));
+}
+
+/// Rate multiplier at schedule offset `t` seconds: `factor` inside each
+/// burst window, 1 outside.
+double burst_factor_at(const BurstConfig& burst, double t) {
+    if (burst.factor == 1.0 || burst.length.count() <= 0) {
+        return 1.0;
+    }
+    const double period = to_seconds(burst.period);
+    if (period <= 0.0) {
+        return 1.0;
+    }
+    return std::fmod(t, period) < to_seconds(burst.length) ? burst.factor : 1.0;
+}
+
+/// Nearest-rank percentile over an ASCENDING latency list (non-empty).
+steady::duration percentile(const std::vector<steady::duration>& sorted, double q) {
+    const std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size()));
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+ArrivalSchedule build_schedule(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                               std::vector<OpenLoopTenant> tenants,
+                               const OpenLoopConfig& config) {
+    QFA_EXPECTS(!tenants.empty(), "open-loop traffic needs at least one tenant");
+    QFA_EXPECTS(config.duration.count() > 0, "open-loop duration must be positive");
+    util::Rng root(config.seed);
+    ArrivalSchedule schedule;
+    schedule.tenants = std::move(tenants);
+    const double horizon = to_seconds(config.duration);
+    // One Rng child per tenant IN TENANT ORDER: a tenant's whole sub-stream
+    // (inter-arrival gaps, Zipf ranks, request perturbations) is a pure
+    // function of (seed, tenant position) — adding a tenant at the end
+    // never changes the earlier tenants' tapes.
+    for (std::size_t t = 0; t < schedule.tenants.size(); ++t) {
+        const OpenLoopTenant& tenant = schedule.tenants[t];
+        QFA_EXPECTS(tenant.arrival_rate_hz > 0.0, "tenant arrival rate must be positive");
+        util::Rng rng = root.split();
+        const RequestStreamBuilder builder(cb, bounds, tenant.request_gen);
+        const ZipfSampler zipf(builder.implemented_types().size(), tenant.zipf_s);
+        // Inhomogeneous Poisson process: exponential gaps at the burst-
+        // scaled instantaneous rate (piecewise-constant thinning).
+        double now = 0.0;
+        for (;;) {
+            const double rate = tenant.arrival_rate_hz * burst_factor_at(config.burst, now);
+            now += rng.exponential(rate);
+            if (now >= horizon) {
+                break;
+            }
+            // Zipf rank first, then the request's own draws — one fixed
+            // consumption order per arrival.
+            const std::size_t rank = zipf.sample(rng);
+            schedule.arrivals.push_back(
+                Arrival{from_seconds(now), t, builder.at_rank(rank, rng)});
+        }
+    }
+    // Merge the per-tenant tapes into one arrival-ordered tape.  stable_sort
+    // keeps equal-timestamp arrivals in tenant order — full determinism.
+    std::stable_sort(schedule.arrivals.begin(), schedule.arrivals.end(),
+                     [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
+    return schedule;
+}
+
+OpenLoopReport run_open_loop(serve::Engine& engine, const ArrivalSchedule& schedule,
+                             const OpenLoopConfig& config) {
+    const std::size_t n = schedule.arrivals.size();
+    OpenLoopReport report;
+    report.records.resize(n);
+    report.tenants.resize(schedule.tenants.size());
+    for (std::size_t t = 0; t < schedule.tenants.size(); ++t) {
+        report.tenants[t].tenant = schedule.tenants[t].tenant;
+    }
+    if (n == 0) {
+        return report;
+    }
+
+    // Per-arrival slots, each written by exactly one thread at a time:
+    // producers fill futures/submit_at for their own arrivals, workers
+    // stamp completed_at (read only after the future resolves — the
+    // promise's happens-before covers the stamp).
+    std::vector<std::future<cbr::RetrievalResult>> futures(n);
+    std::vector<steady::time_point> completed_at(n);
+    std::vector<steady::time_point> submit_at(n);
+    std::vector<serve::AdmissionStatus> admission(n, serve::AdmissionStatus::shutting_down);
+
+    // Partition the tape per tenant; each tenant gets one producer thread
+    // replaying its own arrivals in schedule order.
+    std::vector<std::vector<std::size_t>> owned(schedule.tenants.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        owned[schedule.arrivals[i].tenant_index].push_back(i);
+    }
+
+    // Start barrier: every producer parks until all of them exist, then the
+    // replay clock starts for everyone at once.  Without it, thread-creation
+    // skew lets the first tenant flood (or pace) its whole tape before the
+    // last tenant's thread has even started — which reads as per-tenant
+    // starvation the engine never caused.
+    std::promise<steady::time_point> go;
+    std::shared_future<steady::time_point> start_signal = go.get_future().share();
+    std::atomic<std::size_t> ready{0};
+    std::vector<std::thread> producers;
+    producers.reserve(schedule.tenants.size());
+    for (std::size_t t = 0; t < schedule.tenants.size(); ++t) {
+        producers.emplace_back([&, t, start_signal] {
+            ready.fetch_add(1, std::memory_order_release);
+            const steady::time_point start = start_signal.get();
+            const OpenLoopTenant& tenant = schedule.tenants[t];
+            for (const std::size_t i : owned[t]) {
+                const Arrival& arrival = schedule.arrivals[i];
+                const steady::time_point scheduled = start + arrival.at;
+                if (config.paced) {
+                    std::this_thread::sleep_until(scheduled);
+                }
+                const steady::time_point submitted = steady::now();
+                // Latency clock: the *scheduled* arrival when pacing (a
+                // late producer is the system's fault — coordinated
+                // omission), the actual submission when flooding (there is
+                // no meaningful schedule under a flood).
+                submit_at[i] = config.paced ? scheduled : submitted;
+                serve::JobClass cls;
+                cls.tenant = tenant.tenant;
+                cls.priority = tenant.priority;
+                if (tenant.relative_deadline.has_value()) {
+                    cls.deadline = submit_at[i] + *tenant.relative_deadline;
+                }
+                cls.completed_at = &completed_at[i];
+                serve::AdmissionResult result =
+                    engine.try_submit(arrival.generated.request, config.options, cls);
+                admission[i] = result.status;
+                if (result.admitted()) {
+                    futures[i] = std::move(result.future);
+                }
+                if (!config.paced) {
+                    // Flood mode rotates producers after every submission.
+                    // Floods finish in milliseconds — shorter than one
+                    // scheduler quantum — so on few-core hosts an unyielding
+                    // producer submits its whole tape alone, and the
+                    // resulting per-tenant skew is the *generator's*
+                    // scheduling artifact, not the engine's admission
+                    // behavior.  The yield keeps the offered load interleaved
+                    // the way distinct open-loop sources actually are.
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    while (ready.load(std::memory_order_acquire) < producers.size()) {
+        std::this_thread::yield();
+    }
+    go.set_value(steady::now());
+    for (std::thread& producer : producers) {
+        producer.join();
+    }
+
+    // Resolve every admitted future.  Each arrival lands in exactly one
+    // outcome class; nothing resolves silently (serve/admission.hpp).
+    std::vector<steady::duration> latencies;
+    latencies.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ArrivalRecord& record = report.records[i];
+        TenantReport& tenant = report.tenants[schedule.arrivals[i].tenant_index];
+        ++report.submitted;
+        ++tenant.submitted;
+        if (!futures[i].valid()) {
+            record.outcome = ArrivalOutcome::rejected;
+            ++report.rejected;
+            ++tenant.rejected;
+            continue;
+        }
+        try {
+            record.result = futures[i].get();
+            record.outcome = ArrivalOutcome::served;
+            record.latency = completed_at[i] - submit_at[i];
+            ++report.served;
+            ++tenant.served;
+            latencies.push_back(record.latency);
+            if (config.slo.count() <= 0 || record.latency <= config.slo) {
+                ++report.good;
+                ++tenant.good;
+            }
+        } catch (const serve::DeadlineExceeded&) {
+            record.outcome = ArrivalOutcome::expired;
+            ++report.expired;
+            ++tenant.expired;
+        } catch (const serve::LoadShed&) {
+            record.outcome = ArrivalOutcome::shed;
+            ++report.shed;
+            ++tenant.shed;
+        } catch (const std::runtime_error&) {
+            // Engine shut down under the admitted job: the future resolved
+            // with the broken-engine error — count it as rejected so the
+            // outcome identity still balances.
+            record.outcome = ArrivalOutcome::rejected;
+            ++report.rejected;
+            ++tenant.rejected;
+        }
+    }
+
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        report.p50 = percentile(latencies, 0.50);
+        report.p99 = percentile(latencies, 0.99);
+        report.p999 = percentile(latencies, 0.999);
+    }
+    QFA_ASSERT(report.served + report.rejected + report.expired + report.shed ==
+                   report.submitted,
+               "every open-loop arrival must land in exactly one outcome class");
+    return report;
+}
+
+}  // namespace qfa::wl

@@ -1,0 +1,152 @@
+// Open-loop multi-tenant traffic harness for the serve engine.
+//
+// Every existing driver in this repo is CLOSED-loop: a producer submits,
+// blocks at queue capacity, and only offers the next request after the
+// system made room — so offered load can never exceed capacity and the
+// engine is never actually overloaded.  Real traffic is OPEN-loop: arrivals
+// happen on the clock (Poisson processes per tenant, §5's "several
+// applications"), whether or not the system kept up, and sustained offered
+// load beyond capacity is the steady state this harness exists to create.
+// The engine's overload pipeline (serve/admission.hpp: typed rejection →
+// deadline expiry → priority shedding) is what it exercises; the report
+// measures what SLO-minded operators measure — p50/p99/p999 latency of
+// served requests and goodput-under-SLO per tenant — with latency clocked
+// from the *scheduled* arrival when pacing, so queue-building slowdowns are
+// charged to the system, not hidden by a stalled generator (coordinated
+// omission).
+//
+// Determinism: the arrival schedule — every request, tenant, timestamp —
+// is built up front by build_schedule() as a pure function of
+// (catalogue, tenants, config.seed); replaying it never consults an Rng.
+// Which requests get served/shed/expired under real concurrency is NOT
+// deterministic (that is the point of overload), but the outcome *counts*
+// always satisfy served + rejected + expired + shed == submitted, and each
+// served result is bit-identical to the closed-loop reference for the same
+// generated request.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/retrieval.hpp"
+#include "serve/admission.hpp"
+#include "workload/requests.hpp"
+#include "workload/zipf.hpp"
+
+namespace qfa::serve {
+class Engine;
+}  // namespace qfa::serve
+
+namespace qfa::wl {
+
+/// One traffic source: a tenant with its own rate, popularity skew, SLO
+/// class and generation knobs.
+struct OpenLoopTenant {
+    serve::TenantId tenant = 0;
+    double arrival_rate_hz = 1000.0;  ///< mean Poisson rate (events/sec)
+    double zipf_s = 1.0;              ///< popularity skew over implemented types
+    std::uint8_t priority = 10;       ///< shedding rank (higher survives)
+    /// Deadline assigned to each request, relative to its arrival
+    /// (nullopt = no deadline: never expires, only sheddable).
+    std::optional<std::chrono::steady_clock::duration> relative_deadline = std::nullopt;
+    RequestGenConfig request_gen;
+};
+
+/// Periodic rate multiplier: every `period`, arrivals run at
+/// `factor` x the base rate for `length` (factor 1 or length 0 = no bursts).
+struct BurstConfig {
+    double factor = 1.0;
+    std::chrono::steady_clock::duration period{std::chrono::seconds(1)};
+    std::chrono::steady_clock::duration length{std::chrono::milliseconds(100)};
+};
+
+/// Harness knobs.
+struct OpenLoopConfig {
+    std::uint64_t seed = 0x510;  ///< schedule determinism root
+    std::chrono::steady_clock::duration duration{std::chrono::milliseconds(200)};
+    BurstConfig burst;
+    /// SLO bound for goodput accounting: a served request is GOOD if its
+    /// latency is within this (zero = every served request is good).
+    std::chrono::steady_clock::duration slo{0};
+    cbr::RetrievalOptions options;
+    /// true: replay on the schedule's clock (arrival timestamps honored —
+    /// offered load is the configured rates).  false: flood — submit every
+    /// arrival as fast as the producers can, which guarantees overload on
+    /// any machine; latency is then clocked from actual submission.
+    bool paced = true;
+};
+
+/// One scheduled arrival (schedule order = arrival-time order).
+struct Arrival {
+    std::chrono::steady_clock::duration at{};  ///< offset from replay start
+    std::size_t tenant_index = 0;              ///< into ArrivalSchedule::tenants
+    GeneratedRequest generated;
+};
+
+/// The precomputed, deterministic traffic tape.
+struct ArrivalSchedule {
+    std::vector<OpenLoopTenant> tenants;
+    std::vector<Arrival> arrivals;  ///< sorted by `at`
+};
+
+/// Builds the full arrival tape: per tenant an independent Poisson process
+/// (thinned by the burst profile) with Zipf-skewed type popularity, all
+/// from rng children split off `config.seed` — byte-for-byte reproducible,
+/// independent of thread scheduling, and never consulted again at replay.
+[[nodiscard]] ArrivalSchedule build_schedule(const cbr::CaseBase& cb,
+                                             const cbr::BoundsTable& bounds,
+                                             std::vector<OpenLoopTenant> tenants,
+                                             const OpenLoopConfig& config);
+
+/// Per-request outcome classes, mirroring serve/admission.hpp's taxonomy.
+enum class ArrivalOutcome : std::uint8_t { served, rejected, expired, shed };
+
+/// What happened to one scheduled arrival.
+struct ArrivalRecord {
+    ArrivalOutcome outcome = ArrivalOutcome::rejected;
+    std::chrono::steady_clock::duration latency{};  ///< served only
+    cbr::RetrievalResult result;                    ///< served only
+};
+
+/// Aggregates for one tenant.
+struct TenantReport {
+    serve::TenantId tenant = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t good = 0;  ///< served within the SLO bound
+};
+
+/// The harness result.  Invariant (asserted by run()):
+/// served + rejected + expired + shed == submitted — every arrival has
+/// exactly one outcome, nothing is dropped silently.
+struct OpenLoopReport {
+    std::uint64_t submitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t good = 0;
+    std::chrono::steady_clock::duration p50{};   ///< served-latency percentiles
+    std::chrono::steady_clock::duration p99{};
+    std::chrono::steady_clock::duration p999{};
+    std::vector<TenantReport> tenants;
+    /// records[i] is arrival i's outcome — the self-check input for
+    /// bit-identity against a closed-loop reference replay.
+    std::vector<ArrivalRecord> records;
+};
+
+/// Replays `schedule` against `engine` with one producer thread per tenant,
+/// submitting through Engine::try_submit only (never blocking the clock),
+/// and waits for every admitted future before reporting.  See the header
+/// comment for the latency/goodput semantics.
+[[nodiscard]] OpenLoopReport run_open_loop(serve::Engine& engine,
+                                           const ArrivalSchedule& schedule,
+                                           const OpenLoopConfig& config);
+
+}  // namespace qfa::wl

@@ -49,38 +49,63 @@ GeneratedRequest generate_request(const cbr::CaseBase& cb, const cbr::BoundsTabl
     return GeneratedRequest{cbr::Request(type, std::move(constraints)), type, target.id};
 }
 
-std::vector<GeneratedRequest> generate_request_batch(const cbr::CaseBase& cb,
-                                                     const cbr::BoundsTable& bounds,
-                                                     std::size_t count, util::Rng& rng,
-                                                     const RequestGenConfig& config) {
-    std::vector<cbr::TypeId> implemented;
+RequestStreamBuilder::RequestStreamBuilder(const cbr::CaseBase& cb,
+                                           const cbr::BoundsTable& bounds,
+                                           RequestGenConfig config)
+    : cb_(&cb), bounds_(&bounds), config_(config) {
     for (const cbr::FunctionType& type : cb.types()) {
         if (!type.impls.empty()) {
-            implemented.push_back(type.id);
+            implemented_.push_back(type.id);
         }
     }
-    QFA_EXPECTS(!implemented.empty(), "batch generation needs an implemented type");
+    QFA_EXPECTS(!implemented_.empty(), "request generation needs an implemented type");
+}
 
+GeneratedRequest RequestStreamBuilder::one(util::Rng& rng) const {
+    // Draw order (type index, then the request's own draws) is pinned: it
+    // is what generate_request_batch has always consumed per item.
+    const cbr::TypeId type = implemented_[rng.index(implemented_.size())];
+    return generate_request(*cb_, *bounds_, type, rng, config_);
+}
+
+GeneratedRequest RequestStreamBuilder::at_rank(std::size_t rank, util::Rng& rng) const {
+    QFA_EXPECTS(rank < implemented_.size(), "Zipf rank must index an implemented type");
+    return generate_request(*cb_, *bounds_, implemented_[rank], rng, config_);
+}
+
+std::vector<GeneratedRequest> RequestStreamBuilder::batch(std::size_t count,
+                                                          util::Rng& rng) const {
     std::vector<GeneratedRequest> batch;
     batch.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-        const cbr::TypeId type = implemented[rng.index(implemented.size())];
-        batch.push_back(generate_request(cb, bounds, type, rng, config));
+        batch.push_back(one(rng));
     }
     return batch;
 }
 
-std::vector<std::vector<GeneratedRequest>> generate_request_streams(
-    const cbr::CaseBase& cb, const cbr::BoundsTable& bounds, std::size_t streams,
-    std::size_t per_stream, util::Rng& rng, const RequestGenConfig& config) {
+std::vector<std::vector<GeneratedRequest>> RequestStreamBuilder::streams(
+    std::size_t streams, std::size_t per_stream, util::Rng& rng) const {
     QFA_EXPECTS(streams >= 1, "stream generation needs at least one stream");
     std::vector<std::vector<GeneratedRequest>> out;
     out.reserve(streams);
     for (std::size_t i = 0; i < streams; ++i) {
         util::Rng child = rng.split();
-        out.push_back(generate_request_batch(cb, bounds, per_stream, child, config));
+        out.push_back(batch(per_stream, child));
     }
     return out;
+}
+
+std::vector<GeneratedRequest> generate_request_batch(const cbr::CaseBase& cb,
+                                                     const cbr::BoundsTable& bounds,
+                                                     std::size_t count, util::Rng& rng,
+                                                     const RequestGenConfig& config) {
+    return RequestStreamBuilder(cb, bounds, config).batch(count, rng);
+}
+
+std::vector<std::vector<GeneratedRequest>> generate_request_streams(
+    const cbr::CaseBase& cb, const cbr::BoundsTable& bounds, std::size_t streams,
+    std::size_t per_stream, util::Rng& rng, const RequestGenConfig& config) {
+    return RequestStreamBuilder(cb, bounds, config).streams(streams, per_stream, rng);
 }
 
 }  // namespace qfa::wl

@@ -36,6 +36,54 @@ struct GeneratedRequest {
     cbr::ImplId intended;  ///< the perturbation source
 };
 
+/// The ONE seeded request factory behind every generator in this header
+/// (and the open-loop driver, workload/openloop.hpp).  Binds catalogue,
+/// bounds and config once, precomputes the implemented-type list — the only
+/// derived state the generators share — and then draws purely from the Rng
+/// the caller passes: a builder is stateless across calls, so any schedule
+/// built through it is a byte-for-byte function of (catalogue, config, rng
+/// state), regardless of which entry point or how many builders produced
+/// it.  The free functions below construct one per call and delegate; their
+/// draw sequences are pinned identical to the pre-builder code.
+class RequestStreamBuilder {
+public:
+    /// Binds the inputs; `cb` and `bounds` must outlive the builder.
+    /// Requires at least one implemented type.
+    RequestStreamBuilder(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                         RequestGenConfig config = {});
+
+    /// One request aimed at a uniformly drawn implemented type.
+    [[nodiscard]] GeneratedRequest one(util::Rng& rng) const;
+
+    /// One request aimed at the implemented type of Zipf `rank` (0 = most
+    /// popular; ranks index the implemented-type list in catalogue order).
+    /// Pair with a ZipfSampler over implemented_types().size() for skewed
+    /// popularity — the open-loop tenants' hot-function traffic.
+    [[nodiscard]] GeneratedRequest at_rank(std::size_t rank, util::Rng& rng) const;
+
+    /// `count` requests at uniformly drawn implemented types
+    /// (generate_request_batch's contract).
+    [[nodiscard]] std::vector<GeneratedRequest> batch(std::size_t count,
+                                                      util::Rng& rng) const;
+
+    /// `streams` independent per-producer sub-streams, stream i drawn from
+    /// rng.split() child i (generate_request_streams' contract).
+    [[nodiscard]] std::vector<std::vector<GeneratedRequest>> streams(
+        std::size_t streams, std::size_t per_stream, util::Rng& rng) const;
+
+    /// The types requests are aimed at, in catalogue order (Zipf rank i =
+    /// element i).
+    [[nodiscard]] const std::vector<cbr::TypeId>& implemented_types() const noexcept {
+        return implemented_;
+    }
+
+private:
+    const cbr::CaseBase* cb_;
+    const cbr::BoundsTable* bounds_;
+    RequestGenConfig config_;
+    std::vector<cbr::TypeId> implemented_;
+};
+
 /// Generates one request aimed at a random implementation of `type`.
 /// Requires the type to exist and have implementations.
 [[nodiscard]] GeneratedRequest generate_request(const cbr::CaseBase& cb,

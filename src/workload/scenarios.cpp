@@ -139,8 +139,9 @@ void ScenarioDriver::handle_arrival(std::size_t app_index) {
     }
 
     ++requests_;
-    alloc::AllocRequest alloc_request{profile.app, *request, profile.priority,
-                                      profile.threshold, 4, true};
+    alloc::AllocRequest alloc_request{profile.app,       *request, profile.priority,
+                                      profile.threshold, 4,        true,
+                                      /*tenant=*/0,      /*deadline=*/{}};
     const sys::SimTime issued_at = platform_->events().now();
     const alloc::NegotiationResult outcome = alloc::negotiate(*manager_, alloc_request);
     rounds_sum_ += static_cast<double>(outcome.rounds);

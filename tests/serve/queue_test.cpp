@@ -225,4 +225,219 @@ TEST(BoundedMpmcQueueTest, RejectsZeroCapacity) {
     EXPECT_THROW(BoundedMpmcQueue<int>(0), qfa::util::ContractViolation);
 }
 
+// --- Admission-layer primitives: typed refusals, deadline-bounded push ---
+
+using qfa::serve::PushStatus;
+
+TEST(BoundedMpmcQueueTest, TryPushStatusReportsTypedRefusals) {
+    BoundedMpmcQueue<int> queue(1);
+    EXPECT_EQ(queue.try_push_status(1), PushStatus::accepted);
+    EXPECT_EQ(queue.try_push_status(2), PushStatus::full);
+    queue.close();
+    EXPECT_EQ(queue.try_push_status(3), PushStatus::closed);
+    // full vs closed is decided under the same lock: the queued item is
+    // still drainable, the refused ones are gone.
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedMpmcQueueTest, PushUntilTimesOutOnAFullQueue) {
+    BoundedMpmcQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+    EXPECT_EQ(queue.push_until(1, deadline), PushStatus::timed_out);
+    EXPECT_EQ(queue.size(), 1u);  // the refused item was dropped
+}
+
+TEST(BoundedMpmcQueueTest, PushUntilSucceedsWhenASlotFrees) {
+    BoundedMpmcQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        (void)queue.pop();
+    });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    EXPECT_EQ(queue.push_until(1, deadline), PushStatus::accepted);
+    consumer.join();
+    EXPECT_EQ(queue.pop(), 1);
+}
+
+TEST(BoundedMpmcQueueTest, PushUntilObservesCloseWhileWaiting) {
+    BoundedMpmcQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        queue.close();
+    });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    EXPECT_EQ(queue.push_until(1, deadline), PushStatus::closed);
+    closer.join();
+}
+
+TEST(BoundedMpmcQueueTest, WaitBelowReturnsOnceDepthDrops) {
+    BoundedMpmcQueue<int> queue(4);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(queue.push(i));
+    }
+    const auto past = std::chrono::steady_clock::now();
+    EXPECT_FALSE(queue.wait_below(3, past));  // still at 4, deadline passed
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        (void)queue.pop();
+        (void)queue.pop();
+    });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    EXPECT_TRUE(queue.wait_below(3, deadline));
+    consumer.join();
+}
+
+// --- Advisory depth observers: coherence under concurrent push/pop ---
+
+TEST(BoundedMpmcQueueTest, DepthObserversStayCoherentUnderConcurrentTraffic) {
+    // size() is advisory, but never incoherent: every observation lies in
+    // [0, capacity], and while only pushes run (producers still feeding,
+    // consumer not yet started) observations from one thread are monotone
+    // non-decreasing; while only pops run they are monotone non-increasing.
+    constexpr std::size_t kCapacity = 64;
+    constexpr int kItems = 2000;
+    BoundedMpmcQueue<int> queue(kCapacity);
+
+    // Phase 1: producers only — depth must never decrease.
+    std::thread producer([&] {
+        for (int i = 0; i < kItems / 4; ++i) {
+            (void)queue.try_push(i);  // full is fine — nothing pops yet
+        }
+    });
+    std::size_t prev = 0;
+    while (queue.size() < kCapacity / 2) {
+        const std::size_t depth = queue.size();
+        EXPECT_LE(depth, kCapacity);
+        EXPECT_GE(depth, prev);  // monotone while only pushes run
+        prev = depth;
+    }
+    producer.join();
+
+    // Phase 2: full crossfire — bounds still hold on every observation.
+    std::atomic<bool> done{false};
+    std::thread pusher([&] {
+        for (int i = 0; i < kItems; ++i) {
+            (void)queue.try_push(i);
+        }
+        done.store(true);
+    });
+    std::thread popper([&] {
+        while (!done.load() || queue.size() > 0) {
+            (void)queue.extract([](const std::deque<int>& items) {
+                return items.empty() ? std::size_t{1} : std::size_t{0};
+            });
+        }
+    });
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LE(queue.size(), kCapacity);
+    }
+    pusher.join();
+    popper.join();
+
+    // Phase 3: pops only — depth must never increase.
+    for (int i = 0; i < 8; ++i) {
+        (void)queue.try_push(i);
+    }
+    prev = queue.size();
+    while (queue.size() > 0) {
+        const std::size_t depth = queue.size();
+        EXPECT_LE(depth, prev);  // monotone while only pops run
+        prev = depth;
+        (void)queue.extract([](const std::deque<int>&) { return std::size_t{0}; });
+    }
+}
+
+// --- EDF ordering ---
+
+namespace edf {
+struct Item {
+    int id = 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+}  // namespace edf
+
+TEST(BoundedMpmcQueueTest, EdfPopsEarliestDeadlineFirst) {
+    BoundedMpmcQueue<edf::Item> queue(
+        8, [](const edf::Item& item) { return item.deadline; });
+    const auto base = std::chrono::steady_clock::now();
+    ASSERT_TRUE(queue.try_push({1, base + std::chrono::seconds(3)}));
+    ASSERT_TRUE(queue.try_push({2, std::nullopt}));
+    ASSERT_TRUE(queue.try_push({3, base + std::chrono::seconds(1)}));
+    ASSERT_TRUE(queue.try_push({4, base + std::chrono::seconds(2)}));
+    ASSERT_TRUE(queue.try_push({5, std::nullopt}));
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        const auto item = queue.pop();
+        ASSERT_TRUE(item.has_value());
+        order.push_back(item->id);
+    }
+    // Deadlined items by deadline, then no-deadline items in arrival order.
+    EXPECT_EQ(order, (std::vector<int>{3, 4, 1, 2, 5}));
+}
+
+TEST(BoundedMpmcQueueTest, EdfBreaksDeadlineTiesByArrivalOrder) {
+    BoundedMpmcQueue<edf::Item> queue(
+        4, [](const edf::Item& item) { return item.deadline; });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    ASSERT_TRUE(queue.try_push({10, deadline}));
+    ASSERT_TRUE(queue.try_push({11, deadline}));
+    ASSERT_TRUE(queue.try_push({12, deadline}));
+    EXPECT_EQ(queue.pop()->id, 10);
+    EXPECT_EQ(queue.pop()->id, 11);
+    EXPECT_EQ(queue.pop()->id, 12);
+}
+
+// --- extract(): the shedder's victim-removal primitive ---
+
+TEST(BoundedMpmcQueueTest, ExtractRemovesSelectedItemAndFreesASlot) {
+    BoundedMpmcQueue<int> queue(3);
+    ASSERT_TRUE(queue.try_push(7));
+    ASSERT_TRUE(queue.try_push(8));
+    ASSERT_TRUE(queue.try_push(9));
+    // Pick the middle item (a shedder picking its lowest-priority victim).
+    const auto victim = queue.extract([](const std::deque<int>& items) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (items[i] == 8) {
+                return i;
+            }
+        }
+        return items.size();
+    });
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, 8);
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_TRUE(queue.try_push(10));  // the freed slot is reusable
+    EXPECT_EQ(queue.pop(), 7);
+    EXPECT_EQ(queue.pop(), 9);
+    EXPECT_EQ(queue.pop(), 10);
+}
+
+TEST(BoundedMpmcQueueTest, ExtractReturnsNulloptWhenNothingSelected) {
+    BoundedMpmcQueue<int> queue(2);
+    ASSERT_TRUE(queue.try_push(1));
+    const auto none = queue.extract(
+        [](const std::deque<int>& items) { return items.size(); });
+    EXPECT_EQ(none, std::nullopt);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedMpmcQueueTest, ExtractUnblocksAWaitingProducer) {
+    BoundedMpmcQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    bool accepted = false;
+    std::thread producer([&] { accepted = queue.push(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const auto victim =
+        queue.extract([](const std::deque<int>&) { return std::size_t{0}; });
+    ASSERT_TRUE(victim.has_value());
+    producer.join();
+    EXPECT_TRUE(accepted);
+    EXPECT_EQ(queue.pop(), 1);
+}
+
 }  // namespace

@@ -1,0 +1,408 @@
+// The SLO/overload suite: deadline boundary semantics, byte-for-byte
+// schedule determinism, the seeded request builder's pinned draw sequences,
+// a TSan-hammered outcome-counter identity, and the open-loop acceptance
+// runs — 2x-capacity floods where the engine sheds instead of blocking,
+// with every non-shed outcome bit-identical to the closed-loop reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/retrieval.hpp"
+#include "serve/admission.hpp"
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/openloop.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using namespace std::chrono_literals;
+using steady = std::chrono::steady_clock;
+
+wl::GeneratedCatalog make_catalog(std::uint16_t types, std::uint16_t impls,
+                                  std::uint64_t seed) {
+    util::Rng rng(seed);
+    wl::CatalogConfig config;
+    config.function_types = types;
+    config.impls_per_type = impls;
+    config.attrs_per_impl = 6;
+    return wl::generate_catalog_with_bounds(config, rng);
+}
+
+// ---------------------------------------------------------------- boundaries
+
+TEST(SloBoundaryTest, AdmissionRefusesADeadlineAtOrBeforeNow) {
+    const steady::time_point now = steady::now();
+    EXPECT_TRUE(serve::admission_infeasible(now - 1ns, now));
+    EXPECT_TRUE(serve::admission_infeasible(now, now));  // d == now: infeasible
+    EXPECT_FALSE(serve::admission_infeasible(now + 1ns, now));
+}
+
+TEST(SloBoundaryTest, DequeueServesADeadlineExactlyAtNow) {
+    // The deliberate asymmetry with admission: a deadline exactly at the
+    // dequeue instant has not *passed*, so the job is still served; only a
+    // strictly earlier deadline expires.
+    const steady::time_point now = steady::now();
+    EXPECT_TRUE(serve::expired_on_dequeue(now - 1ns, now));
+    EXPECT_FALSE(serve::expired_on_dequeue(now, now));  // d == now: still served
+    EXPECT_FALSE(serve::expired_on_dequeue(now + 1ns, now));
+}
+
+// -------------------------------------------------------------- determinism
+
+std::vector<wl::OpenLoopTenant> three_tenants() {
+    std::vector<wl::OpenLoopTenant> tenants(3);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        tenants[t].tenant = static_cast<serve::TenantId>(t + 1);
+        tenants[t].arrival_rate_hz = 800.0 + 200.0 * static_cast<double>(t);
+        tenants[t].zipf_s = 1.0 + 0.2 * static_cast<double>(t);
+    }
+    return tenants;
+}
+
+TEST(SloScheduleTest, BuildScheduleIsByteForByteReproducible) {
+    const wl::GeneratedCatalog catalog = make_catalog(8, 6, 0x51001);
+    wl::OpenLoopConfig config;
+    config.seed = 0xFEED;
+    config.duration = 100ms;
+    config.burst.factor = 4.0;  // bursty, to cover the thinning path too
+
+    const wl::ArrivalSchedule first =
+        wl::build_schedule(catalog.case_base, catalog.bounds, three_tenants(), config);
+    const wl::ArrivalSchedule second =
+        wl::build_schedule(catalog.case_base, catalog.bounds, three_tenants(), config);
+
+    ASSERT_FALSE(first.arrivals.empty());
+    ASSERT_EQ(first.arrivals.size(), second.arrivals.size());
+    for (std::size_t i = 0; i < first.arrivals.size(); ++i) {
+        EXPECT_EQ(first.arrivals[i].at, second.arrivals[i].at) << i;
+        EXPECT_EQ(first.arrivals[i].tenant_index, second.arrivals[i].tenant_index) << i;
+        EXPECT_EQ(first.arrivals[i].generated.request, second.arrivals[i].generated.request)
+            << i;
+        EXPECT_EQ(first.arrivals[i].generated.intended, second.arrivals[i].generated.intended)
+            << i;
+    }
+    // Arrival-ordered, as documented.
+    for (std::size_t i = 1; i < first.arrivals.size(); ++i) {
+        EXPECT_LE(first.arrivals[i - 1].at, first.arrivals[i].at);
+    }
+}
+
+TEST(SloScheduleTest, AddingATenantNeverChangesEarlierTapes) {
+    const wl::GeneratedCatalog catalog = make_catalog(8, 6, 0x51002);
+    wl::OpenLoopConfig config;
+    config.duration = 60ms;
+
+    std::vector<wl::OpenLoopTenant> two = three_tenants();
+    two.pop_back();
+    const wl::ArrivalSchedule narrow =
+        wl::build_schedule(catalog.case_base, catalog.bounds, two, config);
+    const wl::ArrivalSchedule wide =
+        wl::build_schedule(catalog.case_base, catalog.bounds, three_tenants(), config);
+
+    // Restrict the 3-tenant tape to tenants 0 and 1: identical to the
+    // 2-tenant tape (Rng children split in tenant order).
+    std::vector<const wl::Arrival*> restricted;
+    for (const wl::Arrival& arrival : wide.arrivals) {
+        if (arrival.tenant_index < 2) {
+            restricted.push_back(&arrival);
+        }
+    }
+    ASSERT_EQ(restricted.size(), narrow.arrivals.size());
+    for (std::size_t i = 0; i < restricted.size(); ++i) {
+        EXPECT_EQ(restricted[i]->at, narrow.arrivals[i].at) << i;
+        EXPECT_EQ(restricted[i]->generated.request, narrow.arrivals[i].generated.request)
+            << i;
+    }
+}
+
+TEST(SloBuilderTest, FreeFunctionsDelegateToTheBuilderDrawForDraw) {
+    // The dedupe satellite's contract: generate_request_batch /
+    // generate_request_streams are one-line delegates to
+    // RequestStreamBuilder, so equal-seeded Rngs must produce identical
+    // request tapes through either entry point.
+    const wl::GeneratedCatalog catalog = make_catalog(10, 8, 0x51003);
+    const wl::RequestStreamBuilder builder(catalog.case_base, catalog.bounds);
+
+    util::Rng direct(0xB11D);
+    util::Rng through_free(0xB11D);
+    const std::vector<wl::GeneratedRequest> from_builder = builder.batch(64, direct);
+    const std::vector<wl::GeneratedRequest> from_free =
+        wl::generate_request_batch(catalog.case_base, catalog.bounds, 64, through_free);
+    ASSERT_EQ(from_builder.size(), from_free.size());
+    for (std::size_t i = 0; i < from_builder.size(); ++i) {
+        EXPECT_EQ(from_builder[i].request, from_free[i].request) << i;
+        EXPECT_EQ(from_builder[i].intended, from_free[i].intended) << i;
+    }
+
+    util::Rng direct_streams(0x57EA);
+    util::Rng free_streams(0x57EA);
+    const auto builder_streams = builder.streams(4, 16, direct_streams);
+    const auto free_fn_streams = wl::generate_request_streams(
+        catalog.case_base, catalog.bounds, 4, 16, free_streams);
+    ASSERT_EQ(builder_streams.size(), free_fn_streams.size());
+    for (std::size_t s = 0; s < builder_streams.size(); ++s) {
+        ASSERT_EQ(builder_streams[s].size(), free_fn_streams[s].size());
+        for (std::size_t i = 0; i < builder_streams[s].size(); ++i) {
+            EXPECT_EQ(builder_streams[s][i].request, free_fn_streams[s][i].request);
+        }
+    }
+}
+
+// ------------------------------------------------------- counter identities
+
+TEST(SloCounterTest, OutcomeCountersBalanceUnderConcurrentOverload) {
+    // The TSan target: four tenant threads flood try_submit at an engine
+    // with tight deadlines and shed_lowest while workers serve, expire and
+    // shed concurrently.  Afterwards every attempt is accounted exactly
+    // once — admitted + rejected == attempts, and the admitted split into
+    // served/expired/shed both globally and per tenant.
+    const wl::GeneratedCatalog catalog = make_catalog(6, 24, 0x51004);
+    serve::EngineConfig config{2, 16};
+    config.admission.policy = serve::AdmissionPolicy::shed_lowest;
+    serve::Engine engine(catalog.case_base, config);
+
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kPerThread = 200;
+    util::Rng seeder(0xC0DE);
+    std::vector<std::vector<wl::GeneratedRequest>> streams = wl::generate_request_streams(
+        catalog.case_base, catalog.bounds, kThreads, kPerThread, seeder);
+
+    struct PerTenant {
+        std::vector<std::future<cbr::RetrievalResult>> admitted;
+        std::uint64_t rejected = 0;
+    };
+    std::vector<PerTenant> outcome(kThreads);
+    std::vector<std::thread> producers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&, t] {
+            for (const wl::GeneratedRequest& generated : streams[t]) {
+                serve::JobClass cls;
+                cls.tenant = static_cast<serve::TenantId>(t);
+                cls.priority = static_cast<std::uint8_t>(5 + 5 * t);
+                cls.deadline = steady::now() + 500us;  // tight: some expire
+                serve::AdmissionResult result =
+                    engine.try_submit(generated.request, {}, cls);
+                if (result.admitted()) {
+                    outcome[t].admitted.push_back(std::move(result.future));
+                } else {
+                    ++outcome[t].rejected;
+                }
+            }
+        });
+    }
+    for (std::thread& producer : producers) {
+        producer.join();
+    }
+
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t served = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t shed = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        std::uint64_t t_served = 0;
+        std::uint64_t t_expired = 0;
+        std::uint64_t t_shed = 0;
+        for (std::future<cbr::RetrievalResult>& future : outcome[t].admitted) {
+            try {
+                (void)future.get();
+                ++t_served;
+            } catch (const serve::DeadlineExceeded&) {
+                ++t_expired;
+            } catch (const serve::LoadShed&) {
+                ++t_shed;
+            }
+        }
+        admitted += outcome[t].admitted.size();
+        rejected += outcome[t].rejected;
+        served += t_served;
+        expired += t_expired;
+        shed += t_shed;
+
+        const serve::EngineStats::TenantStats slice =
+            engine.stats().tenants.at(static_cast<serve::TenantId>(t));
+        EXPECT_EQ(slice.admitted, outcome[t].admitted.size()) << "tenant " << t;
+        EXPECT_EQ(slice.rejected, outcome[t].rejected) << "tenant " << t;
+        EXPECT_EQ(slice.served, t_served) << "tenant " << t;
+        EXPECT_EQ(slice.expired, t_expired) << "tenant " << t;
+        EXPECT_EQ(slice.shed, t_shed) << "tenant " << t;
+        EXPECT_EQ(slice.admitted, t_served + t_expired + t_shed) << "tenant " << t;
+    }
+    EXPECT_EQ(admitted + rejected, kThreads * kPerThread);
+    EXPECT_EQ(served + expired + shed, admitted);
+
+    const serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.admitted, admitted);
+    EXPECT_EQ(stats.rejected, rejected);
+    EXPECT_EQ(stats.expired, expired);
+    EXPECT_EQ(stats.shed, shed);
+    // The admission path is this engine's only traffic, so the global
+    // queue-entry counter is exactly the admitted count, and every
+    // queue entry was drained into exactly one completion class.
+    EXPECT_EQ(stats.submitted, admitted);
+    EXPECT_EQ(stats.served, served);
+}
+
+// ------------------------------------------------------- open-loop harness
+
+/// Measured closed-loop service rate (requests/sec) of `engine` over a
+/// deterministic probe batch — the capacity yardstick the overload tests
+/// scale their offered load from, so "2x capacity" means 2x on THIS
+/// machine at THIS build (TSan legs run ~10x slower; a hardcoded rate
+/// would under- or overload wildly across hosts).
+double measured_capacity_hz(serve::Engine& engine, const wl::GeneratedCatalog& catalog) {
+    util::Rng rng(0xCA11);
+    std::vector<cbr::Request> probe;
+    for (wl::GeneratedRequest& generated :
+         wl::generate_request_batch(catalog.case_base, catalog.bounds, 200, rng)) {
+        probe.push_back(std::move(generated.request));
+    }
+    const steady::time_point begin = steady::now();
+    (void)engine.retrieve_all(probe, {});
+    const double seconds = std::chrono::duration<double>(steady::now() - begin).count();
+    return static_cast<double>(probe.size()) / std::max(seconds, 1e-6);
+}
+
+steady::duration overload_duration(double offered_hz, std::size_t target_arrivals) {
+    const double seconds = static_cast<double>(target_arrivals) / std::max(offered_hz, 1.0);
+    const double clamped = std::min(0.3, std::max(0.05, seconds));
+    return std::chrono::duration_cast<steady::duration>(
+        std::chrono::duration<double>(clamped));
+}
+
+TEST(SloOpenLoopTest, PacedUnderloadServesEverythingWithinSlo) {
+    // Sanity of the paced path: arrivals on the clock, ample capacity — no
+    // refusals, and with a generous SLO everything served is good.
+    const wl::GeneratedCatalog catalog = make_catalog(8, 6, 0x51005);
+    serve::Engine engine(catalog.case_base, serve::EngineConfig{4, 1024});
+
+    std::vector<wl::OpenLoopTenant> tenants(2);
+    tenants[0].tenant = 1;
+    tenants[0].arrival_rate_hz = 400.0;
+    tenants[1].tenant = 2;
+    tenants[1].arrival_rate_hz = 400.0;
+    wl::OpenLoopConfig config;
+    config.duration = 80ms;
+    config.slo = 5s;
+    const wl::ArrivalSchedule schedule =
+        wl::build_schedule(catalog.case_base, catalog.bounds, tenants, config);
+    ASSERT_FALSE(schedule.arrivals.empty());
+
+    const wl::OpenLoopReport report = wl::run_open_loop(engine, schedule, config);
+    EXPECT_EQ(report.submitted, schedule.arrivals.size());
+    EXPECT_EQ(report.served, report.submitted);
+    EXPECT_EQ(report.rejected + report.expired + report.shed, 0u);
+    EXPECT_EQ(report.good, report.served);
+    EXPECT_GT(report.p99.count(), 0);
+    EXPECT_LE(report.p50, report.p99);
+    EXPECT_LE(report.p99, report.p999);
+}
+
+TEST(SloOpenLoopTest, TwoXOverloadShedsInsteadOfBlockingAndStaysFair) {
+    // THE acceptance run: paced arrivals at 2x the engine's *measured*
+    // capacity, with 50 ms deadlines.  The engine must refuse/expire the
+    // excess instead of blocking producers, keep the latency of what it
+    // does serve bounded by the deadline pipeline, account every arrival
+    // exactly once, and not starve any of the three equal tenants.
+    const wl::GeneratedCatalog catalog = make_catalog(6, 128, 0x51006);
+    serve::Engine engine(catalog.case_base, serve::EngineConfig{2, 32});
+    const cbr::Retriever reference(catalog.case_base, catalog.bounds);
+
+    const double offered_hz = 2.0 * measured_capacity_hz(engine, catalog);
+    std::vector<wl::OpenLoopTenant> tenants(3);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        tenants[t].tenant = static_cast<serve::TenantId>(t + 1);
+        tenants[t].arrival_rate_hz = offered_hz / 3.0;  // equal rates & priority
+        tenants[t].relative_deadline = 50ms;
+    }
+    wl::OpenLoopConfig config;
+    config.duration = overload_duration(offered_hz, 1200);
+    config.slo = 50ms;
+    const wl::ArrivalSchedule schedule =
+        wl::build_schedule(catalog.case_base, catalog.bounds, tenants, config);
+    ASSERT_GT(schedule.arrivals.size(), 100u);
+
+    const wl::OpenLoopReport report = wl::run_open_loop(engine, schedule, config);
+
+    // Exact outcome accounting — nothing lost, nothing double-counted.
+    EXPECT_EQ(report.served + report.rejected + report.expired + report.shed,
+              report.submitted);
+    EXPECT_EQ(report.submitted, schedule.arrivals.size());
+    // Overload actually happened, and the engine answered it by refusing
+    // or expiring work (reject_new policy: no shedding) — producers were
+    // never blocked into a closed loop.  At 2x offered load roughly half
+    // the arrivals cannot be served; demand a tenth as the test floor.
+    EXPECT_GT(report.rejected + report.expired, report.submitted / 10);
+    EXPECT_GT(report.served, 0u);
+    // The deadline pipeline bounds served latency: nothing served can have
+    // waited much past its 50 ms deadline (expiry drops it at dequeue), so
+    // p99 stays within 3x the deadline with a wide safety margin.
+    EXPECT_LE(report.p99, 150ms);
+    // Fairness: three identical tenants; none may fall below half its fair
+    // share of the goodput.
+    ASSERT_EQ(report.tenants.size(), 3u);
+    const std::uint64_t fair_share = report.good / 3;
+    for (const wl::TenantReport& tenant : report.tenants) {
+        EXPECT_GE(tenant.good, fair_share / 2)
+            << "tenant " << tenant.tenant << " starved: " << tenant.good << " of "
+            << report.good << " good outcomes";
+        EXPECT_EQ(tenant.served + tenant.rejected + tenant.expired + tenant.shed,
+                  tenant.submitted);
+    }
+    // Bit-identity: whatever the overloaded engine *did* serve matches the
+    // single-threaded reference exactly — overload changes what gets
+    // served, never what serving computes.
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+        if (report.records[i].outcome != wl::ArrivalOutcome::served) {
+            continue;
+        }
+        ASSERT_TRUE(cbr::identical_results(
+            reference.retrieve(schedule.arrivals[i].generated.request, config.options),
+            report.records[i].result))
+            << "served arrival " << i << " diverged from the reference";
+    }
+}
+
+TEST(SloOpenLoopTest, ShedLowestProtectsHighPriorityTenants) {
+    // Mixed priorities under shed_lowest: the background tenant's queued
+    // work is evicted to admit the critical tenant's, so sheds land
+    // exclusively on the low-priority tenant — nothing outranks the
+    // critical one, so it can never be shed.
+    // Few types, many variants: each retrieval scans a long candidate list,
+    // so the single worker cannot drain the backlog between producer turns
+    // and arrivals genuinely find a full queue.
+    const wl::GeneratedCatalog catalog = make_catalog(4, 256, 0x51007);
+    serve::EngineConfig engine_config{1, 8};
+    engine_config.admission.policy = serve::AdmissionPolicy::shed_lowest;
+    serve::Engine engine(catalog.case_base, engine_config);
+
+    const double offered_hz = 3.0 * measured_capacity_hz(engine, catalog);
+    std::vector<wl::OpenLoopTenant> tenants(2);
+    tenants[0].tenant = 1;
+    tenants[0].arrival_rate_hz = offered_hz / 2.0;
+    tenants[0].priority = 5;  // background
+    tenants[1].tenant = 2;
+    tenants[1].arrival_rate_hz = offered_hz / 2.0;
+    tenants[1].priority = 20;  // critical
+    wl::OpenLoopConfig config;
+    config.duration = overload_duration(offered_hz, 800);
+    const wl::ArrivalSchedule schedule =
+        wl::build_schedule(catalog.case_base, catalog.bounds, tenants, config);
+
+    const wl::OpenLoopReport report = wl::run_open_loop(engine, schedule, config);
+    EXPECT_EQ(report.served + report.rejected + report.expired + report.shed,
+              report.submitted);
+    EXPECT_GT(report.shed, 0u) << "the flood never tripped the shedder";
+    ASSERT_EQ(report.tenants.size(), 2u);
+    EXPECT_EQ(report.tenants[1].shed, 0u) << "a critical job was shed";
+    EXPECT_EQ(report.tenants[0].shed, report.shed);
+}
+
+}  // namespace
