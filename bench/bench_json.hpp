@@ -54,6 +54,17 @@ inline void write(const std::string& benchmark_name, const std::string& path) {
     std::cout << "wrote " << records().size() << " table records to " << path << "\n";
 }
 
+/// The one self-check gate every table goes through before timing: both
+/// perf binaries prove bit-identity of the fast path against its reference
+/// and exit 1 on the first divergence, so a table that prints is a table
+/// whose numbers measure a *correct* implementation.
+inline void require_identical(bool identical, const std::string& what) {
+    if (!identical) {
+        std::cerr << "FATAL: " << what << " diverged from the reference\n";
+        std::exit(1);
+    }
+}
+
 /// Strips a --json=PATH argument from argv (so benchmark::Initialize never
 /// sees it) and returns the path, empty when absent.
 inline std::string strip_json_flag(int& argc, char** argv) {

@@ -112,10 +112,7 @@ double ns_per_request(std::size_t request_count, Fn&& run_batch_once) {
 
 void check_identical_or_die(const cbr::RetrievalResult& reference,
                             const cbr::RetrievalResult& served, const char* where) {
-    if (!cbr::identical_results(reference, served)) {
-        std::cerr << "FATAL: " << where << " diverged from the reference\n";
-        std::exit(1);
-    }
+    benchjson::require_identical(cbr::identical_results(reference, served), where);
 }
 
 // ---- 1. aggregate throughput: shards vs the single-threaded batch path ----

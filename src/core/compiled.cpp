@@ -1,6 +1,8 @@
 #include "core/compiled.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
@@ -59,6 +61,72 @@ bool metadata_current(const TypePlan& plan, const BoundsTable& bounds) {
     return true;
 }
 
+/// Quantizes the Q8 tier of column `c` from block `first_block` to the
+/// end, reading the already-written values/present_mask payload.  A block's
+/// codes, scale and error bound are a pure function of its kQuantBlock
+/// (value, presence) pairs, so any two call sites producing the same
+/// payload produce bit-identical Q8 tiers — the property that lets
+/// patched() splice-copy unchanged blocks and the tests compare patched
+/// plans against fresh compiles byte for byte.
+///
+/// Encoding, per block: scale = f32(block_max / 254.0) (0 when the block
+/// has no present value above 0), code = 1 + lround(value / f64(scale))
+/// for present rows (∈ [1, 255] — block_max/scale ≤ 254·(1 + 2⁻²³) rounds
+/// to at most 254), code 0 for absent and padding rows.  Dequantization
+/// f64(scale) × (code − 1) is exact in double (24-bit significand × an
+/// integer ≤ 254 needs ≤ 32 bits), so the stored error bound — the
+/// measured max |value − dequant| over present rows, rounded up to f32 —
+/// really does bound every row of the block.
+void quantize_column_blocks(TypePlan& plan, std::size_t c, std::size_t first_block) {
+    const std::size_t blocks = plan.q8_blocks();
+    for (std::size_t b = first_block; b < blocks; ++b) {
+        const std::size_t begin = b * TypePlan::kQuantBlock;
+        const std::size_t end =
+            std::min(plan.row_stride, begin + TypePlan::kQuantBlock);
+        std::uint32_t vmax = 0;
+        for (std::size_t r = begin; r < end; ++r) {
+            const std::size_t s = plan.slot(c, r);
+            if (plan.present_mask[s] != 0 && plan.values[s] > vmax) {
+                vmax = plan.values[s];
+            }
+        }
+        const float scale =
+            vmax > 0 ? static_cast<float>(static_cast<double>(vmax) / 254.0) : 0.0f;
+        const double scale_d = static_cast<double>(scale);
+        double err = 0.0;
+        for (std::size_t r = begin; r < end; ++r) {
+            const std::size_t s = plan.slot(c, r);
+            if (plan.present_mask[s] == 0) {
+                plan.q8[s] = 0;
+                continue;
+            }
+            const double v = static_cast<double>(plan.values[s]);
+            const long code = scale_d > 0.0 ? 1 + std::lround(v / scale_d) : 1;
+            QFA_ASSERT(code >= 1 && code <= 255, "Q8 code must fit [1, 255]");
+            plan.q8[s] = static_cast<std::uint8_t>(code);
+            const double vhat = scale_d * static_cast<double>(code - 1);
+            err = std::max(err, std::abs(v - vhat));
+        }
+        float err_f = static_cast<float>(err);
+        if (static_cast<double>(err_f) < err) {
+            err_f = std::nextafterf(err_f, std::numeric_limits<float>::infinity());
+        }
+        plan.q8_scale[c * blocks + b] = scale;
+        plan.q8_err[c * blocks + b] = err_f;
+    }
+}
+
+/// Builds the whole Q8 tier of a freshly filled plan.
+void quantize_q8_tier(TypePlan& plan) {
+    const std::size_t columns = plan.attr_ids.size();
+    plan.q8.assign(columns * plan.row_stride, std::uint8_t{0});
+    plan.q8_scale.assign(columns * plan.q8_blocks(), 0.0f);
+    plan.q8_err.assign(columns * plan.q8_blocks(), 0.0f);
+    for (std::size_t c = 0; c < columns; ++c) {
+        quantize_column_blocks(plan, c, 0);
+    }
+}
+
 /// Full single-type compilation (the constructor's per-type step).
 TypePlan compile_type_plan(const FunctionType& type, const BoundsTable& bounds) {
     TypePlan plan;
@@ -99,6 +167,7 @@ TypePlan compile_type_plan(const FunctionType& type, const BoundsTable& bounds) 
             plan.present_mask[plan.slot(c, r)] = 0xFFFFU;
         }
     }
+    quantize_q8_tier(plan);
     return plan;
 }
 
@@ -189,6 +258,34 @@ bool patch_single_insert(const TypePlan& old, const FunctionType& type,
         QFA_ASSERT(c != TypePlan::npos, "inserted attribute id must be in the union");
         out.values[out.slot(c, r0)] = attr.value;
         out.present_mask[out.slot(c, r0)] = 0xFFFFU;
+    }
+
+    // Q8 tier of the spliced plan.  The insertion shifts every row >= r0
+    // down by one, so the quantization blocks from r0's block onward see
+    // different (value, presence) content and must be requantized; the
+    // blocks wholly below r0 see bit-identical content at the same block
+    // offsets and are copied verbatim (codes, scale and error bound) —
+    // quantization is a pure per-block function, so this equals the fresh
+    // compile byte for byte.
+    const std::size_t blocks = out.q8_blocks();
+    out.q8.assign(columns * out.row_stride, std::uint8_t{0});
+    out.q8_scale.assign(columns * blocks, 0.0f);
+    out.q8_err.assign(columns * blocks, 0.0f);
+    const std::size_t split_block = r0 / TypePlan::kQuantBlock;
+    for (std::size_t c = 0; c < columns; ++c) {
+        const std::size_t oc = old.column_of(out.attr_ids[c]);
+        std::size_t first = 0;
+        if (oc != TypePlan::npos) {
+            const std::size_t old_blocks = old.q8_blocks();
+            first = std::min(split_block, old_blocks);
+            std::copy_n(old.q8.data() + oc * old.row_stride,
+                        first * TypePlan::kQuantBlock, out.q8.data() + c * out.row_stride);
+            std::copy_n(old.q8_scale.data() + oc * old_blocks, first,
+                        out.q8_scale.data() + c * blocks);
+            std::copy_n(old.q8_err.data() + oc * old_blocks, first,
+                        out.q8_err.data() + c * blocks);
+        }
+        quantize_column_blocks(out, c, first);
     }
     return true;
 }
@@ -286,6 +383,10 @@ CompiledStats CompiledCaseBase::stats() const noexcept {
         // layout-independent; the alignment tail is reported separately.
         stats.value_slots += columns * plan->impl_count;
         stats.padded_slots += columns * (plan->row_stride - plan->impl_count);
+        stats.exact_tier_bytes +=
+            columns * plan->row_stride * (sizeof(AttrValue) + sizeof(std::uint16_t));
+        stats.q8_tier_bytes += plan->q8.size() * sizeof(std::uint8_t) +
+                               (plan->q8_scale.size() + plan->q8_err.size()) * sizeof(float);
         for (std::size_t c = 0; c < columns; ++c) {
             for (std::size_t r = 0; r < plan->impl_count; ++r) {
                 if (plan->present_mask[plan->slot(c, r)] == 0) {

@@ -83,6 +83,12 @@ struct TypePlan {
     /// SSE2, NEON or the QFA_SIMD=off scalar fallback.
     static constexpr std::size_t kRowAlign = 8;
 
+    /// Row count of one Q8 quantization block (a kRowAlign multiple, and
+    /// equal to kern::kQ8Block — core/retrieval.cpp asserts the match).
+    /// Each (column, block) pair carries one f32 scale and one measured
+    /// f32 error bound; see the `q8` member below.
+    static constexpr std::size_t kQuantBlock = 32;
+
     TypeId id;
     std::size_t impl_count = 0;
 
@@ -118,6 +124,36 @@ struct TypePlan {
     std::vector<AttrValue> values;        ///< 0 in sentinel/padding slots
     std::vector<std::uint16_t> present_mask;  ///< 0xFFFF present / 0x0000
 
+    // Q8 block-quantized third tier — the phase-1 storage of two-phase
+    // retrieval (core/retrieval.hpp).  Same padded column-major geometry
+    // as `values` (q8[slot(c, r)]), one byte per slot:
+    //
+    //   code 0            absent (mirrors present_mask == 0) and padding —
+    //                     presence is folded into the code so phase 1
+    //                     never touches present_mask;
+    //   code q ∈ [1,255]  value ≈ (q − 1) × scale of the row's block.
+    //
+    // Per (column, block of kQuantBlock rows) the plan stores the f32
+    // scale (block_max / 254, or 0 for an empty/all-zero block — the
+    // dequantized product is exact in f64 either way) and the *measured*
+    // max |value − dequant| over the block's present rows, rounded up to
+    // the f32 above it.  That measured bound is what makes two-phase
+    // retrieval exact rather than lucky: phase 1 can only mis-rank rows
+    // by what the bound admits, and the candidate cut widens K whenever
+    // the exact rescore cannot prove the rejected rows are out of reach.
+    std::vector<std::uint8_t> q8;   ///< quantized codes, 0 = absent/padding
+    std::vector<float> q8_scale;    ///< q8_scale[c * q8_blocks() + b]
+    std::vector<float> q8_err;      ///< measured per-block error bound
+
+    /// Blocks per column of the Q8 tier (0 for an empty type).
+    [[nodiscard]] constexpr std::size_t q8_blocks() const noexcept {
+        return (row_stride + kQuantBlock - 1) / kQuantBlock;
+    }
+
+    /// True when the Q8 tier is populated (it always is for plans built by
+    /// compile()/patched(); an empty type has an empty-but-consistent tier).
+    [[nodiscard]] bool has_q8() const noexcept { return q8.size() == values.size(); }
+
     /// Column index for an attribute id (binary search); npos when the id
     /// never occurs in this type.
     [[nodiscard]] std::size_t column_of(AttrId id) const noexcept;
@@ -136,6 +172,28 @@ struct CompiledStats {
     std::size_t value_slots = 0;    ///< Σ columns × rows (incl. sentinels)
     std::size_t sentinel_slots = 0; ///< real-row slots with no attribute
     std::size_t padded_slots = 0;   ///< Σ columns × (row_stride − rows)
+
+    // Payload bytes per storage tier (padded slots included — this is
+    // what a column scan actually streams).  The Q15 tier shares the
+    // exact tier's values/present_mask arrays, so two tiers of bytes
+    // cover all three datapaths.
+    std::size_t exact_tier_bytes = 0;  ///< u16 values + u16 present_mask
+    std::size_t q8_tier_bytes = 0;     ///< u8 codes + f32 scale/err per block
+
+    /// Bytes one request constraint streams per implementation row on a
+    /// given tier (the bench's bandwidth denominator).  0 when empty.
+    [[nodiscard]] double exact_bytes_per_row() const noexcept {
+        const std::size_t slots = value_slots + padded_slots;
+        return slots == 0 ? 0.0
+                          : static_cast<double>(exact_tier_bytes) /
+                                static_cast<double>(slots);
+    }
+    [[nodiscard]] double q8_bytes_per_row() const noexcept {
+        const std::size_t slots = value_slots + padded_slots;
+        return slots == 0 ? 0.0
+                          : static_cast<double>(q8_tier_bytes) /
+                                static_cast<double>(slots);
+    }
 };
 
 /// Immutable compiled form of a CaseBase + BoundsTable pair.

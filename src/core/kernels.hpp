@@ -37,10 +37,18 @@
 
 namespace qfa::cbr::kern {
 
-/// One ISA's set of column kernels.  All three walk `padded_rows` slots
+/// Row count of one Q8 quantization block: the unit at which the
+/// quantized plan tier carries one f32 scale (and one measured error
+/// bound).  Must equal TypePlan::kQuantBlock — core/retrieval.cpp
+/// static_asserts the two constants agree — and be a multiple of
+/// simd::kRowBlock so a block is always a whole number of vectors.
+inline constexpr std::size_t kQ8Block = 32;
+
+/// One ISA's set of column kernels.  All of them walk `padded_rows` slots
 /// (a multiple of TypePlan::kRowAlign, or 0) of one column and add into
 /// the caller's per-row accumulators; padded tail slots hold value 0 and
-/// presence 0, so they accumulate exactly +0.0 / 0.
+/// presence 0 (code 0 in the Q8 tier), so they accumulate exactly
+/// +0.0 / 0.
 struct KernelTable {
     const char* isa;  ///< "avx2" / "sse2" / "neon" / "scalar"
 
@@ -64,6 +72,25 @@ struct KernelTable {
                 const std::uint16_t* mask, std::size_t padded_rows,
                 std::uint16_t request_value, std::uint16_t reciprocal_raw,
                 std::uint16_t weight_raw);
+
+    /// Phase-1 approximate scoring over the Q8 quantized tier: for every
+    /// row, dequantizes v̂ = scale[r / kQ8Block] × (code − 1) — exact in
+    /// f64, a 24-bit f32 significand times an integer ≤ 254 — and
+    /// accumulates acc[r] += weight × ŝ_r with ŝ_r the eq. (1) manhattan
+    /// similarity of (request_value, v̂) under `divisor` = 1 + dmax.
+    /// Code 0 means "absent" (and padding): the lane mask zeroes ŝ_r
+    /// exactly like the present_mask does on the exact tier.  `scales`
+    /// points at the column's per-block f32 scales (one per kQ8Block
+    /// rows).  Like every kernel here, the per-row arithmetic is
+    /// bit-identical across ISAs.
+    void (*q8_manhattan)(double* acc, const std::uint8_t* codes, const float* scales,
+                         std::size_t padded_rows, std::uint16_t request_value,
+                         double divisor, double weight);
+
+    /// Same over the squared-normalized-distance local measure.
+    void (*q8_squared)(double* acc, const std::uint8_t* codes, const float* scales,
+                       std::size_t padded_rows, std::uint16_t request_value,
+                       double divisor, double weight);
 };
 
 /// The always-available scalar reference table.

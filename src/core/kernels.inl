@@ -24,6 +24,9 @@
 namespace qfa::cbr::kern {
 namespace QFA_KERN_NS {
 
+static_assert(kQ8Block % qfa::simd::kRowBlock == 0,
+              "a Q8 quantization block must be a whole number of row vectors");
+
 namespace {
 
 void accumulate_manhattan(double* acc, const std::uint16_t* values,
@@ -75,11 +78,84 @@ void accumulate_q15(std::uint64_t* acc, const std::uint16_t* values,
     }
 }
 
+// Q8 phase-1 kernels.  The outer loop walks one quantization block per
+// iteration so the block's f32 scale is broadcast once; the inner loop is
+// the manhattan/squared loop above with the u16 load replaced by
+// v̂ = scale × (code − 1) — both factors are exact f64 values and the
+// product fits 32 significand bits, so the dequantization itself rounds
+// nothing (the only error is the quantization error the plan's per-block
+// bound advertises).  Code 0 (absent / padding) dequantizes to −scale,
+// which is then zeroed by the lane mask exactly like a sentinel slot on
+// the exact tier.  kQ8Block is a multiple of kRowBlock and padded_rows is
+// a multiple of kRowBlock, so only the last block can be partial and every
+// step stays whole-vector.
+//
+// One deliberate departure from the exact kernels: ratio is d × (1/divisor)
+// instead of d / divisor.  Phase-1 scores are never compared bit-for-bit
+// against the exact scan — only against the per-block error bound — and the
+// reciprocal's extra rounding (≤ 2 ulps of a ratio ≤ 1, i.e. ≲ 2⁻⁵¹ per
+// constraint) sits orders of magnitude under the kTwoPhaseSlack the
+// retrieval side folds into that bound (retrieval.cpp).  Trading the lane
+// division for a multiply is what makes the Q8 scan faster per row than
+// the exact scan, not just smaller.  The reciprocal is computed once in
+// scalar f64, so all ISA tables still produce bitwise-identical phase-1
+// scores (tests/core/simd_kernel_test.cpp).
+
+void accumulate_q8_manhattan(double* acc, const std::uint8_t* codes, const float* scales,
+                             std::size_t padded_rows, std::uint16_t request_value,
+                             double divisor, double weight) {
+    namespace v = qfa::simd;
+    const v::f64v one = v::f64_broadcast(1.0);
+    const v::f64v rdiv = v::f64_broadcast(1.0 / divisor);
+    const v::f64v w = v::f64_broadcast(weight);
+    const v::f64v req = v::f64_broadcast(static_cast<double>(request_value));
+    for (std::size_t b = 0, r = 0; r < padded_rows; ++b) {
+        const v::f64v scale = v::f64_broadcast(static_cast<double>(scales[b]));
+        const std::size_t end =
+            r + kQ8Block < padded_rows ? r + kQ8Block : padded_rows;
+        for (; r < end; r += v::kF64Lanes) {
+            const v::f64v vhat =
+                v::f64_mul(scale, v::f64_sub(v::f64_from_u8(codes + r), one));
+            const v::f64v d = v::f64_abs(v::f64_sub(req, vhat));
+            const v::f64v ratio = v::f64_mul(d, rdiv);
+            v::f64v s = v::f64_and(v::f64_sub(one, ratio), v::f64_lt(ratio, one));
+            s = v::f64_and(s, v::f64_lanemask_u8(codes + r));
+            v::f64_storeu(acc + r, v::f64_add(v::f64_loadu(acc + r), v::f64_mul(w, s)));
+        }
+    }
+}
+
+void accumulate_q8_squared(double* acc, const std::uint8_t* codes, const float* scales,
+                           std::size_t padded_rows, std::uint16_t request_value,
+                           double divisor, double weight) {
+    namespace v = qfa::simd;
+    const v::f64v one = v::f64_broadcast(1.0);
+    const v::f64v rdiv = v::f64_broadcast(1.0 / divisor);
+    const v::f64v w = v::f64_broadcast(weight);
+    const v::f64v req = v::f64_broadcast(static_cast<double>(request_value));
+    for (std::size_t b = 0, r = 0; r < padded_rows; ++b) {
+        const v::f64v scale = v::f64_broadcast(static_cast<double>(scales[b]));
+        const std::size_t end =
+            r + kQ8Block < padded_rows ? r + kQ8Block : padded_rows;
+        for (; r < end; r += v::kF64Lanes) {
+            const v::f64v vhat =
+                v::f64_mul(scale, v::f64_sub(v::f64_from_u8(codes + r), one));
+            const v::f64v d = v::f64_abs(v::f64_sub(req, vhat));
+            const v::f64v ratio = v::f64_mul(d, rdiv);
+            v::f64v s = v::f64_and(v::f64_sub(one, v::f64_mul(ratio, ratio)),
+                                   v::f64_lt(ratio, one));
+            s = v::f64_and(s, v::f64_lanemask_u8(codes + r));
+            v::f64_storeu(acc + r, v::f64_add(v::f64_loadu(acc + r), v::f64_mul(w, s)));
+        }
+    }
+}
+
 }  // namespace
 
 const KernelTable& table() noexcept {
-    static const KernelTable t{qfa::simd::kIsaName, &accumulate_manhattan,
-                               &accumulate_squared, &accumulate_q15};
+    static const KernelTable t{qfa::simd::kIsaName,      &accumulate_manhattan,
+                               &accumulate_squared,      &accumulate_q15,
+                               &accumulate_q8_manhattan, &accumulate_q8_squared};
     return t;
 }
 

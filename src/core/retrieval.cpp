@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <functional>
 
 #include "core/kernels.hpp"
 #include "util/contracts.hpp"
 
 namespace qfa::cbr {
+
+static_assert(TypePlan::kQuantBlock == kern::kQ8Block,
+              "the plan layout and the Q8 kernels must agree on the block size");
 
 namespace {
 
@@ -63,6 +68,252 @@ inline bool ranks_before(double sim_a, ImplId impl_a, double sim_b, ImplId impl_
         return sim_a > sim_b;
     }
     return impl_a < impl_b;
+}
+
+// ---- Two-phase (Q8) retrieval ---------------------------------------------
+//
+// Phase 1 scores every row approximately over the plan's Q8 quantized tier
+// (~1.25 bytes/row/constraint instead of the exact tier's 4) and keeps the
+// top K = max(phase1_k, 4 × n_best) rows.  Phase 2 rescores the survivors
+// with the exact f64 arithmetic.  Exactness is *proved per request*, not
+// assumed: with E(r) = Σ_i w_i · L · err(c_i, block(r)) / divisor(c_i)
+// (L = 1 for the manhattan measure, 2 for squared — their Lipschitz
+// constants in the case value over [0, divisor]) plus an FP slack, every
+// row's exact score satisfies S(r) ≤ Ŝ(r) + E(r).  The cut is accepted
+// only when max over rejected rows of Ŝ(x) + E(x) is *strictly* below the
+// n_best-th best exact survivor score — then no rejected row can enter the
+// top n_best under any tie-breaking — and otherwise K doubles (reusing the
+// phase-1 scores; the Q8 tier is never rescanned) until the check passes
+// or everything is rescored, which is trivially exact.
+//
+// Widening is organized around a candidate *pool* so it never repeats the
+// O(rows) selection scan: one bounded-heap pass picks the top `cap`
+// (≥ 8 K) rows and tracks the most optimistic row left outside; the pool
+// is then sorted once, a suffix-max of Ŝ + E is precomputed, and each
+// widening round just extends the rescored prefix — the rejected-side
+// bound for a prefix of length k is max(outside, suffix[k]), O(1) per
+// round.  Only when even the whole pool cannot prove the cut does the scan
+// rebuild with cap × 8 (geometric, so the degenerate all-ties case stays
+// O(rows · log) until the pool covers every row, where the check accepts
+// unconditionally — everything rescored is trivially exact).
+
+/// Absolute slack added to every per-block error bound: covers the FP
+/// rounding differences between the kernel's approximate accumulation and
+/// the exact rescore, including the Q8 kernels' reciprocal multiply
+/// (d × (1/divisor) instead of d / divisor — see kernels.inl; ≲ 2 ulps of
+/// a ratio ≤ 1 per constraint, so ≲ n · 2⁻⁵¹ per score for n constraints).
+/// 1e-11 dwarfs that for any plausible n while sitting orders of magnitude
+/// below real quantization errors, so it never costs measurable
+/// selectivity.
+constexpr double kTwoPhaseSlack = 1e-11;
+
+/// Exact f64 score of one plan row — operation-for-operation the
+/// arithmetic the fused kernel path performs for this row's lane
+/// (kernels.inl): d = |req − value|, ratio = d / divisor, the clamp and
+/// presence masks as branches, × normalized weight, accumulated in
+/// constraint order, then WeightedSum's final clamp.  The kernels' masked
+/// lanes contribute +0.0 exactly like the `s = 0.0` terms here, and the
+/// accumulator can never be −0.0 (all terms ≥ +0.0), so the sums are
+/// bitwise equal to a full kernel scan's — the rock the two-phase
+/// bit-identity contract stands on (pinned by tests/core/quant_tier_test).
+double exact_row_score(const TypePlan& plan, std::size_t row,
+                       std::span<const RequestAttribute> constraints,
+                       std::span<const std::size_t> columns,
+                       std::span<const double> norm_weights, LocalMetric metric) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        const std::size_t c = columns[i];
+        if (c == TypePlan::npos) {
+            continue;  // the kernel scan never touches this constraint
+        }
+        const std::size_t slot = plan.slot(c, row);
+        double s = 0.0;
+        if (plan.present_mask[slot] != 0) {
+            const double d = std::abs(static_cast<double>(constraints[i].value) -
+                                      static_cast<double>(plan.values[slot]));
+            const double ratio = d / plan.divisor[c];
+            if (ratio < 1.0) {
+                s = metric == LocalMetric::manhattan ? 1.0 - ratio : 1.0 - ratio * ratio;
+            }
+        }
+        acc += norm_weights[i] * s;
+    }
+    return std::clamp(acc, 0.0, 1.0);
+}
+
+/// The two-phase scorer of retrieve_compiled_into's fused path.  Returns
+/// true with scratch.survivors holding the candidate rows (ascending) and
+/// sims[] exactly scored at those rows — a proven superset of the rows any
+/// exact full scan would return — or false when the plan has no Q8 tier,
+/// is below the engagement threshold, or K already covers every row (the
+/// exact scan is then at least as cheap).
+bool two_phase_score(const TypePlan& plan, std::span<const RequestAttribute> constraints,
+                     const RetrievalOptions& options, RetrievalScratch& scratch,
+                     std::vector<double>& sims) {
+    const std::size_t rows = plan.impl_count;
+    const std::size_t k0 = std::max(scratch.phase1_k, 4 * options.n_best);
+    if (!plan.has_q8() || rows < scratch.two_phase_min_rows || k0 >= rows) {
+        return false;
+    }
+    const std::size_t n = constraints.size();
+    const std::size_t stride = plan.row_stride;
+    const std::size_t blocks = plan.q8_blocks();
+
+    // Phase 1: approximate every row over the quantized tier, and fold the
+    // plan's per-(column, block) quantization error bounds into one score
+    // bound per block of rows.
+    //
+    // The scan is *tiled*: all constraints run over one kTileBlocks-block
+    // slice of rows before the scan advances, so the f64 accumulator slice
+    // (the dominant memory traffic of a constraint-major scan — 16 bytes
+    // of acc read+write per row per constraint, dwarfing the ~1.25 value
+    // bytes the Q8 tier streams) stays L1-resident instead of making a
+    // round trip per constraint.  Per row the terms still accumulate in
+    // constraint order, so the scores are bitwise what the un-tiled loop
+    // produced.
+    std::vector<double>& approx = scratch.approx;
+    approx.assign(stride, 0.0);
+    std::vector<double>& block_err = scratch.block_err;
+    block_err.assign(blocks, kTwoPhaseSlack);
+    plan.map_columns(constraints, scratch.columns);
+    const kern::KernelTable& kernels = kern::active_kernels();
+    const auto kernel = options.metric == LocalMetric::manhattan ? kernels.q8_manhattan
+                                                                 : kernels.q8_squared;
+    constexpr std::size_t kTileBlocks = 8;  // 256 rows → a 2 KB acc slice
+    for (std::size_t b0 = 0; b0 < blocks; b0 += kTileBlocks) {
+        const std::size_t r0 = b0 * TypePlan::kQuantBlock;
+        const std::size_t len = std::min(stride - r0, kTileBlocks * TypePlan::kQuantBlock);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = scratch.columns[i];
+            if (c == TypePlan::npos) {
+                continue;  // s_i = 0 everywhere, exactly as in the exact scan
+            }
+            kernel(approx.data() + r0, plan.q8.data() + c * stride + r0,
+                   plan.q8_scale.data() + c * blocks + b0, len, constraints[i].value,
+                   plan.divisor[c], scratch.norm_weights[i]);
+        }
+    }
+    const double lipschitz = options.metric == LocalMetric::manhattan ? 1.0 : 2.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = scratch.columns[i];
+        if (c == TypePlan::npos) {
+            continue;
+        }
+        const double factor = scratch.norm_weights[i] * lipschitz / plan.divisor[c];
+        for (std::size_t b = 0; b < blocks; ++b) {
+            block_err[b] += factor * static_cast<double>(plan.q8_err[c * blocks + b]);
+        }
+    }
+    // No clamp pass over approx: the safety check only uses Ŝ + E as an
+    // *upper* bound on the exact score, and clamping can only lower the
+    // exact side (S = clamp(sum) ≤ sum ≤ Ŝ + E holds unclamped), so
+    // ranking rows by the raw accumulator is both correct and one O(rows)
+    // pass cheaper.
+
+    scratch.two_phase = TwoPhaseStats{true, 0, 0, 0};
+    std::vector<std::uint32_t>& survivors = scratch.survivors;
+    sims.resize(stride);  // only survivor slots are written (and later read)
+
+    const auto better = [&](std::uint32_t a, std::uint32_t b) {
+        if (approx[a] != approx[b]) {
+            return approx[a] > approx[b];
+        }
+        return a < b;
+    };
+    const auto row_bound = [&](std::uint32_t r) {
+        return approx[r] + block_err[r / TypePlan::kQuantBlock];
+    };
+    const auto rescore = [&](std::uint32_t r) {
+        sims[r] = exact_row_score(plan, r, constraints, scratch.columns,
+                                  scratch.norm_weights, options.metric);
+        ++scratch.two_phase.rescored;
+    };
+
+    std::size_t k = k0;
+    // The pool comfortably over-covers K so typical widening stays inside
+    // it; 8× was sized against the bench workloads' observed final K.  When
+    // the pool swallows the whole plan no special case is needed: nothing
+    // is left outside, so outside_bound stays −1 and the safety check
+    // trivially accepts once k reaches rows (exact scores are ≥ 0).
+    std::size_t cap = std::min(rows, std::max<std::size_t>(8 * k0, 64));
+    while (true) {
+        // One bounded-heap pass selects the top `cap` rows by (Ŝ desc, row
+        // asc) — any deterministic order works, the safety check covers
+        // every rejected row — tracking the most optimistic row left
+        // outside the pool: max over outside x of Ŝ(x) + E(x).
+        double outside_bound = -1.0;  // bounds are ≥ 0
+        survivors.clear();
+        for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(cap); ++r) {
+            survivors.push_back(r);
+        }
+        std::make_heap(survivors.begin(), survivors.end(), better);
+        // Hot loop: one register compare per row in the common (reject)
+        // case.  Every candidate row r arrives after all pool rows, so on
+        // an approx tie `better` resolves to the incumbent (smaller row)
+        // and the strict > against the cached heap-front value is exactly
+        // the `better(r, front)` test without the indirect load.
+        double front_val = approx[survivors.front()];
+        for (std::uint32_t r = static_cast<std::uint32_t>(cap);
+             r < static_cast<std::uint32_t>(rows); ++r) {
+            if (approx[r] > front_val) {
+                std::pop_heap(survivors.begin(), survivors.end(), better);
+                outside_bound = std::max(outside_bound, row_bound(survivors.back()));
+                survivors.back() = r;
+                std::push_heap(survivors.begin(), survivors.end(), better);
+                front_val = approx[survivors.front()];
+            } else {
+                outside_bound = std::max(outside_bound, row_bound(r));
+            }
+        }
+        std::sort(survivors.begin(), survivors.end(), better);
+
+        // suffix_bound[j] = most optimistic row in pool[j..cap) or outside:
+        // the rejected-side bound when the rescored prefix has length j.
+        std::vector<double>& suffix_bound = scratch.suffix_bound;
+        suffix_bound.assign(cap + 1, outside_bound);
+        for (std::size_t j = cap; j-- > 0;) {
+            suffix_bound[j] = std::max(suffix_bound[j + 1], row_bound(survivors[j]));
+        }
+
+        // Phase 2: exactly rescore the prefix; widen by doubling it.  Each
+        // round costs only the newly added rows plus an O(k) safety check.
+        std::size_t scored = 0;
+        while (true) {
+            for (; scored < k; ++scored) {
+                rescore(survivors[scored]);
+            }
+            scratch.two_phase.final_k = k;
+
+            // Safety check: the n_best-th best exact survivor must
+            // *strictly* beat every rejected row's upper bound; otherwise
+            // a rejected row could still belong in the top n_best and K
+            // must widen.  k >= k0 >= 4 × n_best, so nth_element is valid.
+            std::vector<double>& exact_vals = scratch.locals;
+            exact_vals.clear();
+            for (std::size_t j = 0; j < k; ++j) {
+                exact_vals.push_back(sims[survivors[j]]);
+            }
+            std::nth_element(
+                exact_vals.begin(),
+                exact_vals.begin() + static_cast<std::ptrdiff_t>(options.n_best - 1),
+                exact_vals.end(), std::greater<double>());
+            if (suffix_bound[k] < exact_vals[options.n_best - 1]) {
+                survivors.resize(k);
+                // The final heap selection visits survivors in ascending
+                // row order so its tie handling is position-independent of
+                // how the pool happened to order them.
+                std::sort(survivors.begin(), survivors.end());
+                return true;
+            }
+            ++scratch.two_phase.widen_rounds;
+            if (k == cap) {
+                break;  // even the whole pool can't prove the cut: regrow
+            }
+            k = std::min(cap, k * 2);
+        }
+        k = cap;  // keep the prefix monotone across the pool rebuild
+        cap = std::min(rows, cap * 8);
+    }
 }
 
 /// Fills one reference-identical details row list for a compiled plan row.
@@ -250,6 +501,7 @@ RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
                 "retrieve_compiled needs a bound CompiledCaseBase (bind_compiled)");
 
     RetrievalResult result;
+    scratch.two_phase = TwoPhaseStats{};  // telemetry reflects this call only
     const TypePlan* plan = compiled_->find(request.type());
     if (plan == nullptr) {
         result.status = RetrievalStatus::type_not_found;
@@ -268,39 +520,51 @@ RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
     normalize_weights_into(constraints, scratch);
 
     std::vector<double>& sims = scratch.acc;
-    sims.assign(plan->row_stride, 0.0);  // padded lanes accumulate exactly 0.0
+    bool two_phase = false;
 
     if (amalgamation_ == nullptr) {
-        // Fused weighted-sum fast path, column-major: each constraint
-        // streams one contiguous padded column through the runtime-selected
-        // SIMD kernel (core/kernels.hpp).  Per accumulator the terms arrive
-        // in constraint order with the exact reference operations
+        // Fused weighted-sum fast path.  Large plans go two-phase: an
+        // approximate top-K scan of the Q8 quantized tier plus an exact
+        // rescore of the survivors, proven per request to contain every
+        // row the exact scan would return (see two_phase_score).  Anything
+        // else — small plans, K >= rows — streams each constraint's full
+        // exact column through the runtime-selected SIMD kernel
+        // (core/kernels.hpp).  Per accumulator the terms arrive in
+        // constraint order with the exact reference operations
         // (d / (1 + dmax), clamp-at-zero as a lane mask, presence as a lane
         // mask, × weight), and lanes are whole rows, so the final sums are
-        // bit-identical to WeightedSum::combine at any vector width.
-        const kern::KernelTable& kernels = kern::active_kernels();
-        for_each_constraint_column(
-            *plan, constraints, scratch.columns,
-            [&](std::size_t i, const RequestAttribute& constraint, std::size_t c) {
-                if (c == TypePlan::npos) {
-                    return;  // s_i = 0 everywhere: contributes exactly 0.0
-                }
-                const std::size_t stride = plan->row_stride;
-                const AttrValue* vals = plan->values.data() + c * stride;
-                const std::uint16_t* mask = plan->present_mask.data() + c * stride;
-                const auto kernel = options.metric == LocalMetric::manhattan
-                                        ? kernels.manhattan
-                                        : kernels.squared;
-                kernel(sims.data(), vals, mask, stride, constraint.value,
-                       plan->divisor[c], scratch.norm_weights[i]);
-            });
-        for (std::size_t r = 0; r < rows; ++r) {
-            sims[r] = std::clamp(sims[r], 0.0, 1.0);  // WeightedSum's final clamp
+        // bit-identical to WeightedSum::combine at any vector width —
+        // and the two-phase survivors' rescore performs the same
+        // operations row-wise, so the paths agree bitwise everywhere
+        // either of them is read.
+        two_phase = two_phase_score(*plan, constraints, options, scratch, sims);
+        if (!two_phase) {
+            sims.assign(plan->row_stride, 0.0);  // padded lanes stay exactly 0.0
+            const kern::KernelTable& kernels = kern::active_kernels();
+            for_each_constraint_column(
+                *plan, constraints, scratch.columns,
+                [&](std::size_t i, const RequestAttribute& constraint, std::size_t c) {
+                    if (c == TypePlan::npos) {
+                        return;  // s_i = 0 everywhere: contributes exactly 0.0
+                    }
+                    const std::size_t stride = plan->row_stride;
+                    const AttrValue* vals = plan->values.data() + c * stride;
+                    const std::uint16_t* mask = plan->present_mask.data() + c * stride;
+                    const auto kernel = options.metric == LocalMetric::manhattan
+                                            ? kernels.manhattan
+                                            : kernels.squared;
+                    kernel(sims.data(), vals, mask, stride, constraint.value,
+                           plan->divisor[c], scratch.norm_weights[i]);
+                });
+            for (std::size_t r = 0; r < rows; ++r) {
+                sims[r] = std::clamp(sims[r], 0.0, 1.0);  // WeightedSum's final clamp
+            }
         }
     } else {
         // General path (injected amalgamation): still columnar — the column
         // map replaces the per-(impl × constraint) binary search — but each
         // row materializes its locals for Amalgamation::combine.
+        sims.assign(plan->row_stride, 0.0);
         plan->map_columns(constraints, scratch.columns);
         scratch.locals.resize(n);
         for (std::size_t r = 0; r < rows; ++r) {
@@ -323,15 +587,18 @@ RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
     // Bounded top-k selection: a partial heap over the candidate rows keyed
     // on (similarity desc, ImplId asc).  With `ranks_before` as the heap's
     // "less", the front is the worst kept candidate; the final sort yields
-    // exactly the first n_best entries of the reference full sort.
+    // exactly the first n_best entries of the reference full sort.  Under
+    // two-phase scoring the candidates are the exactly-rescored survivors —
+    // a proven superset of the reference's top n_best, visited in the same
+    // ascending row order, so the selected set and its order are identical.
     std::vector<std::uint32_t>& heap = scratch.topk;
     heap.clear();
     const auto heap_less = [&](std::uint32_t a, std::uint32_t b) {
         return ranks_before(sims[a], plan->impl_ids[a], sims[b], plan->impl_ids[b]);
     };
-    for (std::uint32_t r = 0; r < rows; ++r) {
+    const auto consider = [&](std::uint32_t r) {
         if (sims[r] < options.threshold) {
-            continue;  // §3 threshold rejection, as in the reference loop
+            return;  // §3 threshold rejection, as in the reference loop
         }
         if (heap.size() < options.n_best) {
             heap.push_back(r);
@@ -341,6 +608,15 @@ RetrievalResult Retriever::retrieve_compiled_into(const Request& request,
             std::pop_heap(heap.begin(), heap.end(), heap_less);
             heap.back() = r;
             std::push_heap(heap.begin(), heap.end(), heap_less);
+        }
+    };
+    if (two_phase) {
+        for (const std::uint32_t r : scratch.survivors) {
+            consider(r);
+        }
+    } else {
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            consider(r);
         }
     }
     std::sort(heap.begin(), heap.end(), heap_less);

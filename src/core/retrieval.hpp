@@ -79,6 +79,16 @@ enum class RetrievalStatus {
     all_below_threshold ///< candidates existed but none passed the threshold
 };
 
+/// Telemetry of the last retrieve_compiled call's two-phase stage —
+/// observability for the tests that pin the widening fallback and for the
+/// bench's bytes-scanned accounting.  Never consulted by the algorithm.
+struct TwoPhaseStats {
+    bool engaged = false;          ///< phase 1 ran over the Q8 tier
+    std::size_t rescored = 0;      ///< rows exactly rescored (all widen rounds)
+    std::size_t widen_rounds = 0;  ///< times K doubled before the cut was safe
+    std::size_t final_k = 0;       ///< candidate count of the accepted cut
+};
+
 /// Caller-owned scratch for the compiled retrieval paths.
 ///
 /// One instance per serving thread; every vector is grown once to the
@@ -95,6 +105,22 @@ struct RetrievalScratch {
     WeightQuantScratch quant;             ///< quantizer working buffers
     std::vector<std::uint32_t> topk;      ///< candidate row heap
     std::vector<MatchQ15> q15_out;        ///< score_q15_*_into output
+
+    // Two-phase (Q8 tier) retrieval knobs.  retrieve_compiled runs phase 1
+    // over the quantized tier whenever the plan has one, the default
+    // weighted-sum amalgamation is in effect, the type has at least
+    // two_phase_min_rows implementations, and the phase-1 candidate count
+    // K = max(phase1_k, 4 × n_best) is below the row count (otherwise a
+    // full exact scan is cheaper).  The knobs tune *performance only*:
+    // results are bit-identical to the exact scan at every setting.
+    std::size_t phase1_k = 0;              ///< extra K floor; 0 = 4 × n_best
+    std::size_t two_phase_min_rows = 128;  ///< smaller plans scan exact directly
+
+    std::vector<double> approx;            ///< phase-1 scores (Q8 tier)
+    std::vector<double> block_err;         ///< per-block score error bound
+    std::vector<std::uint32_t> survivors;  ///< phase-2 exact-rescore rows
+    std::vector<double> suffix_bound;      ///< pool-tail rejected-row bounds
+    TwoPhaseStats two_phase;               ///< telemetry of the last call
 };
 
 /// Retrieval knobs.
@@ -159,6 +185,17 @@ public:
     /// just over the structure-of-arrays layout.  Requires a bound compiled
     /// view.  `scratch` (optional) removes all steady-state allocations
     /// apart from the returned matches.
+    ///
+    /// Large plans take the *two-phase* route behind this same entry point:
+    /// an approximate top-K scan of the plan's Q8 quantized tier (~1.25
+    /// bytes/row/constraint instead of 4) selects candidates, which are
+    /// then exactly rescored in f64.  A conservative per-block
+    /// quantization-error bound guards the cut — whenever the exact scores
+    /// of the survivors cannot prove every rejected row is strictly out of
+    /// the top n_best, K widens and the scan falls back toward the full
+    /// rescore — so the returned matches are bit-identical to the exact
+    /// scan by construction, never by luck (see RetrievalScratch's
+    /// two-phase knobs and docs/ARCHITECTURE.md §2).
     [[nodiscard]] RetrievalResult retrieve_compiled(
         const Request& request, const RetrievalOptions& options = {},
         RetrievalScratch* scratch = nullptr) const;

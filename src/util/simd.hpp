@@ -18,7 +18,8 @@
 //
 // Bit-identity contract.  Every operation here is a correctly rounded
 // IEEE-754 primitive (add/sub/mul/div), an exact integer/bit operation, or
-// an exact conversion (u16 -> f64 is lossless).  Nothing fuses, nothing
+// an exact conversion (u16 -> f64 and u8 -> f64 are lossless).  Nothing
+// fuses, nothing
 // re-associates, nothing approximates (no rcpps, no FMA): a kernel built
 // from these wrappers performs the same arithmetic in the same per-lane
 // order at any width, so SIMD results are bit-identical to the scalar
@@ -111,6 +112,24 @@ inline f64v f64_lanemask_u16(const std::uint16_t* p) noexcept {
     return _mm256_castsi256_pd(_mm256_cmpgt_epi64(wide, _mm256_setzero_si256()));
 }
 
+/// Widens kF64Lanes Q8 codes (u8) to f64 lanes (exact conversion).
+inline f64v f64_from_u8(const std::uint8_t* p) noexcept {
+    std::uint32_t packed;
+    std::memcpy(&packed, p, sizeof(packed));
+    const __m128i raw = _mm_cvtsi32_si128(static_cast<int>(packed));
+    return _mm256_cvtepi32_pd(_mm_cvtepu8_epi32(raw));
+}
+
+/// Q8 presence masks: code 0 encodes "absent" in the quantized tier, so
+/// the lane mask is simply code != 0 widened to all-ones / all-zeros.
+inline f64v f64_lanemask_u8(const std::uint8_t* p) noexcept {
+    std::uint32_t packed;
+    std::memcpy(&packed, p, sizeof(packed));
+    const __m128i raw = _mm_cvtsi32_si128(static_cast<int>(packed));
+    const __m256i wide = _mm256_cvtepu8_epi64(raw);
+    return _mm256_castsi256_pd(_mm256_cmpgt_epi64(wide, _mm256_setzero_si256()));
+}
+
 #elif defined(QFA_SIMD_ISA_SSE2)
 
 inline namespace simd_sse2 {
@@ -155,6 +174,18 @@ inline f64v f64_lanemask_u16(const std::uint16_t* p) noexcept {
     return _mm_castsi128_pd(_mm_shuffle_epi32(u32, _MM_SHUFFLE(1, 1, 0, 0)));
 }
 
+/// Widens kF64Lanes Q8 codes (u8) to f64 lanes (exact conversion; a u8
+/// always fits a double, so the plain set is lossless).
+inline f64v f64_from_u8(const std::uint8_t* p) noexcept {
+    return _mm_set_pd(static_cast<double>(p[1]), static_cast<double>(p[0]));
+}
+
+/// Q8 presence masks: code 0 encodes "absent" in the quantized tier.
+inline f64v f64_lanemask_u8(const std::uint8_t* p) noexcept {
+    const __m128i lanes = _mm_set_epi64x(p[1] != 0 ? -1 : 0, p[0] != 0 ? -1 : 0);
+    return _mm_castsi128_pd(lanes);
+}
+
 #elif defined(QFA_SIMD_ISA_NEON)
 
 inline namespace simd_neon {
@@ -188,6 +219,19 @@ inline f64v f64_from_u16(const std::uint16_t* p) noexcept {
 }
 
 inline f64v f64_lanemask_u16(const std::uint16_t* p) noexcept {
+    const std::uint64_t wide[2] = {p[0] != 0 ? ~std::uint64_t{0} : 0,
+                                   p[1] != 0 ? ~std::uint64_t{0} : 0};
+    return vreinterpretq_f64_u64(vld1q_u64(wide));
+}
+
+/// Widens kF64Lanes Q8 codes (u8) to f64 lanes (exact conversion).
+inline f64v f64_from_u8(const std::uint8_t* p) noexcept {
+    const std::uint64_t wide[2] = {p[0], p[1]};
+    return vcvtq_f64_u64(vld1q_u64(wide));
+}
+
+/// Q8 presence masks: code 0 encodes "absent" in the quantized tier.
+inline f64v f64_lanemask_u8(const std::uint8_t* p) noexcept {
     const std::uint64_t wide[2] = {p[0] != 0 ? ~std::uint64_t{0} : 0,
                                    p[1] != 0 ? ~std::uint64_t{0} : 0};
     return vreinterpretq_f64_u64(vld1q_u64(wide));
@@ -239,6 +283,14 @@ inline f64v f64_from_u16(const std::uint16_t* p) noexcept {
 }
 
 inline f64v f64_lanemask_u16(const std::uint16_t* p) noexcept {
+    return detail::bits_to_f64(*p != 0 ? ~std::uint64_t{0} : 0);
+}
+
+inline f64v f64_from_u8(const std::uint8_t* p) noexcept {
+    return static_cast<double>(*p);
+}
+
+inline f64v f64_lanemask_u8(const std::uint8_t* p) noexcept {
     return detail::bits_to_f64(*p != 0 ? ~std::uint64_t{0} : 0);
 }
 

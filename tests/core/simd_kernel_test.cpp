@@ -116,6 +116,34 @@ void expect_tables_identical(const TypePlan& plan, const std::string& context) {
                     table->q15(qgot.data(), vals, mask, stride, req,
                                plan.reciprocal[c].raw(), q15_weights[w]);
                     ASSERT_EQ(qref, qgot) << "q15 col " << c << " req " << req;
+
+                    // The Q8 phase-1 kernels share the bit-identity
+                    // contract: same per-row operations at every width.
+                    const std::uint8_t* codes = plan.q8.data() + c * stride;
+                    const float* scales = plan.q8_scale.data() + c * plan.q8_blocks();
+                    ref.assign(stride, 0.125);
+                    got.assign(stride, 0.125);
+                    scalar.q8_manhattan(ref.data(), codes, scales, stride, req,
+                                        plan.divisor[c], weights[w]);
+                    table->q8_manhattan(got.data(), codes, scales, stride, req,
+                                        plan.divisor[c], weights[w]);
+                    for (std::size_t r = 0; r < stride; ++r) {
+                        ASSERT_EQ(std::bit_cast<std::uint64_t>(ref[r]),
+                                  std::bit_cast<std::uint64_t>(got[r]))
+                            << "q8_manhattan col " << c << " row " << r << " req " << req;
+                    }
+
+                    ref.assign(stride, 0.75);
+                    got.assign(stride, 0.75);
+                    scalar.q8_squared(ref.data(), codes, scales, stride, req,
+                                      plan.divisor[c], weights[w]);
+                    table->q8_squared(got.data(), codes, scales, stride, req,
+                                      plan.divisor[c], weights[w]);
+                    for (std::size_t r = 0; r < stride; ++r) {
+                        ASSERT_EQ(std::bit_cast<std::uint64_t>(ref[r]),
+                                  std::bit_cast<std::uint64_t>(got[r]))
+                            << "q8_squared col " << c << " row " << r << " req " << req;
+                    }
                 }
             }
         }
@@ -221,6 +249,11 @@ TEST(SimdKernelTest, SpliceAcrossAlignmentBoundaryStaysIdentical) {
         EXPECT_EQ(plan->row_stride, reference->row_stride);
         EXPECT_EQ(plan->values, reference->values);
         EXPECT_EQ(plan->present_mask, reference->present_mask);
+        // The spliced Q8 tier (copied blocks + requantized tail) must equal
+        // a fresh compile's byte for byte.
+        EXPECT_EQ(plan->q8, reference->q8);
+        EXPECT_EQ(plan->q8_scale, reference->q8_scale);
+        EXPECT_EQ(plan->q8_err, reference->q8_err);
         expect_tables_identical(*plan, "spliced step=" + std::to_string(step));
 
         tree = std::move(next_tree);

@@ -426,6 +426,75 @@ TEST(BoundedMpmcQueueTest, ExtractReturnsNulloptWhenNothingSelected) {
     EXPECT_EQ(queue.size(), 1u);
 }
 
+TEST(BoundedMpmcQueueTest, ExtractOnEmptyQueueReturnsCleanly) {
+    // The shedder can race a consumer and find the queue already drained:
+    // the selector must see an empty snapshot (not stale items), decline,
+    // and extract must return nullopt without waking anyone spuriously.
+    BoundedMpmcQueue<int> queue(2);
+    bool saw_empty = false;
+    const auto none = queue.extract([&](const std::deque<int>& items) {
+        saw_empty = items.empty();
+        return items.size();  // size() == 0: "select nothing" and index 0
+                              // coincide on an empty deque — both are safe
+    });
+    EXPECT_EQ(none, std::nullopt);
+    EXPECT_TRUE(saw_empty);
+    EXPECT_EQ(queue.size(), 0u);
+    // Still fully operational afterwards.
+    EXPECT_TRUE(queue.try_push(5));
+    EXPECT_EQ(queue.pop(), 5);
+}
+
+TEST(BoundedMpmcQueueTest, PushUntilTimesOutWhileConsumerIsMidExtract) {
+    // A shedder hammering extract() with a selector that declines every
+    // victim takes and releases the lock continuously but never frees a
+    // slot.  push_until must not mistake those lock handoffs for progress:
+    // it re-checks the predicate, keeps waiting, and still reports
+    // timed_out at the deadline with the queue depth untouched.
+    BoundedMpmcQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    std::atomic<bool> stop{false};
+    std::thread shedder([&] {
+        while (!stop.load()) {
+            const auto none = queue.extract(
+                [](const std::deque<int>& items) { return items.size(); });
+            ASSERT_EQ(none, std::nullopt);
+        }
+    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+    EXPECT_EQ(queue.push_until(1, deadline), PushStatus::timed_out);
+    EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+    stop.store(true);
+    shedder.join();
+    EXPECT_EQ(queue.size(), 1u);  // nothing shed, nothing pushed
+    EXPECT_EQ(queue.pop(), 0);
+}
+
+TEST(BoundedMpmcQueueTest, WaitBelowWakesOnShutdown) {
+    // An admission layer parked in wait_below must not sleep out its whole
+    // deadline when the queue shuts down: close() wakes it immediately and
+    // the verdict is honest — false, the depth never dropped.
+    BoundedMpmcQueue<int> queue(2);
+    ASSERT_TRUE(queue.push(1));
+    ASSERT_TRUE(queue.push(2));
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        queue.close();
+    });
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::seconds(60);
+    EXPECT_FALSE(queue.wait_below(1, deadline));
+    // Return far before the deadline proves the close woke the wait; the
+    // generous bound keeps the check robust on slow CI machines.
+    EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(30));
+    closer.join();
+    // Accepted items still drain after the refused wait (graceful close).
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
 TEST(BoundedMpmcQueueTest, ExtractUnblocksAWaitingProducer) {
     BoundedMpmcQueue<int> queue(1);
     ASSERT_TRUE(queue.push(0));
