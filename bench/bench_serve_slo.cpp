@@ -253,7 +253,172 @@ void print_overload() {
                      static_cast<double>(std::max<std::uint64_t>(report.submitted, 1)));
 }
 
-// ---- 3. admission bookkeeping overhead vs the blocking path --------------
+// ---- 3. 90/10 skew: work stealing vs a hot shard -------------------------
+
+void print_skew() {
+    // 8 types over 4 shards; the skew profile routes 90% of arrivals onto
+    // ONE hot type (hot_type_fraction 0.1 -> ceil(0.8) = 1), which TypeId
+    // sharding concentrates onto one worker while three idle — the
+    // queue-depth-bound p999 the steal path exists to remove.
+    const wl::GeneratedCatalog catalog = make_catalog(8, 64, 0x510B04);
+    const auto engine_config = [](bool steal) {
+        serve::EngineConfig cfg;
+        cfg.shard_count = 4;
+        cfg.queue_capacity = 4096;  // no refusals: latency is the story here
+        cfg.steal.enabled = steal;
+        cfg.steal.min_victim_depth = 2;
+        return cfg;
+    };
+
+    wl::OpenLoopConfig config;
+    config.seed = 0x510B04;
+    config.options.n_best = 4;
+    double capacity = 0.0;
+    {
+        serve::Engine probe(catalog.case_base, engine_config(false));
+        capacity = measured_capacity_hz(probe, catalog, config.options);
+    }
+    // Under TOTAL capacity on purpose: offered load the engine as a whole
+    // can absorb, so any p999 blow-up is shard imbalance, not overload.
+    const double offered = 0.6 * capacity;
+    config.duration = overload_duration(offered, 1500);
+    config.slo = std::chrono::milliseconds(50);
+
+    const auto tenant = [&](bool skewed) {
+        wl::OpenLoopTenant t;
+        t.tenant = 0;
+        t.arrival_rate_hz = offered;
+        t.zipf_s = 0.0;  // uniform popularity unless the hot/cold knob is on
+        if (skewed) {
+            t.hot_type_fraction = 0.1;
+            t.hot_traffic_share = 0.9;
+        }
+        return t;
+    };
+    const wl::ArrivalSchedule uniform_schedule = wl::build_schedule(
+        catalog.case_base, catalog.bounds, {tenant(false)}, config);
+    const wl::ArrivalSchedule skew_schedule = wl::build_schedule(
+        catalog.case_base, catalog.bounds, {tenant(true)}, config);
+    const cbr::Retriever reference(catalog.case_base, catalog.bounds);
+
+    // Steal-machinery self-check BEFORE any timed run, deterministic on
+    // any core count: park the hot shard's worker in an execute closure,
+    // submit hot-shard retrievals behind it, and require them to complete
+    // — with the home worker provably blocked, every completion IS a
+    // steal.  Each stolen result must match the reference; the no-steal
+    // runs are checked against the same reference, so "bit-identical to
+    // the no-steal engine" holds transitively.
+    {
+        serve::Engine engine(catalog.case_base, engine_config(true));
+        std::vector<std::uint64_t> arrivals_by_shard(engine.shard_count(), 0);
+        for (const wl::Arrival& arrival : skew_schedule.arrivals) {
+            ++arrivals_by_shard[engine.shard_of(arrival.generated.request.type())];
+        }
+        const std::size_t hot_shard = static_cast<std::size_t>(
+            std::max_element(arrivals_by_shard.begin(), arrivals_by_shard.end()) -
+            arrivals_by_shard.begin());
+        std::promise<void> latch;
+        std::shared_future<void> gate = latch.get_future().share();
+        std::future<void> parked = engine.execute(hot_shard, [gate] { gate.wait(); });
+        std::vector<std::size_t> submitted_arrivals;
+        std::vector<std::future<cbr::RetrievalResult>> futures;
+        for (std::size_t i = 0;
+             i < skew_schedule.arrivals.size() && futures.size() < 32; ++i) {
+            const cbr::Request& request = skew_schedule.arrivals[i].generated.request;
+            if (engine.shard_of(request.type()) == hot_shard) {
+                submitted_arrivals.push_back(i);
+                futures.push_back(engine.submit(request, config.options));
+            }
+        }
+        // Wait on all but the LAST future: thieves pull the victim's FIFO
+        // front, so every earlier job is stolen while the home worker is
+        // provably parked — but the final job sits at depth 1, below
+        // min_victim_depth (stealing a backlog of one is churn the knob
+        // exists to forbid), and is the home worker's to serve after the
+        // latch opens.
+        const std::size_t stealable = futures.size() > 0 ? futures.size() - 1 : 0;
+        for (std::size_t f = 0; f < stealable; ++f) {
+            const cbr::RetrievalResult result = futures[f].get();
+            const cbr::RetrievalResult expected = reference.retrieve(
+                skew_schedule.arrivals[submitted_arrivals[f]].generated.request,
+                config.options);
+            if (!cbr::identical_results(expected, result)) {
+                std::cerr << "FATAL: stolen retrieval diverged from the reference\n";
+                std::exit(1);
+            }
+        }
+        const std::uint64_t stolen = engine.stats().stolen;
+        latch.set_value();
+        parked.get();
+        for (std::size_t f = stealable; f < futures.size(); ++f) {
+            (void)futures[f].get();
+        }
+        if (stealable == 0 || stolen == 0) {
+            std::cerr << "FATAL: hot-shard retrievals behind a parked worker were "
+                         "not stolen — the steal path never engaged\n";
+            std::exit(1);
+        }
+    }
+
+    struct SkewRun {
+        const char* name;
+        const wl::ArrivalSchedule* schedule;
+        bool steal;
+        wl::OpenLoopReport report;
+        serve::EngineStats stats;
+    };
+    SkewRun runs[] = {
+        {"uniform, no steal", &uniform_schedule, false, {}, {}},
+        {"90/10 hot, no steal", &skew_schedule, false, {}, {}},
+        {"90/10 hot, steal", &skew_schedule, true, {}, {}},
+    };
+    for (SkewRun& run : runs) {
+        serve::Engine engine(catalog.case_base, engine_config(run.steal));
+        run.report = run_open_loop(engine, *run.schedule, config);
+        run.stats = engine.stats();
+        check_served_identical_or_die(*run.schedule, run.report, reference,
+                                      config.options, run.name);
+    }
+    const double uniform_p999 = std::max(to_us(runs[0].report.p999), 1e-3);
+
+    std::cout << "=== 90/10 skew: work stealing vs a hot shard ===\n\n";
+    util::Table table({"traffic / engine", "served", "p50 us", "p99 us", "p999 us",
+                       "p999 vs uniform", "stolen"});
+    for (const SkewRun& run : runs) {
+        table.add_row({run.name, std::to_string(run.report.served),
+                       util::to_fixed(to_us(run.report.p50), 1),
+                       util::to_fixed(to_us(run.report.p99), 1),
+                       util::to_fixed(to_us(run.report.p999), 1),
+                       util::to_fixed(to_us(run.report.p999) / uniform_p999, 2) + "x",
+                       std::to_string(run.stats.stolen)});
+    }
+    std::cout << table.render_with_title(
+                     "one tenant paced at 0.6x measured capacity over 8 types on\n"
+                     "4 shards; the hot profile routes 90% of arrivals to 1 type\n"
+                     "(one shard).  Same offered load everywhere; every served\n"
+                     "result bit-identical to the single-threaded reference")
+              << "\n";
+    const serve::EngineStats& steal_stats = runs[2].stats;
+    std::cout << "steal telemetry (90/10 + steal): stolen " << steal_stats.stolen
+              << " (same-node " << steal_stats.stolen_same_node << ", cross-node "
+              << steal_stats.stolen_cross_node << "); per-victim-shard [";
+    for (std::size_t s = 0; s < steal_stats.shard_stolen.size(); ++s) {
+        std::cout << (s == 0 ? "" : ", ") << steal_stats.shard_stolen[s];
+    }
+    std::cout << "]\n";
+    std::cout << "acceptance: p999(90/10, steal) <= 2x p999(uniform) — measured "
+              << util::to_fixed(to_us(runs[2].report.p999) / uniform_p999, 2)
+              << "x (vs " << util::to_fixed(to_us(runs[1].report.p999) / uniform_p999, 2)
+              << "x with stealing off; the no-steal gap needs idle sibling cores "
+                 "to be visible)\n\n";
+    record_table("slo_skew_uniform", to_us(runs[0].report.p999) * 1000.0, 1.0);
+    record_table("slo_skew_nosteal", to_us(runs[1].report.p999) * 1000.0,
+                 uniform_p999 / std::max(to_us(runs[1].report.p999), 1e-3));
+    record_table("slo_skew_steal", to_us(runs[2].report.p999) * 1000.0,
+                 uniform_p999 / std::max(to_us(runs[2].report.p999), 1e-3));
+}
+
+// ---- 4. admission bookkeeping overhead vs the blocking path --------------
 
 void print_admission_overhead() {
     const wl::GeneratedCatalog catalog = make_catalog(16, 64, 0x510B03);
@@ -383,12 +548,34 @@ BENCHMARK(bm_try_submit_drain)->Arg(1)->Arg(2)->Arg(4);
 
 int main(int argc, char** argv) {
     const std::string json_path = benchjson::strip_json_flag(argc, argv);
+    // --only-skew: just the skew/stealing table (CI's skewed-overload smoke
+    // leg archives its JSON as BENCH_slo_skew.json without re-running the
+    // other tables).  Stripped before Google Benchmark sees the args.
+    bool only_skew = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--only-skew") {
+            only_skew = true;
+            for (int j = i; j + 1 < argc; ++j) {
+                argv[j] = argv[j + 1];
+            }
+            --argc;
+            break;
+        }
+    }
 
-    print_underload();
-    print_overload();
-    print_admission_overhead();
+    if (!only_skew) {
+        print_underload();
+        print_overload();
+    }
+    print_skew();
+    if (!only_skew) {
+        print_admission_overhead();
+    }
     if (!json_path.empty()) {
         benchjson::write("bench_serve_slo", json_path);
+    }
+    if (only_skew) {
+        return 0;
     }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/numa.hpp"
 
 namespace qfa::serve {
 
@@ -22,11 +23,24 @@ std::exception_ptr engine_stopped() {
 Engine::Engine(cbr::CaseBase initial, EngineConfig config)
     : master_(std::move(initial)),
       store_(make_generation(master_.epoch(), master_.snapshot(), master_.bounds())),
-      admission_(config.admission) {
+      admission_(config.admission),
+      steal_(config.steal) {
     QFA_EXPECTS(config.shard_count >= 1, "engine needs at least one shard");
     QFA_EXPECTS(config.queue_capacity >= 1, "engine needs a positive queue capacity");
+    QFA_EXPECTS(steal_.min_victim_depth >= 1, "a steal victim needs at least one job");
+    // NUMA placement is advisory end to end: `numa_live_` only decides
+    // whether the shim is asked, never what any retrieval computes.  The
+    // shard→node map exists (all zeros) even when placement is off so the
+    // steal path and stats() never branch on support.
+    numa_live_ = config.numa && util::numa::supported();
+    const std::size_t node_count = numa_live_ ? util::numa::node_count() : 1;
+    shard_node_.resize(config.shard_count, 0);
+    for (std::size_t i = 0; i < config.shard_count; ++i) {
+        shard_node_[i] = i % node_count;
+    }
     // EDF mode hands the queue a deadline extractor; execute closures have
     // no deadline and so always rank behind deadlined retrievals.
+    edf_ = config.edf;
     BoundedMpmcQueue<Job>::DeadlineFn deadline_of;
     if (config.edf) {
         deadline_of = [](const Job& job) -> std::optional<std::chrono::steady_clock::time_point> {
@@ -38,83 +52,256 @@ Engine::Engine(cbr::CaseBase initial, EngineConfig config)
     for (std::size_t i = 0; i < config.shard_count; ++i) {
         shards_.push_back(std::make_unique<Shard>(config.queue_capacity, deadline_of));
     }
+    // Place the initial catalogue's plan columns before any worker scans
+    // them (shard_node_ is final here, shards_ sizes shard_of's modulo).
+    if (numa_live_) {
+        for (const auto& plan : store_.load()->compiled.plans()) {
+            bind_plan_columns(*plan);
+        }
+    }
     // Workers start only after every shard exists: shard_of indexes the
-    // final vector.
-    for (const std::unique_ptr<Shard>& shard : shards_) {
-        shard->worker = std::thread([this, &shard = *shard] { worker_loop(shard); });
+    // final vector, and the steal path scans all of them.
+    for (std::size_t i = 0; i < config.shard_count; ++i) {
+        shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
     }
 }
 
 Engine::~Engine() { shutdown(); }
 
-void Engine::worker_loop(Shard& shard) {
+void Engine::worker_loop(std::size_t self) {
+    Shard& shard = *shards_[self];
+    if (numa_live_) {
+        // Advisory affinity: a refused pin (cpuset restrictions, exotic
+        // topologies) costs locality, never correctness.
+        (void)util::numa::pin_thread_to_node(shard_node_[self]);
+    }
     // One scratch per worker: the compiled path's steady state allocates
     // nothing beyond returned matches.  The generation is pinned per job
     // and released before blocking on an empty queue, so an idle shard
     // never keeps a retired epoch (tree + plans) alive; the Retriever it
     // binds is four pointers, not worth caching across epochs.
     cbr::RetrievalScratch scratch;
-    while (std::optional<Job> job = shard.queue.pop()) {
-        // Count before fulfilling the promise (release, matching stats()'s
-        // acquire reads): anyone who has observed the result must also
-        // observe it in the stats, and a stats() snapshot that includes
-        // this completion also includes its submission.
-        if (RetrieveJob* retrieval = std::get_if<RetrieveJob>(&*job)) {
-            // Drop-on-dequeue expiry: a deadline that *passed* while the job
-            // sat queued is a DeadlineExceeded resolution, never a silent
-            // drop and never a wasted retrieval.  The boundary is
-            // expired_on_dequeue's (d < now serves; d == now still serves).
-            if (retrieval->cls.deadline.has_value()) {
-                const auto now = std::chrono::steady_clock::now();
-                if (expired_on_dequeue(*retrieval->cls.deadline, now)) {
-                    expired_.fetch_add(1, std::memory_order_release);
-                    if (retrieval->tenant != nullptr) {
-                        retrieval->tenant->expired.fetch_add(1, std::memory_order_relaxed);
-                    }
-                    if (retrieval->counted_inflight) {
-                        inflight_.fetch_sub(1, std::memory_order_relaxed);
-                    }
-                    if (retrieval->cls.completed_at != nullptr) {
-                        *retrieval->cls.completed_at = now;
-                    }
-                    retrieval->promise.set_exception(
-                        std::make_exception_ptr(DeadlineExceeded{}));
-                    continue;
+    if (!steal_.enabled) {
+        // The classic single-consumer drain: block on the own queue,
+        // exit once it is closed and empty.
+        while (std::optional<Job> job = shard.queue.pop()) {
+            serve_job(shard, std::move(*job), scratch);
+        }
+        return;
+    }
+    // Steal mode: never block indefinitely on the own queue — alternate
+    // own work, victim scans, and bounded parks.  Exit condition matches
+    // pop()'s: the own queue is closed AND drained (each worker drains its
+    // own backlog; shutdown() closes every queue before joining).
+    for (;;) {
+        std::optional<Job> job = shard.queue.try_pop();
+        if (job.has_value()) {
+            serve_job(shard, std::move(*job), scratch);
+            // Shallow-backlog assist: with a watermark set, a worker whose
+            // remaining depth is below it lends one service to the deepest
+            // qualifying sibling before returning to its own queue.
+            if (steal_.own_watermark == 0 ||
+                shard.queue.size() >= steal_.own_watermark) {
+                continue;
+            }
+            if (std::optional<Job> loot = try_steal(self)) {
+                serve_job(shard, std::move(*loot), scratch);
+            }
+            continue;
+        }
+        if (std::optional<Job> loot = try_steal(self)) {
+            serve_job(shard, std::move(*loot), scratch);
+            continue;
+        }
+        // Dry everywhere: park on the own queue for one scan period.  A
+        // home push wakes this immediately; a sibling's backlog is caught
+        // by the next scan after the park expires.
+        job = shard.queue.pop_until(std::chrono::steady_clock::now() + steal_.park);
+        if (job.has_value()) {
+            serve_job(shard, std::move(*job), scratch);
+            continue;
+        }
+        if (shard.queue.closed() && shard.queue.size() == 0) {
+            return;
+        }
+    }
+}
+
+void Engine::serve_job(Shard& self, Job job, cbr::RetrievalScratch& scratch) {
+    // Count before fulfilling the promise (release, matching stats()'s
+    // acquire reads): anyone who has observed the result must also
+    // observe it in the stats, and a stats() snapshot that includes
+    // this completion also includes its submission.  `self` is the
+    // EXECUTING worker's shard — for a stolen job that is the thief, so
+    // shard_served keeps meaning "completions by this worker".
+    if (RetrieveJob* retrieval = std::get_if<RetrieveJob>(&job)) {
+        // Drop-on-dequeue expiry: a deadline that *passed* while the job
+        // sat queued is a DeadlineExceeded resolution, never a silent
+        // drop and never a wasted retrieval.  The boundary is
+        // expired_on_dequeue's (d < now serves; d == now still serves).
+        if (retrieval->cls.deadline.has_value()) {
+            const auto now = std::chrono::steady_clock::now();
+            if (expired_on_dequeue(*retrieval->cls.deadline, now)) {
+                expired_.fetch_add(1, std::memory_order_release);
+                if (retrieval->tenant != nullptr) {
+                    retrieval->tenant->expired.fetch_add(1, std::memory_order_relaxed);
                 }
-            }
-            const GenerationPtr pinned = store_.load();
-            const cbr::Retriever retriever(pinned->case_base, pinned->bounds,
-                                           pinned->compiled);
-            shard.served.fetch_add(1, std::memory_order_release);
-            if (retrieval->tenant != nullptr) {
-                retrieval->tenant->served.fetch_add(1, std::memory_order_relaxed);
-            }
-            try {
-                cbr::RetrievalResult result = retriever.retrieve_compiled(
-                    retrieval->request, retrieval->options, &scratch);
-                // Stamp before set_value: the future's happens-before makes
-                // the stamp readable after get()/wait() returns.
+                if (retrieval->counted_inflight) {
+                    inflight_.fetch_sub(1, std::memory_order_relaxed);
+                }
                 if (retrieval->cls.completed_at != nullptr) {
-                    *retrieval->cls.completed_at = std::chrono::steady_clock::now();
+                    *retrieval->cls.completed_at = now;
                 }
-                retrieval->promise.set_value(std::move(result));
-            } catch (...) {
-                retrieval->promise.set_exception(std::current_exception());
-            }
-            if (retrieval->counted_inflight) {
-                inflight_.fetch_sub(1, std::memory_order_relaxed);
-            }
-        } else {
-            ExecuteJob& exec = std::get<ExecuteJob>(*job);
-            shard.served.fetch_add(1, std::memory_order_release);
-            executed_.fetch_add(1, std::memory_order_release);
-            try {
-                exec.fn();
-                exec.promise.set_value();
-            } catch (...) {
-                exec.promise.set_exception(std::current_exception());
+                retrieval->promise.set_exception(
+                    std::make_exception_ptr(DeadlineExceeded{}));
+                return;
             }
         }
+        // The epoch pin.  For a stolen job this runs on the thief AT ITS
+        // DEQUEUE — the retrieval resolves against the generation current
+        // when the job left the victim's queue, exactly the generation the
+        // victim's own pop-then-pin would have used at that instant, so
+        // stolen execution is bit-identical to home execution by
+        // construction (sharding — and stealing — only decide *where* a
+        // plan is scored, never *how*).
+        const GenerationPtr pinned = store_.load();
+        const cbr::Retriever retriever(pinned->case_base, pinned->bounds,
+                                       pinned->compiled);
+        self.served.fetch_add(1, std::memory_order_release);
+        if (retrieval->tenant != nullptr) {
+            retrieval->tenant->served.fetch_add(1, std::memory_order_relaxed);
+        }
+        try {
+            cbr::RetrievalResult result = retriever.retrieve_compiled(
+                retrieval->request, retrieval->options, &scratch);
+            // Stamp before set_value: the future's happens-before makes
+            // the stamp readable after get()/wait() returns.
+            if (retrieval->cls.completed_at != nullptr) {
+                *retrieval->cls.completed_at = std::chrono::steady_clock::now();
+            }
+            retrieval->promise.set_value(std::move(result));
+        } catch (...) {
+            retrieval->promise.set_exception(std::current_exception());
+        }
+        if (retrieval->counted_inflight) {
+            inflight_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    } else {
+        ExecuteJob& exec = std::get<ExecuteJob>(job);
+        self.served.fetch_add(1, std::memory_order_release);
+        executed_.fetch_add(1, std::memory_order_release);
+        try {
+            exec.fn();
+            exec.promise.set_value();
+        } catch (...) {
+            exec.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+std::size_t Engine::steal_slot(const std::deque<Job>& items) const {
+    // Mirror of the victim queue's own pop choice (BoundedMpmcQueue::pop /
+    // earliest_locked): FIFO takes the front; EDF takes the smallest
+    // extracted deadline, no-deadline items rank infinitely late, every
+    // tie breaks towards arrival order.  Stealing EXACTLY the pop slot is
+    // the no-bypass guarantee — a steal can never serve a job the home
+    // worker would not have served next, so no higher-priority or
+    // nearer-deadline job is overtaken on the victim shard.  When the pop
+    // slot is an execute closure the steal declines entirely (>= size):
+    // closures are pinned to their shard's thread, and taking a later
+    // retrieval instead WOULD be a bypass.
+    if (items.empty()) {
+        return items.size();
+    }
+    std::size_t slot = 0;
+    if (edf_) {
+        std::optional<std::chrono::steady_clock::time_point> best;
+        if (const RetrieveJob* r = std::get_if<RetrieveJob>(&items[0])) {
+            best = r->cls.deadline;
+        }
+        for (std::size_t i = 1; i < items.size(); ++i) {
+            const RetrieveJob* r = std::get_if<RetrieveJob>(&items[i]);
+            const std::optional<std::chrono::steady_clock::time_point> deadline =
+                r == nullptr ? std::nullopt : r->cls.deadline;
+            if (deadline.has_value() && (!best.has_value() || *deadline < *best)) {
+                slot = i;
+                best = deadline;
+            }
+        }
+    }
+    return std::holds_alternative<RetrieveJob>(items[slot]) ? slot : items.size();
+}
+
+std::optional<Engine::Job> Engine::try_steal(std::size_t thief) {
+    // Victim order: same-NUMA-node siblings before cross-node ones (a
+    // steal that stays on the node streams local plan columns; crossing
+    // the interconnect is the fallback, not the default), deepest backlog
+    // first within each group.  Depths are advisory snapshots — extract()
+    // re-decides under the victim's lock, so a raced-empty victim just
+    // declines and the scan moves on.
+    struct Candidate {
+        std::size_t shard;
+        std::size_t depth;
+        bool same_node;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(shards_.size());
+    const std::size_t home_node = shard_node_[thief];
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (s == thief) {
+            continue;
+        }
+        const std::size_t depth = shards_[s]->queue.size();
+        if (depth >= steal_.min_victim_depth) {
+            candidates.push_back(Candidate{s, depth, shard_node_[s] == home_node});
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  if (a.same_node != b.same_node) {
+                      return a.same_node;
+                  }
+                  if (a.depth != b.depth) {
+                      return a.depth > b.depth;
+                  }
+                  return a.shard < b.shard;  // total order: scan is deterministic
+              });
+    for (const Candidate& candidate : candidates) {
+        Shard& victim = *shards_[candidate.shard];
+        std::optional<Job> loot =
+            victim.queue.extract([this](const std::deque<Job>& items) {
+                return steal_slot(items);
+            });
+        if (!loot.has_value()) {
+            continue;  // raced empty, or an execute closure holds the pop slot
+        }
+        // Telemetry keyed by the HOME shard (shard_of is stable across
+        // engine instances of equal shard count, so victim profiles are
+        // comparable across runs).  Release pairs with stats()'s acquire:
+        // a snapshot with this steal also has its submission, keeping
+        // stolen <= served + backlog <= submitted coherent.
+        victim.stolen.fetch_add(1, std::memory_order_release);
+        if (candidate.same_node) {
+            stolen_same_node_.fetch_add(1, std::memory_order_release);
+        } else {
+            stolen_cross_node_.fetch_add(1, std::memory_order_release);
+        }
+        return loot;
+    }
+    return std::nullopt;
+}
+
+void Engine::bind_plan_columns(const cbr::TypePlan& plan) const {
+    if (!numa_live_) {
+        return;
+    }
+    // Home the payload columns with the worker that scans them.  Advisory
+    // mbind preference: failures (or pages already elsewhere) cost
+    // locality only.  Metadata vectors are skipped by payload_regions() —
+    // they are touched once per request, not streamed per row.
+    const std::size_t node = shard_node_[shard_of(plan.id)];
+    for (const cbr::TypePlan::PayloadRegion& region : plan.payload_regions()) {
+        (void)util::numa::bind_memory_to_node(region.data, region.bytes, node);
     }
 }
 
@@ -512,14 +699,26 @@ void Engine::publish_locked(cbr::TypeId changed) {
     std::uint64_t shared = 0;
     const auto& old_plans = previous->compiled.plans();
     const auto& new_plans = next->compiled.plans();
-    for (std::size_t o = 0, n = 0; o < old_plans.size() && n < new_plans.size();) {
-        if (old_plans[o]->id.value() < new_plans[n]->id.value()) {
+    for (std::size_t o = 0, n = 0; o < old_plans.size() || n < new_plans.size();) {
+        if (o < old_plans.size() && n < new_plans.size() &&
+            old_plans[o]->id.value() == new_plans[n]->id.value()) {
+            if (old_plans[o] == new_plans[n]) {
+                ++shared;
+            } else {
+                // Spliced or cloned: fresh payload allocations — re-home
+                // them with the owning shard's node (no-op when NUMA off).
+                // Aliased plans keep their placement, so a publish costs
+                // mbind calls only for what actually changed.
+                bind_plan_columns(*new_plans[n]);
+            }
             ++o;
-        } else if (new_plans[n]->id.value() < old_plans[o]->id.value()) {
             ++n;
-        } else {
-            shared += old_plans[o] == new_plans[n] ? 1 : 0;
+        } else if (n >= new_plans.size() ||
+                   (o < old_plans.size() &&
+                    old_plans[o]->id.value() < new_plans[n]->id.value())) {
             ++o;
+        } else {
+            bind_plan_columns(*new_plans[n]);  // newly added type
             ++n;
         }
     }
@@ -559,12 +758,22 @@ EngineStats Engine::stats() const {
     // served + expired + shed > submitted.
     stats.expired = expired_.load(std::memory_order_acquire);
     stats.shed = shed_.load(std::memory_order_acquire);
+    // Steal counters are completion-side too: acquired before `submitted`
+    // so stolen <= submitted in any snapshot (a stolen job was submitted
+    // before it could be extracted, ordered through the queue mutex).
+    stats.stolen_same_node = stolen_same_node_.load(std::memory_order_acquire);
+    stats.stolen_cross_node = stolen_cross_node_.load(std::memory_order_acquire);
+    stats.shard_stolen.reserve(shards_.size());
     stats.shard_served.reserve(shards_.size());
     for (const std::unique_ptr<Shard>& shard : shards_) {
+        const std::uint64_t stolen = shard->stolen.load(std::memory_order_acquire);
+        stats.shard_stolen.push_back(stolen);
+        stats.stolen += stolen;
         const std::uint64_t served = shard->served.load(std::memory_order_acquire);
         stats.shard_served.push_back(served);
         stats.served += served;
     }
+    stats.shard_node = shard_node_;
     stats.submitted = submitted_.load(std::memory_order_relaxed);
     stats.admitted = admitted_.load(std::memory_order_relaxed);
     stats.rejected = rejected_.load(std::memory_order_relaxed);

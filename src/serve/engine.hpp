@@ -23,6 +23,12 @@
 //    the successor with an incremental plan patch and publish it with one
 //    atomic swap — readers never block on a writer, writers never wait for
 //    readers (§5's "dynamic update mechanisms" without a stop-the-world).
+//  * Stealing (opt-in, EngineConfig::steal).  A worker whose queue runs
+//    dry takes the exact job a backlogged sibling's pop() would serve
+//    next, epoch-pinned at service time — skew-proofing for Zipf-hot
+//    types.  NUMA placement (EngineConfig::numa + QFA_NUMA=ON) pins
+//    workers and their home shards' plan columns to one node and makes
+//    thieves prefer same-node victims.  See docs/ARCHITECTURE.md §3.
 //
 // Bit-identity: a retrieval served by any shard at epoch E performs exactly
 // the floating-point / Q15 operations of the single-threaded
@@ -66,6 +72,36 @@
 
 namespace qfa::serve {
 
+/// Work-stealing knobs (EngineConfig::steal).  Stealing answers shard
+/// skew: TypeId sharding turns a Zipf-hot type into one hot worker while
+/// its siblings idle, so p999 under 90/10 skew is queue-depth-bound, not
+/// hardware-bound.  A thief only ever takes the EXACT job the victim's own
+/// pop() would serve next (FIFO front / earliest deadline under EDF), so a
+/// steal can never bypass a nearer-deadline or earlier-arrived job the
+/// home worker would have taken — it only moves that job to an idle core.
+/// Execute closures are never stolen (they are the run-on-*this*-shard
+/// primitive; moving one would change which thread runs it).
+struct StealConfig {
+    /// Off by default: like `edf`, stealing changes only *when/where* a
+    /// queued job runs, never what it computes, but it relaxes execute()'s
+    /// same-shard FIFO-interleave guarantee (a stolen retrieval may
+    /// complete on another worker after an execute enqueued behind it), so
+    /// it is opt-in.
+    bool enabled = false;
+    /// A victim qualifies only at this backlog depth or more — stealing
+    /// the last queued job from a worker that is about to pop it anyway is
+    /// churn, not balance.
+    std::size_t min_victim_depth = 2;
+    /// 0 = steal only when the own queue is dry.  > 0: also lend a hand
+    /// after serving an own job whenever the remaining own depth is below
+    /// this watermark (the "shallow backlog, deep sibling" case).
+    std::size_t own_watermark = 0;
+    /// How long an idle worker parks on its own queue between victim
+    /// scans.  Bounds steal latency from one side and scan overhead from
+    /// the other; wakes early the instant home work arrives.
+    std::chrono::steady_clock::duration park = std::chrono::microseconds(200);
+};
+
 /// Engine shape knobs.
 struct EngineConfig {
     std::size_t shard_count = 4;      ///< worker threads / plan partitions
@@ -77,6 +113,15 @@ struct EngineConfig {
     /// same request — but it relaxes execute()'s FIFO-interleaving
     /// guarantee, so it is off by default.
     bool edf = false;
+    StealConfig steal;                ///< skew answer: epoch-pinned work stealing
+    /// Opt-in NUMA placement (needs a QFA_NUMA=ON Linux build to do
+    /// anything; advisory everywhere — see util/numa.hpp).  When live:
+    /// shard i's worker is pinned to node i % node_count, the plan payload
+    /// columns of the types shard i owns are mbind-preferred onto that
+    /// same node (exact + present-mask + Q8 tiers, re-applied per
+    /// published epoch for changed plans), and steals prefer same-node
+    /// victims before crossing the interconnect.
+    bool numa = false;
 };
 
 /// Monotone counters (mirrors ManagerStats' role for the serve layer).
@@ -125,6 +170,27 @@ struct EngineStats {
                                  ///< entered a queue and are NOT in `submitted`
     std::uint64_t expired = 0;   ///< dropped on dequeue past their deadline
     std::uint64_t shed = 0;      ///< evicted from a backlog by the shedder
+    // Steal telemetry (StealConfig).  `stolen` counts jobs served by a
+    // worker other than their home shard's; `shard_stolen[s]` attributes
+    // each steal to the HOME (victim) shard s it was taken from — keyed by
+    // shard_of, which is stable across runs and engine instances of equal
+    // shard count, so victim profiles are comparable across processes.
+    // The same-/cross-node split shows whether NUMA-preferring victim
+    // order is holding (all-same-node on a single-node host); in a
+    // mid-flight snapshot `stolen_same_node + stolen_cross_node` may LAG
+    // `stolen` (the per-shard counter is bumped first and read last) but
+    // never exceeds it — the three agree exactly once steals quiesce.
+    // Stolen jobs
+    // participate in the usual coherence: a stolen job is counted in
+    // `served` (and `shard_served`) by its EXECUTING worker, and both
+    // stolen counters are read acquire before `submitted`, so
+    // stolen <= served <= submitted holds in any snapshot.
+    std::uint64_t stolen = 0;            ///< jobs served off their home shard
+    std::uint64_t stolen_same_node = 0;  ///< thief and victim on one node
+    std::uint64_t stolen_cross_node = 0; ///< steal crossed the interconnect
+    std::vector<std::uint64_t> shard_stolen;  ///< steals per HOME (victim) shard
+    std::vector<std::size_t> shard_node;      ///< NUMA node per shard (all 0
+                                              ///< when placement is off)
     std::vector<std::uint64_t> shard_served;  ///< per-shard completion counts
     std::map<TenantId, TenantStats> tenants;  ///< per-tenant outcome slices
 };
@@ -333,10 +399,38 @@ private:
             : queue(capacity, std::move(deadline_of)) {}
         BoundedMpmcQueue<Job> queue;
         std::thread worker;
-        std::atomic<std::uint64_t> served{0};
+        std::atomic<std::uint64_t> served{0};  ///< completions BY this worker
+        std::atomic<std::uint64_t> stolen{0};  ///< jobs stolen FROM this queue
     };
 
-    void worker_loop(Shard& shard);
+    void worker_loop(std::size_t self);
+
+    /// Serves one dequeued job on the calling worker (`self` is its shard,
+    /// for completion attribution): expiry check, per-job epoch pin,
+    /// compiled retrieval / closure run, promise resolution, counters.
+    /// Identical whether the job came from self's own queue or was stolen
+    /// — the epoch is pinned HERE, at service time, so a stolen retrieval
+    /// resolves against the generation current at its dequeue, exactly as
+    /// home-shard execution would.
+    void serve_job(Shard& self, Job job, cbr::RetrievalScratch& scratch);
+
+    /// One steal attempt by worker `thief`: scans sibling queues (same
+    /// NUMA node first, then cross-node; deepest backlog first within each
+    /// group), skips victims below steal_.min_victim_depth, and extracts
+    /// exactly the job the victim's pop() would serve next — declining
+    /// (and moving to the next victim) when that job is an execute
+    /// closure.  Books the steal telemetry on success.
+    std::optional<Job> try_steal(std::size_t thief);
+
+    /// Index of the job `queue`'s own pop() would serve next, or >= size
+    /// when it is an ExecuteJob / the queue is empty — the extract()
+    /// selector of the steal path (mirrors the queue's FIFO/EDF choice).
+    std::size_t steal_slot(const std::deque<Job>& items) const;
+
+    /// Applies NUMA placement for `plan`'s payload columns: prefers the
+    /// node of the shard that owns the plan's type.  No-op unless
+    /// placement is live (config.numa on a supported build/host).
+    void bind_plan_columns(const cbr::TypePlan& plan) const;
 
     /// Feeds shard-grouped jobs with one push_all per shard; jobs refused
     /// by a closed queue resolve their promises to the shut-down error.
@@ -368,6 +462,12 @@ private:
     PlanStore store_;               ///< reader-side publication point
     std::vector<std::unique_ptr<Shard>> shards_;
     AdmissionConfig admission_;
+    StealConfig steal_;
+    bool edf_ = false;  ///< steal_slot mirrors the queue's EDF choice
+    bool numa_live_ = false;            ///< config.numa && util::numa::supported()
+    std::vector<std::size_t> shard_node_;  ///< NUMA node per shard (all 0 when off)
+    std::atomic<std::uint64_t> stolen_same_node_{0};
+    std::atomic<std::uint64_t> stolen_cross_node_{0};
     mutable std::mutex writer_mutex_;
     std::mutex shutdown_mutex_;
     mutable std::mutex tenant_mutex_;  ///< guards tenants_ (the map, not the counters)

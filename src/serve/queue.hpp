@@ -196,6 +196,47 @@ public:
         return item;
     }
 
+    /// Non-blocking pop: the item pop() would serve next (FIFO front, or
+    /// the earliest deadline in EDF mode), or nullopt when the queue is
+    /// empty — whether or not it is closed.  Wake discipline matches
+    /// pop(): a successful try_pop frees a slot and wakes one not_full_
+    /// waiter, so a work-stealing consumer draining through try_pop can
+    /// never strand a producer blocked at capacity or an admission layer
+    /// parked in wait_below.
+    std::optional<T> try_pop() {
+        std::unique_lock lock(mutex_);
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        const std::size_t slot = deadline_of_ == nullptr ? 0 : earliest_locked();
+        T item = std::move(items_[slot]);
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(slot));
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Deadline-bounded pop: blocks while the queue is empty, but only
+    /// until `deadline`.  nullopt on timeout AND on closed-and-drained —
+    /// callers that must distinguish re-check closed()/size() (a closed
+    /// queue refuses pushes, so closed + empty is a stable end state).
+    /// Shard workers with a steal path park here instead of in pop(), so
+    /// an empty home queue never blocks them past one victim-scan period.
+    std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+        std::unique_lock lock(mutex_);
+        (void)not_empty_.wait_until(lock, deadline,
+                                    [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) {
+            return std::nullopt;  // timed out, or closed and fully drained
+        }
+        const std::size_t slot = deadline_of_ == nullptr ? 0 : earliest_locked();
+        T item = std::move(items_[slot]);
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(slot));
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
     /// Removes and returns the queued item `select` picks, or nullopt when
     /// it picks none.  `select` receives the queue's items (front = oldest)
     /// under the lock and returns an index, or >= size() for "none" —

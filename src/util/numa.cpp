@@ -1,0 +1,147 @@
+#include "util/numa.hpp"
+
+#if defined(QFA_NUMA_ENABLED) && defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+#endif
+
+namespace qfa::util::numa {
+
+#if defined(QFA_NUMA_ENABLED) && defined(__linux__)
+
+namespace {
+
+/// One sysfs NUMA node that owns CPUs.
+struct Node {
+    int id = 0;
+    std::vector<int> cpus;
+};
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU numbers.
+std::vector<int> parse_cpulist(const std::string& list) {
+    std::vector<int> cpus;
+    std::stringstream stream(list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        const std::size_t dash = token.find('-');
+        if (dash == std::string::npos) {
+            if (!token.empty()) {
+                cpus.push_back(std::stoi(token));
+            }
+            continue;
+        }
+        const int lo = std::stoi(token.substr(0, dash));
+        const int hi = std::stoi(token.substr(dash + 1));
+        for (int cpu = lo; cpu <= hi; ++cpu) {
+            cpus.push_back(cpu);
+        }
+    }
+    return cpus;
+}
+
+/// The node map, built once: sysfs nodes that own at least one CPU.
+/// Memoryless nodes are skipped — a worker cannot be pinned to them and
+/// plans placed there would always be remote.
+const std::vector<Node>& nodes() {
+    static const std::vector<Node> list = [] {
+        std::vector<Node> found;
+        for (int id = 0;; ++id) {
+            std::ifstream cpulist("/sys/devices/system/node/node" + std::to_string(id) +
+                                  "/cpulist");
+            if (!cpulist) {
+                break;  // nodes are numbered densely from 0
+            }
+            std::string line;
+            std::getline(cpulist, line);
+            Node node;
+            node.id = id;
+            node.cpus = parse_cpulist(line);
+            if (!node.cpus.empty()) {
+                found.push_back(std::move(node));
+            }
+        }
+        return found;
+    }();
+    return list;
+}
+
+// Linux mempolicy ABI (numaif.h is libnuma's; the values are stable
+// kernel ABI, so define the two we need instead of adding a dependency).
+constexpr int kMpolPreferred = 1;
+constexpr unsigned kMpolMfMove = 1U << 1;
+
+}  // namespace
+
+bool supported() noexcept {
+    try {
+        return !nodes().empty();
+    } catch (...) {
+        return false;  // malformed sysfs: behave as unsupported
+    }
+}
+
+std::size_t node_count() noexcept {
+    return supported() ? nodes().size() : 1;
+}
+
+bool pin_thread_to_node(std::size_t node) noexcept {
+    if (!supported()) {
+        return false;
+    }
+    const Node& target = nodes()[node % nodes().size()];
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    for (const int cpu : target.cpus) {
+        if (cpu >= 0 && static_cast<std::size_t>(cpu) < CPU_SETSIZE) {
+            CPU_SET(cpu, &mask);
+        }
+    }
+    return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+}
+
+bool bind_memory_to_node(const void* addr, std::size_t bytes, std::size_t node) noexcept {
+    if (!supported() || addr == nullptr || bytes == 0) {
+        return false;
+    }
+    const std::size_t target = nodes()[node % nodes().size()].id >= 0
+                                   ? static_cast<std::size_t>(nodes()[node % nodes().size()].id)
+                                   : 0;
+    // mbind demands a page-aligned range; round it out.  The edge pages
+    // may be shared with neighbouring allocations — acceptable for a
+    // preference hint (placement never affects results, only locality).
+    const long page_long = sysconf(_SC_PAGESIZE);
+    const std::uintptr_t page = page_long > 0 ? static_cast<std::uintptr_t>(page_long) : 4096;
+    std::uintptr_t begin = reinterpret_cast<std::uintptr_t>(addr);
+    std::uintptr_t end = begin + bytes;
+    begin &= ~(page - 1);
+    end = (end + page - 1) & ~(page - 1);
+    // MPOL_PREFERRED takes a single-node mask; maxnode counts BITS and
+    // must exceed the highest set bit.  64 nodes is ample for one mask
+    // word (kernels reject maxnode > supported nodes with no harm done).
+    unsigned long nodemask = 1UL << (target % (sizeof(unsigned long) * 8));
+    const long rc = syscall(SYS_mbind, reinterpret_cast<void*>(begin), end - begin,
+                            kMpolPreferred, &nodemask, sizeof(nodemask) * 8,
+                            kMpolMfMove);
+    return rc == 0;
+}
+
+#else  // !QFA_NUMA_ENABLED || !__linux__
+
+bool supported() noexcept { return false; }
+
+std::size_t node_count() noexcept { return 1; }
+
+bool pin_thread_to_node(std::size_t) noexcept { return false; }
+
+bool bind_memory_to_node(const void*, std::size_t, std::size_t) noexcept { return false; }
+
+#endif
+
+}  // namespace qfa::util::numa

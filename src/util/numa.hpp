@@ -1,0 +1,59 @@
+// NUMA placement shim — optional, off by default, no-op everywhere else.
+//
+// Once catalogues outgrow L3, a shard worker streaming plan columns that
+// live on the other socket pays the interconnect on every scan.  The serve
+// engine therefore wants two placement levers: pin each shard's worker
+// thread to one NUMA node, and pin the plan columns that worker scans to
+// the same node's memory.  This header is the whole porting surface for
+// both — the engine never touches syscalls directly.
+//
+// Policy layering (the same shape as the SIMD escape hatch):
+//
+//  * default build (QFA_NUMA=OFF): every function here is an inert no-op
+//    (`supported()` is false, `node_count()` is 1, placement calls return
+//    false).  Memory placement is then whatever the OS gives — first-touch
+//    on Linux — which is already correct for a single-node host and is the
+//    documented default;
+//  * QFA_NUMA=ON on Linux: nodes are enumerated from sysfs
+//    (/sys/devices/system/node), worker pinning uses sched_setaffinity
+//    over the node's CPU list, and column pinning uses the raw mbind
+//    syscall with MPOL_PREFERRED — a *hint*, so a node out of free pages
+//    degrades to allocation elsewhere instead of OOM.  No libnuma
+//    dependency: the three syscalls involved are stable kernel ABI;
+//  * QFA_NUMA=ON anywhere else: compiles, reports unsupported, no-ops.
+//
+// Every call is advisory: callers must behave identically whether a
+// placement call succeeded or not (placement changes *where pages live*,
+// never what any retrieval computes — bit-identity is untouched by
+// construction).
+//
+// Thread safety: all functions are safe from any thread; the sysfs node
+// map is built once under a function-local static.
+#pragma once
+
+#include <cstddef>
+
+namespace qfa::util::numa {
+
+/// True only when the build carries QFA_NUMA=ON, the platform is Linux,
+/// and the kernel exposes at least one NUMA node in sysfs.
+[[nodiscard]] bool supported() noexcept;
+
+/// Number of NUMA nodes with CPUs (>= 1; exactly 1 when unsupported —
+/// callers can size per-node structures without branching on support).
+[[nodiscard]] std::size_t node_count() noexcept;
+
+/// Pins the CALLING thread's CPU affinity to the CPUs of `node`
+/// (modulo node_count()).  Advisory: false when unsupported or the
+/// syscall refused; the thread then keeps its inherited affinity.
+bool pin_thread_to_node(std::size_t node) noexcept;
+
+/// Requests that the pages backing [addr, addr + bytes) prefer `node`
+/// (modulo node_count()), moving already-faulted pages when the kernel
+/// allows.  The range is rounded out to page boundaries (mbind demands
+/// it); MPOL_PREFERRED semantics — a full node degrades to allocating
+/// elsewhere rather than failing.  Advisory: false when unsupported, the
+/// range is empty, or the syscall refused.
+bool bind_memory_to_node(const void* addr, std::size_t bytes, std::size_t node) noexcept;
+
+}  // namespace qfa::util::numa

@@ -65,7 +65,20 @@ ArrivalSchedule build_schedule(const cbr::CaseBase& cb, const cbr::BoundsTable& 
         QFA_EXPECTS(tenant.arrival_rate_hz > 0.0, "tenant arrival rate must be positive");
         util::Rng rng = root.split();
         const RequestStreamBuilder builder(cb, bounds, tenant.request_gen);
-        const ZipfSampler zipf(builder.implemented_types().size(), tenant.zipf_s);
+        const std::size_t type_count = builder.implemented_types().size();
+        const ZipfSampler zipf(type_count, tenant.zipf_s);
+        // Explicit hot/cold split (the stealing bench's skew knob): live
+        // only when both knobs are positive AND the split is proper — a
+        // hot set covering every type has no cold remainder and degrades
+        // to the plain draw.
+        const std::size_t hot_count =
+            tenant.hot_type_fraction > 0.0 && tenant.hot_traffic_share > 0.0
+                ? std::min(type_count,
+                           static_cast<std::size_t>(std::ceil(
+                               tenant.hot_type_fraction *
+                               static_cast<double>(type_count))))
+                : 0;
+        const bool hot_cold = hot_count > 0 && hot_count < type_count;
         // Inhomogeneous Poisson process: exponential gaps at the burst-
         // scaled instantaneous rate (piecewise-constant thinning).
         double now = 0.0;
@@ -75,9 +88,18 @@ ArrivalSchedule build_schedule(const cbr::CaseBase& cb, const cbr::BoundsTable& 
             if (now >= horizon) {
                 break;
             }
-            // Zipf rank first, then the request's own draws — one fixed
-            // consumption order per arrival.
-            const std::size_t rank = zipf.sample(rng);
+            // Popularity rank first, then the request's own draws — one
+            // fixed consumption order per arrival.  Hot/cold mode draws
+            // bernoulli(share) then a uniform index within the chosen set
+            // (hot = the first hot_count ranks); otherwise the Zipf draw.
+            std::size_t rank;
+            if (hot_cold) {
+                rank = rng.bernoulli(tenant.hot_traffic_share)
+                           ? rng.index(hot_count)
+                           : hot_count + rng.index(type_count - hot_count);
+            } else {
+                rank = zipf.sample(rng);
+            }
             schedule.arrivals.push_back(
                 Arrival{from_seconds(now), t, builder.at_rank(rank, rng)});
         }

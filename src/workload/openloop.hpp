@@ -52,6 +52,17 @@ struct OpenLoopTenant {
     /// Deadline assigned to each request, relative to its arrival
     /// (nullopt = no deadline: never expires, only sheddable).
     std::optional<std::chrono::steady_clock::duration> relative_deadline = std::nullopt;
+    /// Explicit hot/cold popularity split — the shard-skew knob the
+    /// stealing bench tables turn.  When BOTH are > 0 it replaces the
+    /// Zipf rank draw: with probability `hot_traffic_share` an arrival
+    /// targets the hot set (the first ceil(fraction x types) popularity
+    /// ranks, uniform within), otherwise the cold remainder (uniform
+    /// within).  hot_type_fraction 0.1 + hot_traffic_share 0.9 is the
+    /// canonical "90/10" profile: 90% of traffic on 10% of types, which
+    /// TypeId sharding concentrates onto few (often one) shard(s).
+    /// Either knob at 0 (the default) keeps the plain Zipf draw.
+    double hot_type_fraction = 0.0;   ///< fraction of types that are hot
+    double hot_traffic_share = 0.0;   ///< fraction of arrivals hitting them
     RequestGenConfig request_gen;
 };
 

@@ -495,6 +495,118 @@ TEST(BoundedMpmcQueueTest, WaitBelowWakesOnShutdown) {
     EXPECT_EQ(queue.pop(), std::nullopt);
 }
 
+// --- try_pop / pop_until: the work-stealing consumer's primitives ---
+
+TEST(BoundedMpmcQueueTest, TryPopServesFifoFrontAndReportsEmpty) {
+    BoundedMpmcQueue<int> queue(4);
+    EXPECT_EQ(queue.try_pop(), std::nullopt);  // empty, open
+    ASSERT_TRUE(queue.try_push(1));
+    ASSERT_TRUE(queue.try_push(2));
+    EXPECT_EQ(queue.try_pop(), 1);  // exactly pop()'s choice: FIFO front
+    EXPECT_EQ(queue.try_pop(), 2);
+    EXPECT_EQ(queue.try_pop(), std::nullopt);
+    queue.close();
+    EXPECT_EQ(queue.try_pop(), std::nullopt);  // empty + closed, no block
+}
+
+TEST(BoundedMpmcQueueTest, TryPopServesEarliestDeadlineInEdfMode) {
+    BoundedMpmcQueue<edf::Item> queue(
+        4, [](const edf::Item& item) { return item.deadline; });
+    const auto base = std::chrono::steady_clock::now();
+    ASSERT_TRUE(queue.try_push({1, base + std::chrono::seconds(3)}));
+    ASSERT_TRUE(queue.try_push({2, std::nullopt}));
+    ASSERT_TRUE(queue.try_push({3, base + std::chrono::seconds(1)}));
+    // try_pop must mirror pop()'s EDF choice, not fall back to FIFO.
+    EXPECT_EQ(queue.try_pop()->id, 3);
+    EXPECT_EQ(queue.try_pop()->id, 1);
+    EXPECT_EQ(queue.try_pop()->id, 2);
+}
+
+TEST(BoundedMpmcQueueTest, TryPopWakesABlockedProducer) {
+    BoundedMpmcQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    bool accepted = false;
+    std::thread producer([&] { accepted = queue.push(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // The slot freed by a stealing consumer must wake the parked producer
+    // exactly as pop() would — a stolen job is still a freed slot.
+    EXPECT_EQ(queue.try_pop(), 0);
+    producer.join();
+    EXPECT_TRUE(accepted);
+    EXPECT_EQ(queue.pop(), 1);
+}
+
+TEST(BoundedMpmcQueueTest, TryPopWakesAWaitBelowWaiter) {
+    // The steal-path wake-discipline pin: an admission layer parked in
+    // wait_below must be woken when a *stealer* (not the home consumer)
+    // drains the queue through try_pop.  If try_pop skipped the not_full_
+    // wake, the waiter would sleep out its whole deadline even though the
+    // depth it is waiting for was reached long ago.
+    BoundedMpmcQueue<int> queue(4);
+    ASSERT_TRUE(queue.push(1));
+    ASSERT_TRUE(queue.push(2));
+    const auto start = std::chrono::steady_clock::now();
+    bool dropped = false;
+    std::thread waiter([&] {
+        dropped = queue.wait_below(2, start + std::chrono::seconds(60));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(queue.try_pop(), 1);  // depth 2 -> 1 < 2: waiter's predicate
+    waiter.join();
+    EXPECT_TRUE(dropped);
+    // Returning far before the deadline proves the wake (not a timeout).
+    EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(30));
+}
+
+TEST(BoundedMpmcQueueTest, PopUntilTimesOutOnAnEmptyQueue) {
+    BoundedMpmcQueue<int> queue(2);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+    EXPECT_EQ(queue.pop_until(deadline), std::nullopt);
+    EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+    EXPECT_FALSE(queue.closed());  // timeout, not shutdown
+}
+
+TEST(BoundedMpmcQueueTest, PopUntilDeliversAnItemArrivingMidWait) {
+    BoundedMpmcQueue<int> queue(2);
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ASSERT_TRUE(queue.push(7));
+    });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    EXPECT_EQ(queue.pop_until(deadline), 7);
+    producer.join();
+}
+
+TEST(BoundedMpmcQueueTest, PopUntilDrainsThenSignalsClosedViaRecheck) {
+    // nullopt is deliberately ambiguous (timeout vs drained-and-closed);
+    // the documented disambiguation — re-check closed() && size() == 0 —
+    // must be a stable end state: closed refuses pushes, so once observed
+    // it stays true.
+    BoundedMpmcQueue<int> queue(2);
+    ASSERT_TRUE(queue.push(1));
+    queue.close();
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    EXPECT_EQ(queue.pop_until(deadline), 1);  // accepted work still drains
+    EXPECT_EQ(queue.pop_until(std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(5)),
+              std::nullopt);
+    EXPECT_TRUE(queue.closed());
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedMpmcQueueTest, PopUntilWakesImmediatelyOnClose) {
+    BoundedMpmcQueue<int> queue(2);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        queue.close();
+    });
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(queue.pop_until(start + std::chrono::seconds(60)), std::nullopt);
+    EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(30));
+    closer.join();
+}
+
 TEST(BoundedMpmcQueueTest, ExtractUnblocksAWaitingProducer) {
     BoundedMpmcQueue<int> queue(1);
     ASSERT_TRUE(queue.push(0));

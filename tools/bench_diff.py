@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compares two bench summary JSONs and flags per-table regressions.
+
+Both self-checking perf binaries emit the same tiny schema via
+bench/bench_json.hpp — {"benchmark": ..., "tables": [{"table",
+"ns_per_op", "speedup"}]} — keyed by table names that are stable across
+PRs.  This tool joins a BASELINE snapshot (committed under
+bench/baselines/) against a CURRENT run and reports, per table, the
+ns/op delta; a table slower than baseline by more than the threshold
+(default 15%) is a REGRESSION.
+
+Tables present on only one side are reported but never fail the run:
+new tables appear whenever a PR adds a section, and a *vanished* table
+is a rename to fix in the baseline, not a perf fact.
+
+Exit status: 0 when no regression (or --advisory, which always exits 0
+so noisy CI boxes can report without gating), 1 on regression, 2 on
+usage/parse errors.
+
+Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--threshold=0.15]
+       [--advisory]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_tables(path: Path) -> dict[str, float]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+    tables = {}
+    for row in doc.get("tables", []):
+        tables[str(row["table"])] = float(row["ns_per_op"])
+    if not tables:
+        raise SystemExit(f"error: {path} carries no tables")
+    return tables
+
+
+def main(argv: list[str]) -> int:
+    threshold = 0.15
+    advisory = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg == "--advisory":
+            advisory = True
+        else:
+            paths.append(Path(arg))
+    if len(paths) != 2:
+        print(__doc__)
+        return 2
+
+    baseline, current = load_tables(paths[0]), load_tables(paths[1])
+    regressions = []
+    width = max(len(name) for name in baseline | current)
+    print(f"{'table':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(baseline | current):
+        if name not in baseline:
+            print(f"{name:<{width}}  {'-':>12}  {current[name]:>12.1f}  NEW")
+            continue
+        if name not in current:
+            print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'-':>12}  VANISHED")
+            continue
+        old, new = baseline[name], current[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        flag = ""
+        if delta > threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  {delta:+7.1%}{flag}")
+
+    if regressions:
+        kind = "advisory" if advisory else "failing"
+        print(f"\n{len(regressions)} table(s) slower than baseline by more than "
+              f"{threshold:.0%} ({kind}):")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 0 if advisory else 1
+    print(f"\nno regression beyond {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
