@@ -32,26 +32,43 @@ inline std::vector<Record>& records() {
     return list;
 }
 
+/// Separate record group for the backend-placement tables: CI archives
+/// them as their own artifact (BENCH_backends.json) so the backend perf
+/// trajectory diffs independently of the serve-layer tables.
+inline std::vector<Record>& backend_records() {
+    static std::vector<Record> list;
+    return list;
+}
+
 inline void record_table(std::string table, double ns_per_op, double speedup) {
     records().push_back({std::move(table), ns_per_op, speedup});
 }
 
-inline void write(const std::string& benchmark_name, const std::string& path) {
+inline void record_backend_table(std::string table, double ns_per_op, double speedup) {
+    backend_records().push_back({std::move(table), ns_per_op, speedup});
+}
+
+inline void write_records(const std::string& benchmark_name, const std::string& path,
+                          const std::vector<Record>& list) {
     std::ofstream out(path);
     if (!out) {
         std::cerr << "FATAL: cannot write " << path << "\n";
         std::exit(1);
     }
     out << "{\n  \"benchmark\": \"" << benchmark_name << "\",\n  \"tables\": [\n";
-    for (std::size_t i = 0; i < records().size(); ++i) {
-        const Record& r = records()[i];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const Record& r = list[i];
         out << "    {\"table\": \"" << r.table << "\", \"ns_per_op\": "
             << util::to_fixed(r.ns_per_op, 1) << ", \"speedup\": "
             << util::to_fixed(r.speedup, 3) << "}"
-            << (i + 1 < records().size() ? "," : "") << "\n";
+            << (i + 1 < list.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
-    std::cout << "wrote " << records().size() << " table records to " << path << "\n";
+    std::cout << "wrote " << list.size() << " table records to " << path << "\n";
+}
+
+inline void write(const std::string& benchmark_name, const std::string& path) {
+    write_records(benchmark_name, path, records());
 }
 
 /// The one self-check gate every table goes through before timing: both
@@ -65,21 +82,25 @@ inline void require_identical(bool identical, const std::string& what) {
     }
 }
 
-/// Strips a --json=PATH argument from argv (so benchmark::Initialize never
-/// sees it) and returns the path, empty when absent.
-inline std::string strip_json_flag(int& argc, char** argv) {
+/// Strips one `<flag>PATH` argument from argv (so benchmark::Initialize
+/// never sees it) and returns the path, empty when absent.
+inline std::string strip_path_flag(int& argc, char** argv, const char* flag) {
     std::string path;
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
-        constexpr const char* kFlag = "--json=";
-        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-            path = argv[i] + std::strlen(kFlag);
+        if (std::strncmp(argv[i], flag, std::strlen(flag)) == 0) {
+            path = argv[i] + std::strlen(flag);
         } else {
             argv[kept++] = argv[i];
         }
     }
     argc = kept;
     return path;
+}
+
+/// Strips a --json=PATH argument from argv and returns the path.
+inline std::string strip_json_flag(int& argc, char** argv) {
+    return strip_path_flag(argc, argv, "--json=");
 }
 
 }  // namespace qfa::benchjson

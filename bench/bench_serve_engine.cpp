@@ -26,19 +26,26 @@
 //
 // --json=PATH additionally writes the machine-readable table summary
 // (table name -> ns/op + speedup) CI's bench-smoke job archives as
-// BENCH_serve.json to track the perf trajectory across PRs.
+// BENCH_serve.json to track the perf trajectory across PRs, and
+// --json-backends=PATH writes the backend-placement tables separately
+// (archived as BENCH_backends.json).
 #include <benchmark/benchmark.h>
 
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "alloc/manager.hpp"
+#include "backend/backend.hpp"
+#include "backend/device_backend.hpp"
 #include "bench_json.hpp"
 #include "core/compiled.hpp"
 #include "core/retain.hpp"
@@ -723,6 +730,149 @@ void print_speculative_decision() {
     record_table("speculative_decision", spec_ns, serial_ns / spec_ns);
 }
 
+// ---- 7. pluggable retrieval backends: heterogeneous placement ------------
+
+void print_backends() {
+    // n_best = 1 is the widest option every backend accepts (the soft core
+    // has a single result register); 256 impls over 8 types spread evenly
+    // over 4 shards so each placement row serves every backend real work.
+    const Scenario s = make_scenario(8, 32, 256);
+    const cbr::CompiledCaseBase plan = s.compile();
+    const cbr::Retriever retriever(s.catalog.case_base, s.catalog.bounds, plan);
+    cbr::RetrievalOptions options;
+    options.n_best = 1;
+    cbr::RetrievalScratch scratch;
+
+    std::vector<cbr::RetrievalResult> exact;
+    exact.reserve(s.requests.size());
+    for (const cbr::Request& request : s.requests) {
+        exact.push_back(retriever.retrieve_compiled(request, options, &scratch));
+    }
+
+    std::cout << "=== Pluggable retrieval backends: heterogeneous placement ===\n\n";
+    std::cout << "registered backends (priority order):\n";
+    for (const backend::RetrievalBackend* be : backend::registry().enumerate()) {
+        const backend::Capabilities caps = be->capabilities();
+        std::cout << "  " << be->name() << " (priority " << be->priority() << ", "
+                  << (caps.exact ? "exact" : "modeled") << ")\n";
+    }
+    std::cout << "\n";
+
+    // Self-check every placement before timing: shards routed to cpu-simd
+    // must be bit-identical to the compiled reference; shards routed to a
+    // modeled backend must land within that backend's documented
+    // similarity_error_bound for the request.
+    const backend::ShardContext ctx{&s.catalog.case_base, &s.catalog.bounds, &plan, 0};
+    const auto check_placement = [&](const serve::Engine& engine,
+                                     const std::vector<cbr::RetrievalResult>& served,
+                                     const std::function<std::string_view(std::size_t)>&
+                                         backend_of_shard,
+                                     const char* where) {
+        for (std::size_t i = 0; i < s.requests.size(); ++i) {
+            benchjson::require_identical(served[i].status == exact[i].status &&
+                                             served[i].matches.size() ==
+                                                 exact[i].matches.size(),
+                                         std::string(where) + " (status/shape)");
+            const std::string_view name =
+                backend_of_shard(engine.shard_of(s.requests[i].type()));
+            if (name == "cpu-simd") {
+                benchjson::require_identical(
+                    cbr::identical_results(exact[i], served[i]),
+                    std::string(where) + " (exact shard, request " + std::to_string(i) + ")");
+            } else if (!served[i].matches.empty()) {
+                const backend::RetrievalBackend* be = backend::registry().find(name);
+                benchjson::require_identical(be != nullptr,
+                                             std::string(where) + " (registry lookup)");
+                const double bound = be->similarity_error_bound(ctx, s.requests[i]);
+                const double diff = std::abs(served[i].matches[0].similarity -
+                                             exact[i].matches[0].similarity);
+                if (diff > bound) {
+                    std::cerr << "FATAL: " << where << " request " << i << " served impl "
+                              << served[i].matches[0].impl.value() << " sim "
+                              << served[i].matches[0].similarity << " vs exact impl "
+                              << exact[i].matches[0].impl.value() << " sim "
+                              << exact[i].matches[0].similarity << ": |diff| " << diff
+                              << " > bound " << bound << "\n";
+                    std::exit(1);
+                }
+            }
+        }
+    };
+
+    struct Placement {
+        const char* label;
+        const char* record;       ///< stable BENCH_backends.json identifier
+        std::string backend;      ///< EngineConfig::backend ("" = default)
+        std::vector<std::string> shard_backends;
+    };
+    const std::vector<Placement> placements = {
+        {"cpu-simd (all shards)", "backend_cpu_simd", "cpu-simd", {}},
+        {"mblaze (all shards)", "backend_mblaze", "mblaze", {}},
+        {"device (all shards)", "backend_device", "device", {}},
+        {"cpu-simd | mblaze | device | default", "backend_heterogeneous", "",
+         {"cpu-simd", "mblaze", "device", ""}},
+    };
+
+    util::Table table({"placement", "ns/req", "x vs cpu-simd"});
+    double cpu_ns = 0.0;
+    for (const Placement& placement : placements) {
+        serve::EngineConfig config;
+        config.shard_count = 4;
+        config.queue_capacity = s.requests.size();
+        config.backend = placement.backend;
+        config.shard_backends = placement.shard_backends;
+        serve::Engine engine(s.catalog.case_base, config);
+
+        const std::vector<cbr::RetrievalResult> served =
+            engine.retrieve_all(s.requests, options);
+        check_placement(
+            engine, served,
+            [&](std::size_t shard) -> std::string_view {
+                if (shard < placement.shard_backends.size() &&
+                    !placement.shard_backends[shard].empty()) {
+                    return std::string_view{placement.shard_backends[shard]};
+                }
+                if (placement.backend.empty()) {
+                    return std::string_view{"cpu-simd"};
+                }
+                return std::string_view{placement.backend};
+            },
+            placement.label);
+
+        const double ns = ns_per_request(s.requests.size(), [&] {
+            benchmark::DoNotOptimize(engine.retrieve_all(s.requests, options));
+        });
+        if (cpu_ns == 0.0) {
+            cpu_ns = ns;  // first row is the cpu-simd reference
+        }
+        table.add_row({placement.label, util::to_fixed(ns, 1),
+                       util::to_fixed(cpu_ns / ns, 2) + "x"});
+        benchjson::record_backend_table(placement.record, ns, cpu_ns / ns);
+    }
+    std::cout << table.render_with_title(
+                     "256 impls over 8 types, n_best = 1, 256-request batches,\n"
+                     "4 shards; every placement self-checks against the compiled\n"
+                     "reference (exact shards bit-identical, modeled shards within\n"
+                     "similarity_error_bound) before timing")
+              << "\n";
+
+    // The device backend's cost ledger: reconfiguration latency and energy
+    // charged through the sysmodel, accumulated across the rows above.
+    const auto* device = dynamic_cast<const backend::DeviceBackend*>(
+        backend::registry().find("device"));
+    benchjson::require_identical(device != nullptr, "device backend lookup");
+    const backend::DeviceBackend::CostStats cost = device->cost_stats();
+    benchjson::require_identical(cost.runs > 0 && cost.reconfigurations > 0,
+                                 "device cost ledger engaged");
+    std::cout << "device cost ledger (sysmodel-charged, cumulative):\n"
+              << "  partial reconfigurations: " << cost.reconfigurations
+              << " (busy " << cost.reconfig_busy_us << " us)\n"
+              << "  scoring runs: " << cost.runs << " (" << cost.cycles
+              << " cycles @ 75 MHz)\n"
+              << "  modeled time: " << cost.sim_time_us << " us, energy: "
+              << util::to_fixed(cost.energy_uj, 1) << " uJ\n\n";
+}
+
 // ---- benchmark registrations ---------------------------------------------
 
 void bm_engine_retrieve_all(benchmark::State& state) {
@@ -776,9 +926,11 @@ BENCHMARK(bm_incremental_patch)->Arg(1000)->Arg(10000);
 }  // namespace
 
 int main(int argc, char** argv) {
-    // Strip our own --json=PATH flag before benchmark::Initialize sees the
-    // argument vector.
+    // Strip our own --json=PATH / --json-backends=PATH flags before
+    // benchmark::Initialize sees the argument vector.
     const std::string json_path = benchjson::strip_json_flag(argc, argv);
+    const std::string backends_path =
+        benchjson::strip_path_flag(argc, argv, "--json-backends=");
 
     print_throughput();
     print_bulk_enqueue();
@@ -786,8 +938,13 @@ int main(int argc, char** argv) {
     print_cow_epoch_cost();
     print_probe_offload();
     print_speculative_decision();
+    print_backends();
     if (!json_path.empty()) {
         benchjson::write("bench_serve_engine", json_path);
+    }
+    if (!backends_path.empty()) {
+        benchjson::write_records("bench_serve_engine_backends", backends_path,
+                                 benchjson::backend_records());
     }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

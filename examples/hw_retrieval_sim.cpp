@@ -1,9 +1,13 @@
 // Hardware retrieval simulation — runs the cycle-accurate fig. 6/7 model
 // on the paper's example, prints the cycle/effort statistics and writes a
-// VCD waveform (retrieval_unit.vcd) you can open in GTKWave to watch the
-// FSM walk the lists.
+// VCD waveform you can open in GTKWave to watch the FSM walk the lists.
 //
 //   ./hw_retrieval_sim [output.vcd]
+//
+// Without an argument the waveform goes to the system temp directory, not
+// the current working directory — running the example from a source
+// checkout must not scatter artifacts into the repo.
+#include <filesystem>
 #include <iostream>
 
 #include "core/bounds.hpp"
@@ -15,7 +19,10 @@
 
 int main(int argc, char** argv) {
     using namespace qfa;
-    const std::string vcd_path = argc > 1 ? argv[1] : "retrieval_unit.vcd";
+    const std::string vcd_path =
+        argc > 1 ? argv[1]
+                 : (std::filesystem::temp_directory_path() / "retrieval_unit.vcd")
+                       .string();
 
     // Pack the fig. 3 case base and request into the hardware memory images.
     const cbr::CaseBase cb = cbr::paper_example_case_base();

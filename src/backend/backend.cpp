@@ -1,0 +1,112 @@
+#include "backend/backend.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "backend/cpu_simd.hpp"
+#include "backend/device_backend.hpp"
+#include "backend/mblaze_backend.hpp"
+
+namespace qfa::backend {
+
+std::vector<cbr::RetrievalResult> RetrievalBackend::score_batch(
+    const ShardContext& ctx, std::span<const cbr::Request> requests,
+    const cbr::RetrievalOptions& options, BackendScratch& scratch) const {
+    std::vector<cbr::RetrievalResult> results;
+    results.reserve(requests.size());
+    for (const cbr::Request& request : requests) {
+        results.push_back(score(ctx, request, options, scratch));
+    }
+    return results;
+}
+
+AsyncTicket RetrievalBackend::submit(const ShardContext& ctx,
+                                     const cbr::Request& request,
+                                     const cbr::RetrievalOptions& options,
+                                     BackendScratch& scratch) const {
+    AsyncTicket ticket;
+    ticket.result = score(ctx, request, options, scratch);
+    return ticket;
+}
+
+std::optional<cbr::RetrievalResult> RetrievalBackend::poll(AsyncTicket& ticket) const {
+    std::optional<cbr::RetrievalResult> out = std::move(ticket.result);
+    ticket.result.reset();
+    return out;
+}
+
+double RetrievalBackend::similarity_error_bound(const ShardContext&,
+                                                const cbr::Request&) const {
+    return 0.0;
+}
+
+bool BackendRegistry::register_backend(std::unique_ptr<RetrievalBackend> backend) {
+    if (backend == nullptr) {
+        return false;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& existing : backends_) {
+        if (existing->name() == backend->name()) {
+            return false;
+        }
+    }
+    backends_.push_back(std::move(backend));
+    return true;
+}
+
+const RetrievalBackend* BackendRegistry::find(std::string_view name) const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& backend : backends_) {
+        if (backend->name() == name) {
+            return backend.get();
+        }
+    }
+    return nullptr;
+}
+
+std::vector<const RetrievalBackend*> BackendRegistry::enumerate() const {
+    std::vector<const RetrievalBackend*> out;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(backends_.size());
+        for (const auto& backend : backends_) {
+            out.push_back(backend.get());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RetrievalBackend* a, const RetrievalBackend* b) {
+                  if (a->priority() != b->priority()) {
+                      return a->priority() > b->priority();
+                  }
+                  return a->name() < b->name();
+              });
+    return out;
+}
+
+const RetrievalBackend* BackendRegistry::default_backend() const {
+    if (const char* env = std::getenv("QFA_BACKEND"); env != nullptr && *env != '\0') {
+        if (const RetrievalBackend* named = find(env); named != nullptr) {
+            return named;
+        }
+        // An unknown name falls through to cpu-simd rather than failing the
+        // whole engine: env defaults are placement hints, not hard config.
+    }
+    return find("cpu-simd");
+}
+
+BackendRegistry& registry() {
+    static BackendRegistry instance;
+    // Thread-safe one-time registration of the built-ins (both statics are
+    // initialized under the same magic-static guard discipline).
+    static const bool built_ins_registered = [] {
+        instance.register_backend(std::make_unique<CpuSimdBackend>());
+        instance.register_backend(std::make_unique<MblazeBackend>());
+        instance.register_backend(std::make_unique<DeviceBackend>());
+        return true;
+    }();
+    (void)built_ins_registered;
+    return instance;
+}
+
+}  // namespace qfa::backend

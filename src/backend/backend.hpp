@@ -1,0 +1,185 @@
+// Pluggable retrieval backends — the paper's HW/SW split as a runtime
+// placement decision.
+//
+// §4 presents the same "most similar retrieval" workload three ways: a C
+// build on the host processor, hand assembly on the soft core, and the RTL
+// retrieval unit (the ~8.5x hardware speedup of Table 1 is between the
+// first and the last).  Which one serves a given deployment is a
+// *placement* decision, not a compile-time fact — §5's allocation manager
+// is explicitly meant to route work between them at run time.  This layer
+// makes that routing concrete: one scoring interface, three registered
+// implementations, and a registry the serve engine consults per shard.
+//
+// The shape mirrors the ggml_backend pattern (dispatch table + capability
+// query + per-backend buffers):
+//
+//  * RetrievalBackend — the abstract scoring interface.  Synchronous
+//    score()/score_batch(), plus a submit()/poll() async pair (default:
+//    eager completion) so latency-charging backends can overlap.
+//  * Capabilities — what a backend can serve: n-best width, thresholds,
+//    detail rows, metrics, batch shape, and whether its results are
+//    *exact* (bit-identical to Retriever::retrieve_compiled) or *modeled*
+//    (Q15 datapath arithmetic, bounded by similarity_error_bound()).
+//  * BackendScratch — per-worker mutable state owned by the caller and
+//    typed by the backend (CPU scratch vectors, cached memory images,
+//    device contexts).  A backend object itself stays immutable on the
+//    scoring path, so one registered instance serves any thread count.
+//  * ShardContext — one epoch-pinned generation view (tree, bounds,
+//    compiled plans, epoch).  A backend sees exactly one published
+//    generation per call, the same RCU pin the serve engine gives every
+//    job; per-backend compiled artifacts (memory images) are cached keyed
+//    by TypePlan identity, so the COW publish path invalidates them for
+//    free — an aliased plan reuses the artifact, a spliced/cloned plan
+//    rebuilds it.
+//
+// Contract: a backend either serves a request it accepted via can_serve()
+// or throws; it never silently degrades.  Callers (the engine) route
+// declined requests to the cpu-simd fallback and count the fallback.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/case_base.hpp"
+#include "core/compiled.hpp"
+#include "core/request.hpp"
+#include "core/retrieval.hpp"
+
+namespace qfa::backend {
+
+/// One epoch-pinned catalogue view a backend scores against.  All three
+/// pointers outlive the call (the engine holds the GenerationPtr); the
+/// epoch tags the view so scratch-cached artifacts can tell generations
+/// apart without comparing payloads.
+struct ShardContext {
+    const cbr::CaseBase* case_base = nullptr;
+    const cbr::BoundsTable* bounds = nullptr;
+    const cbr::CompiledCaseBase* compiled = nullptr;
+    std::uint64_t epoch = 0;
+};
+
+/// Capability declaration — the static half of can_serve().  A backend
+/// declines anything outside these limits; the dynamic half (does *this*
+/// request's type fit my memory model?) lives in can_serve itself.
+struct Capabilities {
+    /// Results bit-identical to Retriever::retrieve_compiled (status,
+    /// ranking, effort counters, bitwise similarities).  false = modeled:
+    /// Q15/Q30 datapath arithmetic, similarities within
+    /// similarity_error_bound() of the exact scan.
+    bool exact = false;
+    std::size_t max_n_best = 0;    ///< widest supported ranking; 0 = unbounded
+    bool threshold = false;        ///< supports options.threshold > 0
+    bool details = false;          ///< supports options.collect_details
+    bool all_metrics = false;      ///< beyond LocalMetric::manhattan
+    std::size_t max_batch = 0;     ///< score_batch shape limit; 0 = unbounded
+};
+
+/// Per-worker mutable scoring state.  Created by the backend that will use
+/// it (make_scratch) and owned by the calling worker; a backend downcasts
+/// to its own concrete type.  Never shared across threads.
+class BackendScratch {
+public:
+    virtual ~BackendScratch() = default;
+};
+
+/// One in-flight async scoring operation (submit/poll pair).  The base
+/// interface completes eagerly — submit() computes and parks the result,
+/// poll() hands it over — which gives every backend the async shape at
+/// zero cost; a backend with real queueing can override both.
+struct AsyncTicket {
+    std::optional<cbr::RetrievalResult> result;
+};
+
+/// The abstract scoring interface the serve engine dispatches through.
+class RetrievalBackend {
+public:
+    virtual ~RetrievalBackend() = default;
+
+    /// Stable registry name ("cpu-simd", "mblaze", "device").
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// Enumeration order: higher first (the default/fallback backend has
+    /// the highest priority).  Ties break by name.
+    [[nodiscard]] virtual int priority() const noexcept = 0;
+
+    [[nodiscard]] virtual Capabilities capabilities() const noexcept = 0;
+
+    /// Whether this backend can serve (request, options) against `ctx`.
+    /// `scratch` (optional, this worker's) lets the check build or consult
+    /// cached per-type artifacts — e.g. the memory-image backends decline
+    /// types whose packed image exceeds the 16-bit pointer range, which is
+    /// only discoverable by encoding.  A false return is a *decline*, not
+    /// an error: the caller routes to the fallback and counts it.
+    [[nodiscard]] virtual bool can_serve(const ShardContext& ctx,
+                                         const cbr::Request& request,
+                                         const cbr::RetrievalOptions& options,
+                                         BackendScratch* scratch) const = 0;
+
+    /// Fresh scratch for one worker thread.
+    [[nodiscard]] virtual std::unique_ptr<BackendScratch> make_scratch() const = 0;
+
+    /// Scores one request it accepted via can_serve.  `scratch` must come
+    /// from this backend's make_scratch and be used by one thread at a time.
+    [[nodiscard]] virtual cbr::RetrievalResult score(
+        const ShardContext& ctx, const cbr::Request& request,
+        const cbr::RetrievalOptions& options, BackendScratch& scratch) const = 0;
+
+    /// Batch scoring; the default loops score().  results[i] corresponds to
+    /// requests[i].
+    [[nodiscard]] virtual std::vector<cbr::RetrievalResult> score_batch(
+        const ShardContext& ctx, std::span<const cbr::Request> requests,
+        const cbr::RetrievalOptions& options, BackendScratch& scratch) const;
+
+    /// Async pair.  Default: submit computes eagerly into the ticket and
+    /// poll always completes.  A poll returning nullopt means "not yet" —
+    /// callers poll again (never busy-wait a backend that completed).
+    [[nodiscard]] virtual AsyncTicket submit(const ShardContext& ctx,
+                                             const cbr::Request& request,
+                                             const cbr::RetrievalOptions& options,
+                                             BackendScratch& scratch) const;
+    [[nodiscard]] virtual std::optional<cbr::RetrievalResult> poll(
+        AsyncTicket& ticket) const;
+
+    /// Documented bound on |S_backend - S_exact| per returned candidate for
+    /// this request (modeled backends; 0.0 when exact).  The conformance
+    /// suite and the bench's self-check assert against exactly this value,
+    /// so it is part of the interface, not test-side folklore.
+    [[nodiscard]] virtual double similarity_error_bound(
+        const ShardContext& ctx, const cbr::Request& request) const;
+};
+
+/// Process-wide backend registry: name lookup plus priority-ordered
+/// enumeration.  Thread-safe; registration of the three built-ins happens
+/// on first use (registry()).
+class BackendRegistry {
+public:
+    /// Adopts a backend.  Duplicate names are rejected (returns false).
+    bool register_backend(std::unique_ptr<RetrievalBackend> backend);
+
+    /// Lookup by registry name; nullptr when absent.
+    [[nodiscard]] const RetrievalBackend* find(std::string_view name) const noexcept;
+
+    /// All registered backends, priority descending (ties: name ascending).
+    [[nodiscard]] std::vector<const RetrievalBackend*> enumerate() const;
+
+    /// Placement default: the QFA_BACKEND environment variable when it
+    /// names a registered backend, else "cpu-simd".  EngineConfig's
+    /// explicit name overrides both (env < config, like every other knob).
+    [[nodiscard]] const RetrievalBackend* default_backend() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<RetrievalBackend>> backends_;
+};
+
+/// The process-wide registry with the three built-ins (cpu-simd, mblaze,
+/// device) registered on first call.
+[[nodiscard]] BackendRegistry& registry();
+
+}  // namespace qfa::backend

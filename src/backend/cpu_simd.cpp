@@ -1,0 +1,55 @@
+#include "backend/cpu_simd.hpp"
+
+#include "util/contracts.hpp"
+
+namespace qfa::backend {
+
+namespace {
+
+struct CpuScratch final : BackendScratch {
+    cbr::RetrievalScratch cpu;
+};
+
+}  // namespace
+
+Capabilities CpuSimdBackend::capabilities() const noexcept {
+    Capabilities caps;
+    caps.exact = true;
+    caps.max_n_best = 0;
+    caps.threshold = true;
+    caps.details = true;
+    caps.all_metrics = true;
+    caps.max_batch = 0;
+    return caps;
+}
+
+bool CpuSimdBackend::can_serve(const ShardContext& ctx, const cbr::Request&,
+                               const cbr::RetrievalOptions&, BackendScratch*) const {
+    // The universal fallback: anything with a bound compiled view is fair
+    // game (unknown types still score, producing type_not_found — exactly
+    // what the pre-backend engine did).
+    return ctx.case_base != nullptr && ctx.bounds != nullptr && ctx.compiled != nullptr;
+}
+
+std::unique_ptr<BackendScratch> CpuSimdBackend::make_scratch() const {
+    return std::make_unique<CpuScratch>();
+}
+
+cbr::RetrievalResult CpuSimdBackend::score(const ShardContext& ctx,
+                                           const cbr::Request& request,
+                                           const cbr::RetrievalOptions& options,
+                                           BackendScratch& scratch) const {
+    auto& cpu = dynamic_cast<CpuScratch&>(scratch);
+    const cbr::Retriever retriever(*ctx.case_base, *ctx.bounds, *ctx.compiled);
+    return retriever.retrieve_compiled(request, options, &cpu.cpu);
+}
+
+std::vector<cbr::RetrievalResult> CpuSimdBackend::score_batch(
+    const ShardContext& ctx, std::span<const cbr::Request> requests,
+    const cbr::RetrievalOptions& options, BackendScratch& scratch) const {
+    auto& cpu = dynamic_cast<CpuScratch&>(scratch);
+    const cbr::Retriever retriever(*ctx.case_base, *ctx.bounds, *ctx.compiled);
+    return retriever.retrieve_batch(requests, options, cpu.cpu);
+}
+
+}  // namespace qfa::backend

@@ -1,0 +1,38 @@
+// The cpu-simd backend: the compiled columnar engine behind the backend
+// interface.
+//
+// Wraps Retriever::retrieve_compiled — the SoA plans scanned by the
+// runtime-dispatched SIMD kernels (kern::active_kernels()), including the
+// Q8 two-phase route on large plans — so it is *exact* by construction:
+// every result is bit-identical to the single-threaded compiled path the
+// serve engine shipped before backends existed (identical floating-point
+// operations in identical order; the backend only relocates the call).
+//
+// Capability-complete (any n_best, thresholds, details, every metric) and
+// highest-priority: this is the registry default and the fallback every
+// capability decline routes to.
+#pragma once
+
+#include "backend/backend.hpp"
+
+namespace qfa::backend {
+
+class CpuSimdBackend final : public RetrievalBackend {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override { return "cpu-simd"; }
+    [[nodiscard]] int priority() const noexcept override { return 100; }
+    [[nodiscard]] Capabilities capabilities() const noexcept override;
+    [[nodiscard]] bool can_serve(const ShardContext& ctx, const cbr::Request& request,
+                                 const cbr::RetrievalOptions& options,
+                                 BackendScratch* scratch) const override;
+    [[nodiscard]] std::unique_ptr<BackendScratch> make_scratch() const override;
+    [[nodiscard]] cbr::RetrievalResult score(const ShardContext& ctx,
+                                             const cbr::Request& request,
+                                             const cbr::RetrievalOptions& options,
+                                             BackendScratch& scratch) const override;
+    [[nodiscard]] std::vector<cbr::RetrievalResult> score_batch(
+        const ShardContext& ctx, std::span<const cbr::Request> requests,
+        const cbr::RetrievalOptions& options, BackendScratch& scratch) const override;
+};
+
+}  // namespace qfa::backend

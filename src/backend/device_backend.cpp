@@ -1,0 +1,160 @@
+#include "backend/device_backend.hpp"
+
+#include <vector>
+
+#include "backend/image_cache.hpp"
+#include "core/similarity.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/words.hpp"
+#include "rtl/resource_model.hpp"
+#include "rtl/retrieval_unit.hpp"
+#include "sysmodel/bitstream.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::backend {
+
+namespace {
+
+constexpr std::uint64_t kClockMhz = 75;       ///< Table 2 fmax
+constexpr std::uint32_t kProgramPowerMw = 80;  ///< ICAP + fabric during config
+constexpr std::uint32_t kScorePowerMw = 120;   ///< unit active draw
+constexpr std::uint32_t kBytesPerSlice = 72;   ///< Virtex-II frame estimate
+constexpr sys::TaskId kProgramTask{1};
+constexpr sys::TaskId kScoreTask{2};
+
+struct DeviceScratch final : BackendScratch {
+    TypeImageCache images;
+};
+
+bool request_encodable(const cbr::Request& request) {
+    if (request.type().value() == mem::kEndOfList) {
+        return false;
+    }
+    for (const cbr::RequestAttribute& constraint : request.constraints()) {
+        if (constraint.id.value() == mem::kEndOfList) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+Capabilities DeviceBackend::capabilities() const noexcept {
+    Capabilities caps;
+    caps.exact = false;
+    caps.max_n_best = 0;  // §5 n-best result registers rank any width
+    caps.threshold = false;
+    caps.details = false;
+    caps.all_metrics = false;
+    caps.max_batch = 0;
+    return caps;
+}
+
+bool DeviceBackend::can_serve(const ShardContext& ctx, const cbr::Request& request,
+                              const cbr::RetrievalOptions& options,
+                              BackendScratch* scratch) const {
+    if (ctx.case_base == nullptr || ctx.bounds == nullptr || ctx.compiled == nullptr) {
+        return false;
+    }
+    if (options.n_best < 1 || options.threshold != 0.0 || options.collect_details ||
+        options.metric != cbr::LocalMetric::manhattan) {
+        return false;
+    }
+    if (!request_encodable(request)) {
+        return false;
+    }
+    if (ctx.case_base->find_type(request.type()) == nullptr) {
+        return true;  // type_not_found is exact without an image
+    }
+    if (scratch == nullptr) {
+        return true;
+    }
+    auto& dev = dynamic_cast<DeviceScratch&>(*scratch);
+    return dev.images.image_for(ctx, request.type()) != nullptr;
+}
+
+std::unique_ptr<BackendScratch> DeviceBackend::make_scratch() const {
+    return std::make_unique<DeviceScratch>();
+}
+
+cbr::RetrievalResult DeviceBackend::score(const ShardContext& ctx,
+                                          const cbr::Request& request,
+                                          const cbr::RetrievalOptions& options,
+                                          BackendScratch& scratch) const {
+    auto& dev = dynamic_cast<DeviceScratch&>(scratch);
+    if (ctx.case_base->find_type(request.type()) == nullptr) {
+        return cbr::assemble_result_q30(*ctx.case_base, request, {}, options);
+    }
+    const mem::CaseBaseImage* image = dev.images.image_for(ctx, request.type());
+    QFA_EXPECTS(image != nullptr, "score() on a type can_serve declined");
+    // Charge the partial reconfiguration once per (re)built image, even
+    // when can_serve() did the building: consume_charge fires exactly on
+    // the first score against a fresh image.
+    if (dev.images.consume_charge(request.type())) {
+        charge_reconfig(image->size_bytes(), options.n_best);
+    }
+    const mem::RequestImage req_image = mem::encode_request(request);
+    rtl::RtlConfig config;
+    config.compact_blocks = false;
+    config.resume_sorted_scan = true;
+    config.n_best = options.n_best;
+    rtl::RetrievalUnit unit(config);
+    const rtl::RtlResult run = unit.run(req_image, *image);
+    QFA_ASSERT(!run.watchdog_tripped, "retrieval unit watchdog on an engine-built image");
+    charge_run(run.cycles);
+    std::vector<cbr::MatchQ15> ranked;
+    ranked.reserve(run.ranked.size());
+    for (const rtl::RtlCandidate& candidate : run.ranked) {
+        ranked.push_back(cbr::MatchQ15{request.type(), candidate.impl,
+                                       candidate.similarity_q30});
+    }
+    return cbr::assemble_result_q30(*ctx.case_base, request, ranked, options);
+}
+
+double DeviceBackend::similarity_error_bound(const ShardContext& ctx,
+                                             const cbr::Request& request) const {
+    QFA_EXPECTS(ctx.bounds != nullptr, "error bound needs the shard's bounds table");
+    return cbr::modeled_similarity_error_bound(request, *ctx.bounds);
+}
+
+void DeviceBackend::charge_reconfig(std::size_t image_bytes, std::size_t n_best) const {
+    rtl::ResourceModelConfig unit_cfg;
+    unit_cfg.n_best = n_best;
+    unit_cfg.compact_blocks = false;
+    unit_cfg.cb_capacity_words = image_bytes / mem::kWordBytes;
+    const rtl::ResourceEstimate estimate = rtl::estimate_resources(unit_cfg);
+    sys::ConfigBlob blob;
+    blob.target = cbr::Target::fpga;
+    blob.bytes = estimate.clb_slices * kBytesPerSlice +
+                 static_cast<std::uint32_t>(image_bytes);
+    const std::lock_guard<std::mutex> lock(cost_mutex_);
+    const sys::SimTime done = reconfig_.reserve(/*device=*/0, now_, blob);
+    power_.task_started(kProgramTask, kProgramPowerMw, now_);
+    power_.task_stopped(kProgramTask, done);
+    now_ = done;
+}
+
+void DeviceBackend::charge_run(std::uint64_t cycles) const {
+    const sys::SimTime duration = (cycles + kClockMhz - 1) / kClockMhz;
+    const std::lock_guard<std::mutex> lock(cost_mutex_);
+    power_.task_started(kScoreTask, kScorePowerMw, now_);
+    power_.task_stopped(kScoreTask, now_ + duration);
+    now_ += duration;
+    ++runs_;
+    cycles_ += cycles;
+}
+
+DeviceBackend::CostStats DeviceBackend::cost_stats() const {
+    const std::lock_guard<std::mutex> lock(cost_mutex_);
+    CostStats stats;
+    stats.reconfigurations = reconfig_.reconfigurations();
+    stats.reconfig_busy_us = reconfig_.total_busy_time();
+    stats.sim_time_us = now_;
+    stats.energy_uj = power_.energy_uj(now_);
+    stats.runs = runs_;
+    stats.cycles = cycles_;
+    return stats;
+}
+
+}  // namespace qfa::backend

@@ -1,0 +1,70 @@
+// The device backend: the RTL retrieval unit behind the sysmodel FPGA.
+//
+// Scores through the cycle-accurate rtl::RetrievalUnit model (figs. 6/7,
+// with the §5 n-best result registers) and charges what a real deployment
+// would pay: whenever a type's CB-MEM image is (re)built — first touch, or
+// a COW plan swap after retain/widening — the backend books a partial
+// reconfiguration through sys::ReconfigController (ICAP bandwidth + setup,
+// blob sized from the rtl::estimate_resources slice count plus the image
+// bytes) and integrates programming + scoring power through
+// sys::PowerModel, advancing a private simulated clock by the unit's cycle
+// count at the Table 2 75 MHz.  The cost ledger is observability only —
+// results never depend on it — and is read via cost_stats().
+//
+// Modeled, not exact: same Q15/Q30 datapath bound as the soft core
+// (modeled_similarity_error_bound).  Unlike the soft core the unit ranks
+// n-best, so only thresholds, detail rows, non-manhattan metrics and
+// unencodable types decline to cpu-simd.
+#pragma once
+
+#include "backend/backend.hpp"
+#include "sysmodel/events.hpp"
+#include "sysmodel/power.hpp"
+#include "sysmodel/reconfig.hpp"
+
+namespace qfa::backend {
+
+class DeviceBackend final : public RetrievalBackend {
+public:
+    /// Snapshot of the accumulated deployment-cost ledger.
+    struct CostStats {
+        std::uint64_t reconfigurations = 0;  ///< partial reconfigs booked
+        sys::SimTime reconfig_busy_us = 0;   ///< ICAP port busy time
+        sys::SimTime sim_time_us = 0;        ///< private clock (program + score)
+        double energy_uj = 0.0;              ///< integrated programming+scoring draw
+        std::uint64_t runs = 0;              ///< retrieval runs executed
+        std::uint64_t cycles = 0;            ///< unit cycles across all runs
+    };
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "device"; }
+    [[nodiscard]] int priority() const noexcept override { return 10; }
+    [[nodiscard]] Capabilities capabilities() const noexcept override;
+    [[nodiscard]] bool can_serve(const ShardContext& ctx, const cbr::Request& request,
+                                 const cbr::RetrievalOptions& options,
+                                 BackendScratch* scratch) const override;
+    [[nodiscard]] std::unique_ptr<BackendScratch> make_scratch() const override;
+    [[nodiscard]] cbr::RetrievalResult score(const ShardContext& ctx,
+                                             const cbr::Request& request,
+                                             const cbr::RetrievalOptions& options,
+                                             BackendScratch& scratch) const override;
+    [[nodiscard]] double similarity_error_bound(const ShardContext& ctx,
+                                                const cbr::Request& request) const override;
+
+    [[nodiscard]] CostStats cost_stats() const;
+
+private:
+    void charge_reconfig(std::size_t image_bytes, std::size_t n_best) const;
+    void charge_run(std::uint64_t cycles) const;
+
+    // The cost ledger is shared by every worker scoring through this
+    // registered instance, hence the mutex; the scoring path itself touches
+    // only per-worker scratch and stays lock-free.
+    mutable std::mutex cost_mutex_;
+    mutable sys::SimTime now_ = 0;
+    mutable sys::ReconfigController reconfig_;
+    mutable sys::PowerModel power_{0};  ///< base 0 mW: ledger attributes tasks only
+    mutable std::uint64_t runs_ = 0;
+    mutable std::uint64_t cycles_ = 0;
+};
+
+}  // namespace qfa::backend

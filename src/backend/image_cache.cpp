@@ -1,0 +1,80 @@
+#include "backend/image_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace qfa::backend {
+
+std::shared_ptr<const cbr::TypePlan> plan_handle(const cbr::CompiledCaseBase& compiled,
+                                                 cbr::TypeId type) noexcept {
+    const auto plans = compiled.plans();
+    const auto it = std::lower_bound(
+        plans.begin(), plans.end(), type,
+        [](const std::shared_ptr<const cbr::TypePlan>& plan, cbr::TypeId id) {
+            return plan->id.value() < id.value();
+        });
+    if (it == plans.end() || (*it)->id != type) {
+        return nullptr;
+    }
+    return *it;
+}
+
+const mem::CaseBaseImage* TypeImageCache::image_for(const ShardContext& ctx,
+                                                    cbr::TypeId type, bool* rebuilt) {
+    if (rebuilt != nullptr) {
+        *rebuilt = false;
+    }
+    QFA_EXPECTS(ctx.compiled != nullptr && ctx.case_base != nullptr && ctx.bounds != nullptr,
+                "TypeImageCache needs a fully bound shard context");
+    std::shared_ptr<const cbr::TypePlan> plan = plan_handle(*ctx.compiled, type);
+    if (plan == nullptr) {
+        return nullptr;
+    }
+    Entry& entry = entries_[type.value()];
+    if (entry.plan == plan) {
+        // COW alias: the type's rows and supplemental columns are the ones
+        // this image was packed from (see header comment).
+        ++reuses_;
+        return entry.encodable ? &entry.image : nullptr;
+    }
+    const cbr::FunctionType* tree_type = ctx.case_base->find_type(type);
+    QFA_ASSERT(tree_type != nullptr,
+               "a compiled plan exists for a type absent from its own tree");
+    entry.plan = std::move(plan);
+    entry.encodable = false;
+    entry.cost_charged = false;
+    entry.image = {};
+    ++rebuilds_;
+    if (rebuilt != nullptr) {
+        *rebuilt = true;
+    }
+    try {
+        // One-type sub-tree + the full design-global supplemental list —
+        // the per-shard CB-MEM content a deployment would flash for this
+        // function type.
+        cbr::CaseBase sub(std::vector<cbr::FunctionType>{*tree_type});
+        entry.image = mem::encode_case_base(sub, *ctx.bounds);
+        entry.encodable = true;
+    } catch (const std::length_error&) {
+        // Image past the 16-bit pointer range: the type stays marked
+        // unencodable until its plan changes — a capability decline.
+    } catch (const std::invalid_argument&) {
+        // An ID collides with the terminator word: same decline semantics.
+    }
+    return entry.encodable ? &entry.image : nullptr;
+}
+
+bool TypeImageCache::consume_charge(cbr::TypeId type) {
+    const auto it = entries_.find(type.value());
+    if (it == entries_.end() || !it->second.encodable || it->second.cost_charged) {
+        return false;
+    }
+    it->second.cost_charged = true;
+    return true;
+}
+
+}  // namespace qfa::backend

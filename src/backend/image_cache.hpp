@@ -1,0 +1,78 @@
+// Per-type memory-image artifacts, cached by TypePlan identity.
+//
+// Both datapath backends (mblaze soft-core, RTL device) score against the
+// paper's packed memory images (fig. 4/5): a CB-MEM image per function
+// type — the type's implementation tree plus the design-global attribute
+// supplemental list — and a Req-MEM image per request.  Rebuilding the
+// CB-MEM image per call would bury the datapath cost under encoding, so
+// each worker's backend scratch caches one image per served type.
+//
+// Invalidation rides the COW publish path for free: an entry is keyed by
+// the generation's shared_ptr<const TypePlan> for the type.  patched()
+// aliases the plan pointer across epochs exactly when the type's rows and
+// its supplemental (dmax/reciprocal) columns are unchanged — precisely the
+// inputs the image packs — so pointer equality means the cached image is
+// current, and a splice/clone (retain into the type, or a bounds widening
+// that touches its columns) swaps the pointer and forces a rebuild.  A
+// widened bound on an attribute absent from the type leaves the plan
+// aliased AND the image semantically valid: such an attribute scores
+// s_i = 0 through the missing-attribute rule no matter which reciprocal
+// the stale supplemental carries.
+//
+// Capability gate: encode_case_base throws std::length_error when a type's
+// image would exceed the 16-bit pointer range (and std::invalid_argument
+// when an ID collides with the 0xFFFF terminator).  The cache records the
+// failure, so can_serve() declines the type — once — instead of throwing
+// on every request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "backend/backend.hpp"
+#include "memimg/tree_image.hpp"
+
+namespace qfa::backend {
+
+/// One worker's per-type CB-MEM image cache (embedded in the scratch of
+/// each datapath backend; never shared across threads).
+class TypeImageCache {
+public:
+    /// The cached (or freshly built) image for `type` under `ctx`'s
+    /// generation, or nullptr when the type is absent from the compiled
+    /// view or its image is not encodable.  `rebuilt` (optional) is set
+    /// when this call (re)built the artifact — the device backend charges
+    /// a partial reconfiguration exactly then.
+    [[nodiscard]] const mem::CaseBaseImage* image_for(const ShardContext& ctx,
+                                                      cbr::TypeId type,
+                                                      bool* rebuilt = nullptr);
+
+    /// True exactly once per (re)build of `type`'s encodable image — the
+    /// device backend's partial-reconfiguration charge point.  Decoupled
+    /// from image_for's `rebuilt` flag because can_serve() may build the
+    /// image first; the charge must still fire on the first score.
+    [[nodiscard]] bool consume_charge(cbr::TypeId type);
+
+    [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+    [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
+
+private:
+    struct Entry {
+        std::shared_ptr<const cbr::TypePlan> plan;  ///< identity key (COW)
+        mem::CaseBaseImage image;
+        bool encodable = false;
+        bool cost_charged = false;  ///< consume_charge bookkeeping
+    };
+
+    std::unordered_map<std::uint16_t, Entry> entries_;
+    std::uint64_t rebuilds_ = 0;
+    std::uint64_t reuses_ = 0;
+};
+
+/// The generation's owning handle for `type`'s plan (the COW identity the
+/// cache keys on), or nullptr when the type has no plan.
+[[nodiscard]] std::shared_ptr<const cbr::TypePlan> plan_handle(
+    const cbr::CompiledCaseBase& compiled, cbr::TypeId type) noexcept;
+
+}  // namespace qfa::backend

@@ -1,0 +1,108 @@
+#include "backend/mblaze_backend.hpp"
+
+#include <array>
+
+#include "backend/image_cache.hpp"
+#include "core/similarity.hpp"
+#include "mblaze/retrieval_program.hpp"
+#include "memimg/request_image.hpp"
+#include "memimg/words.hpp"
+#include "util/contracts.hpp"
+
+namespace qfa::backend {
+
+namespace {
+
+struct MblazeScratch final : BackendScratch {
+    TypeImageCache images;
+};
+
+/// Options/request limits shared by can_serve and score: the soft core
+/// runs the single-best manhattan listing with no threshold compare, and
+/// the request image cannot carry terminator-colliding IDs.
+bool request_encodable(const cbr::Request& request) {
+    if (request.type().value() == mem::kEndOfList) {
+        return false;
+    }
+    for (const cbr::RequestAttribute& constraint : request.constraints()) {
+        if (constraint.id.value() == mem::kEndOfList) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+Capabilities MblazeBackend::capabilities() const noexcept {
+    Capabilities caps;
+    caps.exact = false;
+    caps.max_n_best = 1;
+    caps.threshold = false;
+    caps.details = false;
+    caps.all_metrics = false;
+    caps.max_batch = 0;
+    return caps;
+}
+
+bool MblazeBackend::can_serve(const ShardContext& ctx, const cbr::Request& request,
+                              const cbr::RetrievalOptions& options,
+                              BackendScratch* scratch) const {
+    if (ctx.case_base == nullptr || ctx.bounds == nullptr || ctx.compiled == nullptr) {
+        return false;
+    }
+    if (options.n_best != 1 || options.threshold != 0.0 || options.collect_details ||
+        options.metric != cbr::LocalMetric::manhattan) {
+        return false;
+    }
+    if (!request_encodable(request)) {
+        return false;
+    }
+    // A type absent from the tree is servable exactly (type_not_found needs
+    // no image); a present type additionally needs an encodable image,
+    // which only the worker's cache can answer.
+    if (ctx.case_base->find_type(request.type()) == nullptr) {
+        return true;
+    }
+    if (scratch == nullptr) {
+        return true;  // static checks only — the caller has no artifacts yet
+    }
+    auto& mb = dynamic_cast<MblazeScratch&>(*scratch);
+    return mb.images.image_for(ctx, request.type()) != nullptr;
+}
+
+std::unique_ptr<BackendScratch> MblazeBackend::make_scratch() const {
+    return std::make_unique<MblazeScratch>();
+}
+
+cbr::RetrievalResult MblazeBackend::score(const ShardContext& ctx,
+                                          const cbr::Request& request,
+                                          const cbr::RetrievalOptions& options,
+                                          BackendScratch& scratch) const {
+    auto& mb = dynamic_cast<MblazeScratch&>(scratch);
+    if (ctx.case_base->find_type(request.type()) == nullptr) {
+        return cbr::assemble_result_q30(*ctx.case_base, request, {}, options);
+    }
+    const mem::CaseBaseImage* image = mb.images.image_for(ctx, request.type());
+    QFA_EXPECTS(image != nullptr, "score() on a type can_serve declined");
+    const mem::RequestImage req_image = mem::encode_request(request);
+    const mb::SwRetrievalResult sw =
+        mb::run_sw_retrieval(mb::SwProgramKind::optimized, req_image, *image);
+    std::array<cbr::MatchQ15, 1> ranked;
+    std::size_t count = 0;
+    if (sw.found) {
+        ranked[0] = cbr::MatchQ15{request.type(), sw.impl, sw.similarity_q30};
+        count = 1;
+    }
+    return cbr::assemble_result_q30(*ctx.case_base, request,
+                                    std::span<const cbr::MatchQ15>(ranked.data(), count),
+                                    options);
+}
+
+double MblazeBackend::similarity_error_bound(const ShardContext& ctx,
+                                             const cbr::Request& request) const {
+    QFA_EXPECTS(ctx.bounds != nullptr, "error bound needs the shard's bounds table");
+    return cbr::modeled_similarity_error_bound(request, *ctx.bounds);
+}
+
+}  // namespace qfa::backend

@@ -1,0 +1,38 @@
+// The mblaze backend: retrieval on the MicroBlaze-class soft core.
+//
+// §4.2's software mapping as a serving backend — the hand-optimized
+// assembly listing executed by the mblaze::Cpu instruction-set simulator
+// against the same packed memory images (fig. 4/5) the hardware unit
+// walks.  *Modeled*, not exact: similarities come out of the Q15/Q30
+// datapath arithmetic, within modeled_similarity_error_bound() of the
+// double-precision scan (the ranking itself matches the hardware's
+// tie-break exactly; the conformance suite pins both properties).
+//
+// The soft core keeps one result register pair, so the backend declines
+// n_best > 1, thresholds, detail rows and non-manhattan metrics — and
+// types whose packed image cannot encode (16-bit pointer overflow,
+// terminator-colliding IDs).  Declines route to cpu-simd and are counted.
+#pragma once
+
+#include "backend/backend.hpp"
+
+namespace qfa::backend {
+
+class MblazeBackend final : public RetrievalBackend {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override { return "mblaze"; }
+    [[nodiscard]] int priority() const noexcept override { return 50; }
+    [[nodiscard]] Capabilities capabilities() const noexcept override;
+    [[nodiscard]] bool can_serve(const ShardContext& ctx, const cbr::Request& request,
+                                 const cbr::RetrievalOptions& options,
+                                 BackendScratch* scratch) const override;
+    [[nodiscard]] std::unique_ptr<BackendScratch> make_scratch() const override;
+    [[nodiscard]] cbr::RetrievalResult score(const ShardContext& ctx,
+                                             const cbr::Request& request,
+                                             const cbr::RetrievalOptions& options,
+                                             BackendScratch& scratch) const override;
+    [[nodiscard]] double similarity_error_bound(const ShardContext& ctx,
+                                                const cbr::Request& request) const override;
+};
+
+}  // namespace qfa::backend

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "core/kernels.hpp"
+#include "fixed/reciprocal.hpp"
 #include "util/contracts.hpp"
 
 namespace qfa::cbr {
@@ -749,6 +750,59 @@ std::optional<MatchQ15> Retriever::retrieve_q15(const Request& request,
         }
     }
     return scored[best];
+}
+
+RetrievalResult assemble_result_q30(const CaseBase& cb, const Request& request,
+                                    std::span<const MatchQ15> ranked,
+                                    const RetrievalOptions& options) {
+    validate_options(options);
+    RetrievalResult result;
+    const FunctionType* type = cb.find_type(request.type());
+    if (type == nullptr) {
+        result.status = RetrievalStatus::type_not_found;
+        return result;
+    }
+    // The compiled path's effort accounting: every row of the type is
+    // scored, every constraint is looked up per row.  Datapath models track
+    // their own effort in cycles (CpuStats / RtlResult); the result-level
+    // counters describe the workload shape, identically across backends.
+    result.impls_considered = type->impls.size();
+    result.attrs_compared = type->impls.size() * request.constraints().size();
+    if (type->impls.empty()) {
+        result.status = RetrievalStatus::all_below_threshold;
+        return result;
+    }
+    for (const MatchQ15& candidate : ranked) {
+        QFA_EXPECTS(candidate.type == request.type(),
+                    "assemble_result_q30 candidates must match the requested type");
+        const double similarity = candidate.similarity();
+        if (similarity < options.threshold) {
+            continue;  // §3: reject all results below a given threshold
+        }
+        const Implementation* impl = type->find_impl(candidate.impl);
+        QFA_EXPECTS(impl != nullptr,
+                    "assemble_result_q30 candidate names an unknown implementation");
+        result.matches.push_back(Match{type->id, impl->id, impl->target, similarity, {}});
+        if (result.matches.size() >= options.n_best) {
+            break;
+        }
+    }
+    result.status = result.matches.empty() ? RetrievalStatus::all_below_threshold
+                                           : RetrievalStatus::ok;
+    return result;
+}
+
+double modeled_similarity_error_bound(const Request& request, const BoundsTable& bounds) {
+    const Request normalized = request.normalized();
+    const std::vector<fx::Q15> quantized = quantize_weights(normalized);
+    const std::span<const RequestAttribute> constraints = normalized.constraints();
+    double bound = 0.0;
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        const double w_hat = quantized[i].to_double();
+        bound += w_hat * fx::local_similarity_error_bound(bounds.dmax(constraints[i].id));
+        bound += std::abs(w_hat - constraints[i].weight);
+    }
+    return bound;
 }
 
 }  // namespace qfa::cbr

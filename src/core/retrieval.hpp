@@ -142,6 +142,38 @@ struct RetrievalResult {
     [[nodiscard]] const Match& best() const;
 };
 
+/// Backend-agnostic result assembly — the one place Q30-datapath backends
+/// (mblaze soft-core, RTL device model) turn ranked hardware candidates
+/// into a RetrievalResult with the exact status/threshold/ranking semantics
+/// of the double-precision paths.  `ranked` must be descending by
+/// similarity_q30 with ties towards the lower ImplId (what both datapath
+/// models produce); candidates below options.threshold are rejected with
+/// the same `S < threshold` rule retrieve() applies, targets are looked up
+/// from the tree, and the status mirrors retrieve_compiled's: missing type
+/// -> type_not_found, zero implementations or nothing surviving the
+/// threshold -> all_below_threshold.  Effort counters follow the compiled
+/// path's accounting (impls_considered = row count, attrs_compared = rows x
+/// constraints) so modeled results stay comparable across backends.
+[[nodiscard]] RetrievalResult assemble_result_q30(const CaseBase& cb,
+                                                  const Request& request,
+                                                  std::span<const MatchQ15> ranked,
+                                                  const RetrievalOptions& options);
+
+/// Documented error bound of the Q15/Q30 datapath vs the double-precision
+/// weighted sum for one request:
+///
+///     |S_q30 - S_exact| <= Σ_i ŵ_i·local_similarity_error_bound(dmax_i)
+///                          + Σ_i |ŵ_i - w_i|
+///
+/// where w are the normalized weights, ŵ their Q15 quantization
+/// (quantize_weights' largest-remainder scheme — the very values the
+/// packed request image carries) and the per-local bound is
+/// fx::local_similarity_error_bound.  Every backend that scores through
+/// the hardware arithmetic (mblaze, device) reports exactly this bound;
+/// the conformance suite and the heterogeneous bench assert against it.
+[[nodiscard]] double modeled_similarity_error_bound(const Request& request,
+                                                    const BoundsTable& bounds);
+
 /// Bit-identity of two retrieval results: same status and effort counters,
 /// same ranked (type, impl, target) sequence, bitwise-equal similarities,
 /// and equal detail rows (bitwise on their doubles) when collected.  This

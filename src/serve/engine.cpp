@@ -59,6 +59,9 @@ Engine::Engine(cbr::CaseBase initial, EngineConfig config)
             bind_plan_columns(*plan);
         }
     }
+    // Backend placement is resolved before any worker starts: workers
+    // read shard_backend_ unsynchronized, so it must be final here.
+    resolve_backends(config);
     // Workers start only after every shard exists: shard_of indexes the
     // final vector, and the steal path scans all of them.
     for (std::size_t i = 0; i < config.shard_count; ++i) {
@@ -68,6 +71,44 @@ Engine::Engine(cbr::CaseBase initial, EngineConfig config)
 
 Engine::~Engine() { shutdown(); }
 
+void Engine::resolve_backends(const EngineConfig& config) {
+    backend::BackendRegistry& registry = backend::registry();
+    // One counter slot per registered backend, zero or not — stable keys
+    // for dashboards, stable addresses for the hot path.
+    for (const backend::RetrievalBackend* be : registry.enumerate()) {
+        backend_counters_.emplace(std::string(be->name()),
+                                  std::make_unique<BackendCounters>());
+    }
+    fallback_backend_ = registry.find("cpu-simd");
+    QFA_ASSERT(fallback_backend_ != nullptr, "the cpu-simd fallback must be registered");
+    fallback_counters_ = backend_counters_.find("cpu-simd")->second.get();
+    // Explicit config names are contracts (throw on a typo); only the
+    // QFA_BACKEND env hint inside default_backend() degrades to cpu-simd.
+    const backend::RetrievalBackend* global =
+        config.backend.empty() ? registry.default_backend()
+                               : registry.find(config.backend);
+    if (global == nullptr) {
+        throw std::invalid_argument("EngineConfig::backend names no registered backend: " +
+                                    config.backend);
+    }
+    shard_backend_.resize(config.shard_count);
+    for (std::size_t i = 0; i < config.shard_count; ++i) {
+        const std::string* name =
+            i < config.shard_backends.size() && !config.shard_backends[i].empty()
+                ? &config.shard_backends[i]
+                : nullptr;
+        const backend::RetrievalBackend* assigned =
+            name == nullptr ? global : registry.find(*name);
+        if (assigned == nullptr) {
+            throw std::invalid_argument(
+                "EngineConfig::shard_backends names no registered backend: " + *name);
+        }
+        shard_backend_[i].assigned = assigned;
+        shard_backend_[i].counters =
+            backend_counters_.find(assigned->name())->second.get();
+    }
+}
+
 void Engine::worker_loop(std::size_t self) {
     Shard& shard = *shards_[self];
     if (numa_live_) {
@@ -75,12 +116,13 @@ void Engine::worker_loop(std::size_t self) {
         // topologies) costs locality, never correctness.
         (void)util::numa::pin_thread_to_node(shard_node_[self]);
     }
-    // One scratch per worker: the compiled path's steady state allocates
-    // nothing beyond returned matches.  The generation is pinned per job
-    // and released before blocking on an empty queue, so an idle shard
-    // never keeps a retired epoch (tree + plans) alive; the Retriever it
-    // binds is four pointers, not worth caching across epochs.
-    cbr::RetrievalScratch scratch;
+    // One scratch set per worker, one entry per backend this worker ever
+    // scores through (cpu-simd's steady state allocates nothing beyond
+    // returned matches; the image backends cache per-type artifacts
+    // here).  The generation is pinned per job and released before
+    // blocking on an empty queue, so an idle shard never keeps a retired
+    // epoch (tree + plans) alive.
+    WorkerScratch scratch;
     if (!steal_.enabled) {
         // The classic single-consumer drain: block on the own queue,
         // exit once it is closed and empty.
@@ -127,7 +169,7 @@ void Engine::worker_loop(std::size_t self) {
     }
 }
 
-void Engine::serve_job(Shard& self, Job job, cbr::RetrievalScratch& scratch) {
+void Engine::serve_job(Shard& self, Job job, WorkerScratch& scratch) {
     // Count before fulfilling the promise (release, matching stats()'s
     // acquire reads): anyone who has observed the result must also
     // observe it in the stats, and a stats() snapshot that includes
@@ -165,15 +207,33 @@ void Engine::serve_job(Shard& self, Job job, cbr::RetrievalScratch& scratch) {
         // construction (sharding — and stealing — only decide *where* a
         // plan is scored, never *how*).
         const GenerationPtr pinned = store_.load();
-        const cbr::Retriever retriever(pinned->case_base, pinned->bounds,
-                                       pinned->compiled);
+        const backend::ShardContext ctx{&pinned->case_base, &pinned->bounds,
+                                        &pinned->compiled, pinned->epoch};
+        // Backend selection follows the HOME shard (shard_of the request's
+        // type), not the executing worker: a steal moves where a job runs,
+        // never which backend scores it, so placement stays a pure
+        // function of the type.  A can_serve decline routes to cpu-simd
+        // and books a fallback against the ASSIGNED backend — counted,
+        // never silent (src/backend contract).
+        const ShardBackend& home = shard_backend_[shard_of(retrieval->request.type())];
+        const backend::RetrievalBackend* be = home.assigned;
+        BackendCounters* counters = home.counters;
+        backend::BackendScratch* be_scratch = &scratch.for_backend(*be);
+        if (be != fallback_backend_ &&
+            !be->can_serve(ctx, retrieval->request, retrieval->options, be_scratch)) {
+            home.counters->fallbacks.fetch_add(1, std::memory_order_release);
+            be = fallback_backend_;
+            counters = fallback_counters_;
+            be_scratch = &scratch.for_backend(*be);
+        }
         self.served.fetch_add(1, std::memory_order_release);
+        counters->served.fetch_add(1, std::memory_order_release);
         if (retrieval->tenant != nullptr) {
             retrieval->tenant->served.fetch_add(1, std::memory_order_relaxed);
         }
         try {
-            cbr::RetrievalResult result = retriever.retrieve_compiled(
-                retrieval->request, retrieval->options, &scratch);
+            cbr::RetrievalResult result =
+                be->score(ctx, retrieval->request, retrieval->options, *be_scratch);
             // Stamp before set_value: the future's happens-before makes
             // the stamp readable after get()/wait() returns.
             if (retrieval->cls.completed_at != nullptr) {
@@ -774,6 +834,15 @@ EngineStats Engine::stats() const {
         stats.served += served;
     }
     stats.shard_node = shard_node_;
+    // Backend slices are completion-side: acquired before `submitted` so
+    // Σ backends.served <= submitted in any snapshot.  The map itself is
+    // constructor-final — no lock needed.
+    for (const auto& [name, counters] : backend_counters_) {
+        EngineStats::BackendStats slice;
+        slice.served = counters->served.load(std::memory_order_acquire);
+        slice.fallbacks = counters->fallbacks.load(std::memory_order_acquire);
+        stats.backends.emplace(name, slice);
+    }
     stats.submitted = submitted_.load(std::memory_order_relaxed);
     stats.admitted = admitted_.load(std::memory_order_relaxed);
     stats.rejected = rejected_.load(std::memory_order_relaxed);

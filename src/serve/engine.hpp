@@ -63,6 +63,7 @@
 #include <variant>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "core/retain.hpp"
 #include "core/retrieval.hpp"
 #include "serve/admission.hpp"
@@ -122,6 +123,20 @@ struct EngineConfig {
     /// published epoch for changed plans), and steals prefer same-node
     /// victims before crossing the interconnect.
     bool numa = false;
+    /// Retrieval backend every shard scores through, by registry name
+    /// (src/backend: "cpu-simd", "mblaze", "device").  Empty = the
+    /// registry default (the QFA_BACKEND environment variable when it
+    /// names a registered backend, else cpu-simd — so the default engine
+    /// stays bit-identical to the pre-backend compiled path).  An unknown
+    /// name here throws from the constructor: explicit config is a
+    /// contract, only the env hint degrades silently.
+    std::string backend;
+    /// Per-shard placement override: element i names shard i's backend,
+    /// "" falls through to `backend` above.  Shorter vectors pad with ""
+    /// (so {"mblaze"} puts only shard 0 on the soft core).  A request is
+    /// always scored by its HOME shard's backend — work stealing moves
+    /// *where* a job runs, never which backend scores it.
+    std::vector<std::string> shard_backends;
 };
 
 /// Monotone counters (mirrors ManagerStats' role for the serve layer).
@@ -143,6 +158,17 @@ struct EngineStats {
         std::uint64_t expired = 0;
         std::uint64_t shed = 0;
         std::uint64_t served = 0;
+    };
+
+    /// Per-backend outcome slice.  `served` counts retrievals this backend
+    /// actually scored (stolen jobs included — attribution follows the
+    /// scoring backend, not the executing worker); `fallbacks` counts
+    /// retrievals ASSIGNED to this backend that it declined via
+    /// can_serve(), each of which was then scored — and counted served —
+    /// by cpu-simd.  Declines are never silent: every fallback shows here.
+    struct BackendStats {
+        std::uint64_t served = 0;
+        std::uint64_t fallbacks = 0;
     };
 
     std::uint64_t submitted = 0;        ///< jobs accepted into a queue
@@ -193,6 +219,12 @@ struct EngineStats {
                                               ///< when placement is off)
     std::vector<std::uint64_t> shard_served;  ///< per-shard completion counts
     std::map<TenantId, TenantStats> tenants;  ///< per-tenant outcome slices
+    /// Per-backend outcome slices, one entry per registered backend (all
+    /// present even when zero, so dashboards see stable keys).  Counter
+    /// coherence: served/fallback counts are bumped release before the
+    /// job's promise resolves and read acquire before `submitted`, so
+    /// Σ backends.served <= submitted in any snapshot.
+    std::map<std::string, BackendStats> backends;
 };
 
 class Engine {
@@ -370,6 +402,41 @@ private:
         std::atomic<std::uint64_t> shed_debt{0};
     };
 
+    /// Per-backend atomic outcome counters, one per registered backend,
+    /// materialized in the constructor (stable addresses: shard-backend
+    /// slots carry raw pointers so the hot path never touches the map).
+    struct BackendCounters {
+        std::atomic<std::uint64_t> served{0};
+        std::atomic<std::uint64_t> fallbacks{0};
+    };
+
+    /// One shard's resolved backend assignment (constructor-final; workers
+    /// read it without synchronization).
+    struct ShardBackend {
+        const backend::RetrievalBackend* assigned = nullptr;
+        BackendCounters* counters = nullptr;
+    };
+
+    /// One worker's per-backend scratch set, grown lazily as backends
+    /// score on this worker (a thief may serve a shard whose backend it
+    /// has not met yet).  Linear scan: a worker ever meets at most the
+    /// registered-backend count of entries.
+    struct WorkerScratch {
+        std::vector<std::pair<const backend::RetrievalBackend*,
+                              std::unique_ptr<backend::BackendScratch>>>
+            entries;
+
+        backend::BackendScratch& for_backend(const backend::RetrievalBackend& be) {
+            for (auto& [owner, scratch] : entries) {
+                if (owner == &be) {
+                    return *scratch;
+                }
+            }
+            entries.emplace_back(&be, be.make_scratch());
+            return *entries.back().second;
+        }
+    };
+
     /// A queued n-best retrieval (the original job kind).
     struct RetrieveJob {
         cbr::Request request;
@@ -407,12 +474,13 @@ private:
 
     /// Serves one dequeued job on the calling worker (`self` is its shard,
     /// for completion attribution): expiry check, per-job epoch pin,
-    /// compiled retrieval / closure run, promise resolution, counters.
+    /// backend dispatch / closure run, promise resolution, counters.
     /// Identical whether the job came from self's own queue or was stolen
-    /// — the epoch is pinned HERE, at service time, so a stolen retrieval
-    /// resolves against the generation current at its dequeue, exactly as
-    /// home-shard execution would.
-    void serve_job(Shard& self, Job job, cbr::RetrievalScratch& scratch);
+    /// — the epoch is pinned HERE, at service time, and the backend is the
+    /// HOME shard's (shard_of the request's type, not `self`), so a stolen
+    /// retrieval resolves against the generation current at its dequeue
+    /// and through the very backend home execution would have used.
+    void serve_job(Shard& self, Job job, WorkerScratch& scratch);
 
     /// One steal attempt by worker `thief`: scans sibling queues (same
     /// NUMA node first, then cross-node; deepest backlog first within each
@@ -458,9 +526,19 @@ private:
     /// `changed`.  Caller holds writer_mutex_.
     void publish_locked(cbr::TypeId changed);
 
+    /// Resolves config.backend / config.shard_backends against the
+    /// registry into shard_backend_ and the counter map (constructor
+    /// only; throws std::invalid_argument on an unknown explicit name).
+    void resolve_backends(const EngineConfig& config);
+
     cbr::DynamicCaseBase master_;   ///< writer-side truth; guarded by writer_mutex_
     PlanStore store_;               ///< reader-side publication point
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<ShardBackend> shard_backend_;  ///< per-shard assignment (final)
+    const backend::RetrievalBackend* fallback_backend_ = nullptr;  ///< cpu-simd
+    BackendCounters* fallback_counters_ = nullptr;
+    /// One counter slot per registered backend (stable addresses).
+    std::map<std::string, std::unique_ptr<BackendCounters>, std::less<>> backend_counters_;
     AdmissionConfig admission_;
     StealConfig steal_;
     bool edf_ = false;  ///< steal_slot mirrors the queue's EDF choice

@@ -1,0 +1,334 @@
+// Backend conformance: every registered backend either reproduces the
+// tree-walking reference exactly (cpu-simd) or stays within its own
+// documented similarity_error_bound (mblaze, device) over a seeded
+// random corpus — and capability declines are declared, never silent.
+#include "backend/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "backend/cpu_simd.hpp"
+#include "backend/device_backend.hpp"
+#include "core/retrieval.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using backend::BackendScratch;
+using backend::RetrievalBackend;
+using backend::ShardContext;
+using cbr::RetrievalOptions;
+using cbr::RetrievalResult;
+using cbr::RetrievalStatus;
+
+/// One compiled corpus a backend scores against.
+struct Corpus {
+    cbr::CaseBase cb;
+    cbr::BoundsTable bounds;
+    cbr::CompiledCaseBase compiled;
+    std::vector<wl::GeneratedRequest> requests;
+
+    [[nodiscard]] ShardContext ctx() const {
+        return ShardContext{&cb, &bounds, &compiled, 1};
+    }
+};
+
+Corpus make_corpus(std::uint64_t seed, std::size_t request_count,
+                   double attr_dropout = 0.15) {
+    util::Rng rng(seed);
+    wl::CatalogConfig config;
+    config.function_types = 6;
+    config.impls_per_type = 8;
+    config.attrs_per_impl = 6;
+    config.attr_dropout = attr_dropout;
+    wl::GeneratedCatalog generated = wl::generate_catalog_with_bounds(config, rng);
+    Corpus corpus{std::move(generated.case_base), std::move(generated.bounds), {}, {}};
+    corpus.compiled = cbr::CompiledCaseBase(corpus.cb, corpus.bounds);
+    corpus.requests = wl::generate_request_batch(corpus.cb, corpus.bounds,
+                                                 request_count, rng);
+    return corpus;
+}
+
+/// The tree-walking double-precision reference (no compiled fast path).
+RetrievalResult reference_result(const Corpus& corpus, const cbr::Request& request,
+                                 const RetrievalOptions& options) {
+    const cbr::Retriever retriever(corpus.cb, corpus.bounds);
+    return retriever.retrieve(request, options);
+}
+
+// ~1000 request seeds across the whole suite: kSeeds corpora x kRequests
+// requests, each corpus from a distinct generator seed.
+constexpr std::size_t kSeeds = 25;
+constexpr std::size_t kRequests = 40;
+
+TEST(BackendRegistry, ThreeBuiltInsEnumerateByPriority) {
+    backend::BackendRegistry& registry = backend::registry();
+    const std::vector<const RetrievalBackend*> all = registry.enumerate();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->name(), "cpu-simd");
+    EXPECT_EQ(all[1]->name(), "mblaze");
+    EXPECT_EQ(all[2]->name(), "device");
+    EXPECT_GT(all[0]->priority(), all[1]->priority());
+    EXPECT_GT(all[1]->priority(), all[2]->priority());
+    EXPECT_TRUE(all[0]->capabilities().exact);
+    EXPECT_FALSE(all[1]->capabilities().exact);
+    EXPECT_FALSE(all[2]->capabilities().exact);
+    for (const RetrievalBackend* be : all) {
+        EXPECT_EQ(registry.find(be->name()), be);
+    }
+    EXPECT_EQ(registry.find("no-such-backend"), nullptr);
+}
+
+TEST(BackendRegistry, DuplicateNamesAreRejected) {
+    backend::BackendRegistry local;  // never the process registry: no pollution
+    EXPECT_TRUE(local.register_backend(std::make_unique<backend::CpuSimdBackend>()));
+    EXPECT_FALSE(local.register_backend(std::make_unique<backend::CpuSimdBackend>()));
+    EXPECT_FALSE(local.register_backend(nullptr));
+    EXPECT_EQ(local.enumerate().size(), 1u);
+}
+
+TEST(BackendRegistry, DefaultBackendHonorsEnvOverride) {
+    backend::BackendRegistry& registry = backend::registry();
+    ::unsetenv("QFA_BACKEND");
+    EXPECT_EQ(registry.default_backend()->name(), "cpu-simd");
+    ::setenv("QFA_BACKEND", "mblaze", 1);
+    EXPECT_EQ(registry.default_backend()->name(), "mblaze");
+    // An unknown env name is a hint, not a contract: degrade to cpu-simd.
+    ::setenv("QFA_BACKEND", "no-such-backend", 1);
+    EXPECT_EQ(registry.default_backend()->name(), "cpu-simd");
+    ::unsetenv("QFA_BACKEND");
+}
+
+TEST(BackendConformance, CpuSimdIsBitIdenticalToTreeReference) {
+    const RetrievalBackend* be = backend::registry().find("cpu-simd");
+    ASSERT_NE(be, nullptr);
+    EXPECT_EQ(be->similarity_error_bound(ShardContext{}, cbr::paper_example_request()),
+              0.0);
+    RetrievalOptions options;
+    options.n_best = 3;
+    for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+        const Corpus corpus = make_corpus(0xC0FEE + seed, kRequests);
+        const ShardContext ctx = corpus.ctx();
+        const std::unique_ptr<BackendScratch> scratch = be->make_scratch();
+        for (const wl::GeneratedRequest& gen : corpus.requests) {
+            ASSERT_TRUE(be->can_serve(ctx, gen.request, options, scratch.get()));
+            const RetrievalResult got = be->score(ctx, gen.request, options, *scratch);
+            EXPECT_TRUE(cbr::identical_results(
+                reference_result(corpus, gen.request, options), got));
+        }
+    }
+}
+
+/// Shared check for the two modeled (Q15-datapath) backends at n_best = 1:
+/// the best candidate must be EXACTLY the Q15 reference's best (same impl,
+/// same Q30-derived similarity) and within the backend's documented error
+/// bound of the double-precision best.
+void check_modeled_best(const RetrievalBackend& be, const Corpus& corpus) {
+    const ShardContext ctx = corpus.ctx();
+    const cbr::Retriever reference(corpus.cb, corpus.bounds);
+    const std::unique_ptr<BackendScratch> scratch = be.make_scratch();
+    const RetrievalOptions options;  // n_best = 1, no threshold
+    for (const wl::GeneratedRequest& gen : corpus.requests) {
+        ASSERT_TRUE(be.can_serve(ctx, gen.request, options, scratch.get()))
+            << be.name() << " declined a plain single-best request";
+        const RetrievalResult got = be.score(ctx, gen.request, options, *scratch);
+        const std::optional<cbr::MatchQ15> q15 = reference.retrieve_q15(gen.request);
+        ASSERT_TRUE(q15.has_value());
+        ASSERT_EQ(got.status, RetrievalStatus::ok);
+        ASSERT_EQ(got.matches.size(), 1u);
+        // Exact equality against the golden Q15 model: the datapath
+        // backends are modeled w.r.t. the double reference but EXACT
+        // w.r.t. the hardware arithmetic.
+        EXPECT_EQ(got.matches[0].impl, q15->impl);
+        EXPECT_EQ(got.matches[0].similarity, q15->similarity());
+        // Documented bound w.r.t. the double-precision reference.
+        const RetrievalResult exact = reference_result(corpus, gen.request, options);
+        ASSERT_EQ(exact.status, RetrievalStatus::ok);
+        const double bound = be.similarity_error_bound(ctx, gen.request);
+        EXPECT_GT(bound, 0.0);
+        EXPECT_LE(std::abs(got.matches[0].similarity - exact.matches[0].similarity),
+                  bound)
+            << be.name() << " exceeded its own error bound";
+        // Effort counters follow the compiled path's accounting.
+        EXPECT_EQ(got.impls_considered, exact.impls_considered);
+        EXPECT_EQ(got.attrs_compared, exact.attrs_compared);
+    }
+}
+
+TEST(BackendConformance, MblazeBestWithinDocumentedBound) {
+    const RetrievalBackend* be = backend::registry().find("mblaze");
+    ASSERT_NE(be, nullptr);
+    for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+        check_modeled_best(*be, make_corpus(0xB1A2E + seed, kRequests / 2));
+    }
+}
+
+TEST(BackendConformance, DeviceBestWithinDocumentedBound) {
+    const RetrievalBackend* be = backend::registry().find("device");
+    ASSERT_NE(be, nullptr);
+    for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+        check_modeled_best(*be, make_corpus(0xDE71CE + seed, kRequests / 2));
+    }
+}
+
+TEST(BackendConformance, DeviceNBestRanksLikeTheQ15Reference) {
+    const RetrievalBackend* be = backend::registry().find("device");
+    ASSERT_NE(be, nullptr);
+    RetrievalOptions options;
+    options.n_best = 3;
+    const Corpus corpus = make_corpus(0xA11CE, kRequests);
+    const ShardContext ctx = corpus.ctx();
+    const cbr::Retriever reference(corpus.cb, corpus.bounds);
+    const std::unique_ptr<BackendScratch> scratch = be->make_scratch();
+    for (const wl::GeneratedRequest& gen : corpus.requests) {
+        ASSERT_TRUE(be->can_serve(ctx, gen.request, options, scratch.get()));
+        const RetrievalResult got = be->score(ctx, gen.request, options, *scratch);
+        const std::vector<cbr::MatchQ15> scored = reference.score_q15(gen.request);
+        ASSERT_EQ(got.status, RetrievalStatus::ok);
+        ASSERT_LE(got.matches.size(), options.n_best);
+        ASSERT_EQ(got.matches.size(), std::min(options.n_best, scored.size()));
+        // Every returned candidate's similarity is EXACTLY its Q15 score,
+        // and the ranking is descending with ties towards the lower id.
+        for (std::size_t i = 0; i < got.matches.size(); ++i) {
+            const cbr::Match& match = got.matches[i];
+            const auto it = std::find_if(scored.begin(), scored.end(),
+                                         [&](const cbr::MatchQ15& m) {
+                                             return m.impl == match.impl;
+                                         });
+            ASSERT_NE(it, scored.end());
+            EXPECT_EQ(match.similarity, it->similarity());
+            if (i > 0) {
+                const bool ordered =
+                    got.matches[i - 1].similarity > match.similarity ||
+                    (got.matches[i - 1].similarity == match.similarity &&
+                     got.matches[i - 1].impl < match.impl);
+                EXPECT_TRUE(ordered) << "rank " << i << " out of order";
+            }
+        }
+    }
+}
+
+TEST(BackendConformance, ModeledBackendsServeUnknownTypesExactly) {
+    const Corpus corpus = make_corpus(0x404, 1);
+    const ShardContext ctx = corpus.ctx();
+    cbr::Request unknown(cbr::TypeId{999},
+                         {cbr::RequestAttribute{cbr::AttrId{1}, 10, 1.0}});
+    for (const char* name : {"mblaze", "device"}) {
+        const RetrievalBackend* be = backend::registry().find(name);
+        ASSERT_NE(be, nullptr);
+        const std::unique_ptr<BackendScratch> scratch = be->make_scratch();
+        ASSERT_TRUE(be->can_serve(ctx, unknown, {}, scratch.get()))
+            << name << " must serve type_not_found itself, not fall back";
+        const RetrievalResult got = be->score(ctx, unknown, {}, *scratch);
+        EXPECT_EQ(got.status, RetrievalStatus::type_not_found);
+        EXPECT_EQ(got.impls_considered, 0u);
+    }
+}
+
+TEST(BackendConformance, CapabilityDeclinesAreDeclared) {
+    const Corpus corpus = make_corpus(0xDEC11, 1);
+    const ShardContext ctx = corpus.ctx();
+    const cbr::Request& request = corpus.requests[0].request;
+    const RetrievalBackend* mblaze = backend::registry().find("mblaze");
+    const RetrievalBackend* device = backend::registry().find("device");
+    const std::unique_ptr<BackendScratch> mb_scratch = mblaze->make_scratch();
+    const std::unique_ptr<BackendScratch> dev_scratch = device->make_scratch();
+    RetrievalOptions wide;
+    wide.n_best = 4;
+    EXPECT_FALSE(mblaze->can_serve(ctx, request, wide, mb_scratch.get()))
+        << "the soft core has one result register";
+    EXPECT_TRUE(device->can_serve(ctx, request, wide, dev_scratch.get()))
+        << "the device ranks n-best in hardware";
+    RetrievalOptions thresholded;
+    thresholded.threshold = 0.5;
+    EXPECT_FALSE(mblaze->can_serve(ctx, request, thresholded, mb_scratch.get()));
+    EXPECT_FALSE(device->can_serve(ctx, request, thresholded, dev_scratch.get()));
+    RetrievalOptions detailed;
+    detailed.collect_details = true;
+    EXPECT_FALSE(mblaze->can_serve(ctx, request, detailed, mb_scratch.get()));
+    EXPECT_FALSE(device->can_serve(ctx, request, detailed, dev_scratch.get()));
+}
+
+TEST(BackendConformance, SubmitPollMatchesSynchronousScore) {
+    const Corpus corpus = make_corpus(0xA5C, 8);
+    const ShardContext ctx = corpus.ctx();
+    for (const RetrievalBackend* be : backend::registry().enumerate()) {
+        const std::unique_ptr<BackendScratch> scratch = be->make_scratch();
+        for (const wl::GeneratedRequest& gen : corpus.requests) {
+            if (!be->can_serve(ctx, gen.request, {}, scratch.get())) {
+                continue;
+            }
+            const RetrievalResult sync = be->score(ctx, gen.request, {}, *scratch);
+            backend::AsyncTicket ticket = be->submit(ctx, gen.request, {}, *scratch);
+            const std::optional<RetrievalResult> polled = be->poll(ticket);
+            ASSERT_TRUE(polled.has_value());
+            EXPECT_TRUE(cbr::identical_results(sync, *polled));
+            EXPECT_FALSE(be->poll(ticket).has_value()) << "ticket must drain once";
+        }
+    }
+}
+
+TEST(BackendConformance, ScoreBatchMatchesScoreLoop) {
+    const Corpus corpus = make_corpus(0xBA7C4, 16);
+    const ShardContext ctx = corpus.ctx();
+    std::vector<cbr::Request> requests;
+    for (const wl::GeneratedRequest& gen : corpus.requests) {
+        requests.push_back(gen.request);
+    }
+    for (const RetrievalBackend* be : backend::registry().enumerate()) {
+        const std::unique_ptr<BackendScratch> batch_scratch = be->make_scratch();
+        const std::unique_ptr<BackendScratch> loop_scratch = be->make_scratch();
+        bool all = true;
+        for (const cbr::Request& request : requests) {
+            all = all && be->can_serve(ctx, request, {}, batch_scratch.get());
+        }
+        if (!all) {
+            continue;
+        }
+        const std::vector<RetrievalResult> batched =
+            be->score_batch(ctx, requests, {}, *batch_scratch);
+        ASSERT_EQ(batched.size(), requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            EXPECT_TRUE(cbr::identical_results(
+                be->score(ctx, requests[i], {}, *loop_scratch), batched[i]));
+        }
+    }
+}
+
+TEST(BackendConformance, DeviceChargesReconfigOnFirstTouchOnly) {
+    // A FRESH instance (not the registered singleton) so the ledger starts
+    // at zero regardless of test order.
+    const backend::DeviceBackend device;
+    const Corpus corpus = make_corpus(0xC057, 6);
+    const ShardContext ctx = corpus.ctx();
+    const std::unique_ptr<BackendScratch> scratch = device.make_scratch();
+    std::uint64_t scored = 0;
+    for (const wl::GeneratedRequest& gen : corpus.requests) {
+        ASSERT_TRUE(device.can_serve(ctx, gen.request, {}, scratch.get()));
+        (void)device.score(ctx, gen.request, {}, *scratch);
+        ++scored;
+    }
+    const backend::DeviceBackend::CostStats cost = device.cost_stats();
+    EXPECT_EQ(cost.runs, scored);
+    EXPECT_GT(cost.cycles, 0u);
+    EXPECT_GT(cost.energy_uj, 0.0);
+    EXPECT_GT(cost.sim_time_us, cost.reconfig_busy_us);
+    // One partial reconfiguration per distinct type image, not per run:
+    // can_serve() builds the image, score()'s cache hit reuses it, and a
+    // repeat request on a cached type charges nothing.
+    EXPECT_GE(cost.reconfigurations, 1u);
+    EXPECT_LE(cost.reconfigurations, scored);
+    const std::uint64_t before = device.cost_stats().reconfigurations;
+    (void)device.score(ctx, corpus.requests[0].request, {}, *scratch);
+    EXPECT_EQ(device.cost_stats().reconfigurations, before);
+}
+
+}  // namespace

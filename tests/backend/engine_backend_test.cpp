@@ -1,0 +1,204 @@
+// Serve-engine backend placement: per-shard assignment, counted fallback,
+// env/config override, and outcome identity across placements.
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "core/retrieval.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using serve::Engine;
+using serve::EngineConfig;
+using serve::EngineStats;
+
+struct Scenario {
+    cbr::CaseBase cb;
+    cbr::BoundsTable bounds;
+    std::vector<wl::GeneratedRequest> generated;
+    std::vector<cbr::Request> requests;
+};
+
+Scenario make_scenario(std::size_t request_count) {
+    util::Rng rng(0xE26B4CE);
+    wl::CatalogConfig config;
+    config.function_types = 8;
+    config.impls_per_type = 6;
+    config.attrs_per_impl = 5;
+    config.attr_dropout = 0.1;
+    wl::GeneratedCatalog generated = wl::generate_catalog_with_bounds(config, rng);
+    Scenario scenario{std::move(generated.case_base), std::move(generated.bounds), {}, {}};
+    scenario.generated =
+        wl::generate_request_batch(scenario.cb, scenario.bounds, request_count, rng);
+    for (const wl::GeneratedRequest& gen : scenario.generated) {
+        scenario.requests.push_back(gen.request);
+    }
+    return scenario;
+}
+
+std::uint64_t total_backend_served(const EngineStats& stats) {
+    std::uint64_t total = 0;
+    for (const auto& [name, slice] : stats.backends) {
+        total += slice.served;
+    }
+    return total;
+}
+
+TEST(EngineBackends, DefaultPlacementIsCpuSimdAndBitIdentical) {
+    const Scenario scenario = make_scenario(64);
+    Engine engine(scenario.cb, EngineConfig{});
+    const std::vector<cbr::RetrievalResult> served =
+        engine.retrieve_all(scenario.requests);
+    const cbr::Retriever reference(scenario.cb, scenario.bounds);
+    for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+        EXPECT_TRUE(cbr::identical_results(reference.retrieve(scenario.requests[i]),
+                                           served[i]));
+    }
+    const EngineStats stats = engine.stats();
+    ASSERT_EQ(stats.backends.size(), 3u);
+    EXPECT_EQ(stats.backends.at("cpu-simd").served, scenario.requests.size());
+    EXPECT_EQ(stats.backends.at("cpu-simd").fallbacks, 0u);
+    EXPECT_EQ(stats.backends.at("mblaze").served, 0u);
+    EXPECT_EQ(stats.backends.at("device").served, 0u);
+}
+
+TEST(EngineBackends, UnknownConfigNameThrows) {
+    const Scenario scenario = make_scenario(1);
+    EngineConfig config;
+    config.backend = "no-such-backend";
+    EXPECT_THROW(Engine(scenario.cb, config), std::invalid_argument);
+    EngineConfig per_shard;
+    per_shard.shard_backends = {"cpu-simd", "no-such-backend"};
+    EXPECT_THROW(Engine(scenario.cb, per_shard), std::invalid_argument);
+}
+
+TEST(EngineBackends, EnvDefaultSelectsBackend) {
+    const Scenario scenario = make_scenario(32);
+    ::setenv("QFA_BACKEND", "mblaze", 1);
+    EngineConfig config;
+    config.shard_count = 2;
+    Engine engine(scenario.cb, config);
+    ::unsetenv("QFA_BACKEND");
+    (void)engine.retrieve_all(scenario.requests);
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.backends.at("mblaze").served, scenario.requests.size());
+    EXPECT_EQ(stats.backends.at("cpu-simd").served, 0u);
+}
+
+/// The ISSUE's per-shard override proof: the SAME corpus served once with
+/// the global backend and once with every shard individually overridden to
+/// that backend must produce identical outcomes — per-shard routing is
+/// placement, not semantics.
+TEST(EngineBackends, GlobalAndPerShardPlacementsAgree) {
+    const Scenario scenario = make_scenario(96);
+    EngineConfig global;
+    global.shard_count = 4;
+    global.backend = "mblaze";
+    EngineConfig per_shard;
+    per_shard.shard_count = 4;
+    per_shard.shard_backends = {"mblaze", "mblaze", "mblaze", "mblaze"};
+    Engine engine_a(scenario.cb, global);
+    Engine engine_b(scenario.cb, per_shard);
+    const std::vector<cbr::RetrievalResult> a = engine_a.retrieve_all(scenario.requests);
+    const std::vector<cbr::RetrievalResult> b = engine_b.retrieve_all(scenario.requests);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(cbr::identical_results(a[i], b[i]));
+    }
+    EXPECT_EQ(engine_a.stats().backends.at("mblaze").served, scenario.requests.size());
+    EXPECT_EQ(engine_b.stats().backends.at("mblaze").served, scenario.requests.size());
+}
+
+TEST(EngineBackends, HeterogeneousPlacementStaysWithinBackendBounds) {
+    const Scenario scenario = make_scenario(96);
+    EngineConfig config;
+    config.shard_count = 4;
+    config.shard_backends = {"cpu-simd", "mblaze", "device", ""};  // "" = global default
+    Engine engine(scenario.cb, config);
+    const std::vector<cbr::RetrievalResult> served =
+        engine.retrieve_all(scenario.requests);
+    const cbr::Retriever reference(scenario.cb, scenario.bounds);
+    for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+        const cbr::RetrievalResult exact = reference.retrieve(scenario.requests[i]);
+        ASSERT_EQ(served[i].status, exact.status);
+        ASSERT_EQ(served[i].matches.size(), exact.matches.size());
+        const std::size_t shard = engine.shard_of(scenario.requests[i].type());
+        if (shard == 0 || shard == 3) {
+            EXPECT_TRUE(cbr::identical_results(exact, served[i]));
+        } else {
+            const double bound =
+                cbr::modeled_similarity_error_bound(scenario.requests[i], scenario.bounds);
+            EXPECT_LE(std::abs(served[i].matches[0].similarity -
+                               exact.matches[0].similarity),
+                      bound);
+        }
+    }
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(total_backend_served(stats), scenario.requests.size());
+    EXPECT_LE(total_backend_served(stats), stats.submitted);
+}
+
+TEST(EngineBackends, CapabilityDeclineFallsBackCountedNeverSilent) {
+    const Scenario scenario = make_scenario(48);
+    EngineConfig config;
+    config.shard_count = 2;
+    config.backend = "mblaze";
+    Engine engine(scenario.cb, config);
+    // n_best = 4 exceeds the soft core's single result register: every
+    // request must fall back to cpu-simd, book a fallback against mblaze,
+    // and still resolve bit-identically to the exact reference.
+    cbr::RetrievalOptions wide;
+    wide.n_best = 4;
+    const std::vector<cbr::RetrievalResult> served =
+        engine.retrieve_all(scenario.requests, wide);
+    const cbr::Retriever reference(scenario.cb, scenario.bounds);
+    for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+        EXPECT_TRUE(cbr::identical_results(
+            reference.retrieve(scenario.requests[i], wide), served[i]));
+    }
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.backends.at("mblaze").fallbacks, scenario.requests.size());
+    EXPECT_EQ(stats.backends.at("mblaze").served, 0u);
+    EXPECT_EQ(stats.backends.at("cpu-simd").served, scenario.requests.size());
+}
+
+TEST(EngineBackends, RetainedVariantIsServedByImageBackends) {
+    // COW invalidation end to end: retain a dominant variant, then serve
+    // its type through the mblaze backend — the worker's cached image must
+    // rebuild (plan pointer swapped) and the new variant must win.
+    Scenario scenario = make_scenario(4);
+    EngineConfig config;
+    config.shard_count = 2;
+    config.backend = "mblaze";
+    Engine engine(scenario.cb, config);
+    const cbr::TypeId type = scenario.generated[0].type;
+    const cbr::Request& request = scenario.generated[0].request;
+    const cbr::RetrievalResult before = engine.submit(request).get();
+    ASSERT_EQ(before.status, cbr::RetrievalStatus::ok);
+    // A variant matching the request exactly: similarity 1.0 beats every
+    // incumbent (ties included — new ids are allocated above existing).
+    cbr::Implementation perfect;
+    perfect.id = cbr::ImplId{4711};
+    perfect.target = cbr::Target::fpga;
+    for (const cbr::RequestAttribute& constraint : request.constraints()) {
+        perfect.attributes.push_back(cbr::Attribute{constraint.id, constraint.value});
+    }
+    ASSERT_EQ(engine.retain(type, perfect, 1.0), cbr::RetainVerdict::retained);
+    const cbr::RetrievalResult after = engine.submit(request).get();
+    ASSERT_EQ(after.status, cbr::RetrievalStatus::ok);
+    EXPECT_EQ(after.matches[0].impl, cbr::ImplId{4711});
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.backends.at("mblaze").served + stats.backends.at("cpu-simd").served,
+              2u);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Assembler -> Cpu round trip against the compiled CPU path on PATCHED
+// plans: the soft-core listings must stay bit-exact with the Q15 golden
+// model — and agree with retrieve_compiled on the chosen variant — not
+// just on a freshly compiled catalogue but across retain()'s COW plan
+// splices, with the backend image cache rebuilding exactly the images
+// whose plan pointers changed.
+#include "mblaze/retrieval_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "backend/image_cache.hpp"
+#include "core/retain.hpp"
+#include "core/retrieval.hpp"
+#include "memimg/request_image.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using mb::SwProgramKind;
+using mb::SwRetrievalResult;
+
+/// Runs both listings over every request and checks exact agreement with
+/// the Q15 reference (impl AND Q30 accumulator) plus variant agreement
+/// with retrieve_compiled at n_best = 1.
+void check_round_trip(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds,
+                      const cbr::CompiledCaseBase& compiled,
+                      backend::TypeImageCache& cache, std::uint64_t epoch,
+                      const std::vector<wl::GeneratedRequest>& requests) {
+    const backend::ShardContext ctx{&cb, &bounds, &compiled, epoch};
+    const cbr::Retriever retriever(cb, bounds, compiled);
+    for (const wl::GeneratedRequest& gen : requests) {
+        const mem::CaseBaseImage* image = cache.image_for(ctx, gen.request.type());
+        ASSERT_NE(image, nullptr);
+        const mem::RequestImage req_image = mem::encode_request(gen.request);
+        const auto q15 = retriever.retrieve_q15(gen.request);
+        ASSERT_TRUE(q15.has_value());
+        const cbr::RetrievalResult compiled_best = retriever.retrieve_compiled(gen.request);
+        ASSERT_EQ(compiled_best.status, cbr::RetrievalStatus::ok);
+        for (const SwProgramKind kind :
+             {SwProgramKind::optimized, SwProgramKind::compiled_style}) {
+            const SwRetrievalResult sw = mb::run_sw_retrieval(kind, req_image, *image);
+            ASSERT_TRUE(sw.found);
+            EXPECT_EQ(sw.impl, q15->impl);
+            EXPECT_EQ(sw.similarity_q30, q15->similarity_q30);
+            // The datapath's winner is the exact path's winner whenever
+            // the Q30 ranking is unambiguous; on this corpus it is.
+            EXPECT_EQ(sw.impl, compiled_best.matches[0].impl);
+        }
+    }
+}
+
+TEST(MblazeBackendRoundTrip, StaysBitExactAcrossPatchedPlans) {
+    util::Rng rng(0x5411CE);
+    wl::CatalogConfig config;
+    config.function_types = 5;
+    config.impls_per_type = 6;
+    config.attrs_per_impl = 5;
+    cbr::DynamicCaseBase master(wl::generate_catalog(config, rng));
+
+    // Epoch 0: freshly compiled catalogue.
+    const cbr::CaseBase cb0 = master.snapshot();
+    const cbr::BoundsTable bounds0 = master.bounds();
+    const cbr::CompiledCaseBase compiled0(cb0, bounds0);
+    const std::vector<wl::GeneratedRequest> requests =
+        wl::generate_request_batch(cb0, bounds0, 24, rng);
+    backend::TypeImageCache cache;
+    check_round_trip(cb0, bounds0, compiled0, cache, 0, requests);
+    const std::uint64_t first_pass_rebuilds = cache.rebuilds();
+    EXPECT_GT(first_pass_rebuilds, 0u);
+    EXPECT_LE(first_pass_rebuilds, config.function_types);
+
+    // Retain a near-clone of an existing variant (fresh id, ONE attribute
+    // value swapped to another sibling's value for the same attribute): a
+    // genuine row SPLICE into one type's plan, and — because the swapped
+    // value already lies inside the design bounds — no bounds widening, so
+    // every OTHER type's plan must stay pointer-aliased.
+    const cbr::TypeId changed = requests[0].type;
+    const cbr::FunctionType* tree_type = cb0.find_type(changed);
+    ASSERT_NE(tree_type, nullptr);
+    cbr::Implementation spliced = tree_type->impls.front();
+    spliced.id = cbr::ImplId{900};
+    bool perturbed = false;
+    for (const cbr::Implementation& other : tree_type->impls) {
+        for (cbr::Attribute& attribute : spliced.attributes) {
+            const std::optional<cbr::AttrValue> v = other.attribute(attribute.id);
+            if (v.has_value() && *v != attribute.value) {
+                attribute.value = *v;
+                perturbed = true;
+                break;
+            }
+        }
+        if (perturbed) {
+            break;
+        }
+    }
+    ASSERT_TRUE(perturbed) << "the type's variants are attribute-wise identical";
+    ASSERT_EQ(master.retain(changed, spliced, 1.0), cbr::RetainVerdict::retained);
+
+    const cbr::CaseBase cb1 = master.snapshot();
+    const cbr::BoundsTable bounds1 = master.bounds();
+    const cbr::CompiledCaseBase compiled1 =
+        cbr::CompiledCaseBase::patched(compiled0, cb1, bounds1, changed);
+    for (const auto& plan : compiled1.plans()) {
+        const auto prev = backend::plan_handle(compiled0, plan->id);
+        if (plan->id == changed) {
+            EXPECT_NE(plan, prev) << "the spliced plan must not alias";
+        } else {
+            EXPECT_EQ(plan, prev) << "untouched plans must stay COW-aliased";
+        }
+    }
+
+    // Same cache across epochs: only the spliced type's image rebuilds.
+    check_round_trip(cb1, bounds1, compiled1, cache, 1, requests);
+    EXPECT_EQ(cache.rebuilds(), first_pass_rebuilds + 1);
+
+    // The retained variant is reachable through the soft core: a request
+    // asking exactly for its attributes retrieves it with similarity 1.
+    std::vector<cbr::RequestAttribute> wants;
+    for (const cbr::Attribute& attribute : spliced.attributes) {
+        wants.push_back(cbr::RequestAttribute{attribute.id, attribute.value, 1.0});
+    }
+    const cbr::Request aimed(changed, std::move(wants));
+    const backend::ShardContext ctx{&cb1, &bounds1, &compiled1, 1};
+    const mem::CaseBaseImage* image = cache.image_for(ctx, changed);
+    ASSERT_NE(image, nullptr);
+    const SwRetrievalResult sw = mb::run_sw_retrieval(
+        SwProgramKind::optimized, mem::encode_request(aimed), *image);
+    ASSERT_TRUE(sw.found);
+    const cbr::Retriever retriever(cb1, bounds1, compiled1);
+    const auto q15 = retriever.retrieve_q15(aimed);
+    ASSERT_TRUE(q15.has_value());
+    EXPECT_EQ(sw.impl, q15->impl);
+    EXPECT_EQ(sw.similarity_q30, q15->similarity_q30);
+}
+
+}  // namespace

@@ -13,6 +13,12 @@ Tables present on only one side are reported but never fail the run:
 new tables appear whenever a PR adds a section, and a *vanished* table
 is a rename to fix in the baseline, not a perf fact.
 
+A BASELINE file that does not exist yet is likewise not a failure: the
+first PR that adds a bench emits its CURRENT snapshot before any
+baseline is committed, so the diff prints an advisory note and exits 0.
+A missing CURRENT file is still an error — the bench was supposed to
+have just run.
+
 Exit status: 0 when no regression (or --advisory, which always exits 0
 so noisy CI boxes can report without gating), 1 on regression, 2 on
 usage/parse errors.
@@ -54,6 +60,11 @@ def main(argv: list[str]) -> int:
         print(__doc__)
         return 2
 
+    if not paths[0].exists():
+        print(f"note: baseline {paths[0]} does not exist yet; nothing to "
+              f"diff against. Commit a snapshot of the current run there "
+              f"to start tracking this bench.")
+        return 0
     baseline, current = load_tables(paths[0]), load_tables(paths[1])
     regressions = []
     width = max(len(name) for name in baseline | current)
