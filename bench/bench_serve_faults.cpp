@@ -1,0 +1,201 @@
+// Fault-tolerance overhead: what the recovery ladder costs when it is idle,
+// and what each rung costs when it is live.
+//
+// Four self-checked scenarios over one corpus and one engine shape:
+//  * healthy        — fault machinery configured but never triggered: the
+//                     price of the guarded dispatch on the happy path;
+//  * degraded       — a transient fault every 6th call, absorbed by one
+//                     retry against the same backend (no failover);
+//  * breaker-open   — the assigned backend fails every call permanently;
+//                     the breaker opens after its threshold and the tape
+//                     rides the exact fallback (steady-state quarantine);
+//  * recovering     — a deterministic warm-up failure burst opens the
+//                     breaker, the cooldown drains, a probe closes it, and
+//                     the rest of the tape is served by the recovered
+//                     backend.
+//
+// Every scenario proves the tentpole invariant before any number prints:
+// served results are bit-identical to the single-threaded compiled
+// reference — the fault schedule may only change WHO scored a request and
+// what the counters say, never the bits (exact inner backend + exact
+// fallback).  The breaker/retry/failover counters are additionally checked
+// against the schedule's arithmetic, so a table that prints measured a run
+// whose fault story is exactly the one its label claims.
+//
+// --json=PATH writes the machine-readable summary CI's bench-smoke job
+// archives as BENCH_faults.json; ns_per_op is the scenario's per-request
+// cost, speedup is healthy_ns / scenario_ns (the degradation factor, 1.0
+// for the healthy row by construction).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "backend/fault_injection.hpp"
+#include "bench_json.hpp"
+#include "core/retrieval.hpp"
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/strings.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using steady = std::chrono::steady_clock;
+
+constexpr std::size_t kRequests = 256;
+
+struct Corpus {
+    wl::GeneratedCatalog catalog;
+    std::vector<cbr::Request> requests;
+};
+
+Corpus make_corpus() {
+    util::Rng rng(0xFA017B3);
+    wl::CatalogConfig config;
+    config.function_types = 8;
+    config.impls_per_type = 8;
+    config.attrs_per_impl = 8;
+    config.attr_dropout = 0.2;
+    Corpus corpus{wl::generate_catalog_with_bounds(config, rng), {}};
+    for (wl::GeneratedRequest& generated : wl::generate_request_batch(
+             corpus.catalog.case_base, corpus.catalog.bounds, kRequests, rng)) {
+        corpus.requests.push_back(std::move(generated.request));
+    }
+    return corpus;
+}
+
+struct ScenarioResult {
+    double ns_per_op = 0;
+    serve::EngineStats::BackendStats slice;  ///< the assigned backend's counters
+};
+
+/// Runs one scenario: serve the tape once untimed (prove bit-identity vs the
+/// reference, warm caches), then time a second pass over the same tape.
+ScenarioResult run_scenario(const Corpus& corpus, const std::string& backend_name,
+                            const serve::FaultToleranceConfig& fault, const char* label) {
+    serve::EngineConfig config;
+    config.shard_count = 2;
+    config.backend = backend_name;
+    config.fault = fault;
+    serve::Engine engine(corpus.catalog.case_base, config);
+
+    const cbr::Retriever reference(corpus.catalog.case_base, corpus.catalog.bounds);
+    const std::vector<cbr::RetrievalResult> served = engine.retrieve_all(corpus.requests);
+    for (std::size_t i = 0; i < corpus.requests.size(); ++i) {
+        benchjson::require_identical(
+            cbr::identical_results(reference.retrieve(corpus.requests[i]), served[i]),
+            std::string(label) + " request " + std::to_string(i));
+    }
+
+    const steady::time_point begin = steady::now();
+    const std::vector<cbr::RetrievalResult> timed = engine.retrieve_all(corpus.requests);
+    const double ns =
+        std::chrono::duration<double, std::nano>(steady::now() - begin).count();
+    for (std::size_t i = 0; i < corpus.requests.size(); ++i) {
+        benchjson::require_identical(cbr::identical_results(served[i], timed[i]),
+                                     std::string(label) + " timed pass");
+    }
+
+    ScenarioResult result;
+    result.ns_per_op = ns / static_cast<double>(corpus.requests.size());
+    result.slice = engine.stats().backends.at(backend_name);
+    return result;
+}
+
+void die_unless(bool ok, const char* what) {
+    if (!ok) {
+        std::cerr << "FATAL: fault-scenario self-check failed: " << what << "\n";
+        std::exit(1);
+    }
+}
+
+void print_fault_tables() {
+    const Corpus corpus = make_corpus();
+
+    serve::FaultToleranceConfig fault;
+    fault.max_retries = 1;
+    fault.backoff_base = {};  // measure dispatch cost, not sleeps
+    fault.breaker_threshold = 8;
+    fault.breaker_cooldown = 32;
+
+    // Discarded process warm-up (allocator arenas, page faults, plan
+    // compile) so the healthy row doesn't pay first-run costs the fault
+    // rows skip.
+    (void)run_scenario(corpus, "cpu-simd", fault, "warm-up");
+
+    // healthy: the ladder armed but never climbed.
+    const ScenarioResult healthy = run_scenario(corpus, "cpu-simd", fault, "healthy");
+
+    // degraded: every 6th call throws transient; one retry absorbs it.
+    backend::FaultSchedule transient;
+    transient.fail_every = 6;
+    const std::string degraded_name = backend::register_fault_injected(
+        backend::registry(), "cpu-simd", transient, "cpu-simd+bench-degraded");
+    const ScenarioResult degraded =
+        run_scenario(corpus, degraded_name, fault, "degraded");
+    die_unless(degraded.slice.retries > 0, "degraded run never retried");
+    die_unless(degraded.slice.failovers == 0, "degraded run leaked a failover");
+
+    // breaker-open: permanent failure on every call; after `threshold`
+    // strikes the tape rides the fallback without scoring attempts.
+    backend::FaultSchedule dead;
+    dead.fail_every = 1;
+    dead.kind = backend::BackendErrorKind::permanent;
+    const std::string dead_name = backend::register_fault_injected(
+        backend::registry(), "cpu-simd", dead, "cpu-simd+bench-dead");
+    const ScenarioResult open = run_scenario(corpus, dead_name, fault, "breaker-open");
+    die_unless(open.slice.breaker_opens > 0, "breaker never opened against a dead backend");
+    die_unless(open.slice.served == 0, "a dead backend served a request");
+
+    // recovering: a warm-up burst opens the breaker once per worker; the
+    // probe after the cooldown closes it and the rest is served normally.
+    backend::FaultSchedule burst;
+    burst.fail_first = 8;
+    const std::string burst_name = backend::register_fault_injected(
+        backend::registry(), "cpu-simd", burst, "cpu-simd+bench-recovering");
+    const ScenarioResult recovering =
+        run_scenario(corpus, burst_name, fault, "recovering");
+    die_unless(recovering.slice.breaker_opens > 0, "recovery run never opened");
+    die_unless(recovering.slice.breaker_closes > 0, "recovery run never closed");
+    die_unless(recovering.slice.served > 0, "recovered backend served nothing");
+
+    util::Table table({"scenario", "ns/op", "vs healthy", "served", "failovers", "retries",
+                       "opens", "closes", "probes"});
+    const auto add = [&](const char* name, const ScenarioResult& r) {
+        table.add_row({name, util::to_fixed(r.ns_per_op, 0),
+                       util::to_fixed(healthy.ns_per_op / r.ns_per_op, 3),
+                       std::to_string(r.slice.served), std::to_string(r.slice.failovers),
+                       std::to_string(r.slice.retries),
+                       std::to_string(r.slice.breaker_opens),
+                       std::to_string(r.slice.breaker_closes),
+                       std::to_string(r.slice.probes)});
+        benchjson::record_table(std::string("faults/") + name, r.ns_per_op,
+                                healthy.ns_per_op / r.ns_per_op);
+    };
+    add("healthy", healthy);
+    add("degraded", degraded);
+    add("breaker-open", open);
+    add("recovering", recovering);
+    std::cout << table.render_with_title(
+        "Fault tolerance: per-request cost by scenario (all bit-identical to reference)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string json_path = benchjson::strip_json_flag(argc, argv);
+    print_fault_tables();
+    if (!json_path.empty()) {
+        benchjson::write("bench_serve_faults", json_path);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -6,9 +6,20 @@
 
 #include "backend/cpu_simd.hpp"
 #include "backend/device_backend.hpp"
+#include "backend/fault_injection.hpp"
 #include "backend/mblaze_backend.hpp"
 
 namespace qfa::backend {
+
+std::string_view to_string(BackendErrorKind kind) noexcept {
+    switch (kind) {
+        case BackendErrorKind::transient: return "transient";
+        case BackendErrorKind::permanent: return "permanent";
+        case BackendErrorKind::timeout: return "timeout";
+        case BackendErrorKind::integrity: return "integrity";
+    }
+    return "unknown";
+}
 
 std::vector<cbr::RetrievalResult> RetrievalBackend::score_batch(
     const ShardContext& ctx, std::span<const cbr::Request> requests,
@@ -31,6 +42,13 @@ AsyncTicket RetrievalBackend::submit(const ShardContext& ctx,
 }
 
 std::optional<cbr::RetrievalResult> RetrievalBackend::poll(AsyncTicket& ticket) const {
+    // A parked ticket (delay_polls, set by decorators modeling a stuck
+    // device queue) answers "not yet" until the delay drains; the caller's
+    // poll budget decides when that silence becomes a timeout failure.
+    if (ticket.delay_polls > 0) {
+        --ticket.delay_polls;
+        return std::nullopt;
+    }
     std::optional<cbr::RetrievalResult> out = std::move(ticket.result);
     ticket.result.reset();
     return out;
@@ -48,7 +66,8 @@ bool BackendRegistry::register_backend(std::unique_ptr<RetrievalBackend> backend
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& existing : backends_) {
         if (existing->name() == backend->name()) {
-            return false;
+            throw std::invalid_argument("backend name already registered: " +
+                                        std::string(backend->name()));
         }
     }
     backends_.push_back(std::move(backend));
@@ -103,6 +122,11 @@ BackendRegistry& registry() {
         instance.register_backend(std::make_unique<CpuSimdBackend>());
         instance.register_backend(std::make_unique<MblazeBackend>());
         instance.register_backend(std::make_unique<DeviceBackend>());
+        // Seeded chaos wrappers ride the same first-use registration:
+        // QFA_FAULTS="mblaze:seed=7,p=0.05" registers "mblaze+faults" etc.
+        // Malformed specs throw here, loudly — a chaos run with a typo'd
+        // schedule silently injecting nothing is worse than failing fast.
+        install_env_faults(instance);
         return true;
     }();
     (void)built_ins_registered;

@@ -35,6 +35,13 @@
 // Contract: a backend either serves a request it accepted via can_serve()
 // or throws; it never silently degrades.  Callers (the engine) route
 // declined requests to the cpu-simd fallback and count the fallback.
+//
+// Runtime failures are typed: a backend that cannot complete an accepted
+// request throws BackendError with a kind from the failure vocabulary
+// below (anything else it throws is treated as `permanent`).  The serve
+// engine retries retryable kinds with bounded backoff, fails the request
+// over to the exact cpu-simd path, and trips a circuit breaker on repeated
+// failures — every transition counted in EngineStats, never silent.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +49,8 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -52,6 +61,51 @@
 #include "core/retrieval.hpp"
 
 namespace qfa::backend {
+
+class TypeImageCache;  // backend/image_cache.hpp (cycle: it includes us)
+
+/// The runtime-failure vocabulary.  Capability *declines* stay with
+/// can_serve() (a false there is not a failure); these kinds describe a
+/// backend that accepted a request and then could not complete it.
+enum class BackendErrorKind : std::uint8_t {
+    /// A bounded retry against the same backend may succeed: a dropped
+    /// link transfer, a transient queue hiccup, a raced device state.
+    transient,
+    /// Retrying this backend is pointless for this request; the caller
+    /// must fail over.  Unknown exception types map here.
+    permanent,
+    /// poll() exceeded the caller's budget without completing.  Retryable:
+    /// a fresh submit starts a fresh ticket.
+    timeout,
+    /// A packed memory image failed checksum verification.  The thrower
+    /// has already invalidated the cached image, so a retry rebuilds it
+    /// from the plan — a corrupted image is detected, never served.
+    integrity,
+};
+
+[[nodiscard]] std::string_view to_string(BackendErrorKind kind) noexcept;
+
+/// A typed runtime failure from a backend that accepted the request.
+/// score()/score_batch()/submit() throw it synchronously; poll() either
+/// throws it or keeps returning nullopt until the caller's budget turns
+/// the silence into a `timeout`.
+class BackendError : public std::runtime_error {
+public:
+    BackendError(BackendErrorKind kind, const std::string& what)
+        : std::runtime_error(what), kind_(kind) {}
+
+    [[nodiscard]] BackendErrorKind kind() const noexcept { return kind_; }
+
+    /// Whether a bounded retry against the same backend is worth it
+    /// (everything but `permanent`; an `integrity` retry serves from a
+    /// rebuilt image).
+    [[nodiscard]] bool retryable() const noexcept {
+        return kind_ != BackendErrorKind::permanent;
+    }
+
+private:
+    BackendErrorKind kind_;
+};
 
 /// One epoch-pinned catalogue view a backend scores against.  All three
 /// pointers outlive the call (the engine holds the GenerationPtr); the
@@ -86,6 +140,13 @@ struct Capabilities {
 class BackendScratch {
 public:
     virtual ~BackendScratch() = default;
+
+    /// The per-type CB-MEM image cache embedded in this scratch, when the
+    /// backend scores packed memory images (mblaze, device); nullptr for
+    /// backends without one (cpu-simd).  Lets a decorator — the fault
+    /// injector flipping image bits — reach the cached artifact without
+    /// knowing the concrete scratch type.
+    [[nodiscard]] virtual TypeImageCache* image_cache() noexcept { return nullptr; }
 };
 
 /// One in-flight async scoring operation (submit/poll pair).  The base
@@ -94,6 +155,11 @@ public:
 /// zero cost; a backend with real queueing can override both.
 struct AsyncTicket {
     std::optional<cbr::RetrievalResult> result;
+    /// poll() answers nullopt this many more times before handing the
+    /// result over — how a decorator models a stuck device queue without
+    /// polymorphic tickets.  The caller's poll budget decides when the
+    /// silence becomes a `timeout` failure.
+    std::size_t delay_polls = 0;
 };
 
 /// The abstract scoring interface the serve engine dispatches through.
@@ -126,12 +192,17 @@ public:
 
     /// Scores one request it accepted via can_serve.  `scratch` must come
     /// from this backend's make_scratch and be used by one thread at a time.
+    /// Failure contract: throws BackendError on a runtime failure
+    /// (`integrity` when a cached image failed verification — invalidated
+    /// before the throw, so a retry rebuilds); any other exception type is
+    /// treated as `permanent` by callers.
     [[nodiscard]] virtual cbr::RetrievalResult score(
         const ShardContext& ctx, const cbr::Request& request,
         const cbr::RetrievalOptions& options, BackendScratch& scratch) const = 0;
 
     /// Batch scoring; the default loops score().  results[i] corresponds to
-    /// requests[i].
+    /// requests[i].  Failure contract: as score() — a throw mid-batch
+    /// abandons the remaining requests (the caller re-dispatches them).
     [[nodiscard]] virtual std::vector<cbr::RetrievalResult> score_batch(
         const ShardContext& ctx, std::span<const cbr::Request> requests,
         const cbr::RetrievalOptions& options, BackendScratch& scratch) const;
@@ -139,6 +210,10 @@ public:
     /// Async pair.  Default: submit computes eagerly into the ticket and
     /// poll always completes.  A poll returning nullopt means "not yet" —
     /// callers poll again (never busy-wait a backend that completed).
+    /// Failure contract: submit() throws like score(); poll() may throw
+    /// BackendError for a failure discovered in flight, and a ticket that
+    /// never completes is the caller's `timeout` once its poll budget runs
+    /// out — poll() itself never blocks.
     [[nodiscard]] virtual AsyncTicket submit(const ShardContext& ctx,
                                              const cbr::Request& request,
                                              const cbr::RetrievalOptions& options,
@@ -159,7 +234,10 @@ public:
 /// on first use (registry()).
 class BackendRegistry {
 public:
-    /// Adopts a backend.  Duplicate names are rejected (returns false).
+    /// Adopts a backend.  A nullptr is rejected (returns false); a
+    /// duplicate name throws std::invalid_argument naming the collision —
+    /// with decorated backends multiplying the namespace, "which name?"
+    /// must be in the message, not guessed from a bool.
     bool register_backend(std::unique_ptr<RetrievalBackend> backend);
 
     /// Lookup by registry name; nullptr when absent.
@@ -179,7 +257,10 @@ private:
 };
 
 /// The process-wide registry with the three built-ins (cpu-simd, mblaze,
-/// device) registered on first call.
+/// device) registered on first call.  When the QFA_FAULTS environment
+/// variable is set, seeded FaultInjectingBackend wrappers are registered
+/// alongside them (backend/fault_injection.hpp) — opt-in chaos: nothing
+/// routes through a wrapper unless QFA_BACKEND / EngineConfig names it.
 [[nodiscard]] BackendRegistry& registry();
 
 }  // namespace qfa::backend

@@ -24,6 +24,8 @@ constexpr sys::TaskId kScoreTask{2};
 
 struct DeviceScratch final : BackendScratch {
     TypeImageCache images;
+
+    TypeImageCache* image_cache() noexcept override { return &images; }
 };
 
 bool request_encodable(const cbr::Request& request) {
@@ -85,6 +87,13 @@ cbr::RetrievalResult DeviceBackend::score(const ShardContext& ctx,
     auto& dev = dynamic_cast<DeviceScratch&>(scratch);
     if (ctx.case_base->find_type(request.type()) == nullptr) {
         return cbr::assemble_result_q30(*ctx.case_base, request, {}, options);
+    }
+    // Verify before fetching: a corrupted CB-MEM copy is dropped and the
+    // failure typed; the retry's rebuild re-flashes (and re-charges) the
+    // partial reconfiguration, exactly as real hardware would.
+    if (!dev.images.verify(request.type())) {
+        throw BackendError(BackendErrorKind::integrity,
+                           "device: CB-MEM image failed checksum verification");
     }
     const mem::CaseBaseImage* image = dev.images.image_for(ctx, request.type());
     QFA_EXPECTS(image != nullptr, "score() on a type can_serve declined");

@@ -1,0 +1,239 @@
+#include "backend/fault_injection.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "backend/image_cache.hpp"
+#include "util/rng.hpp"
+
+namespace qfa::backend {
+
+namespace {
+
+/// All schedule state: trigger counters and the Bernoulli stream.  Lives
+/// here — per worker — so the backend object stays immutable on the
+/// scoring path and the fault sequence is a pure function of (schedule,
+/// this worker's call ordinal), not of thread interleaving.
+struct FaultScratch final : BackendScratch {
+    FaultScratch(std::unique_ptr<BackendScratch> inner_scratch, std::uint64_t seed)
+        : inner(std::move(inner_scratch)), rng(seed) {}
+
+    std::unique_ptr<BackendScratch> inner;
+    util::Rng rng;
+    std::size_t calls = 0;  ///< score/submit ordinal; drives every trigger
+
+    TypeImageCache* image_cache() noexcept override {
+        return inner == nullptr ? nullptr : inner->image_cache();
+    }
+};
+
+}  // namespace
+
+FaultInjectingBackend::FaultInjectingBackend(const RetrievalBackend& inner,
+                                             FaultSchedule schedule, std::string name)
+    : inner_(inner),
+      schedule_(schedule),
+      name_(name.empty() ? std::string(inner.name()) + "+faults" : std::move(name)) {}
+
+bool FaultInjectingBackend::can_serve(const ShardContext& ctx, const cbr::Request& request,
+                                      const cbr::RetrievalOptions& options,
+                                      BackendScratch* scratch) const {
+    // Capability is the inner backend's; faults model runtime failures,
+    // never declines.  The check does not advance the call ordinal — the
+    // fault sequence counts scoring attempts, not capability probes.
+    BackendScratch* inner_scratch =
+        scratch == nullptr ? nullptr : dynamic_cast<FaultScratch&>(*scratch).inner.get();
+    return inner_.can_serve(ctx, request, options, inner_scratch);
+}
+
+std::unique_ptr<BackendScratch> FaultInjectingBackend::make_scratch() const {
+    return std::make_unique<FaultScratch>(inner_.make_scratch(), schedule_.seed);
+}
+
+cbr::RetrievalResult FaultInjectingBackend::score(const ShardContext& ctx,
+                                                  const cbr::Request& request,
+                                                  const cbr::RetrievalOptions& options,
+                                                  BackendScratch& scratch) const {
+    auto& fs = dynamic_cast<FaultScratch&>(scratch);
+    const std::size_t ordinal = ++fs.calls;
+    // The Bernoulli is drawn on EVERY call (then OR-ed in) so the RNG
+    // stream position is a pure function of the ordinal no matter which
+    // other triggers fire — reordering knobs never reshuffles the stream.
+    const bool probability_hit =
+        schedule_.fail_probability > 0.0 && fs.rng.bernoulli(schedule_.fail_probability);
+    if (schedule_.corrupt_every > 0 && ordinal % schedule_.corrupt_every == 0) {
+        if (TypeImageCache* cache = fs.image_cache()) {
+            // Salted by the ordinal: distinct calls flip distinct bits,
+            // equal (seed, ordinal) pairs flip the same one.  No cached
+            // image yet (first call; cpu-simd inner) = nothing to flip.
+            (void)cache->corrupt(request.type(), schedule_.seed ^ ordinal);
+        }
+    }
+    if ((schedule_.fail_first > 0 && ordinal <= schedule_.fail_first) ||
+        (schedule_.fail_every > 0 && ordinal % schedule_.fail_every == 0) ||
+        probability_hit) {
+        throw BackendError(schedule_.kind, name_ + ": injected " +
+                                               std::string(to_string(schedule_.kind)) +
+                                               " fault at call " + std::to_string(ordinal));
+    }
+    return inner_.score(ctx, request, options, *fs.inner);
+}
+
+AsyncTicket FaultInjectingBackend::submit(const ShardContext& ctx,
+                                          const cbr::Request& request,
+                                          const cbr::RetrievalOptions& options,
+                                          BackendScratch& scratch) const {
+    // Route through our own score() so submit-time faults throw here (the
+    // async contract's synchronous half), then apply the stuck-poll park
+    // against the ordinal score() just consumed.
+    AsyncTicket ticket;
+    ticket.result = score(ctx, request, options, scratch);
+    auto& fs = dynamic_cast<FaultScratch&>(scratch);
+    if (schedule_.stuck_every > 0 && fs.calls % schedule_.stuck_every == 0) {
+        ticket.delay_polls = schedule_.stuck_polls;
+    }
+    return ticket;
+}
+
+double FaultInjectingBackend::similarity_error_bound(const ShardContext& ctx,
+                                                     const cbr::Request& request) const {
+    return inner_.similarity_error_bound(ctx, request);
+}
+
+std::string register_fault_injected(BackendRegistry& registry, std::string_view inner_name,
+                                    const FaultSchedule& schedule, std::string name) {
+    const RetrievalBackend* inner = registry.find(inner_name);
+    if (inner == nullptr) {
+        throw std::invalid_argument("fault injection wraps no registered backend: " +
+                                    std::string(inner_name));
+    }
+    if (name.empty()) {
+        name = std::string(inner_name) + "+faults";
+    }
+    (void)registry.register_backend(
+        std::make_unique<FaultInjectingBackend>(*inner, schedule, name));
+    return name;
+}
+
+namespace {
+
+[[noreturn]] void malformed(std::string_view text, const std::string& why) {
+    throw std::invalid_argument("malformed QFA_FAULTS spec \"" + std::string(text) +
+                                "\": " + why);
+}
+
+BackendErrorKind parse_kind(std::string_view value, std::string_view text) {
+    if (value == "transient") return BackendErrorKind::transient;
+    if (value == "permanent") return BackendErrorKind::permanent;
+    if (value == "timeout") return BackendErrorKind::timeout;
+    if (value == "integrity") return BackendErrorKind::integrity;
+    malformed(text, "unknown kind \"" + std::string(value) + "\"");
+}
+
+std::uint64_t parse_u64(const std::string& value, std::string_view key,
+                        std::string_view text) {
+    std::size_t consumed = 0;
+    std::uint64_t parsed = 0;
+    try {
+        parsed = std::stoull(value, &consumed);
+    } catch (const std::logic_error&) {
+        consumed = 0;  // unparseable / out of range: fall through to malformed
+    }
+    if (consumed != value.size() || value.empty()) {
+        malformed(text, "bad value for \"" + std::string(key) + "\": " + value);
+    }
+    return parsed;
+}
+
+double parse_double(const std::string& value, std::string_view key, std::string_view text) {
+    std::size_t consumed = 0;
+    double parsed = 0.0;
+    try {
+        parsed = std::stod(value, &consumed);
+    } catch (const std::logic_error&) {
+        consumed = 0;
+    }
+    if (consumed != value.size() || value.empty()) {
+        malformed(text, "bad value for \"" + std::string(key) + "\": " + value);
+    }
+    return parsed;
+}
+
+}  // namespace
+
+std::vector<FaultSpec> parse_fault_specs(std::string_view text) {
+    std::vector<FaultSpec> specs;
+    std::size_t entry_start = 0;
+    while (entry_start <= text.size()) {
+        std::size_t entry_end = text.find(';', entry_start);
+        if (entry_end == std::string_view::npos) {
+            entry_end = text.size();
+        }
+        const std::string_view entry = text.substr(entry_start, entry_end - entry_start);
+        entry_start = entry_end + 1;
+        if (entry.empty()) {
+            continue;  // tolerate empty entries ("a;;b", trailing ';')
+        }
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            malformed(text, "entry \"" + std::string(entry) +
+                                "\" needs the form <backend>:<knob>=<value>,...");
+        }
+        FaultSpec spec;
+        spec.inner = std::string(entry.substr(0, colon));
+        std::string_view knobs = entry.substr(colon + 1);
+        while (!knobs.empty()) {
+            std::size_t knob_end = knobs.find(',');
+            if (knob_end == std::string_view::npos) {
+                knob_end = knobs.size();
+            }
+            const std::string_view knob = knobs.substr(0, knob_end);
+            knobs = knob_end < knobs.size() ? knobs.substr(knob_end + 1)
+                                            : std::string_view{};
+            const std::size_t eq = knob.find('=');
+            if (eq == std::string_view::npos || eq == 0 || eq + 1 == knob.size()) {
+                malformed(text, "knob \"" + std::string(knob) + "\" needs key=value");
+            }
+            const std::string_view key = knob.substr(0, eq);
+            const std::string value(knob.substr(eq + 1));
+            if (key == "seed") {
+                spec.schedule.seed = parse_u64(value, key, text);
+            } else if (key == "kind") {
+                spec.schedule.kind = parse_kind(value, text);
+            } else if (key == "first") {
+                spec.schedule.fail_first = parse_u64(value, key, text);
+            } else if (key == "every") {
+                spec.schedule.fail_every = parse_u64(value, key, text);
+            } else if (key == "p") {
+                spec.schedule.fail_probability = parse_double(value, key, text);
+                if (spec.schedule.fail_probability < 0.0 ||
+                    spec.schedule.fail_probability > 1.0) {
+                    malformed(text, "p must be in [0, 1]");
+                }
+            } else if (key == "stuck_every") {
+                spec.schedule.stuck_every = parse_u64(value, key, text);
+            } else if (key == "stuck_polls") {
+                spec.schedule.stuck_polls = parse_u64(value, key, text);
+            } else if (key == "corrupt_every") {
+                spec.schedule.corrupt_every = parse_u64(value, key, text);
+            } else {
+                malformed(text, "unknown knob \"" + std::string(key) + "\"");
+            }
+        }
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+void install_env_faults(BackendRegistry& registry) {
+    const char* env = std::getenv("QFA_FAULTS");
+    if (env == nullptr || *env == '\0') {
+        return;
+    }
+    for (const FaultSpec& spec : parse_fault_specs(env)) {
+        (void)register_fault_injected(registry, spec.inner, spec.schedule);
+    }
+}
+
+}  // namespace qfa::backend

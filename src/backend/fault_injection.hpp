@@ -1,0 +1,124 @@
+// Deterministic fault injection — chaos testing as a backend decorator.
+//
+// Real hardware fails at runtime, not just at capability-check time: a
+// soft core drops a transfer, a device queue wedges, a CB-MEM copy takes a
+// flipped bit.  FaultInjectingBackend wraps any registered backend and
+// fires those failures from a *seeded schedule*, so a chaos run is
+// byte-reproducible: the same (schedule, per-worker call ordinal) always
+// produces the same fault sequence, independent of thread interleaving —
+// every trigger counter and the Bernoulli RNG live in the per-worker
+// scratch, never in the shared backend object.
+//
+// Trigger vocabulary (all composable; a call that trips any failure
+// trigger throws BackendError with the schedule's kind):
+//
+//  * fail_first   — calls 1..N fail (deterministic warm-up faults; drives
+//                   the circuit-breaker lifecycle tests).
+//  * fail_every   — every Nth call fails (steady-state fault rate).
+//  * fail_probability — per-call Bernoulli under the seeded RNG.  Drawn on
+//                   EVERY call, so the stream position is a pure function
+//                   of the ordinal regardless of which triggers fire.
+//  * stuck_every/stuck_polls — every Nth submit() parks its ticket for K
+//                   nullopt polls (the caller's poll budget decides when
+//                   that becomes a timeout).
+//  * corrupt_every — every Nth score flips one bit of the inner scratch's
+//                   cached CB-MEM image first; the inner backend's
+//                   verify-before-scoring must detect it (integrity).
+//
+// Wrappers register under "<inner>+faults" and are routed to only when
+// QFA_BACKEND / EngineConfig names them — registering one changes nothing
+// for default traffic.  The QFA_FAULTS environment variable installs
+// wrappers at registry() first-use (see install_env_faults).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "backend/backend.hpp"
+
+namespace qfa::backend {
+
+/// One deterministic fault schedule (see the trigger vocabulary above).
+struct FaultSchedule {
+    std::uint64_t seed = 0;        ///< RNG stream for fail_probability + corrupt salt
+    BackendErrorKind kind = BackendErrorKind::transient;  ///< what a failure throws
+    std::size_t fail_first = 0;    ///< calls 1..N fail; 0 = off
+    std::size_t fail_every = 0;    ///< every Nth call fails; 0 = off
+    double fail_probability = 0.0; ///< per-call Bernoulli; 0 = off
+    std::size_t stuck_every = 0;   ///< every Nth submit parks its ticket; 0 = off
+    std::size_t stuck_polls = 0;   ///< ...for this many nullopt polls
+    std::size_t corrupt_every = 0; ///< every Nth score bit-flips the cached image; 0 = off
+};
+
+/// The decorator.  Immutable once constructed (like every backend); all
+/// schedule state lives in the scratch it makes.  The wrapped backend must
+/// outlive the wrapper — with both owned by the same registry that always
+/// holds (a registry never unregisters).
+class FaultInjectingBackend final : public RetrievalBackend {
+public:
+    /// `name` defaults to "<inner>+faults".
+    FaultInjectingBackend(const RetrievalBackend& inner, FaultSchedule schedule,
+                          std::string name = {});
+
+    [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+    [[nodiscard]] int priority() const noexcept override { return inner_.priority(); }
+    [[nodiscard]] Capabilities capabilities() const noexcept override {
+        return inner_.capabilities();
+    }
+    [[nodiscard]] bool can_serve(const ShardContext& ctx, const cbr::Request& request,
+                                 const cbr::RetrievalOptions& options,
+                                 BackendScratch* scratch) const override;
+    [[nodiscard]] std::unique_ptr<BackendScratch> make_scratch() const override;
+    [[nodiscard]] cbr::RetrievalResult score(const ShardContext& ctx,
+                                             const cbr::Request& request,
+                                             const cbr::RetrievalOptions& options,
+                                             BackendScratch& scratch) const override;
+    [[nodiscard]] AsyncTicket submit(const ShardContext& ctx, const cbr::Request& request,
+                                     const cbr::RetrievalOptions& options,
+                                     BackendScratch& scratch) const override;
+    [[nodiscard]] double similarity_error_bound(const ShardContext& ctx,
+                                                const cbr::Request& request) const override;
+
+    [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
+    [[nodiscard]] const RetrievalBackend& inner() const noexcept { return inner_; }
+
+private:
+    const RetrievalBackend& inner_;
+    FaultSchedule schedule_;
+    std::string name_;
+};
+
+/// Registers a FaultInjectingBackend wrapping the registered `inner_name`
+/// under `name` (default "<inner>+faults") and returns the registered
+/// name.  Throws std::invalid_argument when `inner_name` is unknown (and,
+/// from register_backend, when the wrapper name collides).
+std::string register_fault_injected(BackendRegistry& registry, std::string_view inner_name,
+                                    const FaultSchedule& schedule, std::string name = {});
+
+/// One parsed QFA_FAULTS entry.
+struct FaultSpec {
+    std::string inner;       ///< registry name of the backend to wrap
+    FaultSchedule schedule;
+};
+
+/// Parses the QFA_FAULTS grammar:
+///
+///   spec      := entry (';' entry)*
+///   entry     := inner ':' knob (',' knob)*
+///   knob      := key '=' value
+///   key       := seed | kind | first | every | p | stuck_every
+///              | stuck_polls | corrupt_every
+///   kind      := transient | permanent | timeout | integrity
+///
+/// e.g. "mblaze:seed=7,first=3;device:seed=9,p=0.05,corrupt_every=20".
+/// Throws std::invalid_argument on any malformed entry — a typo'd chaos
+/// knob must fail loudly, not silently inject nothing.
+[[nodiscard]] std::vector<FaultSpec> parse_fault_specs(std::string_view text);
+
+/// Installs a wrapper per QFA_FAULTS entry into `registry` (no-op when the
+/// variable is unset or empty).  Called once from registry() first-use.
+void install_env_faults(BackendRegistry& registry);
+
+}  // namespace qfa::backend

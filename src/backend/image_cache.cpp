@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
 
 namespace qfa::backend {
 
@@ -66,6 +67,36 @@ const mem::CaseBaseImage* TypeImageCache::image_for(const ShardContext& ctx,
         // An ID collides with the terminator word: same decline semantics.
     }
     return entry.encodable ? &entry.image : nullptr;
+}
+
+bool TypeImageCache::verify(cbr::TypeId type) {
+    const auto it = entries_.find(type.value());
+    if (it == entries_.end() || !it->second.encodable) {
+        return true;  // nothing cached: the next image_for builds fresh
+    }
+    if (mem::image_checksum(it->second.image.words) == it->second.image.checksum) {
+        return true;
+    }
+    ++integrity_failures_;
+    // Drop the entry outright (not just mark unencodable): unencodable
+    // means "this plan cannot pack", which is a capability fact; a
+    // corrupted image is a runtime fact about THIS copy, and the same
+    // plan must rebuild cleanly on the next image_for.
+    entries_.erase(it);
+    return false;
+}
+
+bool TypeImageCache::corrupt(cbr::TypeId type, std::uint64_t salt) {
+    const auto it = entries_.find(type.value());
+    if (it == entries_.end() || !it->second.encodable || it->second.image.words.empty()) {
+        return false;
+    }
+    std::vector<mem::Word>& words = it->second.image.words;
+    // One mixed draw picks both the word and the bit, so equal salts flip
+    // the same bit — byte-reproducible chaos.
+    const std::uint64_t mixed = util::mix64(salt);
+    words[mixed % words.size()] ^= static_cast<mem::Word>(1u << ((mixed >> 60) & 15u));
+    return true;
 }
 
 bool TypeImageCache::consume_charge(cbr::TypeId type) {

@@ -54,8 +54,25 @@ public:
     /// image first; the charge must still fire on the first score.
     [[nodiscard]] bool consume_charge(cbr::TypeId type);
 
+    /// Recomputes the cached image's integrity word against its stamp.
+    /// True when intact (or when `type` carries no cached image — a fresh
+    /// build is correct by construction).  On a mismatch the entry is
+    /// dropped, so the next image_for() rebuilds from the plan, and false
+    /// returns: a corrupted image is detected, never served.  Backends
+    /// call this before every score against a cached image.
+    [[nodiscard]] bool verify(cbr::TypeId type);
+
+    /// Flips one bit of `type`'s cached image (position and bit chosen
+    /// deterministically from `salt`), leaving the stamp — the fault
+    /// injector's integrity fault.  False when the type has no cached
+    /// encodable image to corrupt.
+    bool corrupt(cbr::TypeId type, std::uint64_t salt);
+
     [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
     [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
+    [[nodiscard]] std::uint64_t integrity_failures() const noexcept {
+        return integrity_failures_;
+    }
 
 private:
     struct Entry {
@@ -68,6 +85,7 @@ private:
     std::unordered_map<std::uint16_t, Entry> entries_;
     std::uint64_t rebuilds_ = 0;
     std::uint64_t reuses_ = 0;
+    std::uint64_t integrity_failures_ = 0;
 };
 
 /// The generation's owning handle for `type`'s plan (the COW identity the

@@ -15,6 +15,8 @@ namespace {
 
 struct MblazeScratch final : BackendScratch {
     TypeImageCache images;
+
+    TypeImageCache* image_cache() noexcept override { return &images; }
 };
 
 /// Options/request limits shared by can_serve and score: the soft core
@@ -82,6 +84,13 @@ cbr::RetrievalResult MblazeBackend::score(const ShardContext& ctx,
     auto& mb = dynamic_cast<MblazeScratch&>(scratch);
     if (ctx.case_base->find_type(request.type()) == nullptr) {
         return cbr::assemble_result_q30(*ctx.case_base, request, {}, options);
+    }
+    // Verify before fetching: a cached image whose integrity word no
+    // longer matches is dropped (the next image_for rebuilds it) and the
+    // failure is typed — detected, never served.
+    if (!mb.images.verify(request.type())) {
+        throw BackendError(BackendErrorKind::integrity,
+                           "mblaze: CB-MEM image failed checksum verification");
     }
     const mem::CaseBaseImage* image = mb.images.image_for(ctx, request.type());
     QFA_EXPECTS(image != nullptr, "score() on a type can_serve declined");

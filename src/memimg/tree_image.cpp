@@ -85,6 +85,17 @@ TreeImage encode_tree(const cbr::CaseBase& cb) {
     return image;
 }
 
+std::uint64_t image_checksum(std::span<const Word> words) noexcept {
+    // FNV-1a, word-at-a-time.  Not cryptographic — the threat model is
+    // corruption (flipped bits), not forgery.
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const Word word : words) {
+        hash ^= word;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
 CaseBaseImage encode_case_base(const cbr::CaseBase& cb, const cbr::BoundsTable& bounds) {
     TreeImage tree = encode_tree(cb);
     const SupplementalImage supplemental = encode_bounds(bounds);
@@ -99,6 +110,8 @@ CaseBaseImage encode_case_base(const cbr::CaseBase& cb, const cbr::BoundsTable& 
     image.words = std::move(tree.words);
     image.words.insert(image.words.end(), supplemental.words.begin(),
                        supplemental.words.end());
+    // Stamp the integrity word last, over the final packed content.
+    image.checksum = image_checksum(image.words);
     return image;
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/bounds.hpp"
@@ -59,12 +60,22 @@ struct TreeImage {
 struct CaseBaseImage {
     std::vector<Word> words;
     Word supplemental_offset = 0;  ///< word offset of the supplemental list
+    /// The image's integrity word: image_checksum(words), stamped by
+    /// encode_case_base.  Backends re-derive it before scoring — a
+    /// mismatch means the packed words were corrupted after encoding
+    /// (radiation, a bad transfer, an injected bit flip) and the image
+    /// must be rebuilt, never served.
+    std::uint64_t checksum = 0;
     TreeLayoutStats stats;
 
     [[nodiscard]] std::size_t size_bytes() const noexcept {
         return words.size() * kWordBytes;
     }
 };
+
+/// FNV-1a over the packed words — cheap enough to verify per retrieval,
+/// and a single flipped bit anywhere in the image changes it.
+[[nodiscard]] std::uint64_t image_checksum(std::span<const Word> words) noexcept;
 
 /// Closed-form word count of a uniformly shaped tree — the paper's Table 3
 /// configuration plugs in (15, 10, 10).

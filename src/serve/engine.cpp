@@ -18,13 +18,22 @@ std::exception_ptr engine_stopped() {
     return std::make_exception_ptr(std::runtime_error("serve engine is shut down"));
 }
 
+/// Thrown by score_async when shutdown lands while a ticket is pending —
+/// derives from runtime_error with the same message engine_stopped()
+/// carries, so the job's future reports "shut down" whether the engine
+/// stopped before the job ran or mid-poll.
+struct ShutdownInterrupt : std::runtime_error {
+    ShutdownInterrupt() : std::runtime_error("serve engine is shut down") {}
+};
+
 }  // namespace
 
 Engine::Engine(cbr::CaseBase initial, EngineConfig config)
     : master_(std::move(initial)),
       store_(make_generation(master_.epoch(), master_.snapshot(), master_.bounds())),
       admission_(config.admission),
-      steal_(config.steal) {
+      steal_(config.steal),
+      fault_(config.fault) {
     QFA_EXPECTS(config.shard_count >= 1, "engine needs at least one shard");
     QFA_EXPECTS(config.queue_capacity >= 1, "engine needs a positive queue capacity");
     QFA_EXPECTS(steal_.min_victim_depth >= 1, "a steal victim needs at least one job");
@@ -106,6 +115,12 @@ void Engine::resolve_backends(const EngineConfig& config) {
         shard_backend_[i].assigned = assigned;
         shard_backend_[i].counters =
             backend_counters_.find(assigned->name())->second.get();
+        // A breaker exists exactly where failover exists: fallback-assigned
+        // shards score the exact path directly (nothing to quarantine), and
+        // threshold 0 disables the state machine outright.
+        if (assigned != fallback_backend_ && fault_.breaker_threshold > 0) {
+            shard_backend_[i].breaker = std::make_unique<Breaker>();
+        }
     }
 }
 
@@ -209,31 +224,21 @@ void Engine::serve_job(Shard& self, Job job, WorkerScratch& scratch) {
         const GenerationPtr pinned = store_.load();
         const backend::ShardContext ctx{&pinned->case_base, &pinned->bounds,
                                         &pinned->compiled, pinned->epoch};
-        // Backend selection follows the HOME shard (shard_of the request's
-        // type), not the executing worker: a steal moves where a job runs,
-        // never which backend scores it, so placement stays a pure
-        // function of the type.  A can_serve decline routes to cpu-simd
-        // and books a fallback against the ASSIGNED backend — counted,
-        // never silent (src/backend contract).
-        const ShardBackend& home = shard_backend_[shard_of(retrieval->request.type())];
-        const backend::RetrievalBackend* be = home.assigned;
-        BackendCounters* counters = home.counters;
-        backend::BackendScratch* be_scratch = &scratch.for_backend(*be);
-        if (be != fallback_backend_ &&
-            !be->can_serve(ctx, retrieval->request, retrieval->options, be_scratch)) {
-            home.counters->fallbacks.fetch_add(1, std::memory_order_release);
-            be = fallback_backend_;
-            counters = fallback_counters_;
-            be_scratch = &scratch.for_backend(*be);
-        }
         self.served.fetch_add(1, std::memory_order_release);
-        counters->served.fetch_add(1, std::memory_order_release);
         if (retrieval->tenant != nullptr) {
             retrieval->tenant->served.fetch_add(1, std::memory_order_relaxed);
         }
+        // Fully guarded dispatch: whatever a backend (or the ladder
+        // itself) throws resolves THIS job's future — a failure costs one
+        // request its result, never a worker thread its life.  The
+        // per-backend `served` slice is bumped release before the promise
+        // resolves (matching stats()'s acquire), attributed to the
+        // backend the dispatch last scored through.
+        BackendCounters* counters = fallback_counters_;
         try {
             cbr::RetrievalResult result =
-                be->score(ctx, retrieval->request, retrieval->options, *be_scratch);
+                dispatch_retrieval(*retrieval, ctx, scratch, counters);
+            counters->served.fetch_add(1, std::memory_order_release);
             // Stamp before set_value: the future's happens-before makes
             // the stamp readable after get()/wait() returns.
             if (retrieval->cls.completed_at != nullptr) {
@@ -241,6 +246,10 @@ void Engine::serve_job(Shard& self, Job job, WorkerScratch& scratch) {
             }
             retrieval->promise.set_value(std::move(result));
         } catch (...) {
+            counters->served.fetch_add(1, std::memory_order_release);
+            if (retrieval->cls.completed_at != nullptr) {
+                *retrieval->cls.completed_at = std::chrono::steady_clock::now();
+            }
             retrieval->promise.set_exception(std::current_exception());
         }
         if (retrieval->counted_inflight) {
@@ -257,6 +266,226 @@ void Engine::serve_job(Shard& self, Job job, WorkerScratch& scratch) {
             exec.promise.set_exception(std::current_exception());
         }
     }
+}
+
+cbr::RetrievalResult Engine::dispatch_retrieval(RetrieveJob& job,
+                                                const backend::ShardContext& ctx,
+                                                WorkerScratch& scratch,
+                                                BackendCounters*& counters) {
+    // Backend selection follows the HOME shard (shard_of the request's
+    // type), not the executing worker: a steal moves where a job runs,
+    // never which backend scores it, so placement stays a pure function
+    // of the type.
+    ShardBackend& home = shard_backend_[shard_of(job.request.type())];
+    const backend::RetrievalBackend* be = home.assigned;
+    counters = home.counters;
+    // Fallback-assigned shards score the exact path directly: no breaker,
+    // no retry, nothing to fail over to.
+    if (be == fallback_backend_) {
+        return score_async(*be, ctx, job, scratch.for_backend(*be));
+    }
+    bool probing = false;
+    if (home.breaker != nullptr) {
+        switch (breaker_admit(home)) {
+            case BreakerDecision::fallback:
+                // Quarantined: straight to cpu-simd, counted as a failover
+                // against the assigned backend — an open breaker is loud.
+                home.counters->failovers.fetch_add(1, std::memory_order_release);
+                counters = fallback_counters_;
+                return score_async(*fallback_backend_, ctx, job,
+                                   scratch.for_backend(*fallback_backend_));
+            case BreakerDecision::probe:
+                probing = true;
+                home.counters->probes.fetch_add(1, std::memory_order_release);
+                break;
+            case BreakerDecision::serve:
+                break;
+        }
+    }
+    backend::BackendScratch* be_scratch = &scratch.for_backend(*be);
+    // Guarded capability check (pre-tentpole this call was naked in the
+    // worker loop): a FALSE is a decline — the counted-fallback path, not
+    // a health signal, so a probing breaker releases its slot with no
+    // verdict — while a THROW is a runtime failure during the check and
+    // rides the failure ladder below.
+    bool decline = false;
+    bool check_failed = false;
+    try {
+        decline = !be->can_serve(ctx, job.request, job.options, be_scratch);
+    } catch (...) {
+        check_failed = true;
+    }
+    if (decline) {
+        if (probing) {
+            breaker_probe_abort(home);
+        }
+        home.counters->fallbacks.fetch_add(1, std::memory_order_release);
+        counters = fallback_counters_;
+        return score_async(*fallback_backend_, ctx, job,
+                           scratch.for_backend(*fallback_backend_));
+    }
+    if (!check_failed) {
+        // Attempt ladder: first try plus up to max_retries re-submissions
+        // for retryable failures.  A probe never retries — its verdict is
+        // the first attempt's, and a failed probe must reopen promptly.
+        const std::size_t attempts = 1 + (probing ? 0 : fault_.max_retries);
+        for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+            bool retryable = false;
+            try {
+                cbr::RetrievalResult result = score_async(*be, ctx, job, *be_scratch);
+                breaker_on_success(home, probing);
+                return result;
+            } catch (const ShutdownInterrupt&) {
+                // Not the backend's fault: no breaker verdict, no failover
+                // (the engine is going away) — resolve with the shutdown
+                // error.
+                if (probing) {
+                    breaker_probe_abort(home);
+                }
+                throw;
+            } catch (const backend::BackendError& err) {
+                if (err.kind() == backend::BackendErrorKind::integrity) {
+                    // The thrower already invalidated the corrupted image;
+                    // the retry below serves from a rebuild.
+                    home.counters->integrity_rebuilds.fetch_add(
+                        1, std::memory_order_release);
+                }
+                breaker_on_failure(home, probing);
+                retryable = err.retryable();
+            } catch (...) {
+                // Unknown exception type: treat as permanent.
+                breaker_on_failure(home, probing);
+            }
+            if (probing || !retryable || attempt + 1 >= attempts) {
+                break;
+            }
+            home.counters->retries.fetch_add(1, std::memory_order_release);
+            if (fault_.backoff_base.count() > 0) {
+                // Deterministic linear backoff: retry k sleeps k * base.
+                std::this_thread::sleep_for(fault_.backoff_base *
+                                            static_cast<long>(attempt + 1));
+            }
+        }
+    } else {
+        breaker_on_failure(home, probing);
+    }
+    // Retries exhausted (or permanent, or the capability check itself
+    // failed): per-request failover to the exact fallback.  cpu-simd is
+    // bit-identical to the reference, so the caller cannot tell this
+    // request's history from its bits — only the counters can.
+    home.counters->failovers.fetch_add(1, std::memory_order_release);
+    counters = fallback_counters_;
+    return score_async(*fallback_backend_, ctx, job,
+                       scratch.for_backend(*fallback_backend_));
+}
+
+cbr::RetrievalResult Engine::score_async(const backend::RetrievalBackend& be,
+                                         const backend::ShardContext& ctx,
+                                         const RetrieveJob& job,
+                                         backend::BackendScratch& be_scratch) const {
+    // The engine consumes every backend through the async pair — eager
+    // backends complete on the first poll at zero cost, and a backend
+    // with real queueing gets its overlap without a second dispatch path.
+    backend::AsyncTicket ticket = be.submit(ctx, job.request, job.options, be_scratch);
+    for (std::size_t polls = 1;; ++polls) {
+        if (std::optional<cbr::RetrievalResult> result = be.poll(ticket)) {
+            return std::move(*result);
+        }
+        // Pending only: a completed first poll never reaches these, so
+        // accepted jobs still drain through shutdown — only a ticket
+        // that is genuinely stuck resolves with the shutdown error.
+        if (stopped_.load(std::memory_order_acquire)) {
+            throw ShutdownInterrupt{};
+        }
+        if (fault_.poll_budget > 0 && polls >= fault_.poll_budget) {
+            throw backend::BackendError(
+                backend::BackendErrorKind::timeout,
+                std::string(be.name()) + ": ticket pending past the poll budget");
+        }
+        std::this_thread::yield();
+    }
+}
+
+Engine::BreakerDecision Engine::breaker_admit(ShardBackend& home) {
+    Breaker& breaker = *home.breaker;
+    std::lock_guard lock(breaker.mutex);
+    switch (breaker.state) {
+        case Breaker::State::closed:
+            return BreakerDecision::serve;
+        case Breaker::State::open:
+            if (breaker.cooldown_left > 0) {
+                --breaker.cooldown_left;
+                return BreakerDecision::fallback;
+            }
+            // Cooldown over: half-open and fall through to the probe gate.
+            breaker.state = Breaker::State::half_open;
+            breaker.probe_streak = 0;
+            [[fallthrough]];
+        case Breaker::State::half_open:
+            if (breaker.probe_inflight) {
+                return BreakerDecision::fallback;  // one probe at a time
+            }
+            breaker.probe_inflight = true;
+            return BreakerDecision::probe;
+    }
+    return BreakerDecision::serve;
+}
+
+void Engine::breaker_on_success(ShardBackend& home, bool probing) {
+    if (home.breaker == nullptr) {
+        return;
+    }
+    Breaker& breaker = *home.breaker;
+    std::lock_guard lock(breaker.mutex);
+    if (probing) {
+        breaker.probe_inflight = false;
+        if (breaker.state == Breaker::State::half_open &&
+            ++breaker.probe_streak >= fault_.breaker_probe_successes) {
+            breaker.state = Breaker::State::closed;
+            breaker.failures = 0;
+            home.counters->breaker_closes.fetch_add(1, std::memory_order_release);
+        }
+        return;
+    }
+    // Any closed-state success resets the consecutive-failure count: the
+    // threshold measures a failure STREAK, not a lifetime total.
+    breaker.failures = 0;
+}
+
+void Engine::breaker_on_failure(ShardBackend& home, bool probing) {
+    if (home.breaker == nullptr) {
+        return;
+    }
+    Breaker& breaker = *home.breaker;
+    std::lock_guard lock(breaker.mutex);
+    if (probing) {
+        breaker.probe_inflight = false;
+        if (breaker.state == Breaker::State::half_open) {
+            // A failed probe reopens a full cooldown.
+            breaker.state = Breaker::State::open;
+            breaker.cooldown_left = fault_.breaker_cooldown;
+            home.counters->breaker_opens.fetch_add(1, std::memory_order_release);
+        }
+        return;
+    }
+    if (breaker.state != Breaker::State::closed) {
+        return;  // failures while open/half-open carry no extra signal
+    }
+    if (++breaker.failures >= fault_.breaker_threshold) {
+        breaker.state = Breaker::State::open;
+        breaker.cooldown_left = fault_.breaker_cooldown;
+        breaker.failures = 0;
+        home.counters->breaker_opens.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void Engine::breaker_probe_abort(ShardBackend& home) {
+    if (home.breaker == nullptr) {
+        return;
+    }
+    Breaker& breaker = *home.breaker;
+    std::lock_guard lock(breaker.mutex);
+    breaker.probe_inflight = false;
 }
 
 std::size_t Engine::steal_slot(const std::deque<Job>& items) const {
@@ -841,6 +1070,13 @@ EngineStats Engine::stats() const {
         EngineStats::BackendStats slice;
         slice.served = counters->served.load(std::memory_order_acquire);
         slice.fallbacks = counters->fallbacks.load(std::memory_order_acquire);
+        slice.retries = counters->retries.load(std::memory_order_acquire);
+        slice.failovers = counters->failovers.load(std::memory_order_acquire);
+        slice.breaker_opens = counters->breaker_opens.load(std::memory_order_acquire);
+        slice.breaker_closes = counters->breaker_closes.load(std::memory_order_acquire);
+        slice.probes = counters->probes.load(std::memory_order_acquire);
+        slice.integrity_rebuilds =
+            counters->integrity_rebuilds.load(std::memory_order_acquire);
         stats.backends.emplace(name, slice);
     }
     stats.submitted = submitted_.load(std::memory_order_relaxed);

@@ -57,6 +57,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -103,6 +104,48 @@ struct StealConfig {
     std::chrono::steady_clock::duration park = std::chrono::microseconds(200);
 };
 
+/// Fault-tolerance knobs (EngineConfig::fault): what the engine does when
+/// a backend that ACCEPTED a request fails at runtime (backend.hpp's
+/// BackendError vocabulary — capability declines stay on the counted
+/// cpu-simd fallback path and never touch these).
+///
+/// The recovery ladder per request: retryable failures (transient /
+/// timeout / integrity) get up to `max_retries` re-submissions against the
+/// same backend with deterministic linear backoff; exhaustion — or a
+/// permanent failure — fails the request over to the exact cpu-simd
+/// fallback.  Because cpu-simd is exact and failover is per-request, a
+/// request served through ANY point of the ladder returns the same bits
+/// the all-cpu-simd reference would.
+///
+/// The circuit breaker (per shard × assigned backend) quarantines a
+/// backend that keeps failing: `breaker_threshold` consecutive failures
+/// open it (traffic goes straight to fallback, no scoring attempt), the
+/// next `breaker_cooldown` requests ride out the quarantine, then the
+/// breaker half-opens and probes with REAL requests — a probe success
+/// streak of `breaker_probe_successes` closes it, a probe failure reopens
+/// a full cooldown.  Every transition is counted in EngineStats.
+struct FaultToleranceConfig {
+    /// Retries per request for retryable failures before failover; the
+    /// first attempt is not a retry.  0 = fail over immediately.
+    std::size_t max_retries = 2;
+    /// Deterministic linear backoff: the k-th retry (1-based) sleeps
+    /// k * backoff_base on the worker.  Zero = no sleep (tests, and any
+    /// deployment where the fallback is cheaper than waiting).
+    std::chrono::steady_clock::duration backoff_base = std::chrono::microseconds(100);
+    /// Consecutive failures (across requests, counted per attempt) that
+    /// open the breaker.  0 disables the breaker entirely.
+    std::size_t breaker_threshold = 8;
+    /// Requests routed straight to fallback while open before the breaker
+    /// half-opens and probes.
+    std::size_t breaker_cooldown = 64;
+    /// Consecutive probe successes that close a half-open breaker.
+    std::size_t breaker_probe_successes = 1;
+    /// poll() attempts per submit before the silence becomes a `timeout`
+    /// failure (stuck-ticket guard).  0 = unbounded — then only engine
+    /// shutdown interrupts a ticket that never completes.
+    std::size_t poll_budget = 4096;
+};
+
 /// Engine shape knobs.
 struct EngineConfig {
     std::size_t shard_count = 4;      ///< worker threads / plan partitions
@@ -137,6 +180,9 @@ struct EngineConfig {
     /// always scored by its HOME shard's backend — work stealing moves
     /// *where* a job runs, never which backend scores it.
     std::vector<std::string> shard_backends;
+    /// Runtime-failure handling: retry/backoff, per-(shard, backend)
+    /// circuit breaker, exact-fallback failover.  See FaultToleranceConfig.
+    FaultToleranceConfig fault;
 };
 
 /// Monotone counters (mirrors ManagerStats' role for the serve layer).
@@ -166,9 +212,25 @@ struct EngineStats {
     /// retrievals ASSIGNED to this backend that it declined via
     /// can_serve(), each of which was then scored — and counted served —
     /// by cpu-simd.  Declines are never silent: every fallback shows here.
+    ///
+    /// The fault-tolerance slice (FaultToleranceConfig) keys on the
+    /// ASSIGNED backend too: `retries` counts re-submissions after a
+    /// retryable failure, `failovers` counts requests rescored by cpu-simd
+    /// after this backend failed (runtime failures; capability declines
+    /// are `fallbacks`) or while its breaker was open, `breaker_opens` /
+    /// `breaker_closes` / `probes` expose every breaker transition, and
+    /// `integrity_rebuilds` counts checksum mismatches detected before
+    /// scoring (each forced an image rebuild — corrupted images are never
+    /// served).  No silent degradation: a fault-free run shows zeros.
     struct BackendStats {
         std::uint64_t served = 0;
         std::uint64_t fallbacks = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t failovers = 0;
+        std::uint64_t breaker_opens = 0;
+        std::uint64_t breaker_closes = 0;
+        std::uint64_t probes = 0;
+        std::uint64_t integrity_rebuilds = 0;
     };
 
     std::uint64_t submitted = 0;        ///< jobs accepted into a queue
@@ -408,13 +470,44 @@ private:
     struct BackendCounters {
         std::atomic<std::uint64_t> served{0};
         std::atomic<std::uint64_t> fallbacks{0};
+        std::atomic<std::uint64_t> retries{0};
+        std::atomic<std::uint64_t> failovers{0};
+        std::atomic<std::uint64_t> breaker_opens{0};
+        std::atomic<std::uint64_t> breaker_closes{0};
+        std::atomic<std::uint64_t> probes{0};
+        std::atomic<std::uint64_t> integrity_rebuilds{0};
+    };
+
+    /// One (shard, backend) health state machine: closed → open →
+    /// half-open → closed (see FaultToleranceConfig).  Mutex-guarded —
+    /// thieves serve jobs whose HOME shard they don't own, so two workers
+    /// can touch one shard's breaker concurrently; the healthy path pays
+    /// one uncontended lock per non-fallback dispatch.
+    struct Breaker {
+        enum class State : std::uint8_t { closed, open, half_open };
+        std::mutex mutex;
+        State state = State::closed;
+        std::size_t failures = 0;       ///< consecutive attempt failures (closed)
+        std::size_t cooldown_left = 0;  ///< fallback-routed requests until half-open
+        std::size_t probe_streak = 0;   ///< consecutive probe successes (half-open)
+        bool probe_inflight = false;    ///< one real-request probe at a time
+    };
+
+    /// What the breaker tells the dispatcher to do with one request.
+    enum class BreakerDecision : std::uint8_t {
+        serve,     ///< closed: score on the assigned backend
+        probe,     ///< half-open: score on the assigned backend as THE probe
+        fallback,  ///< open (or a probe is already in flight): straight to cpu-simd
     };
 
     /// One shard's resolved backend assignment (constructor-final; workers
-    /// read it without synchronization).
+    /// read it without synchronization).  `breaker` is non-null exactly
+    /// when the assignment can fail over (assigned != cpu-simd) and the
+    /// breaker is enabled (fault.breaker_threshold > 0).
     struct ShardBackend {
         const backend::RetrievalBackend* assigned = nullptr;
         BackendCounters* counters = nullptr;
+        std::unique_ptr<Breaker> breaker;
     };
 
     /// One worker's per-backend scratch set, grown lazily as backends
@@ -480,7 +573,44 @@ private:
     /// HOME shard's (shard_of the request's type, not `self`), so a stolen
     /// retrieval resolves against the generation current at its dequeue
     /// and through the very backend home execution would have used.
+    /// The dispatch site is fully guarded: ANY exception out of a backend
+    /// (or the dispatch ladder itself) resolves the job's future instead
+    /// of propagating into — and killing — the worker thread.
     void serve_job(Shard& self, Job job, WorkerScratch& scratch);
+
+    /// The fault-tolerant dispatch ladder for one retrieval: breaker
+    /// admission, guarded can_serve (a decline = counted fallback; a throw
+    /// = runtime failure), bounded retry with backoff for retryable
+    /// failures, then per-request failover to cpu-simd.  `counters` is set
+    /// to the backend slice the result should be attributed to.  Throws
+    /// only for failures no fallback can absorb (engine shutdown mid-poll;
+    /// the exact fallback itself failing).
+    cbr::RetrievalResult dispatch_retrieval(RetrieveJob& job,
+                                            const backend::ShardContext& ctx,
+                                            WorkerScratch& scratch,
+                                            BackendCounters*& counters);
+
+    /// One submit/poll round against `be` with the configured poll budget.
+    /// A ticket still pending at the budget throws BackendError(timeout);
+    /// a pending ticket also checks stopped_ between polls, so engine
+    /// shutdown interrupts a stuck ticket (eager backends complete on the
+    /// first poll and are never interrupted — accepted jobs still drain).
+    cbr::RetrievalResult score_async(const backend::RetrievalBackend& be,
+                                     const backend::ShardContext& ctx,
+                                     const RetrieveJob& job,
+                                     backend::BackendScratch& be_scratch) const;
+
+    /// Breaker admission for one request against its home assignment.
+    BreakerDecision breaker_admit(ShardBackend& home);
+
+    /// Books one attempt outcome into the breaker state machine.
+    /// `probing` marks the half-open real-request probe.
+    void breaker_on_success(ShardBackend& home, bool probing);
+    void breaker_on_failure(ShardBackend& home, bool probing);
+
+    /// Releases the probe slot with no verdict (the probe request never
+    /// reached scoring: a capability decline, or shutdown).
+    void breaker_probe_abort(ShardBackend& home);
 
     /// One steal attempt by worker `thief`: scans sibling queues (same
     /// NUMA node first, then cross-node; deepest backlog first within each
@@ -541,6 +671,7 @@ private:
     std::map<std::string, std::unique_ptr<BackendCounters>, std::less<>> backend_counters_;
     AdmissionConfig admission_;
     StealConfig steal_;
+    FaultToleranceConfig fault_;
     bool edf_ = false;  ///< steal_slot mirrors the queue's EDF choice
     bool numa_live_ = false;            ///< config.numa && util::numa::supported()
     std::vector<std::size_t> shard_node_;  ///< NUMA node per shard (all 0 when off)

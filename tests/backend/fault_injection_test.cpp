@@ -1,0 +1,291 @@
+// Deterministic fault injection, unit level: integrity words on packed
+// images, the corrupt -> detect -> rebuild cycle, schedule determinism
+// (same seed = same fault sequence, byte for byte), stuck-poll parking,
+// and the QFA_FAULTS grammar — loud on every malformed knob.
+#include "backend/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "backend/cpu_simd.hpp"
+#include "backend/image_cache.hpp"
+#include "backend/mblaze_backend.hpp"
+#include "core/retrieval.hpp"
+#include "memimg/tree_image.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/requests.hpp"
+
+namespace {
+
+using namespace qfa;
+using backend::BackendError;
+using backend::BackendErrorKind;
+using backend::BackendScratch;
+using backend::FaultInjectingBackend;
+using backend::FaultSchedule;
+using backend::FaultSpec;
+using backend::RetrievalBackend;
+using backend::ShardContext;
+
+struct Corpus {
+    cbr::CaseBase cb;
+    cbr::BoundsTable bounds;
+    cbr::CompiledCaseBase compiled;
+    std::vector<wl::GeneratedRequest> requests;
+
+    [[nodiscard]] ShardContext ctx() const {
+        return ShardContext{&cb, &bounds, &compiled, 1};
+    }
+};
+
+Corpus make_corpus(std::uint64_t seed, std::size_t request_count) {
+    util::Rng rng(seed);
+    wl::CatalogConfig config;
+    config.function_types = 6;
+    config.impls_per_type = 8;
+    config.attrs_per_impl = 6;
+    config.attr_dropout = 0.15;
+    wl::GeneratedCatalog generated = wl::generate_catalog_with_bounds(config, rng);
+    Corpus corpus{std::move(generated.case_base), std::move(generated.bounds), {}, {}};
+    corpus.compiled = cbr::CompiledCaseBase(corpus.cb, corpus.bounds);
+    corpus.requests =
+        wl::generate_request_batch(corpus.cb, corpus.bounds, request_count, rng);
+    return corpus;
+}
+
+TEST(ImageIntegrity, EncodeStampsTheChecksum) {
+    const Corpus corpus = make_corpus(0xA11CE, 1);
+    const mem::CaseBaseImage image = mem::encode_case_base(corpus.cb, corpus.bounds);
+    ASSERT_FALSE(image.words.empty());
+    EXPECT_NE(image.checksum, 0u);
+    EXPECT_EQ(image.checksum, mem::image_checksum(image.words));
+}
+
+TEST(ImageIntegrity, AnySingleBitFlipChangesTheChecksum) {
+    const Corpus corpus = make_corpus(0xA11CE, 1);
+    mem::CaseBaseImage image = mem::encode_case_base(corpus.cb, corpus.bounds);
+    for (std::size_t bit = 0; bit < 16; ++bit) {
+        image.words[bit % image.words.size()] ^= static_cast<mem::Word>(1u << bit);
+        EXPECT_NE(image.checksum, mem::image_checksum(image.words)) << "bit " << bit;
+        image.words[bit % image.words.size()] ^= static_cast<mem::Word>(1u << bit);
+    }
+    EXPECT_EQ(image.checksum, mem::image_checksum(image.words));
+}
+
+TEST(ImageIntegrity, CacheDetectsCorruptionDropsAndRebuilds) {
+    const Corpus corpus = make_corpus(0xA11CE, 4);
+    const ShardContext ctx = corpus.ctx();
+    backend::TypeImageCache cache;
+    const cbr::TypeId type = corpus.requests[0].type;
+    ASSERT_NE(cache.image_for(ctx, type), nullptr);
+    // Intact: verify passes and the entry survives.
+    EXPECT_TRUE(cache.verify(type));
+    EXPECT_EQ(cache.integrity_failures(), 0u);
+    // Corrupt one bit: detected, counted, entry dropped...
+    ASSERT_TRUE(cache.corrupt(type, /*salt=*/42));
+    EXPECT_FALSE(cache.verify(type));
+    EXPECT_EQ(cache.integrity_failures(), 1u);
+    // ...and the next fetch rebuilds a verifiable image from the plan.
+    const mem::CaseBaseImage* rebuilt = cache.image_for(ctx, type);
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_EQ(rebuilt->checksum, mem::image_checksum(rebuilt->words));
+    EXPECT_TRUE(cache.verify(type));
+    EXPECT_GE(cache.rebuilds(), 2u);
+}
+
+TEST(ImageIntegrity, CorruptWithoutCachedImageIsANoOp) {
+    backend::TypeImageCache cache;
+    EXPECT_FALSE(cache.corrupt(cbr::TypeId{7}, 1));
+    EXPECT_TRUE(cache.verify(cbr::TypeId{7}));  // nothing cached = nothing wrong
+}
+
+/// Runs `calls` scores through a freshly scratched wrapper and returns the
+/// fault pattern: true where the call threw a BackendError.
+std::vector<bool> fault_pattern(const FaultInjectingBackend& faulty, const Corpus& corpus,
+                                std::size_t calls) {
+    const ShardContext ctx = corpus.ctx();
+    std::unique_ptr<BackendScratch> scratch = faulty.make_scratch();
+    std::vector<bool> pattern;
+    for (std::size_t i = 0; i < calls; ++i) {
+        const cbr::Request& request = corpus.requests[i % corpus.requests.size()].request;
+        try {
+            (void)faulty.score(ctx, request, {}, *scratch);
+            pattern.push_back(false);
+        } catch (const BackendError&) {
+            pattern.push_back(true);
+        }
+    }
+    return pattern;
+}
+
+TEST(FaultSchedules, FailFirstAndEveryFireOnExactOrdinals) {
+    const Corpus corpus = make_corpus(0xBEEF, 8);
+    const backend::CpuSimdBackend inner;
+    FaultSchedule schedule;
+    schedule.fail_first = 2;
+    schedule.fail_every = 5;
+    const FaultInjectingBackend faulty(inner, schedule, "cpu-simd+ordinals");
+    const std::vector<bool> pattern = fault_pattern(faulty, corpus, 12);
+    const std::vector<bool> expected = {true, true,  false, false, true,  false,
+                                        false, false, false, true,  false, false};
+    EXPECT_EQ(pattern, expected);
+}
+
+TEST(FaultSchedules, SameSeedSameSequenceDifferentSeedDiverges) {
+    const Corpus corpus = make_corpus(0xBEEF, 8);
+    const backend::CpuSimdBackend inner;
+    FaultSchedule schedule;
+    schedule.seed = 7;
+    schedule.fail_probability = 0.3;
+    const FaultInjectingBackend faulty(inner, schedule, "cpu-simd+p7");
+    const std::vector<bool> first = fault_pattern(faulty, corpus, 64);
+    const std::vector<bool> second = fault_pattern(faulty, corpus, 64);
+    EXPECT_EQ(first, second) << "a fresh scratch must replay the same Bernoulli stream";
+    std::size_t fired = 0;
+    for (const bool hit : first) {
+        fired += hit ? 1u : 0u;
+    }
+    EXPECT_GT(fired, 0u);
+    EXPECT_LT(fired, first.size());
+    FaultSchedule other = schedule;
+    other.seed = 8;
+    const FaultInjectingBackend diverged(inner, other, "cpu-simd+p8");
+    EXPECT_NE(fault_pattern(diverged, corpus, 64), first);
+}
+
+TEST(FaultSchedules, ErrorsCarryKindAndRetryability) {
+    const Corpus corpus = make_corpus(0xBEEF, 1);
+    const backend::CpuSimdBackend inner;
+    FaultSchedule schedule;
+    schedule.fail_first = 1;
+    schedule.kind = BackendErrorKind::permanent;
+    const FaultInjectingBackend faulty(inner, schedule, "cpu-simd+perm");
+    std::unique_ptr<BackendScratch> scratch = faulty.make_scratch();
+    try {
+        (void)faulty.score(corpus.ctx(), corpus.requests[0].request, {}, *scratch);
+        FAIL() << "call 1 must fail";
+    } catch (const BackendError& err) {
+        EXPECT_EQ(err.kind(), BackendErrorKind::permanent);
+        EXPECT_FALSE(err.retryable());
+        EXPECT_NE(std::string(err.what()).find("permanent"), std::string::npos);
+    }
+    EXPECT_TRUE(BackendError(BackendErrorKind::transient, "t").retryable());
+    EXPECT_TRUE(BackendError(BackendErrorKind::timeout, "t").retryable());
+    EXPECT_TRUE(BackendError(BackendErrorKind::integrity, "t").retryable());
+}
+
+TEST(FaultSchedules, StuckTicketParksForExactlyKPolls) {
+    const Corpus corpus = make_corpus(0xBEEF, 1);
+    const backend::CpuSimdBackend inner;
+    FaultSchedule schedule;
+    schedule.stuck_every = 1;
+    schedule.stuck_polls = 3;
+    const FaultInjectingBackend faulty(inner, schedule, "cpu-simd+stuck");
+    std::unique_ptr<BackendScratch> scratch = faulty.make_scratch();
+    backend::AsyncTicket ticket =
+        faulty.submit(corpus.ctx(), corpus.requests[0].request, {}, *scratch);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(faulty.poll(ticket), std::nullopt) << "park poll " << i;
+    }
+    const std::optional<cbr::RetrievalResult> result = faulty.poll(ticket);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, cbr::RetrievalStatus::ok);
+}
+
+TEST(FaultSchedules, IntegrityFaultDetectedThenRebuildServesCleanly) {
+    const Corpus corpus = make_corpus(0xBEEF, 4);
+    const backend::MblazeBackend inner;
+    FaultSchedule schedule;
+    schedule.corrupt_every = 2;  // calls 2, 4, ... flip a cached-image bit
+    const FaultInjectingBackend faulty(inner, schedule, "mblaze+corrupt");
+    const ShardContext ctx = corpus.ctx();
+    std::unique_ptr<BackendScratch> scratch = faulty.make_scratch();
+    const cbr::Request& request = corpus.requests[0].request;
+    const cbr::RetrievalResult clean = faulty.score(ctx, request, {}, *scratch);
+    ASSERT_EQ(clean.status, cbr::RetrievalStatus::ok);
+    // Call 2 corrupts the image the call is about to score: the inner
+    // backend's verify must catch it and type the failure integrity.
+    try {
+        (void)faulty.score(ctx, request, {}, *scratch);
+        FAIL() << "corrupted image must never be served";
+    } catch (const BackendError& err) {
+        EXPECT_EQ(err.kind(), BackendErrorKind::integrity);
+    }
+    // Call 3 (no corrupt trigger) rebuilds and serves the same bits.
+    const cbr::RetrievalResult rebuilt = faulty.score(ctx, request, {}, *scratch);
+    EXPECT_TRUE(cbr::identical_results(clean, rebuilt));
+    ASSERT_NE(scratch->image_cache(), nullptr);
+    EXPECT_EQ(scratch->image_cache()->integrity_failures(), 1u);
+}
+
+TEST(FaultRegistry, WrappingUnknownBackendThrows) {
+    backend::BackendRegistry local;
+    try {
+        (void)backend::register_fault_injected(local, "no-such-backend", FaultSchedule{});
+        FAIL() << "unknown inner must throw";
+    } catch (const std::invalid_argument& err) {
+        EXPECT_NE(std::string(err.what()).find("no-such-backend"), std::string::npos);
+    }
+}
+
+TEST(FaultRegistry, WrapperRegistersUnderDerivedNameAndForwardsCapabilities) {
+    backend::BackendRegistry local;
+    ASSERT_TRUE(local.register_backend(std::make_unique<backend::CpuSimdBackend>()));
+    FaultSchedule schedule;
+    schedule.fail_every = 3;
+    const std::string name = backend::register_fault_injected(local, "cpu-simd", schedule);
+    EXPECT_EQ(name, "cpu-simd+faults");
+    const RetrievalBackend* wrapper = local.find(name);
+    ASSERT_NE(wrapper, nullptr);
+    const RetrievalBackend* inner = local.find("cpu-simd");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(wrapper->priority(), inner->priority());
+    EXPECT_EQ(wrapper->capabilities().exact, inner->capabilities().exact);
+}
+
+TEST(FaultSpecs, ParsesTheFullGrammar) {
+    const std::vector<FaultSpec> specs = backend::parse_fault_specs(
+        "mblaze:seed=7,first=3,kind=permanent;"
+        "device:seed=9,p=0.05,corrupt_every=20,stuck_every=4,stuck_polls=16,every=11");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].inner, "mblaze");
+    EXPECT_EQ(specs[0].schedule.seed, 7u);
+    EXPECT_EQ(specs[0].schedule.fail_first, 3u);
+    EXPECT_EQ(specs[0].schedule.kind, BackendErrorKind::permanent);
+    EXPECT_EQ(specs[1].inner, "device");
+    EXPECT_EQ(specs[1].schedule.seed, 9u);
+    EXPECT_DOUBLE_EQ(specs[1].schedule.fail_probability, 0.05);
+    EXPECT_EQ(specs[1].schedule.corrupt_every, 20u);
+    EXPECT_EQ(specs[1].schedule.stuck_every, 4u);
+    EXPECT_EQ(specs[1].schedule.stuck_polls, 16u);
+    EXPECT_EQ(specs[1].schedule.fail_every, 11u);
+    EXPECT_TRUE(backend::parse_fault_specs("").empty());
+    EXPECT_EQ(backend::parse_fault_specs("mblaze:first=1;").size(), 1u);
+}
+
+TEST(FaultSpecs, MalformedSpecsThrowLoudly) {
+    const std::vector<std::string> bad = {
+        "mblaze",                    // no knobs
+        ":first=1",                  // empty backend name
+        "mblaze:first",              // knob without value
+        "mblaze:=1",                 // knob without key
+        "mblaze:first=",             // empty value
+        "mblaze:first=abc",          // non-numeric
+        "mblaze:first=1x",           // trailing garbage
+        "mblaze:p=1.5",              // out of range
+        "mblaze:p=-0.1",             // out of range
+        "mblaze:kind=sideways",      // unknown kind
+        "mblaze:frobnicate=1",       // unknown knob
+    };
+    for (const std::string& spec : bad) {
+        EXPECT_THROW((void)backend::parse_fault_specs(spec), std::invalid_argument)
+            << "spec: " << spec;
+    }
+}
+
+}  // namespace

@@ -28,6 +28,7 @@ Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--threshold=0.15]
 """
 
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -83,6 +84,18 @@ def main(argv: list[str]) -> int:
             flag = "  REGRESSION"
             regressions.append((name, delta))
         print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  {delta:+7.1%}{flag}")
+
+    # One-line trajectory summary over the joined tables: the geometric
+    # mean of old/new ns-per-op ratios (> 1 means the current run is
+    # faster overall), robust to tables living on very different scales.
+    joined = [(baseline[n], current[n])
+              for n in baseline.keys() & current.keys()
+              if baseline[n] > 0 and current[n] > 0]
+    if joined:
+        log_sum = sum(math.log(old / new) for old, new in joined)
+        geomean = math.exp(log_sum / len(joined))
+        print(f"\ngeomean speedup vs baseline over {len(joined)} table(s): "
+              f"{geomean:.3f}x")
 
     if regressions:
         kind = "advisory" if advisory else "failing"
